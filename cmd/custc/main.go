@@ -1,0 +1,123 @@
+// Command custc is the customization-language compiler: it parses, analyzes
+// and compiles directive files against the telephone-network schema and the
+// standard interface objects library, reporting the generated rules in the
+// paper's On/If/Then notation. Exit status is non-zero on any error, making
+// it usable as a directive linter.
+//
+// Usage:
+//
+//	custc file.cust          compile a file
+//	custc -                  compile stdin
+//	custc -figure6           compile the paper's Figure 6 script
+//	custc -ast file.cust     also print the normalized directive
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	gisui "repro"
+	"repro/internal/custlang"
+	"repro/internal/event"
+	"repro/internal/spec"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		figure6  = flag.Bool("figure6", false, "compile the paper's Figure 6 script")
+		printAST = flag.Bool("ast", false, "print the normalized directive(s)")
+	)
+	flag.Parse()
+
+	var src string
+	switch {
+	case *figure6:
+		src = workload.Figure6Source
+	case flag.NArg() == 1 && flag.Arg(0) == "-":
+		data, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			fatal(err)
+		}
+		src = string(data)
+	case flag.NArg() == 1:
+		data, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		src = string(data)
+	default:
+		fmt.Fprintln(os.Stderr, "usage: custc [-ast] <file>|-|-figure6")
+		os.Exit(2)
+	}
+
+	// The reference environment: phone_net schema + standard library.
+	lib, err := workload.StandardLibrary()
+	if err != nil {
+		fatal(err)
+	}
+	sys := gisui.MustOpen(gisui.Config{Library: lib})
+	defer sys.Close()
+	if err := workloadDefine(sys); err != nil {
+		fatal(err)
+	}
+	analyzer := &custlang.Analyzer{Cat: sys.DB.Catalog(), Lib: lib}
+
+	units, err := analyzer.CompileSource(src)
+	if err != nil {
+		fatal(err)
+	}
+	total := 0
+	for i, u := range units {
+		fmt.Printf("directive %d (context %s):\n", i+1, u.Directive.Context)
+		if *printAST {
+			fmt.Println("  normalized form:")
+			printIndented(u.Directive.String(), "    ")
+		}
+		for j, r := range u.Rules {
+			cust, err := r.Customize(event.Event{Ctx: r.Context})
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("  R%d: On %s If %s Then %s\n", j+1, r.On, r.Context, actionText(cust))
+			total++
+		}
+	}
+	fmt.Printf("ok: %d directive(s), %d rule(s)\n", len(units), total)
+}
+
+func workloadDefine(sys *gisui.System) error {
+	return workload.DefineSchema(sys.DB)
+}
+
+func actionText(c spec.Customization) string {
+	return c.String()
+}
+
+func printIndented(s, prefix string) {
+	for len(s) > 0 {
+		line := s
+		if i := indexByte(s, '\n'); i >= 0 {
+			line, s = s[:i], s[i+1:]
+		} else {
+			s = ""
+		}
+		fmt.Println(prefix + line)
+	}
+}
+
+func indexByte(s string, b byte) int {
+	for i := 0; i < len(s); i++ {
+		if s[i] == b {
+			return i
+		}
+	}
+	return -1
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "custc:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,314 @@
+// Command gisbrowse is an interactive exploratory browser over a generated
+// telephone-network database — the paper's GIS interface driven from a
+// terminal. It supports both strong integration (default) and weak
+// integration against a gisd server (-connect).
+//
+// Commands at the prompt:
+//
+//	schema                  open the Schema window
+//	class <name>            open a Class set window
+//	pick <oid>              open an Instance window
+//	analyze <class> <attr> <op> <value>   analysis-mode filtered window
+//	screen                  render all windows
+//	svg <window>            render a window's map as SVG
+//	windows                 list open windows
+//	close <window>          close a window (cascades)
+//	explain                 explanation mode: why these windows
+//	scenario <subcmd> ...   simulation mode (start/pole/move/delete/window/commit/drop)
+//	stale / refresh         view-refresh: list and rebuild out-of-date windows
+//	quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	gisui "repro"
+	"repro/internal/catalog"
+	"repro/internal/geodb"
+	"repro/internal/geom"
+	"repro/internal/render"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		user       = flag.String("user", "maria", "user name for the interaction context")
+		category   = flag.String("category", "", "user category")
+		app        = flag.String("app", "pole_manager", "application domain")
+		poles      = flag.Int("poles", 12, "poles per zone in the generated network")
+		zones      = flag.Int("zones", 1, "zones per side")
+		seed       = flag.Int64("seed", 1997, "generator seed")
+		directives = flag.String("directives", "", "customization directive file to install ('figure6' for the paper's script)")
+		connect    = flag.String("connect", "", "connect to a gisd server address instead of embedding the DBMS")
+		script     = flag.Bool("script", false, "read commands from stdin without a prompt (non-interactive)")
+	)
+	flag.Parse()
+
+	lib, err := workload.StandardLibrary()
+	if err != nil {
+		fatal(err)
+	}
+	ctx := gisui.Context(*user, *category, *app)
+
+	var session *gisui.Session
+	if *connect != "" {
+		s, cli, err := gisui.RemoteSession(*connect, lib, ctx)
+		if err != nil {
+			fatal(err)
+		}
+		defer cli.Close()
+		session = s
+		fmt.Printf("connected to %s as %s\n", *connect, ctx)
+	} else {
+		sys := gisui.MustOpen(gisui.Config{Name: "GEO", Library: lib})
+		defer sys.Close()
+		net, err := workload.BuildPhoneNet(sys.DB, workload.PhoneNetOptions{
+			Seed: *seed, ZonesPerSide: *zones, PolesPerZone: *poles})
+		if err != nil {
+			fatal(err)
+		}
+		if *directives != "" {
+			src := workload.Figure6Source
+			if *directives != "figure6" {
+				data, err := os.ReadFile(*directives)
+				if err != nil {
+					fatal(err)
+				}
+				src = string(data)
+			}
+			if _, err := sys.InstallDirectives(src); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("installed %d customization rules\n", sys.Engine.RuleCount())
+		}
+		fmt.Printf("embedded database: %d poles, %d ducts, %d zones (context %s)\n",
+			len(net.Poles), len(net.Ducts), len(net.Zones), ctx)
+		session = sys.NewSession(ctx)
+	}
+	if err := session.Connect(); err != nil {
+		fatal(err)
+	}
+
+	in := bufio.NewScanner(os.Stdin)
+	for {
+		if !*script {
+			fmt.Print("gis> ")
+		}
+		if !in.Scan() {
+			return
+		}
+		fields := strings.Fields(in.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		if err := dispatch(session, fields); err != nil {
+			if err == errQuit {
+				return
+			}
+			fmt.Println("error:", err)
+		}
+	}
+}
+
+var errQuit = fmt.Errorf("quit")
+
+func dispatch(s *gisui.Session, fields []string) error {
+	switch fields[0] {
+	case "schema":
+		_, err := s.OpenSchema(workload.SchemaName)
+		return err
+	case "class":
+		if len(fields) != 2 {
+			return fmt.Errorf("usage: class <name>")
+		}
+		_, err := s.OpenClass(workload.SchemaName, fields[1])
+		return err
+	case "pick":
+		if len(fields) != 2 {
+			return fmt.Errorf("usage: pick <oid>")
+		}
+		oid, err := strconv.ParseUint(fields[1], 10, 64)
+		if err != nil {
+			return err
+		}
+		_, err = s.OpenInstance(catalog.OID(oid))
+		return err
+	case "analyze":
+		if len(fields) != 5 {
+			return fmt.Errorf("usage: analyze <class> <attr> <op> <value>")
+		}
+		value := parseValue(fields[4])
+		_, err := s.Analyze(workload.SchemaName, fields[1], []geodb.Filter{
+			{Attr: fields[2], Op: fields[3], Value: value}})
+		return err
+	case "screen":
+		fmt.Print(s.Screen())
+		return nil
+	case "svg":
+		if len(fields) != 2 {
+			return fmt.Errorf("usage: svg <window>")
+		}
+		win, err := s.Window(fields[1])
+		if err != nil {
+			return err
+		}
+		area := win.Find("map")
+		if area == nil {
+			return fmt.Errorf("window %q has no map", fields[1])
+		}
+		fmt.Print(render.SVG(area, render.SVGOptions{Width: 640, Height: 480, Labels: true}))
+		return nil
+	case "windows":
+		for _, name := range s.Windows() {
+			fmt.Println(" ", name)
+		}
+		return nil
+	case "close":
+		if len(fields) != 2 {
+			return fmt.Errorf("usage: close <window>")
+		}
+		return s.CloseWindow(fields[1])
+	case "explain":
+		for _, line := range s.Explain() {
+			fmt.Println(" ", line)
+		}
+		return nil
+	case "scenario":
+		return scenarioCmd(s, fields[1:])
+	case "stale":
+		for _, name := range s.Stale() {
+			fmt.Println(" ", name)
+		}
+		return nil
+	case "refresh":
+		n, err := s.RefreshAll()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("refreshed %d window(s)\n", n)
+		return nil
+	case "quit", "exit":
+		return errQuit
+	default:
+		return fmt.Errorf("unknown command %q", fields[0])
+	}
+}
+
+// scenarioCmd handles the simulation-mode subcommands:
+//
+//	scenario start <name>
+//	scenario pole <x> <y>      hypothetically place a pole
+//	scenario move <oid> <x> <y>
+//	scenario delete <oid>
+//	scenario window <class>    open the merged class window
+//	scenario commit | drop
+func scenarioCmd(s *gisui.Session, args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: scenario start|pole|move|delete|window|commit|drop ...")
+	}
+	switch args[0] {
+	case "start":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: scenario start <name>")
+		}
+		return s.StartScenario(args[1])
+	case "pole":
+		if len(args) != 3 {
+			return fmt.Errorf("usage: scenario pole <x> <y>")
+		}
+		values, err := poleAt(args[1], args[2])
+		if err != nil {
+			return err
+		}
+		oid, err := s.ScenarioInsert(workload.SchemaName, "Pole", values)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("hypothetical pole %d\n", oid)
+		return nil
+	case "move":
+		if len(args) != 4 {
+			return fmt.Errorf("usage: scenario move <oid> <x> <y>")
+		}
+		oid, err := strconv.ParseUint(args[1], 10, 64)
+		if err != nil {
+			return err
+		}
+		values, err := poleAt(args[2], args[3])
+		if err != nil {
+			return err
+		}
+		return s.ScenarioUpdate(catalog.OID(oid), values)
+	case "delete":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: scenario delete <oid>")
+		}
+		oid, err := strconv.ParseUint(args[1], 10, 64)
+		if err != nil {
+			return err
+		}
+		return s.ScenarioDelete(catalog.OID(oid))
+	case "window":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: scenario window <class>")
+		}
+		win, err := s.OpenClassSimulated(workload.SchemaName, args[1])
+		if err != nil {
+			return err
+		}
+		fmt.Printf("opened %s with %d shapes\n", win.Name, len(win.Find("map").Shapes))
+		return nil
+	case "commit":
+		if err := s.CommitScenario(); err != nil {
+			return err
+		}
+		fmt.Println("scenario committed")
+		return nil
+	case "drop":
+		return s.DropScenario()
+	default:
+		return fmt.Errorf("unknown scenario command %q", args[0])
+	}
+}
+
+// poleAt builds Pole values with only a location (other attributes null),
+// using the schema-ordered layout the scenario API expects.
+func poleAt(xs, ys string) ([]catalog.Value, error) {
+	x, err := strconv.ParseFloat(xs, 64)
+	if err != nil {
+		return nil, err
+	}
+	y, err := strconv.ParseFloat(ys, 64)
+	if err != nil {
+		return nil, err
+	}
+	// Effective attr order of the workload Pole class: pole_type,
+	// pole_composition, pole_supplier, pole_location, pole_picture,
+	// pole_historic.
+	return []catalog.Value{
+		catalog.Null, catalog.Null, catalog.Null,
+		catalog.GeomVal(geom.Pt(x, y)),
+		catalog.Null, catalog.Null,
+	}, nil
+}
+
+// parseValue guesses the literal type: integer, float, then text.
+func parseValue(s string) catalog.Value {
+	if i, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return catalog.IntVal(i)
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return catalog.FloatVal(f)
+	}
+	return catalog.TextVal(s)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gisbrowse:", err)
+	os.Exit(1)
+}

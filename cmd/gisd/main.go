@@ -1,0 +1,112 @@
+// Command gisd is the weak-integration DBMS daemon of §3.5: it hosts a
+// generated telephone-network database with the Figure 6 customization
+// rules (and any extra directive files) and serves the wire protocol over
+// TCP. Connect gisbrowse with -connect to drive it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	gisui "repro"
+	"repro/internal/geom"
+	"repro/internal/topo"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:7497", "listen address")
+		dbPath     = flag.String("db", "", "page file path (empty = in-memory; an existing file is recovered and NOT regenerated)")
+		poles      = flag.Int("poles", 25, "poles per zone")
+		zones      = flag.Int("zones", 2, "zones per side")
+		seed       = flag.Int64("seed", 1997, "generator seed")
+		directives = flag.String("directives", "figure6", "directive file to install ('figure6', 'none', or a path)")
+		constrain  = flag.Bool("constraints", true, "install topological constraints (poles in zones, zones disjoint)")
+	)
+	flag.Parse()
+
+	lib, err := workload.StandardLibrary()
+	if err != nil {
+		fatal(err)
+	}
+	sys, err := gisui.Open(gisui.Config{Name: "GEO", Path: *dbPath, Library: lib})
+	if err != nil {
+		fatal(err)
+	}
+	defer sys.Close()
+	var poleCount, ductCount int
+	if sys.DB.Count(workload.SchemaName, "Pole") > 0 {
+		// Recovered an existing database: re-register method code only.
+		if err := workload.RegisterPoleMethods(sys.DB); err != nil {
+			fatal(err)
+		}
+		poleCount = sys.DB.Count(workload.SchemaName, "Pole")
+		ductCount = sys.DB.Count(workload.SchemaName, "Duct")
+		fmt.Printf("gisd: recovered existing database from %s\n", *dbPath)
+	} else {
+		net, err := workload.BuildPhoneNet(sys.DB, workload.PhoneNetOptions{
+			Seed: *seed, ZonesPerSide: *zones, PolesPerZone: *poles})
+		if err != nil {
+			fatal(err)
+		}
+		poleCount, ductCount = len(net.Poles), len(net.Ducts)
+	}
+	switch *directives {
+	case "none":
+	case "figure6":
+		if _, err := sys.InstallDirectives(workload.Figure6Source); err != nil {
+			fatal(err)
+		}
+	default:
+		data, err := os.ReadFile(*directives)
+		if err != nil {
+			fatal(err)
+		}
+		if _, err := sys.InstallDirectives(string(data)); err != nil {
+			fatal(err)
+		}
+	}
+	if *constrain {
+		for _, c := range []topo.Constraint{
+			{Name: "pole-in-zone", Schema: workload.SchemaName, Class: "Pole",
+				With: "Zone", Relation: geom.Inside, Mode: topo.Require},
+			{Name: "zones-disjoint", Schema: workload.SchemaName, Class: "Zone",
+				With: "Zone", Relation: geom.Overlap, Mode: topo.Forbid},
+		} {
+			if err := sys.AddConstraint(c); err != nil {
+				fatal(err)
+			}
+		}
+	}
+	fmt.Printf("gisd: %s\n", sys.Describe())
+	fmt.Printf("gisd: %d poles, %d ducts; serving on %s\n", poleCount, ductCount, *addr)
+
+	// Graceful shutdown: durability of a -db file requires flushing the
+	// buffer pool, which sys.Close does.
+	srv := sys.NewServer()
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe(*addr) }()
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		if err != nil {
+			fatal(err)
+		}
+	case sig := <-sigCh:
+		fmt.Printf("gisd: %v — shutting down\n", sig)
+		srv.Close()
+		if err := sys.Close(); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gisd:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,73 @@
+// Command openserver demonstrates the weak-integration (open GIS)
+// deployment of §3.5: the geographic DBMS with its active rules runs as a
+// server; the user interface is an external module connecting over the wire
+// protocol, owning its own interface objects library. The customization
+// selected by the server-side rules crosses the protocol as part of every
+// (data, presentation) reply.
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+
+	gisui "repro"
+	"repro/internal/workload"
+)
+
+func main() {
+	// --- Server side: database + rules. ---
+	lib, err := workload.StandardLibrary()
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys := gisui.MustOpen(gisui.Config{Name: "GEO", Library: lib})
+	defer sys.Close()
+	if _, err := workload.BuildPhoneNet(sys.DB, workload.PhoneNetOptions{
+		Seed: 2, ZonesPerSide: 1, PolesPerZone: 6}); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := sys.InstallDirectives(workload.Figure6Source); err != nil {
+		log.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := sys.NewServer()
+	go srv.Serve(l)
+	defer srv.Close()
+	fmt.Printf("geographic DBMS serving on %s\n\n", l.Addr())
+
+	// --- Client side: an external UI with its own library. ---
+	clientLib, err := workload.StandardLibrary()
+	if err != nil {
+		log.Fatal(err)
+	}
+	session, cli, err := gisui.RemoteSession(l.Addr().String(), clientLib,
+		gisui.Context("juliano", "", "pole_manager"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cli.Close()
+
+	if err := session.Connect(); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := session.OpenSchema(workload.SchemaName); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("windows opened over the wire:")
+	for _, name := range session.Windows() {
+		w, _ := session.Window(name)
+		fmt.Printf("  %-24s visible=%s widgets=%d\n", name, w.Prop("visible"), w.Count())
+	}
+	win, err := session.Window("classset:Pole")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nPole class window control: %q (customization crossed the protocol)\n",
+		win.Find("poleWidget").Kind)
+	fmt.Printf("map shapes: %d, all in format %q\n",
+		len(win.Find("map").Shapes), win.Find("map").Shapes[0].Format)
+}

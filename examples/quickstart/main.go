@@ -1,0 +1,95 @@
+// Command quickstart is the smallest end-to-end use of the library: open a
+// system, define a schema, insert spatial data, attach a session with the
+// generic (uncustomized) interface, and browse schema → class → instance,
+// printing each window as structured text.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	gisui "repro"
+	"repro/internal/catalog"
+	"repro/internal/geom"
+	"repro/internal/render"
+)
+
+func main() {
+	sys := gisui.MustOpen(gisui.Config{Name: "GEO"})
+	defer sys.Close()
+
+	// A tiny schema: parks with polygonal boundaries.
+	if err := sys.DB.DefineSchema("city"); err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.DB.DefineClass("city", catalog.Class{
+		Name: "Park",
+		Attrs: []catalog.Field{
+			catalog.F("name", catalog.Scalar(catalog.KindText)),
+			catalog.F("area_ha", catalog.Scalar(catalog.KindFloat)),
+			catalog.F("boundary", catalog.Scalar(catalog.KindGeometry)),
+		},
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	ctx := gisui.Context("ana", "", "city_atlas")
+	parks := []struct {
+		name string
+		ha   float64
+		geom geom.Geometry
+	}{
+		{"Central", 12.5, geom.R(0, 0, 400, 300).AsPolygon()},
+		{"Riverside", 4.2, geom.R(500, 100, 700, 260).AsPolygon()},
+		{"Hilltop", 7.9, geom.Polygon{Outer: geom.Ring{
+			geom.Pt(800, 0), geom.Pt(1000, 80), geom.Pt(900, 250)}}},
+	}
+	var first catalog.OID
+	for i, p := range parks {
+		oid, err := sys.DB.InsertMap(ctx, "city", "Park", map[string]catalog.Value{
+			"name":     catalog.TextVal(p.name),
+			"area_ha":  catalog.FloatVal(p.ha),
+			"boundary": catalog.GeomVal(p.geom),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if i == 0 {
+			first = oid
+		}
+	}
+
+	// Attach a session and browse, exactly the paper's three-step pattern.
+	s := sys.NewSession(ctx)
+	if err := s.Connect(); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := s.OpenSchema("city"); err != nil {
+		log.Fatal(err)
+	}
+	// Selecting "Park" in the schema window opens its Class set window.
+	if err := s.Interact("schema:city", "classes", "select", "Park"); err != nil {
+		log.Fatal(err)
+	}
+	// Picking the first park on the map opens its Instance window.
+	if err := s.Interact("classset:Park", "map", "pick", uint64(first)); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("=== screen ===")
+	fmt.Println(s.Screen())
+
+	// The Class set window's map as SVG (what a graphical display would
+	// paint in the presentation area).
+	win, err := s.Window("classset:Park")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("=== presentation area (SVG) ===")
+	fmt.Println(render.SVG(win.Find("map"), render.SVGOptions{Width: 320, Height: 200, Labels: true}))
+
+	fmt.Println("=== explanation mode ===")
+	for _, line := range s.Explain() {
+		fmt.Println(" ", line)
+	}
+}

@@ -1,0 +1,63 @@
+// Package gisui is the public API of this reproduction of "Active
+// Customization of GIS User Interfaces" (Medeiros, Oliveira & Cilia, ICDE
+// 1997): a GIS user-interface architecture whose customization lives inside
+// the DBMS as active (ECA) rules over a persistent library of interface
+// objects, compiled from a declarative customization language.
+//
+// A minimal application:
+//
+//	sys := gisui.MustOpen(gisui.Config{Name: "GEO"})
+//	defer sys.Close()
+//	// define schema + data on sys.DB, widgets on sys.Library ...
+//	sys.InstallDirectives(directiveSource)
+//	session := sys.NewSession(gisui.Context("juliano", "", "pole_manager"))
+//	session.Connect()
+//	session.OpenSchema("phone_net")
+//	fmt.Println(session.Screen())
+//
+// The package is a thin facade over internal/core; see DESIGN.md for the
+// module map and EXPERIMENTS.md for the paper-reproduction index.
+package gisui
+
+import (
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/ui"
+	"repro/internal/uikit"
+)
+
+// System is the assembled architecture: database, active engine, interface
+// objects library, generic interface builder, constraint guard.
+type System = core.System
+
+// Config sizes and locates a System.
+type Config = core.Config
+
+// Session is a user's UI session (dispatcher + window hierarchy).
+type Session = ui.Session
+
+// Library is the interface objects library.
+type Library = uikit.Library
+
+// Widget is an interface object instance.
+type Widget = uikit.Widget
+
+// Ctx is an interaction context <user, category, application>.
+type Ctx = event.Context
+
+// Open assembles a system from the configuration.
+func Open(cfg Config) (*System, error) { return core.Open(cfg) }
+
+// MustOpen is Open, panicking on error (examples and tests).
+func MustOpen(cfg Config) *System { return core.MustOpen(cfg) }
+
+// Context builds an interaction context.
+func Context(user, category, application string) Ctx {
+	return core.Context(user, category, application)
+}
+
+// Kernel returns a library holding the paper's Figure 2 kernel classes.
+func Kernel() *Library { return uikit.Kernel() }
+
+// RemoteSession dials a weak-integration server and opens a session over it.
+var RemoteSession = core.RemoteSession

@@ -1,0 +1,495 @@
+// Package active implements the active database mechanism of §3.3: an ECA
+// (Event-Condition-Action) rule engine that intercepts the database events
+// emitted by the geographic DBMS and, among its rule families, supports the
+// paper's new family — interface customization rules.
+//
+// Rule semantics follow the paper precisely:
+//
+//   - A rule is "On Event Ei If Condition Cj Then Apply Customization CTn".
+//   - Conditions do not check a database state but the user's working
+//     environment: a context pattern <user, category, application>.
+//   - Several customization rules may match one event (one per context);
+//     only the single most specific rule executes. Specificity is the
+//     context pattern's restrictiveness (user > category > application),
+//     with an explicit Priority field as tiebreak.
+//   - Customization rule actions are deliberately limited to "getting a
+//     customization for an interface object", which is what makes the rule
+//     family confluent (no cascades, no conflicts).
+//   - Other families — constraint rules and generic reaction rules — run
+//     for every match, may veto mutations (by returning an error from a
+//     Pre* event) and may cascade by emitting follow-up events, bounded by
+//     a cycle-guarding depth limit.
+package active
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/event"
+	"repro/internal/spec"
+)
+
+// Errors returned by the engine.
+var (
+	ErrBadRule       = errors.New("active: invalid rule")
+	ErrDuplicateRule = errors.New("active: duplicate rule name")
+	ErrUnknownRule   = errors.New("active: unknown rule")
+	ErrCascadeLimit  = errors.New("active: cascade depth limit exceeded")
+)
+
+// Family partitions the rule set, as §3.3 suggests ("the rule set may be
+// partitioned into (at least) two subsets: rules for interface
+// customization, and other rules").
+type Family uint8
+
+// Rule families.
+const (
+	// FamilyCustomization rules select presentation directives; one per
+	// event, most specific wins.
+	FamilyCustomization Family = iota + 1
+	// FamilyConstraint rules guard mutations (topological integrity);
+	// all matches run and any error vetoes.
+	FamilyConstraint
+	// FamilyReaction rules are generic ECA reactions (logging, derived
+	// updates, view refresh à la Diaz et al.); all matches run.
+	FamilyReaction
+)
+
+// String names the family.
+func (f Family) String() string {
+	switch f {
+	case FamilyCustomization:
+		return "customization"
+	case FamilyConstraint:
+		return "constraint"
+	case FamilyReaction:
+		return "reaction"
+	default:
+		return fmt.Sprintf("Family(%d)", uint8(f))
+	}
+}
+
+// CustomizationAction computes the customization a rule delivers. It must
+// not mutate the database or emit events (the engine does not hand it the
+// emit capability, enforcing the paper's no-cascade property structurally).
+type CustomizationAction func(e event.Event) (spec.Customization, error)
+
+// ReactionAction reacts to an event. The Emitter lets it cascade — emit
+// follow-up events through the engine, which tracks depth.
+type ReactionAction func(e event.Event, em Emitter) error
+
+// Emitter re-enters the engine from inside a reaction rule.
+type Emitter interface {
+	// EmitNested dispatches a follow-up event at the current cascade
+	// depth + 1.
+	EmitNested(e event.Event) error
+}
+
+// Rule is an ECA rule.
+type Rule struct {
+	// Name uniquely identifies the rule.
+	Name string
+	// Family selects execution semantics.
+	Family Family
+	// On is the triggering event kind.
+	On event.Kind
+	// Schema/Class/Attr scope the rule; empty components are wildcards.
+	Schema, Class, Attr string
+	// Context is the condition: the context pattern that must cover the
+	// event's context.
+	Context event.Context
+	// When is an optional extra predicate over the event (nil = true).
+	When func(event.Event) bool
+	// Priority breaks specificity ties; higher wins. The compiler leaves
+	// it zero; hand-written rules may use it.
+	Priority int
+	// Customize is the action for FamilyCustomization rules.
+	Customize CustomizationAction
+	// React is the action for FamilyConstraint and FamilyReaction rules.
+	React ReactionAction
+}
+
+// matches reports whether the rule's event pattern and condition cover e.
+func (r *Rule) matches(e event.Event) bool {
+	if r.On != e.Kind {
+		return false
+	}
+	if r.Schema != "" && r.Schema != e.Schema {
+		return false
+	}
+	if r.Class != "" && r.Class != e.Class {
+		return false
+	}
+	if r.Attr != "" && r.Attr != e.Attr {
+		return false
+	}
+	if !r.Context.Matches(e.Ctx) {
+		return false
+	}
+	if r.When != nil && !r.When(e) {
+		return false
+	}
+	return true
+}
+
+// specificity orders customization rules: context specificity first, then
+// event-scope narrowness, then Priority.
+func (r *Rule) specificity() int {
+	s := r.Context.Specificity() * 8
+	if r.Schema != "" {
+		s += 4
+	}
+	if r.Class != "" {
+		s += 2
+	}
+	if r.Attr != "" {
+		s++
+	}
+	return s
+}
+
+// Stats counts engine activity.
+type Stats struct {
+	// Events is the number of events inspected.
+	Events uint64
+	// Evaluated counts rule match tests performed (the B1 ablation
+	// contrasts indexed vs. linear lookup through this counter).
+	Evaluated uint64
+	// Fired counts actions executed (all families).
+	Fired uint64
+	// Selected counts customization selections delivered.
+	Selected uint64
+	// Suppressed counts matching customization rules that lost the
+	// specificity contest.
+	Suppressed uint64
+}
+
+// DefaultMaxCascade bounds reaction-rule cascades.
+const DefaultMaxCascade = 16
+
+// Engine is the active mechanism. Subscribe it to a database bus with
+// db.Bus().Subscribe(engine); it is safe for concurrent use.
+type Engine struct {
+	mu    sync.RWMutex
+	rules map[string]*Rule
+	// byKindUser is the two-level rule index: rules keyed by triggering
+	// event kind plus the user their context pins (empty for rules whose
+	// context does not name a user). Lookup unions the event's user bucket
+	// with the wildcard bucket, so with U distinct users the per-event
+	// candidate set shrinks by ~U versus the linear scan (B1 ablates
+	// this against `all`).
+	byKindUser map[kindUser][]*Rule
+	all        []*Rule
+	stats      Stats
+
+	// pending holds the customization selected for the most recent event
+	// with a given identity; the UI dispatcher pops it right after the
+	// database primitive returns (dispatch is synchronous, so the entry is
+	// present by then). Keyed by the full event identity including context,
+	// so concurrent sessions do not collide.
+	pending map[string]spec.Customization
+
+	// Indexed selects the (event kind)-indexed rule lookup; when false the
+	// engine scans every rule (the naïve baseline B1 measures against).
+	Indexed bool
+	// SelectAll is the ablation of the paper's execution model: when true,
+	// EVERY matching customization rule fires, in ascending specificity
+	// order, each overwriting the previous selection. The final
+	// customization equals the single-select result (most specific last),
+	// but every action runs — the cost the paper's "only one rule is
+	// selected" avoids, and a semantic hazard if actions had side effects.
+	SelectAll bool
+	// MaxCascade bounds nested reaction emissions.
+	MaxCascade int
+	// Trace, when non-nil, receives a line per engine decision (experiment
+	// F1 renders these).
+	Trace func(string)
+}
+
+// kindUser is the two-level index key.
+type kindUser struct {
+	kind event.Kind
+	user string
+}
+
+func indexKey(r *Rule) kindUser {
+	return kindUser{kind: r.On, user: r.Context.User}
+}
+
+// NewEngine returns an engine with indexed lookup and the default cascade
+// bound.
+func NewEngine() *Engine {
+	return &Engine{
+		rules:      make(map[string]*Rule),
+		byKindUser: make(map[kindUser][]*Rule),
+		pending:    make(map[string]spec.Customization),
+		Indexed:    true,
+		MaxCascade: DefaultMaxCascade,
+	}
+}
+
+// AddRule validates and installs a rule.
+func (en *Engine) AddRule(r Rule) error {
+	if r.Name == "" {
+		return fmt.Errorf("%w: empty name", ErrBadRule)
+	}
+	if r.On == 0 {
+		return fmt.Errorf("%w: rule %q has no triggering event", ErrBadRule, r.Name)
+	}
+	switch r.Family {
+	case FamilyCustomization:
+		if r.Customize == nil {
+			return fmt.Errorf("%w: customization rule %q has no Customize action", ErrBadRule, r.Name)
+		}
+		if r.React != nil {
+			return fmt.Errorf("%w: customization rule %q must not have a React action", ErrBadRule, r.Name)
+		}
+	case FamilyConstraint, FamilyReaction:
+		if r.React == nil {
+			return fmt.Errorf("%w: %s rule %q has no React action", ErrBadRule, r.Family, r.Name)
+		}
+		if r.Customize != nil {
+			return fmt.Errorf("%w: %s rule %q must not have a Customize action", ErrBadRule, r.Family, r.Name)
+		}
+	default:
+		return fmt.Errorf("%w: rule %q has unknown family", ErrBadRule, r.Name)
+	}
+	en.mu.Lock()
+	defer en.mu.Unlock()
+	if _, ok := en.rules[r.Name]; ok {
+		return fmt.Errorf("%w: %q", ErrDuplicateRule, r.Name)
+	}
+	stored := r
+	en.rules[r.Name] = &stored
+	en.all = append(en.all, &stored)
+	key := indexKey(&stored)
+	en.byKindUser[key] = append(en.byKindUser[key], &stored)
+	return nil
+}
+
+// RemoveRule uninstalls a rule by name.
+func (en *Engine) RemoveRule(name string) error {
+	en.mu.Lock()
+	defer en.mu.Unlock()
+	r, ok := en.rules[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownRule, name)
+	}
+	delete(en.rules, name)
+	en.all = removeRule(en.all, r)
+	key := indexKey(r)
+	en.byKindUser[key] = removeRule(en.byKindUser[key], r)
+	return nil
+}
+
+func removeRule(rs []*Rule, target *Rule) []*Rule {
+	for i, r := range rs {
+		if r == target {
+			return append(rs[:i], rs[i+1:]...)
+		}
+	}
+	return rs
+}
+
+// Rules lists installed rule names in sorted order.
+func (en *Engine) Rules() []string {
+	en.mu.RLock()
+	defer en.mu.RUnlock()
+	out := make([]string, 0, len(en.rules))
+	for name := range en.rules {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RuleCount reports the number of installed rules.
+func (en *Engine) RuleCount() int {
+	en.mu.RLock()
+	defer en.mu.RUnlock()
+	return len(en.rules)
+}
+
+// Stats returns a snapshot of the engine counters.
+func (en *Engine) Stats() Stats {
+	en.mu.RLock()
+	defer en.mu.RUnlock()
+	return en.stats
+}
+
+// ResetStats zeroes the counters (benchmarks use this between phases).
+func (en *Engine) ResetStats() {
+	en.mu.Lock()
+	defer en.mu.Unlock()
+	en.stats = Stats{}
+}
+
+// HandleEvent implements event.Handler; it is the bus-facing entry point.
+func (en *Engine) HandleEvent(e event.Event) error {
+	return en.dispatch(e, 0)
+}
+
+type nestedEmitter struct {
+	en    *Engine
+	depth int
+}
+
+func (ne nestedEmitter) EmitNested(e event.Event) error {
+	return ne.en.dispatch(e, ne.depth+1)
+}
+
+func (en *Engine) dispatch(e event.Event, depth int) error {
+	if depth > en.MaxCascade {
+		return fmt.Errorf("%w: depth %d on %s", ErrCascadeLimit, depth, e)
+	}
+	// Snapshot candidates under the read lock, then evaluate predicates
+	// outside it: rule conditions are caller code and must not observe the
+	// engine lock held.
+	en.mu.RLock()
+	var candidates []*Rule
+	if en.Indexed {
+		candidates = append(candidates, en.byKindUser[kindUser{e.Kind, e.Ctx.User}]...)
+		if e.Ctx.User != "" {
+			// Rules whose context does not pin a user match any user.
+			candidates = append(candidates, en.byKindUser[kindUser{e.Kind, ""}]...)
+		}
+	} else {
+		candidates = append(candidates, en.all...)
+	}
+	en.mu.RUnlock()
+
+	var best *Rule
+	var matchedCust []*Rule
+	var others []*Rule
+	var evaluated, suppressed uint64
+	for _, r := range candidates {
+		evaluated++
+		if !r.matches(e) {
+			continue
+		}
+		if r.Family == FamilyCustomization {
+			matchedCust = append(matchedCust, r)
+			if best == nil || r.specificity() > best.specificity() ||
+				(r.specificity() == best.specificity() && r.Priority > best.Priority) {
+				if best != nil {
+					suppressed++
+				}
+				best = r
+			} else {
+				suppressed++
+			}
+		} else {
+			others = append(others, r)
+		}
+	}
+	en.mu.Lock()
+	en.stats.Events++
+	en.stats.Evaluated += evaluated
+	en.stats.Suppressed += suppressed
+	en.mu.Unlock()
+
+	// Constraint and reaction rules run for every match, constraints first
+	// (a veto must precede side effects).
+	sort.SliceStable(others, func(i, j int) bool {
+		if others[i].Family != others[j].Family {
+			return others[i].Family == FamilyConstraint
+		}
+		return others[i].Priority > others[j].Priority
+	})
+	em := nestedEmitter{en: en, depth: depth}
+	for _, r := range others {
+		en.trace("fire %s rule %q on %s", r.Family, r.Name, e.Kind)
+		en.countFired()
+		if err := r.React(e, em); err != nil {
+			return fmt.Errorf("rule %q: %w", r.Name, err)
+		}
+	}
+	if en.SelectAll && len(matchedCust) > 0 {
+		// Ablation path: fire every match, least specific first, so the
+		// most specific customization lands last in the pending slot.
+		sort.SliceStable(matchedCust, func(i, j int) bool {
+			si, sj := matchedCust[i].specificity(), matchedCust[j].specificity()
+			if si != sj {
+				return si < sj
+			}
+			return matchedCust[i].Priority < matchedCust[j].Priority
+		})
+		for _, r := range matchedCust {
+			en.trace("fire-all customization rule %q for %s", r.Name, e.Kind)
+			en.countFired()
+			cust, err := r.Customize(e)
+			if err != nil {
+				return fmt.Errorf("customization rule %q: %w", r.Name, err)
+			}
+			if cust.Origin == "" {
+				cust.Origin = r.Name
+			}
+			en.mu.Lock()
+			en.stats.Selected++
+			en.pending[eventKey(e)] = cust
+			en.mu.Unlock()
+		}
+		return nil
+	}
+	if best != nil {
+		en.trace("select customization rule %q (specificity %d) for %s in %s",
+			best.Name, best.specificity(), e.Kind, e.Ctx)
+		en.countFired()
+		cust, err := best.Customize(e)
+		if err != nil {
+			return fmt.Errorf("customization rule %q: %w", best.Name, err)
+		}
+		if cust.Origin == "" {
+			cust.Origin = best.Name
+		}
+		en.mu.Lock()
+		en.stats.Selected++
+		en.pending[eventKey(e)] = cust
+		en.mu.Unlock()
+	}
+	return nil
+}
+
+func (en *Engine) countFired() {
+	en.mu.Lock()
+	en.stats.Fired++
+	en.mu.Unlock()
+}
+
+func (en *Engine) trace(format string, args ...any) {
+	if en.Trace != nil {
+		en.Trace(fmt.Sprintf(format, args...))
+	}
+}
+
+// eventKey identifies an event for the pending-customization hand-off.
+func eventKey(e event.Event) string {
+	return fmt.Sprintf("%d|%s|%s|%s|%d|%s|%s|%s",
+		e.Kind, e.Schema, e.Class, e.Attr, e.OID,
+		e.Ctx.User, e.Ctx.Category, e.Ctx.Application)
+}
+
+// TakeCustomization pops the customization selected for the given event, if
+// a rule fired for it. The UI dispatcher calls this immediately after the
+// database primitive that emitted the event returns; because the bus is
+// synchronous, selection has already happened on the same goroutine.
+func (en *Engine) TakeCustomization(e event.Event) (spec.Customization, bool) {
+	key := eventKey(e)
+	en.mu.Lock()
+	defer en.mu.Unlock()
+	c, ok := en.pending[key]
+	if ok {
+		delete(en.pending, key)
+	}
+	return c, ok
+}
+
+// PendingCount reports undelivered customizations (should be 0 between
+// interactions; tests assert no leaks).
+func (en *Engine) PendingCount() int {
+	en.mu.RLock()
+	defer en.mu.RUnlock()
+	return len(en.pending)
+}

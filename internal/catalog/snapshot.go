@@ -1,0 +1,81 @@
+package catalog
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// This file serializes catalog contents so a database file can carry its own
+// metadata: the geodb layer stores the snapshot as a reserved record and
+// restores it when reopening the file.
+
+// Snapshot is the serializable form of a catalog.
+type Snapshot struct {
+	Schemas []SchemaSnapshot `json:"schemas"`
+}
+
+// SchemaSnapshot is one schema with its classes in declaration order.
+type SchemaSnapshot struct {
+	Name    string  `json:"name"`
+	Classes []Class `json:"classes"`
+}
+
+// Snapshot captures the catalog's current contents.
+func (c *Catalog) Snapshot() Snapshot {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var snap Snapshot
+	// Schemas() would re-lock; iterate directly in sorted order.
+	names := make([]string, 0, len(c.schemas))
+	for name := range c.schemas {
+		names = append(names, name)
+	}
+	sortStrings(names)
+	for _, name := range names {
+		s := c.schemas[name]
+		ss := SchemaSnapshot{Name: name}
+		for _, className := range s.order {
+			ss.Classes = append(ss.Classes, *s.classes[className])
+		}
+		snap.Schemas = append(snap.Schemas, ss)
+	}
+	return snap
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// MarshalSnapshot renders the snapshot as JSON.
+func MarshalSnapshot(s Snapshot) ([]byte, error) {
+	return json.Marshal(s)
+}
+
+// UnmarshalSnapshot parses a snapshot document.
+func UnmarshalSnapshot(data []byte) (Snapshot, error) {
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return Snapshot{}, fmt.Errorf("catalog: decode snapshot: %w", err)
+	}
+	return s, nil
+}
+
+// Restore loads a snapshot into an empty catalog, re-validating every
+// definition (a corrupted or hand-edited snapshot fails cleanly).
+func (c *Catalog) Restore(s Snapshot) error {
+	for _, ss := range s.Schemas {
+		if _, err := c.DefineSchema(ss.Name); err != nil {
+			return err
+		}
+		for _, cls := range ss.Classes {
+			if err := c.DefineClass(ss.Name, cls); err != nil {
+				return fmt.Errorf("restore class %s.%s: %w", ss.Name, cls.Name, err)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,182 @@
+package catalog
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/geom"
+)
+
+// OID identifies an object instance in the geographic database. Zero is
+// "no object" (a null reference).
+type OID uint64
+
+// NilOID is the null reference.
+const NilOID OID = 0
+
+// ErrTypeMismatch is returned when a value does not conform to an AttrType.
+var ErrTypeMismatch = errors.New("catalog: value does not match attribute type")
+
+// Value is the runtime representation of an attribute value: a tagged union
+// over the catalog kinds. The zero Value is an untyped null (Kind == 0),
+// which conforms to any attribute type.
+type Value struct {
+	Kind   Kind
+	Int    int64
+	Float  float64
+	Text   string
+	Bool   bool
+	Tuple  []Value
+	Ref    OID
+	Geom   geom.Geometry
+	Bitmap []byte
+}
+
+// Null is the untyped null value.
+var Null = Value{}
+
+// IsNull reports whether v is the null value.
+func (v Value) IsNull() bool { return v.Kind == 0 }
+
+// Constructors for each kind.
+
+// IntVal wraps an integer.
+func IntVal(i int64) Value { return Value{Kind: KindInteger, Int: i} }
+
+// FloatVal wraps a float.
+func FloatVal(f float64) Value { return Value{Kind: KindFloat, Float: f} }
+
+// TextVal wraps a text string.
+func TextVal(s string) Value { return Value{Kind: KindText, Text: s} }
+
+// BoolVal wraps a boolean.
+func BoolVal(b bool) Value { return Value{Kind: KindBool, Bool: b} }
+
+// TupleVal wraps an ordered tuple of component values.
+func TupleVal(vs ...Value) Value { return Value{Kind: KindTuple, Tuple: vs} }
+
+// RefVal wraps an object reference.
+func RefVal(oid OID) Value { return Value{Kind: KindReference, Ref: oid} }
+
+// GeomVal wraps a geometry.
+func GeomVal(g geom.Geometry) Value { return Value{Kind: KindGeometry, Geom: g} }
+
+// BitmapVal wraps raw image bytes.
+func BitmapVal(b []byte) Value { return Value{Kind: KindBitmap, Bitmap: b} }
+
+// String renders the value for display in Instance windows and logs.
+func (v Value) String() string {
+	switch v.Kind {
+	case 0:
+		return "null"
+	case KindInteger:
+		return fmt.Sprintf("%d", v.Int)
+	case KindFloat:
+		return trimZeros(fmt.Sprintf("%.6f", v.Float))
+	case KindText:
+		return v.Text
+	case KindBool:
+		return fmt.Sprintf("%t", v.Bool)
+	case KindTuple:
+		parts := make([]string, len(v.Tuple))
+		for i, c := range v.Tuple {
+			parts[i] = c.String()
+		}
+		return "(" + strings.Join(parts, ", ") + ")"
+	case KindReference:
+		if v.Ref == NilOID {
+			return "ref:nil"
+		}
+		return fmt.Sprintf("ref:%d", v.Ref)
+	case KindGeometry:
+		if v.Geom == nil {
+			return "GEOMETRY EMPTY"
+		}
+		return v.Geom.WKT()
+	case KindBitmap:
+		return fmt.Sprintf("bitmap[%dB]", len(v.Bitmap))
+	default:
+		return fmt.Sprintf("Value(kind=%d)", v.Kind)
+	}
+}
+
+func trimZeros(s string) string {
+	i := len(s)
+	for i > 0 && s[i-1] == '0' {
+		i--
+	}
+	if i > 0 && s[i-1] == '.' {
+		i--
+	}
+	return s[:i]
+}
+
+// Equal reports deep value equality. Geometries compare by WKT.
+func (v Value) Equal(u Value) bool {
+	if v.Kind != u.Kind {
+		return false
+	}
+	switch v.Kind {
+	case 0:
+		return true
+	case KindInteger:
+		return v.Int == u.Int
+	case KindFloat:
+		return v.Float == u.Float
+	case KindText:
+		return v.Text == u.Text
+	case KindBool:
+		return v.Bool == u.Bool
+	case KindTuple:
+		if len(v.Tuple) != len(u.Tuple) {
+			return false
+		}
+		for i := range v.Tuple {
+			if !v.Tuple[i].Equal(u.Tuple[i]) {
+				return false
+			}
+		}
+		return true
+	case KindReference:
+		return v.Ref == u.Ref
+	case KindGeometry:
+		if (v.Geom == nil) != (u.Geom == nil) {
+			return false
+		}
+		return v.Geom == nil || v.Geom.WKT() == u.Geom.WKT()
+	case KindBitmap:
+		if len(v.Bitmap) != len(u.Bitmap) {
+			return false
+		}
+		for i := range v.Bitmap {
+			if v.Bitmap[i] != u.Bitmap[i] {
+				return false
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+// Conforms checks v against attribute type t. Null conforms to everything.
+func (v Value) Conforms(t AttrType) error {
+	if v.IsNull() {
+		return nil
+	}
+	if v.Kind != t.Kind {
+		return fmt.Errorf("%w: have %v, want %v", ErrTypeMismatch, v.Kind, t.Kind)
+	}
+	if t.Kind == KindTuple {
+		if len(v.Tuple) != len(t.Fields) {
+			return fmt.Errorf("%w: tuple arity %d, want %d", ErrTypeMismatch, len(v.Tuple), len(t.Fields))
+		}
+		for i, c := range v.Tuple {
+			if err := c.Conforms(t.Fields[i].Type); err != nil {
+				return fmt.Errorf("tuple field %q: %w", t.Fields[i].Name, err)
+			}
+		}
+	}
+	return nil
+}

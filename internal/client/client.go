@@ -1,0 +1,187 @@
+// Package client is the UI-side binding of the weak-integration protocol:
+// it implements ui.Backend over a connection to a server, so the same
+// dispatcher and generic interface builder run unchanged whether the DBMS is
+// in-process (strong integration) or remote (weak integration) — exactly the
+// adaptability §3.5 argues for.
+package client
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/catalog"
+	"repro/internal/event"
+	"repro/internal/geodb"
+	"repro/internal/geom"
+	"repro/internal/proto"
+	"repro/internal/spec"
+	"repro/internal/ui"
+)
+
+// Client speaks the protocol over one connection. Requests are serialized
+// by a mutex: a UI session issues one interaction at a time, and sharing a
+// client across sessions just queues them.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	next uint64
+}
+
+// Dial connects to a TCP server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("client: dial %s: %w", addr, err)
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection (e.g. one end of net.Pipe).
+func NewClient(conn net.Conn) *Client {
+	return &Client{conn: conn}
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+func (c *Client) roundTrip(req proto.Request) (proto.Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.next++
+	req.ID = c.next
+	if err := proto.WriteMessage(c.conn, req); err != nil {
+		return proto.Response{}, err
+	}
+	var resp proto.Response
+	if err := proto.ReadMessage(c.conn, &resp); err != nil {
+		return proto.Response{}, err
+	}
+	if resp.ID != req.ID {
+		return proto.Response{}, fmt.Errorf("client: response id %d for request %d", resp.ID, req.ID)
+	}
+	if resp.Err != "" {
+		return proto.Response{}, fmt.Errorf("%w: %s", proto.ErrRemote, resp.Err)
+	}
+	return resp, nil
+}
+
+// Connect implements ui.Backend.
+func (c *Client) Connect(ctx event.Context) error {
+	_, err := c.roundTrip(proto.Request{Op: proto.OpConnect, Ctx: ctx})
+	return err
+}
+
+// GetSchema implements ui.Backend.
+func (c *Client) GetSchema(ctx event.Context, schema string) (geodb.SchemaInfo, *spec.Customization, error) {
+	resp, err := c.roundTrip(proto.Request{Op: proto.OpGetSchema, Ctx: ctx, Schema: schema})
+	if err != nil {
+		return geodb.SchemaInfo{}, nil, err
+	}
+	if resp.Schema == nil {
+		return geodb.SchemaInfo{}, nil, fmt.Errorf("%w: missing schema payload", proto.ErrRemote)
+	}
+	info := geodb.SchemaInfo{
+		Name:    resp.Schema.Name,
+		Classes: resp.Schema.Classes,
+		Parents: resp.Schema.Parents,
+	}
+	return info, resp.Cust, nil
+}
+
+// GetClass implements ui.Backend.
+func (c *Client) GetClass(ctx event.Context, schema, class string) (ui.ClassData, *spec.Customization, error) {
+	resp, err := c.roundTrip(proto.Request{Op: proto.OpGetClass, Ctx: ctx, Schema: schema, Class: class})
+	if err != nil {
+		return ui.ClassData{}, nil, err
+	}
+	return c.decodeClass(resp)
+}
+
+func (c *Client) decodeClass(resp proto.Response) (ui.ClassData, *spec.Customization, error) {
+	if resp.Class == nil {
+		return ui.ClassData{}, nil, fmt.Errorf("%w: missing class payload", proto.ErrRemote)
+	}
+	data := ui.ClassData{
+		Info: geodb.ClassInfo{
+			Schema:       resp.Class.Schema,
+			Class:        resp.Class.Class,
+			Attrs:        resp.Class.Attrs,
+			OIDs:         resp.Class.OIDs,
+			GeometryAttr: resp.Class.GeometryAttr,
+		},
+	}
+	for _, wi := range resp.Class.Instances {
+		in, err := proto.DecodeInstance(wi)
+		if err != nil {
+			return ui.ClassData{}, nil, err
+		}
+		data.Instances = append(data.Instances, in)
+	}
+	return data, resp.Cust, nil
+}
+
+// GetClassWindowed implements ui.Backend: the viewport crosses the wire as
+// the WKT of its rectangle.
+func (c *Client) GetClassWindowed(ctx event.Context, schema, class string, window geom.Rect) (ui.ClassData, *spec.Customization, error) {
+	resp, err := c.roundTrip(proto.Request{
+		Op: proto.OpGetClass, Ctx: ctx, Schema: schema, Class: class, Window: window.WKT()})
+	if err != nil {
+		return ui.ClassData{}, nil, err
+	}
+	return c.decodeClass(resp)
+}
+
+// GetValue implements ui.Backend.
+func (c *Client) GetValue(ctx event.Context, oid catalog.OID) (geodb.Instance, *spec.Customization, error) {
+	resp, err := c.roundTrip(proto.Request{Op: proto.OpGetValue, Ctx: ctx, OID: oid})
+	if err != nil {
+		return geodb.Instance{}, nil, err
+	}
+	if resp.Instance == nil {
+		return geodb.Instance{}, nil, fmt.Errorf("%w: missing instance payload", proto.ErrRemote)
+	}
+	in, err := proto.DecodeInstance(*resp.Instance)
+	if err != nil {
+		return geodb.Instance{}, nil, err
+	}
+	return in, resp.Cust, nil
+}
+
+// SelectWhere implements ui.Backend.
+func (c *Client) SelectWhere(ctx event.Context, schema, class string, filters []geodb.Filter) ([]geodb.Instance, error) {
+	wf, err := proto.EncodeFilters(filters)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.roundTrip(proto.Request{
+		Op: proto.OpSelectWhere, Ctx: ctx, Schema: schema, Class: class, Filters: wf})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]geodb.Instance, 0, len(resp.Instances))
+	for _, wi := range resp.Instances {
+		in, err := proto.DecodeInstance(wi)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, in)
+	}
+	return out, nil
+}
+
+// CallMethod implements ui.Backend (and builder.MethodCaller).
+func (c *Client) CallMethod(oid catalog.OID, method string, args ...catalog.Value) (catalog.Value, error) {
+	wargs, err := proto.EncodeValues(args)
+	if err != nil {
+		return catalog.Value{}, err
+	}
+	resp, err := c.roundTrip(proto.Request{Op: proto.OpCallMethod, OID: oid, Method: method, Args: wargs})
+	if err != nil {
+		return catalog.Value{}, err
+	}
+	if resp.Value == nil {
+		return catalog.Value{}, fmt.Errorf("%w: missing value payload", proto.ErrRemote)
+	}
+	return proto.DecodeValue(*resp.Value)
+}

@@ -1,0 +1,366 @@
+// Package client's tests double as the weak-integration integration suite:
+// the full Section 4 scenario driven through the wire protocol over both
+// net.Pipe and TCP.
+package client
+
+import (
+	"errors"
+	"net"
+	"strings"
+	"testing"
+
+	"repro/internal/active"
+	"repro/internal/builder"
+	"repro/internal/catalog"
+	"repro/internal/custlang"
+	"repro/internal/event"
+	"repro/internal/geodb"
+	"repro/internal/geom"
+	"repro/internal/proto"
+	"repro/internal/server"
+	"repro/internal/ui"
+	"repro/internal/uikit"
+)
+
+const figure6 = `
+For user juliano application pole_manager
+schema phone_net display as Null
+class Pole display
+  control as poleWidget
+  presentation as pointFormat
+  instances
+    display attribute pole_composition as composed_text
+      from pole.material pole.diameter pole.height
+      using composed_text.notify()
+    display attribute pole_supplier as text
+      from get_supplier_name(pole_supplier)
+    display attribute pole_location as Null
+`
+
+// serverWorld builds the DBMS side: database, rules, library, backend.
+func serverWorld(t testing.TB) (*ui.DirectBackend, *uikit.Library, []catalog.OID) {
+	t.Helper()
+	db := geodb.MustOpen(geodb.Options{Name: "GEO"})
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(db.DefineSchema("phone_net"))
+	must(db.DefineClass("phone_net", catalog.Class{
+		Name:  "Supplier",
+		Attrs: []catalog.Field{catalog.F("name", catalog.Scalar(catalog.KindText))},
+	}))
+	must(db.DefineClass("phone_net", catalog.Class{
+		Name: "Pole",
+		Attrs: []catalog.Field{
+			catalog.F("pole_type", catalog.Scalar(catalog.KindInteger)),
+			catalog.F("pole_composition", catalog.TupleOf(
+				catalog.F("pole_material", catalog.Scalar(catalog.KindText)),
+				catalog.F("pole_diameter", catalog.Scalar(catalog.KindFloat)),
+				catalog.F("pole_height", catalog.Scalar(catalog.KindFloat)),
+			)),
+			catalog.F("pole_supplier", catalog.RefTo("Supplier")),
+			catalog.F("pole_location", catalog.Scalar(catalog.KindGeometry)),
+			catalog.F("pole_picture", catalog.Scalar(catalog.KindBitmap)),
+			catalog.F("pole_historic", catalog.Scalar(catalog.KindText)),
+		},
+		Methods: []catalog.Method{{Name: "get_supplier_name", Params: []string{"Supplier"}}},
+	}))
+	must(db.RegisterMethod("phone_net", "Pole", "get_supplier_name",
+		func(db *geodb.DB, self geodb.Instance, args ...catalog.Value) (catalog.Value, error) {
+			ref, _ := self.Get("pole_supplier")
+			if ref.IsNull() || ref.Ref == catalog.NilOID {
+				return catalog.TextVal(""), nil
+			}
+			sup, err := db.GetValue(event.Context{}, ref.Ref)
+			if err != nil {
+				return catalog.Value{}, err
+			}
+			name, _ := sup.Get("name")
+			return name, nil
+		}))
+	setup := event.Context{Application: "setup"}
+	sup, err := db.InsertMap(setup, "phone_net", "Supplier", map[string]catalog.Value{
+		"name": catalog.TextVal("ACME Postes")})
+	must(err)
+	var poles []catalog.OID
+	for i := 0; i < 4; i++ {
+		oid, err := db.InsertMap(setup, "phone_net", "Pole", map[string]catalog.Value{
+			"pole_type": catalog.IntVal(int64(i)),
+			"pole_composition": catalog.TupleVal(
+				catalog.TextVal("wood"), catalog.FloatVal(0.3), catalog.FloatVal(9.5)),
+			"pole_supplier": catalog.RefVal(sup),
+			"pole_location": catalog.GeomVal(geom.Pt(float64(i), float64(i))),
+		})
+		must(err)
+		poles = append(poles, oid)
+	}
+	lib := uikit.Kernel()
+	must(lib.Specialize("poleWidget", "button", func(w *uikit.Widget) { w.Kind = uikit.KindSlider }))
+	must(lib.Specialize("composed_text", "text", nil))
+	engine := active.NewEngine()
+	analyzer := &custlang.Analyzer{Cat: db.Catalog(), Lib: lib}
+	if _, err := analyzer.Install(engine, figure6); err != nil {
+		t.Fatal(err)
+	}
+	return ui.NewDirectBackend(db, engine), lib, poles
+}
+
+// pipePair starts a server over an in-process pipe and returns the client.
+func pipePair(t testing.TB, backend ui.Backend) *Client {
+	t.Helper()
+	srvConn, cliConn := net.Pipe()
+	srv := server.New(backend)
+	go srv.ServeConn(srvConn)
+	c := NewClient(cliConn)
+	t.Cleanup(func() {
+		c.Close()
+		srv.Close()
+	})
+	return c
+}
+
+func TestValueWireRoundTrip(t *testing.T) {
+	values := []catalog.Value{
+		catalog.Null,
+		catalog.IntVal(-5),
+		catalog.FloatVal(3.5),
+		catalog.TextVal("olá"),
+		catalog.BoolVal(true),
+		catalog.TupleVal(catalog.TextVal("wood"), catalog.FloatVal(0.3)),
+		catalog.RefVal(9),
+		catalog.GeomVal(geom.Pt(1, 2)),
+		catalog.GeomVal(geom.LineString{geom.Pt(0, 0), geom.Pt(1, 1)}),
+		catalog.GeomVal(nil),
+		catalog.BitmapVal([]byte{0, 1, 2, 255}),
+	}
+	for _, v := range values {
+		wv, err := proto.EncodeValue(v)
+		if err != nil {
+			t.Fatalf("encode %v: %v", v, err)
+		}
+		back, err := proto.DecodeValue(wv)
+		if err != nil {
+			t.Fatalf("decode %v: %v", v, err)
+		}
+		if !v.Equal(back) {
+			t.Fatalf("round trip %v -> %v", v, back)
+		}
+	}
+}
+
+func TestFramingErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := proto.WriteMessage(&sb, map[string]string{"a": "b"}); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt length prefix.
+	data := []byte(sb.String())
+	data[0] = 0xff
+	var out map[string]string
+	if err := proto.ReadMessage(strings.NewReader(string(data)), &out); !errors.Is(err, proto.ErrFrameTooLarge) {
+		t.Fatalf("oversize frame: %v", err)
+	}
+	// Truncated payload.
+	if err := proto.ReadMessage(strings.NewReader(sb.String()[:6]), &out); err == nil {
+		t.Fatal("truncated payload accepted")
+	}
+}
+
+func TestWeakIntegrationSessionOverPipe(t *testing.T) {
+	backend, lib, poles := serverWorld(t)
+	cli := pipePair(t, backend)
+	// The UI side has its own copy of the library (weak integration: the
+	// client is an external module); the builder resolves methods through
+	// the wire.
+	bld := builder.New(lib, cli)
+	s := ui.NewSession(cli, bld, event.Context{User: "juliano", Application: "pole_manager"})
+	if err := s.Connect(); err != nil {
+		t.Fatal(err)
+	}
+	win, err := s.OpenSchema("phone_net")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// R1 crossed the wire: hidden schema window + auto-opened Pole window.
+	if win.Prop("visible") != "false" {
+		t.Fatal("customization did not cross the protocol")
+	}
+	classWin, err := s.Window("classset:Pole")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if classWin.Find("poleWidget") == nil {
+		t.Fatal("poleWidget missing over the wire")
+	}
+	if got := len(classWin.Find("map").Shapes); got != 4 {
+		t.Fatalf("shapes = %d", got)
+	}
+	// Instance window: the method-sourced supplier panel requires a
+	// CallMethod round trip.
+	if _, err := s.OpenInstance(poles[0]); err != nil {
+		t.Fatal(err)
+	}
+	instName := ""
+	for _, n := range s.Windows() {
+		if strings.HasPrefix(n, "instance:") {
+			instName = n
+		}
+	}
+	instWin, err := s.Window(instName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup := instWin.Find("attr:pole_supplier")
+	if got := sup.FindKind(uikit.KindText)[0].Prop("value"); got != "ACME Postes" {
+		t.Fatalf("supplier over the wire = %q", got)
+	}
+	if instWin.Find("attr:pole_location") != nil {
+		t.Fatal("Null attribute customization lost in transit")
+	}
+}
+
+func TestWeakIntegrationOverTCP(t *testing.T) {
+	backend, lib, _ := serverWorld(t)
+	srv := server.New(backend)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(l)
+	defer srv.Close()
+
+	cli, err := Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	bld := builder.New(lib, cli)
+	s := ui.NewSession(cli, bld, event.Context{User: "maria", Application: "pole_manager"})
+	if err := s.Connect(); err != nil {
+		t.Fatal(err)
+	}
+	win, err := s.OpenSchema("phone_net")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// maria gets the generic default over TCP.
+	if win.Prop("visible") != "true" {
+		t.Fatal("default session should show the schema window")
+	}
+	if _, err := s.OpenClass("phone_net", "Pole"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemoteErrorsSurface(t *testing.T) {
+	backend, _, _ := serverWorld(t)
+	cli := pipePair(t, backend)
+	if _, _, err := cli.GetSchema(event.Context{}, "ghost"); !errors.Is(err, proto.ErrRemote) {
+		t.Fatalf("remote error: %v", err)
+	}
+	if _, _, err := cli.GetValue(event.Context{}, 9999); !errors.Is(err, proto.ErrRemote) {
+		t.Fatalf("remote instance error: %v", err)
+	}
+	if _, err := cli.CallMethod(9999, "nope"); !errors.Is(err, proto.ErrRemote) {
+		t.Fatalf("remote method error: %v", err)
+	}
+}
+
+func TestSelectWhereOverWire(t *testing.T) {
+	backend, _, _ := serverWorld(t)
+	cli := pipePair(t, backend)
+	got, err := cli.SelectWhere(event.Context{}, "phone_net", "Pole", []geodb.Filter{
+		{Attr: "pole_type", Op: "ge", Value: catalog.IntVal(2)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("filtered = %d", len(got))
+	}
+	for _, in := range got {
+		v, _ := in.Get("pole_type")
+		if v.Int < 2 {
+			t.Fatalf("filter violated: %v", v)
+		}
+	}
+	// Spatial filter crosses the wire as WKT.
+	got, err = cli.SelectWhere(event.Context{}, "phone_net", "Pole", []geodb.Filter{
+		{Attr: "pole_location", Op: "intersects", Value: catalog.GeomVal(geom.R(0, 0, 1, 1))},
+	})
+	if err != nil || len(got) != 2 {
+		t.Fatalf("spatial filter = %d, %v", len(got), err)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	backend, lib, _ := serverWorld(t)
+	srv := server.New(backend)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(l)
+	defer srv.Close()
+	done := make(chan error, 6)
+	for i := 0; i < 6; i++ {
+		go func() {
+			cli, err := Dial(l.Addr().String())
+			if err != nil {
+				done <- err
+				return
+			}
+			defer cli.Close()
+			bld := builder.New(lib, cli)
+			s := ui.NewSession(cli, bld, event.Context{User: "juliano", Application: "pole_manager"})
+			if err := s.Connect(); err != nil {
+				done <- err
+				return
+			}
+			for j := 0; j < 10; j++ {
+				if _, err := s.OpenSchema("phone_net"); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}()
+	}
+	for i := 0; i < 6; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestZoomedClassOverWire(t *testing.T) {
+	backend, lib, _ := serverWorld(t)
+	cli := pipePair(t, backend)
+	bld := builder.New(lib, cli)
+	s := ui.NewSession(cli, bld, event.Context{User: "juliano", Application: "pole_manager"})
+	if err := s.Connect(); err != nil {
+		t.Fatal(err)
+	}
+	// Poles at (0,0),(1,1),(2,2),(3,3): zoom to the first two.
+	win, err := s.OpenClassZoomed("phone_net", "Pole", geom.R(-0.5, -0.5, 1.5, 1.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(win.Find("map").Shapes); got != 2 {
+		t.Fatalf("zoomed shapes over the wire = %d, want 2", got)
+	}
+	// Customization still crossed the protocol.
+	if win.Find("poleWidget") == nil {
+		t.Fatal("customization lost on zoomed wire path")
+	}
+	// A malformed viewport fails server-side with a remote error.
+	if _, _, err := cli.GetClassWindowed(event.Context{}, "phone_net", "Pole",
+		geom.EmptyRect); err != nil {
+		// EmptyRect has infinite coordinates; its WKT is POLYGON EMPTY
+		// which parses — accept either outcome as long as no panic.
+		t.Logf("empty viewport: %v", err)
+	}
+}

@@ -1,0 +1,209 @@
+// Package core assembles the paper's complete architecture (Figure 1) into
+// one system: the geographic DBMS, the active mechanism subscribed to its
+// event bus, the interface objects library, the generic interface builder,
+// the customization-language toolchain, the topological-constraint guard,
+// and session/serving entry points for both strong and weak integration.
+//
+// This is the package a downstream application uses; everything underneath
+// is reachable through it but rarely needed directly.
+package core
+
+import (
+	"fmt"
+	"net"
+
+	"repro/internal/active"
+	"repro/internal/builder"
+	"repro/internal/catalog"
+	"repro/internal/client"
+	"repro/internal/custlang"
+	"repro/internal/event"
+	"repro/internal/geodb"
+	"repro/internal/server"
+	"repro/internal/storage"
+	"repro/internal/topo"
+	"repro/internal/ui"
+	"repro/internal/uikit"
+)
+
+// Config sizes and locates a System.
+type Config struct {
+	// Name is the database name (default "GEO").
+	Name string
+	// Path stores pages in a file when non-empty; otherwise in memory.
+	Path string
+	// PoolSize is the buffer pool capacity in pages (default 256).
+	PoolSize int
+	// Policy is the buffer replacement policy (default LRU).
+	Policy storage.ReplacementPolicy
+	// Library seeds the interface objects library; nil means the kernel
+	// classes of Figure 2.
+	Library *uikit.Library
+}
+
+// System is the assembled architecture of Figure 1.
+type System struct {
+	// DB is the geographic database.
+	DB *geodb.DB
+	// Engine is the active mechanism, already subscribed to DB's bus.
+	Engine *active.Engine
+	// Library is the interface objects library.
+	Library *uikit.Library
+	// Builder is the generic interface builder.
+	Builder *builder.Builder
+	// Backend is the strong-integration backend sessions attach to.
+	Backend *ui.DirectBackend
+	// Guard owns topological constraints.
+	Guard *topo.Guard
+}
+
+// Open assembles a system.
+func Open(cfg Config) (*System, error) {
+	db, err := geodb.Open(geodb.Options{
+		Name:     cfg.Name,
+		Path:     cfg.Path,
+		PoolSize: cfg.PoolSize,
+		Policy:   cfg.Policy,
+	})
+	if err != nil {
+		return nil, err
+	}
+	lib := cfg.Library
+	if lib == nil {
+		lib = uikit.Kernel()
+	}
+	engine := active.NewEngine()
+	backend := ui.NewDirectBackend(db, engine)
+	return &System{
+		DB:      db,
+		Engine:  engine,
+		Library: lib,
+		Builder: builder.New(lib, db),
+		Backend: backend,
+		Guard:   topo.NewGuard(db),
+	}, nil
+}
+
+// MustOpen is Open for known-good configurations.
+func MustOpen(cfg Config) *System {
+	s, err := Open(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Close flushes and closes the database.
+func (s *System) Close() error { return s.DB.Close() }
+
+// Analyzer returns a customization-language analyzer bound to this system's
+// catalog and library.
+func (s *System) Analyzer() *custlang.Analyzer {
+	return &custlang.Analyzer{Cat: s.DB.Catalog(), Lib: s.Library}
+}
+
+// InstallDirectives compiles customization-language source and installs the
+// generated rules on the engine.
+func (s *System) InstallDirectives(src string) ([]custlang.Compiled, error) {
+	return s.Analyzer().Install(s.Engine, src)
+}
+
+// SaveDirectives validates and persists a named directive source in the
+// database.
+func (s *System) SaveDirectives(name, src string) error {
+	return s.Analyzer().SaveDirectives(s.DB, name, src)
+}
+
+// RestoreDirectives compiles every directive stored in the database onto
+// the engine, returning the number of rules installed.
+func (s *System) RestoreDirectives() (int, error) {
+	return s.Analyzer().InstallStored(s.DB, s.Engine)
+}
+
+// SaveLibrary persists the interface objects library into the database.
+func (s *System) SaveLibrary() error { return s.Library.SaveToDB(s.DB) }
+
+// LoadLibrary replaces the in-memory library with the one stored in the
+// database. The builder keeps using the same Library pointer contents via
+// replacement of prototypes, so a fresh builder is returned.
+func (s *System) LoadLibrary() error {
+	lib, err := uikit.LoadFromDB(s.DB)
+	if err != nil {
+		return err
+	}
+	s.Library = lib
+	s.Builder = builder.New(lib, s.DB)
+	return nil
+}
+
+// AddConstraint installs a topological constraint as active rules.
+func (s *System) AddConstraint(c topo.Constraint) error {
+	return s.Guard.Install(s.Engine, c)
+}
+
+// Certify audits existing data against a constraint.
+func (s *System) Certify(c topo.Constraint) ([]topo.Violation, error) {
+	return s.Guard.Certify(c)
+}
+
+// NewSession opens a strong-integration UI session for the context.
+func (s *System) NewSession(ctx event.Context) *ui.Session {
+	return ui.NewSession(s.Backend, s.Builder, ctx)
+}
+
+// NewServer returns a weak-integration protocol server over this system.
+func (s *System) NewServer() *server.Server {
+	return server.New(s.Backend)
+}
+
+// ListenAndServe serves the weak-integration protocol on a TCP address
+// (blocking).
+func (s *System) ListenAndServe(addr string) error {
+	return s.NewServer().ListenAndServe(addr)
+}
+
+// RemoteSession dials a weak-integration server and returns a UI session
+// over it. The library is the client-side interface objects library (weak
+// integration keeps the UI adaptable to more than one backend, so it owns
+// its widgets). Close the returned client when done.
+func RemoteSession(addr string, lib *uikit.Library, ctx event.Context) (*ui.Session, *client.Client, error) {
+	cli, err := client.Dial(addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	bld := builder.New(lib, cli)
+	return ui.NewSession(cli, bld, ctx), cli, nil
+}
+
+// PipeSession attaches a weak-integration session to this system over an
+// in-process pipe — the protocol without the network, used by the B8
+// experiment's middle configuration.
+func (s *System) PipeSession(lib *uikit.Library, ctx event.Context) (*ui.Session, func(), error) {
+	srvConn, cliConn := net.Pipe()
+	srv := s.NewServer()
+	go srv.ServeConn(srvConn)
+	cli := client.NewClient(cliConn)
+	bld := builder.New(lib, cli)
+	cleanup := func() {
+		cli.Close()
+		srv.Close()
+	}
+	return ui.NewSession(cli, bld, ctx), cleanup, nil
+}
+
+// Describe renders a one-line system summary.
+func (s *System) Describe() string {
+	st := s.DB.Stats()
+	return fmt.Sprintf("%s: %d schemas, %d instances, %d pages, %d rules, %d library objects",
+		s.DB.Name(), st.Schemas, st.Instances, st.Pages, s.Engine.RuleCount(), s.Library.Len())
+}
+
+// Convenience re-exports so applications rarely need deep imports.
+
+// Context builds an interaction context.
+func Context(user, category, application string) event.Context {
+	return event.Context{User: user, Category: category, Application: application}
+}
+
+// OIDOf is a typed helper for examples.
+func OIDOf(v uint64) catalog.OID { return catalog.OID(v) }

@@ -1,0 +1,231 @@
+package core
+
+import (
+	"errors"
+	"net"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/geodb"
+	"repro/internal/geom"
+	"repro/internal/topo"
+	"repro/internal/workload"
+)
+
+func testSystem(t testing.TB) (*System, *workload.PhoneNet) {
+	t.Helper()
+	lib, err := workload.StandardLibrary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := MustOpen(Config{Name: "GEO", Library: lib})
+	net, err := workload.BuildPhoneNet(sys.DB, workload.PhoneNetOptions{
+		Seed: 11, ZonesPerSide: 1, PolesPerZone: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys, net
+}
+
+func TestEndToEndStrongIntegration(t *testing.T) {
+	sys, _ := testSystem(t)
+	defer sys.Close()
+	if _, err := sys.InstallDirectives(workload.Figure6Source); err != nil {
+		t.Fatal(err)
+	}
+	s := sys.NewSession(Context("juliano", "", "pole_manager"))
+	if err := s.Connect(); err != nil {
+		t.Fatal(err)
+	}
+	win, err := s.OpenSchema(workload.SchemaName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if win.Prop("visible") != "false" {
+		t.Fatal("Figure 6 customization not applied")
+	}
+	if _, err := s.Window("classset:Pole"); err != nil {
+		t.Fatal("auto-opened class window missing")
+	}
+	if !strings.Contains(sys.Describe(), "rules") {
+		t.Fatalf("describe = %q", sys.Describe())
+	}
+}
+
+func TestDirectivePersistenceLifecycle(t *testing.T) {
+	sys, _ := testSystem(t)
+	defer sys.Close()
+	if err := sys.SaveDirectives("pole_manager", workload.Figure6Source); err != nil {
+		t.Fatal(err)
+	}
+	// A fresh engine (new session epoch) restores rules from the database.
+	n, err := sys.RestoreDirectives()
+	if err != nil || n != 3 {
+		t.Fatalf("restored %d rules: %v", n, err)
+	}
+	s := sys.NewSession(Context("juliano", "", "pole_manager"))
+	s.Connect()
+	win, err := s.OpenSchema(workload.SchemaName)
+	if err != nil || win.Prop("visible") != "false" {
+		t.Fatalf("restored rules not effective: %v", err)
+	}
+}
+
+func TestLibraryPersistenceLifecycle(t *testing.T) {
+	sys, _ := testSystem(t)
+	defer sys.Close()
+	if err := sys.SaveLibrary(); err != nil {
+		t.Fatal(err)
+	}
+	before := sys.Library.Len()
+	if err := sys.LoadLibrary(); err != nil {
+		t.Fatal(err)
+	}
+	if sys.Library.Len() != before {
+		t.Fatalf("library size changed: %d -> %d", before, sys.Library.Len())
+	}
+	if !sys.Library.Has("poleWidget") {
+		t.Fatal("poleWidget lost in round trip")
+	}
+}
+
+func TestConstraintsThroughFacade(t *testing.T) {
+	sys, _ := testSystem(t)
+	defer sys.Close()
+	c := topo.Constraint{
+		Name: "pole-in-zone", Schema: workload.SchemaName,
+		Class: "Pole", With: "Zone", Relation: geom.Inside, Mode: topo.Require,
+	}
+	if err := sys.AddConstraint(c); err != nil {
+		t.Fatal(err)
+	}
+	// Generated poles are all inside zones: certification is clean.
+	violations, err := sys.Certify(c)
+	if err != nil || len(violations) != 0 {
+		t.Fatalf("certify = %v, %v", violations, err)
+	}
+	// A pole outside every zone is vetoed.
+	_, err = sys.DB.InsertMap(Context("op", "", "maint"), workload.SchemaName, "Pole",
+		map[string]catalog.Value{"pole_location": catalog.GeomVal(geom.Pt(99999, 99999))})
+	if !errors.Is(err, geodb.ErrVetoed) {
+		t.Fatalf("constraint not enforced: %v", err)
+	}
+}
+
+func TestWeakIntegrationThroughFacade(t *testing.T) {
+	sys, _ := testSystem(t)
+	defer sys.Close()
+	if _, err := sys.InstallDirectives(workload.Figure6Source); err != nil {
+		t.Fatal(err)
+	}
+	// Pipe transport.
+	lib, _ := workload.StandardLibrary()
+	s, cleanup, err := sys.PipeSession(lib, Context("juliano", "", "pole_manager"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cleanup()
+	if err := s.Connect(); err != nil {
+		t.Fatal(err)
+	}
+	win, err := s.OpenSchema(workload.SchemaName)
+	if err != nil || win.Prop("visible") != "false" {
+		t.Fatalf("pipe session: %v", err)
+	}
+	// TCP transport.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := sys.NewServer()
+	go srv.Serve(l)
+	defer srv.Close()
+	rs, cli, err := RemoteSession(l.Addr().String(), lib, Context("maria", "", "pole_manager"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	if err := rs.Connect(); err != nil {
+		t.Fatal(err)
+	}
+	rwin, err := rs.OpenSchema(workload.SchemaName)
+	if err != nil || rwin.Prop("visible") != "true" {
+		t.Fatalf("tcp session: %v", err)
+	}
+}
+
+func TestOpenDefaults(t *testing.T) {
+	sys := MustOpen(Config{})
+	defer sys.Close()
+	if sys.DB.Name() != "GEO" {
+		t.Fatalf("default name = %q", sys.DB.Name())
+	}
+	if !sys.Library.Has("window") {
+		t.Fatal("kernel library not seeded")
+	}
+}
+
+func TestSystemReopenLifecycle(t *testing.T) {
+	// A complete shutdown/restart: data, the interface objects library and
+	// the customization directives all live in one database file; a fresh
+	// system recovers everything, recompiles the rules, re-registers the
+	// method implementations, and juliano's customized session works.
+	path := filepath.Join(t.TempDir(), "system.db")
+	var poleOID catalog.OID
+	{
+		lib, err := workload.StandardLibrary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys := MustOpen(Config{Name: "GEO", Path: path, PoolSize: 64, Library: lib})
+		net, err := workload.BuildPhoneNet(sys.DB, workload.PhoneNetOptions{
+			Seed: 4, ZonesPerSide: 1, PolesPerZone: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		poleOID = net.Poles[0]
+		if err := sys.SaveLibrary(); err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.SaveDirectives("pole_manager", workload.Figure6Source); err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	sys := MustOpen(Config{Name: "GEO", Path: path, PoolSize: 64})
+	defer sys.Close()
+	// Recover the library from the database, then the rules.
+	if err := sys.LoadLibrary(); err != nil {
+		t.Fatal(err)
+	}
+	if !sys.Library.Has("poleWidget") {
+		t.Fatal("library not recovered")
+	}
+	n, err := sys.RestoreDirectives()
+	if err != nil || n != 3 {
+		t.Fatalf("directives restored = %d, %v", n, err)
+	}
+	// Method implementations are code: re-register.
+	if err := workload.RegisterPoleMethods(sys.DB); err != nil {
+		t.Fatal(err)
+	}
+	s := sys.NewSession(Context("juliano", "", "pole_manager"))
+	if err := s.Connect(); err != nil {
+		t.Fatal(err)
+	}
+	win, err := s.OpenSchema(workload.SchemaName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if win.Prop("visible") != "false" {
+		t.Fatal("restored rules not effective after reopen")
+	}
+	if _, err := s.OpenInstance(poleOID); err != nil {
+		t.Fatalf("customized instance window after reopen: %v", err)
+	}
+}

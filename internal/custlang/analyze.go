@@ -1,0 +1,222 @@
+package custlang
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/spec"
+	"repro/internal/uikit"
+)
+
+// ErrSemantic is wrapped by every semantic-analysis failure.
+var ErrSemantic = errors.New("custlang: semantic error")
+
+// Analyzer validates directives against the database catalog and the
+// interface objects library — the "target user of this language is the
+// application designer, who has knowledge about the database schema": the
+// analyzer is what holds a directive to that knowledge.
+type Analyzer struct {
+	// Cat is the database catalog directives are checked against.
+	Cat *catalog.Catalog
+	// Lib is the interface objects library widget references must exist in.
+	Lib *uikit.Library
+	// Formats is the set of known presentation formats. Nil means the
+	// builder defaults (pointFormat, lineFormat, regionFormat,
+	// defaultFormat).
+	Formats map[string]bool
+	// DefaultSchema is used when a directive has no schema clause.
+	DefaultSchema string
+}
+
+var builderFormats = map[string]bool{
+	"pointFormat":   true,
+	"lineFormat":    true,
+	"regionFormat":  true,
+	"defaultFormat": true,
+}
+
+func (a *Analyzer) formatKnown(name string) bool {
+	if a.Formats != nil {
+		return a.Formats[name]
+	}
+	return builderFormats[name]
+}
+
+// Analyze validates the directive and returns a normalized copy: attribute
+// source paths are rewritten to canonical "attribute.tuple_field" form (the
+// paper's shorthand "pole.material" resolves to
+// "pole_composition.pole_material"). All detected errors are joined.
+func (a *Analyzer) Analyze(d Directive) (Directive, error) {
+	var errs []error
+	fail := func(format string, args ...any) {
+		errs = append(errs, fmt.Errorf("%w: %s", ErrSemantic, fmt.Sprintf(format, args...)))
+	}
+
+	schemaName := a.DefaultSchema
+	if d.Schema != nil {
+		schemaName = d.Schema.Name
+	}
+	if schemaName == "" {
+		fail("directive at line %d has no schema clause and no default schema", d.Line)
+		return d, errors.Join(errs...)
+	}
+	sch, err := a.Cat.Schema(schemaName)
+	if err != nil {
+		fail("unknown schema %q", schemaName)
+		return d, errors.Join(errs...)
+	}
+
+	out := d
+	if d.Schema != nil {
+		sc := *d.Schema
+		if sc.Display == spec.DisplayUserDefined && !a.Lib.Has(sc.Widget) {
+			fail("schema clause: widget %q not in the interface objects library", sc.Widget)
+		}
+		out.Schema = &sc
+	}
+
+	out.Classes = make([]ClassClause, len(d.Classes))
+	seenClass := map[string]bool{}
+	for i, cc := range d.Classes {
+		norm := cc
+		if seenClass[cc.Name] {
+			fail("duplicate class clause for %q", cc.Name)
+		}
+		seenClass[cc.Name] = true
+		if !sch.HasClass(cc.Name) {
+			fail("unknown class %q in schema %q", cc.Name, schemaName)
+			out.Classes[i] = norm
+			continue
+		}
+		if cc.Control != "" && !a.Lib.Has(cc.Control) {
+			fail("class %s: control widget %q not in the library", cc.Name, cc.Control)
+		}
+		if cc.Presentation != "" && !a.formatKnown(cc.Presentation) {
+			fail("class %s: unknown presentation format %q", cc.Name, cc.Presentation)
+		}
+		attrs, err := sch.EffectiveAttrs(cc.Name)
+		if err != nil {
+			fail("class %s: %v", cc.Name, err)
+			out.Classes[i] = norm
+			continue
+		}
+		methods, err := sch.EffectiveMethods(cc.Name)
+		if err != nil {
+			fail("class %s: %v", cc.Name, err)
+		}
+		norm.Attrs = make([]AttrClause, len(cc.Attrs))
+		seenAttr := map[string]bool{}
+		for j, ac := range cc.Attrs {
+			na := ac
+			if seenAttr[ac.Attr] {
+				fail("class %s: duplicate display attribute clause for %q", cc.Name, ac.Attr)
+			}
+			seenAttr[ac.Attr] = true
+			if !attrExists(attrs, ac.Attr) {
+				fail("class %s: unknown attribute %q", cc.Name, ac.Attr)
+			}
+			if !ac.Null {
+				if !a.Lib.Has(ac.Widget) {
+					fail("class %s, attribute %s: widget %q not in the library",
+						cc.Name, ac.Attr, ac.Widget)
+				}
+				na.From = make([]spec.AttrSource, len(ac.From))
+				for k, src := range ac.From {
+					ns, err := resolveSource(attrs, methods, src)
+					if err != nil {
+						fail("class %s, attribute %s: %v", cc.Name, ac.Attr, err)
+						ns = src
+					}
+					na.From[k] = ns
+				}
+			}
+			norm.Attrs[j] = na
+		}
+		out.Classes[i] = norm
+	}
+	return out, errors.Join(errs...)
+}
+
+func attrExists(attrs []catalog.Field, name string) bool {
+	for _, a := range attrs {
+		if a.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// resolveSource validates a source and rewrites shorthand paths to the
+// canonical form.
+func resolveSource(attrs []catalog.Field, methods []catalog.Method, src spec.AttrSource) (spec.AttrSource, error) {
+	if src.Method != "" {
+		found := false
+		for _, m := range methods {
+			if m.Name == src.Method {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return src, fmt.Errorf("method %q not declared on the class", src.Method)
+		}
+		out := src
+		out.Args = make([]string, len(src.Args))
+		for i, arg := range src.Args {
+			path, err := resolvePath(attrs, arg)
+			if err != nil {
+				return src, fmt.Errorf("argument %q of %s: %v", arg, src.Method, err)
+			}
+			out.Args[i] = path
+		}
+		return out, nil
+	}
+	path, err := resolvePath(attrs, src.Attr)
+	if err != nil {
+		return src, err
+	}
+	return spec.AttrSource{Attr: path}, nil
+}
+
+// resolvePath resolves "attr", "attr.field" and the paper's shorthand
+// "prefix.field" (matching a tuple attribute holding a field named
+// "prefix_field") to canonical form.
+func resolvePath(attrs []catalog.Field, path string) (string, error) {
+	head, tail, dotted := strings.Cut(path, ".")
+	// Exact attribute name first.
+	for _, a := range attrs {
+		if a.Name != head {
+			continue
+		}
+		if !dotted {
+			return head, nil
+		}
+		if a.Type.Kind != catalog.KindTuple {
+			return "", fmt.Errorf("attribute %q is not a tuple", head)
+		}
+		for _, f := range a.Type.Fields {
+			if f.Name == tail {
+				return head + "." + tail, nil
+			}
+		}
+		return "", fmt.Errorf("tuple attribute %q has no field %q", head, tail)
+	}
+	// Shorthand: look for a tuple field named head_tail (dotted) or head.
+	want := head
+	if dotted {
+		want = head + "_" + tail
+	}
+	for _, a := range attrs {
+		if a.Type.Kind != catalog.KindTuple {
+			continue
+		}
+		for _, f := range a.Type.Fields {
+			if f.Name == want {
+				return a.Name + "." + f.Name, nil
+			}
+		}
+	}
+	return "", fmt.Errorf("cannot resolve source path %q", path)
+}

@@ -1,0 +1,115 @@
+package custlang
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/event"
+	"repro/internal/spec"
+)
+
+// Directive is one parsed customization directive: a context (the For
+// clause) plus schema, class and instance clauses. A source file may hold
+// several directives; each spawns its own rule set.
+type Directive struct {
+	// Context is the For clause: the condition of every rule derived from
+	// this directive ("this condition is the same for all rules derived
+	// from a given customization directive").
+	Context event.Context
+	// Schema is the optional schema clause.
+	Schema *SchemaClause
+	// Classes are the class clauses, in source order.
+	Classes []ClassClause
+	// Line records the directive's starting line for diagnostics.
+	Line int
+}
+
+// SchemaClause is "schema <name> display as <mode> [<widget>]".
+type SchemaClause struct {
+	Name    string
+	Display spec.SchemaDisplay
+	// Widget names the library object for the user-defined mode.
+	Widget string
+}
+
+// ClassClause is "class <name> display [control as <w>]
+// [presentation as <f>] [instances <attr clauses>]".
+type ClassClause struct {
+	Name         string
+	Control      string
+	Presentation string
+	Attrs        []AttrClause
+}
+
+// AttrClause is "display attribute <attr> as <widget>|Null
+// [from <source>+] [using <callback>]".
+type AttrClause struct {
+	Attr   string
+	Null   bool
+	Widget string
+	From   []spec.AttrSource
+	Using  string
+}
+
+// String renders the directive in canonical concrete syntax; parsing the
+// output reproduces the directive (the F3 round-trip property).
+func (d Directive) String() string {
+	var b strings.Builder
+	b.WriteString("For")
+	if d.Context.User != "" {
+		fmt.Fprintf(&b, " user %s", d.Context.User)
+	}
+	if d.Context.Category != "" {
+		fmt.Fprintf(&b, " category %s", d.Context.Category)
+	}
+	if d.Context.Application != "" {
+		fmt.Fprintf(&b, " application %s", d.Context.Application)
+	}
+	extraKeys := make([]string, 0, len(d.Context.Extra))
+	for k := range d.Context.Extra {
+		extraKeys = append(extraKeys, k)
+	}
+	sort.Strings(extraKeys)
+	for _, k := range extraKeys {
+		fmt.Fprintf(&b, " where %s %s", k, d.Context.Extra[k])
+	}
+	b.WriteString("\n")
+	if d.Schema != nil {
+		fmt.Fprintf(&b, "schema %s display as %s", d.Schema.Name, d.Schema.Display)
+		if d.Schema.Display == spec.DisplayUserDefined {
+			fmt.Fprintf(&b, " %s", d.Schema.Widget)
+		}
+		b.WriteString("\n")
+	}
+	for _, c := range d.Classes {
+		fmt.Fprintf(&b, "class %s display\n", c.Name)
+		if c.Control != "" {
+			fmt.Fprintf(&b, "  control as %s\n", c.Control)
+		}
+		if c.Presentation != "" {
+			fmt.Fprintf(&b, "  presentation as %s\n", c.Presentation)
+		}
+		if len(c.Attrs) > 0 {
+			b.WriteString("  instances\n")
+			for _, a := range c.Attrs {
+				if a.Null {
+					fmt.Fprintf(&b, "    display attribute %s as Null\n", a.Attr)
+					continue
+				}
+				fmt.Fprintf(&b, "    display attribute %s as %s\n", a.Attr, a.Widget)
+				if len(a.From) > 0 {
+					b.WriteString("      from")
+					for _, s := range a.From {
+						b.WriteString(" " + s.String())
+					}
+					b.WriteString("\n")
+				}
+				if a.Using != "" {
+					fmt.Fprintf(&b, "      using %s()\n", a.Using)
+				}
+			}
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,186 @@
+package custlang
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/active"
+	"repro/internal/event"
+	"repro/internal/spec"
+)
+
+// This file is the directive-to-rule compiler: §3.4's mapping of a
+// customization directive into customization database rules — one schema
+// presentation rule per schema clause (triggered by Get_Schema), one class
+// presentation rule per class clause (Get_Class), and one instance
+// presentation rule per instances clause (Get_Value). The For clause becomes
+// the Condition of every generated rule.
+
+// Compiled pairs a normalized directive with its generated rules.
+type Compiled struct {
+	Directive Directive
+	Rules     []active.Rule
+}
+
+// RuleNames lists the generated rule names in order.
+func (c Compiled) RuleNames() []string {
+	out := make([]string, len(c.Rules))
+	for i, r := range c.Rules {
+		out[i] = r.Name
+	}
+	return out
+}
+
+// Compile analyzes and compiles one directive. The id disambiguates rule
+// names when several directives target the same context (callers typically
+// pass the directive's index within its source file).
+func (a *Analyzer) Compile(d Directive, id int) (Compiled, error) {
+	norm, err := a.Analyze(d)
+	if err != nil {
+		return Compiled{}, err
+	}
+	schemaName := a.DefaultSchema
+	if norm.Schema != nil {
+		schemaName = norm.Schema.Name
+	}
+	ctxTag := contextTag(norm.Context)
+	var rules []active.Rule
+
+	if norm.Schema != nil {
+		sc := *norm.Schema
+		classes := make([]string, len(norm.Classes))
+		for i, c := range norm.Classes {
+			classes[i] = c.Name
+		}
+		cust := spec.Customization{
+			Level: spec.LevelSchema,
+			Schema: spec.SchemaCust{
+				Schema:  sc.Name,
+				Display: sc.Display,
+				Widget:  sc.Widget,
+				Classes: classes,
+			},
+		}
+		rules = append(rules, active.Rule{
+			Name:    fmt.Sprintf("cust%d[%s]schema:%s", id, ctxTag, sc.Name),
+			Family:  active.FamilyCustomization,
+			On:      event.GetSchema,
+			Schema:  sc.Name,
+			Context: norm.Context,
+			Customize: func(event.Event) (spec.Customization, error) {
+				return cust, nil
+			},
+		})
+	}
+
+	for _, cc := range norm.Classes {
+		if cc.Control != "" || cc.Presentation != "" {
+			cust := spec.Customization{
+				Level: spec.LevelClass,
+				Class: spec.ClassCust{
+					Class:        cc.Name,
+					Control:      cc.Control,
+					Presentation: cc.Presentation,
+				},
+			}
+			rules = append(rules, active.Rule{
+				Name:    fmt.Sprintf("cust%d[%s]class:%s", id, ctxTag, cc.Name),
+				Family:  active.FamilyCustomization,
+				On:      event.GetClass,
+				Schema:  schemaName,
+				Class:   cc.Name,
+				Context: norm.Context,
+				Customize: func(event.Event) (spec.Customization, error) {
+					return cust, nil
+				},
+			})
+		}
+		if len(cc.Attrs) > 0 {
+			ic := spec.InstanceCust{Class: cc.Name}
+			for _, ac := range cc.Attrs {
+				ic.Attrs = append(ic.Attrs, spec.AttrCust{
+					Attr:   ac.Attr,
+					Null:   ac.Null,
+					Widget: ac.Widget,
+					From:   ac.From,
+					Using:  ac.Using,
+				})
+			}
+			cust := spec.Customization{Level: spec.LevelInstance, Instance: ic}
+			rules = append(rules, active.Rule{
+				Name:    fmt.Sprintf("cust%d[%s]instance:%s", id, ctxTag, cc.Name),
+				Family:  active.FamilyCustomization,
+				On:      event.GetValue,
+				Schema:  schemaName,
+				Class:   cc.Name,
+				Context: norm.Context,
+				Customize: func(event.Event) (spec.Customization, error) {
+					return cust, nil
+				},
+			})
+		}
+	}
+	return Compiled{Directive: norm, Rules: rules}, nil
+}
+
+// CompileSource parses, analyzes and compiles a whole source file.
+func (a *Analyzer) CompileSource(src string) ([]Compiled, error) {
+	ds, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Compiled, 0, len(ds))
+	for i, d := range ds {
+		c, err := a.Compile(d, i)
+		if err != nil {
+			return nil, fmt.Errorf("directive %d (line %d): %w", i, d.Line, err)
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+// Install compiles a source file and adds every generated rule to the
+// engine, returning the compiled units. On any error no rules are installed.
+func (a *Analyzer) Install(engine *active.Engine, src string) ([]Compiled, error) {
+	units, err := a.CompileSource(src)
+	if err != nil {
+		return nil, err
+	}
+	var installed []string
+	for _, u := range units {
+		for _, r := range u.Rules {
+			if err := engine.AddRule(r); err != nil {
+				for _, name := range installed {
+					_ = engine.RemoveRule(name)
+				}
+				return nil, err
+			}
+			installed = append(installed, r.Name)
+		}
+	}
+	return units, nil
+}
+
+func contextTag(c event.Context) string {
+	var parts []string
+	if c.User != "" {
+		parts = append(parts, "u="+c.User)
+	}
+	if c.Category != "" {
+		parts = append(parts, "c="+c.Category)
+	}
+	if c.Application != "" {
+		parts = append(parts, "a="+c.Application)
+	}
+	keys := make([]string, 0, len(c.Extra))
+	for k := range c.Extra {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		parts = append(parts, k+"="+c.Extra[k])
+	}
+	return strings.Join(parts, ",")
+}

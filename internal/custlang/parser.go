@@ -1,0 +1,359 @@
+package custlang
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/spec"
+)
+
+// ErrSyntax is wrapped by every parse failure.
+var ErrSyntax = errors.New("custlang: syntax error")
+
+// Parse parses a source file containing one or more customization
+// directives.
+func Parse(src string) ([]Directive, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrSyntax, err)
+	}
+	p := &parser{toks: toks}
+	var out []Directive
+	for !p.at(tokEOF) {
+		d, err := p.directive()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, d)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%w: empty input", ErrSyntax)
+	}
+	return out, nil
+}
+
+// ParseOne parses exactly one directive.
+func ParseOne(src string) (Directive, error) {
+	ds, err := Parse(src)
+	if err != nil {
+		return Directive{}, err
+	}
+	if len(ds) != 1 {
+		return Directive{}, fmt.Errorf("%w: expected one directive, found %d", ErrSyntax, len(ds))
+	}
+	return ds[0], nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) at(k tokenKind) bool {
+	return p.peek().kind == k
+}
+func (p *parser) atKeyword(kw string) bool { return isKeyword(p.peek(), kw) }
+
+func (p *parser) errf(t token, format string, args ...any) error {
+	return fmt.Errorf("%w: line %d:%d: %s", ErrSyntax, t.line, t.col, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	t := p.next()
+	if !isKeyword(t, kw) {
+		return p.errf(t, "expected %q, found %s", kw, t)
+	}
+	return nil
+}
+
+func (p *parser) ident(what string) (string, error) {
+	t := p.next()
+	if t.kind != tokIdent {
+		return "", p.errf(t, "expected %s, found %s", what, t)
+	}
+	return t.text, nil
+}
+
+// reserved words that terminate identifier runs (from-clauses, attr lists).
+var stopWords = map[string]bool{
+	"for": true, "schema": true, "class": true, "display": true,
+	"instances": true, "control": true, "presentation": true,
+	"from": true, "using": true, "user": true, "category": true,
+	"application": true, "attribute": true, "as": true, "where": true,
+}
+
+func isStopWord(t token) bool {
+	return t.kind != tokIdent || stopWords[strings.ToLower(t.text)]
+}
+
+func (p *parser) directive() (Directive, error) {
+	start := p.peek()
+	if err := p.expectKeyword("For"); err != nil {
+		return Directive{}, err
+	}
+	d := Directive{Line: start.line}
+	// Context parts, in any order, at least one.
+	parts := 0
+	for {
+		switch {
+		case p.atKeyword("user"):
+			p.next()
+			v, err := p.ident("user name")
+			if err != nil {
+				return d, err
+			}
+			if d.Context.User != "" {
+				return d, p.errf(p.peek(), "duplicate user clause")
+			}
+			d.Context.User = v
+		case p.atKeyword("category"):
+			p.next()
+			v, err := p.ident("category name")
+			if err != nil {
+				return d, err
+			}
+			if d.Context.Category != "" {
+				return d, p.errf(p.peek(), "duplicate category clause")
+			}
+			d.Context.Category = v
+		case p.atKeyword("application"):
+			p.next()
+			v, err := p.ident("application name")
+			if err != nil {
+				return d, err
+			}
+			if d.Context.Application != "" {
+				return d, p.errf(p.peek(), "duplicate application clause")
+			}
+			d.Context.Application = v
+		case p.atKeyword("where"):
+			// Extension beyond Figure 3: extra context dimensions, per the
+			// paper's note that context "can conceivably be extended to
+			// other contextual data (e.g., geographic scale, time
+			// framework)". Syntax: where <dimension> <value>.
+			p.next()
+			key, err := p.ident("context dimension")
+			if err != nil {
+				return d, err
+			}
+			val, err := p.ident("context value")
+			if err != nil {
+				return d, err
+			}
+			if d.Context.Extra == nil {
+				d.Context.Extra = map[string]string{}
+			}
+			if _, dup := d.Context.Extra[key]; dup {
+				return d, p.errf(p.peek(), "duplicate where clause for %q", key)
+			}
+			d.Context.Extra[key] = val
+		default:
+			if parts == 0 {
+				return d, p.errf(p.peek(),
+					"For clause needs at least one of user/category/application")
+			}
+			goto clauses
+		}
+		parts++
+	}
+clauses:
+	if p.atKeyword("schema") {
+		sc, err := p.schemaClause()
+		if err != nil {
+			return d, err
+		}
+		d.Schema = &sc
+	}
+	for p.atKeyword("class") {
+		cc, err := p.classClause()
+		if err != nil {
+			return d, err
+		}
+		d.Classes = append(d.Classes, cc)
+	}
+	if d.Schema == nil && len(d.Classes) == 0 {
+		return d, p.errf(p.peek(), "directive has no schema or class clause")
+	}
+	return d, nil
+}
+
+func (p *parser) schemaClause() (SchemaClause, error) {
+	p.next() // "schema"
+	var sc SchemaClause
+	name, err := p.ident("schema name")
+	if err != nil {
+		return sc, err
+	}
+	sc.Name = name
+	if err := p.expectKeyword("display"); err != nil {
+		return sc, err
+	}
+	if err := p.expectKeyword("as"); err != nil {
+		return sc, err
+	}
+	t := p.next()
+	if t.kind != tokIdent {
+		return sc, p.errf(t, "expected display mode, found %s", t)
+	}
+	mode, ok := spec.ParseSchemaDisplay(t.text)
+	if !ok {
+		return sc, p.errf(t, "unknown display mode %q (default, hierarchy, user-defined, Null)", t.text)
+	}
+	sc.Display = mode
+	if mode == spec.DisplayUserDefined {
+		w, err := p.ident("widget name after user-defined")
+		if err != nil {
+			return sc, err
+		}
+		sc.Widget = w
+	}
+	return sc, nil
+}
+
+func (p *parser) classClause() (ClassClause, error) {
+	p.next() // "class"
+	var cc ClassClause
+	name, err := p.ident("class name")
+	if err != nil {
+		return cc, err
+	}
+	cc.Name = name
+	if err := p.expectKeyword("display"); err != nil {
+		return cc, err
+	}
+	for {
+		switch {
+		case p.atKeyword("control"):
+			p.next()
+			if err := p.expectKeyword("as"); err != nil {
+				return cc, err
+			}
+			w, err := p.ident("control widget")
+			if err != nil {
+				return cc, err
+			}
+			if cc.Control != "" {
+				return cc, p.errf(p.peek(), "duplicate control clause for class %s", cc.Name)
+			}
+			cc.Control = w
+		case p.atKeyword("presentation"):
+			p.next()
+			if err := p.expectKeyword("as"); err != nil {
+				return cc, err
+			}
+			f, err := p.ident("presentation format")
+			if err != nil {
+				return cc, err
+			}
+			if cc.Presentation != "" {
+				return cc, p.errf(p.peek(), "duplicate presentation clause for class %s", cc.Name)
+			}
+			cc.Presentation = f
+		case p.atKeyword("instances"):
+			p.next()
+			for p.atKeyword("display") {
+				ac, err := p.attrClause()
+				if err != nil {
+					return cc, err
+				}
+				cc.Attrs = append(cc.Attrs, ac)
+			}
+			if len(cc.Attrs) == 0 {
+				return cc, p.errf(p.peek(), "instances clause without display attribute clauses")
+			}
+		default:
+			return cc, nil
+		}
+	}
+}
+
+func (p *parser) attrClause() (AttrClause, error) {
+	var ac AttrClause
+	p.next() // "display"
+	if err := p.expectKeyword("attribute"); err != nil {
+		return ac, err
+	}
+	attr, err := p.ident("attribute name")
+	if err != nil {
+		return ac, err
+	}
+	ac.Attr = attr
+	if err := p.expectKeyword("as"); err != nil {
+		return ac, err
+	}
+	t := p.next()
+	if t.kind != tokIdent {
+		return ac, p.errf(t, "expected widget name or Null, found %s", t)
+	}
+	if strings.EqualFold(t.text, "null") {
+		ac.Null = true
+		return ac, nil
+	}
+	ac.Widget = t.text
+	if p.atKeyword("from") {
+		p.next()
+		for !isStopWord(p.peek()) {
+			src, err := p.source()
+			if err != nil {
+				return ac, err
+			}
+			ac.From = append(ac.From, src)
+		}
+		if len(ac.From) == 0 {
+			return ac, p.errf(p.peek(), "from clause without sources")
+		}
+	}
+	if p.atKeyword("using") {
+		p.next()
+		cb, err := p.ident("callback name")
+		if err != nil {
+			return ac, err
+		}
+		ac.Using = cb
+		// Optional empty call parentheses, as the paper writes
+		// "composed_text.notify()".
+		if p.at(tokLParen) {
+			p.next()
+			if !p.at(tokRParen) {
+				return ac, p.errf(p.peek(), "callback reference takes no arguments")
+			}
+			p.next()
+		}
+	}
+	return ac, nil
+}
+
+// source parses "ident" or "ident(arg, arg)" (a method call).
+func (p *parser) source() (spec.AttrSource, error) {
+	name, err := p.ident("source")
+	if err != nil {
+		return spec.AttrSource{}, err
+	}
+	if !p.at(tokLParen) {
+		return spec.AttrSource{Attr: name}, nil
+	}
+	p.next() // '('
+	src := spec.AttrSource{Method: name}
+	if !p.at(tokRParen) {
+		for {
+			arg, err := p.ident("method argument")
+			if err != nil {
+				return src, err
+			}
+			src.Args = append(src.Args, arg)
+			if p.at(tokComma) {
+				p.next()
+				continue
+			}
+			break
+		}
+	}
+	t := p.next()
+	if t.kind != tokRParen {
+		return src, p.errf(t, "expected ')', found %s", t)
+	}
+	return src, nil
+}

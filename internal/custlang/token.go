@@ -1,0 +1,154 @@
+// Package custlang implements the customization language of §3.4 (Figure 3):
+// a declarative notation in which the application designer describes, per
+// context, how the generic interface is customized. The package provides the
+// lexer, parser, AST, semantic analysis against the database catalog and the
+// interface objects library, and the compiler producing active-database
+// customization rules — the compiler the paper lists as work in progress
+// ("we are now working on the implementation of the compiler for creating
+// rules from a declarative specification"), implemented here in full.
+//
+// The concrete syntax follows the paper's Figure 6 example:
+//
+//	For user juliano application pole_manager
+//	schema phone_net display as Null
+//	class Pole display
+//	  control as poleWidget
+//	  presentation as pointFormat
+//	  instances
+//	    display attribute pole_composition as composed_text
+//	      from pole.material pole.diameter pole.height
+//	      using composed_text.notify()
+//	    display attribute pole_supplier as text
+//	      from get_supplier_name(pole_supplier)
+//	    display attribute pole_location as Null
+package custlang
+
+import (
+	"fmt"
+	"strings"
+)
+
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokLParen
+	tokRParen
+	tokComma
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	line int
+	col  int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokComma:
+		return "','"
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+// lexer tokenizes a directive. Identifiers may contain letters, digits,
+// underscores, dots and hyphens (widget names like "user-defined" and
+// dotted paths like "pole.material" and "composed_text.notify" are single
+// tokens). '#' starts a comment running to end of line.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func isIdentByte(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' ||
+		c >= '0' && c <= '9' || c == '_' || c == '.' || c == '-' || c == ':'
+}
+
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.advance()
+		case c == '#':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.advance()
+			}
+		default:
+			goto body
+		}
+	}
+	return token{kind: tokEOF, line: l.line, col: l.col}, nil
+body:
+	line, col := l.line, l.col
+	c := l.src[l.pos]
+	switch {
+	case c == '(':
+		l.advance()
+		return token{kind: tokLParen, text: "(", line: line, col: col}, nil
+	case c == ')':
+		l.advance()
+		return token{kind: tokRParen, text: ")", line: line, col: col}, nil
+	case c == ',':
+		l.advance()
+		return token{kind: tokComma, text: ",", line: line, col: col}, nil
+	case isIdentByte(c):
+		start := l.pos
+		for l.pos < len(l.src) && isIdentByte(l.src[l.pos]) {
+			l.advance()
+		}
+		return token{kind: tokIdent, text: l.src[start:l.pos], line: line, col: col}, nil
+	default:
+		return token{}, fmt.Errorf("line %d:%d: unexpected character %q", line, col, string(c))
+	}
+}
+
+// lexAll tokenizes the entire input.
+func lexAll(src string) ([]token, error) {
+	l := newLexer(src)
+	var out []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.kind == tokEOF {
+			return out, nil
+		}
+	}
+}
+
+// keyword matching is case-insensitive for keywords while identifiers keep
+// their case.
+func isKeyword(t token, kw string) bool {
+	return t.kind == tokIdent && strings.EqualFold(t.text, kw)
+}

@@ -1,0 +1,271 @@
+// Package event defines the database event vocabulary shared by the
+// geographic DBMS (which emits events) and the active mechanism (which
+// intercepts them), plus the synchronous bus connecting the two.
+//
+// The paper treats a user interaction Ii as two components: an interface
+// event IEi (mouse click, key press — handled by callbacks in the uikit
+// package) and a database event DBEi. In the exploratory mode DBEi is one of
+// the primitives Get_Schema, Get_Class and Get_Value; update-capable modes
+// add the Pre/Post mutation events that the topological-constraint rules of
+// [11] hook. Every event carries the interaction context
+// <user, category, application> against which customization rule conditions
+// are evaluated.
+package event
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/catalog"
+)
+
+// Kind enumerates the database events the active mechanism can intercept.
+type Kind uint8
+
+// The event vocabulary.
+const (
+	// Connect fires when a user session attaches to a database.
+	Connect Kind = iota + 1
+	// GetSchema, GetClass and GetValue are the exploratory-mode retrieval
+	// primitives of §3.3.
+	GetSchema
+	GetClass
+	GetValue
+	// Mutation events, emitted around updates so constraint rules can veto
+	// (Pre*) or react (Post*).
+	PreInsert
+	PostInsert
+	PreUpdate
+	PostUpdate
+	PreDelete
+	PostDelete
+	// External represents an application-defined event (the paper notes
+	// events "may be internal to the database ... or external").
+	External
+)
+
+// String returns the paper's spelling of the event name.
+func (k Kind) String() string {
+	switch k {
+	case Connect:
+		return "Connect"
+	case GetSchema:
+		return "Get_Schema"
+	case GetClass:
+		return "Get_Class"
+	case GetValue:
+		return "Get_Value"
+	case PreInsert:
+		return "Pre_Insert"
+	case PostInsert:
+		return "Post_Insert"
+	case PreUpdate:
+		return "Pre_Update"
+	case PostUpdate:
+		return "Post_Update"
+	case PreDelete:
+		return "Pre_Delete"
+	case PostDelete:
+		return "Post_Delete"
+	case External:
+		return "External"
+	default:
+		return fmt.Sprintf("event.Kind(%d)", uint8(k))
+	}
+}
+
+// ParseKind resolves an event name (case-insensitive, underscore-tolerant)
+// to its Kind.
+func ParseKind(name string) (Kind, bool) {
+	switch strings.ToLower(strings.ReplaceAll(name, "_", "")) {
+	case "connect":
+		return Connect, true
+	case "getschema":
+		return GetSchema, true
+	case "getclass":
+		return GetClass, true
+	case "getvalue", "getinstance":
+		return GetValue, true
+	case "preinsert":
+		return PreInsert, true
+	case "postinsert":
+		return PostInsert, true
+	case "preupdate":
+		return PreUpdate, true
+	case "postupdate":
+		return PostUpdate, true
+	case "predelete":
+		return PreDelete, true
+	case "postdelete":
+		return PostDelete, true
+	case "external":
+		return External, true
+	default:
+		return 0, false
+	}
+}
+
+// Context describes the user working environment a rule condition checks.
+// The paper restricts context to <user class, application domain> to avoid
+// the exponential blow-up of full mental models, and notes it "can
+// conceivably be extended to other contextual data (e.g., geographic scale,
+// time framework)" — the Extra map carries those extensions.
+type Context struct {
+	// User is the individual user name (most specific).
+	User string
+	// Category is the user class/stereotype the application designer
+	// partitioned users into.
+	Category string
+	// Application is the application domain.
+	Application string
+	// Extra holds extended context dimensions such as "scale" or "epoch".
+	Extra map[string]string
+}
+
+// Specificity scores how restrictive the context is; the active mechanism
+// executes only the highest-priority (most specific) matching customization
+// rule. User outranks category, which outranks application, which outranks
+// each extra dimension; the weights make specificity a total order aligned
+// with the paper's example (generic users < category of users < particular
+// user within the category).
+func (c Context) Specificity() int {
+	s := 0
+	if c.User != "" {
+		s += 100
+	}
+	if c.Category != "" {
+		s += 10
+	}
+	if c.Application != "" {
+		s += 1
+	}
+	s += len(c.Extra)
+	return s
+}
+
+// Matches reports whether the concrete context cc falls within pattern c.
+// Empty pattern components are wildcards. Extra entries in the pattern must
+// all be present and equal in the concrete context.
+func (c Context) Matches(cc Context) bool {
+	if c.User != "" && c.User != cc.User {
+		return false
+	}
+	if c.Category != "" && c.Category != cc.Category {
+		return false
+	}
+	if c.Application != "" && c.Application != cc.Application {
+		return false
+	}
+	for k, v := range c.Extra {
+		if cc.Extra[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the context as the paper writes it: "<user, application>".
+func (c Context) String() string {
+	parts := []string{}
+	if c.User != "" {
+		parts = append(parts, c.User)
+	}
+	if c.Category != "" {
+		parts = append(parts, "category:"+c.Category)
+	}
+	if c.Application != "" {
+		parts = append(parts, c.Application)
+	}
+	for k, v := range c.Extra {
+		parts = append(parts, k+"="+v)
+	}
+	if len(parts) == 0 {
+		return "<*>"
+	}
+	return "<" + strings.Join(parts, ", ") + ">"
+}
+
+// Event is a database event flowing through the bus.
+type Event struct {
+	Kind   Kind
+	Schema string
+	Class  string
+	// Attr is set for attribute-scoped events (e.g. a Get_Value that a
+	// presentation rule customizes per attribute).
+	Attr string
+	// OID identifies the instance for instance-scoped events.
+	OID catalog.OID
+	// Ctx is the interaction context the event occurred in.
+	Ctx Context
+	// Old and New carry instance values for mutation events (Old for
+	// update/delete, New for insert/update), letting constraint rules
+	// inspect the transition without re-reading the database.
+	Old, New []catalog.Value
+	// Name distinguishes External events.
+	Name string
+}
+
+// String summarizes the event for traces (experiment F1 prints these).
+func (e Event) String() string {
+	var b strings.Builder
+	b.WriteString(e.Kind.String())
+	if e.Schema != "" {
+		fmt.Fprintf(&b, " schema=%s", e.Schema)
+	}
+	if e.Class != "" {
+		fmt.Fprintf(&b, " class=%s", e.Class)
+	}
+	if e.Attr != "" {
+		fmt.Fprintf(&b, " attr=%s", e.Attr)
+	}
+	if e.OID != 0 {
+		fmt.Fprintf(&b, " oid=%d", e.OID)
+	}
+	if e.Name != "" {
+		fmt.Fprintf(&b, " name=%s", e.Name)
+	}
+	fmt.Fprintf(&b, " ctx=%s", e.Ctx)
+	return b.String()
+}
+
+// Handler processes an event. Returning an error from a Pre* event vetoes
+// the mutation; errors from other events propagate to the emitter.
+type Handler interface {
+	HandleEvent(Event) error
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(Event) error
+
+// HandleEvent implements Handler.
+func (f HandlerFunc) HandleEvent(e Event) error { return f(e) }
+
+// Bus is a synchronous publish/subscribe dispatcher. Handlers run in
+// subscription order on the emitting goroutine; the first error aborts
+// dispatch and is returned to the emitter. Synchronous dispatch is what
+// gives the active mechanism its immediate (within-interaction) coupling:
+// the customization rule must run before the interface builder assembles
+// the window.
+type Bus struct {
+	handlers []Handler
+}
+
+// NewBus returns an empty bus.
+func NewBus() *Bus { return &Bus{} }
+
+// Subscribe registers a handler for all events. The active engine does its
+// own kind/context filtering; keeping the bus unfiltered matches the paper's
+// single interception point.
+func (b *Bus) Subscribe(h Handler) {
+	b.handlers = append(b.handlers, h)
+}
+
+// Emit dispatches the event to every handler in order.
+func (b *Bus) Emit(e Event) error {
+	for _, h := range b.handlers {
+		if err := h.HandleEvent(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,170 @@
+package event
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindStringAndParse(t *testing.T) {
+	kinds := []Kind{Connect, GetSchema, GetClass, GetValue,
+		PreInsert, PostInsert, PreUpdate, PostUpdate, PreDelete, PostDelete, External}
+	for _, k := range kinds {
+		got, ok := ParseKind(k.String())
+		if !ok || got != k {
+			t.Errorf("ParseKind(%q) = %v, %v", k.String(), got, ok)
+		}
+	}
+	if k, ok := ParseKind("get_instance"); !ok || k != GetValue {
+		t.Fatal("Get_Instance is the paper's alias for Get_Value")
+	}
+	if _, ok := ParseKind("bogus"); ok {
+		t.Fatal("unknown kind parsed")
+	}
+	if !strings.Contains(Kind(200).String(), "200") {
+		t.Fatal("unknown kind should stringify to diagnostic")
+	}
+}
+
+func TestContextSpecificityOrder(t *testing.T) {
+	// The paper's priority example: generic < category < particular user.
+	generic := Context{Application: "pole_manager"}
+	category := Context{Category: "planners", Application: "pole_manager"}
+	user := Context{User: "juliano", Application: "pole_manager"}
+	userCat := Context{User: "juliano", Category: "planners", Application: "pole_manager"}
+	if !(generic.Specificity() < category.Specificity()) {
+		t.Fatal("category must outrank application-only")
+	}
+	if !(category.Specificity() < user.Specificity()) {
+		t.Fatal("user must outrank category")
+	}
+	if !(user.Specificity() < userCat.Specificity()) {
+		t.Fatal("user+category must outrank user alone")
+	}
+	withExtra := Context{Application: "pole_manager", Extra: map[string]string{"scale": "1:500"}}
+	if !(generic.Specificity() < withExtra.Specificity()) {
+		t.Fatal("extra dimensions add specificity")
+	}
+	// Extra dimensions never outrank a structural component.
+	manyExtras := Context{Extra: map[string]string{"a": "1", "b": "2", "c": "3"}}
+	if manyExtras.Specificity() >= category.Specificity() {
+		t.Fatal("extras must not outrank category")
+	}
+}
+
+func TestContextMatches(t *testing.T) {
+	concrete := Context{User: "juliano", Category: "planners", Application: "pole_manager",
+		Extra: map[string]string{"scale": "1:500"}}
+	cases := []struct {
+		pattern Context
+		want    bool
+	}{
+		{Context{}, true},
+		{Context{User: "juliano"}, true},
+		{Context{User: "someone"}, false},
+		{Context{Category: "planners"}, true},
+		{Context{Category: "operators"}, false},
+		{Context{Application: "pole_manager"}, true},
+		{Context{User: "juliano", Application: "pole_manager"}, true},
+		{Context{User: "juliano", Application: "duct_manager"}, false},
+		{Context{Extra: map[string]string{"scale": "1:500"}}, true},
+		{Context{Extra: map[string]string{"scale": "1:1000"}}, false},
+		{Context{Extra: map[string]string{"epoch": "1997"}}, false},
+	}
+	for i, c := range cases {
+		if got := c.pattern.Matches(concrete); got != c.want {
+			t.Errorf("case %d: %s.Matches = %v, want %v", i, c.pattern, got, c.want)
+		}
+	}
+}
+
+func TestQuickEmptyPatternMatchesEverything(t *testing.T) {
+	f := func(user, cat, app string) bool {
+		return (Context{}).Matches(Context{User: user, Category: cat, Application: app})
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSelfMatch(t *testing.T) {
+	f := func(user, cat, app string) bool {
+		c := Context{User: user, Category: cat, Application: app}
+		return c.Matches(c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestContextString(t *testing.T) {
+	c := Context{User: "juliano", Application: "pole_manager"}
+	if got := c.String(); got != "<juliano, pole_manager>" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := (Context{}).String(); got != "<*>" {
+		t.Fatalf("wildcard String = %q", got)
+	}
+	if got := (Context{Category: "planners"}).String(); got != "<category:planners>" {
+		t.Fatalf("category String = %q", got)
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{Kind: GetSchema, Schema: "phone_net", Ctx: Context{User: "juliano"}}
+	s := e.String()
+	for _, want := range []string{"Get_Schema", "schema=phone_net", "juliano"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("event string %q missing %q", s, want)
+		}
+	}
+	e2 := Event{Kind: GetValue, Schema: "s", Class: "C", Attr: "a", OID: 9, Name: "n"}
+	s2 := e2.String()
+	for _, want := range []string{"class=C", "attr=a", "oid=9", "name=n"} {
+		if !strings.Contains(s2, want) {
+			t.Errorf("event string %q missing %q", s2, want)
+		}
+	}
+}
+
+func TestBusDispatchOrderAndAbort(t *testing.T) {
+	bus := NewBus()
+	var order []int
+	bus.Subscribe(HandlerFunc(func(e Event) error {
+		order = append(order, 1)
+		return nil
+	}))
+	sentinel := errors.New("veto")
+	bus.Subscribe(HandlerFunc(func(e Event) error {
+		order = append(order, 2)
+		if e.Kind == PreUpdate {
+			return sentinel
+		}
+		return nil
+	}))
+	bus.Subscribe(HandlerFunc(func(e Event) error {
+		order = append(order, 3)
+		return nil
+	}))
+	if err := bus.Emit(Event{Kind: GetSchema}); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 3 || order[0] != 1 || order[2] != 3 {
+		t.Fatalf("dispatch order = %v", order)
+	}
+	order = nil
+	err := bus.Emit(Event{Kind: PreUpdate})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("veto not propagated: %v", err)
+	}
+	if len(order) != 2 {
+		t.Fatalf("dispatch after veto = %v (handler 3 must not run)", order)
+	}
+}
+
+func TestEmptyBus(t *testing.T) {
+	if err := NewBus().Emit(Event{Kind: Connect}); err != nil {
+		t.Fatal(err)
+	}
+}

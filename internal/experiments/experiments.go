@@ -1,0 +1,118 @@
+// Package experiments implements the reproduction harness: one runnable
+// experiment per artifact of the paper's evaluation — Figures 1 through 7
+// reproduced behaviorally, plus the B1–B9 characterization benchmarks that
+// quantify the paper's qualitative claims (DESIGN.md §4 maps each to its
+// modules). cmd/gisbench is a thin CLI over this package, and the top-level
+// bench_test.go reuses its fixtures.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Experiment is one reproducible unit.
+type Experiment struct {
+	// ID is the experiment identifier (F1..F7, B1..B9).
+	ID string
+	// Title summarizes what the experiment reproduces.
+	Title string
+	// Paper cites the artifact in the paper.
+	Paper string
+	// Run executes the experiment, writing its report. quick reduces
+	// sizes for CI-speed runs.
+	Run func(w io.Writer, quick bool) error
+}
+
+// Registry returns every experiment, ordered F1..F7 then B1..B9.
+func Registry() []Experiment {
+	return []Experiment{
+		{"F1", "Architecture event flow", "Figure 1", RunF1},
+		{"F2", "Kernel classes of interface objects", "Figure 2", RunF2},
+		{"F3", "Customization language constructs", "Figure 3", RunF3},
+		{"F4", "Default interface windows", "Figure 4", RunF4},
+		{"F5", "Database schema for class Pole", "Figure 5", RunF5},
+		{"F6", "Customization script compiles to rules", "Figure 6", RunF6},
+		{"F7", "Customized interface windows", "Figure 7", RunF7},
+		{"B1", "Rule selection scalability", "§3.3 execution model", RunB1},
+		{"B2", "Window build latency: generic vs customized vs hardwired", "§3.5 transparency", RunB2},
+		{"B3", "Customization cost: language vs hardwired code", "§1/§5 cost claim", RunB3},
+		{"B4", "Interaction dispatch throughput", "§3.3 two-step events", RunB4},
+		{"B5", "Buffer pool hit ratio and policy", "§2.1 buffer management", RunB5},
+		{"B6", "Spatial window queries: R-tree vs scan", "§2.1 map display", RunB6},
+		{"B7", "Topological constraint enforcement", "[11]/§5", RunB7},
+		{"B8", "Integration styles: strong vs pipe vs TCP", "§3.5 weak integration", RunB8},
+		{"B9", "End-to-end browsing sessions", "§4 scenario", RunB9},
+	}
+}
+
+// Lookup finds an experiment by ID.
+func Lookup(id string) (Experiment, bool) {
+	for _, e := range Registry() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// table is a tiny fixed-width report writer.
+type table struct {
+	header []string
+	rows   [][]string
+}
+
+func newTable(cols ...string) *table { return &table{header: cols} }
+
+func (t *table) add(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		row[i] = fmt.Sprint(c)
+	}
+	t.rows = append(t.rows, row)
+}
+
+func (t *table) write(w io.Writer) {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				fmt.Fprint(w, "  ")
+			}
+			fmt.Fprintf(w, "%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w)
+	}
+	line(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		for j := 0; j < widths[i]; j++ {
+			sep[i] += "-"
+		}
+	}
+	line(sep)
+	for _, r := range t.rows {
+		line(r)
+	}
+}
+
+// sortedKeys returns map keys sorted, for deterministic reports.
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

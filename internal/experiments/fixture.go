@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/workload"
+)
+
+// Fixture is the standard experimental setup: a system holding the Section
+// 4 telephone network with the standard library, optionally with the Figure
+// 6 rules installed.
+type Fixture struct {
+	Sys *core.System
+	Net *workload.PhoneNet
+}
+
+// JulianoCtx is the customized context of Section 4.
+var JulianoCtx = event.Context{User: "juliano", Application: "pole_manager"}
+
+// MariaCtx is a generic user in the same application.
+var MariaCtx = event.Context{User: "maria", Application: "pole_manager"}
+
+// NewFixture builds the fixture at the given scale.
+func NewFixture(polesPerZone, zonesPerSide int, withRules bool) (*Fixture, error) {
+	lib, err := workload.StandardLibrary()
+	if err != nil {
+		return nil, err
+	}
+	sys, err := core.Open(core.Config{Name: "GEO", Library: lib})
+	if err != nil {
+		return nil, err
+	}
+	net, err := workload.BuildPhoneNet(sys.DB, workload.PhoneNetOptions{
+		Seed:         1997,
+		ZonesPerSide: zonesPerSide,
+		PolesPerZone: polesPerZone,
+	})
+	if err != nil {
+		sys.Close()
+		return nil, err
+	}
+	if withRules {
+		if _, err := sys.InstallDirectives(workload.Figure6Source); err != nil {
+			sys.Close()
+			return nil, err
+		}
+	}
+	return &Fixture{Sys: sys, Net: net}, nil
+}
+
+// MustFixture panics on fixture errors (benchmark setup).
+func MustFixture(polesPerZone, zonesPerSide int, withRules bool) *Fixture {
+	f, err := NewFixture(polesPerZone, zonesPerSide, withRules)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: fixture: %v", err))
+	}
+	return f
+}
+
+// Close releases the fixture.
+func (f *Fixture) Close() error { return f.Sys.Close() }

@@ -1,0 +1,118 @@
+package geodb
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/geom"
+)
+
+// Filter is a serializable predicate over instance attributes — the
+// analysis-mode query form ("the goal is to evaluate conditions, usually via
+// query predicates", §2.2). Unlike the arbitrary Go Predicate, a Filter
+// crosses the weak-integration protocol.
+type Filter struct {
+	// Attr is the attribute the filter tests. Dotted paths reach tuple
+	// fields ("pole_composition.pole_material").
+	Attr string
+	// Op is one of: eq, ne, lt, le, gt, ge, contains (text substring),
+	// intersects (geometry vs the filter value's geometry).
+	Op string
+	// Value is the comparison operand.
+	Value catalog.Value
+}
+
+// String renders the filter for traces.
+func (f Filter) String() string {
+	return fmt.Sprintf("%s %s %s", f.Attr, f.Op, f.Value)
+}
+
+// Eval applies the filter to an instance. Unknown attributes and
+// type-incompatible comparisons evaluate to false rather than erroring:
+// analysis queries are exploratory and a non-match is the useful answer.
+func (f Filter) Eval(in Instance) bool {
+	v, ok := lookupPath(in, f.Attr)
+	if !ok {
+		return false
+	}
+	switch f.Op {
+	case "eq":
+		return v.Equal(f.Value)
+	case "ne":
+		return !v.Equal(f.Value)
+	case "lt", "le", "gt", "ge":
+		a, aok := numeric(v)
+		b, bok := numeric(f.Value)
+		if !aok || !bok {
+			return false
+		}
+		switch f.Op {
+		case "lt":
+			return a < b
+		case "le":
+			return a <= b
+		case "gt":
+			return a > b
+		default:
+			return a >= b
+		}
+	case "contains":
+		return v.Kind == catalog.KindText && f.Value.Kind == catalog.KindText &&
+			strings.Contains(v.Text, f.Value.Text)
+	case "intersects":
+		if v.Kind != catalog.KindGeometry || f.Value.Kind != catalog.KindGeometry {
+			return false
+		}
+		return geom.Intersects(v.Geom, f.Value.Geom)
+	default:
+		return false
+	}
+}
+
+func numeric(v catalog.Value) (float64, bool) {
+	switch v.Kind {
+	case catalog.KindInteger:
+		return float64(v.Int), true
+	case catalog.KindFloat:
+		return v.Float, true
+	default:
+		return 0, false
+	}
+}
+
+func lookupPath(in Instance, path string) (catalog.Value, bool) {
+	attr, field, nested := strings.Cut(path, ".")
+	for i, a := range in.Attrs {
+		if a.Name != attr {
+			continue
+		}
+		v := in.Values[i]
+		if !nested {
+			return v, true
+		}
+		if a.Type.Kind != catalog.KindTuple || v.IsNull() {
+			return catalog.Value{}, false
+		}
+		for j, tf := range a.Type.Fields {
+			if tf.Name == field && j < len(v.Tuple) {
+				return v.Tuple[j], true
+			}
+		}
+		return catalog.Value{}, false
+	}
+	return catalog.Value{}, false
+}
+
+// SelectWhere materializes instances of the class satisfying every filter
+// (conjunction).
+func (db *DB) SelectWhere(schema, class string, filters []Filter) ([]Instance, error) {
+	return db.Select(schema, class, func(in Instance) bool {
+		for _, f := range filters {
+			if !f.Eval(in) {
+				return false
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,116 @@
+package geodb
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/geom"
+)
+
+func filterFixture(t testing.TB) (*DB, catalog.OID) {
+	t.Helper()
+	db := buildPhoneNet(t)
+	sup := insertSupplier(t, db, "ACME", "Campinas")
+	oid := insertPole(t, db, sup, 10, 20)
+	return db, oid
+}
+
+func TestFilterEvalOperators(t *testing.T) {
+	db, oid := filterFixture(t)
+	in, err := db.GetValue(testCtx, oid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		f    Filter
+		want bool
+	}{
+		// eq / ne on integers and text.
+		{Filter{Attr: "pole_type", Op: "eq", Value: catalog.IntVal(1)}, true},
+		{Filter{Attr: "pole_type", Op: "eq", Value: catalog.IntVal(2)}, false},
+		{Filter{Attr: "pole_type", Op: "ne", Value: catalog.IntVal(2)}, true},
+		{Filter{Attr: "pole_historic", Op: "eq", Value: catalog.TextVal("installed 1995")}, true},
+		// Ordering operators, int and mixed int/float.
+		{Filter{Attr: "pole_type", Op: "lt", Value: catalog.IntVal(2)}, true},
+		{Filter{Attr: "pole_type", Op: "le", Value: catalog.IntVal(1)}, true},
+		{Filter{Attr: "pole_type", Op: "gt", Value: catalog.IntVal(0)}, true},
+		{Filter{Attr: "pole_type", Op: "ge", Value: catalog.IntVal(2)}, false},
+		{Filter{Attr: "pole_type", Op: "lt", Value: catalog.FloatVal(1.5)}, true},
+		// Text containment.
+		{Filter{Attr: "pole_historic", Op: "contains", Value: catalog.TextVal("1995")}, true},
+		{Filter{Attr: "pole_historic", Op: "contains", Value: catalog.TextVal("2001")}, false},
+		// Spatial intersection.
+		{Filter{Attr: "pole_location", Op: "intersects", Value: catalog.GeomVal(geom.R(0, 0, 50, 50))}, true},
+		{Filter{Attr: "pole_location", Op: "intersects", Value: catalog.GeomVal(geom.R(100, 100, 200, 200))}, false},
+		// Dotted tuple paths.
+		{Filter{Attr: "pole_composition.pole_material", Op: "eq", Value: catalog.TextVal("wood")}, true},
+		{Filter{Attr: "pole_composition.pole_diameter", Op: "lt", Value: catalog.FloatVal(1)}, true},
+		{Filter{Attr: "pole_composition.pole_height", Op: "gt", Value: catalog.FloatVal(100)}, false},
+		// Non-matching shapes evaluate false, never error.
+		{Filter{Attr: "ghost", Op: "eq", Value: catalog.IntVal(1)}, false},
+		{Filter{Attr: "pole_type", Op: "unknown_op", Value: catalog.IntVal(1)}, false},
+		{Filter{Attr: "pole_historic", Op: "lt", Value: catalog.TextVal("zzz")}, false}, // non-numeric ordering
+		{Filter{Attr: "pole_type", Op: "contains", Value: catalog.TextVal("1")}, false}, // contains on int
+		{Filter{Attr: "pole_type", Op: "intersects", Value: catalog.GeomVal(geom.Pt(0, 0))}, false},
+		{Filter{Attr: "pole_type.sub", Op: "eq", Value: catalog.IntVal(1)}, false},          // dot into scalar
+		{Filter{Attr: "pole_composition.ghost", Op: "eq", Value: catalog.IntVal(1)}, false}, // missing field
+	}
+	for i, c := range cases {
+		if got := c.f.Eval(in); got != c.want {
+			t.Errorf("case %d (%s): Eval = %v, want %v", i, c.f, got, c.want)
+		}
+	}
+}
+
+func TestFilterString(t *testing.T) {
+	f := Filter{Attr: "pole_type", Op: "ge", Value: catalog.IntVal(2)}
+	if got := f.String(); got != "pole_type ge 2" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestSelectWhereConjunction(t *testing.T) {
+	db := buildPhoneNet(t)
+	sup := insertSupplier(t, db, "ACME", "SP")
+	for i := 0; i < 10; i++ {
+		if _, err := db.InsertMap(testCtx, "phone_net", "Pole", map[string]catalog.Value{
+			"pole_type":     catalog.IntVal(int64(i % 3)),
+			"pole_supplier": catalog.RefVal(sup),
+			"pole_location": catalog.GeomVal(geom.Pt(float64(i*10), 0)),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Conjunction: type==1 AND x within [0,50].
+	got, err := db.SelectWhere("phone_net", "Pole", []Filter{
+		{Attr: "pole_type", Op: "eq", Value: catalog.IntVal(1)},
+		{Attr: "pole_location", Op: "intersects", Value: catalog.GeomVal(geom.R(0, -1, 50, 1))},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 { // poles at x=10 and x=40 have type 1
+		names := []string{}
+		for _, in := range got {
+			v, _ := in.Get("pole_location")
+			names = append(names, v.String())
+		}
+		t.Fatalf("conjunction = %d rows (%s)", len(got), strings.Join(names, ", "))
+	}
+	// Empty filter list selects everything.
+	all, err := db.SelectWhere("phone_net", "Pole", nil)
+	if err != nil || len(all) != 10 {
+		t.Fatalf("no filters = %d, %v", len(all), err)
+	}
+}
+
+func TestDBAccessors(t *testing.T) {
+	db := buildPhoneNet(t)
+	if db.Name() != "GEO" {
+		t.Fatalf("name = %q", db.Name())
+	}
+	if db.Catalog() == nil || db.Pool() == nil {
+		t.Fatal("accessors")
+	}
+}

@@ -1,0 +1,520 @@
+// Package geodb implements the object-oriented geographic DBMS the paper's
+// interface architecture sits on: typed object instances stored in heap
+// files behind a buffer pool, R-tree spatial indexes over geometry
+// attributes, the exploratory retrieval primitives (Get_Schema, Get_Class,
+// Get_Value), predicate and spatial queries, registered methods, and —
+// centrally for this reproduction — emission of every database event onto a
+// bus the active mechanism intercepts.
+package geodb
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/catalog"
+	"repro/internal/event"
+	"repro/internal/geom"
+	"repro/internal/rtree"
+	"repro/internal/storage"
+)
+
+// Errors returned by database operations.
+var (
+	ErrNoInstance = errors.New("geodb: no such instance")
+	ErrNoMethod   = errors.New("geodb: no such method")
+	ErrVetoed     = errors.New("geodb: operation vetoed by rule")
+)
+
+// Options configures a database.
+type Options struct {
+	// Name identifies the database (the paper's example uses "GEO").
+	Name string
+	// PoolSize is the buffer pool capacity in pages; 0 means 256.
+	PoolSize int
+	// Policy selects the buffer replacement policy.
+	Policy storage.ReplacementPolicy
+	// Path, when non-empty, stores pages in a file; otherwise in memory.
+	Path string
+}
+
+type classKey struct {
+	schema, class string
+}
+
+type methodKey struct {
+	schema, class, method string
+}
+
+type instanceMeta struct {
+	rid    storage.RID
+	schema string
+	class  string
+}
+
+// MethodImpl is a registered method implementation. It receives the
+// database, the receiver instance and the call arguments.
+type MethodImpl func(db *DB, self Instance, args ...catalog.Value) (catalog.Value, error)
+
+// Instance is a materialized object: its identity, class and attribute
+// values in effective-attribute order.
+type Instance struct {
+	OID    catalog.OID
+	Schema string
+	Class  string
+	// Attrs lists the effective (inherited + own) attribute descriptors.
+	Attrs []catalog.Field
+	// Values holds one value per attribute, parallel to Attrs.
+	Values []catalog.Value
+}
+
+// Get returns the value of the named attribute.
+func (in Instance) Get(attr string) (catalog.Value, bool) {
+	for i, a := range in.Attrs {
+		if a.Name == attr {
+			return in.Values[i], true
+		}
+	}
+	return catalog.Value{}, false
+}
+
+// Geometry returns the instance's first geometry value, if any.
+func (in Instance) Geometry() (geom.Geometry, bool) {
+	for i, a := range in.Attrs {
+		if a.Type.Kind == catalog.KindGeometry && !in.Values[i].IsNull() {
+			return in.Values[i].Geom, in.Values[i].Geom != nil
+		}
+	}
+	return nil, false
+}
+
+// DB is an object-oriented geographic database. All exported methods are
+// safe for concurrent use: reads share an RWMutex; writes serialize.
+type DB struct {
+	name string
+	cat  *catalog.Catalog
+	bus  *event.Bus
+
+	mu        sync.RWMutex
+	heap      *storage.HeapFile
+	instances map[catalog.OID]instanceMeta
+	byClass   map[classKey][]catalog.OID
+	spatial   map[classKey]*rtree.Tree
+	methods   map[methodKey]MethodImpl
+	nextOID   catalog.OID
+	// catalogRID locates the reserved catalog snapshot record, once written.
+	catalogRID *storage.RID
+
+	// UseSpatialIndex can be disabled to force sequential scans; the B6
+	// experiment ablates it.
+	UseSpatialIndex bool
+}
+
+// Open creates a database with the given options.
+func Open(opts Options) (*DB, error) {
+	poolSize := opts.PoolSize
+	if poolSize == 0 {
+		poolSize = 256
+	}
+	var pager storage.Pager
+	if opts.Path != "" {
+		fp, err := storage.OpenFilePager(opts.Path)
+		if err != nil {
+			return nil, err
+		}
+		pager = fp
+	} else {
+		pager = storage.NewMemPager()
+	}
+	pool := storage.NewBufferPool(pager, poolSize, opts.Policy)
+	name := opts.Name
+	if name == "" {
+		name = "GEO"
+	}
+	db := &DB{
+		name:            name,
+		cat:             catalog.New(),
+		bus:             event.NewBus(),
+		heap:            storage.NewHeapFile(pool),
+		instances:       make(map[catalog.OID]instanceMeta),
+		byClass:         make(map[classKey][]catalog.OID),
+		spatial:         make(map[classKey]*rtree.Tree),
+		methods:         make(map[methodKey]MethodImpl),
+		UseSpatialIndex: true,
+	}
+	if pager.NumPages() > 0 {
+		// Reopening an existing file: rebuild catalog, directory, indexes.
+		if err := db.recover(); err != nil {
+			pool.Close()
+			return nil, err
+		}
+	}
+	return db, nil
+}
+
+// MustOpen is Open for tests and examples where options are known-good.
+func MustOpen(opts Options) *DB {
+	db, err := Open(opts)
+	if err != nil {
+		panic(err)
+	}
+	return db
+}
+
+// Name returns the database name.
+func (db *DB) Name() string { return db.name }
+
+// Catalog exposes the metadata layer.
+func (db *DB) Catalog() *catalog.Catalog { return db.cat }
+
+// Bus exposes the database event bus; the active mechanism subscribes here.
+func (db *DB) Bus() *event.Bus { return db.bus }
+
+// Pool exposes buffer pool statistics for the B5 experiment.
+func (db *DB) Pool() *storage.BufferPool { return db.heap.Pool() }
+
+// Close flushes and closes the underlying storage.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.heap.Pool().Close()
+}
+
+// DefineSchema creates a schema and persists the catalog.
+func (db *DB) DefineSchema(name string) error {
+	if _, err := db.cat.DefineSchema(name); err != nil {
+		return err
+	}
+	return db.persistCatalog()
+}
+
+// DefineClass adds a class to a schema and persists the catalog.
+func (db *DB) DefineClass(schema string, cls catalog.Class) error {
+	if err := db.cat.DefineClass(schema, cls); err != nil {
+		return err
+	}
+	return db.persistCatalog()
+}
+
+// RegisterMethod installs the implementation of a method declared in the
+// catalog. It fails if the class does not declare the method.
+func (db *DB) RegisterMethod(schema, class, method string, impl MethodImpl) error {
+	s, err := db.cat.Schema(schema)
+	if err != nil {
+		return err
+	}
+	methods, err := s.EffectiveMethods(class)
+	if err != nil {
+		return err
+	}
+	found := false
+	for _, m := range methods {
+		if m.Name == method {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return fmt.Errorf("%w: %s.%s.%s not declared", ErrNoMethod, schema, class, method)
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.methods[methodKey{schema, class, method}] = impl
+	return nil
+}
+
+// CallMethod invokes a registered method on an instance. Lookup walks the
+// inheritance chain so subclasses inherit implementations.
+func (db *DB) CallMethod(oid catalog.OID, method string, args ...catalog.Value) (catalog.Value, error) {
+	in, err := db.lookup(oid)
+	if err != nil {
+		return catalog.Value{}, err
+	}
+	s, err := db.cat.Schema(in.Schema)
+	if err != nil {
+		return catalog.Value{}, err
+	}
+	db.mu.RLock()
+	var impl MethodImpl
+	for class := in.Class; class != ""; {
+		if m, ok := db.methods[methodKey{in.Schema, class, method}]; ok {
+			impl = m
+			break
+		}
+		c, cerr := s.Class(class)
+		if cerr != nil {
+			break
+		}
+		class = c.Parent
+	}
+	db.mu.RUnlock()
+	if impl == nil {
+		return catalog.Value{}, fmt.Errorf("%w: %s on %s.%s", ErrNoMethod, method, in.Schema, in.Class)
+	}
+	return impl(db, in, args...)
+}
+
+// lookup materializes an instance without emitting events (internal use).
+func (db *DB) lookup(oid catalog.OID) (Instance, error) {
+	db.mu.RLock()
+	meta, ok := db.instances[oid]
+	db.mu.RUnlock()
+	if !ok {
+		return Instance{}, fmt.Errorf("%w: oid %d", ErrNoInstance, oid)
+	}
+	data, err := db.heap.Get(meta.rid)
+	if err != nil {
+		return Instance{}, fmt.Errorf("geodb: read instance %d: %w", oid, err)
+	}
+	tag, storedOID, storedSchema, storedClass, values, err := decodeEnvelope(data)
+	if err != nil {
+		return Instance{}, fmt.Errorf("geodb: decode instance %d: %w", oid, err)
+	}
+	if tag != recTagObject || storedOID != oid || storedSchema != meta.schema || storedClass != meta.class {
+		return Instance{}, fmt.Errorf("%w: record identity mismatch for oid %d (%d %s.%s)",
+			ErrCorrupt, oid, storedOID, storedSchema, storedClass)
+	}
+	s, err := db.cat.Schema(meta.schema)
+	if err != nil {
+		return Instance{}, err
+	}
+	attrs, err := s.EffectiveAttrs(meta.class)
+	if err != nil {
+		return Instance{}, err
+	}
+	if len(values) != len(attrs) {
+		return Instance{}, fmt.Errorf("geodb: instance %d has %d values for %d attributes",
+			oid, len(values), len(attrs))
+	}
+	return Instance{OID: oid, Schema: meta.schema, Class: meta.class, Attrs: attrs, Values: values}, nil
+}
+
+// typecheck validates values against the class's effective attributes and
+// returns the attribute descriptors.
+func (db *DB) typecheck(schema, class string, values []catalog.Value) ([]catalog.Field, error) {
+	s, err := db.cat.Schema(schema)
+	if err != nil {
+		return nil, err
+	}
+	attrs, err := s.EffectiveAttrs(class)
+	if err != nil {
+		return nil, err
+	}
+	if len(values) != len(attrs) {
+		return nil, fmt.Errorf("%w: %d values for %d attributes of %s.%s",
+			catalog.ErrTypeMismatch, len(values), len(attrs), schema, class)
+	}
+	for i, v := range values {
+		if err := v.Conforms(attrs[i].Type); err != nil {
+			return nil, fmt.Errorf("attribute %q: %w", attrs[i].Name, err)
+		}
+	}
+	return attrs, nil
+}
+
+// ValuesFromMap arranges a name→value map into effective-attribute order,
+// filling unnamed attributes with null. Unknown names are an error.
+func (db *DB) ValuesFromMap(schema, class string, m map[string]catalog.Value) ([]catalog.Value, error) {
+	s, err := db.cat.Schema(schema)
+	if err != nil {
+		return nil, err
+	}
+	attrs, err := s.EffectiveAttrs(class)
+	if err != nil {
+		return nil, err
+	}
+	index := make(map[string]int, len(attrs))
+	for i, a := range attrs {
+		index[a.Name] = i
+	}
+	values := make([]catalog.Value, len(attrs))
+	for name, v := range m {
+		i, ok := index[name]
+		if !ok {
+			return nil, fmt.Errorf("%w: attribute %q of %s.%s", catalog.ErrUnknown, name, schema, class)
+		}
+		values[i] = v
+	}
+	return values, nil
+}
+
+// Insert stores a new instance and returns its OID. Pre/Post insert events
+// are emitted; an error from a PreInsert handler vetoes the insert.
+func (db *DB) Insert(ctx event.Context, schema, class string, values []catalog.Value) (catalog.OID, error) {
+	attrs, err := db.typecheck(schema, class, values)
+	if err != nil {
+		return 0, err
+	}
+	pre := event.Event{Kind: event.PreInsert, Schema: schema, Class: class, Ctx: ctx, New: values}
+	if err := db.bus.Emit(pre); err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrVetoed, err)
+	}
+	db.mu.Lock()
+	db.nextOID++
+	oid := db.nextOID
+	data, err := encodeObjectRecord(oid, schema, class, values)
+	if err != nil {
+		db.nextOID--
+		db.mu.Unlock()
+		return 0, err
+	}
+	rid, err := db.heap.Insert(data)
+	if err != nil {
+		db.nextOID--
+		db.mu.Unlock()
+		return 0, err
+	}
+	key := classKey{schema, class}
+	db.instances[oid] = instanceMeta{rid: rid, schema: schema, class: class}
+	db.byClass[key] = append(db.byClass[key], oid)
+	if b, ok := geometryBounds(attrs, values); ok {
+		tree, found := db.spatial[key]
+		if !found {
+			tree = rtree.New()
+			db.spatial[key] = tree
+		}
+		tree.Insert(b, uint64(oid))
+	}
+	db.mu.Unlock()
+	post := event.Event{Kind: event.PostInsert, Schema: schema, Class: class, OID: oid, Ctx: ctx, New: values}
+	if err := db.bus.Emit(post); err != nil {
+		return oid, err
+	}
+	return oid, nil
+}
+
+// InsertMap is Insert with named values.
+func (db *DB) InsertMap(ctx event.Context, schema, class string, m map[string]catalog.Value) (catalog.OID, error) {
+	values, err := db.ValuesFromMap(schema, class, m)
+	if err != nil {
+		return 0, err
+	}
+	return db.Insert(ctx, schema, class, values)
+}
+
+// Update replaces the instance's values. PreUpdate handlers may veto (the
+// topological-constraint rules of [11] do exactly that).
+func (db *DB) Update(ctx event.Context, oid catalog.OID, values []catalog.Value) error {
+	old, err := db.lookup(oid)
+	if err != nil {
+		return err
+	}
+	attrs, err := db.typecheck(old.Schema, old.Class, values)
+	if err != nil {
+		return err
+	}
+	pre := event.Event{Kind: event.PreUpdate, Schema: old.Schema, Class: old.Class,
+		OID: oid, Ctx: ctx, Old: old.Values, New: values}
+	if err := db.bus.Emit(pre); err != nil {
+		return fmt.Errorf("%w: %v", ErrVetoed, err)
+	}
+	data, err := encodeObjectRecord(oid, old.Schema, old.Class, values)
+	if err != nil {
+		return err
+	}
+	db.mu.Lock()
+	meta := db.instances[oid]
+	if err := db.heap.Update(meta.rid, data); err != nil {
+		if !errors.Is(err, storage.ErrPageFull) {
+			db.mu.Unlock()
+			return err
+		}
+		// Record no longer fits on its page: relocate.
+		if err := db.heap.Delete(meta.rid); err != nil {
+			db.mu.Unlock()
+			return err
+		}
+		rid, err := db.heap.Insert(data)
+		if err != nil {
+			db.mu.Unlock()
+			return err
+		}
+		meta.rid = rid
+		db.instances[oid] = meta
+	}
+	key := classKey{old.Schema, old.Class}
+	if tree, ok := db.spatial[key]; ok {
+		if b, had := geometryBounds(old.Attrs, old.Values); had {
+			tree.Delete(b, uint64(oid))
+		}
+		if b, has := geometryBounds(attrs, values); has {
+			tree.Insert(b, uint64(oid))
+		}
+	} else if b, has := geometryBounds(attrs, values); has {
+		tree := rtree.New()
+		tree.Insert(b, uint64(oid))
+		db.spatial[key] = tree
+	}
+	db.mu.Unlock()
+	post := event.Event{Kind: event.PostUpdate, Schema: old.Schema, Class: old.Class,
+		OID: oid, Ctx: ctx, Old: old.Values, New: values}
+	return db.bus.Emit(post)
+}
+
+// UpdateAttr updates a single attribute by name.
+func (db *DB) UpdateAttr(ctx event.Context, oid catalog.OID, attr string, v catalog.Value) error {
+	in, err := db.lookup(oid)
+	if err != nil {
+		return err
+	}
+	values := make([]catalog.Value, len(in.Values))
+	copy(values, in.Values)
+	found := false
+	for i, a := range in.Attrs {
+		if a.Name == attr {
+			values[i] = v
+			found = true
+			break
+		}
+	}
+	if !found {
+		return fmt.Errorf("%w: attribute %q of %s.%s", catalog.ErrUnknown, attr, in.Schema, in.Class)
+	}
+	return db.Update(ctx, oid, values)
+}
+
+// Delete removes an instance. PreDelete handlers may veto.
+func (db *DB) Delete(ctx event.Context, oid catalog.OID) error {
+	old, err := db.lookup(oid)
+	if err != nil {
+		return err
+	}
+	pre := event.Event{Kind: event.PreDelete, Schema: old.Schema, Class: old.Class,
+		OID: oid, Ctx: ctx, Old: old.Values}
+	if err := db.bus.Emit(pre); err != nil {
+		return fmt.Errorf("%w: %v", ErrVetoed, err)
+	}
+	db.mu.Lock()
+	meta := db.instances[oid]
+	if err := db.heap.Delete(meta.rid); err != nil {
+		db.mu.Unlock()
+		return err
+	}
+	delete(db.instances, oid)
+	key := classKey{old.Schema, old.Class}
+	oids := db.byClass[key]
+	for i, o := range oids {
+		if o == oid {
+			db.byClass[key] = append(oids[:i], oids[i+1:]...)
+			break
+		}
+	}
+	if tree, ok := db.spatial[key]; ok {
+		if b, had := geometryBounds(old.Attrs, old.Values); had {
+			tree.Delete(b, uint64(oid))
+		}
+	}
+	db.mu.Unlock()
+	post := event.Event{Kind: event.PostDelete, Schema: old.Schema, Class: old.Class,
+		OID: oid, Ctx: ctx, Old: old.Values}
+	return db.bus.Emit(post)
+}
+
+func geometryBounds(attrs []catalog.Field, values []catalog.Value) (geom.Rect, bool) {
+	for i, a := range attrs {
+		if a.Type.Kind == catalog.KindGeometry && !values[i].IsNull() && values[i].Geom != nil {
+			return values[i].Geom.Bounds(), true
+		}
+	}
+	return geom.EmptyRect, false
+}

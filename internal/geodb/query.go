@@ -1,0 +1,322 @@
+package geodb
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/catalog"
+	"repro/internal/event"
+	"repro/internal/geom"
+)
+
+// This file implements the retrieval side of the database: the three
+// exploratory primitives of §3.3 (Get_Schema, Get_Class, Get_Value), each of
+// which emits its database event before returning data, plus the predicate
+// and spatial queries that the analysis interaction mode and the Class set
+// window's map display are built from.
+
+// SchemaInfo is the result of Get_Schema: the schema's class inventory.
+type SchemaInfo struct {
+	Name string
+	// Classes lists class names in declaration order.
+	Classes []string
+	// Parents maps each class to its superclass name ("" for roots); the
+	// Schema window's hierarchy display mode renders this.
+	Parents map[string]string
+}
+
+// ClassInfo is the result of Get_Class: class metadata plus its extension.
+type ClassInfo struct {
+	Schema string
+	Class  catalog.Class
+	// Attrs are the effective (inherited + own) attributes.
+	Attrs []catalog.Field
+	// OIDs is the class extension in insertion order.
+	OIDs []catalog.OID
+	// GeometryAttr names the spatial attribute shown in the presentation
+	// area, or "" when the class has none.
+	GeometryAttr string
+}
+
+// GetSchema implements the Get_Schema primitive: it emits the event (which
+// triggers schema presentation rules) and returns the schema inventory.
+func (db *DB) GetSchema(ctx event.Context, schema string) (SchemaInfo, error) {
+	s, err := db.cat.Schema(schema)
+	if err != nil {
+		return SchemaInfo{}, err
+	}
+	if err := db.bus.Emit(event.Event{Kind: event.GetSchema, Schema: schema, Ctx: ctx}); err != nil {
+		return SchemaInfo{}, err
+	}
+	info := SchemaInfo{Name: schema, Classes: s.Classes(), Parents: map[string]string{}}
+	for _, name := range info.Classes {
+		c, err := s.Class(name)
+		if err != nil {
+			return SchemaInfo{}, err
+		}
+		info.Parents[name] = c.Parent
+	}
+	return info, nil
+}
+
+// GetClass implements the Get_Class primitive.
+func (db *DB) GetClass(ctx event.Context, schema, class string) (ClassInfo, error) {
+	s, err := db.cat.Schema(schema)
+	if err != nil {
+		return ClassInfo{}, err
+	}
+	c, err := s.Class(class)
+	if err != nil {
+		return ClassInfo{}, err
+	}
+	if err := db.bus.Emit(event.Event{Kind: event.GetClass, Schema: schema, Class: class, Ctx: ctx}); err != nil {
+		return ClassInfo{}, err
+	}
+	attrs, err := s.EffectiveAttrs(class)
+	if err != nil {
+		return ClassInfo{}, err
+	}
+	db.mu.RLock()
+	oids := append([]catalog.OID(nil), db.byClass[classKey{schema, class}]...)
+	db.mu.RUnlock()
+	info := ClassInfo{Schema: schema, Class: *c, Attrs: attrs, OIDs: oids}
+	for _, a := range attrs {
+		if a.Type.Kind == catalog.KindGeometry {
+			info.GeometryAttr = a.Name
+			break
+		}
+	}
+	return info, nil
+}
+
+// GetValue implements the Get_Value primitive: it emits the event and
+// materializes the instance.
+func (db *DB) GetValue(ctx event.Context, oid catalog.OID) (Instance, error) {
+	in, err := db.lookup(oid)
+	if err != nil {
+		return Instance{}, err
+	}
+	e := event.Event{Kind: event.GetValue, Schema: in.Schema, Class: in.Class, OID: oid, Ctx: ctx}
+	if err := db.bus.Emit(e); err != nil {
+		return Instance{}, err
+	}
+	return in, nil
+}
+
+// Connect announces a session attach (the paper's example: "when the user
+// connects to the application, an event Get_Schema is generated" — the
+// Connect event precedes it and lets rules prepare session state).
+func (db *DB) Connect(ctx event.Context) error {
+	return db.bus.Emit(event.Event{Kind: event.Connect, Schema: db.name, Ctx: ctx})
+}
+
+// Predicate filters instances in Select.
+type Predicate func(Instance) bool
+
+// Select materializes every instance of the class satisfying pred, in
+// insertion order. A nil pred selects the whole extension. This is the
+// analysis-mode query path; it does not emit exploratory events.
+func (db *DB) Select(schema, class string, pred Predicate) ([]Instance, error) {
+	db.mu.RLock()
+	oids := append([]catalog.OID(nil), db.byClass[classKey{schema, class}]...)
+	db.mu.RUnlock()
+	out := make([]Instance, 0, len(oids))
+	for _, oid := range oids {
+		in, err := db.lookup(oid)
+		if err != nil {
+			return nil, err
+		}
+		if pred == nil || pred(in) {
+			out = append(out, in)
+		}
+	}
+	return out, nil
+}
+
+// Count returns the extension size of a class.
+func (db *DB) Count(schema, class string) int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.byClass[classKey{schema, class}])
+}
+
+// Window returns the OIDs of class instances whose geometry bounds intersect
+// the window rectangle — the query behind every map display. It uses the
+// R-tree unless UseSpatialIndex is false (B6 ablates this), in which case it
+// scans the extension.
+func (db *DB) Window(schema, class string, window geom.Rect) ([]catalog.OID, error) {
+	if db.UseSpatialIndex {
+		db.mu.RLock()
+		tree, ok := db.spatial[classKey{schema, class}]
+		var ids []uint64
+		if ok {
+			ids = tree.Search(window, nil)
+		}
+		db.mu.RUnlock()
+		oids := make([]catalog.OID, len(ids))
+		for i, id := range ids {
+			oids[i] = catalog.OID(id)
+		}
+		return oids, nil
+	}
+	return db.windowScan(schema, class, window)
+}
+
+// windowScan is the sequential-scan baseline for B6.
+func (db *DB) windowScan(schema, class string, window geom.Rect) ([]catalog.OID, error) {
+	instances, err := db.Select(schema, class, nil)
+	if err != nil {
+		return nil, err
+	}
+	var oids []catalog.OID
+	for _, in := range instances {
+		if g, ok := in.Geometry(); ok && g.Bounds().Intersects(window) {
+			oids = append(oids, in.OID)
+		}
+	}
+	return oids, nil
+}
+
+// InstancesInWindow materializes the class instances whose geometry bounds
+// intersect the viewport, in OID order — what a zoomed or panned map
+// displays without touching the rest of the extension.
+func (db *DB) InstancesInWindow(schema, class string, window geom.Rect) ([]Instance, error) {
+	oids, err := db.Window(schema, class, window)
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(oids, func(i, j int) bool { return oids[i] < oids[j] })
+	out := make([]Instance, 0, len(oids))
+	for _, oid := range oids {
+		in, err := db.lookup(oid)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, in)
+	}
+	return out, nil
+}
+
+// WindowExact refines Window with the exact geometry predicate: the window
+// rectangle must intersect the geometry itself, not only its bounds.
+func (db *DB) WindowExact(schema, class string, window geom.Rect) ([]catalog.OID, error) {
+	cands, err := db.Window(schema, class, window)
+	if err != nil {
+		return nil, err
+	}
+	var out []catalog.OID
+	for _, oid := range cands {
+		in, err := db.lookup(oid)
+		if err != nil {
+			return nil, err
+		}
+		if g, ok := in.Geometry(); ok && geom.Intersects(g, window) {
+			out = append(out, oid)
+		}
+	}
+	return out, nil
+}
+
+// Nearest returns the k instances of the class nearest to p, closest first.
+func (db *DB) Nearest(schema, class string, p geom.Point, k int) ([]catalog.OID, error) {
+	db.mu.RLock()
+	tree, ok := db.spatial[classKey{schema, class}]
+	var ids []uint64
+	if ok {
+		ids = tree.Nearest(p, k)
+	}
+	db.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: class %s.%s has no spatial data", catalog.ErrUnknown, schema, class)
+	}
+	oids := make([]catalog.OID, len(ids))
+	for i, id := range ids {
+		oids[i] = catalog.OID(id)
+	}
+	return oids, nil
+}
+
+// RelateQuery returns instances of the class whose geometry stands in the
+// given topological relation to the probe polygon (bounding-box prefilter
+// through the R-tree, exact polygon relation after). It powers both the
+// analysis mode and the topological-constraint subsystem.
+func (db *DB) RelateQuery(schema, class string, probe geom.Polygon, rel geom.Relation) ([]catalog.OID, error) {
+	// Disjoint cannot be prefiltered by the index; fall back to scanning.
+	var cands []catalog.OID
+	var err error
+	if rel == geom.Disjoint {
+		instances, serr := db.Select(schema, class, nil)
+		if serr != nil {
+			return nil, serr
+		}
+		for _, in := range instances {
+			cands = append(cands, in.OID)
+		}
+	} else {
+		cands, err = db.Window(schema, class, probe.Bounds())
+		if err != nil {
+			return nil, err
+		}
+	}
+	var out []catalog.OID
+	for _, oid := range cands {
+		in, err := db.lookup(oid)
+		if err != nil {
+			return nil, err
+		}
+		g, ok := in.Geometry()
+		if !ok {
+			continue
+		}
+		var got geom.Relation
+		switch gg := g.(type) {
+		case geom.Polygon:
+			got = geom.Relate(gg, probe)
+		case geom.Rect:
+			got = geom.Relate(gg.AsPolygon(), probe)
+		case geom.Point:
+			// Points only admit disjoint/inside/meet vs a region.
+			switch geom.PointInPolygon(gg, probe) {
+			case 1:
+				got = geom.Inside
+			case 0:
+				got = geom.Meet
+			default:
+				got = geom.Disjoint
+			}
+		default:
+			// Lines: approximate with intersects → overlap, else disjoint.
+			if geom.Intersects(g, probe) {
+				got = geom.Overlap
+			} else {
+				got = geom.Disjoint
+			}
+		}
+		if got == rel {
+			out = append(out, oid)
+		}
+	}
+	return out, nil
+}
+
+// Stats summarizes the database for dashboards and the gisbench report.
+type Stats struct {
+	Schemas   int
+	Instances int
+	Pages     uint32
+	PoolHit   float64
+}
+
+// Stats returns a snapshot.
+func (db *DB) Stats() Stats {
+	db.mu.RLock()
+	n := len(db.instances)
+	db.mu.RUnlock()
+	ps := db.heap.Pool().Stats()
+	return Stats{
+		Schemas:   len(db.cat.Schemas()),
+		Instances: n,
+		Pages:     db.heap.Pool().NumPages(),
+		PoolHit:   ps.HitRatio(),
+	}
+}

@@ -1,0 +1,138 @@
+package geom
+
+import "sort"
+
+// This file provides the geometric generalization utilities the rendering
+// layer uses at coarse display scales. The paper deliberately excludes
+// cartographic generalization from its contribution ("open problems, such as
+// cartographic generalization, for which satisfactory solutions do not
+// exist") — these are the standard supporting algorithms, not a solution to
+// that open problem: convex hulls for aggregate display and Douglas–Peucker
+// line simplification for scale-dependent rendering.
+
+// ConvexHull returns the convex hull of the points as a counter-clockwise
+// ring (Andrew's monotone chain). Degenerate inputs return what they can:
+// fewer than 3 distinct points yield a ring with that many vertices.
+func ConvexHull(points []Point) Ring {
+	if len(points) == 0 {
+		return nil
+	}
+	pts := append([]Point(nil), points...)
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].X != pts[j].X {
+			return pts[i].X < pts[j].X
+		}
+		return pts[i].Y < pts[j].Y
+	})
+	// Deduplicate.
+	uniq := pts[:1]
+	for _, p := range pts[1:] {
+		if !p.Equal(uniq[len(uniq)-1]) {
+			uniq = append(uniq, p)
+		}
+	}
+	pts = uniq
+	if len(pts) < 3 {
+		return Ring(pts)
+	}
+	var lower, upper []Point
+	for _, p := range pts {
+		for len(lower) >= 2 && Orient(lower[len(lower)-2], lower[len(lower)-1], p) <= 0 {
+			lower = lower[:len(lower)-1]
+		}
+		lower = append(lower, p)
+	}
+	for i := len(pts) - 1; i >= 0; i-- {
+		p := pts[i]
+		for len(upper) >= 2 && Orient(upper[len(upper)-2], upper[len(upper)-1], p) <= 0 {
+			upper = upper[:len(upper)-1]
+		}
+		upper = append(upper, p)
+	}
+	hull := append(lower[:len(lower)-1], upper[:len(upper)-1]...)
+	if len(hull) < 3 {
+		// All collinear: the chain collapses; return the extremes.
+		return Ring{pts[0], pts[len(pts)-1]}
+	}
+	return Ring(hull)
+}
+
+// Simplify reduces a polyline with the Douglas–Peucker algorithm: the
+// result deviates from the original by at most tolerance. Endpoints are
+// always kept; a non-positive tolerance returns a copy.
+func Simplify(line LineString, tolerance float64) LineString {
+	if len(line) <= 2 || tolerance <= 0 {
+		return append(LineString(nil), line...)
+	}
+	keep := make([]bool, len(line))
+	keep[0], keep[len(line)-1] = true, true
+	douglasPeucker(line, 0, len(line)-1, tolerance, keep)
+	out := make(LineString, 0, len(line))
+	for i, k := range keep {
+		if k {
+			out = append(out, line[i])
+		}
+	}
+	return out
+}
+
+func douglasPeucker(line LineString, first, last int, tolerance float64, keep []bool) {
+	if last-first < 2 {
+		return
+	}
+	seg := Segment{line[first], line[last]}
+	maxDist, maxIdx := 0.0, -1
+	for i := first + 1; i < last; i++ {
+		if d := seg.DistanceToPoint(line[i]); d > maxDist {
+			maxDist, maxIdx = d, i
+		}
+	}
+	if maxDist > tolerance {
+		keep[maxIdx] = true
+		douglasPeucker(line, first, maxIdx, tolerance, keep)
+		douglasPeucker(line, maxIdx, last, tolerance, keep)
+	}
+}
+
+// SimplifyRing applies Douglas–Peucker to a closed ring, keeping at least a
+// triangle. The ring is treated as the closed polyline r[0]..r[n-1]..r[0].
+func SimplifyRing(r Ring, tolerance float64) Ring {
+	if len(r) <= 3 || tolerance <= 0 {
+		return append(Ring(nil), r...)
+	}
+	closed := make(LineString, 0, len(r)+1)
+	closed = append(closed, r...)
+	closed = append(closed, r[0])
+	simplified := Simplify(closed, tolerance)
+	out := Ring(simplified[:len(simplified)-1])
+	if len(out) < 3 {
+		// Over-simplified: fall back to the bounding triangle of extremes.
+		return append(Ring(nil), r[:3]...)
+	}
+	return out
+}
+
+// Generalize returns a scale-appropriate version of a geometry: polylines
+// and polygon rings are simplified with the tolerance; points and rects
+// pass through. The result never aliases the input.
+func Generalize(g Geometry, tolerance float64) Geometry {
+	switch gg := g.(type) {
+	case LineString:
+		return Simplify(gg, tolerance)
+	case Polygon:
+		out := Polygon{Outer: SimplifyRing(gg.Outer, tolerance)}
+		for _, h := range gg.Holes {
+			sh := SimplifyRing(h, tolerance)
+			// Drop holes that generalized away (smaller than tolerance²).
+			if pgArea := (Polygon{Outer: sh}).Area(); pgArea > tolerance*tolerance {
+				out.Holes = append(out.Holes, sh)
+			}
+		}
+		return out
+	default:
+		if g == nil {
+			return nil
+		}
+		return g.Clone()
+	}
+}

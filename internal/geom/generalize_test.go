@@ -1,0 +1,191 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestConvexHullSquare(t *testing.T) {
+	pts := []Point{
+		Pt(0, 0), Pt(4, 0), Pt(4, 4), Pt(0, 4), // corners
+		Pt(2, 2), Pt(1, 3), Pt(3, 1), // interior
+		Pt(2, 0), Pt(4, 2), // edge points
+	}
+	hull := ConvexHull(pts)
+	if len(hull) != 4 {
+		t.Fatalf("hull = %v", hull)
+	}
+	if a := hull.Area(); a != 16 {
+		t.Fatalf("hull area = %v (must be CCW, 16)", a)
+	}
+	// Every input point inside or on the hull.
+	pg := Polygon{Outer: hull}
+	for _, p := range pts {
+		if PointInPolygon(p, pg) < 0 {
+			t.Fatalf("point %v outside hull", p)
+		}
+	}
+}
+
+func TestConvexHullDegenerate(t *testing.T) {
+	if h := ConvexHull(nil); h != nil {
+		t.Fatalf("empty hull = %v", h)
+	}
+	if h := ConvexHull([]Point{Pt(1, 1)}); len(h) != 1 {
+		t.Fatalf("single-point hull = %v", h)
+	}
+	if h := ConvexHull([]Point{Pt(1, 1), Pt(1, 1), Pt(1, 1)}); len(h) != 1 {
+		t.Fatalf("duplicate-point hull = %v", h)
+	}
+	if h := ConvexHull([]Point{Pt(0, 0), Pt(2, 2), Pt(1, 1), Pt(3, 3)}); len(h) != 2 {
+		t.Fatalf("collinear hull = %v", h)
+	}
+}
+
+func TestConvexHullRandomContainsAll(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 30; trial++ {
+		n := 3 + rng.Intn(80)
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Pt(rng.Float64()*100, rng.Float64()*100)
+		}
+		hull := ConvexHull(pts)
+		if len(hull) < 3 {
+			t.Fatalf("trial %d: degenerate hull from %d random points", trial, n)
+		}
+		if hull.Area() <= 0 {
+			t.Fatalf("trial %d: hull not CCW (area %v)", trial, hull.Area())
+		}
+		pg := Polygon{Outer: hull}
+		for _, p := range pts {
+			if PointInPolygon(p, pg) < 0 {
+				t.Fatalf("trial %d: point %v escapes hull", trial, p)
+			}
+		}
+		// Convexity: every triple turns left or straight.
+		for i := 0; i < len(hull); i++ {
+			a, b, c := hull[i], hull[(i+1)%len(hull)], hull[(i+2)%len(hull)]
+			if Orient(a, b, c) < 0 {
+				t.Fatalf("trial %d: reflex vertex at %d", trial, i)
+			}
+		}
+	}
+}
+
+func TestSimplifyStraightRuns(t *testing.T) {
+	// Collinear middle points vanish at any positive tolerance.
+	line := LineString{Pt(0, 0), Pt(1, 0), Pt(2, 0), Pt(3, 0), Pt(4, 0)}
+	got := Simplify(line, 0.01)
+	if len(got) != 2 || !got[0].Equal(Pt(0, 0)) || !got[1].Equal(Pt(4, 0)) {
+		t.Fatalf("simplified = %v", got)
+	}
+	// Zero tolerance copies.
+	same := Simplify(line, 0)
+	if len(same) != len(line) {
+		t.Fatalf("zero tolerance = %v", same)
+	}
+	// The copy does not alias.
+	same[0] = Pt(99, 99)
+	if line[0].X == 99 {
+		t.Fatal("Simplify aliases its input")
+	}
+}
+
+func TestSimplifyKeepsSalientVertices(t *testing.T) {
+	// A zigzag with one large spike: small tolerance keeps the spike.
+	line := LineString{Pt(0, 0), Pt(1, 0.1), Pt(2, -0.1), Pt(3, 5), Pt(4, 0.1), Pt(5, 0)}
+	got := Simplify(line, 0.5)
+	spikeKept := false
+	for _, p := range got {
+		if p.Equal(Pt(3, 5)) {
+			spikeKept = true
+		}
+	}
+	if !spikeKept {
+		t.Fatalf("spike dropped: %v", got)
+	}
+	if len(got) >= len(line) {
+		t.Fatalf("nothing simplified: %v", got)
+	}
+}
+
+func TestSimplifyErrorBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 20; trial++ {
+		line := make(LineString, 60)
+		x := 0.0
+		for i := range line {
+			x += rng.Float64()
+			line[i] = Pt(x, math.Sin(x)*10+rng.Float64())
+		}
+		tol := 0.5 + rng.Float64()
+		got := Simplify(line, tol)
+		if len(got) < 2 || !got[0].Equal(line[0]) || !got[len(got)-1].Equal(line[len(line)-1]) {
+			t.Fatalf("endpoints not preserved")
+		}
+		// Every original vertex within tolerance of the simplified chain.
+		for _, p := range line {
+			best := math.Inf(1)
+			for i := 1; i < len(got); i++ {
+				if d := (Segment{got[i-1], got[i]}).DistanceToPoint(p); d < best {
+					best = d
+				}
+			}
+			if best > tol+1e-9 {
+				t.Fatalf("trial %d: vertex %v deviates %v > %v", trial, p, best, tol)
+			}
+		}
+	}
+}
+
+func TestSimplifyRing(t *testing.T) {
+	// A square with redundant edge vertices.
+	r := Ring{Pt(0, 0), Pt(2, 0), Pt(4, 0), Pt(4, 4), Pt(2, 4), Pt(0, 4)}
+	got := SimplifyRing(r, 0.1)
+	if len(got) != 4 {
+		t.Fatalf("simplified ring = %v", got)
+	}
+	// Tiny ring stays a ring.
+	tri := Ring{Pt(0, 0), Pt(1, 0), Pt(0, 1)}
+	if got := SimplifyRing(tri, 10); len(got) != 3 {
+		t.Fatalf("triangle = %v", got)
+	}
+	// Over-simplification falls back to something valid.
+	small := Ring{Pt(0, 0), Pt(0.1, 0), Pt(0.1, 0.1), Pt(0, 0.1), Pt(-0.05, 0.05)}
+	if got := SimplifyRing(small, 100); len(got) < 3 {
+		t.Fatalf("over-simplified ring = %v", got)
+	}
+}
+
+func TestGeneralize(t *testing.T) {
+	line := LineString{Pt(0, 0), Pt(1, 0.01), Pt(2, 0)}
+	if got := Generalize(line, 0.5).(LineString); len(got) != 2 {
+		t.Fatalf("line generalization = %v", got)
+	}
+	pg := Polygon{
+		Outer: Ring{Pt(0, 0), Pt(5, 0.01), Pt(10, 0), Pt(10, 10), Pt(0, 10)},
+		Holes: []Ring{
+			{Pt(4, 4), Pt(6, 4), Pt(6, 6), Pt(4, 6)},             // survives
+			{Pt(1, 1), Pt(1.01, 1), Pt(1.01, 1.01), Pt(1, 1.01)}, // vanishes
+		},
+	}
+	got := Generalize(pg, 0.5).(Polygon)
+	if len(got.Outer) != 4 {
+		t.Fatalf("outer = %v", got.Outer)
+	}
+	if len(got.Holes) != 1 {
+		t.Fatalf("holes = %d", len(got.Holes))
+	}
+	// Points and rects pass through unchanged.
+	if got := Generalize(Pt(1, 2), 1); got.WKT() != "POINT (1 2)" {
+		t.Fatal("point generalization")
+	}
+	if got := Generalize(R(0, 0, 1, 1), 1); got.Bounds() != R(0, 0, 1, 1) {
+		t.Fatal("rect generalization")
+	}
+	if Generalize(nil, 1) != nil {
+		t.Fatal("nil generalization")
+	}
+}

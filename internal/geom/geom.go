@@ -1,0 +1,497 @@
+// Package geom provides the spatial types and predicates used by the
+// geographic DBMS substrate: points, rectangles, polylines and polygons,
+// together with distance computations, set predicates, a WKT codec, and the
+// Egenhofer binary topological relations that the topological-constraint
+// subsystem (internal/topo) enforces through active rules.
+//
+// All coordinates are planar float64 pairs; the package performs no datum or
+// projection handling. Geometries are immutable by convention: methods never
+// mutate their receiver, and callers that need to modify a geometry should
+// Clone it first.
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Type identifies the concrete kind of a Geometry.
+type Type uint8
+
+// Geometry kinds understood by the package.
+const (
+	TypePoint Type = iota + 1
+	TypeMultiPoint
+	TypeLineString
+	TypePolygon
+	TypeRect
+)
+
+// String returns the WKT-style name for the type.
+func (t Type) String() string {
+	switch t {
+	case TypePoint:
+		return "POINT"
+	case TypeMultiPoint:
+		return "MULTIPOINT"
+	case TypeLineString:
+		return "LINESTRING"
+	case TypePolygon:
+		return "POLYGON"
+	case TypeRect:
+		return "RECT"
+	default:
+		return fmt.Sprintf("geom.Type(%d)", uint8(t))
+	}
+}
+
+// Geometry is the interface satisfied by every spatial value stored in the
+// geographic database.
+type Geometry interface {
+	// GeomType reports the concrete kind of the geometry.
+	GeomType() Type
+	// Bounds returns the minimal axis-aligned rectangle covering the
+	// geometry. For an empty geometry it returns EmptyRect.
+	Bounds() Rect
+	// WKT renders the geometry in Well-Known Text.
+	WKT() string
+	// Clone returns a deep copy that shares no mutable state with the
+	// receiver.
+	Clone() Geometry
+	// Empty reports whether the geometry has no coordinates.
+	Empty() bool
+}
+
+// Point is a single planar location.
+type Point struct {
+	X, Y float64
+}
+
+// Pt is shorthand for Point{x, y}.
+func Pt(x, y float64) Point { return Point{X: x, Y: y} }
+
+// GeomType implements Geometry.
+func (p Point) GeomType() Type { return TypePoint }
+
+// Bounds implements Geometry; a point's bounds is the degenerate rectangle
+// at the point itself.
+func (p Point) Bounds() Rect { return Rect{Min: p, Max: p} }
+
+// WKT implements Geometry.
+func (p Point) WKT() string { return fmt.Sprintf("POINT (%s %s)", fmtCoord(p.X), fmtCoord(p.Y)) }
+
+// Clone implements Geometry.
+func (p Point) Clone() Geometry { return p }
+
+// Empty implements Geometry; a Point is never empty.
+func (p Point) Empty() bool { return false }
+
+// Add returns the point translated by the vector q.
+func (p Point) Add(q Point) Point { return Point{p.X + q.X, p.Y + q.Y} }
+
+// Sub returns the vector from q to p.
+func (p Point) Sub(q Point) Point { return Point{p.X - q.X, p.Y - q.Y} }
+
+// Scale returns the point scaled by s about the origin.
+func (p Point) Scale(s float64) Point { return Point{p.X * s, p.Y * s} }
+
+// Dot returns the dot product of p and q taken as vectors.
+func (p Point) Dot(q Point) float64 { return p.X*q.X + p.Y*q.Y }
+
+// Cross returns the z component of the cross product of p and q taken as
+// vectors; its sign gives the orientation of the turn from p to q.
+func (p Point) Cross(q Point) float64 { return p.X*q.Y - p.Y*q.X }
+
+// DistanceTo returns the Euclidean distance between p and q.
+func (p Point) DistanceTo(q Point) float64 { return math.Hypot(p.X-q.X, p.Y-q.Y) }
+
+// Equal reports exact coordinate equality.
+func (p Point) Equal(q Point) bool { return p.X == q.X && p.Y == q.Y }
+
+// MultiPoint is an unordered collection of points.
+type MultiPoint []Point
+
+// GeomType implements Geometry.
+func (m MultiPoint) GeomType() Type { return TypeMultiPoint }
+
+// Bounds implements Geometry.
+func (m MultiPoint) Bounds() Rect {
+	if len(m) == 0 {
+		return EmptyRect
+	}
+	r := m[0].Bounds()
+	for _, p := range m[1:] {
+		r = r.Union(p.Bounds())
+	}
+	return r
+}
+
+// WKT implements Geometry.
+func (m MultiPoint) WKT() string {
+	if len(m) == 0 {
+		return "MULTIPOINT EMPTY"
+	}
+	s := "MULTIPOINT ("
+	for i, p := range m {
+		if i > 0 {
+			s += ", "
+		}
+		s += fmt.Sprintf("(%s %s)", fmtCoord(p.X), fmtCoord(p.Y))
+	}
+	return s + ")"
+}
+
+// Clone implements Geometry.
+func (m MultiPoint) Clone() Geometry {
+	out := make(MultiPoint, len(m))
+	copy(out, m)
+	return out
+}
+
+// Empty implements Geometry.
+func (m MultiPoint) Empty() bool { return len(m) == 0 }
+
+// LineString is an ordered polyline of at least two points.
+type LineString []Point
+
+// GeomType implements Geometry.
+func (l LineString) GeomType() Type { return TypeLineString }
+
+// Bounds implements Geometry.
+func (l LineString) Bounds() Rect {
+	if len(l) == 0 {
+		return EmptyRect
+	}
+	r := l[0].Bounds()
+	for _, p := range l[1:] {
+		r = r.Union(p.Bounds())
+	}
+	return r
+}
+
+// WKT implements Geometry.
+func (l LineString) WKT() string {
+	if len(l) == 0 {
+		return "LINESTRING EMPTY"
+	}
+	s := "LINESTRING ("
+	for i, p := range l {
+		if i > 0 {
+			s += ", "
+		}
+		s += fmt.Sprintf("%s %s", fmtCoord(p.X), fmtCoord(p.Y))
+	}
+	return s + ")"
+}
+
+// Clone implements Geometry.
+func (l LineString) Clone() Geometry {
+	out := make(LineString, len(l))
+	copy(out, l)
+	return out
+}
+
+// Empty implements Geometry.
+func (l LineString) Empty() bool { return len(l) == 0 }
+
+// Length returns the total polyline length.
+func (l LineString) Length() float64 {
+	var total float64
+	for i := 1; i < len(l); i++ {
+		total += l[i-1].DistanceTo(l[i])
+	}
+	return total
+}
+
+// Closed reports whether the polyline's first and last vertices coincide.
+func (l LineString) Closed() bool {
+	return len(l) >= 3 && l[0].Equal(l[len(l)-1])
+}
+
+// Ring is a closed sequence of vertices describing a simple polygon boundary.
+// The closing vertex is implicit: Ring{a, b, c} describes triangle a-b-c-a.
+type Ring []Point
+
+// Area returns the signed area of the ring; positive for counter-clockwise
+// winding.
+func (r Ring) Area() float64 {
+	var sum float64
+	n := len(r)
+	for i := 0; i < n; i++ {
+		j := (i + 1) % n
+		sum += r[i].Cross(r[j])
+	}
+	return sum / 2
+}
+
+// Centroid returns the area centroid of the ring. For a degenerate ring
+// (zero area) it returns the vertex average.
+func (r Ring) Centroid() Point {
+	a := r.Area()
+	if math.Abs(a) < 1e-12 {
+		var c Point
+		for _, p := range r {
+			c = c.Add(p)
+		}
+		if len(r) > 0 {
+			c = c.Scale(1 / float64(len(r)))
+		}
+		return c
+	}
+	var cx, cy float64
+	n := len(r)
+	for i := 0; i < n; i++ {
+		j := (i + 1) % n
+		cr := r[i].Cross(r[j])
+		cx += (r[i].X + r[j].X) * cr
+		cy += (r[i].Y + r[j].Y) * cr
+	}
+	f := 1 / (6 * a)
+	return Point{cx * f, cy * f}
+}
+
+// Polygon is a simple polygon with an outer ring and zero or more holes.
+// The outer ring should wind counter-clockwise and holes clockwise, although
+// predicates do not depend on winding.
+type Polygon struct {
+	Outer Ring
+	Holes []Ring
+}
+
+// GeomType implements Geometry.
+func (p Polygon) GeomType() Type { return TypePolygon }
+
+// Bounds implements Geometry.
+func (p Polygon) Bounds() Rect {
+	if len(p.Outer) == 0 {
+		return EmptyRect
+	}
+	r := p.Outer[0].Bounds()
+	for _, q := range p.Outer[1:] {
+		r = r.Union(q.Bounds())
+	}
+	return r
+}
+
+// WKT implements Geometry.
+func (p Polygon) WKT() string {
+	if len(p.Outer) == 0 {
+		return "POLYGON EMPTY"
+	}
+	ring := func(r Ring) string {
+		s := "("
+		for i, pt := range r {
+			if i > 0 {
+				s += ", "
+			}
+			s += fmt.Sprintf("%s %s", fmtCoord(pt.X), fmtCoord(pt.Y))
+		}
+		// WKT rings repeat the first vertex at the end.
+		s += fmt.Sprintf(", %s %s)", fmtCoord(r[0].X), fmtCoord(r[0].Y))
+		return s
+	}
+	s := "POLYGON (" + ring(p.Outer)
+	for _, h := range p.Holes {
+		s += ", " + ring(h)
+	}
+	return s + ")"
+}
+
+// Clone implements Geometry.
+func (p Polygon) Clone() Geometry {
+	out := Polygon{Outer: make(Ring, len(p.Outer))}
+	copy(out.Outer, p.Outer)
+	if len(p.Holes) > 0 {
+		out.Holes = make([]Ring, len(p.Holes))
+		for i, h := range p.Holes {
+			out.Holes[i] = make(Ring, len(h))
+			copy(out.Holes[i], h)
+		}
+	}
+	return out
+}
+
+// Empty implements Geometry.
+func (p Polygon) Empty() bool { return len(p.Outer) == 0 }
+
+// Area returns the polygon area: the outer ring's absolute area minus the
+// holes' absolute areas.
+func (p Polygon) Area() float64 {
+	a := math.Abs(p.Outer.Area())
+	for _, h := range p.Holes {
+		a -= math.Abs(h.Area())
+	}
+	return a
+}
+
+// Centroid returns the centroid of the outer ring (holes are ignored, which
+// is sufficient for label placement in map rendering).
+func (p Polygon) Centroid() Point { return p.Outer.Centroid() }
+
+// Rect is an axis-aligned rectangle. A Rect with Min components greater than
+// the corresponding Max components is empty.
+type Rect struct {
+	Min, Max Point
+}
+
+// EmptyRect is the canonical empty rectangle; it is the identity for Union.
+var EmptyRect = Rect{Min: Point{math.Inf(1), math.Inf(1)}, Max: Point{math.Inf(-1), math.Inf(-1)}}
+
+// R is shorthand for Rect{Pt(x0,y0), Pt(x1,y1)} with the coordinates
+// normalized so Min ≤ Max on both axes.
+func R(x0, y0, x1, y1 float64) Rect {
+	if x0 > x1 {
+		x0, x1 = x1, x0
+	}
+	if y0 > y1 {
+		y0, y1 = y1, y0
+	}
+	return Rect{Min: Point{x0, y0}, Max: Point{x1, y1}}
+}
+
+// GeomType implements Geometry.
+func (r Rect) GeomType() Type { return TypeRect }
+
+// Bounds implements Geometry.
+func (r Rect) Bounds() Rect { return r }
+
+// WKT implements Geometry; a Rect is rendered as its polygon equivalent.
+func (r Rect) WKT() string {
+	if r.IsEmpty() {
+		return "POLYGON EMPTY"
+	}
+	return r.AsPolygon().WKT()
+}
+
+// Clone implements Geometry.
+func (r Rect) Clone() Geometry { return r }
+
+// Empty implements Geometry.
+func (r Rect) Empty() bool { return r.IsEmpty() }
+
+// IsEmpty reports whether the rectangle covers no area and no point.
+func (r Rect) IsEmpty() bool { return r.Min.X > r.Max.X || r.Min.Y > r.Max.Y }
+
+// Width returns the horizontal extent (zero for empty rectangles).
+func (r Rect) Width() float64 {
+	if r.IsEmpty() {
+		return 0
+	}
+	return r.Max.X - r.Min.X
+}
+
+// Height returns the vertical extent (zero for empty rectangles).
+func (r Rect) Height() float64 {
+	if r.IsEmpty() {
+		return 0
+	}
+	return r.Max.Y - r.Min.Y
+}
+
+// Area returns the rectangle's area.
+func (r Rect) Area() float64 { return r.Width() * r.Height() }
+
+// Center returns the rectangle's midpoint.
+func (r Rect) Center() Point {
+	return Point{(r.Min.X + r.Max.X) / 2, (r.Min.Y + r.Max.Y) / 2}
+}
+
+// Union returns the smallest rectangle covering both r and s.
+func (r Rect) Union(s Rect) Rect {
+	if r.IsEmpty() {
+		return s
+	}
+	if s.IsEmpty() {
+		return r
+	}
+	return Rect{
+		Min: Point{math.Min(r.Min.X, s.Min.X), math.Min(r.Min.Y, s.Min.Y)},
+		Max: Point{math.Max(r.Max.X, s.Max.X), math.Max(r.Max.Y, s.Max.Y)},
+	}
+}
+
+// Intersect returns the overlap of r and s (possibly empty).
+func (r Rect) Intersect(s Rect) Rect {
+	out := Rect{
+		Min: Point{math.Max(r.Min.X, s.Min.X), math.Max(r.Min.Y, s.Min.Y)},
+		Max: Point{math.Min(r.Max.X, s.Max.X), math.Min(r.Max.Y, s.Max.Y)},
+	}
+	if out.IsEmpty() {
+		return EmptyRect
+	}
+	return out
+}
+
+// Intersects reports whether r and s share at least one point (boundaries
+// count).
+func (r Rect) Intersects(s Rect) bool {
+	if r.IsEmpty() || s.IsEmpty() {
+		return false
+	}
+	return r.Min.X <= s.Max.X && s.Min.X <= r.Max.X &&
+		r.Min.Y <= s.Max.Y && s.Min.Y <= r.Max.Y
+}
+
+// ContainsPoint reports whether p lies in r (boundaries count).
+func (r Rect) ContainsPoint(p Point) bool {
+	return !r.IsEmpty() &&
+		p.X >= r.Min.X && p.X <= r.Max.X &&
+		p.Y >= r.Min.Y && p.Y <= r.Max.Y
+}
+
+// ContainsRect reports whether s lies entirely within r.
+func (r Rect) ContainsRect(s Rect) bool {
+	if r.IsEmpty() || s.IsEmpty() {
+		return false
+	}
+	return s.Min.X >= r.Min.X && s.Max.X <= r.Max.X &&
+		s.Min.Y >= r.Min.Y && s.Max.Y <= r.Max.Y
+}
+
+// Expand returns the rectangle grown by d on every side. A negative d
+// shrinks it, possibly to empty.
+func (r Rect) Expand(d float64) Rect {
+	if r.IsEmpty() {
+		return r
+	}
+	out := Rect{
+		Min: Point{r.Min.X - d, r.Min.Y - d},
+		Max: Point{r.Max.X + d, r.Max.Y + d},
+	}
+	if out.IsEmpty() {
+		return EmptyRect
+	}
+	return out
+}
+
+// AsPolygon returns the rectangle as a counter-clockwise polygon.
+func (r Rect) AsPolygon() Polygon {
+	return Polygon{Outer: Ring{
+		r.Min,
+		{r.Max.X, r.Min.Y},
+		r.Max,
+		{r.Min.X, r.Max.Y},
+	}}
+}
+
+// Enlargement returns how much r's area would grow to also cover s. It is
+// the cost function used by the R-tree's subtree choice.
+func (r Rect) Enlargement(s Rect) float64 {
+	return r.Union(s).Area() - r.Area()
+}
+
+func fmtCoord(v float64) string {
+	return trimFloat(fmt.Sprintf("%.6f", v))
+}
+
+func trimFloat(s string) string {
+	// Trim trailing zeros after a decimal point, then a dangling point.
+	i := len(s)
+	for i > 0 && s[i-1] == '0' {
+		i--
+	}
+	if i > 0 && s[i-1] == '.' {
+		i--
+	}
+	return s[:i]
+}

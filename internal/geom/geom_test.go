@@ -1,0 +1,625 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPointBasics(t *testing.T) {
+	p := Pt(3, 4)
+	if p.GeomType() != TypePoint {
+		t.Fatalf("GeomType = %v", p.GeomType())
+	}
+	if got := p.DistanceTo(Pt(0, 0)); got != 5 {
+		t.Fatalf("DistanceTo = %v, want 5", got)
+	}
+	if !p.Bounds().ContainsPoint(p) {
+		t.Fatal("point bounds should contain the point")
+	}
+	if p.Empty() {
+		t.Fatal("points are never empty")
+	}
+	if got := p.Add(Pt(1, 1)).Sub(Pt(1, 1)); !got.Equal(p) {
+		t.Fatalf("Add/Sub round trip = %v", got)
+	}
+}
+
+func TestRectNormalization(t *testing.T) {
+	r := R(5, 7, 1, 2)
+	if r.Min != Pt(1, 2) || r.Max != Pt(5, 7) {
+		t.Fatalf("R did not normalize: %+v", r)
+	}
+	if r.Width() != 4 || r.Height() != 5 {
+		t.Fatalf("extent = %v x %v", r.Width(), r.Height())
+	}
+	if r.Area() != 20 {
+		t.Fatalf("area = %v", r.Area())
+	}
+}
+
+func TestRectUnionIntersect(t *testing.T) {
+	a := R(0, 0, 2, 2)
+	b := R(1, 1, 3, 3)
+	u := a.Union(b)
+	if u != R(0, 0, 3, 3) {
+		t.Fatalf("union = %+v", u)
+	}
+	i := a.Intersect(b)
+	if i != R(1, 1, 2, 2) {
+		t.Fatalf("intersect = %+v", i)
+	}
+	if a.Intersect(R(5, 5, 6, 6)) != EmptyRect {
+		t.Fatal("disjoint intersect should be empty")
+	}
+	if !EmptyRect.IsEmpty() {
+		t.Fatal("EmptyRect must be empty")
+	}
+	if got := EmptyRect.Union(a); got != a {
+		t.Fatalf("EmptyRect is not a Union identity: %+v", got)
+	}
+}
+
+func TestRectContain(t *testing.T) {
+	r := R(0, 0, 10, 10)
+	if !r.ContainsPoint(Pt(0, 0)) || !r.ContainsPoint(Pt(10, 10)) {
+		t.Fatal("boundary points must be contained")
+	}
+	if r.ContainsPoint(Pt(10.001, 5)) {
+		t.Fatal("outside point must not be contained")
+	}
+	if !r.ContainsRect(R(1, 1, 9, 9)) {
+		t.Fatal("inner rect must be contained")
+	}
+	if r.ContainsRect(R(1, 1, 11, 9)) {
+		t.Fatal("straddling rect must not be contained")
+	}
+}
+
+func TestRectExpand(t *testing.T) {
+	r := R(0, 0, 2, 2).Expand(1)
+	if r != R(-1, -1, 3, 3) {
+		t.Fatalf("expand = %+v", r)
+	}
+	if got := R(0, 0, 1, 1).Expand(-1); !got.IsEmpty() {
+		t.Fatalf("over-shrunk rect should be empty, got %+v", got)
+	}
+}
+
+func TestEnlargement(t *testing.T) {
+	a := R(0, 0, 2, 2)
+	if e := a.Enlargement(R(0, 0, 1, 1)); e != 0 {
+		t.Fatalf("contained rect should not enlarge, got %v", e)
+	}
+	if e := a.Enlargement(R(0, 0, 4, 2)); e != 4 {
+		t.Fatalf("enlargement = %v, want 4", e)
+	}
+}
+
+func TestRingAreaCentroid(t *testing.T) {
+	sq := Ring{Pt(0, 0), Pt(2, 0), Pt(2, 2), Pt(0, 2)}
+	if a := sq.Area(); a != 4 {
+		t.Fatalf("ccw area = %v", a)
+	}
+	rev := Ring{Pt(0, 2), Pt(2, 2), Pt(2, 0), Pt(0, 0)}
+	if a := rev.Area(); a != -4 {
+		t.Fatalf("cw area = %v", a)
+	}
+	if c := sq.Centroid(); !c.Equal(Pt(1, 1)) {
+		t.Fatalf("centroid = %v", c)
+	}
+}
+
+func TestPolygonAreaWithHole(t *testing.T) {
+	pg := Polygon{
+		Outer: Ring{Pt(0, 0), Pt(4, 0), Pt(4, 4), Pt(0, 4)},
+		Holes: []Ring{{Pt(1, 1), Pt(2, 1), Pt(2, 2), Pt(1, 2)}},
+	}
+	if a := pg.Area(); a != 15 {
+		t.Fatalf("area = %v, want 15", a)
+	}
+}
+
+func TestLineStringLength(t *testing.T) {
+	l := LineString{Pt(0, 0), Pt(3, 0), Pt(3, 4)}
+	if got := l.Length(); got != 7 {
+		t.Fatalf("length = %v", got)
+	}
+	if l.Closed() {
+		t.Fatal("open polyline reported closed")
+	}
+	cl := LineString{Pt(0, 0), Pt(1, 0), Pt(1, 1), Pt(0, 0)}
+	if !cl.Closed() {
+		t.Fatal("closed polyline not detected")
+	}
+}
+
+func TestOrient(t *testing.T) {
+	if Orient(Pt(0, 0), Pt(1, 0), Pt(1, 1)) != 1 {
+		t.Fatal("left turn should be +1")
+	}
+	if Orient(Pt(0, 0), Pt(1, 0), Pt(1, -1)) != -1 {
+		t.Fatal("right turn should be -1")
+	}
+	if Orient(Pt(0, 0), Pt(1, 0), Pt(2, 0)) != 0 {
+		t.Fatal("collinear should be 0")
+	}
+}
+
+func TestSegmentIntersects(t *testing.T) {
+	cases := []struct {
+		s, t Segment
+		want bool
+	}{
+		{Segment{Pt(0, 0), Pt(2, 2)}, Segment{Pt(0, 2), Pt(2, 0)}, true},  // cross
+		{Segment{Pt(0, 0), Pt(1, 1)}, Segment{Pt(2, 2), Pt(3, 3)}, false}, // collinear gap
+		{Segment{Pt(0, 0), Pt(2, 2)}, Segment{Pt(1, 1), Pt(3, 3)}, true},  // collinear overlap
+		{Segment{Pt(0, 0), Pt(1, 0)}, Segment{Pt(1, 0), Pt(2, 0)}, true},  // endpoint touch
+		{Segment{Pt(0, 0), Pt(1, 0)}, Segment{Pt(0, 1), Pt(1, 1)}, false}, // parallel
+		{Segment{Pt(0, 0), Pt(4, 0)}, Segment{Pt(2, 0), Pt(2, 3)}, true},  // T junction
+		{Segment{Pt(0, 0), Pt(4, 0)}, Segment{Pt(2, 1), Pt(2, 3)}, false}, // above
+	}
+	for i, c := range cases {
+		if got := c.s.Intersects(c.t); got != c.want {
+			t.Errorf("case %d: Intersects = %v, want %v", i, got, c.want)
+		}
+		if got := c.t.Intersects(c.s); got != c.want {
+			t.Errorf("case %d: Intersects not symmetric", i)
+		}
+	}
+}
+
+func TestSegmentProperIntersection(t *testing.T) {
+	a := Segment{Pt(0, 0), Pt(2, 2)}
+	b := Segment{Pt(0, 2), Pt(2, 0)}
+	if !a.ProperlyIntersects(b) {
+		t.Fatal("crossing segments should properly intersect")
+	}
+	c := Segment{Pt(0, 0), Pt(1, 0)}
+	d := Segment{Pt(1, 0), Pt(2, 1)}
+	if c.ProperlyIntersects(d) {
+		t.Fatal("endpoint touch is not a proper intersection")
+	}
+}
+
+func TestSegmentDistanceToPoint(t *testing.T) {
+	s := Segment{Pt(0, 0), Pt(10, 0)}
+	if d := s.DistanceToPoint(Pt(5, 3)); d != 3 {
+		t.Fatalf("perpendicular distance = %v", d)
+	}
+	if d := s.DistanceToPoint(Pt(-3, 4)); d != 5 {
+		t.Fatalf("endpoint distance = %v", d)
+	}
+	deg := Segment{Pt(1, 1), Pt(1, 1)}
+	if d := deg.DistanceToPoint(Pt(4, 5)); d != 5 {
+		t.Fatalf("degenerate segment distance = %v", d)
+	}
+}
+
+func TestPointInRing(t *testing.T) {
+	sq := Ring{Pt(0, 0), Pt(4, 0), Pt(4, 4), Pt(0, 4)}
+	if PointInRing(Pt(2, 2), sq) != 1 {
+		t.Fatal("center should be inside")
+	}
+	if PointInRing(Pt(0, 2), sq) != 0 {
+		t.Fatal("edge point should be boundary")
+	}
+	if PointInRing(Pt(4, 4), sq) != 0 {
+		t.Fatal("vertex should be boundary")
+	}
+	if PointInRing(Pt(5, 2), sq) != -1 {
+		t.Fatal("outside point should be outside")
+	}
+	// Concave ring (C shape).
+	c := Ring{Pt(0, 0), Pt(4, 0), Pt(4, 1), Pt(1, 1), Pt(1, 3), Pt(4, 3), Pt(4, 4), Pt(0, 4)}
+	if PointInRing(Pt(2, 2), c) != -1 {
+		t.Fatal("notch interior should be outside the C")
+	}
+	if PointInRing(Pt(0.5, 2), c) != 1 {
+		t.Fatal("C spine should be inside")
+	}
+}
+
+func TestPointInPolygonWithHole(t *testing.T) {
+	pg := Polygon{
+		Outer: Ring{Pt(0, 0), Pt(6, 0), Pt(6, 6), Pt(0, 6)},
+		Holes: []Ring{{Pt(2, 2), Pt(4, 2), Pt(4, 4), Pt(2, 4)}},
+	}
+	if PointInPolygon(Pt(1, 1), pg) != 1 {
+		t.Fatal("between outer and hole should be inside")
+	}
+	if PointInPolygon(Pt(3, 3), pg) != -1 {
+		t.Fatal("hole interior should be outside")
+	}
+	if PointInPolygon(Pt(2, 3), pg) != 0 {
+		t.Fatal("hole boundary should be boundary")
+	}
+	if PointInPolygon(Pt(7, 7), pg) != -1 {
+		t.Fatal("beyond outer should be outside")
+	}
+}
+
+func TestIntersectsDispatch(t *testing.T) {
+	sq := Polygon{Outer: Ring{Pt(0, 0), Pt(4, 0), Pt(4, 4), Pt(0, 4)}}
+	cases := []struct {
+		a, b Geometry
+		want bool
+	}{
+		{Pt(1, 1), sq, true},
+		{Pt(9, 9), sq, false},
+		{LineString{Pt(-1, 2), Pt(5, 2)}, sq, true},
+		{LineString{Pt(-1, -1), Pt(-1, 5)}, sq, false},
+		{sq, Polygon{Outer: Ring{Pt(3, 3), Pt(5, 3), Pt(5, 5), Pt(3, 5)}}, true},
+		{sq, Polygon{Outer: Ring{Pt(5, 5), Pt(7, 5), Pt(7, 7), Pt(5, 7)}}, false},
+		{sq, R(1, 1, 2, 2), true},
+		{R(0, 0, 1, 1), R(1, 1, 2, 2), true}, // corner touch
+		{R(0, 0, 1, 1), R(2, 2, 3, 3), false},
+		{MultiPoint{Pt(9, 9), Pt(2, 2)}, sq, true},
+		{MultiPoint{Pt(9, 9)}, sq, false},
+		{LineString{Pt(0, 5), Pt(5, 0)}, LineString{Pt(0, 0), Pt(5, 5)}, true},
+		// Small polygon fully inside the big one: boundaries never touch.
+		{Polygon{Outer: Ring{Pt(1, 1), Pt(2, 1), Pt(2, 2), Pt(1, 2)}}, sq, true},
+	}
+	for i, c := range cases {
+		if got := Intersects(c.a, c.b); got != c.want {
+			t.Errorf("case %d: Intersects(%s, %s) = %v, want %v", i, c.a.WKT(), c.b.WKT(), got, c.want)
+		}
+		if got := Intersects(c.b, c.a); got != c.want {
+			t.Errorf("case %d: Intersects not symmetric", i)
+		}
+	}
+	if Intersects(nil, sq) || Intersects(sq, nil) {
+		t.Fatal("nil must not intersect")
+	}
+}
+
+func TestContains(t *testing.T) {
+	sq := Polygon{Outer: Ring{Pt(0, 0), Pt(10, 0), Pt(10, 10), Pt(0, 10)}}
+	if !Contains(sq, Pt(5, 5)) {
+		t.Fatal("interior point")
+	}
+	if !Contains(sq, Pt(0, 5)) {
+		t.Fatal("boundary point counts as contained")
+	}
+	if Contains(sq, Pt(11, 5)) {
+		t.Fatal("exterior point")
+	}
+	if !Contains(sq, LineString{Pt(1, 1), Pt(9, 9)}) {
+		t.Fatal("inner line")
+	}
+	if Contains(sq, LineString{Pt(1, 1), Pt(19, 9)}) {
+		t.Fatal("escaping line")
+	}
+	if !Contains(sq, Polygon{Outer: Ring{Pt(2, 2), Pt(4, 2), Pt(4, 4), Pt(2, 4)}}) {
+		t.Fatal("inner polygon")
+	}
+	// Concave container: vertices of a chord polygon are inside but an edge
+	// exits the region.
+	c := Polygon{Outer: Ring{Pt(0, 0), Pt(10, 0), Pt(10, 2), Pt(2, 2), Pt(2, 8), Pt(10, 8), Pt(10, 10), Pt(0, 10)}}
+	chord := LineString{Pt(1, 1), Pt(1, 9)}
+	if !Contains(c, chord) {
+		t.Fatal("spine line should be contained in the C")
+	}
+	cross := LineString{Pt(5, 1), Pt(5, 9)}
+	if Contains(c, cross) {
+		t.Fatal("line crossing the notch should not be contained")
+	}
+	// Hole exclusion.
+	holed := Polygon{
+		Outer: Ring{Pt(0, 0), Pt(10, 0), Pt(10, 10), Pt(0, 10)},
+		Holes: []Ring{{Pt(4, 4), Pt(6, 4), Pt(6, 6), Pt(4, 6)}},
+	}
+	if Contains(holed, Polygon{Outer: Ring{Pt(3, 3), Pt(7, 3), Pt(7, 7), Pt(3, 7)}}) {
+		t.Fatal("polygon spanning the hole should not be contained")
+	}
+	// Rect container fast path.
+	if !Contains(R(0, 0, 4, 4), Pt(2, 2)) || !Contains(R(0, 0, 4, 4), R(1, 1, 2, 2)) {
+		t.Fatal("rect containment fast path")
+	}
+}
+
+func TestDistance(t *testing.T) {
+	if d := Distance(Pt(0, 0), Pt(3, 4)); d != 5 {
+		t.Fatalf("point distance = %v", d)
+	}
+	sq := Polygon{Outer: Ring{Pt(0, 0), Pt(2, 0), Pt(2, 2), Pt(0, 2)}}
+	if d := Distance(Pt(1, 1), sq); d != 0 {
+		t.Fatalf("inside point distance = %v", d)
+	}
+	if d := Distance(Pt(5, 1), sq); d != 3 {
+		t.Fatalf("outside point distance = %v", d)
+	}
+	if d := Distance(LineString{Pt(0, 5), Pt(2, 5)}, sq); d != 3 {
+		t.Fatalf("line-polygon distance = %v", d)
+	}
+	if d := Distance(R(4, 0, 5, 1), sq); d != 2 {
+		t.Fatalf("rect-polygon distance = %v", d)
+	}
+}
+
+func TestWKTRoundTrip(t *testing.T) {
+	geoms := []Geometry{
+		Pt(1, 2),
+		Pt(-1.5, 2.25),
+		MultiPoint{Pt(1, 1), Pt(2, 2)},
+		LineString{Pt(0, 0), Pt(1, 1), Pt(2, 0)},
+		Polygon{Outer: Ring{Pt(0, 0), Pt(4, 0), Pt(4, 4), Pt(0, 4)}},
+		Polygon{
+			Outer: Ring{Pt(0, 0), Pt(6, 0), Pt(6, 6), Pt(0, 6)},
+			Holes: []Ring{{Pt(2, 2), Pt(4, 2), Pt(4, 4), Pt(2, 4)}},
+		},
+	}
+	for _, g := range geoms {
+		s := g.WKT()
+		back, err := ParseWKT(s)
+		if err != nil {
+			t.Fatalf("ParseWKT(%q): %v", s, err)
+		}
+		if back.WKT() != s {
+			t.Fatalf("round trip %q -> %q", s, back.WKT())
+		}
+	}
+}
+
+func TestWKTRectAsPolygon(t *testing.T) {
+	r := R(0, 0, 2, 3)
+	g, err := ParseWKT(r.WKT())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg, ok := g.(Polygon)
+	if !ok {
+		t.Fatalf("rect WKT parsed as %T", g)
+	}
+	if pg.Bounds() != r {
+		t.Fatalf("bounds mismatch: %+v vs %+v", pg.Bounds(), r)
+	}
+}
+
+func TestWKTErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"CIRCLE (0 0, 1)",
+		"POINT 1 2",
+		"POINT (1)",
+		"POINT (1 2",
+		"LINESTRING ((0 0), (1 1))",
+		"LINESTRING (1 1)",
+		"POLYGON ((0 0, 1 0))",
+		"POINT (1 2) garbage",
+		"POINT EMPTY",
+	}
+	for _, s := range bad {
+		if _, err := ParseWKT(s); err == nil {
+			t.Errorf("ParseWKT(%q) succeeded, want error", s)
+		}
+	}
+	mp, err := ParseWKT("MULTIPOINT (1 1, 2 2)")
+	if err != nil {
+		t.Fatalf("bare multipoint members: %v", err)
+	}
+	if len(mp.(MultiPoint)) != 2 {
+		t.Fatalf("multipoint len = %d", len(mp.(MultiPoint)))
+	}
+	if _, err := ParseWKT("MULTIPOINT EMPTY"); err != nil {
+		t.Fatalf("MULTIPOINT EMPTY: %v", err)
+	}
+}
+
+func TestRelateBasic(t *testing.T) {
+	sq := func(x0, y0, x1, y1 float64) Polygon {
+		return Polygon{Outer: Ring{Pt(x0, y0), Pt(x1, y0), Pt(x1, y1), Pt(x0, y1)}}
+	}
+	cases := []struct {
+		a, b Polygon
+		want Relation
+	}{
+		{sq(0, 0, 2, 2), sq(5, 5, 7, 7), Disjoint},
+		{sq(0, 0, 2, 2), sq(2, 0, 4, 2), Meet},
+		{sq(0, 0, 2, 2), sq(2, 2, 4, 4), Meet}, // corner touch
+		{sq(0, 0, 4, 4), sq(2, 2, 6, 6), Overlap},
+		{sq(0, 0, 4, 4), sq(0, 0, 4, 4), EqualRel},
+		{sq(1, 1, 2, 2), sq(0, 0, 4, 4), Inside},
+		{sq(0, 0, 4, 4), sq(1, 1, 2, 2), ContainsRel},
+		{sq(0, 0, 4, 4), sq(0, 0, 2, 2), Covers},
+		{sq(0, 0, 2, 2), sq(0, 0, 4, 4), CoveredBy},
+	}
+	for i, c := range cases {
+		if got := Relate(c.a, c.b); got != c.want {
+			t.Errorf("case %d: Relate = %v, want %v", i, got, c.want)
+		}
+		// Converse must hold.
+		if got := Relate(c.b, c.a); got != c.want.Converse() {
+			t.Errorf("case %d: converse Relate = %v, want %v", i, got, c.want.Converse())
+		}
+	}
+}
+
+func TestRelateRects(t *testing.T) {
+	cases := []struct {
+		a, b Rect
+		want Relation
+	}{
+		{R(0, 0, 1, 1), R(2, 2, 3, 3), Disjoint},
+		{R(0, 0, 1, 1), R(1, 0, 2, 1), Meet},
+		{R(0, 0, 2, 2), R(1, 1, 3, 3), Overlap},
+		{R(0, 0, 2, 2), R(0, 0, 2, 2), EqualRel},
+		{R(1, 1, 2, 2), R(0, 0, 3, 3), Inside},
+		{R(0, 0, 3, 3), R(1, 1, 2, 2), ContainsRel},
+		{R(0, 0, 3, 3), R(0, 0, 2, 2), Covers},
+		{R(0, 0, 2, 2), R(0, 0, 3, 3), CoveredBy},
+	}
+	for i, c := range cases {
+		if got := RelateRects(c.a, c.b); got != c.want {
+			t.Errorf("case %d: RelateRects = %v, want %v", i, got, c.want)
+		}
+		if got := RelateRects(c.b, c.a); got != c.want.Converse() {
+			t.Errorf("case %d: converse mismatch", i)
+		}
+	}
+}
+
+func TestParseRelation(t *testing.T) {
+	for _, r := range []Relation{Disjoint, Meet, Overlap, EqualRel, Inside, ContainsRel, Covers, CoveredBy} {
+		got, ok := ParseRelation(r.String())
+		if !ok || got != r {
+			t.Errorf("ParseRelation(%q) = %v, %v", r.String(), got, ok)
+		}
+	}
+	if _, ok := ParseRelation("nonsense"); ok {
+		t.Fatal("unknown relation accepted")
+	}
+	if r, ok := ParseRelation("within"); !ok || r != Inside {
+		t.Fatal("within alias")
+	}
+}
+
+func TestAffine(t *testing.T) {
+	tr := FitRect(R(0, 0, 10, 10), R(0, 0, 100, 100))
+	got := tr.Apply(Pt(0, 0))
+	if got.X != 0 || got.Y != 100 {
+		t.Fatalf("origin maps to %v (Y must flip)", got)
+	}
+	got = tr.Apply(Pt(10, 10))
+	if got.X != 100 || got.Y != 0 {
+		t.Fatalf("far corner maps to %v", got)
+	}
+	// Aspect preservation: a wide world in a square screen is centered.
+	tr = FitRect(R(0, 0, 20, 10), R(0, 0, 100, 100))
+	c := tr.Apply(Pt(10, 5))
+	if c.X != 50 || c.Y != 50 {
+		t.Fatalf("center maps to %v", c)
+	}
+	top := tr.Apply(Pt(0, 10))
+	if top.Y != 25 {
+		t.Fatalf("letterboxing off: %v", top)
+	}
+}
+
+func TestAffineCompose(t *testing.T) {
+	a := Affine{A: 2, E: 2}             // scale 2
+	b := Affine{A: 1, E: 1, C: 3, F: 4} // translate (3,4)
+	ab := a.Compose(b)                  // scale after translate
+	p := Pt(1, 1)
+	want := a.Apply(b.Apply(p))
+	if got := ab.Apply(p); !got.Equal(want) {
+		t.Fatalf("compose: %v, want %v", got, want)
+	}
+}
+
+func TestApplyToGeometry(t *testing.T) {
+	tr := Affine{A: 2, E: 2, C: 1, F: 1}
+	l := LineString{Pt(0, 0), Pt(1, 1)}
+	out := tr.ApplyToGeometry(l).(LineString)
+	if !out[0].Equal(Pt(1, 1)) || !out[1].Equal(Pt(3, 3)) {
+		t.Fatalf("line transform = %v", out)
+	}
+	pg := Polygon{Outer: Ring{Pt(0, 0), Pt(1, 0), Pt(1, 1)}, Holes: []Ring{{Pt(0.1, 0.1), Pt(0.2, 0.1), Pt(0.2, 0.2)}}}
+	outPg := tr.ApplyToGeometry(pg).(Polygon)
+	if len(outPg.Holes) != 1 {
+		t.Fatal("holes dropped")
+	}
+	r := tr.ApplyToGeometry(R(0, 0, 1, 1)).(Rect)
+	if r != R(1, 1, 3, 3) {
+		t.Fatalf("rect transform = %+v", r)
+	}
+}
+
+// randRect produces a normalized random rectangle for property tests.
+func randRect(r *rand.Rand) Rect {
+	return R(r.Float64()*100, r.Float64()*100, r.Float64()*100, r.Float64()*100)
+}
+
+func TestQuickRectUnionCommutes(t *testing.T) {
+	f := func(ax, ay, bx, by, cx, cy, dx, dy float64) bool {
+		a := R(math.Mod(ax, 1e6), math.Mod(ay, 1e6), math.Mod(bx, 1e6), math.Mod(by, 1e6))
+		b := R(math.Mod(cx, 1e6), math.Mod(cy, 1e6), math.Mod(dx, 1e6), math.Mod(dy, 1e6))
+		return a.Union(b) == b.Union(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickRectUnionContainsOperands(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		a, b := randRect(rng), randRect(rng)
+		u := a.Union(b)
+		if !u.ContainsRect(a) || !u.ContainsRect(b) {
+			t.Fatalf("union %+v does not contain operands %+v %+v", u, a, b)
+		}
+		if inter := a.Intersect(b); !inter.IsEmpty() {
+			if !a.ContainsRect(inter) || !b.ContainsRect(inter) {
+				t.Fatalf("intersection escapes operands")
+			}
+		}
+	}
+}
+
+func TestQuickIntersectsConsistentWithDistance(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 300; i++ {
+		a := randRect(rng)
+		b := randRect(rng)
+		inter := Intersects(a, b)
+		d := Distance(a, b)
+		if inter && d != 0 {
+			t.Fatalf("intersecting rects with distance %v", d)
+		}
+		if !inter && d == 0 {
+			t.Fatalf("disjoint rects with zero distance: %+v %+v", a, b)
+		}
+	}
+}
+
+func TestQuickRelateConverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 300; i++ {
+		a, b := randRect(rng), randRect(rng)
+		if a.Area() == 0 || b.Area() == 0 {
+			continue
+		}
+		ra := RelateRects(a, b)
+		rb := RelateRects(b, a)
+		if rb != ra.Converse() {
+			t.Fatalf("converse violated: %v vs %v for %+v %+v", ra, rb, a, b)
+		}
+		// Exact polygon relation must agree with the rect fast path on
+		// axis-aligned data.
+		pa, pb := a.AsPolygon(), b.AsPolygon()
+		if rp := Relate(pa, pb); rp != ra {
+			t.Fatalf("Relate=%v disagrees with RelateRects=%v for %+v %+v", rp, ra, a, b)
+		}
+	}
+}
+
+func TestQuickWKTRoundTripPoints(t *testing.T) {
+	f := func(x, y float64) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) || math.IsNaN(y) || math.IsInf(y, 0) {
+			return true
+		}
+		// The codec formats with 6 decimal places; restrict to that grid.
+		x = math.Round(math.Mod(x, 1e6)*1e6) / 1e6
+		y = math.Round(math.Mod(y, 1e6)*1e6) / 1e6
+		g, err := ParseWKT(Pt(x, y).WKT())
+		if err != nil {
+			return false
+		}
+		p := g.(Point)
+		return math.Abs(p.X-x) < 1e-6 && math.Abs(p.Y-y) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	if TypePoint.String() != "POINT" || TypePolygon.String() != "POLYGON" {
+		t.Fatal("type names")
+	}
+	if Type(99).String() == "" {
+		t.Fatal("unknown type should still stringify")
+	}
+}

@@ -1,0 +1,458 @@
+package geom
+
+import "math"
+
+// Eps is the tolerance used by the robust-ish orientation and incidence
+// tests. Coordinates in this system come from synthetic generators and UI
+// picks, so a fixed absolute tolerance is adequate.
+const Eps = 1e-9
+
+// Orient classifies the turn a→b→c: +1 counter-clockwise, -1 clockwise,
+// 0 collinear (within Eps scaled by the magnitude of the cross product's
+// operands).
+func Orient(a, b, c Point) int {
+	v := b.Sub(a).Cross(c.Sub(a))
+	scale := math.Abs(b.X-a.X) + math.Abs(b.Y-a.Y) + math.Abs(c.X-a.X) + math.Abs(c.Y-a.Y)
+	tol := Eps * (1 + scale)
+	switch {
+	case v > tol:
+		return 1
+	case v < -tol:
+		return -1
+	default:
+		return 0
+	}
+}
+
+// Segment is the closed line segment from A to B.
+type Segment struct {
+	A, B Point
+}
+
+// Bounds returns the segment's bounding rectangle.
+func (s Segment) Bounds() Rect { return s.A.Bounds().Union(s.B.Bounds()) }
+
+// Length returns the segment length.
+func (s Segment) Length() float64 { return s.A.DistanceTo(s.B) }
+
+// ContainsPoint reports whether p lies on the closed segment.
+func (s Segment) ContainsPoint(p Point) bool {
+	if Orient(s.A, s.B, p) != 0 {
+		return false
+	}
+	return p.X >= math.Min(s.A.X, s.B.X)-Eps && p.X <= math.Max(s.A.X, s.B.X)+Eps &&
+		p.Y >= math.Min(s.A.Y, s.B.Y)-Eps && p.Y <= math.Max(s.A.Y, s.B.Y)+Eps
+}
+
+// Intersects reports whether two closed segments share at least one point.
+func (s Segment) Intersects(t Segment) bool {
+	d1 := Orient(t.A, t.B, s.A)
+	d2 := Orient(t.A, t.B, s.B)
+	d3 := Orient(s.A, s.B, t.A)
+	d4 := Orient(s.A, s.B, t.B)
+	if d1 != d2 && d3 != d4 {
+		return true
+	}
+	// Collinear/touching cases.
+	if d1 == 0 && t.ContainsPoint(s.A) {
+		return true
+	}
+	if d2 == 0 && t.ContainsPoint(s.B) {
+		return true
+	}
+	if d3 == 0 && s.ContainsPoint(t.A) {
+		return true
+	}
+	if d4 == 0 && s.ContainsPoint(t.B) {
+		return true
+	}
+	return false
+}
+
+// ProperlyIntersects reports whether the segments cross at a single interior
+// point of both (no endpoint touching, no collinear overlap).
+func (s Segment) ProperlyIntersects(t Segment) bool {
+	d1 := Orient(t.A, t.B, s.A)
+	d2 := Orient(t.A, t.B, s.B)
+	d3 := Orient(s.A, s.B, t.A)
+	d4 := Orient(s.A, s.B, t.B)
+	return d1*d2 < 0 && d3*d4 < 0
+}
+
+// DistanceToPoint returns the distance from p to the closed segment.
+func (s Segment) DistanceToPoint(p Point) float64 {
+	d := s.B.Sub(s.A)
+	l2 := d.Dot(d)
+	if l2 == 0 {
+		return p.DistanceTo(s.A)
+	}
+	t := p.Sub(s.A).Dot(d) / l2
+	t = math.Max(0, math.Min(1, t))
+	proj := s.A.Add(d.Scale(t))
+	return p.DistanceTo(proj)
+}
+
+// PointInRing classifies point p against the ring: -1 outside, 0 on the
+// boundary, +1 strictly inside. Uses the winding-free crossing-number test
+// with an explicit boundary check.
+func PointInRing(p Point, r Ring) int {
+	n := len(r)
+	if n < 3 {
+		return -1
+	}
+	for i := 0; i < n; i++ {
+		seg := Segment{r[i], r[(i+1)%n]}
+		if seg.ContainsPoint(p) {
+			return 0
+		}
+	}
+	inside := false
+	for i, j := 0, n-1; i < n; j, i = i, i+1 {
+		pi, pj := r[i], r[j]
+		if (pi.Y > p.Y) != (pj.Y > p.Y) {
+			xint := (pj.X-pi.X)*(p.Y-pi.Y)/(pj.Y-pi.Y) + pi.X
+			if p.X < xint {
+				inside = !inside
+			}
+		}
+	}
+	if inside {
+		return 1
+	}
+	return -1
+}
+
+// PointInPolygon classifies p against polygon pg: -1 outside, 0 on the
+// boundary (outer ring or a hole ring), +1 strictly inside (within the outer
+// ring and outside every hole).
+func PointInPolygon(p Point, pg Polygon) int {
+	c := PointInRing(p, pg.Outer)
+	if c <= 0 {
+		return c
+	}
+	for _, h := range pg.Holes {
+		switch PointInRing(p, h) {
+		case 0:
+			return 0
+		case 1:
+			return -1
+		}
+	}
+	return 1
+}
+
+// ringSegments iterates the closed ring as segments.
+func ringSegments(r Ring) []Segment {
+	n := len(r)
+	segs := make([]Segment, 0, n)
+	for i := 0; i < n; i++ {
+		segs = append(segs, Segment{r[i], r[(i+1)%n]})
+	}
+	return segs
+}
+
+// lineSegments iterates the open polyline as segments.
+func lineSegments(l LineString) []Segment {
+	segs := make([]Segment, 0, len(l))
+	for i := 1; i < len(l); i++ {
+		segs = append(segs, Segment{l[i-1], l[i]})
+	}
+	return segs
+}
+
+// boundariesIntersect reports whether any segment of ring a touches any
+// segment of ring b.
+func boundariesIntersect(a, b Ring) bool {
+	as, bs := ringSegments(a), ringSegments(b)
+	for _, s := range as {
+		sb := s.Bounds()
+		for _, t := range bs {
+			if sb.Intersects(t.Bounds()) && s.Intersects(t) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// boundariesCross reports whether a segment of ring a properly crosses a
+// segment of ring b (shared interiors, not mere touching).
+func boundariesCross(a, b Ring) bool {
+	as, bs := ringSegments(a), ringSegments(b)
+	for _, s := range as {
+		sb := s.Bounds()
+		for _, t := range bs {
+			if sb.Intersects(t.Bounds()) && s.ProperlyIntersects(t) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Intersects reports whether two geometries share at least one point.
+// It dispatches on the concrete types; Rect operands are converted to their
+// polygon equivalents except for the fast Rect×Rect path.
+func Intersects(a, b Geometry) bool {
+	if a == nil || b == nil || a.Empty() || b.Empty() {
+		return false
+	}
+	if !a.Bounds().Intersects(b.Bounds()) {
+		return false
+	}
+	// Normalize so the lower-numbered type comes first.
+	if a.GeomType() > b.GeomType() {
+		a, b = b, a
+	}
+	switch ga := a.(type) {
+	case Point:
+		return geometryContainsPoint(b, ga)
+	case MultiPoint:
+		for _, p := range ga {
+			if geometryContainsPoint(b, p) {
+				return true
+			}
+		}
+		return false
+	case LineString:
+		switch gb := b.(type) {
+		case LineString:
+			return lineIntersectsLine(ga, gb)
+		case Polygon:
+			return lineIntersectsPolygon(ga, gb)
+		case Rect:
+			return lineIntersectsPolygon(ga, gb.AsPolygon())
+		}
+	case Polygon:
+		switch gb := b.(type) {
+		case Polygon:
+			return polygonIntersectsPolygon(ga, gb)
+		case Rect:
+			return polygonIntersectsPolygon(ga, gb.AsPolygon())
+		}
+	case Rect:
+		if gb, ok := b.(Rect); ok {
+			return ga.Intersects(gb)
+		}
+	}
+	return false
+}
+
+// geometryContainsPoint reports whether geometry g contains point p
+// (boundary inclusive).
+func geometryContainsPoint(g Geometry, p Point) bool {
+	switch gg := g.(type) {
+	case Point:
+		return gg.DistanceTo(p) <= Eps
+	case MultiPoint:
+		for _, q := range gg {
+			if q.DistanceTo(p) <= Eps {
+				return true
+			}
+		}
+		return false
+	case LineString:
+		for _, s := range lineSegments(gg) {
+			if s.ContainsPoint(p) {
+				return true
+			}
+		}
+		return false
+	case Polygon:
+		return PointInPolygon(p, gg) >= 0
+	case Rect:
+		return gg.ContainsPoint(p)
+	}
+	return false
+}
+
+func lineIntersectsLine(a, b LineString) bool {
+	for _, s := range lineSegments(a) {
+		sb := s.Bounds()
+		for _, t := range lineSegments(b) {
+			if sb.Intersects(t.Bounds()) && s.Intersects(t) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func lineIntersectsPolygon(l LineString, pg Polygon) bool {
+	// Any vertex inside the polygon, or any segment touching the boundary.
+	for _, p := range l {
+		if PointInPolygon(p, pg) >= 0 {
+			return true
+		}
+	}
+	rings := append([]Ring{pg.Outer}, pg.Holes...)
+	for _, s := range lineSegments(l) {
+		sb := s.Bounds()
+		for _, r := range rings {
+			for _, t := range ringSegments(r) {
+				if sb.Intersects(t.Bounds()) && s.Intersects(t) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+func polygonIntersectsPolygon(a, b Polygon) bool {
+	if boundariesIntersect(a.Outer, b.Outer) {
+		return true
+	}
+	// One fully inside the other (sample a vertex).
+	if len(a.Outer) > 0 && PointInPolygon(a.Outer[0], b) >= 0 {
+		return true
+	}
+	if len(b.Outer) > 0 && PointInPolygon(b.Outer[0], a) >= 0 {
+		return true
+	}
+	return false
+}
+
+// Contains reports whether geometry a contains geometry b: every point of b
+// lies in a (boundary inclusive). Supported containers are Polygon and Rect;
+// any geometry can be the containee.
+func Contains(a, b Geometry) bool {
+	if a == nil || b == nil || a.Empty() || b.Empty() {
+		return false
+	}
+	if !a.Bounds().ContainsRect(b.Bounds()) {
+		return false
+	}
+	var pg Polygon
+	switch ga := a.(type) {
+	case Polygon:
+		pg = ga
+	case Rect:
+		// Fast path: axis-aligned container.
+		switch gb := b.(type) {
+		case Point:
+			return ga.ContainsPoint(gb)
+		case Rect:
+			return ga.ContainsRect(gb)
+		default:
+			return ga.ContainsRect(b.Bounds())
+		}
+	default:
+		return false
+	}
+	switch gb := b.(type) {
+	case Point:
+		return PointInPolygon(gb, pg) >= 0
+	case MultiPoint:
+		for _, p := range gb {
+			if PointInPolygon(p, pg) < 0 {
+				return false
+			}
+		}
+		return true
+	case LineString:
+		for _, p := range gb {
+			if PointInPolygon(p, pg) < 0 {
+				return false
+			}
+		}
+		// Vertices inside is not sufficient for concave containers: no
+		// segment may cross the boundary.
+		rings := append([]Ring{pg.Outer}, pg.Holes...)
+		for _, s := range lineSegments(gb) {
+			for _, r := range rings {
+				for _, t := range ringSegments(r) {
+					if s.ProperlyIntersects(t) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	case Polygon:
+		for _, p := range gb.Outer {
+			if PointInPolygon(p, pg) < 0 {
+				return false
+			}
+		}
+		if boundariesCross(pg.Outer, gb.Outer) {
+			return false
+		}
+		// A hole of the container inside b would exclude part of b.
+		for _, h := range pg.Holes {
+			if len(h) > 0 && PointInPolygon(h[0], gb) > 0 {
+				return false
+			}
+		}
+		return true
+	case Rect:
+		return Contains(pg, gb.AsPolygon())
+	}
+	return false
+}
+
+// Distance returns the minimum Euclidean distance between two geometries
+// (zero when they intersect). Supported pairs cover everything the query
+// layer needs: point/line/polygon/rect against one another.
+func Distance(a, b Geometry) float64 {
+	if Intersects(a, b) {
+		return 0
+	}
+	pa := sampleSegments(a)
+	pb := sampleSegments(b)
+	best := math.Inf(1)
+	for _, s := range pa {
+		for _, t := range pb {
+			if d := segmentDistance(s, t); d < best {
+				best = d
+			}
+		}
+	}
+	return best
+}
+
+// sampleSegments decomposes a geometry into segments (points become
+// degenerate segments).
+func sampleSegments(g Geometry) []Segment {
+	switch gg := g.(type) {
+	case Point:
+		return []Segment{{gg, gg}}
+	case MultiPoint:
+		segs := make([]Segment, len(gg))
+		for i, p := range gg {
+			segs[i] = Segment{p, p}
+		}
+		return segs
+	case LineString:
+		if len(gg) == 1 {
+			return []Segment{{gg[0], gg[0]}}
+		}
+		return lineSegments(gg)
+	case Polygon:
+		segs := ringSegments(gg.Outer)
+		for _, h := range gg.Holes {
+			segs = append(segs, ringSegments(h)...)
+		}
+		return segs
+	case Rect:
+		return ringSegments(gg.AsPolygon().Outer)
+	}
+	return nil
+}
+
+func segmentDistance(s, t Segment) float64 {
+	if s.Intersects(t) {
+		return 0
+	}
+	d := s.DistanceToPoint(t.A)
+	if v := s.DistanceToPoint(t.B); v < d {
+		d = v
+	}
+	if v := t.DistanceToPoint(s.A); v < d {
+		d = v
+	}
+	if v := t.DistanceToPoint(s.B); v < d {
+		d = v
+	}
+	return d
+}

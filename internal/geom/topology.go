@@ -1,0 +1,257 @@
+package geom
+
+// This file implements the eight Egenhofer binary topological relations
+// between simple regions (polygons without holes are assumed for relation
+// classification; holes participate in point tests but the region-region
+// relation is computed from the outer rings). These relations are the
+// vocabulary of the topological-constraint rules in internal/topo, which
+// reproduces the companion prototype the paper cites as [11] (Medeiros &
+// Cilia, "Maintenance of Binary Topological Constraints through Active
+// Databases").
+
+// Relation is a binary topological relation between two regions.
+type Relation uint8
+
+// The eight Egenhofer region-region relations.
+const (
+	Disjoint Relation = iota + 1
+	Meet
+	Overlap
+	EqualRel
+	Inside
+	ContainsRel
+	Covers
+	CoveredBy
+)
+
+// String returns the conventional name of the relation.
+func (r Relation) String() string {
+	switch r {
+	case Disjoint:
+		return "disjoint"
+	case Meet:
+		return "meet"
+	case Overlap:
+		return "overlap"
+	case EqualRel:
+		return "equal"
+	case Inside:
+		return "inside"
+	case ContainsRel:
+		return "contains"
+	case Covers:
+		return "covers"
+	case CoveredBy:
+		return "coveredBy"
+	default:
+		return "unknown"
+	}
+}
+
+// ParseRelation maps a relation name (as used by the topological-constraint
+// language) to its Relation value. It returns false for unknown names.
+func ParseRelation(name string) (Relation, bool) {
+	switch name {
+	case "disjoint":
+		return Disjoint, true
+	case "meet", "touch", "touches":
+		return Meet, true
+	case "overlap", "overlaps":
+		return Overlap, true
+	case "equal", "equals":
+		return EqualRel, true
+	case "inside", "within":
+		return Inside, true
+	case "contains":
+		return ContainsRel, true
+	case "covers":
+		return Covers, true
+	case "coveredBy", "covered_by", "coveredby":
+		return CoveredBy, true
+	default:
+		return 0, false
+	}
+}
+
+// Converse returns the relation seen from the second operand's point of
+// view: Relate(a,b)=r implies Relate(b,a)=r.Converse().
+func (r Relation) Converse() Relation {
+	switch r {
+	case Inside:
+		return ContainsRel
+	case ContainsRel:
+		return Inside
+	case Covers:
+		return CoveredBy
+	case CoveredBy:
+		return Covers
+	default:
+		return r
+	}
+}
+
+// ringClassify counts how ring a's vertices classify against region b.
+type ringClass struct {
+	inside, boundary, outside int
+}
+
+func classifyRing(a Ring, b Polygon) ringClass {
+	var c ringClass
+	for _, p := range a {
+		switch PointInRing(p, b.Outer) {
+		case 1:
+			c.inside++
+		case 0:
+			c.boundary++
+		default:
+			c.outside++
+		}
+	}
+	return c
+}
+
+// ringsEqual reports whether two rings trace the same cyclic vertex
+// sequence, in either direction.
+func ringsEqual(a, b Ring) bool {
+	n := len(a)
+	if n != len(b) || n == 0 {
+		return false
+	}
+	// Find b's index of a[0].
+	for off := 0; off < n; off++ {
+		if !a[0].Equal(b[off]) {
+			continue
+		}
+		fwd, bwd := true, true
+		for i := 0; i < n; i++ {
+			if !a[i].Equal(b[(off+i)%n]) {
+				fwd = false
+			}
+			if !a[i].Equal(b[(off-i+2*n)%n]) {
+				bwd = false
+			}
+			if !fwd && !bwd {
+				break
+			}
+		}
+		if fwd || bwd {
+			return true
+		}
+	}
+	return false
+}
+
+// Relate classifies the topological relation between two simple regions,
+// given by their polygons. The classification follows Egenhofer's
+// 4-intersection scheme for region-region relations.
+func Relate(a, b Polygon) Relation {
+	if a.Empty() || b.Empty() {
+		return Disjoint
+	}
+	if !a.Bounds().Intersects(b.Bounds()) {
+		return Disjoint
+	}
+	if ringsEqual(a.Outer, b.Outer) {
+		return EqualRel
+	}
+
+	cross := boundariesCross(a.Outer, b.Outer)
+	touch := boundariesIntersect(a.Outer, b.Outer)
+
+	ca := classifyRing(a.Outer, b) // a's vertices vs region b
+	cb := classifyRing(b.Outer, a) // b's vertices vs region a
+
+	if cross {
+		// Proper boundary crossing: interiors overlap on both sides,
+		// unless every vertex of one lies within the other, in which
+		// case crossing still forces Overlap.
+		return Overlap
+	}
+
+	switch {
+	case !touch:
+		// Boundaries never meet: one inside the other, or disjoint.
+		if ca.inside == len(a.Outer) && ca.inside > 0 {
+			return Inside
+		}
+		if cb.inside == len(b.Outer) && cb.inside > 0 {
+			return ContainsRel
+		}
+		// Boundaries disjoint, neither inside: check a hole swallow —
+		// a could still be inside a hole of b, which the vertex test
+		// already classified as outside. Disjoint covers that case.
+		if ca.outside == len(a.Outer) && cb.outside == len(b.Outer) {
+			return Disjoint
+		}
+		// Mixed without touching should not occur with exact data;
+		// fall back to Overlap as the safe answer.
+		return Overlap
+	default:
+		// Boundaries touch but never cross.
+		aIn := ca.outside == 0 && ca.inside > 0
+		bIn := cb.outside == 0 && cb.inside > 0
+		aAllBoundary := ca.outside == 0 && ca.inside == 0
+		bAllBoundary := cb.outside == 0 && cb.inside == 0
+		switch {
+		case aIn || (aAllBoundary && polygonMidpointsInside(a, b)):
+			return CoveredBy
+		case bIn || (bAllBoundary && polygonMidpointsInside(b, a)):
+			return Covers
+		case ca.inside == 0 && cb.inside == 0:
+			return Meet
+		default:
+			return Overlap
+		}
+	}
+}
+
+// polygonMidpointsInside reports whether the midpoints of a's outer-ring
+// edges lie inside or on region b; used to disambiguate the degenerate case
+// where every vertex of a sits exactly on b's boundary.
+func polygonMidpointsInside(a, b Polygon) bool {
+	n := len(a.Outer)
+	any := false
+	for i := 0; i < n; i++ {
+		m := Point{
+			(a.Outer[i].X + a.Outer[(i+1)%n].X) / 2,
+			(a.Outer[i].Y + a.Outer[(i+1)%n].Y) / 2,
+		}
+		switch PointInRing(m, b.Outer) {
+		case -1:
+			return false
+		case 1:
+			any = true
+		}
+	}
+	return any
+}
+
+// RelateRects classifies two axis-aligned rectangles. It is the fast path
+// used by constraint checks on bounding boxes before the exact polygon test.
+func RelateRects(a, b Rect) Relation {
+	if a.IsEmpty() || b.IsEmpty() || !a.Intersects(b) {
+		return Disjoint
+	}
+	if a == b {
+		return EqualRel
+	}
+	inter := a.Intersect(b)
+	switch {
+	case inter == a:
+		// a within b: Inside when strictly interior, CoveredBy when a
+		// shares part of b's boundary.
+		if a.Min.X > b.Min.X && a.Min.Y > b.Min.Y && a.Max.X < b.Max.X && a.Max.Y < b.Max.Y {
+			return Inside
+		}
+		return CoveredBy
+	case inter == b:
+		if b.Min.X > a.Min.X && b.Min.Y > a.Min.Y && b.Max.X < a.Max.X && b.Max.Y < a.Max.Y {
+			return ContainsRel
+		}
+		return Covers
+	case inter.Area() == 0:
+		return Meet
+	default:
+		return Overlap
+	}
+}

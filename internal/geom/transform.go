@@ -1,0 +1,107 @@
+package geom
+
+// Affine is a 2D affine transform
+//
+//	x' = A*x + B*y + C
+//	y' = D*x + E*y + F
+//
+// used by the rendering layer to map world (map) coordinates to screen
+// coordinates of a drawing area.
+type Affine struct {
+	A, B, C float64
+	D, E, F float64
+}
+
+// Identity is the no-op transform.
+var Identity = Affine{A: 1, E: 1}
+
+// Apply maps a point through the transform.
+func (t Affine) Apply(p Point) Point {
+	return Point{
+		X: t.A*p.X + t.B*p.Y + t.C,
+		Y: t.D*p.X + t.E*p.Y + t.F,
+	}
+}
+
+// Compose returns the transform equivalent to applying t after u.
+func (t Affine) Compose(u Affine) Affine {
+	return Affine{
+		A: t.A*u.A + t.B*u.D,
+		B: t.A*u.B + t.B*u.E,
+		C: t.A*u.C + t.B*u.F + t.C,
+		D: t.D*u.A + t.E*u.D,
+		E: t.D*u.B + t.E*u.E,
+		F: t.D*u.C + t.E*u.F + t.F,
+	}
+}
+
+// FitRect builds the transform that maps world rectangle src into screen
+// rectangle dst, preserving aspect ratio, centering the content, and
+// flipping the Y axis (world Y grows upward, screen Y grows downward).
+// A degenerate src (zero width and height) maps its point to dst's center.
+func FitRect(src, dst Rect) Affine {
+	if src.IsEmpty() || dst.IsEmpty() {
+		return Identity
+	}
+	sw, sh := src.Width(), src.Height()
+	dw, dh := dst.Width(), dst.Height()
+	var scale float64
+	switch {
+	case sw == 0 && sh == 0:
+		scale = 1
+	case sw == 0:
+		scale = dh / sh
+	case sh == 0:
+		scale = dw / sw
+	default:
+		scale = dw / sw
+		if s := dh / sh; s < scale {
+			scale = s
+		}
+	}
+	sc, dc := src.Center(), dst.Center()
+	return Affine{
+		A: scale, B: 0, C: dc.X - scale*sc.X,
+		D: 0, E: -scale, F: dc.Y + scale*sc.Y,
+	}
+}
+
+// ApplyToGeometry maps every coordinate of g through the transform and
+// returns the transformed geometry. Rect inputs are transformed corner-wise
+// and re-normalized (valid because the transforms used here are axis-scaling
+// plus translation).
+func (t Affine) ApplyToGeometry(g Geometry) Geometry {
+	switch gg := g.(type) {
+	case Point:
+		return t.Apply(gg)
+	case MultiPoint:
+		out := make(MultiPoint, len(gg))
+		for i, p := range gg {
+			out[i] = t.Apply(p)
+		}
+		return out
+	case LineString:
+		out := make(LineString, len(gg))
+		for i, p := range gg {
+			out[i] = t.Apply(p)
+		}
+		return out
+	case Polygon:
+		out := Polygon{Outer: make(Ring, len(gg.Outer))}
+		for i, p := range gg.Outer {
+			out.Outer[i] = t.Apply(p)
+		}
+		for _, h := range gg.Holes {
+			hh := make(Ring, len(h))
+			for i, p := range h {
+				hh[i] = t.Apply(p)
+			}
+			out.Holes = append(out.Holes, hh)
+		}
+		return out
+	case Rect:
+		a, b := t.Apply(gg.Min), t.Apply(gg.Max)
+		return R(a.X, a.Y, b.X, b.Y)
+	}
+	return g
+}

@@ -1,0 +1,242 @@
+package geom
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ErrBadWKT is wrapped by every WKT parse failure.
+var ErrBadWKT = errors.New("geom: malformed WKT")
+
+// ParseWKT parses a Well-Known Text geometry. Supported forms are
+// POINT, MULTIPOINT, LINESTRING and POLYGON, each optionally EMPTY.
+// Rect values round-trip through their POLYGON form.
+func ParseWKT(s string) (Geometry, error) {
+	p := &wktParser{src: s}
+	g, err := p.parse()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v in %q", ErrBadWKT, err, s)
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("%w: trailing input at %d in %q", ErrBadWKT, p.pos, s)
+	}
+	return g, nil
+}
+
+type wktParser struct {
+	src string
+	pos int
+}
+
+func (p *wktParser) skipSpace() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t' || p.src[p.pos] == '\n' || p.src[p.pos] == '\r') {
+		p.pos++
+	}
+}
+
+func (p *wktParser) word() string {
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') {
+			p.pos++
+		} else {
+			break
+		}
+	}
+	return strings.ToUpper(p.src[start:p.pos])
+}
+
+func (p *wktParser) expect(c byte) error {
+	p.skipSpace()
+	if p.pos >= len(p.src) || p.src[p.pos] != c {
+		return fmt.Errorf("expected %q at %d", string(c), p.pos)
+	}
+	p.pos++
+	return nil
+}
+
+func (p *wktParser) peek() byte {
+	p.skipSpace()
+	if p.pos >= len(p.src) {
+		return 0
+	}
+	return p.src[p.pos]
+}
+
+func (p *wktParser) number() (float64, error) {
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if (c >= '0' && c <= '9') || c == '-' || c == '+' || c == '.' || c == 'e' || c == 'E' {
+			p.pos++
+		} else {
+			break
+		}
+	}
+	if start == p.pos {
+		return 0, fmt.Errorf("expected number at %d", p.pos)
+	}
+	v, err := strconv.ParseFloat(p.src[start:p.pos], 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad number %q: %v", p.src[start:p.pos], err)
+	}
+	return v, nil
+}
+
+func (p *wktParser) coord() (Point, error) {
+	x, err := p.number()
+	if err != nil {
+		return Point{}, err
+	}
+	y, err := p.number()
+	if err != nil {
+		return Point{}, err
+	}
+	return Point{x, y}, nil
+}
+
+// coordList parses "(x y, x y, ...)".
+func (p *wktParser) coordList() ([]Point, error) {
+	if err := p.expect('('); err != nil {
+		return nil, err
+	}
+	var pts []Point
+	for {
+		pt, err := p.coord()
+		if err != nil {
+			return nil, err
+		}
+		pts = append(pts, pt)
+		if p.peek() == ',' {
+			p.pos++
+			continue
+		}
+		break
+	}
+	if err := p.expect(')'); err != nil {
+		return nil, err
+	}
+	return pts, nil
+}
+
+func (p *wktParser) parse() (Geometry, error) {
+	kind := p.word()
+	switch kind {
+	case "POINT":
+		if p.maybeEmpty() {
+			return nil, errors.New("POINT EMPTY is not representable")
+		}
+		if err := p.expect('('); err != nil {
+			return nil, err
+		}
+		pt, err := p.coord()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(')'); err != nil {
+			return nil, err
+		}
+		return pt, nil
+	case "MULTIPOINT":
+		if p.maybeEmpty() {
+			return MultiPoint(nil), nil
+		}
+		if err := p.expect('('); err != nil {
+			return nil, err
+		}
+		var mp MultiPoint
+		for {
+			// Accept both "(x y)" and bare "x y" member forms.
+			var pt Point
+			var err error
+			if p.peek() == '(' {
+				p.pos++
+				pt, err = p.coord()
+				if err == nil {
+					err = p.expect(')')
+				}
+			} else {
+				pt, err = p.coord()
+			}
+			if err != nil {
+				return nil, err
+			}
+			mp = append(mp, pt)
+			if p.peek() == ',' {
+				p.pos++
+				continue
+			}
+			break
+		}
+		if err := p.expect(')'); err != nil {
+			return nil, err
+		}
+		return mp, nil
+	case "LINESTRING":
+		if p.maybeEmpty() {
+			return LineString(nil), nil
+		}
+		pts, err := p.coordList()
+		if err != nil {
+			return nil, err
+		}
+		if len(pts) < 2 {
+			return nil, errors.New("LINESTRING needs at least 2 points")
+		}
+		return LineString(pts), nil
+	case "POLYGON":
+		if p.maybeEmpty() {
+			return Polygon{}, nil
+		}
+		if err := p.expect('('); err != nil {
+			return nil, err
+		}
+		var rings []Ring
+		for {
+			pts, err := p.coordList()
+			if err != nil {
+				return nil, err
+			}
+			// Drop the WKT closing vertex.
+			if len(pts) >= 2 && pts[0].Equal(pts[len(pts)-1]) {
+				pts = pts[:len(pts)-1]
+			}
+			if len(pts) < 3 {
+				return nil, errors.New("polygon ring needs at least 3 distinct points")
+			}
+			rings = append(rings, Ring(pts))
+			if p.peek() == ',' {
+				p.pos++
+				continue
+			}
+			break
+		}
+		if err := p.expect(')'); err != nil {
+			return nil, err
+		}
+		pg := Polygon{Outer: rings[0]}
+		if len(rings) > 1 {
+			pg.Holes = rings[1:]
+		}
+		return pg, nil
+	case "":
+		return nil, errors.New("empty input")
+	default:
+		return nil, fmt.Errorf("unsupported geometry kind %q", kind)
+	}
+}
+
+func (p *wktParser) maybeEmpty() bool {
+	save := p.pos
+	if p.word() == "EMPTY" {
+		return true
+	}
+	p.pos = save
+	return false
+}

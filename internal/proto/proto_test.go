@@ -1,0 +1,199 @@
+package proto
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/catalog"
+	"repro/internal/geodb"
+	"repro/internal/geom"
+)
+
+func TestFraming(t *testing.T) {
+	var buf bytes.Buffer
+	req := Request{ID: 7, Op: OpGetSchema, Schema: "phone_net"}
+	if err := WriteMessage(&buf, req); err != nil {
+		t.Fatal(err)
+	}
+	var got Request
+	if err := ReadMessage(&buf, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != 7 || got.Op != OpGetSchema || got.Schema != "phone_net" {
+		t.Fatalf("round trip = %+v", got)
+	}
+	// Multiple messages on one stream.
+	for i := 0; i < 5; i++ {
+		WriteMessage(&buf, Request{ID: uint64(i)})
+	}
+	for i := 0; i < 5; i++ {
+		var r Request
+		if err := ReadMessage(&buf, &r); err != nil || r.ID != uint64(i) {
+			t.Fatalf("stream message %d: %+v, %v", i, r, err)
+		}
+	}
+	// Clean EOF at stream end.
+	var r Request
+	if err := ReadMessage(&buf, &r); !errors.Is(err, io.EOF) {
+		t.Fatalf("empty stream: %v", err)
+	}
+}
+
+func TestFramingRejectsOversize(t *testing.T) {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], MaxMessageSize+1)
+	var r Request
+	if err := ReadMessage(bytes.NewReader(hdr[:]), &r); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversize header: %v", err)
+	}
+	// Write-side check too (ASCII payload so JSON does not escape bytes).
+	big := Request{Schema: strings.Repeat("a", MaxMessageSize)}
+	if err := WriteMessage(io.Discard, big); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversize write: %v", err)
+	}
+}
+
+func TestFramingRejectsBadJSON(t *testing.T) {
+	var buf bytes.Buffer
+	payload := []byte("{bad json")
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	buf.Write(hdr[:])
+	buf.Write(payload)
+	var r Request
+	if err := ReadMessage(&buf, &r); err == nil {
+		t.Fatal("bad json accepted")
+	}
+}
+
+func TestValueEncodingErrors(t *testing.T) {
+	if _, err := EncodeValue(catalog.Value{Kind: catalog.Kind(99)}); err == nil {
+		t.Fatal("unknown kind encoded")
+	}
+	if _, err := DecodeValue(Value{Kind: 99}); err == nil {
+		t.Fatal("unknown kind decoded")
+	}
+	if _, err := DecodeValue(Value{Kind: uint8(catalog.KindGeometry), WKT: "NOPE"}); err == nil {
+		t.Fatal("bad WKT decoded")
+	}
+	if _, err := DecodeValue(Value{Kind: uint8(catalog.KindBitmap), Bitmap: "!!!not-base64"}); err == nil {
+		t.Fatal("bad base64 decoded")
+	}
+	// Tuple member errors propagate.
+	if _, err := DecodeValue(Value{Kind: uint8(catalog.KindTuple), Tuple: []Value{{Kind: 99}}}); err == nil {
+		t.Fatal("bad tuple member decoded")
+	}
+	if _, err := EncodeValues([]catalog.Value{{Kind: catalog.Kind(99)}}); err == nil {
+		t.Fatal("EncodeValues should propagate")
+	}
+	if _, err := DecodeValues([]Value{{Kind: 99}}); err == nil {
+		t.Fatal("DecodeValues should propagate")
+	}
+}
+
+func TestQuickScalarValueRoundTrip(t *testing.T) {
+	f := func(i int64, fl float64, s string, b bool) bool {
+		if math.IsNaN(fl) {
+			return true
+		}
+		for _, v := range []catalog.Value{
+			catalog.IntVal(i), catalog.FloatVal(fl), catalog.TextVal(s), catalog.BoolVal(b),
+		} {
+			wv, err := EncodeValue(v)
+			if err != nil {
+				return false
+			}
+			back, err := DecodeValue(wv)
+			if err != nil || !back.Equal(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickBitmapRoundTrip(t *testing.T) {
+	f := func(data []byte) bool {
+		wv, err := EncodeValue(catalog.BitmapVal(data))
+		if err != nil {
+			return false
+		}
+		back, err := DecodeValue(wv)
+		return err == nil && back.Equal(catalog.BitmapVal(data))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInstanceRoundTrip(t *testing.T) {
+	in := geodb.Instance{
+		OID:    42,
+		Schema: "phone_net",
+		Class:  "Pole",
+		Attrs: []catalog.Field{
+			catalog.F("pole_type", catalog.Scalar(catalog.KindInteger)),
+			catalog.F("pole_location", catalog.Scalar(catalog.KindGeometry)),
+		},
+		Values: []catalog.Value{
+			catalog.IntVal(3),
+			catalog.GeomVal(geom.Pt(1, 2)),
+		},
+	}
+	wi, err := EncodeInstance(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Through JSON, as on the wire.
+	var buf bytes.Buffer
+	if err := WriteMessage(&buf, wi); err != nil {
+		t.Fatal(err)
+	}
+	var wire Instance
+	if err := ReadMessage(&buf, &wire); err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeInstance(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.OID != in.OID || back.Class != in.Class || len(back.Values) != 2 {
+		t.Fatalf("instance round trip = %+v", back)
+	}
+	if !back.Values[1].Equal(in.Values[1]) {
+		t.Fatalf("geometry lost: %v", back.Values[1])
+	}
+	if back.Attrs[0].Type.Kind != catalog.KindInteger {
+		t.Fatal("attr types lost")
+	}
+}
+
+func TestFilterRoundTrip(t *testing.T) {
+	fs := []geodb.Filter{
+		{Attr: "pole_type", Op: "ge", Value: catalog.IntVal(2)},
+		{Attr: "pole_location", Op: "intersects", Value: catalog.GeomVal(geom.R(0, 0, 1, 1))},
+	}
+	wire, err := EncodeFilters(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeFilters(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 || back[0].Op != "ge" || back[0].Value.Int != 2 {
+		t.Fatalf("filters = %+v", back)
+	}
+	if back[1].Value.Geom == nil || !back[1].Value.Geom.Bounds().ContainsPoint(geom.Pt(0.5, 0.5)) {
+		t.Fatal("spatial filter geometry lost")
+	}
+}

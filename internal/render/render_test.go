@@ -1,0 +1,167 @@
+package render
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/uikit"
+)
+
+func sampleWindow() *uikit.Widget {
+	win := uikit.New(uikit.KindWindow, "classset:Pole").
+		SetProp("title", "Class set Pole").
+		SetProp("visible", "true")
+	control := uikit.New(uikit.KindPanel, "control").Add(
+		uikit.New(uikit.KindButton, "zoom").SetProp("label", "Zoom").Bind("click", "classset.zoom"),
+	)
+	list := uikit.New(uikit.KindList, "attributes")
+	list.Items = []string{"pole_type: integer", "pole_location: Geometry"}
+	control.Add(list)
+	area := uikit.New(uikit.KindDrawingArea, "map")
+	area.Shapes = []uikit.Shape{
+		{OID: 1, Geom: geom.Pt(10, 20), Label: "pole-1", Format: "pointFormat"},
+		{OID: 2, Geom: geom.LineString{geom.Pt(0, 0), geom.Pt(5, 5)}, Label: "duct-2", Format: "lineFormat"},
+		{OID: 3, Geom: geom.Polygon{Outer: geom.Ring{geom.Pt(0, 0), geom.Pt(4, 0), geom.Pt(4, 4)}}, Format: "regionFormat"},
+	}
+	win.Add(control, uikit.New(uikit.KindPanel, "display").Add(area))
+	return win
+}
+
+func TestTextRendering(t *testing.T) {
+	out := Text(sampleWindow())
+	for _, want := range []string{
+		`window classset:Pole {title="Class set Pole" visible="true"}`,
+		`  panel control`,
+		`    button zoom {label="Zoom"} on[click->classset.zoom]`,
+		`    - pole_type: integer`,
+		`    * pole-1 POINT (10 20) [pointFormat]`,
+		`    * POLYGON ((0 0, 4 0, 4 4, 0 0)) [regionFormat]`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text output missing %q in:\n%s", want, out)
+		}
+	}
+	// Deterministic: identical trees render identically.
+	if Text(sampleWindow()) != out {
+		t.Fatal("rendering is not deterministic")
+	}
+}
+
+func TestTextIndentationReflectsDepth(t *testing.T) {
+	out := Text(sampleWindow())
+	lines := strings.Split(out, "\n")
+	if !strings.HasPrefix(lines[0], "window") {
+		t.Fatalf("first line = %q", lines[0])
+	}
+	found := false
+	for _, l := range lines {
+		if strings.HasPrefix(l, "    drawing_area map") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("drawing area not at depth 2:\n%s", out)
+	}
+}
+
+func TestScreenHidesInvisibleWindows(t *testing.T) {
+	shown := sampleWindow()
+	hidden := uikit.New(uikit.KindWindow, "schema:phone_net").
+		SetProp("title", "Schema phone_net").
+		SetProp("visible", "false")
+	out := Screen(hidden, shown)
+	if !strings.Contains(out, `(hidden) schema:phone_net "Schema phone_net"`) {
+		t.Fatalf("hidden window not summarized:\n%s", out)
+	}
+	if strings.Count(out, "window ") != 1 {
+		t.Fatalf("hidden window expanded:\n%s", out)
+	}
+}
+
+func TestSVGRendering(t *testing.T) {
+	area := sampleWindow().Find("map")
+	svg := SVG(area, SVGOptions{Width: 200, Height: 100, Labels: true})
+	for _, want := range []string{
+		`<svg xmlns="http://www.w3.org/2000/svg" width="200" height="100"`,
+		`<circle`,
+		`<polyline`,
+		`<polygon`,
+		`pole-1`,
+	} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("svg missing %q in:\n%s", want, svg)
+		}
+	}
+	if !strings.HasSuffix(strings.TrimSpace(svg), "</svg>") {
+		t.Fatal("unterminated svg")
+	}
+}
+
+func TestSVGDefaults(t *testing.T) {
+	area := uikit.New(uikit.KindDrawingArea, "empty")
+	svg := SVG(area, SVGOptions{})
+	if !strings.Contains(svg, `width="640" height="480"`) {
+		t.Fatalf("defaults not applied:\n%s", svg)
+	}
+}
+
+func TestSVGCustomPointFormat(t *testing.T) {
+	area := uikit.New(uikit.KindDrawingArea, "m")
+	area.Shapes = []uikit.Shape{
+		{Geom: geom.Pt(1, 1), Format: "starFormat"},
+		{Geom: geom.Pt(2, 2), Format: "pointFormat"},
+	}
+	svg := SVG(area, SVGOptions{})
+	if !strings.Contains(svg, "<path") || !strings.Contains(svg, "<circle") {
+		t.Fatalf("formats not distinguished:\n%s", svg)
+	}
+}
+
+func TestSVGEscapesLabels(t *testing.T) {
+	area := uikit.New(uikit.KindDrawingArea, "m")
+	area.Shapes = []uikit.Shape{{Geom: geom.Pt(0, 0), Label: `<b>&"x"`}}
+	svg := SVG(area, SVGOptions{Labels: true})
+	if strings.Contains(svg, "<b>") {
+		t.Fatal("label not escaped")
+	}
+	if !strings.Contains(svg, "&lt;b&gt;&amp;&quot;x&quot;") {
+		t.Fatalf("escape output wrong:\n%s", svg)
+	}
+}
+
+func TestSVGHoles(t *testing.T) {
+	area := uikit.New(uikit.KindDrawingArea, "m")
+	area.Shapes = []uikit.Shape{{
+		Geom: geom.Polygon{
+			Outer: geom.Ring{geom.Pt(0, 0), geom.Pt(10, 0), geom.Pt(10, 10), geom.Pt(0, 10)},
+			Holes: []geom.Ring{{geom.Pt(4, 4), geom.Pt(6, 4), geom.Pt(6, 6), geom.Pt(4, 6)}},
+		},
+	}}
+	svg := SVG(area, SVGOptions{})
+	if strings.Count(svg, "<polygon") != 2 {
+		t.Fatalf("hole not rendered:\n%s", svg)
+	}
+}
+
+func TestSVGGeneralization(t *testing.T) {
+	area := uikit.New(uikit.KindDrawingArea, "m")
+	// A duct with many redundant collinear vertices.
+	line := geom.LineString{}
+	for i := 0; i <= 50; i++ {
+		line = append(line, geom.Pt(float64(i), 0))
+	}
+	area.Shapes = []uikit.Shape{{Geom: line, Format: "lineFormat"}}
+	full := SVG(area, SVGOptions{})
+	coarse := SVG(area, SVGOptions{GeneralizeTolerance: 0.5})
+	if len(coarse) >= len(full) {
+		t.Fatalf("generalized output not smaller: %d vs %d", len(coarse), len(full))
+	}
+	if !strings.Contains(coarse, "<polyline") {
+		t.Fatal("generalized line vanished")
+	}
+	// Two points only after simplification of a straight run.
+	if got := strings.Count(coarse, ","); got > 4 {
+		t.Fatalf("generalized polyline still has %d coordinate pairs", got)
+	}
+}

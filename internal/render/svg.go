@@ -1,0 +1,128 @@
+package render
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/geom"
+	"repro/internal/uikit"
+)
+
+// SVGOptions configures the drawing-area renderer.
+type SVGOptions struct {
+	// Width and Height are the output viewport in pixels (defaults 640x480).
+	Width, Height int
+	// Margin is the world-padding fraction around the content (default 5%).
+	Margin float64
+	// Labels draws shape labels next to their anchor points.
+	Labels bool
+	// GeneralizeTolerance, when positive, simplifies polylines and polygon
+	// rings by that world-unit tolerance before drawing — the coarse-scale
+	// rendering path (geom.Generalize). Zero draws full detail.
+	GeneralizeTolerance float64
+}
+
+func (o SVGOptions) withDefaults() SVGOptions {
+	if o.Width <= 0 {
+		o.Width = 640
+	}
+	if o.Height <= 0 {
+		o.Height = 480
+	}
+	if o.Margin == 0 {
+		o.Margin = 0.05
+	}
+	return o
+}
+
+// SVG renders a drawing area's shapes as an SVG document. Formats map to
+// marks: pointFormat → circles, lineFormat → polylines, regionFormat →
+// polygons; defaultFormat falls back by geometry kind. The world window is
+// the union of shape bounds, fit into the viewport preserving aspect.
+func SVG(area *uikit.Widget, opts SVGOptions) string {
+	o := opts.withDefaults()
+	world := geom.EmptyRect
+	for _, s := range area.Shapes {
+		if s.Geom != nil {
+			world = world.Union(s.Geom.Bounds())
+		}
+	}
+	if world.IsEmpty() {
+		world = geom.R(0, 0, 1, 1)
+	}
+	pad := o.Margin * (world.Width() + world.Height() + 1) / 2
+	world = world.Expand(pad)
+	screen := geom.R(0, 0, float64(o.Width), float64(o.Height))
+	tr := geom.FitRect(world, screen)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		o.Width, o.Height, o.Width, o.Height)
+	fmt.Fprintf(&b, `  <rect width="%d" height="%d" fill="white"/>`+"\n", o.Width, o.Height)
+	for _, s := range area.Shapes {
+		if s.Geom == nil {
+			continue
+		}
+		shape := s.Geom
+		if o.GeneralizeTolerance > 0 {
+			shape = geom.Generalize(shape, o.GeneralizeTolerance)
+		}
+		g := tr.ApplyToGeometry(shape)
+		writeShape(&b, g, s.Format)
+		if o.Labels && s.Label != "" {
+			anchor := g.Bounds().Center()
+			fmt.Fprintf(&b, `  <text x="%.1f" y="%.1f" font-size="10">%s</text>`+"\n",
+				anchor.X+4, anchor.Y-4, escapeXML(s.Label))
+		}
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+func writeShape(b *strings.Builder, g geom.Geometry, format string) {
+	switch gg := g.(type) {
+	case geom.Point:
+		writePoint(b, gg, format)
+	case geom.MultiPoint:
+		for _, p := range gg {
+			writePoint(b, p, format)
+		}
+	case geom.LineString:
+		fmt.Fprintf(b, `  <polyline points="%s" fill="none" stroke="black" stroke-width="1.5"/>`+"\n",
+			pointList(gg))
+	case geom.Polygon:
+		fmt.Fprintf(b, `  <polygon points="%s" fill="lightgray" stroke="black"/>`+"\n",
+			pointList([]geom.Point(gg.Outer)))
+		for _, h := range gg.Holes {
+			fmt.Fprintf(b, `  <polygon points="%s" fill="white" stroke="black"/>`+"\n",
+				pointList([]geom.Point(h)))
+		}
+	case geom.Rect:
+		fmt.Fprintf(b, `  <rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="lightgray" stroke="black"/>`+"\n",
+			gg.Min.X, gg.Min.Y, gg.Width(), gg.Height())
+	}
+}
+
+func writePoint(b *strings.Builder, p geom.Point, format string) {
+	// pointFormat (the paper's default for poles) draws a small disc; any
+	// other format on a point draws a cross, so customized and default
+	// renderings are visually distinguishable.
+	if format == "pointFormat" || format == "" || format == "defaultFormat" {
+		fmt.Fprintf(b, `  <circle cx="%.1f" cy="%.1f" r="3" fill="black"/>`+"\n", p.X, p.Y)
+		return
+	}
+	fmt.Fprintf(b, `  <path d="M %.1f %.1f l 6 0 m -3 -3 l 0 6" stroke="black"/>`+"\n", p.X-3, p.Y)
+}
+
+func pointList(ps []geom.Point) string {
+	parts := make([]string, len(ps))
+	for i, p := range ps {
+		parts[i] = fmt.Sprintf("%.1f,%.1f", p.X, p.Y)
+	}
+	return strings.Join(parts, " ")
+}
+
+func escapeXML(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,92 @@
+// Package render provides the display backends for built windows. The paper
+// showed Motif-era screenshots (Figures 4 and 7); this reproduction renders
+// deterministically instead: a structured text renderer for entire window
+// trees (diffable, which makes the figure reproductions assertable in tests)
+// and an SVG renderer for drawing areas (the cartographic presentation
+// area). See DESIGN.md for the substitution rationale.
+package render
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/uikit"
+)
+
+// Text renders a widget tree as indented structured text. The output is
+// stable: properties and callbacks print in sorted order.
+func Text(w *uikit.Widget) string {
+	var b strings.Builder
+	renderText(&b, w, 0)
+	return b.String()
+}
+
+func renderText(b *strings.Builder, w *uikit.Widget, depth int) {
+	indent := strings.Repeat("  ", depth)
+	fmt.Fprintf(b, "%s%s %s", indent, w.Kind, w.Name)
+	if len(w.Props) > 0 {
+		keys := make([]string, 0, len(w.Props))
+		for k := range w.Props {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		parts := make([]string, len(keys))
+		for i, k := range keys {
+			parts[i] = fmt.Sprintf("%s=%q", k, w.Props[k])
+		}
+		fmt.Fprintf(b, " {%s}", strings.Join(parts, " "))
+	}
+	if len(w.Callbacks) > 0 {
+		events := make([]string, 0, len(w.Callbacks))
+		for e := range w.Callbacks {
+			events = append(events, e)
+		}
+		sort.Strings(events)
+		parts := make([]string, len(events))
+		for i, e := range events {
+			parts[i] = fmt.Sprintf("%s->%s", e, w.Callbacks[e])
+		}
+		fmt.Fprintf(b, " on[%s]", strings.Join(parts, " "))
+	}
+	b.WriteString("\n")
+	for _, item := range w.Items {
+		fmt.Fprintf(b, "%s  - %s\n", indent, item)
+	}
+	for _, s := range w.Shapes {
+		wkt := "<nil>"
+		if s.Geom != nil {
+			wkt = s.Geom.WKT()
+		}
+		fmt.Fprintf(b, "%s  * ", indent)
+		if s.Label != "" {
+			fmt.Fprintf(b, "%s ", s.Label)
+		}
+		fmt.Fprintf(b, "%s", wkt)
+		if s.Format != "" {
+			fmt.Fprintf(b, " [%s]", s.Format)
+		}
+		b.WriteString("\n")
+	}
+	for _, c := range w.Children {
+		renderText(b, c, depth+1)
+	}
+}
+
+// Screen renders only the visible portion of a window set: windows whose
+// "visible" property is "false" are listed by name but not expanded,
+// mirroring a window manager's view of the paper's Null-display windows.
+func Screen(windows ...*uikit.Widget) string {
+	var b strings.Builder
+	for i, w := range windows {
+		if i > 0 {
+			b.WriteString("\n")
+		}
+		if w.Prop("visible") == "false" {
+			fmt.Fprintf(&b, "(hidden) %s %q\n", w.Name, w.Prop("title"))
+			continue
+		}
+		renderText(&b, w, 0)
+	}
+	return b.String()
+}

@@ -1,0 +1,242 @@
+// Package server exposes a geographic database (with its active mechanism)
+// over the weak-integration protocol: the DBMS side of §3.5's open-GIS
+// architecture. One Server serves many concurrent UI clients; each
+// connection is handled sequentially, matching the one-interaction-at-a-time
+// nature of a UI session.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+
+	"repro/internal/geom"
+	"repro/internal/proto"
+	"repro/internal/spec"
+	"repro/internal/ui"
+)
+
+// Server answers protocol requests against a Backend (normally a
+// ui.DirectBackend wrapping the database and its rule engine).
+type Server struct {
+	backend ui.Backend
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+
+	// Logf receives connection-level failures; default drops them. Request
+	// errors are returned to the client, not logged.
+	Logf func(format string, args ...any)
+
+	// Requests counts requests served (B8 reporting).
+	Requests uint64
+}
+
+// New returns a server over the backend.
+func New(backend ui.Backend) *Server {
+	return &Server{
+		backend: backend,
+		conns:   map[net.Conn]struct{}{},
+		Logf:    func(string, ...any) {},
+	}
+}
+
+// NewLogging is New with failures logged to the standard logger.
+func NewLogging(backend ui.Backend) *Server {
+	s := New(backend)
+	s.Logf = log.Printf
+	return s
+}
+
+// Serve accepts connections until the listener closes. It returns nil after
+// Close.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return errors.New("server: already closed")
+	}
+	s.listener = l
+	s.mu.Unlock()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return fmt.Errorf("server: accept: %w", err)
+		}
+		s.mu.Lock()
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		go s.serveConn(conn)
+	}
+}
+
+// ListenAndServe listens on a TCP address and serves.
+func (s *Server) ListenAndServe(addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("server: listen %s: %w", addr, err)
+	}
+	return s.Serve(l)
+}
+
+// ServeConn handles a single pre-established connection (used with
+// net.Pipe for the in-process weak-integration configuration). It returns
+// when the connection closes.
+func (s *Server) ServeConn(conn net.Conn) {
+	s.mu.Lock()
+	s.conns[conn] = struct{}{}
+	s.mu.Unlock()
+	s.serveConn(conn)
+}
+
+// Close stops accepting and closes every live connection.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	var err error
+	if s.listener != nil {
+		err = s.listener.Close()
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+	return err
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	for {
+		var req proto.Request
+		if err := proto.ReadMessage(conn, &req); err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				s.Logf("server: read from %v: %v", conn.RemoteAddr(), err)
+			}
+			return
+		}
+		resp := s.handle(req)
+		if err := proto.WriteMessage(conn, resp); err != nil {
+			s.Logf("server: write to %v: %v", conn.RemoteAddr(), err)
+			return
+		}
+	}
+}
+
+func (s *Server) handle(req proto.Request) proto.Response {
+	s.mu.Lock()
+	s.Requests++
+	s.mu.Unlock()
+	resp := proto.Response{ID: req.ID}
+	fail := func(err error) proto.Response {
+		resp.Err = err.Error()
+		return resp
+	}
+	switch req.Op {
+	case proto.OpConnect:
+		if err := s.backend.Connect(req.Ctx); err != nil {
+			return fail(err)
+		}
+	case proto.OpGetSchema:
+		info, cust, err := s.backend.GetSchema(req.Ctx, req.Schema)
+		if err != nil {
+			return fail(err)
+		}
+		resp.Schema = &proto.SchemaInfo{Name: info.Name, Classes: info.Classes, Parents: info.Parents}
+		resp.Cust = cust
+	case proto.OpGetClass:
+		var data ui.ClassData
+		var cust *spec.Customization
+		var err error
+		if req.Window != "" {
+			g, perr := geom.ParseWKT(req.Window)
+			if perr != nil {
+				return fail(perr)
+			}
+			data, cust, err = s.backend.GetClassWindowed(req.Ctx, req.Schema, req.Class, g.Bounds())
+		} else {
+			data, cust, err = s.backend.GetClass(req.Ctx, req.Schema, req.Class)
+		}
+		if err != nil {
+			return fail(err)
+		}
+		wire := proto.ClassData{
+			Schema:       data.Info.Schema,
+			Class:        data.Info.Class,
+			Attrs:        data.Info.Attrs,
+			OIDs:         data.Info.OIDs,
+			GeometryAttr: data.Info.GeometryAttr,
+		}
+		for _, in := range data.Instances {
+			wi, err := proto.EncodeInstance(in)
+			if err != nil {
+				return fail(err)
+			}
+			wire.Instances = append(wire.Instances, wi)
+		}
+		resp.Class = &wire
+		resp.Cust = cust
+	case proto.OpGetValue:
+		in, cust, err := s.backend.GetValue(req.Ctx, req.OID)
+		if err != nil {
+			return fail(err)
+		}
+		wi, err := proto.EncodeInstance(in)
+		if err != nil {
+			return fail(err)
+		}
+		resp.Instance = &wi
+		resp.Cust = cust
+	case proto.OpSelectWhere:
+		filters, err := proto.DecodeFilters(req.Filters)
+		if err != nil {
+			return fail(err)
+		}
+		instances, err := s.backend.SelectWhere(req.Ctx, req.Schema, req.Class, filters)
+		if err != nil {
+			return fail(err)
+		}
+		for _, in := range instances {
+			wi, err := proto.EncodeInstance(in)
+			if err != nil {
+				return fail(err)
+			}
+			resp.Instances = append(resp.Instances, wi)
+		}
+	case proto.OpCallMethod:
+		args, err := proto.DecodeValues(req.Args)
+		if err != nil {
+			return fail(err)
+		}
+		out, err := s.backend.CallMethod(req.OID, req.Method, args...)
+		if err != nil {
+			return fail(err)
+		}
+		wv, err := proto.EncodeValue(out)
+		if err != nil {
+			return fail(err)
+		}
+		resp.Value = &wv
+	default:
+		resp.Err = fmt.Sprintf("server: unknown op %q", req.Op)
+	}
+	return resp
+}

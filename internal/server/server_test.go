@@ -1,0 +1,174 @@
+package server
+
+import (
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/active"
+	"repro/internal/catalog"
+	"repro/internal/event"
+	"repro/internal/geodb"
+	"repro/internal/proto"
+	"repro/internal/ui"
+)
+
+func testBackend(t testing.TB) *ui.DirectBackend {
+	t.Helper()
+	db := geodb.MustOpen(geodb.Options{})
+	if err := db.DefineSchema("s"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.DefineClass("s", catalog.Class{
+		Name:  "C",
+		Attrs: []catalog.Field{catalog.F("n", catalog.Scalar(catalog.KindText))},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Insert(event.Context{}, "s", "C", []catalog.Value{catalog.TextVal("x")}); err != nil {
+		t.Fatal(err)
+	}
+	return ui.NewDirectBackend(db, active.NewEngine())
+}
+
+// rawExchange sends one framed request and reads the framed response.
+func rawExchange(t *testing.T, conn net.Conn, req proto.Request) proto.Response {
+	t.Helper()
+	if err := proto.WriteMessage(conn, req); err != nil {
+		t.Fatal(err)
+	}
+	var resp proto.Response
+	if err := proto.ReadMessage(conn, &resp); err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func TestUnknownOp(t *testing.T) {
+	srv := New(testBackend(t))
+	srvConn, cliConn := net.Pipe()
+	go srv.ServeConn(srvConn)
+	defer srv.Close()
+	defer cliConn.Close()
+	resp := rawExchange(t, cliConn, proto.Request{ID: 1, Op: "explode"})
+	if resp.ID != 1 || !strings.Contains(resp.Err, "unknown op") {
+		t.Fatalf("resp = %+v", resp)
+	}
+}
+
+func TestRequestErrorsDoNotKillConnection(t *testing.T) {
+	srv := New(testBackend(t))
+	srvConn, cliConn := net.Pipe()
+	go srv.ServeConn(srvConn)
+	defer srv.Close()
+	defer cliConn.Close()
+	// A failing request...
+	resp := rawExchange(t, cliConn, proto.Request{ID: 1, Op: proto.OpGetSchema, Schema: "ghost"})
+	if resp.Err == "" {
+		t.Fatal("expected error")
+	}
+	// ...followed by a succeeding one on the same connection.
+	resp = rawExchange(t, cliConn, proto.Request{ID: 2, Op: proto.OpGetSchema, Schema: "s"})
+	if resp.Err != "" || resp.Schema == nil || resp.Schema.Name != "s" {
+		t.Fatalf("resp = %+v", resp)
+	}
+	if srv.Requests != 2 {
+		t.Fatalf("requests = %d", srv.Requests)
+	}
+}
+
+func TestMalformedFrameClosesConnection(t *testing.T) {
+	srv := New(testBackend(t))
+	srvConn, cliConn := net.Pipe()
+	done := make(chan struct{})
+	go func() {
+		srv.ServeConn(srvConn)
+		close(done)
+	}()
+	defer srv.Close()
+	// An oversize frame header: the server drops the connection.
+	cliConn.Write([]byte{0xff, 0xff, 0xff, 0xff})
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("server did not drop the malformed connection")
+	}
+}
+
+func TestCloseUnblocksServe(t *testing.T) {
+	srv := New(testBackend(t))
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(l) }()
+	// Open a connection so Close also exercises live-conn shutdown.
+	conn, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	time.Sleep(20 * time.Millisecond)
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Serve returned %v after Close", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Serve did not return after Close")
+	}
+	// Double close is fine; serving again is rejected.
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Serve(l); err == nil {
+		t.Fatal("Serve after Close should fail")
+	}
+}
+
+func TestConcurrentConnections(t *testing.T) {
+	srv := New(testBackend(t))
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(l)
+	defer srv.Close()
+	done := make(chan error, 4)
+	for i := 0; i < 4; i++ {
+		go func(id uint64) {
+			conn, err := net.Dial("tcp", l.Addr().String())
+			if err != nil {
+				done <- err
+				return
+			}
+			defer conn.Close()
+			for j := 0; j < 25; j++ {
+				if err := proto.WriteMessage(conn, proto.Request{ID: id, Op: proto.OpGetSchema, Schema: "s"}); err != nil {
+					done <- err
+					return
+				}
+				var resp proto.Response
+				if err := proto.ReadMessage(conn, &resp); err != nil {
+					done <- err
+					return
+				}
+				if resp.ID != id || resp.Err != "" {
+					done <- net.ErrClosed
+					return
+				}
+			}
+			done <- nil
+		}(uint64(i + 1))
+	}
+	for i := 0; i < 4; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

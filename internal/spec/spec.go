@@ -1,0 +1,204 @@
+// Package spec defines the customization vocabulary exchanged between the
+// customization-language compiler (which produces it), the active mechanism
+// (whose rule actions retrieve it) and the generic interface builder (which
+// consumes it while assembling windows).
+//
+// A Customization is the paper's "CT": the presentation directives applied
+// to the (data, presentation) pair that a database event produces. One
+// Customization targets exactly one window level — Schema, Class set or
+// Instance — mirroring how a customization directive "can be mapped directly
+// into customization database rules, for events Get_Schema, Get_Class,
+// Get_Instance" (§3.4).
+package spec
+
+import (
+	"fmt"
+	"strings"
+)
+
+// SchemaDisplay enumerates the schema clause display modes of Figure 3:
+// "schema <name> display as default | hierarchy | user-defined | Null".
+type SchemaDisplay uint8
+
+// Schema window display modes.
+const (
+	// DisplayDefault shows the flat class list the generic interface uses.
+	DisplayDefault SchemaDisplay = iota
+	// DisplayHierarchy shows classes as an inheritance tree.
+	DisplayHierarchy
+	// DisplayUserDefined delegates to a named widget from the library.
+	DisplayUserDefined
+	// DisplayNull suppresses the Schema window entirely (it is still built,
+	// because it anchors the window hierarchy, but never shown — exactly
+	// the paper's R1 behaviour for the pole manager).
+	DisplayNull
+)
+
+// String returns the language keyword for the mode.
+func (d SchemaDisplay) String() string {
+	switch d {
+	case DisplayDefault:
+		return "default"
+	case DisplayHierarchy:
+		return "hierarchy"
+	case DisplayUserDefined:
+		return "user-defined"
+	case DisplayNull:
+		return "Null"
+	default:
+		return fmt.Sprintf("SchemaDisplay(%d)", uint8(d))
+	}
+}
+
+// ParseSchemaDisplay resolves a display-mode keyword.
+func ParseSchemaDisplay(s string) (SchemaDisplay, bool) {
+	switch strings.ToLower(s) {
+	case "default":
+		return DisplayDefault, true
+	case "hierarchy":
+		return DisplayHierarchy, true
+	case "user-defined", "userdefined":
+		return DisplayUserDefined, true
+	case "null":
+		return DisplayNull, true
+	default:
+		return 0, false
+	}
+}
+
+// SchemaCust customizes a Schema window (from a "schema" clause).
+type SchemaCust struct {
+	// Schema names the database schema the clause selected.
+	Schema string
+	// Display selects the window's display mode.
+	Display SchemaDisplay
+	// Widget names the library object used when Display is
+	// DisplayUserDefined.
+	Widget string
+	// Classes lists the classes the directive customizes; with DisplayNull
+	// the builder auto-opens these (the paper's R1 triggers Get_Class for
+	// "the classes defined in the customization directive").
+	Classes []string
+}
+
+// ClassCust customizes a Class set window (from a "class ... display"
+// clause): "control as <widget>" and "presentation as <format>".
+type ClassCust struct {
+	// Class names the customized class.
+	Class string
+	// Control names the library widget replacing the default control
+	// area representation of the class (the paper's poleWidget).
+	Control string
+	// Presentation names the display format of the presentation (map)
+	// area (the paper's pointFormat).
+	Presentation string
+}
+
+// AttrSource describes where a customized attribute panel gets its content:
+// either attribute paths (the "from" clause, e.g. pole.material) or a method
+// call (e.g. get_supplier_name(pole_supplier)).
+type AttrSource struct {
+	// Attr is an attribute name or dotted path into a tuple attribute.
+	Attr string
+	// Method, when non-empty, names a class method to invoke; Args are its
+	// attribute arguments.
+	Method string
+	Args   []string
+}
+
+// String renders the source as written in the language.
+func (s AttrSource) String() string {
+	if s.Method != "" {
+		return fmt.Sprintf("%s(%s)", s.Method, strings.Join(s.Args, ", "))
+	}
+	return s.Attr
+}
+
+// AttrCust customizes one attribute panel of an Instance window (from a
+// "display attribute" clause).
+type AttrCust struct {
+	// Attr is the customized attribute.
+	Attr string
+	// Null suppresses the attribute panel ("display attribute x as Null").
+	Null bool
+	// Widget names the library widget presenting the attribute (the
+	// paper's composed_text).
+	Widget string
+	// From lists the content sources feeding the widget.
+	From []AttrSource
+	// Using names the callback bound to the widget (the paper's
+	// composed_text.notify()).
+	Using string
+}
+
+// InstanceCust customizes an Instance window (from an "instances" clause).
+// Attributes not listed keep the generic default presentation (§3.4: "the
+// omitted controls are represented with the default presentation").
+type InstanceCust struct {
+	// Class names the class whose instances are customized.
+	Class string
+	// Attrs lists per-attribute customizations.
+	Attrs []AttrCust
+}
+
+// Attr returns the customization for the named attribute, if present.
+func (ic InstanceCust) Attr(name string) (AttrCust, bool) {
+	for _, a := range ic.Attrs {
+		if a.Attr == name {
+			return a, true
+		}
+	}
+	return AttrCust{}, false
+}
+
+// Level identifies which window level a Customization targets.
+type Level uint8
+
+// Customization levels, one per interaction window type.
+const (
+	LevelSchema Level = iota + 1
+	LevelClass
+	LevelInstance
+)
+
+// String returns the window-type name.
+func (l Level) String() string {
+	switch l {
+	case LevelSchema:
+		return "Schema"
+	case LevelClass:
+		return "Class set"
+	case LevelInstance:
+		return "Instance"
+	default:
+		return fmt.Sprintf("Level(%d)", uint8(l))
+	}
+}
+
+// Customization is the presentation directive a selected customization rule
+// delivers to the generic interface builder. Exactly one of Schema, Class,
+// Instance is meaningful, selected by Level.
+type Customization struct {
+	Level    Level
+	Schema   SchemaCust
+	Class    ClassCust
+	Instance InstanceCust
+	// Origin names the rule that produced the customization (diagnostics
+	// and the F1 trace).
+	Origin string
+}
+
+// String summarizes the customization for traces.
+func (c Customization) String() string {
+	switch c.Level {
+	case LevelSchema:
+		return fmt.Sprintf("customize Schema(%s) display=%s", c.Schema.Schema, c.Schema.Display)
+	case LevelClass:
+		return fmt.Sprintf("customize ClassSet(%s) control=%s presentation=%s",
+			c.Class.Class, c.Class.Control, c.Class.Presentation)
+	case LevelInstance:
+		return fmt.Sprintf("customize Instance(%s) %d attrs", c.Instance.Class, len(c.Instance.Attrs))
+	default:
+		return "customize <invalid>"
+	}
+}

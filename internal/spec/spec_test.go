@@ -1,0 +1,90 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSchemaDisplayRoundTrip(t *testing.T) {
+	for _, d := range []SchemaDisplay{DisplayDefault, DisplayHierarchy, DisplayUserDefined, DisplayNull} {
+		got, ok := ParseSchemaDisplay(d.String())
+		if !ok || got != d {
+			t.Errorf("ParseSchemaDisplay(%q) = %v, %v", d.String(), got, ok)
+		}
+	}
+	if _, ok := ParseSchemaDisplay("spinny"); ok {
+		t.Fatal("unknown mode parsed")
+	}
+	// Case-insensitive, both spellings of user-defined.
+	if d, ok := ParseSchemaDisplay("NULL"); !ok || d != DisplayNull {
+		t.Fatal("NULL")
+	}
+	if d, ok := ParseSchemaDisplay("userdefined"); !ok || d != DisplayUserDefined {
+		t.Fatal("userdefined")
+	}
+	if !strings.Contains(SchemaDisplay(99).String(), "99") {
+		t.Fatal("unknown display should stringify diagnostically")
+	}
+}
+
+func TestAttrSourceString(t *testing.T) {
+	if got := (AttrSource{Attr: "pole_composition.pole_material"}).String(); got != "pole_composition.pole_material" {
+		t.Fatalf("attr source = %q", got)
+	}
+	src := AttrSource{Method: "get_supplier_name", Args: []string{"pole_supplier"}}
+	if got := src.String(); got != "get_supplier_name(pole_supplier)" {
+		t.Fatalf("method source = %q", got)
+	}
+	multi := AttrSource{Method: "m", Args: []string{"a", "b"}}
+	if got := multi.String(); got != "m(a, b)" {
+		t.Fatalf("multi-arg source = %q", got)
+	}
+}
+
+func TestInstanceCustAttr(t *testing.T) {
+	ic := InstanceCust{
+		Class: "Pole",
+		Attrs: []AttrCust{
+			{Attr: "pole_location", Null: true},
+			{Attr: "pole_supplier", Widget: "text"},
+		},
+	}
+	if a, ok := ic.Attr("pole_location"); !ok || !a.Null {
+		t.Fatal("pole_location lookup")
+	}
+	if a, ok := ic.Attr("pole_supplier"); !ok || a.Widget != "text" {
+		t.Fatal("pole_supplier lookup")
+	}
+	if _, ok := ic.Attr("ghost"); ok {
+		t.Fatal("phantom attribute")
+	}
+}
+
+func TestLevelString(t *testing.T) {
+	if LevelSchema.String() != "Schema" || LevelClass.String() != "Class set" || LevelInstance.String() != "Instance" {
+		t.Fatal("level names")
+	}
+	if !strings.Contains(Level(9).String(), "9") {
+		t.Fatal("unknown level")
+	}
+}
+
+func TestCustomizationString(t *testing.T) {
+	cases := []struct {
+		c    Customization
+		want string
+	}{
+		{Customization{Level: LevelSchema, Schema: SchemaCust{Schema: "s", Display: DisplayNull}},
+			"customize Schema(s) display=Null"},
+		{Customization{Level: LevelClass, Class: ClassCust{Class: "Pole", Control: "poleWidget", Presentation: "pointFormat"}},
+			"customize ClassSet(Pole) control=poleWidget presentation=pointFormat"},
+		{Customization{Level: LevelInstance, Instance: InstanceCust{Class: "Pole", Attrs: []AttrCust{{Attr: "a"}}}},
+			"customize Instance(Pole) 1 attrs"},
+		{Customization{}, "customize <invalid>"},
+	}
+	for _, c := range cases {
+		if got := c.c.String(); got != c.want {
+			t.Errorf("String = %q, want %q", got, c.want)
+		}
+	}
+}

@@ -1,0 +1,240 @@
+// Package storage implements the on-disk substrate of the geographic DBMS:
+// fixed-size slotted pages, heap files of variable-length records, and a
+// pluggable-replacement buffer pool. The paper singles out buffer management
+// as a database problem the GIS interface inherits ("the interface has to
+// provide large buffers to temporarily store and manipulate the data
+// retrieved from the spatial dbms"); this package is that substrate, and the
+// B5 experiment sweeps its pool size and replacement policy on map-browsing
+// traces.
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// PageSize is the fixed size of every page in bytes.
+const PageSize = 4096
+
+// Page layout:
+//
+//	[0:2)  uint16 slot count
+//	[2:4)  uint16 free-space start (grows up, records packed from the end)
+//	[4:6)  uint16 free-space end (first byte used by record data)
+//	[6:..) slot array, 4 bytes per slot: uint16 offset, uint16 length
+//	...    free space ...
+//	[freeEnd:PageSize) record payloads, packed from the page end
+//
+// A slot with offset 0 is a tombstone (valid record offsets are always past
+// the header).
+const (
+	pageHeaderSize = 6
+	slotSize       = 4
+)
+
+// Errors returned by page and heap-file operations.
+var (
+	ErrPageFull       = errors.New("storage: page full")
+	ErrRecordTooLarge = errors.New("storage: record exceeds page capacity")
+	ErrNoRecord       = errors.New("storage: no record at slot")
+	ErrBadPage        = errors.New("storage: corrupt page")
+)
+
+// MaxRecordSize is the largest record payload a single page can host.
+const MaxRecordSize = PageSize - pageHeaderSize - slotSize
+
+// Page is a slotted page. The zero value of the backing array is a valid
+// empty page after InitPage.
+type Page [PageSize]byte
+
+// InitPage formats p as an empty slotted page.
+func (p *Page) InitPage() {
+	binary.LittleEndian.PutUint16(p[0:2], 0)
+	binary.LittleEndian.PutUint16(p[2:4], pageHeaderSize)
+	binary.LittleEndian.PutUint16(p[4:6], PageSize)
+}
+
+func (p *Page) slotCount() int { return int(binary.LittleEndian.Uint16(p[0:2])) }
+func (p *Page) freeStart() int { return int(binary.LittleEndian.Uint16(p[2:4])) }
+func (p *Page) freeEnd() int   { return int(binary.LittleEndian.Uint16(p[4:6])) }
+
+func (p *Page) setSlotCount(n int) { binary.LittleEndian.PutUint16(p[0:2], uint16(n)) }
+func (p *Page) setFreeStart(n int) { binary.LittleEndian.PutUint16(p[2:4], uint16(n)) }
+func (p *Page) setFreeEnd(n int)   { binary.LittleEndian.PutUint16(p[4:6], uint16(n)) }
+
+func (p *Page) slot(i int) (offset, length int) {
+	base := pageHeaderSize + i*slotSize
+	return int(binary.LittleEndian.Uint16(p[base : base+2])),
+		int(binary.LittleEndian.Uint16(p[base+2 : base+4]))
+}
+
+func (p *Page) setSlot(i, offset, length int) {
+	base := pageHeaderSize + i*slotSize
+	binary.LittleEndian.PutUint16(p[base:base+2], uint16(offset))
+	binary.LittleEndian.PutUint16(p[base+2:base+4], uint16(length))
+}
+
+// FreeSpace reports how many payload bytes the page can still accept for a
+// new record (accounting for its slot entry, but not reusing tombstones).
+func (p *Page) FreeSpace() int {
+	free := p.freeEnd() - p.freeStart() - slotSize
+	if free < 0 {
+		return 0
+	}
+	return free
+}
+
+// NumSlots reports the slot-array length, including tombstones.
+func (p *Page) NumSlots() int { return p.slotCount() }
+
+// InsertRecord stores data in the page and returns its slot index. It reuses
+// a tombstoned slot entry when one exists. Returns ErrPageFull when the
+// payload plus slot bookkeeping does not fit.
+func (p *Page) InsertRecord(data []byte) (int, error) {
+	if len(data) > MaxRecordSize {
+		return 0, fmt.Errorf("%w: %d bytes", ErrRecordTooLarge, len(data))
+	}
+	// Look for a tombstone first: its slot entry is already paid for.
+	slotIdx := -1
+	for i := 0; i < p.slotCount(); i++ {
+		if off, _ := p.slot(i); off == 0 {
+			slotIdx = i
+			break
+		}
+	}
+	need := len(data)
+	if slotIdx == -1 {
+		need += slotSize
+	}
+	if p.freeEnd()-p.freeStart() < need {
+		// Try compaction before giving up: deleted records leave holes in
+		// the payload area that only compaction reclaims.
+		p.compact()
+		if p.freeEnd()-p.freeStart() < need {
+			return 0, ErrPageFull
+		}
+	}
+	newEnd := p.freeEnd() - len(data)
+	copy(p[newEnd:p.freeEnd()], data)
+	p.setFreeEnd(newEnd)
+	if slotIdx == -1 {
+		slotIdx = p.slotCount()
+		p.setSlotCount(slotIdx + 1)
+		p.setFreeStart(p.freeStart() + slotSize)
+	}
+	p.setSlot(slotIdx, newEnd, len(data))
+	return slotIdx, nil
+}
+
+// GetRecord returns the payload at slot i. The returned slice aliases the
+// page; callers that retain it must copy.
+func (p *Page) GetRecord(i int) ([]byte, error) {
+	if i < 0 || i >= p.slotCount() {
+		return nil, fmt.Errorf("%w: slot %d of %d", ErrNoRecord, i, p.slotCount())
+	}
+	off, length := p.slot(i)
+	if off == 0 {
+		return nil, fmt.Errorf("%w: slot %d deleted", ErrNoRecord, i)
+	}
+	if off+length > PageSize || off < pageHeaderSize {
+		return nil, fmt.Errorf("%w: slot %d offset %d length %d", ErrBadPage, i, off, length)
+	}
+	return p[off : off+length], nil
+}
+
+// DeleteRecord tombstones slot i. The payload bytes are reclaimed lazily by
+// compaction on a later insert.
+func (p *Page) DeleteRecord(i int) error {
+	if i < 0 || i >= p.slotCount() {
+		return fmt.Errorf("%w: slot %d of %d", ErrNoRecord, i, p.slotCount())
+	}
+	if off, _ := p.slot(i); off == 0 {
+		return fmt.Errorf("%w: slot %d already deleted", ErrNoRecord, i)
+	}
+	p.setSlot(i, 0, 0)
+	return nil
+}
+
+// UpdateRecord replaces the payload at slot i. Shrinking updates happen in
+// place; growing updates relocate within the page and may fail with
+// ErrPageFull, in which case the heap layer deletes and reinserts elsewhere.
+func (p *Page) UpdateRecord(i int, data []byte) error {
+	if i < 0 || i >= p.slotCount() {
+		return fmt.Errorf("%w: slot %d of %d", ErrNoRecord, i, p.slotCount())
+	}
+	off, length := p.slot(i)
+	if off == 0 {
+		return fmt.Errorf("%w: slot %d deleted", ErrNoRecord, i)
+	}
+	if len(data) <= length {
+		copy(p[off:off+len(data)], data)
+		p.setSlot(i, off, len(data))
+		return nil
+	}
+	if len(data) > MaxRecordSize {
+		return fmt.Errorf("%w: %d bytes", ErrRecordTooLarge, len(data))
+	}
+	// Check feasibility before mutating anything: compaction reclaims the
+	// old payload plus any holes, so the best case is current free space
+	// plus the record being replaced.
+	if p.freeEnd()-p.freeStart()+length < len(data) {
+		return ErrPageFull
+	}
+	// Relocate: tombstone, compact to reclaim the old payload, insert.
+	p.setSlot(i, 0, 0)
+	if p.freeEnd()-p.freeStart() < len(data) {
+		p.compact()
+	}
+	if p.freeEnd()-p.freeStart() < len(data) {
+		// Holes from earlier deletes could in principle still leave us
+		// short; compaction above makes that impossible, but guard anyway.
+		return ErrPageFull
+	}
+	newEnd := p.freeEnd() - len(data)
+	copy(p[newEnd:p.freeEnd()], data)
+	p.setFreeEnd(newEnd)
+	p.setSlot(i, newEnd, len(data))
+	return nil
+}
+
+// compact repacks live payloads against the page end, squeezing out holes
+// left by deleted or relocated records.
+func (p *Page) compact() {
+	type live struct{ slot, off, length int }
+	var lives []live
+	for i := 0; i < p.slotCount(); i++ {
+		if off, length := p.slot(i); off != 0 {
+			lives = append(lives, live{i, off, length})
+		}
+	}
+	// Copy payloads out, then repack. A page is 4KB; the scratch copy is
+	// cheap and keeps the code obviously correct.
+	var scratch [PageSize]byte
+	end := PageSize
+	for _, l := range lives {
+		copy(scratch[end-l.length:end], p[l.off:l.off+l.length])
+		end -= l.length
+	}
+	copy(p[end:PageSize], scratch[end:PageSize])
+	cur := PageSize
+	for _, l := range lives {
+		cur -= l.length
+		p.setSlot(l.slot, cur, l.length)
+	}
+	p.setFreeEnd(end)
+}
+
+// LiveRecords calls fn for every live slot, in slot order. The payload slice
+// aliases the page.
+func (p *Page) LiveRecords(fn func(slot int, data []byte) bool) {
+	for i := 0; i < p.slotCount(); i++ {
+		off, length := p.slot(i)
+		if off == 0 {
+			continue
+		}
+		if !fn(i, p[off:off+length]) {
+			return
+		}
+	}
+}

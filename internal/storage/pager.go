@@ -1,0 +1,171 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// PageID identifies a page within a Pager.
+type PageID uint32
+
+// ErrNoPage is returned when a page id is past the end of the store.
+var ErrNoPage = errors.New("storage: no such page")
+
+// Pager is the raw page store under the buffer pool. Implementations must be
+// safe for concurrent use.
+type Pager interface {
+	// ReadPage fills dst with the page's bytes.
+	ReadPage(id PageID, dst *Page) error
+	// WritePage persists the page's bytes.
+	WritePage(id PageID, src *Page) error
+	// Allocate appends a fresh, zeroed (and slotted-initialized) page and
+	// returns its id.
+	Allocate() (PageID, error)
+	// NumPages reports how many pages exist.
+	NumPages() uint32
+	// Close releases underlying resources, flushing if needed.
+	Close() error
+}
+
+// MemPager is an in-memory Pager, used for tests, benchmarks and the
+// strong-integration configuration.
+type MemPager struct {
+	mu    sync.RWMutex
+	pages []*Page
+
+	// Reads/Writes count page-level IO for the B5 experiment; for a memory
+	// pager they measure logical IO that a disk pager would turn into seeks.
+	Reads, Writes uint64
+}
+
+// NewMemPager returns an empty in-memory pager.
+func NewMemPager() *MemPager { return &MemPager{} }
+
+// ReadPage implements Pager.
+func (m *MemPager) ReadPage(id PageID, dst *Page) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if int(id) >= len(m.pages) {
+		return fmt.Errorf("%w: %d of %d", ErrNoPage, id, len(m.pages))
+	}
+	m.Reads++
+	*dst = *m.pages[id]
+	return nil
+}
+
+// WritePage implements Pager.
+func (m *MemPager) WritePage(id PageID, src *Page) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if int(id) >= len(m.pages) {
+		return fmt.Errorf("%w: %d of %d", ErrNoPage, id, len(m.pages))
+	}
+	m.Writes++
+	*m.pages[id] = *src
+	return nil
+}
+
+// Allocate implements Pager.
+func (m *MemPager) Allocate() (PageID, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p := new(Page)
+	p.InitPage()
+	m.pages = append(m.pages, p)
+	return PageID(len(m.pages) - 1), nil
+}
+
+// NumPages implements Pager.
+func (m *MemPager) NumPages() uint32 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return uint32(len(m.pages))
+}
+
+// Close implements Pager.
+func (m *MemPager) Close() error { return nil }
+
+// FilePager stores pages in a single OS file, page i at offset i*PageSize.
+type FilePager struct {
+	mu    sync.Mutex
+	f     *os.File
+	pages uint32
+}
+
+// OpenFilePager opens (creating if absent) a page file at path.
+func OpenFilePager(path string) (*FilePager, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("storage: open page file: %w", err)
+	}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("storage: stat page file: %w", err)
+	}
+	if info.Size()%PageSize != 0 {
+		f.Close()
+		return nil, fmt.Errorf("%w: file size %d not page aligned", ErrBadPage, info.Size())
+	}
+	return &FilePager{f: f, pages: uint32(info.Size() / PageSize)}, nil
+}
+
+// ReadPage implements Pager.
+func (fp *FilePager) ReadPage(id PageID, dst *Page) error {
+	fp.mu.Lock()
+	defer fp.mu.Unlock()
+	if uint32(id) >= fp.pages {
+		return fmt.Errorf("%w: %d of %d", ErrNoPage, id, fp.pages)
+	}
+	if _, err := fp.f.ReadAt(dst[:], int64(id)*PageSize); err != nil && err != io.EOF {
+		return fmt.Errorf("storage: read page %d: %w", id, err)
+	}
+	return nil
+}
+
+// WritePage implements Pager.
+func (fp *FilePager) WritePage(id PageID, src *Page) error {
+	fp.mu.Lock()
+	defer fp.mu.Unlock()
+	if uint32(id) >= fp.pages {
+		return fmt.Errorf("%w: %d of %d", ErrNoPage, id, fp.pages)
+	}
+	if _, err := fp.f.WriteAt(src[:], int64(id)*PageSize); err != nil {
+		return fmt.Errorf("storage: write page %d: %w", id, err)
+	}
+	return nil
+}
+
+// Allocate implements Pager.
+func (fp *FilePager) Allocate() (PageID, error) {
+	fp.mu.Lock()
+	defer fp.mu.Unlock()
+	var p Page
+	p.InitPage()
+	if _, err := fp.f.WriteAt(p[:], int64(fp.pages)*PageSize); err != nil {
+		return 0, fmt.Errorf("storage: allocate page %d: %w", fp.pages, err)
+	}
+	fp.pages++
+	return PageID(fp.pages - 1), nil
+}
+
+// NumPages implements Pager.
+func (fp *FilePager) NumPages() uint32 {
+	fp.mu.Lock()
+	defer fp.mu.Unlock()
+	return fp.pages
+}
+
+// Close implements Pager.
+func (fp *FilePager) Close() error {
+	fp.mu.Lock()
+	defer fp.mu.Unlock()
+	if err := fp.f.Sync(); err != nil {
+		fp.f.Close()
+		return fmt.Errorf("storage: sync page file: %w", err)
+	}
+	return fp.f.Close()
+}

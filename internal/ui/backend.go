@@ -1,0 +1,159 @@
+// Package ui implements the GIS user interface layer of §3.5: the
+// dispatcher that owns the Schema → Class set → Instance window hierarchy,
+// interprets user interactions as interface events (callbacks) plus database
+// events, hands (data, presentation) pairs to the generic interface builder,
+// and supports the exploratory, analysis and explanation interaction modes.
+//
+// The architecture follows the paper's weak-integration choice: the UI talks
+// to the geographic DBMS through the Backend interface. DirectBackend binds
+// it in-process (strong integration, the baseline B8 compares against);
+// package client binds it over the wire protocol of package proto.
+package ui
+
+import (
+	"repro/internal/active"
+	"repro/internal/catalog"
+	"repro/internal/event"
+	"repro/internal/geodb"
+	"repro/internal/geom"
+	"repro/internal/spec"
+)
+
+// ClassData is the payload a Get_Class interaction needs: the class
+// metadata plus the materialized extension for the presentation area.
+type ClassData struct {
+	Info geodb.ClassInfo
+	// Instances is the extension (or the requested window of it).
+	Instances []geodb.Instance
+}
+
+// Backend is the UI's view of the geographic DBMS. Every retrieval returns
+// the (data, presentation) pair of §3.3: the query result plus the
+// customization the active mechanism selected for the calling context (nil
+// when the generic default applies).
+type Backend interface {
+	// Connect announces a session attach.
+	Connect(ctx event.Context) error
+	// GetSchema performs the Get_Schema primitive.
+	GetSchema(ctx event.Context, schema string) (geodb.SchemaInfo, *spec.Customization, error)
+	// GetClass performs the Get_Class primitive and materializes the
+	// extension.
+	GetClass(ctx event.Context, schema, class string) (ClassData, *spec.Customization, error)
+	// GetClassWindowed is GetClass restricted to a viewport: only
+	// instances whose geometry intersects the window are materialized
+	// (the map pan/zoom path; served by the spatial index).
+	GetClassWindowed(ctx event.Context, schema, class string, window geom.Rect) (ClassData, *spec.Customization, error)
+	// GetValue performs the Get_Value primitive.
+	GetValue(ctx event.Context, oid catalog.OID) (geodb.Instance, *spec.Customization, error)
+	// SelectWhere runs an analysis-mode filtered query (no events, no
+	// customization — §5 notes only queries of the exploratory mode are
+	// customized).
+	SelectWhere(ctx event.Context, schema, class string, filters []geodb.Filter) ([]geodb.Instance, error)
+	// CallMethod invokes a database method (used by the builder to resolve
+	// method-sourced attribute panels).
+	CallMethod(oid catalog.OID, method string, args ...catalog.Value) (catalog.Value, error)
+}
+
+// DirectBackend is the strong-integration binding: the UI and the DBMS share
+// a process and the backend simply pairs each primitive with the engine's
+// selected customization.
+type DirectBackend struct {
+	DB     *geodb.DB
+	Engine *active.Engine
+}
+
+// NewDirectBackend wires a database and its active engine (subscribing the
+// engine to the database bus).
+func NewDirectBackend(db *geodb.DB, engine *active.Engine) *DirectBackend {
+	db.Bus().Subscribe(engine)
+	return &DirectBackend{DB: db, Engine: engine}
+}
+
+// Connect implements Backend.
+func (b *DirectBackend) Connect(ctx event.Context) error {
+	return b.DB.Connect(ctx)
+}
+
+// GetSchema implements Backend.
+func (b *DirectBackend) GetSchema(ctx event.Context, schema string) (geodb.SchemaInfo, *spec.Customization, error) {
+	info, err := b.DB.GetSchema(ctx, schema)
+	if err != nil {
+		return geodb.SchemaInfo{}, nil, err
+	}
+	cust := b.take(event.Event{Kind: event.GetSchema, Schema: schema, Ctx: ctx})
+	return info, cust, nil
+}
+
+// GetClass implements Backend.
+func (b *DirectBackend) GetClass(ctx event.Context, schema, class string) (ClassData, *spec.Customization, error) {
+	info, err := b.DB.GetClass(ctx, schema, class)
+	if err != nil {
+		return ClassData{}, nil, err
+	}
+	instances, err := b.DB.Select(schema, class, nil)
+	if err != nil {
+		return ClassData{}, nil, err
+	}
+	cust := b.take(event.Event{Kind: event.GetClass, Schema: schema, Class: class, Ctx: ctx})
+	return ClassData{Info: info, Instances: instances}, cust, nil
+}
+
+// GetClassWindowed implements Backend.
+func (b *DirectBackend) GetClassWindowed(ctx event.Context, schema, class string, window geom.Rect) (ClassData, *spec.Customization, error) {
+	info, err := b.DB.GetClass(ctx, schema, class)
+	if err != nil {
+		return ClassData{}, nil, err
+	}
+	instances, err := b.DB.InstancesInWindow(schema, class, window)
+	if err != nil {
+		return ClassData{}, nil, err
+	}
+	cust := b.take(event.Event{Kind: event.GetClass, Schema: schema, Class: class, Ctx: ctx})
+	return ClassData{Info: info, Instances: instances}, cust, nil
+}
+
+// GetValue implements Backend.
+func (b *DirectBackend) GetValue(ctx event.Context, oid catalog.OID) (geodb.Instance, *spec.Customization, error) {
+	in, err := b.DB.GetValue(ctx, oid)
+	if err != nil {
+		return geodb.Instance{}, nil, err
+	}
+	cust := b.take(event.Event{
+		Kind: event.GetValue, Schema: in.Schema, Class: in.Class, OID: oid, Ctx: ctx})
+	return in, cust, nil
+}
+
+// SelectWhere implements Backend.
+func (b *DirectBackend) SelectWhere(ctx event.Context, schema, class string, filters []geodb.Filter) ([]geodb.Instance, error) {
+	return b.DB.SelectWhere(schema, class, filters)
+}
+
+// CallMethod implements Backend.
+func (b *DirectBackend) CallMethod(oid catalog.OID, method string, args ...catalog.Value) (catalog.Value, error) {
+	return b.DB.CallMethod(oid, method, args...)
+}
+
+// scenarioCtx tags mutations replayed from a committed scenario.
+var scenarioCtx = event.Context{Application: "_scenario_commit"}
+
+// ScenarioInsert implements Mutator: constraint rules guard the insert.
+func (b *DirectBackend) ScenarioInsert(schema, class string, values []catalog.Value) (catalog.OID, error) {
+	return b.DB.Insert(scenarioCtx, schema, class, values)
+}
+
+// ScenarioUpdate implements Mutator.
+func (b *DirectBackend) ScenarioUpdate(oid catalog.OID, values []catalog.Value) error {
+	return b.DB.Update(scenarioCtx, oid, values)
+}
+
+// ScenarioDelete implements Mutator.
+func (b *DirectBackend) ScenarioDelete(oid catalog.OID) error {
+	return b.DB.Delete(scenarioCtx, oid)
+}
+
+func (b *DirectBackend) take(e event.Event) *spec.Customization {
+	if c, ok := b.Engine.TakeCustomization(e); ok {
+		return &c
+	}
+	return nil
+}

@@ -1,0 +1,153 @@
+package ui
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/active"
+	"repro/internal/event"
+)
+
+// This file implements the dynamic-display rule family of Diaz, Jaime,
+// Paton & al-Qaimari ("Supporting Dynamic Displays Using Active Rules"),
+// which the paper positions itself against in §3.1: their rules reflect
+// database *state changes* in the interface, ours customize its *controls
+// and presentation*. Both families coexist here on the same engine —
+// a reaction rule marks a session's open Class set windows stale when their
+// class mutates, and the session refreshes them on demand. This is the
+// "view refresh" behaviour the paper explicitly does not get from
+// customization rules alone.
+
+// staleSet is the concurrency-safe stale-window tracker; mutations may be
+// observed from other goroutines than the session's event loop.
+type staleSet struct {
+	mu  sync.Mutex
+	set map[string]bool
+}
+
+func (s *staleSet) mark(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.set == nil {
+		s.set = map[string]bool{}
+	}
+	s.set[name] = true
+}
+
+func (s *staleSet) take(name string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.set[name] {
+		delete(s.set, name)
+		return true
+	}
+	return false
+}
+
+func (s *staleSet) names() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.set))
+	for n := range s.set {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// WatchUpdates installs view-refresh reaction rules for this session on the
+// engine: any committed mutation of a class marks the session's open Class
+// set windows for that class stale. It returns an unwatch function that
+// removes the rules; call it when the session ends.
+//
+// Only meaningful under strong integration (the engine must see the
+// database's events); a weak-integration UI would need a notification
+// channel the 1997 protocol does not define.
+func (s *Session) WatchUpdates(engine *active.Engine) (func(), error) {
+	var names []string
+	for _, kind := range []event.Kind{event.PostInsert, event.PostUpdate, event.PostDelete} {
+		name := fmt.Sprintf("view-refresh:%p:%s", s, kind)
+		rule := active.Rule{
+			Name:   name,
+			Family: active.FamilyReaction,
+			On:     kind,
+			React: func(e event.Event, _ active.Emitter) error {
+				s.markClassStale(e.Class)
+				return nil
+			},
+		}
+		if err := engine.AddRule(rule); err != nil {
+			for _, n := range names {
+				_ = engine.RemoveRule(n)
+			}
+			return nil, err
+		}
+		names = append(names, name)
+	}
+	return func() {
+		for _, n := range names {
+			_ = engine.RemoveRule(n)
+		}
+	}, nil
+}
+
+// markClassStale flags open windows displaying the class.
+func (s *Session) markClassStale(class string) {
+	name := "classset:" + class
+	// The stale set is written from the mutator's goroutine; membership in
+	// the window map is only advisory (a later Refresh on a closed window
+	// reports ErrNoWindow).
+	s.stale.mark(name)
+}
+
+// Stale lists the session's windows marked out of date, sorted.
+func (s *Session) Stale() []string {
+	var out []string
+	for _, name := range s.stale.names() {
+		if _, ok := s.windows[name]; ok {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// Refresh rebuilds a stale Class set window in place, re-running the
+// Get_Class interaction (so customization rules re-apply). Refreshing a
+// window that is not stale is a no-op returning false.
+func (s *Session) Refresh(name string) (bool, error) {
+	if !s.stale.take(name) {
+		return false, nil
+	}
+	win, err := s.Window(name)
+	if err != nil {
+		return false, err
+	}
+	class := strings.TrimPrefix(name, "classset:")
+	schema := win.Prop("schema")
+	if schema == "" || class == name {
+		return false, fmt.Errorf("ui: window %q is not refreshable", name)
+	}
+	parent := s.parents[name]
+	if _, err := s.openClassUnder(parent, schema, class); err != nil {
+		return false, err
+	}
+	s.tracef("window %q refreshed after database update", name)
+	return true, nil
+}
+
+// RefreshAll refreshes every stale window and returns how many rebuilt.
+func (s *Session) RefreshAll() (int, error) {
+	n := 0
+	for _, name := range s.Stale() {
+		ok, err := s.Refresh(name)
+		if err != nil {
+			return n, err
+		}
+		if ok {
+			n++
+		}
+	}
+	return n, nil
+}

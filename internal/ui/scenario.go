@@ -1,0 +1,250 @@
+package ui
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/catalog"
+	"repro/internal/geodb"
+	"repro/internal/spec"
+	"repro/internal/uikit"
+)
+
+// This file implements the simulation interaction mode of §2.2 ("simulation,
+// where users build scenarios to test their hypotheses"): a Scenario is a
+// session-private workspace of hypothetical inserts, updates and deletes
+// layered over the database. Windows opened while a scenario is active show
+// the merged view; the database itself is untouched until Commit, which
+// replays the hypothetical mutations through the normal mutation path — so
+// active constraint rules still guard them.
+
+// Errors returned by scenario operations.
+var (
+	ErrNoScenario     = errors.New("ui: no active scenario")
+	ErrScenarioActive = errors.New("ui: a scenario is already active")
+	ErrCannotCommit   = errors.New("ui: backend cannot commit scenarios")
+)
+
+// scenarioOIDBase keeps hypothetical OIDs far from real ones.
+const scenarioOIDBase catalog.OID = 1 << 62
+
+// Mutator is the optional backend capability scenario commit needs. The
+// strong-integration DirectBackend implements it; the weak-integration
+// client does not (the paper's §5 limitation: the UI protocol customizes
+// queries, not updates).
+type Mutator interface {
+	ScenarioInsert(schema, class string, values []catalog.Value) (catalog.OID, error)
+	ScenarioUpdate(oid catalog.OID, values []catalog.Value) error
+	ScenarioDelete(oid catalog.OID) error
+}
+
+type scenarioObject struct {
+	oid    catalog.OID
+	schema string
+	class  string
+	values []catalog.Value
+}
+
+// Scenario is a simulation workspace.
+type Scenario struct {
+	Name string
+	// next assigns hypothetical OIDs.
+	next catalog.OID
+	// added holds hypothetical new objects in creation order.
+	added []scenarioObject
+	// updated maps real OIDs to their hypothetical replacement values.
+	updated map[catalog.OID][]catalog.Value
+	// deleted marks real OIDs hypothetically removed.
+	deleted map[catalog.OID]bool
+}
+
+// StartScenario begins a simulation workspace on the session.
+func (s *Session) StartScenario(name string) error {
+	if s.scenario != nil {
+		return fmt.Errorf("%w: %q", ErrScenarioActive, s.scenario.Name)
+	}
+	s.scenario = &Scenario{
+		Name:    name,
+		next:    scenarioOIDBase,
+		updated: map[catalog.OID][]catalog.Value{},
+		deleted: map[catalog.OID]bool{},
+	}
+	s.tracef("scenario %q started", name)
+	return nil
+}
+
+// Scenario returns the active scenario, if any.
+func (s *Session) Scenario() (*Scenario, bool) {
+	return s.scenario, s.scenario != nil
+}
+
+// DropScenario discards the workspace without touching the database.
+func (s *Session) DropScenario() error {
+	if s.scenario == nil {
+		return ErrNoScenario
+	}
+	s.tracef("scenario %q dropped (%d adds, %d updates, %d deletes)",
+		s.scenario.Name, len(s.scenario.added), len(s.scenario.updated), len(s.scenario.deleted))
+	s.scenario = nil
+	return nil
+}
+
+// ScenarioInsert adds a hypothetical instance. Values are in effective
+// attribute order for the class (use ScenarioInsertMap for named values).
+func (s *Session) ScenarioInsert(schema, class string, values []catalog.Value) (catalog.OID, error) {
+	if s.scenario == nil {
+		return 0, ErrNoScenario
+	}
+	s.scenario.next++
+	oid := s.scenario.next
+	s.scenario.added = append(s.scenario.added, scenarioObject{
+		oid: oid, schema: schema, class: class, values: values,
+	})
+	s.tracef("scenario %q: hypothetical insert %s.%s as %d", s.scenario.Name, schema, class, oid)
+	return oid, nil
+}
+
+// ScenarioUpdate replaces the values of a real or hypothetical instance
+// within the scenario.
+func (s *Session) ScenarioUpdate(oid catalog.OID, values []catalog.Value) error {
+	if s.scenario == nil {
+		return ErrNoScenario
+	}
+	if oid >= scenarioOIDBase {
+		for i := range s.scenario.added {
+			if s.scenario.added[i].oid == oid {
+				s.scenario.added[i].values = values
+				return nil
+			}
+		}
+		return fmt.Errorf("%w: oid %d", geodb.ErrNoInstance, oid)
+	}
+	s.scenario.updated[oid] = values
+	s.tracef("scenario %q: hypothetical update of %d", s.scenario.Name, oid)
+	return nil
+}
+
+// ScenarioDelete removes an instance within the scenario.
+func (s *Session) ScenarioDelete(oid catalog.OID) error {
+	if s.scenario == nil {
+		return ErrNoScenario
+	}
+	if oid >= scenarioOIDBase {
+		for i := range s.scenario.added {
+			if s.scenario.added[i].oid == oid {
+				s.scenario.added = append(s.scenario.added[:i], s.scenario.added[i+1:]...)
+				return nil
+			}
+		}
+		return fmt.Errorf("%w: oid %d", geodb.ErrNoInstance, oid)
+	}
+	s.scenario.deleted[oid] = true
+	delete(s.scenario.updated, oid)
+	s.tracef("scenario %q: hypothetical delete of %d", s.scenario.Name, oid)
+	return nil
+}
+
+// applyScenario merges the scenario over the real extension of a class.
+func (s *Session) applyScenario(data ClassData) ClassData {
+	if s.scenario == nil {
+		return data
+	}
+	out := ClassData{Info: data.Info}
+	for _, in := range data.Instances {
+		if s.scenario.deleted[in.OID] {
+			continue
+		}
+		if values, ok := s.scenario.updated[in.OID]; ok {
+			in.Values = values
+		}
+		out.Instances = append(out.Instances, in)
+	}
+	for _, add := range s.scenario.added {
+		if add.schema != data.Info.Schema || add.class != data.Info.Class.Name {
+			continue
+		}
+		out.Instances = append(out.Instances, geodb.Instance{
+			OID:    add.oid,
+			Schema: add.schema,
+			Class:  add.class,
+			Attrs:  data.Info.Attrs,
+			Values: add.values,
+		})
+	}
+	return out
+}
+
+// CommitScenario replays the workspace against the database through the
+// normal mutation path — active constraint rules apply, so a hypothetical
+// state violating topology fails here, which is precisely what simulation
+// is for. The database has no transactions; on an error the commit stops,
+// mutations already applied are *consumed from the workspace* (so a retry
+// after correcting the scenario resumes instead of duplicating), and the
+// remaining hypothetical state stays active for correction.
+func (s *Session) CommitScenario() error {
+	if s.scenario == nil {
+		return ErrNoScenario
+	}
+	m, ok := s.backend.(Mutator)
+	if !ok {
+		return ErrCannotCommit
+	}
+	sc := s.scenario
+	total := len(sc.added) + len(sc.updated) + len(sc.deleted)
+	for oid := range sc.deleted {
+		if err := m.ScenarioDelete(oid); err != nil {
+			return fmt.Errorf("scenario %q: delete %d: %w", sc.Name, oid, err)
+		}
+		delete(sc.deleted, oid)
+	}
+	for oid, values := range sc.updated {
+		if err := m.ScenarioUpdate(oid, values); err != nil {
+			return fmt.Errorf("scenario %q: update %d: %w", sc.Name, oid, err)
+		}
+		delete(sc.updated, oid)
+	}
+	for len(sc.added) > 0 {
+		add := sc.added[0]
+		if _, err := m.ScenarioInsert(add.schema, add.class, add.values); err != nil {
+			return fmt.Errorf("scenario %q: insert %s.%s: %w", sc.Name, add.schema, add.class, err)
+		}
+		sc.added = sc.added[1:]
+	}
+	s.tracef("scenario %q committed (%d mutations)", sc.Name, total)
+	s.scenario = nil
+	return nil
+}
+
+// OpenClassSimulated is OpenClass with the active scenario merged in; the
+// resulting window is tagged with the scenario name so renderings make the
+// hypothetical state visible.
+func (s *Session) OpenClassSimulated(schema, class string) (*uikit.Widget, error) {
+	if !s.connected {
+		return nil, ErrNotConnected
+	}
+	if s.scenario == nil {
+		return nil, ErrNoScenario
+	}
+	s.Interactions++
+	data, cust, err := s.backend.GetClass(s.ctx, schema, class)
+	if err != nil {
+		return nil, err
+	}
+	merged := s.applyScenario(data)
+	var cc *spec.ClassCust
+	if cust != nil && cust.Level == spec.LevelClass {
+		cc = &cust.Class
+	}
+	win, err := s.builder.BuildClassWindow(merged.Info, merged.Instances, cc)
+	if err != nil {
+		return nil, err
+	}
+	win.Name = "scenario:" + s.scenario.Name + ":" + class
+	win.SetProp("title", fmt.Sprintf("Scenario %s — %s", s.scenario.Name, class))
+	win.SetProp("scenario", s.scenario.Name)
+	win.SetProp("schema", schema)
+	s.addWindow(win, "schema:"+schema)
+	s.tracef("scenario window %q built (%d instances incl. hypothetical)",
+		win.Name, len(merged.Instances))
+	return win, nil
+}

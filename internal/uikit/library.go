@@ -1,0 +1,163 @@
+package uikit
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Library is the interface objects library: named widget prototypes that
+// the generic interface builder instantiates at run time. It "contains the
+// definition and generic behavior of interface objects ... either atomic
+// (e.g., a button) or complex (for instance a window, which is composed by
+// other objects)" and supports the two extension axes of §3.2: adding new
+// classes (Register with a new kind) and specializing existing ones
+// (Specialize).
+type Library struct {
+	mu     sync.RWMutex
+	protos map[string]*Widget
+}
+
+// NewLibrary returns an empty library.
+func NewLibrary() *Library {
+	return &Library{protos: map[string]*Widget{}}
+}
+
+// Kernel returns a library pre-populated with one prototype per kernel
+// class of Figure 2, each under its kind name.
+func Kernel() *Library {
+	lib := NewLibrary()
+	for _, k := range []Kind{KindWindow, KindPanel, KindText, KindDrawingArea,
+		KindList, KindButton, KindMenu, KindMenuItem} {
+		// Ignore the error: kind names are distinct by construction.
+		_ = lib.Register(New(k, string(k)))
+	}
+	return lib
+}
+
+// Register stores a prototype under its Name. The prototype is cloned on the
+// way in, so later mutations by the caller do not affect the library.
+func (l *Library) Register(proto *Widget) error {
+	if proto == nil || proto.Name == "" {
+		return fmt.Errorf("%w: prototype must be named", ErrBadWidget)
+	}
+	if err := proto.Validate(); err != nil {
+		return err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, ok := l.protos[proto.Name]; ok {
+		return fmt.Errorf("%w: %q", ErrDuplicateObject, proto.Name)
+	}
+	l.protos[proto.Name] = proto.Clone()
+	return nil
+}
+
+// Replace stores a prototype, overwriting any existing definition — the
+// dynamic "updated ... dynamically" path of §3.2.
+func (l *Library) Replace(proto *Widget) error {
+	if proto == nil || proto.Name == "" {
+		return fmt.Errorf("%w: prototype must be named", ErrBadWidget)
+	}
+	if err := proto.Validate(); err != nil {
+		return err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.protos[proto.Name] = proto.Clone()
+	return nil
+}
+
+// Remove deletes a prototype.
+func (l *Library) Remove(name string) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, ok := l.protos[name]; !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownObject, name)
+	}
+	delete(l.protos, name)
+	return nil
+}
+
+// Has reports whether a prototype exists. The customization language's
+// semantic analysis uses this to validate widget references.
+func (l *Library) Has(name string) bool {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	_, ok := l.protos[name]
+	return ok
+}
+
+// Instantiate returns a fresh deep copy of the named prototype, ready to be
+// composed into a window.
+func (l *Library) Instantiate(name string) (*Widget, error) {
+	l.mu.RLock()
+	proto, ok := l.protos[name]
+	l.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownObject, name)
+	}
+	return proto.Clone(), nil
+}
+
+// Specialize derives a new prototype from an existing one: the base is
+// cloned, renamed, passed to mutate for redefinition, validated, and
+// registered. This is the §3.2 specialization axis ("specialize existing
+// classes, redefining and customizing their elements").
+func (l *Library) Specialize(newName, baseName string, mutate func(*Widget)) error {
+	base, err := l.Instantiate(baseName)
+	if err != nil {
+		return err
+	}
+	base.Name = newName
+	if mutate != nil {
+		mutate(base)
+	}
+	base.Name = newName // the mutator must not smuggle a different identity
+	return l.Register(base)
+}
+
+// Names lists prototype names, sorted.
+func (l *Library) Names() []string {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	out := make([]string, 0, len(l.protos))
+	for n := range l.protos {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len reports the number of prototypes.
+func (l *Library) Len() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return len(l.protos)
+}
+
+// KernelReport describes the library's class inventory: for each prototype,
+// its kind and composition size. Experiment F2 prints this against Figure 2.
+type KernelReport struct {
+	Name     string
+	Kind     Kind
+	Subtree  int
+	Children int
+}
+
+// Report returns the inventory sorted by name.
+func (l *Library) Report() []KernelReport {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	out := make([]KernelReport, 0, len(l.protos))
+	for _, p := range l.protos {
+		out = append(out, KernelReport{
+			Name:     p.Name,
+			Kind:     p.Kind,
+			Subtree:  p.Count(),
+			Children: len(p.Children),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

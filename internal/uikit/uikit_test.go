@@ -1,0 +1,345 @@
+package uikit
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/geodb"
+	"repro/internal/geom"
+)
+
+func TestWidgetTreeBasics(t *testing.T) {
+	win := New(KindWindow, "main")
+	control := New(KindPanel, "control").Add(
+		New(KindButton, "ok").SetProp("label", "OK"),
+		New(KindButton, "cancel").SetProp("label", "Cancel"),
+	)
+	display := New(KindPanel, "display").Add(New(KindDrawingArea, "map"))
+	win.Add(control, display)
+
+	if win.Count() != 6 {
+		t.Fatalf("count = %d", win.Count())
+	}
+	if got := win.Find("cancel"); got == nil || got.Prop("label") != "Cancel" {
+		t.Fatalf("Find = %+v", got)
+	}
+	if win.Find("nothere") != nil {
+		t.Fatal("phantom widget found")
+	}
+	if got := win.FindKind(KindButton); len(got) != 2 {
+		t.Fatalf("buttons = %d", len(got))
+	}
+	if err := win.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWalkPruning(t *testing.T) {
+	win := New(KindWindow, "w").Add(
+		New(KindPanel, "p").Add(New(KindButton, "b")),
+	)
+	var visited []string
+	win.Walk(func(w *Widget) bool {
+		visited = append(visited, w.Name)
+		return w.Kind != KindPanel // prune below panels
+	})
+	if len(visited) != 2 || visited[1] != "p" {
+		t.Fatalf("visited = %v", visited)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	dup := New(KindPanel, "p").Add(New(KindButton, "x"), New(KindText, "x"))
+	if err := dup.Validate(); !errors.Is(err, ErrBadWidget) {
+		t.Fatalf("duplicate names: %v", err)
+	}
+	orphanItem := New(KindPanel, "p").Add(New(KindMenuItem, "mi"))
+	if err := orphanItem.Validate(); !errors.Is(err, ErrBadWidget) {
+		t.Fatalf("menu item outside menu: %v", err)
+	}
+	menu := New(KindMenu, "m").Add(New(KindMenuItem, "mi"))
+	if err := menu.Validate(); err != nil {
+		t.Fatalf("menu with item: %v", err)
+	}
+	empty := &Widget{Name: "k"}
+	if err := empty.Validate(); !errors.Is(err, ErrBadWidget) {
+		t.Fatalf("empty kind: %v", err)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	orig := New(KindPanel, "p").SetProp("color", "red").Add(
+		New(KindList, "l"),
+	)
+	orig.Children[0].Items = []string{"a", "b"}
+	orig.Children[0].Shapes = []Shape{{OID: 1, Geom: geom.Pt(1, 2), Label: "P1"}}
+	orig.Bind("click", "onClick")
+
+	cl := orig.Clone()
+	cl.SetProp("color", "blue")
+	cl.Children[0].Items[0] = "zzz"
+	cl.Children[0].Shapes[0].Label = "changed"
+	cl.Callbacks["click"] = "other"
+
+	if orig.Prop("color") != "red" {
+		t.Fatal("props shared")
+	}
+	if orig.Children[0].Items[0] != "a" {
+		t.Fatal("items shared")
+	}
+	if orig.Children[0].Shapes[0].Label != "P1" {
+		t.Fatal("shapes shared")
+	}
+	if orig.Callbacks["click"] != "onClick" {
+		t.Fatal("callbacks shared")
+	}
+}
+
+func TestRegistryTrigger(t *testing.T) {
+	reg := NewRegistry()
+	var got any
+	reg.Register("notify", func(w *Widget, payload any) error {
+		got = payload
+		return nil
+	})
+	w := New(KindText, "composed_text").Bind("notify", "notify")
+	if err := reg.Trigger(w, "notify", "hello"); err != nil {
+		t.Fatal(err)
+	}
+	if got != "hello" {
+		t.Fatalf("payload = %v", got)
+	}
+	// Unbound event: silent generic behaviour.
+	if err := reg.Trigger(w, "click", nil); err != nil {
+		t.Fatal(err)
+	}
+	// Bound to missing callback: error.
+	w.Bind("drag", "ghost")
+	if err := reg.Trigger(w, "drag", nil); !errors.Is(err, ErrUnknownCallback) {
+		t.Fatalf("missing callback: %v", err)
+	}
+	if names := reg.Names(); len(names) != 1 || names[0] != "notify" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestKernelLibrary(t *testing.T) {
+	lib := Kernel()
+	want := []string{"button", "drawing_area", "list", "menu", "menu_item", "panel", "text", "window"}
+	got := lib.Names()
+	if len(got) != len(want) {
+		t.Fatalf("kernel names = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("kernel names = %v, want %v", got, want)
+		}
+	}
+	w, err := lib.Instantiate("window")
+	if err != nil || w.Kind != KindWindow {
+		t.Fatalf("instantiate window: %v %v", w, err)
+	}
+}
+
+func TestLibraryRegisterInstantiateIsolation(t *testing.T) {
+	lib := NewLibrary()
+	proto := New(KindButton, "ok").SetProp("label", "OK")
+	if err := lib.Register(proto); err != nil {
+		t.Fatal(err)
+	}
+	// Mutating the original after registration must not affect the library.
+	proto.SetProp("label", "HACKED")
+	inst, err := lib.Instantiate("ok")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.Prop("label") != "OK" {
+		t.Fatal("library prototype aliased caller memory")
+	}
+	// Mutating an instance must not affect the prototype.
+	inst.SetProp("label", "changed")
+	inst2, _ := lib.Instantiate("ok")
+	if inst2.Prop("label") != "OK" {
+		t.Fatal("instances alias the prototype")
+	}
+}
+
+func TestLibraryErrors(t *testing.T) {
+	lib := NewLibrary()
+	if err := lib.Register(nil); !errors.Is(err, ErrBadWidget) {
+		t.Fatalf("nil register: %v", err)
+	}
+	if err := lib.Register(New(KindButton, "")); !errors.Is(err, ErrBadWidget) {
+		t.Fatalf("unnamed register: %v", err)
+	}
+	lib.Register(New(KindButton, "b"))
+	if err := lib.Register(New(KindButton, "b")); !errors.Is(err, ErrDuplicateObject) {
+		t.Fatalf("duplicate: %v", err)
+	}
+	if _, err := lib.Instantiate("ghost"); !errors.Is(err, ErrUnknownObject) {
+		t.Fatalf("unknown instantiate: %v", err)
+	}
+	if err := lib.Remove("ghost"); !errors.Is(err, ErrUnknownObject) {
+		t.Fatalf("unknown remove: %v", err)
+	}
+	if err := lib.Remove("b"); err != nil || lib.Has("b") {
+		t.Fatal("remove failed")
+	}
+}
+
+func TestSpecialize(t *testing.T) {
+	lib := Kernel()
+	// The paper's poleWidget: a slider specialization registered beside the
+	// kernel. Here we derive it from the kernel button to show the axis;
+	// its kind is overridden to the new slider class.
+	err := lib.Specialize("poleWidget", "button", func(w *Widget) {
+		w.Kind = KindSlider
+		w.SetProp("min", "0").SetProp("max", "20")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := lib.Instantiate("poleWidget")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Kind != KindSlider || w.Prop("max") != "20" || w.Name != "poleWidget" {
+		t.Fatalf("specialized widget = %+v", w)
+	}
+	// Specializing from a missing base fails.
+	if err := lib.Specialize("x", "ghost", nil); !errors.Is(err, ErrUnknownObject) {
+		t.Fatalf("missing base: %v", err)
+	}
+	// A complex prototype: the map-selection panel example of §3.2 —
+	// registered once, reused as a component of another panel.
+	sel := New(KindPanel, "map_selection").Add(
+		New(KindList, "map_list"),
+		New(KindText, "region_name"),
+		New(KindButton, "load").SetProp("label", "Load"),
+	)
+	if err := lib.Register(sel); err != nil {
+		t.Fatal(err)
+	}
+	err = lib.Specialize("browse_panel", "map_selection", func(w *Widget) {
+		w.Add(New(KindButton, "back").SetProp("label", "Back"))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp, _ := lib.Instantiate("browse_panel")
+	if bp.Count() != 5 || bp.Find("map_list") == nil {
+		t.Fatalf("composite reuse: count=%d", bp.Count())
+	}
+}
+
+func TestReplaceDynamicUpdate(t *testing.T) {
+	lib := NewLibrary()
+	lib.Register(New(KindButton, "b").SetProp("label", "v1"))
+	if err := lib.Replace(New(KindButton, "b").SetProp("label", "v2")); err != nil {
+		t.Fatal(err)
+	}
+	w, _ := lib.Instantiate("b")
+	if w.Prop("label") != "v2" {
+		t.Fatal("replace did not take effect")
+	}
+}
+
+func TestReport(t *testing.T) {
+	lib := Kernel()
+	rep := lib.Report()
+	if len(rep) != 8 {
+		t.Fatalf("report size = %d", len(rep))
+	}
+	if rep[0].Name != "button" || rep[0].Kind != KindButton || rep[0].Subtree != 1 {
+		t.Fatalf("report[0] = %+v", rep[0])
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	w := New(KindWindow, "class_set").Add(
+		New(KindPanel, "control").Add(
+			New(KindMenu, "ops").Add(
+				New(KindMenuItem, "zoom").SetProp("label", "Zoom"),
+			),
+			New(KindList, "classes"),
+		),
+		New(KindPanel, "display").Add(
+			New(KindDrawingArea, "map"),
+		),
+	)
+	w.Find("classes").Items = []string{"Pole", "Duct"}
+	w.Find("map").Shapes = []Shape{
+		{OID: 3, Geom: geom.Pt(10, 20), Label: "pole-3", Format: "pointFormat"},
+		{OID: 4, Geom: geom.LineString{geom.Pt(0, 0), geom.Pt(1, 1)}, Label: "duct-4"},
+	}
+	w.Find("zoom").Bind("click", "onZoom")
+
+	doc, err := MarshalWidget(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalWidget(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Count() != w.Count() {
+		t.Fatalf("count %d != %d", back.Count(), w.Count())
+	}
+	if got := back.Find("classes"); len(got.Items) != 2 || got.Items[0] != "Pole" {
+		t.Fatalf("items = %v", got.Items)
+	}
+	m := back.Find("map")
+	if len(m.Shapes) != 2 || m.Shapes[0].Geom.WKT() != "POINT (10 20)" || m.Shapes[0].Format != "pointFormat" {
+		t.Fatalf("shapes = %+v", m.Shapes)
+	}
+	if back.Find("zoom").Callbacks["click"] != "onZoom" {
+		t.Fatal("callback binding lost")
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	if _, err := UnmarshalWidget([]byte("{not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := UnmarshalWidget([]byte(`{"kind":"drawing_area","shapes":[{"wkt":"NOPE"}]}`)); err == nil {
+		t.Fatal("bad WKT accepted")
+	}
+	if _, err := UnmarshalWidget([]byte(`{"kind":"","name":"x"}`)); err == nil {
+		t.Fatal("invalid widget accepted")
+	}
+}
+
+func TestLibraryPersistenceInDB(t *testing.T) {
+	db := geodb.MustOpen(geodb.Options{})
+	lib := Kernel()
+	if err := lib.Specialize("poleWidget", "button", func(w *Widget) {
+		w.Kind = KindSlider
+		w.SetProp("max", "20")
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := lib.SaveToDB(db); err != nil {
+		t.Fatal(err)
+	}
+	if db.Count(LibrarySchema, LibraryClass) != lib.Len() {
+		t.Fatalf("persisted %d, library has %d", db.Count(LibrarySchema, LibraryClass), lib.Len())
+	}
+	back, err := LoadFromDB(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != lib.Len() {
+		t.Fatalf("loaded %d of %d", back.Len(), lib.Len())
+	}
+	w, err := back.Instantiate("poleWidget")
+	if err != nil || w.Kind != KindSlider || w.Prop("max") != "20" {
+		t.Fatalf("poleWidget after reload = %+v, %v", w, err)
+	}
+	// Saving again must replace, not duplicate.
+	if err := lib.SaveToDB(db); err != nil {
+		t.Fatal(err)
+	}
+	if db.Count(LibrarySchema, LibraryClass) != lib.Len() {
+		t.Fatal("resave duplicated instances")
+	}
+}

@@ -1,0 +1,264 @@
+// Package uikit implements the interface objects library of §3.2: the
+// kernel classes of Figure 2 (Window, Panel, Text field, Drawing area, List,
+// Button, Menu, Menu item), their composition and specialization, per-object
+// events bound to callback functions, and persistence of object definitions
+// in the geographic database — the paper's defining move of bringing the
+// interface into the DBMS.
+//
+// Widgets form a tree: a Window aggregates Panels; a Panel aggregates any
+// widgets including other Panels (the recursive relationship that lets a map
+// selection panel be reused inside a larger panel). Widget instances are
+// cheap mutable values created by cloning library prototypes at window-build
+// time; prototypes themselves are never mutated after registration.
+package uikit
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// Errors returned by widget and library operations.
+var (
+	ErrUnknownObject   = errors.New("uikit: unknown interface object")
+	ErrDuplicateObject = errors.New("uikit: duplicate interface object")
+	ErrUnknownCallback = errors.New("uikit: unbound callback")
+	ErrBadWidget       = errors.New("uikit: invalid widget")
+)
+
+// Kind identifies a widget class. The kernel kinds mirror Figure 2; new
+// kinds may be introduced freely (the library's extensibility point — the
+// paper's poleWidget is a "slider", a class added beside the kernel).
+type Kind string
+
+// Kernel widget kinds (Figure 2), plus Slider as the worked extension.
+const (
+	KindWindow      Kind = "window"
+	KindPanel       Kind = "panel"
+	KindText        Kind = "text"
+	KindDrawingArea Kind = "drawing_area"
+	KindList        Kind = "list"
+	KindButton      Kind = "button"
+	KindMenu        Kind = "menu"
+	KindMenuItem    Kind = "menu_item"
+	KindSlider      Kind = "slider"
+)
+
+// Callback is the function type triggered by events on interface objects.
+type Callback func(w *Widget, payload any) error
+
+// Shape is one displayable geometry in a drawing area, produced by the
+// interface builder from query results.
+type Shape struct {
+	// OID links the shape back to the database object for picking.
+	OID uint64
+	// Geom is the world-coordinate geometry.
+	Geom geom.Geometry
+	// Label annotates the shape.
+	Label string
+	// Format names the presentation format applied (e.g. "pointFormat").
+	Format string
+}
+
+// Widget is an interface object instance: a node in a window's object tree.
+// A single concrete type with a Kind discriminator keeps cloning,
+// serialization and rendering uniform while preserving the modelled class
+// hierarchy (kind-specific behaviour lives in the builder and renderer).
+type Widget struct {
+	// Kind is the widget class.
+	Kind Kind
+	// Name identifies the widget within its window (also the library name
+	// for prototypes).
+	Name string
+	// Props carries presentation attributes: "label", "format", "value",
+	// "min", "max", ... Interpretation is by convention per kind.
+	Props map[string]string
+	// Items holds the entries of list and menu widgets.
+	Items []string
+	// Shapes holds drawing-area content.
+	Shapes []Shape
+	// Children are nested widgets (panels in windows, anything in panels,
+	// menu items in menus).
+	Children []*Widget
+	// Callbacks maps event names ("click", "select", "notify") to bound
+	// callback names; the functions themselves live in a Registry so that
+	// persisted definitions can be re-bound on load.
+	Callbacks map[string]string
+}
+
+// New creates a widget of the given kind and name.
+func New(kind Kind, name string) *Widget {
+	return &Widget{
+		Kind:      kind,
+		Name:      name,
+		Props:     map[string]string{},
+		Callbacks: map[string]string{},
+	}
+}
+
+// Prop returns a presentation property ("" when unset).
+func (w *Widget) Prop(key string) string { return w.Props[key] }
+
+// SetProp sets a presentation property and returns the widget for chaining.
+func (w *Widget) SetProp(key, value string) *Widget {
+	w.Props[key] = value
+	return w
+}
+
+// Add appends child widgets and returns the parent for chaining.
+func (w *Widget) Add(children ...*Widget) *Widget {
+	w.Children = append(w.Children, children...)
+	return w
+}
+
+// Bind associates an event name with a named callback.
+func (w *Widget) Bind(eventName, callbackName string) *Widget {
+	w.Callbacks[eventName] = callbackName
+	return w
+}
+
+// Find returns the first descendant (depth-first, including w itself) with
+// the given name.
+func (w *Widget) Find(name string) *Widget {
+	if w.Name == name {
+		return w
+	}
+	for _, c := range w.Children {
+		if got := c.Find(name); got != nil {
+			return got
+		}
+	}
+	return nil
+}
+
+// FindKind returns every descendant (including w) of the given kind, in
+// depth-first order.
+func (w *Widget) FindKind(kind Kind) []*Widget {
+	var out []*Widget
+	w.Walk(func(x *Widget) bool {
+		if x.Kind == kind {
+			out = append(out, x)
+		}
+		return true
+	})
+	return out
+}
+
+// Walk visits the subtree depth-first; fn returning false prunes descent
+// into that widget's children.
+func (w *Widget) Walk(fn func(*Widget) bool) {
+	if !fn(w) {
+		return
+	}
+	for _, c := range w.Children {
+		c.Walk(fn)
+	}
+}
+
+// Count returns the number of widgets in the subtree.
+func (w *Widget) Count() int {
+	n := 0
+	w.Walk(func(*Widget) bool { n++; return true })
+	return n
+}
+
+// Clone deep-copies the widget subtree.
+func (w *Widget) Clone() *Widget {
+	out := &Widget{
+		Kind:      w.Kind,
+		Name:      w.Name,
+		Props:     make(map[string]string, len(w.Props)),
+		Callbacks: make(map[string]string, len(w.Callbacks)),
+	}
+	for k, v := range w.Props {
+		out.Props[k] = v
+	}
+	for k, v := range w.Callbacks {
+		out.Callbacks[k] = v
+	}
+	if len(w.Items) > 0 {
+		out.Items = append([]string(nil), w.Items...)
+	}
+	if len(w.Shapes) > 0 {
+		out.Shapes = make([]Shape, len(w.Shapes))
+		for i, s := range w.Shapes {
+			out.Shapes[i] = s
+			if s.Geom != nil {
+				out.Shapes[i].Geom = s.Geom.Clone()
+			}
+		}
+	}
+	for _, c := range w.Children {
+		out.Children = append(out.Children, c.Clone())
+	}
+	return out
+}
+
+// Validate checks structural invariants: non-empty kind, unique child names
+// per parent, menu items only under menus.
+func (w *Widget) Validate() error {
+	if w.Kind == "" {
+		return fmt.Errorf("%w: empty kind on %q", ErrBadWidget, w.Name)
+	}
+	seen := map[string]bool{}
+	for _, c := range w.Children {
+		if c.Name != "" && seen[c.Name] {
+			return fmt.Errorf("%w: duplicate child name %q under %q", ErrBadWidget, c.Name, w.Name)
+		}
+		seen[c.Name] = true
+		if c.Kind == KindMenuItem && w.Kind != KindMenu {
+			return fmt.Errorf("%w: menu item %q outside a menu", ErrBadWidget, c.Name)
+		}
+		if err := c.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Registry maps callback names to functions. Widget definitions persist
+// callback names only; applications register implementations here, mirroring
+// the paper's split between declarative bindings and callback code ("the
+// definition of such functions is out of the scope of the language").
+type Registry struct {
+	fns map[string]Callback
+}
+
+// NewRegistry returns an empty callback registry.
+func NewRegistry() *Registry { return &Registry{fns: map[string]Callback{}} }
+
+// Register installs a callback under a name, replacing any previous one.
+func (r *Registry) Register(name string, cb Callback) { r.fns[name] = cb }
+
+// Lookup returns the named callback.
+func (r *Registry) Lookup(name string) (Callback, bool) {
+	cb, ok := r.fns[name]
+	return cb, ok
+}
+
+// Names lists registered callback names, sorted.
+func (r *Registry) Names() []string {
+	out := make([]string, 0, len(r.fns))
+	for n := range r.fns {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Trigger fires the callback bound to eventName on widget w. A widget with
+// no binding for the event is a no-op (generic behaviour applies); a binding
+// to an unregistered callback is an error.
+func (r *Registry) Trigger(w *Widget, eventName string, payload any) error {
+	cbName, ok := w.Callbacks[eventName]
+	if !ok {
+		return nil
+	}
+	cb, ok := r.fns[cbName]
+	if !ok {
+		return fmt.Errorf("%w: %q bound to event %q of %q", ErrUnknownCallback, cbName, eventName, w.Name)
+	}
+	return cb(w, payload)
+}

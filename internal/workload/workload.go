@@ -1,0 +1,353 @@
+// Package workload generates the synthetic inputs every experiment runs on:
+// the telephone-utility database of the paper's Section 4 example (zones,
+// suppliers, poles, ducts) at any scale, user-context populations,
+// customization-directive corpora for rule-scaling benches, and browsing
+// session traces. All generation is deterministic under a seed.
+//
+// The paper's own system ran on the Brazilian Telecom Research Center's
+// database ([14]), which is not available; this generator is the documented
+// substitution (see DESIGN.md §2): it produces data with the same schema
+// shape — the Figure 5 Pole class verbatim — at controllable sizes.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/event"
+	"repro/internal/geodb"
+	"repro/internal/geom"
+	"repro/internal/uikit"
+)
+
+// SchemaName is the schema the generator populates.
+const SchemaName = "phone_net"
+
+// PhoneNetOptions sizes the generated network.
+type PhoneNetOptions struct {
+	// Seed drives all randomness (0 means 1).
+	Seed int64
+	// ZonesPerSide lays zones out in a ZxZ grid (default 2).
+	ZonesPerSide int
+	// PolesPerZone is the pole count per zone (default 25).
+	PolesPerZone int
+	// Suppliers is the supplier count (default 3).
+	Suppliers int
+	// DuctEvery creates a duct between every k-th pair of consecutive
+	// poles (default 2; 0 disables ducts).
+	DuctEvery int
+	// PictureBytes attaches a synthetic bitmap of this size to every pole
+	// (0 disables). Bulky records exercise the buffer pool (B5).
+	PictureBytes int
+}
+
+func (o PhoneNetOptions) withDefaults() PhoneNetOptions {
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.ZonesPerSide == 0 {
+		o.ZonesPerSide = 2
+	}
+	if o.PolesPerZone == 0 {
+		o.PolesPerZone = 25
+	}
+	if o.Suppliers == 0 {
+		o.Suppliers = 3
+	}
+	if o.DuctEvery == 0 {
+		o.DuctEvery = 2
+	}
+	return o
+}
+
+// PhoneNet records what was generated.
+type PhoneNet struct {
+	Schema    string
+	Zones     []catalog.OID
+	Suppliers []catalog.OID
+	Poles     []catalog.OID
+	Ducts     []catalog.OID
+	// Bounds covers the whole network, for window queries.
+	Bounds geom.Rect
+}
+
+const zoneSize = 1000.0
+
+var setupCtx = event.Context{Application: "workload"}
+
+// DefineSchema installs the phone_net schema (Figure 5's Pole class plus
+// Supplier, Zone and Duct) into the database. It is idempotent-unsafe by
+// design: call once per database.
+func DefineSchema(db *geodb.DB) error {
+	if err := db.DefineSchema(SchemaName); err != nil {
+		return err
+	}
+	classes := []catalog.Class{
+		{
+			Name: "Supplier",
+			Attrs: []catalog.Field{
+				catalog.F("name", catalog.Scalar(catalog.KindText)),
+				catalog.F("city", catalog.Scalar(catalog.KindText)),
+			},
+		},
+		{
+			Name: "Zone",
+			Attrs: []catalog.Field{
+				catalog.F("zone_name", catalog.Scalar(catalog.KindText)),
+				catalog.F("region", catalog.Scalar(catalog.KindGeometry)),
+			},
+		},
+		{
+			Name: "Pole",
+			Attrs: []catalog.Field{
+				catalog.F("pole_type", catalog.Scalar(catalog.KindInteger)),
+				catalog.F("pole_composition", catalog.TupleOf(
+					catalog.F("pole_material", catalog.Scalar(catalog.KindText)),
+					catalog.F("pole_diameter", catalog.Scalar(catalog.KindFloat)),
+					catalog.F("pole_height", catalog.Scalar(catalog.KindFloat)),
+				)),
+				catalog.F("pole_supplier", catalog.RefTo("Supplier")),
+				catalog.F("pole_location", catalog.Scalar(catalog.KindGeometry)),
+				catalog.F("pole_picture", catalog.Scalar(catalog.KindBitmap)),
+				catalog.F("pole_historic", catalog.Scalar(catalog.KindText)),
+			},
+			Methods: []catalog.Method{{Name: "get_supplier_name", Params: []string{"Supplier"}}},
+		},
+		{
+			Name: "Duct",
+			Attrs: []catalog.Field{
+				catalog.F("duct_kind", catalog.Scalar(catalog.KindText)),
+				catalog.F("duct_path", catalog.Scalar(catalog.KindGeometry)),
+			},
+		},
+	}
+	for _, c := range classes {
+		if err := db.DefineClass(SchemaName, c); err != nil {
+			return err
+		}
+	}
+	return RegisterPoleMethods(db)
+}
+
+// RegisterPoleMethods installs get_supplier_name.
+func RegisterPoleMethods(db *geodb.DB) error {
+	return db.RegisterMethod(SchemaName, "Pole", "get_supplier_name",
+		func(db *geodb.DB, self geodb.Instance, args ...catalog.Value) (catalog.Value, error) {
+			ref, _ := self.Get("pole_supplier")
+			if ref.IsNull() || ref.Ref == catalog.NilOID {
+				return catalog.TextVal(""), nil
+			}
+			sup, err := db.GetValue(event.Context{}, ref.Ref)
+			if err != nil {
+				return catalog.Value{}, err
+			}
+			name, _ := sup.Get("name")
+			return name, nil
+		})
+}
+
+var materials = []string{"wood", "concrete", "steel", "fiberglass"}
+var cities = []string{"Campinas", "Tandil", "Sao Paulo", "Rio"}
+
+// BuildPhoneNet defines the schema and populates a network.
+func BuildPhoneNet(db *geodb.DB, opts PhoneNetOptions) (*PhoneNet, error) {
+	o := opts.withDefaults()
+	if err := DefineSchema(db); err != nil {
+		return nil, err
+	}
+	return PopulatePhoneNet(db, o)
+}
+
+// PopulatePhoneNet fills an already-defined schema (so benches can populate
+// several independent databases from one options value).
+func PopulatePhoneNet(db *geodb.DB, opts PhoneNetOptions) (*PhoneNet, error) {
+	o := opts.withDefaults()
+	rng := rand.New(rand.NewSource(o.Seed))
+	net := &PhoneNet{Schema: SchemaName}
+
+	for i := 0; i < o.Suppliers; i++ {
+		oid, err := db.InsertMap(setupCtx, SchemaName, "Supplier", map[string]catalog.Value{
+			"name": catalog.TextVal(fmt.Sprintf("Supplier-%02d", i)),
+			"city": catalog.TextVal(cities[i%len(cities)]),
+		})
+		if err != nil {
+			return nil, err
+		}
+		net.Suppliers = append(net.Suppliers, oid)
+	}
+
+	for zy := 0; zy < o.ZonesPerSide; zy++ {
+		for zx := 0; zx < o.ZonesPerSide; zx++ {
+			r := geom.R(float64(zx)*zoneSize, float64(zy)*zoneSize,
+				float64(zx+1)*zoneSize, float64(zy+1)*zoneSize)
+			net.Bounds = net.Bounds.Union(r)
+			zoid, err := db.InsertMap(setupCtx, SchemaName, "Zone", map[string]catalog.Value{
+				"zone_name": catalog.TextVal(fmt.Sprintf("zone-%d-%d", zx, zy)),
+				"region":    catalog.GeomVal(r.AsPolygon()),
+			})
+			if err != nil {
+				return nil, err
+			}
+			net.Zones = append(net.Zones, zoid)
+
+			// Poles on a jittered grid inside the zone.
+			var zonePoles []geom.Point
+			for p := 0; p < o.PolesPerZone; p++ {
+				pt := geom.Pt(
+					r.Min.X+rng.Float64()*zoneSize,
+					r.Min.Y+rng.Float64()*zoneSize,
+				)
+				zonePoles = append(zonePoles, pt)
+				supplier := net.Suppliers[rng.Intn(len(net.Suppliers))]
+				values := map[string]catalog.Value{
+					"pole_type": catalog.IntVal(int64(rng.Intn(4))),
+					"pole_composition": catalog.TupleVal(
+						catalog.TextVal(materials[rng.Intn(len(materials))]),
+						catalog.FloatVal(0.2+rng.Float64()*0.3),
+						catalog.FloatVal(8+rng.Float64()*4),
+					),
+					"pole_supplier": catalog.RefVal(supplier),
+					"pole_location": catalog.GeomVal(pt),
+					"pole_historic": catalog.TextVal(fmt.Sprintf("installed 19%02d", 80+rng.Intn(17))),
+				}
+				if o.PictureBytes > 0 {
+					pic := make([]byte, o.PictureBytes)
+					rng.Read(pic)
+					values["pole_picture"] = catalog.BitmapVal(pic)
+				}
+				oid, err := db.InsertMap(setupCtx, SchemaName, "Pole", values)
+				if err != nil {
+					return nil, err
+				}
+				net.Poles = append(net.Poles, oid)
+			}
+			// Ducts between consecutive poles.
+			if o.DuctEvery > 0 {
+				for p := 0; p+1 < len(zonePoles); p += o.DuctEvery {
+					kind := "aerial"
+					if rng.Intn(2) == 0 {
+						kind = "underground"
+					}
+					oid, err := db.InsertMap(setupCtx, SchemaName, "Duct", map[string]catalog.Value{
+						"duct_kind": catalog.TextVal(kind),
+						"duct_path": catalog.GeomVal(geom.LineString{zonePoles[p], zonePoles[p+1]}),
+					})
+					if err != nil {
+						return nil, err
+					}
+					net.Ducts = append(net.Ducts, oid)
+				}
+			}
+		}
+	}
+	return net, nil
+}
+
+// StandardLibrary returns the kernel library extended with the custom
+// widgets Section 4 uses (poleWidget, composed_text) plus the reusable
+// map-selection panel of §3.2.
+func StandardLibrary() (*uikit.Library, error) {
+	lib := uikit.Kernel()
+	if err := lib.Specialize("poleWidget", "button", func(w *uikit.Widget) {
+		w.Kind = uikit.KindSlider
+		w.SetProp("min", "0").SetProp("max", "20")
+	}); err != nil {
+		return nil, err
+	}
+	if err := lib.Specialize("composed_text", "text", func(w *uikit.Widget) {
+		w.SetProp("composed", "true")
+	}); err != nil {
+		return nil, err
+	}
+	sel := uikit.New(uikit.KindPanel, "map_selection").Add(
+		uikit.New(uikit.KindList, "map_list"),
+		uikit.New(uikit.KindText, "region_name"),
+		uikit.New(uikit.KindButton, "load").SetProp("label", "Load"),
+	)
+	if err := lib.Register(sel); err != nil {
+		return nil, err
+	}
+	return lib, nil
+}
+
+// Figure6Source is the paper's Figure 6 customization script in this
+// implementation's concrete syntax.
+const Figure6Source = `For user juliano application pole_manager
+schema phone_net display as Null
+class Pole display
+  control as poleWidget
+  presentation as pointFormat
+  instances
+    display attribute pole_composition as composed_text
+      from pole.material pole.diameter pole.height
+      using composed_text.notify()
+    display attribute pole_supplier as text
+      from get_supplier_name(pole_supplier)
+    display attribute pole_location as Null
+`
+
+// Contexts generates n distinct user contexts spread over a few categories
+// and applications — the context population for rule-scaling benches.
+func Contexts(n int) []event.Context {
+	categories := []string{"planners", "operators", "analysts"}
+	applications := []string{"pole_manager", "duct_manager", "zone_planner"}
+	out := make([]event.Context, n)
+	for i := range out {
+		out[i] = event.Context{
+			User:        fmt.Sprintf("user%04d", i),
+			Category:    categories[i%len(categories)],
+			Application: applications[i%len(applications)],
+		}
+	}
+	return out
+}
+
+// DirectiveFor generates a customization directive for one context,
+// varying the schema display mode and class presentation so rules differ
+// across contexts.
+func DirectiveFor(ctx event.Context, variant int) string {
+	modes := []string{"default", "hierarchy", "Null"}
+	var b strings.Builder
+	fmt.Fprintf(&b, "For user %s application %s\n", ctx.User, ctx.Application)
+	fmt.Fprintf(&b, "schema %s display as %s\n", SchemaName, modes[variant%len(modes)])
+	b.WriteString("class Pole display\n")
+	b.WriteString("  control as poleWidget\n")
+	b.WriteString("  presentation as pointFormat\n")
+	if variant%2 == 0 {
+		b.WriteString("  instances\n")
+		b.WriteString("    display attribute pole_location as Null\n")
+		b.WriteString("    display attribute pole_supplier as text\n")
+		b.WriteString("      from get_supplier_name(pole_supplier)\n")
+	}
+	return b.String()
+}
+
+// Step is one browsing action in a generated session trace.
+type Step struct {
+	// Kind is "schema", "class" or "instance".
+	Kind string
+	// Class is set for class steps.
+	Class string
+	// Index picks an instance (modulo the extension size) for instance
+	// steps.
+	Index int
+}
+
+// BrowseTrace generates a deterministic exploratory session: schema, then
+// per class a class window and a few instance windows — the §4 pattern
+// "browsing (Schema, {Class, {Instance}}) windows, in this order".
+func BrowseTrace(seed int64, classVisits, instancesPerClass int) []Step {
+	rng := rand.New(rand.NewSource(seed))
+	classes := []string{"Pole", "Duct", "Zone"}
+	steps := []Step{{Kind: "schema"}}
+	for i := 0; i < classVisits; i++ {
+		class := classes[rng.Intn(len(classes))]
+		steps = append(steps, Step{Kind: "class", Class: class})
+		for j := 0; j < instancesPerClass; j++ {
+			steps = append(steps, Step{Kind: "instance", Class: class, Index: rng.Intn(1 << 20)})
+		}
+	}
+	return steps
+}

@@ -1,0 +1,166 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/active"
+	"repro/internal/custlang"
+	"repro/internal/event"
+	"repro/internal/geodb"
+	"repro/internal/geom"
+)
+
+func TestBuildPhoneNetDeterministic(t *testing.T) {
+	build := func() *PhoneNet {
+		db := geodb.MustOpen(geodb.Options{})
+		net, err := BuildPhoneNet(db, PhoneNetOptions{Seed: 42, ZonesPerSide: 2, PolesPerZone: 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return net
+	}
+	a, b := build(), build()
+	if len(a.Poles) != len(b.Poles) || len(a.Poles) != 40 {
+		t.Fatalf("poles = %d / %d", len(a.Poles), len(b.Poles))
+	}
+	if len(a.Zones) != 4 {
+		t.Fatalf("zones = %d", len(a.Zones))
+	}
+	if a.Bounds != geom.R(0, 0, 2000, 2000) {
+		t.Fatalf("bounds = %+v", a.Bounds)
+	}
+	if len(a.Ducts) == 0 || len(a.Ducts) != len(b.Ducts) {
+		t.Fatalf("ducts = %d / %d", len(a.Ducts), len(b.Ducts))
+	}
+}
+
+func TestGeneratedDataIsWellFormed(t *testing.T) {
+	db := geodb.MustOpen(geodb.Options{})
+	net, err := BuildPhoneNet(db, PhoneNetOptions{Seed: 7, ZonesPerSide: 1, PolesPerZone: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every pole sits inside the network bounds and references a supplier.
+	for _, oid := range net.Poles {
+		in, err := db.GetValue(event.Context{}, oid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, ok := in.Geometry()
+		if !ok || !net.Bounds.ContainsPoint(g.(geom.Point)) {
+			t.Fatalf("pole %d location %v outside bounds", oid, g)
+		}
+		ref, _ := in.Get("pole_supplier")
+		if ref.Ref == 0 {
+			t.Fatalf("pole %d has no supplier", oid)
+		}
+		// The method from Figure 5 works on generated data.
+		name, err := db.CallMethod(oid, "get_supplier_name")
+		if err != nil || !strings.HasPrefix(name.Text, "Supplier-") {
+			t.Fatalf("get_supplier_name = %q, %v", name.Text, err)
+		}
+	}
+	// Spatial index answers window queries over the generated poles.
+	hits, err := db.Window(SchemaName, "Pole", geom.R(0, 0, 500, 500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) == 0 || len(hits) >= 20 {
+		t.Fatalf("quadrant window hits = %d (want a strict subset)", len(hits))
+	}
+}
+
+func TestStandardLibrary(t *testing.T) {
+	lib, err := StandardLibrary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"poleWidget", "composed_text", "map_selection", "window", "button"} {
+		if !lib.Has(name) {
+			t.Errorf("library missing %q", name)
+		}
+	}
+}
+
+func TestFigure6SourceCompiles(t *testing.T) {
+	db := geodb.MustOpen(geodb.Options{})
+	if _, err := BuildPhoneNet(db, PhoneNetOptions{PolesPerZone: 1}); err != nil {
+		t.Fatal(err)
+	}
+	lib, _ := StandardLibrary()
+	a := &custlang.Analyzer{Cat: db.Catalog(), Lib: lib}
+	engine := active.NewEngine()
+	units, err := a.Install(engine, Figure6Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(units) != 1 || engine.RuleCount() != 3 {
+		t.Fatalf("units=%d rules=%d", len(units), engine.RuleCount())
+	}
+}
+
+func TestContexts(t *testing.T) {
+	ctxs := Contexts(10)
+	if len(ctxs) != 10 {
+		t.Fatalf("contexts = %d", len(ctxs))
+	}
+	seen := map[string]bool{}
+	for _, c := range ctxs {
+		if c.User == "" || c.Category == "" || c.Application == "" {
+			t.Fatalf("incomplete context %+v", c)
+		}
+		if seen[c.User] {
+			t.Fatalf("duplicate user %s", c.User)
+		}
+		seen[c.User] = true
+	}
+}
+
+func TestGeneratedDirectivesCompile(t *testing.T) {
+	db := geodb.MustOpen(geodb.Options{})
+	if _, err := BuildPhoneNet(db, PhoneNetOptions{PolesPerZone: 1}); err != nil {
+		t.Fatal(err)
+	}
+	lib, _ := StandardLibrary()
+	a := &custlang.Analyzer{Cat: db.Catalog(), Lib: lib}
+	engine := active.NewEngine()
+	for i, ctx := range Contexts(30) {
+		src := DirectiveFor(ctx, i)
+		if _, err := a.Install(engine, src); err != nil {
+			t.Fatalf("directive %d failed: %v\n%s", i, err, src)
+		}
+	}
+	if engine.RuleCount() < 60 {
+		t.Fatalf("rules = %d", engine.RuleCount())
+	}
+}
+
+func TestBrowseTrace(t *testing.T) {
+	trace := BrowseTrace(3, 4, 2)
+	if trace[0].Kind != "schema" {
+		t.Fatal("trace must start with the schema window")
+	}
+	if len(trace) != 1+4*3 {
+		t.Fatalf("trace len = %d", len(trace))
+	}
+	// Deterministic under the seed.
+	again := BrowseTrace(3, 4, 2)
+	for i := range trace {
+		if trace[i] != again[i] {
+			t.Fatal("trace not deterministic")
+		}
+	}
+	classSeen := false
+	for _, s := range trace {
+		if s.Kind == "class" {
+			classSeen = true
+			if s.Class == "" {
+				t.Fatal("class step without class")
+			}
+		}
+	}
+	if !classSeen {
+		t.Fatal("no class steps")
+	}
+}
