@@ -1,0 +1,26 @@
+# Tier-1 gate (see ROADMAP.md): formatting, vet, build, race-enabled tests.
+# `make ci` is what must stay green on every PR.
+
+GOFILES := $(shell find . -name '*.go' -not -path './.*')
+
+.PHONY: ci fmt vet build test bench
+
+ci: fmt vet build test
+
+fmt:
+	@out=$$(gofmt -l $(GOFILES)); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	go vet ./...
+
+build:
+	go build ./...
+
+test:
+	go test -race ./...
+
+bench:
+	go test -run xxx -bench . -benchmem .

@@ -21,6 +21,7 @@ import (
 	"repro/internal/geodb"
 	"repro/internal/geom"
 	"repro/internal/hardwired"
+	"repro/internal/obs"
 	"repro/internal/render"
 	"repro/internal/rtree"
 	"repro/internal/server"
@@ -487,6 +488,64 @@ func BenchmarkRender(b *testing.B) {
 			if out := render.SVG(area, render.SVGOptions{Width: 640, Height: 480}); len(out) == 0 {
 				b.Fatal("empty rendering")
 			}
+		}
+	})
+}
+
+// --- Observability overhead ------------------------------------------------
+
+// BenchmarkObsDisabledOverhead pins the cost of the observability layer on a
+// hot path with no span sink attached: the primitives must be a handful of
+// atomic adds with zero allocation (check the allocs/op column), and the
+// engine dispatch path must stay within a few percent of its pre-obs cost
+// (compare against BenchmarkRuleSelectionIndexed across commits).
+func BenchmarkObsDisabledOverhead(b *testing.B) {
+	b.Run("primitives", func(b *testing.B) {
+		r := obs.NewRegistry()
+		c := r.Counter("c")
+		h := r.Histogram("h", obs.LatencyBuckets)
+		tr := obs.NewTracer()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.Inc()
+			sw := obs.Start(h)
+			sw.Stop()
+			sp := tr.Start("op")
+			sp.Set("k", "v")
+			sp.Finish()
+		}
+	})
+	b.Run("dispatch", func(b *testing.B) {
+		engine := ruleEngine(b, 64, true)
+		probe := event.Event{
+			Kind: event.GetClass, Schema: workload.SchemaName, Class: "Pole",
+			Ctx: event.Context{User: "user0000", Category: "planners", Application: "pole_manager"},
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := engine.HandleEvent(probe); err != nil {
+				b.Fatal(err)
+			}
+			engine.TakeCustomization(probe)
+		}
+	})
+	b.Run("dispatch-spans", func(b *testing.B) {
+		// The enabled path, for contrast: a 4k-span ring attached.
+		engine := ruleEngine(b, 64, true)
+		engine.AttachSpans(obs.NewSpanRecorder(4096))
+		probe := event.Event{
+			Kind: event.GetClass, Schema: workload.SchemaName, Class: "Pole",
+			Ctx: event.Context{User: "user0000", Category: "planners", Application: "pole_manager"},
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := engine.HandleEvent(probe); err != nil {
+				b.Fatal(err)
+			}
+			engine.TakeCustomization(probe)
 		}
 	})
 }

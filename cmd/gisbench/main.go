@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -25,6 +26,7 @@ func main() {
 		expFlag = flag.String("exp", "", "experiment id(s), comma-separated, or 'all'")
 		list    = flag.Bool("list", false, "list experiments")
 		quick   = flag.Bool("quick", false, "reduced sizes for fast runs")
+		metrics = flag.Bool("metrics", false, "print the metrics delta after each experiment")
 	)
 	flag.Parse()
 
@@ -61,9 +63,18 @@ func main() {
 			fmt.Println()
 		}
 		fmt.Printf("============ %s: %s [%s] ============\n\n", e.ID, e.Title, e.Paper)
+		before := obs.Default().Snapshot()
 		if err := e.Run(os.Stdout, *quick); err != nil {
 			fmt.Fprintf(os.Stderr, "gisbench: %s failed: %v\n", e.ID, err)
 			failed = true
+		}
+		if *metrics {
+			fmt.Printf("\n---- %s metrics delta ----\n", e.ID)
+			delta := obs.Default().Snapshot().Sub(before)
+			if err := delta.WriteText(os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "gisbench: metrics delta: %v\n", err)
+				failed = true
+			}
 		}
 	}
 	if failed {

@@ -7,12 +7,14 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 
 	gisui "repro"
 	"repro/internal/geom"
+	"repro/internal/obs"
 	"repro/internal/topo"
 	"repro/internal/workload"
 )
@@ -26,6 +28,7 @@ func main() {
 		seed       = flag.Int64("seed", 1997, "generator seed")
 		directives = flag.String("directives", "figure6", "directive file to install ('figure6', 'none', or a path)")
 		constrain  = flag.Bool("constraints", true, "install topological constraints (poles in zones, zones disjoint)")
+		metrics    = flag.String("metrics", "", "HTTP listen address serving the metrics text exposition at /metrics (empty = disabled)")
 	)
 	flag.Parse()
 
@@ -84,6 +87,19 @@ func main() {
 	}
 	fmt.Printf("gisd: %s\n", sys.Describe())
 	fmt.Printf("gisd: %d poles, %d ducts; serving on %s\n", poleCount, ductCount, *addr)
+	if *metrics != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+			obs.Default().WriteText(w)
+		})
+		go func() {
+			if err := http.ListenAndServe(*metrics, mux); err != nil {
+				fmt.Fprintln(os.Stderr, "gisd: metrics:", err)
+			}
+		}()
+		fmt.Printf("gisd: metrics on http://%s/metrics\n", *metrics)
+	}
 
 	// Graceful shutdown: durability of a -db file requires flushing the
 	// buffer pool, which sys.Close does.

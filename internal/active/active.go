@@ -26,9 +26,32 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/event"
+	"repro/internal/obs"
 	"repro/internal/spec"
+)
+
+// Registry handles for the engine's global activity metrics (§ Observability
+// in DESIGN.md). Per-engine counts stay on the engine (Stats); these
+// aggregate across engines and feed the STATS verb and --metrics endpoint.
+var (
+	mEvents     = obs.Default().Counter("gis_active_events_total")
+	mEvaluated  = obs.Default().Counter("gis_active_rules_evaluated_total")
+	mFired      = obs.Default().Counter("gis_active_rules_fired_total")
+	mSelected   = obs.Default().Counter("gis_active_customizations_selected_total")
+	mSuppressed = obs.Default().Counter("gis_active_customizations_suppressed_total")
+	// mFireSeconds times individual rule-action executions.
+	mFireSeconds = obs.Default().Histogram("gis_active_rule_fire_seconds", obs.LatencyBuckets)
+	// mSpecificity distributes the specificity of winning customization
+	// rules (bounds cover Context.Specificity()*8 + scope bits).
+	mSpecificity = obs.Default().Histogram("gis_active_selected_specificity",
+		[]float64{8, 16, 88, 96, 800, 896})
+	// mCascadeDepth distributes nested reaction-emission depth; only nested
+	// dispatches (depth > 0) are observed.
+	mCascadeDepth = obs.Default().Histogram("gis_active_cascade_depth",
+		[]float64{1, 2, 4, 8, 16})
 )
 
 // Errors returned by the engine.
@@ -166,6 +189,13 @@ type Stats struct {
 	Suppressed uint64
 }
 
+// engineStats is the live, lock-free form of Stats: dispatch updates these
+// with atomic adds so the hot path never takes the engine mutex just to
+// count.
+type engineStats struct {
+	events, evaluated, fired, selected, suppressed atomic.Uint64
+}
+
 // DefaultMaxCascade bounds reaction-rule cascades.
 const DefaultMaxCascade = 16
 
@@ -182,7 +212,8 @@ type Engine struct {
 	// this against `all`).
 	byKindUser map[kindUser][]*Rule
 	all        []*Rule
-	stats      Stats
+	stats      engineStats
+	tracer     obs.Tracer
 
 	// pending holds the customization selected for the most recent event
 	// with a given identity; the UI dispatcher pops it right after the
@@ -204,9 +235,21 @@ type Engine struct {
 	// MaxCascade bounds nested reaction emissions.
 	MaxCascade int
 	// Trace, when non-nil, receives a line per engine decision (experiment
-	// F1 renders these).
+	// F1 renders these). It is the legacy string hook, kept as a
+	// compatibility shim over the structured span layer: the engine emits
+	// the same decisions as spans through Tracer(), and additionally
+	// formats them into lines when Trace is set. Prefer AttachSpans.
 	Trace func(string)
 }
+
+// Tracer exposes the engine's span tracer; attach an obs.SpanRecorder to
+// capture structured dispatch/fire/select spans. With no recorder attached
+// the span path costs one atomic load per dispatch and allocates nothing.
+func (en *Engine) Tracer() *obs.Tracer { return &en.tracer }
+
+// AttachSpans directs the engine's structured trace spans into rec (nil
+// detaches). It replaces the string Trace hook for programmatic consumers.
+func (en *Engine) AttachSpans(rec *obs.SpanRecorder) { en.tracer.Attach(rec) }
 
 // kindUser is the two-level index key.
 type kindUser struct {
@@ -314,16 +357,22 @@ func (en *Engine) RuleCount() int {
 
 // Stats returns a snapshot of the engine counters.
 func (en *Engine) Stats() Stats {
-	en.mu.RLock()
-	defer en.mu.RUnlock()
-	return en.stats
+	return Stats{
+		Events:     en.stats.events.Load(),
+		Evaluated:  en.stats.evaluated.Load(),
+		Fired:      en.stats.fired.Load(),
+		Selected:   en.stats.selected.Load(),
+		Suppressed: en.stats.suppressed.Load(),
+	}
 }
 
 // ResetStats zeroes the counters (benchmarks use this between phases).
 func (en *Engine) ResetStats() {
-	en.mu.Lock()
-	defer en.mu.Unlock()
-	en.stats = Stats{}
+	en.stats.events.Store(0)
+	en.stats.evaluated.Store(0)
+	en.stats.fired.Store(0)
+	en.stats.selected.Store(0)
+	en.stats.suppressed.Store(0)
 }
 
 // HandleEvent implements event.Handler; it is the bus-facing entry point.
@@ -343,6 +392,20 @@ func (ne nestedEmitter) EmitNested(e event.Event) error {
 func (en *Engine) dispatch(e event.Event, depth int) error {
 	if depth > en.MaxCascade {
 		return fmt.Errorf("%w: depth %d on %s", ErrCascadeLimit, depth, e)
+	}
+	if depth > 0 {
+		mCascadeDepth.Observe(float64(depth))
+	}
+	sp := en.tracer.Start("active.dispatch")
+	if sp != nil {
+		sp.Set("event", e.Kind.String()).Set("ctx", e.Ctx.String())
+		if e.Class != "" {
+			sp.Set("class", e.Class)
+		}
+		if depth > 0 {
+			sp.Setf("depth", "%d", depth)
+		}
+		defer sp.Finish()
 	}
 	// Snapshot candidates under the read lock, then evaluate predicates
 	// outside it: rule conditions are caller code and must not observe the
@@ -384,11 +447,15 @@ func (en *Engine) dispatch(e event.Event, depth int) error {
 			others = append(others, r)
 		}
 	}
-	en.mu.Lock()
-	en.stats.Events++
-	en.stats.Evaluated += evaluated
-	en.stats.Suppressed += suppressed
-	en.mu.Unlock()
+	en.stats.events.Add(1)
+	en.stats.evaluated.Add(evaluated)
+	en.stats.suppressed.Add(suppressed)
+	mEvents.Inc()
+	mEvaluated.Add(evaluated)
+	mSuppressed.Add(suppressed)
+	if sp != nil {
+		sp.Setf("candidates", "%d", len(candidates))
+	}
 
 	// Constraint and reaction rules run for every match, constraints first
 	// (a veto must precede side effects).
@@ -402,7 +469,13 @@ func (en *Engine) dispatch(e event.Event, depth int) error {
 	for _, r := range others {
 		en.trace("fire %s rule %q on %s", r.Family, r.Name, e.Kind)
 		en.countFired()
-		if err := r.React(e, em); err != nil {
+		fsp := sp.Child("rule.fire")
+		fsp.Set("rule", r.Name).Set("family", r.Family.String())
+		sw := obs.Start(mFireSeconds)
+		err := r.React(e, em)
+		sw.Stop()
+		fsp.Finish()
+		if err != nil {
 			return fmt.Errorf("rule %q: %w", r.Name, err)
 		}
 	}
@@ -419,15 +492,18 @@ func (en *Engine) dispatch(e event.Event, depth int) error {
 		for _, r := range matchedCust {
 			en.trace("fire-all customization rule %q for %s", r.Name, e.Kind)
 			en.countFired()
+			sw := obs.Start(mFireSeconds)
 			cust, err := r.Customize(e)
+			sw.Stop()
 			if err != nil {
 				return fmt.Errorf("customization rule %q: %w", r.Name, err)
 			}
 			if cust.Origin == "" {
 				cust.Origin = r.Name
 			}
+			en.stats.selected.Add(1)
+			mSelected.Inc()
 			en.mu.Lock()
-			en.stats.Selected++
 			en.pending[eventKey(e)] = cust
 			en.mu.Unlock()
 		}
@@ -437,15 +513,22 @@ func (en *Engine) dispatch(e event.Event, depth int) error {
 		en.trace("select customization rule %q (specificity %d) for %s in %s",
 			best.Name, best.specificity(), e.Kind, e.Ctx)
 		en.countFired()
+		mSpecificity.Observe(float64(best.specificity()))
+		if sp != nil {
+			sp.Set("selected", best.Name).Setf("specificity", "%d", best.specificity())
+		}
+		sw := obs.Start(mFireSeconds)
 		cust, err := best.Customize(e)
+		sw.Stop()
 		if err != nil {
 			return fmt.Errorf("customization rule %q: %w", best.Name, err)
 		}
 		if cust.Origin == "" {
 			cust.Origin = best.Name
 		}
+		en.stats.selected.Add(1)
+		mSelected.Inc()
 		en.mu.Lock()
-		en.stats.Selected++
 		en.pending[eventKey(e)] = cust
 		en.mu.Unlock()
 	}
@@ -453,9 +536,8 @@ func (en *Engine) dispatch(e event.Event, depth int) error {
 }
 
 func (en *Engine) countFired() {
-	en.mu.Lock()
-	en.stats.Fired++
-	en.mu.Unlock()
+	en.stats.fired.Add(1)
+	mFired.Inc()
 }
 
 func (en *Engine) trace(format string, args ...any) {

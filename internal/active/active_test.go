@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/event"
+	"repro/internal/obs"
 	"repro/internal/spec"
 )
 
@@ -355,6 +356,54 @@ func TestTrace(t *testing.T) {
 	joined := strings.Join(lines, "\n")
 	if !strings.Contains(joined, "select customization rule") || !strings.Contains(joined, "fire reaction rule") {
 		t.Fatalf("trace = %q", joined)
+	}
+}
+
+func TestDispatchSpans(t *testing.T) {
+	en := NewEngine()
+	rec := obs.NewSpanRecorder(16)
+	en.AttachSpans(rec)
+	en.AddRule(custRule("r", event.Context{}, spec.DisplayNull))
+	en.AddRule(Rule{
+		Name: "log", Family: FamilyReaction, On: event.GetSchema,
+		React: func(event.Event, Emitter) error { return nil },
+	})
+	e := event.Event{Kind: event.GetSchema, Schema: "s"}
+	if err := en.HandleEvent(e); err != nil {
+		t.Fatal(err)
+	}
+	en.TakeCustomization(e)
+	spans := rec.Spans()
+	var dispatch, fire *obs.Span
+	for i := range spans {
+		switch spans[i].Name {
+		case "active.dispatch":
+			dispatch = &spans[i]
+		case "rule.fire":
+			fire = &spans[i]
+		}
+	}
+	if dispatch == nil || fire == nil {
+		t.Fatalf("spans = %+v", spans)
+	}
+	if fire.Parent != dispatch.ID {
+		t.Errorf("rule.fire parent = %d, want dispatch ID %d", fire.Parent, dispatch.ID)
+	}
+	attrs := map[string]string{}
+	for _, a := range dispatch.Attrs {
+		attrs[a.Key] = a.Value
+	}
+	if attrs["event"] != "Get_Schema" || attrs["selected"] != "r" {
+		t.Errorf("dispatch attrs = %v", attrs)
+	}
+	// Detaching disables the span path again.
+	en.AttachSpans(nil)
+	if err := en.HandleEvent(e); err != nil {
+		t.Fatal(err)
+	}
+	en.TakeCustomization(e)
+	if rec.Total() != uint64(len(spans)) {
+		t.Error("spans recorded after detach")
 	}
 }
 

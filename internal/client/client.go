@@ -14,6 +14,7 @@ import (
 	"repro/internal/event"
 	"repro/internal/geodb"
 	"repro/internal/geom"
+	"repro/internal/obs"
 	"repro/internal/proto"
 	"repro/internal/spec"
 	"repro/internal/ui"
@@ -168,6 +169,19 @@ func (c *Client) SelectWhere(ctx event.Context, schema, class string, filters []
 		out = append(out, in)
 	}
 	return out, nil
+}
+
+// Stats fetches a snapshot of the server's metrics registry (the STATS
+// observability verb).
+func (c *Client) Stats() (obs.Snapshot, error) {
+	resp, err := c.roundTrip(proto.Request{Op: proto.OpStats})
+	if err != nil {
+		return obs.Snapshot{}, err
+	}
+	if resp.Stats == nil {
+		return obs.Snapshot{}, fmt.Errorf("%w: missing stats payload", proto.ErrRemote)
+	}
+	return *resp.Stats, nil
 }
 
 // CallMethod implements ui.Backend (and builder.MethodCaller).

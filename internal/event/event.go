@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"repro/internal/catalog"
+	"repro/internal/obs"
 )
 
 // Kind enumerates the database events the active mechanism can intercept.
@@ -260,8 +261,25 @@ func (b *Bus) Subscribe(h Handler) {
 	b.handlers = append(b.handlers, h)
 }
 
+// Per-kind dispatch counters, resolved once at init so Emit pays a single
+// atomic add. Indexed by Kind (Connect..External); index 0 catches
+// out-of-vocabulary kinds.
+var emitTotal = func() [External + 1]*obs.Counter {
+	var cs [External + 1]*obs.Counter
+	cs[0] = obs.Default().Counter(`gis_event_emitted_total{kind="unknown"}`)
+	for k := Connect; k <= External; k++ {
+		cs[k] = obs.Default().Counter(fmt.Sprintf("gis_event_emitted_total{kind=%q}", k.String()))
+	}
+	return cs
+}()
+
 // Emit dispatches the event to every handler in order.
 func (b *Bus) Emit(e Event) error {
+	if int(e.Kind) < len(emitTotal) {
+		emitTotal[e.Kind].Inc()
+	} else {
+		emitTotal[0].Inc()
+	}
 	for _, h := range b.handlers {
 		if err := h.HandleEvent(e); err != nil {
 			return err

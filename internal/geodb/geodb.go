@@ -15,6 +15,7 @@ import (
 	"repro/internal/catalog"
 	"repro/internal/event"
 	"repro/internal/geom"
+	"repro/internal/obs"
 	"repro/internal/rtree"
 	"repro/internal/storage"
 )
@@ -341,6 +342,8 @@ func (db *DB) ValuesFromMap(schema, class string, m map[string]catalog.Value) ([
 // Insert stores a new instance and returns its OID. Pre/Post insert events
 // are emitted; an error from a PreInsert handler vetoes the insert.
 func (db *DB) Insert(ctx event.Context, schema, class string, values []catalog.Value) (catalog.OID, error) {
+	sw := obs.Start(mInsertSeconds)
+	defer sw.Stop()
 	attrs, err := db.typecheck(schema, class, values)
 	if err != nil {
 		return 0, err

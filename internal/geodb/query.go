@@ -7,6 +7,18 @@ import (
 	"repro/internal/catalog"
 	"repro/internal/event"
 	"repro/internal/geom"
+	"repro/internal/obs"
+)
+
+// Primitive latency histograms (§ Observability in DESIGN.md). Each series is
+// one pre-resolved handle so the query path pays only the stopwatch reads and
+// a few atomic adds.
+var (
+	mGetSchemaSeconds = obs.Default().Histogram(`gis_geodb_query_seconds{op="get_schema"}`, obs.LatencyBuckets)
+	mGetClassSeconds  = obs.Default().Histogram(`gis_geodb_query_seconds{op="get_class"}`, obs.LatencyBuckets)
+	mGetValueSeconds  = obs.Default().Histogram(`gis_geodb_query_seconds{op="get_value"}`, obs.LatencyBuckets)
+	mSelectSeconds    = obs.Default().Histogram(`gis_geodb_query_seconds{op="select"}`, obs.LatencyBuckets)
+	mInsertSeconds    = obs.Default().Histogram("gis_geodb_insert_seconds", obs.LatencyBuckets)
 )
 
 // This file implements the retrieval side of the database: the three
@@ -41,6 +53,8 @@ type ClassInfo struct {
 // GetSchema implements the Get_Schema primitive: it emits the event (which
 // triggers schema presentation rules) and returns the schema inventory.
 func (db *DB) GetSchema(ctx event.Context, schema string) (SchemaInfo, error) {
+	sw := obs.Start(mGetSchemaSeconds)
+	defer sw.Stop()
 	s, err := db.cat.Schema(schema)
 	if err != nil {
 		return SchemaInfo{}, err
@@ -61,6 +75,8 @@ func (db *DB) GetSchema(ctx event.Context, schema string) (SchemaInfo, error) {
 
 // GetClass implements the Get_Class primitive.
 func (db *DB) GetClass(ctx event.Context, schema, class string) (ClassInfo, error) {
+	sw := obs.Start(mGetClassSeconds)
+	defer sw.Stop()
 	s, err := db.cat.Schema(schema)
 	if err != nil {
 		return ClassInfo{}, err
@@ -92,6 +108,8 @@ func (db *DB) GetClass(ctx event.Context, schema, class string) (ClassInfo, erro
 // GetValue implements the Get_Value primitive: it emits the event and
 // materializes the instance.
 func (db *DB) GetValue(ctx event.Context, oid catalog.OID) (Instance, error) {
+	sw := obs.Start(mGetValueSeconds)
+	defer sw.Stop()
 	in, err := db.lookup(oid)
 	if err != nil {
 		return Instance{}, err
@@ -117,6 +135,8 @@ type Predicate func(Instance) bool
 // insertion order. A nil pred selects the whole extension. This is the
 // analysis-mode query path; it does not emit exploratory events.
 func (db *DB) Select(schema, class string, pred Predicate) ([]Instance, error) {
+	sw := obs.Start(mSelectSeconds)
+	defer sw.Stop()
 	db.mu.RLock()
 	oids := append([]catalog.OID(nil), db.byClass[classKey{schema, class}]...)
 	db.mu.RUnlock()

@@ -1,0 +1,446 @@
+// Package obs is the repo's structured observability layer: an atomic
+// metrics registry (counters, gauges, fixed-bucket histograms) with
+// Prometheus-style text exposition, and ring-buffered trace spans with
+// parent/child linkage (span.go). It depends only on the standard library.
+//
+// Design constraints, in order:
+//
+//  1. The disabled/default path is near-free: counters and histograms are
+//     plain atomics, and when no span sink is attached starting a span is a
+//     nil return — no allocation (guarded by BenchmarkObsDisabledOverhead).
+//  2. Hot paths never look metrics up by name: instrumented packages resolve
+//     handles once (package init or construction) and hold the pointers.
+//  3. Everything is snapshotable: the STATS protocol verb and cmd/gisbench's
+//     before/after delta both consume Registry.Snapshot.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic instantaneous value (e.g. in-flight requests).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (g *Gauge) Inc() {
+	if g != nil {
+		g.v.Add(1)
+	}
+}
+
+// Dec subtracts one.
+func (g *Gauge) Dec() {
+	if g != nil {
+		g.v.Add(-1)
+	}
+}
+
+// Add adds n (which may be negative).
+func (g *Gauge) Add(n int64) {
+	if g != nil {
+		g.v.Add(n)
+	}
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// LatencyBuckets is the default upper-bound ladder for latency histograms,
+// in seconds: 1µs to 5s, roughly 5x steps. The request path spans nanosecond
+// rule lookups to millisecond TCP round trips, so the ladder is wide.
+var LatencyBuckets = []float64{
+	0.000001, 0.000005, 0.000025,
+	0.0001, 0.0005, 0.0025,
+	0.01, 0.05, 0.25,
+	1, 5,
+}
+
+// Histogram is a fixed-bucket histogram. Observations are atomic adds plus a
+// CAS-accumulated float sum; buckets are immutable after construction.
+type Histogram struct {
+	bounds  []float64 // ascending upper bounds; +Inf bucket is implicit
+	counts  []atomic.Uint64
+	count   atomic.Uint64
+	sumBits atomic.Uint64 // math.Float64bits of the running sum
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	bs := append([]float64(nil), bounds...)
+	sort.Float64s(bs)
+	return &Histogram{bounds: bs, counts: make([]atomic.Uint64, len(bs)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// Stopwatch times one operation into a histogram. It is a value type: Start
+// then Stop allocates nothing.
+type Stopwatch struct {
+	h  *Histogram
+	t0 time.Time
+}
+
+// Start begins timing into h (which may be nil for a no-op stopwatch).
+func Start(h *Histogram) Stopwatch { return Stopwatch{h: h, t0: time.Now()} }
+
+// Stop records the elapsed seconds.
+func (s Stopwatch) Stop() {
+	if s.h != nil {
+		s.h.Observe(time.Since(s.t0).Seconds())
+	}
+}
+
+// Registry holds named metrics. Lookups are get-or-create and safe for
+// concurrent use; hot paths should resolve handles once and keep them.
+//
+// Names follow Prometheus conventions and may carry a baked-in label set:
+// `gis_server_requests_total` or `gis_ui_window_build_seconds{kind="schema"}`.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry every instrumented package
+// records into and the STATS verb / --metrics endpoint expose.
+func Default() *Registry { return defaultRegistry }
+
+// Counter returns the named counter, creating it if needed.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c, ok := r.counters[name]
+	r.mu.RUnlock()
+	if ok {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok = r.counters[name]; ok {
+		return c
+	}
+	c = &Counter{}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns the named gauge, creating it if needed.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.RLock()
+	g, ok := r.gauges[name]
+	r.mu.RUnlock()
+	if ok {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok = r.gauges[name]; ok {
+		return g
+	}
+	g = &Gauge{}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given bucket
+// bounds if needed (later callers' bounds are ignored; the first creation
+// wins).
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	r.mu.RLock()
+	h, ok := r.hists[name]
+	r.mu.RUnlock()
+	if ok {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok = r.hists[name]; ok {
+		return h
+	}
+	h = newHistogram(bounds)
+	r.hists[name] = h
+	return h
+}
+
+// HistogramSnapshot is a point-in-time copy of one histogram.
+type HistogramSnapshot struct {
+	// Bounds are the ascending bucket upper bounds; Counts has one extra
+	// trailing entry for the +Inf overflow bucket.
+	Bounds []float64 `json:"bounds"`
+	Counts []uint64  `json:"counts"`
+	Sum    float64   `json:"sum"`
+	Count  uint64    `json:"count"`
+}
+
+// Mean returns the average observed value (0 when empty).
+func (h HistogramSnapshot) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.Sum / float64(h.Count)
+}
+
+// Snapshot is a point-in-time copy of a whole registry — the payload of the
+// STATS protocol verb.
+type Snapshot struct {
+	Counters   map[string]uint64            `json:"counters,omitempty"`
+	Gauges     map[string]int64             `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot copies every metric's current value.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s := Snapshot{
+		Counters:   make(map[string]uint64, len(r.counters)),
+		Gauges:     make(map[string]int64, len(r.gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.hists)),
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		hs := HistogramSnapshot{
+			Bounds: append([]float64(nil), h.bounds...),
+			Counts: make([]uint64, len(h.counts)),
+			Sum:    h.Sum(),
+			Count:  h.Count(),
+		}
+		for i := range h.counts {
+			hs.Counts[i] = h.counts[i].Load()
+		}
+		s.Histograms[name] = hs
+	}
+	return s
+}
+
+// Sub returns the delta s - prev: counters and histogram counts subtract
+// (clamped at zero for metrics born after prev), gauges keep their current
+// value. cmd/gisbench prints this around each experiment run.
+func (s Snapshot) Sub(prev Snapshot) Snapshot {
+	out := Snapshot{
+		Counters:   make(map[string]uint64, len(s.Counters)),
+		Gauges:     make(map[string]int64, len(s.Gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(s.Histograms)),
+	}
+	for name, v := range s.Counters {
+		if p := prev.Counters[name]; v >= p {
+			out.Counters[name] = v - p
+		}
+	}
+	for name, v := range s.Gauges {
+		out.Gauges[name] = v
+	}
+	for name, h := range s.Histograms {
+		p, ok := prev.Histograms[name]
+		if !ok || len(p.Counts) != len(h.Counts) {
+			out.Histograms[name] = h
+			continue
+		}
+		d := HistogramSnapshot{
+			Bounds: h.Bounds,
+			Counts: make([]uint64, len(h.Counts)),
+			Sum:    h.Sum - p.Sum,
+			Count:  h.Count - p.Count,
+		}
+		for i := range h.Counts {
+			d.Counts[i] = h.Counts[i] - p.Counts[i]
+		}
+		out.Histograms[name] = d
+	}
+	return out
+}
+
+// splitName separates a metric name from its baked-in label set:
+// `m{a="b"}` → (`m`, `a="b"`); a plain name returns ("" labels).
+func splitName(name string) (base, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 && strings.HasSuffix(name, "}") {
+		return name[:i], name[i+1 : len(name)-1]
+	}
+	return name, ""
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteText renders the registry in the Prometheus text exposition format,
+// deterministically ordered (sorted by metric base name, then label set).
+func (r *Registry) WriteText(w io.Writer) error {
+	s := r.Snapshot()
+	return s.WriteText(w)
+}
+
+// WriteText renders a snapshot in the Prometheus text exposition format.
+func (s Snapshot) WriteText(w io.Writer) error {
+	type series struct {
+		base, labels, kind string
+	}
+	var all []series
+	for name := range s.Counters {
+		b, l := splitName(name)
+		all = append(all, series{b, l, "counter"})
+	}
+	for name := range s.Gauges {
+		b, l := splitName(name)
+		all = append(all, series{b, l, "gauge"})
+	}
+	for name := range s.Histograms {
+		b, l := splitName(name)
+		all = append(all, series{b, l, "histogram"})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].base != all[j].base {
+			return all[i].base < all[j].base
+		}
+		return all[i].labels < all[j].labels
+	})
+	lastTyped := ""
+	for _, se := range all {
+		if se.base != lastTyped {
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", se.base, se.kind); err != nil {
+				return err
+			}
+			lastTyped = se.base
+		}
+		full := se.base
+		if se.labels != "" {
+			full += "{" + se.labels + "}"
+		}
+		var err error
+		switch se.kind {
+		case "counter":
+			_, err = fmt.Fprintf(w, "%s %d\n", full, s.Counters[full])
+		case "gauge":
+			_, err = fmt.Fprintf(w, "%s %d\n", full, s.Gauges[full])
+		case "histogram":
+			err = writeHistogramText(w, se.base, se.labels, s.Histograms[full])
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeHistogramText(w io.Writer, base, labels string, h HistogramSnapshot) error {
+	withLe := func(le string) string {
+		if labels == "" {
+			return fmt.Sprintf(`%s_bucket{le=%q}`, base, le)
+		}
+		return fmt.Sprintf(`%s_bucket{%s,le=%q}`, base, labels, le)
+	}
+	cum := uint64(0)
+	for i, bound := range h.Bounds {
+		cum += h.Counts[i]
+		if _, err := fmt.Fprintf(w, "%s %d\n", withLe(formatFloat(bound)), cum); err != nil {
+			return err
+		}
+	}
+	suffix := ""
+	if labels != "" {
+		suffix = "{" + labels + "}"
+	}
+	if _, err := fmt.Fprintf(w, "%s %d\n", withLe("+Inf"), h.Count); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", base, suffix, formatFloat(h.Sum)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", base, suffix, h.Count)
+	return err
+}

@@ -1,0 +1,160 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Attr is one key-value annotation on a span.
+type Attr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// Span is one timed operation in a trace. Spans link to their parent by ID,
+// so a recorder's ring reconstructs the tree of, e.g., one rule-engine
+// dispatch: dispatch → evaluate → fire.
+type Span struct {
+	ID     uint64    `json:"id"`
+	Parent uint64    `json:"parent,omitempty"`
+	Name   string    `json:"name"`
+	Start  time.Time `json:"start"`
+	End    time.Time `json:"end"`
+	Attrs  []Attr    `json:"attrs,omitempty"`
+
+	tracer *Tracer
+}
+
+// Duration returns the span's elapsed time.
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	return s.End.Sub(s.Start)
+}
+
+// Set annotates the span; it is a nil-safe no-op when tracing is disabled,
+// so instrumented code never branches.
+func (s *Span) Set(key, value string) *Span {
+	if s != nil {
+		s.Attrs = append(s.Attrs, Attr{Key: key, Value: value})
+	}
+	return s
+}
+
+// Setf annotates the span with a formatted value. The format arguments are
+// only evaluated when the span is live.
+func (s *Span) Setf(key, format string, args ...any) *Span {
+	if s != nil {
+		s.Attrs = append(s.Attrs, Attr{Key: key, Value: fmt.Sprintf(format, args...)})
+	}
+	return s
+}
+
+// Child starts a sub-span. Nil-safe: a disabled parent yields a disabled
+// child.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.tracer.start(name, s.ID)
+}
+
+// Finish stamps the end time and hands the span to the tracer's sink. It is
+// nil-safe, and tolerates the sink detaching mid-span (the span is dropped).
+func (s *Span) Finish() {
+	if s == nil {
+		return
+	}
+	s.End = time.Now()
+	if sink := s.tracer.sink.Load(); sink != nil {
+		sink.record(*s)
+	}
+}
+
+// Tracer hands out spans. With no sink attached (the default) Start returns
+// nil and costs one atomic load — no allocation; all Span methods are
+// nil-safe no-ops.
+type Tracer struct {
+	sink atomic.Pointer[SpanRecorder]
+	ids  atomic.Uint64
+}
+
+// NewTracer returns a disabled tracer.
+func NewTracer() *Tracer { return &Tracer{} }
+
+// Attach directs finished spans into r; nil detaches and disables tracing.
+func (t *Tracer) Attach(r *SpanRecorder) { t.sink.Store(r) }
+
+// Enabled reports whether a sink is attached.
+func (t *Tracer) Enabled() bool { return t.sink.Load() != nil }
+
+// Start begins a root span, or returns nil when disabled.
+func (t *Tracer) Start(name string) *Span { return t.start(name, 0) }
+
+func (t *Tracer) start(name string, parent uint64) *Span {
+	if t.sink.Load() == nil {
+		return nil
+	}
+	return &Span{
+		ID:     t.ids.Add(1),
+		Parent: parent,
+		Name:   name,
+		Start:  time.Now(),
+		tracer: t,
+	}
+}
+
+// SpanRecorder is a fixed-capacity ring buffer of finished spans: attach one
+// to a Tracer to capture the most recent traffic without unbounded growth.
+type SpanRecorder struct {
+	mu    sync.Mutex
+	buf   []Span
+	next  int
+	total uint64
+	full  bool
+}
+
+// NewSpanRecorder returns a ring holding the last capacity finished spans
+// (capacity < 1 is treated as 1).
+func NewSpanRecorder(capacity int) *SpanRecorder {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &SpanRecorder{buf: make([]Span, capacity)}
+}
+
+func (r *SpanRecorder) record(s Span) {
+	r.mu.Lock()
+	r.buf[r.next] = s
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+	r.total++
+	r.mu.Unlock()
+}
+
+// Spans returns the retained spans, oldest first.
+func (r *SpanRecorder) Spans() []Span {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.full {
+		return append([]Span(nil), r.buf[:r.next]...)
+	}
+	out := make([]Span, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// Total returns how many spans were recorded over the recorder's lifetime
+// (including those the ring has since overwritten).
+func (r *SpanRecorder) Total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}

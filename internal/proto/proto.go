@@ -23,6 +23,7 @@ import (
 	"repro/internal/event"
 	"repro/internal/geodb"
 	"repro/internal/geom"
+	"repro/internal/obs"
 	"repro/internal/spec"
 )
 
@@ -47,6 +48,9 @@ const (
 	OpGetValue    Op = "get_value"
 	OpSelectWhere Op = "select_where"
 	OpCallMethod  Op = "call_method"
+	// OpStats returns a snapshot of the server's metrics registry; it is
+	// the observability verb, outside the paper's primitive set.
+	OpStats Op = "stats"
 )
 
 // Request is a client→server message.
@@ -76,6 +80,7 @@ type Response struct {
 	Instances []Instance          `json:"instances,omitempty"`
 	Value     *Value              `json:"value,omitempty"`
 	Cust      *spec.Customization `json:"cust,omitempty"`
+	Stats     *obs.Snapshot       `json:"stats,omitempty"`
 }
 
 // SchemaInfo mirrors geodb.SchemaInfo on the wire.

@@ -12,11 +12,31 @@ import (
 	"log"
 	"net"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/geom"
+	"repro/internal/obs"
 	"repro/internal/proto"
 	"repro/internal/spec"
 	"repro/internal/ui"
+)
+
+// Registry-side request accounting: a per-verb latency histogram plus the
+// gauge of requests currently being handled. Handles are resolved once so
+// handle() pays atomic adds only.
+var (
+	mRequestsTotal = obs.Default().Counter("gis_server_requests_total")
+	mInFlight      = obs.Default().Gauge("gis_server_inflight_requests")
+	mVerbSeconds   = map[proto.Op]*obs.Histogram{
+		proto.OpConnect:     obs.Default().Histogram(`gis_server_request_seconds{op="connect"}`, obs.LatencyBuckets),
+		proto.OpGetSchema:   obs.Default().Histogram(`gis_server_request_seconds{op="get_schema"}`, obs.LatencyBuckets),
+		proto.OpGetClass:    obs.Default().Histogram(`gis_server_request_seconds{op="get_class"}`, obs.LatencyBuckets),
+		proto.OpGetValue:    obs.Default().Histogram(`gis_server_request_seconds{op="get_value"}`, obs.LatencyBuckets),
+		proto.OpSelectWhere: obs.Default().Histogram(`gis_server_request_seconds{op="select_where"}`, obs.LatencyBuckets),
+		proto.OpCallMethod:  obs.Default().Histogram(`gis_server_request_seconds{op="call_method"}`, obs.LatencyBuckets),
+		proto.OpStats:       obs.Default().Histogram(`gis_server_request_seconds{op="stats"}`, obs.LatencyBuckets),
+	}
+	mVerbOther = obs.Default().Histogram(`gis_server_request_seconds{op="other"}`, obs.LatencyBuckets)
 )
 
 // Server answers protocol requests against a Backend (normally a
@@ -33,8 +53,9 @@ type Server struct {
 	// errors are returned to the client, not logged.
 	Logf func(format string, args ...any)
 
-	// Requests counts requests served (B8 reporting).
-	Requests uint64
+	// Requests counts requests served (B8 reporting). It is mutated across
+	// connection goroutines, hence atomic; read it with Requests.Load().
+	Requests atomic.Uint64
 }
 
 // New returns a server over the backend.
@@ -142,9 +163,18 @@ func (s *Server) serveConn(conn net.Conn) {
 }
 
 func (s *Server) handle(req proto.Request) proto.Response {
-	s.mu.Lock()
-	s.Requests++
-	s.mu.Unlock()
+	s.Requests.Add(1)
+	mRequestsTotal.Inc()
+	mInFlight.Inc()
+	h, ok := mVerbSeconds[req.Op]
+	if !ok {
+		h = mVerbOther
+	}
+	sw := obs.Start(h)
+	defer func() {
+		sw.Stop()
+		mInFlight.Dec()
+	}()
 	resp := proto.Response{ID: req.ID}
 	fail := func(err error) proto.Response {
 		resp.Err = err.Error()
@@ -235,6 +265,9 @@ func (s *Server) handle(req proto.Request) proto.Response {
 			return fail(err)
 		}
 		resp.Value = &wv
+	case proto.OpStats:
+		snap := obs.Default().Snapshot()
+		resp.Stats = &snap
 	default:
 		resp.Err = fmt.Sprintf("server: unknown op %q", req.Op)
 	}

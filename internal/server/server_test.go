@@ -73,8 +73,8 @@ func TestRequestErrorsDoNotKillConnection(t *testing.T) {
 	if resp.Err != "" || resp.Schema == nil || resp.Schema.Name != "s" {
 		t.Fatalf("resp = %+v", resp)
 	}
-	if srv.Requests != 2 {
-		t.Fatalf("requests = %d", srv.Requests)
+	if n := srv.Requests.Load(); n != 2 {
+		t.Fatalf("requests = %d", n)
 	}
 }
 
@@ -128,6 +128,43 @@ func TestCloseUnblocksServe(t *testing.T) {
 	}
 	if err := srv.Serve(l); err == nil {
 		t.Fatal("Serve after Close should fail")
+	}
+}
+
+// TestStatsVerbOverTCP exercises the observability verb end to end: a real
+// TCP connection, traffic to move the counters, then a STATS round trip whose
+// snapshot must reflect that traffic.
+func TestStatsVerbOverTCP(t *testing.T) {
+	srv := New(testBackend(t))
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(l)
+	defer srv.Close()
+	conn, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	resp := rawExchange(t, conn, proto.Request{ID: 1, Op: proto.OpGetSchema, Schema: "s"})
+	if resp.Err != "" {
+		t.Fatal(resp.Err)
+	}
+	resp = rawExchange(t, conn, proto.Request{ID: 2, Op: proto.OpStats})
+	if resp.Err != "" || resp.Stats == nil {
+		t.Fatalf("stats resp = %+v", resp)
+	}
+	// The registry is process-wide, so assert lower bounds, not equality.
+	if got := resp.Stats.Counters["gis_server_requests_total"]; got < 2 {
+		t.Errorf("gis_server_requests_total = %d, want >= 2", got)
+	}
+	h, ok := resp.Stats.Histograms[`gis_server_request_seconds{op="get_schema"}`]
+	if !ok || h.Count < 1 {
+		t.Errorf("get_schema latency histogram missing or empty: %+v", h)
+	}
+	if len(h.Counts) != len(h.Bounds)+1 {
+		t.Errorf("histogram snapshot shape: %d counts for %d bounds", len(h.Counts), len(h.Bounds))
 	}
 }
 

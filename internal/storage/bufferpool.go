@@ -5,6 +5,17 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+
+	"repro/internal/obs"
+)
+
+// Pool traffic mirrored into the process-wide metrics registry (per-pool
+// counts stay in PoolStats). Resolved once; each event is one atomic add.
+var (
+	mPoolHits      = obs.Default().Counter("gis_storage_pool_hits_total")
+	mPoolMisses    = obs.Default().Counter("gis_storage_pool_misses_total")
+	mPoolEvictions = obs.Default().Counter("gis_storage_pool_evictions_total")
+	mPoolFlushes   = obs.Default().Counter("gis_storage_pool_flushes_total")
 )
 
 // ReplacementPolicy selects which unpinned frame to evict when the pool is
@@ -110,10 +121,12 @@ func (b *BufferPool) Fetch(id PageID) (*Page, error) {
 	defer b.mu.Unlock()
 	if f, ok := b.frames[id]; ok {
 		b.stats.Hits++
+		mPoolHits.Inc()
 		b.pin(f)
 		return &f.page, nil
 	}
 	b.stats.Misses++
+	mPoolMisses.Inc()
 	f, err := b.allocFrame(id)
 	if err != nil {
 		return nil, err
@@ -227,9 +240,11 @@ func (b *BufferPool) dropFrame(f *frame) error {
 			return fmt.Errorf("storage: writeback of page %d: %w", f.id, err)
 		}
 		b.stats.Flushes++
+		mPoolFlushes.Inc()
 	}
 	delete(b.frames, f.id)
 	b.stats.Evictions++
+	mPoolEvictions.Inc()
 	return nil
 }
 
@@ -246,6 +261,7 @@ func (b *BufferPool) Flush() error {
 		}
 		f.dirty = false
 		b.stats.Flushes++
+		mPoolFlushes.Inc()
 	}
 	return nil
 }

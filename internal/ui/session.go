@@ -11,6 +11,7 @@ import (
 	"repro/internal/event"
 	"repro/internal/geodb"
 	"repro/internal/geom"
+	"repro/internal/obs"
 	"repro/internal/render"
 	"repro/internal/spec"
 	"repro/internal/uikit"
@@ -21,6 +22,11 @@ var (
 	ErrNoWindow     = errors.New("ui: no such window")
 	ErrNotConnected = errors.New("ui: session not connected")
 )
+
+// mInteractions counts dispatched interactions across every session (the
+// per-session count stays in Session.Interactions). Window-build latency is
+// recorded by the builder package under gis_ui_window_build_seconds.
+var mInteractions = obs.Default().Counter("gis_ui_interactions_total")
 
 // Session is one user's interaction with the GIS: it owns the window
 // hierarchy, the interaction context and the dispatcher. It is the paper's
@@ -96,6 +102,7 @@ func (s *Session) OpenSchema(schema string) (*uikit.Widget, error) {
 		return nil, ErrNotConnected
 	}
 	s.Interactions++
+	mInteractions.Inc()
 	info, cust, err := s.backend.GetSchema(s.ctx, schema)
 	if err != nil {
 		return nil, err
@@ -134,6 +141,7 @@ func (s *Session) OpenClass(schema, class string) (*uikit.Widget, error) {
 
 func (s *Session) openClassUnder(parent, schema, class string) (*uikit.Widget, error) {
 	s.Interactions++
+	mInteractions.Inc()
 	data, cust, err := s.backend.GetClass(s.ctx, schema, class)
 	if err != nil {
 		return nil, err
@@ -162,6 +170,7 @@ func (s *Session) OpenInstance(oid catalog.OID) (*uikit.Widget, error) {
 		return nil, ErrNotConnected
 	}
 	s.Interactions++
+	mInteractions.Inc()
 	in, cust, err := s.backend.GetValue(s.ctx, oid)
 	if err != nil {
 		return nil, err
@@ -192,6 +201,7 @@ func (s *Session) OpenClassZoomed(schema, class string, viewport geom.Rect) (*ui
 		return nil, ErrNotConnected
 	}
 	s.Interactions++
+	mInteractions.Inc()
 	data, cust, err := s.backend.GetClassWindowed(s.ctx, schema, class, viewport)
 	if err != nil {
 		return nil, err
@@ -222,6 +232,7 @@ func (s *Session) Analyze(schema, class string, filters []geodb.Filter) (*uikit.
 		return nil, ErrNotConnected
 	}
 	s.Interactions++
+	mInteractions.Inc()
 	data, cust, err := s.backend.GetClass(s.ctx, schema, class)
 	if err != nil {
 		return nil, err
@@ -342,6 +353,7 @@ func (s *Session) Interact(windowName, widgetName, eventName string, payload any
 		return fmt.Errorf("%w: widget %q in window %q", ErrNoWindow, widgetName, windowName)
 	}
 	s.Interactions++
+	mInteractions.Inc()
 	s.tracef("interaction %s on %s/%s", eventName, windowName, widgetName)
 	return s.registry.Trigger(w, eventName, &Interaction{
 		Session: s,
