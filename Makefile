@@ -3,9 +3,9 @@
 
 GOFILES := $(shell find . -name '*.go' -not -path './.*')
 
-.PHONY: ci fmt vet build test bench
+.PHONY: ci fmt vet build test bench fuzz
 
-ci: fmt vet build test
+ci: fmt vet build test fuzz
 
 fmt:
 	@out=$$(gofmt -l $(GOFILES)); \
@@ -21,6 +21,11 @@ build:
 
 test:
 	go test -race ./...
+
+# Short fuzz smoke over the wire-protocol frame reader; deeper runs are
+# `go test -fuzz=FuzzReadMessage -fuzztime=5m ./internal/proto`.
+fuzz:
+	go test -run='^$$' -fuzz=FuzzReadMessage -fuzztime=10s ./internal/proto
 
 bench:
 	go test -run xxx -bench . -benchmem .

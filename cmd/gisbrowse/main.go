@@ -26,6 +26,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	gisui "repro"
 	"repro/internal/catalog"
@@ -45,6 +46,8 @@ func main() {
 		seed       = flag.Int64("seed", 1997, "generator seed")
 		directives = flag.String("directives", "", "customization directive file to install ('figure6' for the paper's script)")
 		connect    = flag.String("connect", "", "connect to a gisd server address instead of embedding the DBMS")
+		timeout    = flag.Duration("timeout", 10*time.Second, "per-request deadline in -connect mode (0 = none)")
+		retries    = flag.Int("retries", 4, "retry attempts for retrieval requests in -connect mode (1 = no retry)")
 		script     = flag.Bool("script", false, "read commands from stdin without a prompt (non-interactive)")
 	)
 	flag.Parse()
@@ -57,7 +60,13 @@ func main() {
 
 	var session *gisui.Session
 	if *connect != "" {
-		s, cli, err := gisui.RemoteSession(*connect, lib, ctx)
+		// Fault-tolerant transport: retrieval requests are retried with
+		// backoff and the connection is re-dialed, so an exploratory session
+		// survives a gisd restart without user-visible errors.
+		s, cli, err := gisui.RemoteSessionOptions(*connect, lib, ctx, gisui.ClientOptions{
+			Timeout: *timeout,
+			Retry:   gisui.RetryPolicy{MaxAttempts: *retries},
+		})
 		if err != nil {
 			fatal(err)
 		}

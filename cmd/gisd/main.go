@@ -5,12 +5,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	gisui "repro"
 	"repro/internal/geom"
@@ -29,6 +31,9 @@ func main() {
 		directives = flag.String("directives", "figure6", "directive file to install ('figure6', 'none', or a path)")
 		constrain  = flag.Bool("constraints", true, "install topological constraints (poles in zones, zones disjoint)")
 		metrics    = flag.String("metrics", "", "HTTP listen address serving the metrics text exposition at /metrics (empty = disabled)")
+		idle       = flag.Duration("idle-timeout", 5*time.Minute, "disconnect clients idle longer than this (0 = never)")
+		maxConns   = flag.Int("max-conns", 0, "maximum concurrent client connections (0 = unlimited)")
+		drain      = flag.Duration("drain", 10*time.Second, "graceful-shutdown deadline for in-flight requests")
 	)
 	flag.Parse()
 
@@ -101,9 +106,15 @@ func main() {
 		fmt.Printf("gisd: metrics on http://%s/metrics\n", *metrics)
 	}
 
-	// Graceful shutdown: durability of a -db file requires flushing the
-	// buffer pool, which sys.Close does.
+	// Graceful shutdown: on SIGINT/SIGTERM the server stops accepting,
+	// drains in-flight requests under the -drain deadline, then the buffer
+	// pool is flushed (sys.Close) so a -db file stays durable.
 	srv := sys.NewServer()
+	srv.IdleTimeout = *idle
+	srv.MaxConns = *maxConns
+	srv.Logf = func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "gisd: "+format+"\n", args...)
+	}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe(*addr) }()
 	sigCh := make(chan os.Signal, 1)
@@ -114,8 +125,15 @@ func main() {
 			fatal(err)
 		}
 	case sig := <-sigCh:
-		fmt.Printf("gisd: %v — shutting down\n", sig)
-		srv.Close()
+		fmt.Printf("gisd: %v — draining (deadline %v)\n", sig, *drain)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		err := srv.Shutdown(ctx)
+		cancel()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gisd: drain incomplete, connections force-closed: %v\n", err)
+		} else {
+			fmt.Println("gisd: drained cleanly")
+		}
 		if err := sys.Close(); err != nil {
 			fatal(err)
 		}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"time"
 
 	gisui "repro"
 	"repro/internal/workload"
@@ -40,12 +41,19 @@ func main() {
 	fmt.Printf("geographic DBMS serving on %s\n\n", l.Addr())
 
 	// --- Client side: an external UI with its own library. ---
+	// The fault-tolerant transport options make the session survive server
+	// restarts and transient link failures: retrieval requests get a
+	// deadline, retry with backoff, and an automatic re-dial.
 	clientLib, err := workload.StandardLibrary()
 	if err != nil {
 		log.Fatal(err)
 	}
-	session, cli, err := gisui.RemoteSession(l.Addr().String(), clientLib,
-		gisui.Context("juliano", "", "pole_manager"))
+	session, cli, err := gisui.RemoteSessionOptions(l.Addr().String(), clientLib,
+		gisui.Context("juliano", "", "pole_manager"),
+		gisui.ClientOptions{
+			Timeout: 5 * time.Second,
+			Retry:   gisui.RetryPolicy{MaxAttempts: 4},
+		})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -59,5 +59,17 @@ func Context(user, category, application string) Ctx {
 // Kernel returns a library holding the paper's Figure 2 kernel classes.
 func Kernel() *Library { return uikit.Kernel() }
 
+// ClientOptions configures the weak-integration client transport (timeout,
+// retry policy, reconnect dialing).
+type ClientOptions = core.ClientOptions
+
+// RetryPolicy bounds retries of idempotent retrieval verbs: exponential
+// backoff with jitter, never applied to method calls.
+type RetryPolicy = core.RetryPolicy
+
 // RemoteSession dials a weak-integration server and opens a session over it.
 var RemoteSession = core.RemoteSession
+
+// RemoteSessionOptions is RemoteSession with a fault-tolerant transport:
+// per-request timeouts, retry with backoff, automatic reconnect.
+var RemoteSessionOptions = core.RemoteSessionOptions

@@ -3,12 +3,23 @@
 // dispatcher and generic interface builder run unchanged whether the DBMS is
 // in-process (strong integration) or remote (weak integration) — exactly the
 // adaptability §3.5 argues for.
+//
+// The transport is fault-tolerant: requests carry optional deadlines, a
+// RetryPolicy re-issues idempotent retrieval verbs with exponential backoff
+// and jitter, a dial function lets the client reconnect so it survives
+// server restarts, and any framing or ID-mismatch error poisons the
+// connection — a desynchronized stream is closed and never reused. Retries,
+// reconnects, timeouts and poisonings are counted in the internal/obs
+// registry and therefore appear in the STATS verb snapshot.
 package client
 
 import (
+	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
+	"time"
 
 	"repro/internal/catalog"
 	"repro/internal/event"
@@ -20,51 +31,277 @@ import (
 	"repro/internal/ui"
 )
 
+// Client-side fault-tolerance accounting, resolved once.
+var (
+	mRetries    = obs.Default().Counter("gis_client_retries_total")
+	mReconnects = obs.Default().Counter("gis_client_reconnects_total")
+	mTimeouts   = obs.Default().Counter("gis_client_request_timeouts_total")
+	mPoisoned   = obs.Default().Counter("gis_client_conn_poisoned_total")
+)
+
+// ErrClosed is returned for requests on a closed client.
+var ErrClosed = errors.New("client: closed")
+
+// errNotConnected reports a client whose connection is gone and that has no
+// dial function to get a new one.
+var errNotConnected = errors.New("client: not connected and no dial function")
+
+// RetryPolicy shapes transparent retries of idempotent retrieval verbs.
+// Only transport-level failures (dial errors, timeouts, framing or ID
+// desynchronization) are retried; an error the server itself returned
+// (proto.ErrRemote) is an application answer and is surfaced immediately.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries per request, including the
+	// first. 0 or 1 disables retries.
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry (default 10ms).
+	// Each further retry doubles it up to MaxDelay.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff (default 1s).
+	MaxDelay time.Duration
+	// Jitter is the fraction of each delay that is randomized (0..1,
+	// default 0.5): delay' = delay − uniform(0, Jitter·delay). Jitter
+	// de-synchronizes herds of clients retrying after a server restart.
+	Jitter float64
+}
+
+// backoff returns the delay before retry number n (1-based).
+func (p RetryPolicy) backoff(n int, rng *rand.Rand) time.Duration {
+	base := p.BaseDelay
+	if base <= 0 {
+		base = 10 * time.Millisecond
+	}
+	maxd := p.MaxDelay
+	if maxd <= 0 {
+		maxd = time.Second
+	}
+	d := base << uint(n-1)
+	if d > maxd || d <= 0 {
+		d = maxd
+	}
+	jitter := p.Jitter
+	if jitter == 0 {
+		jitter = 0.5
+	}
+	if jitter > 0 && jitter <= 1 {
+		d -= time.Duration(rng.Float64() * jitter * float64(d))
+	}
+	return d
+}
+
+// Options configures a fault-tolerant client.
+type Options struct {
+	// Dial produces a new connection; when set, the client reconnects
+	// through it after any transport failure, surviving server restarts.
+	// Nil means the client is pinned to one fixed connection.
+	Dial func() (net.Conn, error)
+	// Timeout bounds one request round trip (write + read). Zero disables.
+	// A timed-out connection is poisoned: the late response would
+	// desynchronize the stream, so it is never read.
+	Timeout time.Duration
+	// Retry shapes transparent retries of idempotent verbs.
+	Retry RetryPolicy
+	// Seed seeds the backoff-jitter PRNG, for deterministic tests. Zero
+	// uses a time-derived seed.
+	Seed int64
+}
+
 // Client speaks the protocol over one connection. Requests are serialized
 // by a mutex: a UI session issues one interaction at a time, and sharing a
 // client across sessions just queues them.
 type Client struct {
-	mu   sync.Mutex
-	conn net.Conn
-	next uint64
+	mu     sync.Mutex
+	conn   net.Conn
+	next   uint64
+	opts   Options
+	rng    *rand.Rand
+	dialed bool // a first connection existed; later dials are reconnects
+	closed bool
 }
 
-// Dial connects to a TCP server.
+// Dial connects to a TCP server with no timeout and no retries — the
+// plain §3.5 configuration. Use DialOptions for a fault-tolerant client.
 func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
+	return DialOptions(addr, Options{})
+}
+
+// DialOptions connects to a TCP server and keeps its address as the
+// reconnect target (unless Options.Dial overrides it). The initial dial is
+// eager so a bad address fails fast.
+func DialOptions(addr string, opts Options) (*Client, error) {
+	if opts.Dial == nil {
+		opts.Dial = func() (net.Conn, error) { return net.Dial("tcp", addr) }
+	}
+	c := New(opts)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.ensureConn(); err != nil {
 		return nil, fmt.Errorf("client: dial %s: %w", addr, err)
 	}
-	return NewClient(conn), nil
+	return c, nil
 }
 
-// NewClient wraps an established connection (e.g. one end of net.Pipe).
+// New returns a client that dials lazily through opts.Dial on first use.
+func New(opts Options) *Client {
+	seed := opts.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	return &Client{opts: opts, rng: rand.New(rand.NewSource(seed))}
+}
+
+// NewClient wraps an established connection (e.g. one end of net.Pipe) with
+// no timeout, no retries and no reconnect.
 func NewClient(conn net.Conn) *Client {
-	return &Client{conn: conn}
+	return &Client{conn: conn, rng: rand.New(rand.NewSource(1))}
 }
 
-// Close closes the connection.
-func (c *Client) Close() error { return c.conn.Close() }
+// NewClientOptions wraps an established connection with fault-tolerance
+// options; opts.Dial, when set, replaces the connection after a failure.
+func NewClientOptions(conn net.Conn, opts Options) *Client {
+	c := New(opts)
+	c.conn = conn
+	c.dialed = true
+	return c
+}
+
+// Close closes the connection; further requests fail with ErrClosed.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close()
+	c.conn = nil
+	return err
+}
+
+// ensureConn dials when the connection is gone. Caller holds c.mu.
+func (c *Client) ensureConn() error {
+	if c.conn != nil {
+		return nil
+	}
+	if c.opts.Dial == nil {
+		return errNotConnected
+	}
+	conn, err := c.opts.Dial()
+	if err != nil {
+		return err
+	}
+	c.conn = conn
+	if c.dialed {
+		mReconnects.Inc()
+	}
+	c.dialed = true
+	return nil
+}
+
+// poison closes and forgets the connection: after a framing error, timeout
+// or ID mismatch the stream position is undefined, and reusing it could pair
+// a response with the wrong request. Caller holds c.mu.
+func (c *Client) poison() {
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+		mPoisoned.Inc()
+	}
+}
+
+// retryable reports whether op is an idempotent retrieval verb that a retry
+// may safely re-issue. call_method may run arbitrary database code, so it is
+// never retried.
+func retryable(op proto.Op) bool {
+	switch op {
+	case proto.OpConnect, proto.OpGetSchema, proto.OpGetClass,
+		proto.OpGetValue, proto.OpSelectWhere, proto.OpStats:
+		return true
+	}
+	return false
+}
+
+// transient reports whether err may heal on a fresh connection. Remote
+// errors are application answers, not transport failures.
+func transient(err error) bool {
+	return !errors.Is(err, proto.ErrRemote) && !errors.Is(err, ErrClosed)
+}
 
 func (c *Client) roundTrip(req proto.Request) (proto.Response, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	attempts := 1
+	if retryable(req.Op) && c.opts.Retry.MaxAttempts > 1 {
+		attempts = c.opts.Retry.MaxAttempts
+	}
+	var lastErr error
+	for attempt := 1; attempt <= attempts; attempt++ {
+		if attempt > 1 {
+			mRetries.Inc()
+			delay := c.opts.Retry.backoff(attempt-1, c.rng)
+			// Sleep outside the lock so other goroutines sharing the
+			// client are not serialized behind this backoff.
+			c.mu.Unlock()
+			time.Sleep(delay)
+			c.mu.Lock()
+		}
+		resp, err := c.attempt(&req)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		if !transient(err) {
+			return proto.Response{}, err
+		}
+	}
+	return proto.Response{}, lastErr
+}
+
+// attempt performs one wire exchange. Caller holds c.mu. Any transport
+// failure poisons the connection so the next attempt reconnects.
+func (c *Client) attempt(req *proto.Request) (proto.Response, error) {
+	if c.closed {
+		return proto.Response{}, ErrClosed
+	}
+	if err := c.ensureConn(); err != nil {
+		return proto.Response{}, err
+	}
+	conn := c.conn
+	if c.opts.Timeout > 0 {
+		conn.SetDeadline(time.Now().Add(c.opts.Timeout))
+	}
 	c.next++
 	req.ID = c.next
-	if err := proto.WriteMessage(c.conn, req); err != nil {
+	if err := proto.WriteMessage(conn, *req); err != nil {
+		c.fail(err)
 		return proto.Response{}, err
 	}
 	var resp proto.Response
-	if err := proto.ReadMessage(c.conn, &resp); err != nil {
+	if err := proto.ReadMessage(conn, &resp); err != nil {
+		c.fail(err)
 		return proto.Response{}, err
 	}
+	if c.opts.Timeout > 0 {
+		conn.SetDeadline(time.Time{})
+	}
 	if resp.ID != req.ID {
-		return proto.Response{}, fmt.Errorf("client: response id %d for request %d", resp.ID, req.ID)
+		err := fmt.Errorf("client: response id %d for request %d", resp.ID, req.ID)
+		c.poison()
+		return proto.Response{}, err
 	}
 	if resp.Err != "" {
 		return proto.Response{}, fmt.Errorf("%w: %s", proto.ErrRemote, resp.Err)
 	}
 	return resp, nil
+}
+
+// fail records a transport error and poisons the connection.
+func (c *Client) fail(err error) {
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		mTimeouts.Inc()
+	}
+	c.poison()
 }
 
 // Connect implements ui.Backend.
@@ -184,7 +421,9 @@ func (c *Client) Stats() (obs.Snapshot, error) {
 	return *resp.Stats, nil
 }
 
-// CallMethod implements ui.Backend (and builder.MethodCaller).
+// CallMethod implements ui.Backend (and builder.MethodCaller). Methods may
+// run arbitrary database code, so CallMethod is never retried: a transport
+// failure surfaces to the caller, who knows whether re-invoking is safe.
 func (c *Client) CallMethod(oid catalog.OID, method string, args ...catalog.Value) (catalog.Value, error) {
 	wargs, err := proto.EncodeValues(args)
 	if err != nil {

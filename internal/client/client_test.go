@@ -22,6 +22,18 @@ import (
 	"repro/internal/uikit"
 )
 
+// mustOpen replaces the removed geodb.MustOpen for tests: Open or fail the
+// test. The library's open/recovery path returns errors instead of
+// panicking, so a corrupt page file degrades gracefully in servers.
+func mustOpen(t testing.TB, opts geodb.Options) *geodb.DB {
+	t.Helper()
+	db, err := geodb.Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
 const figure6 = `
 For user juliano application pole_manager
 schema phone_net display as Null
@@ -40,7 +52,7 @@ class Pole display
 // serverWorld builds the DBMS side: database, rules, library, backend.
 func serverWorld(t testing.TB) (*ui.DirectBackend, *uikit.Library, []catalog.OID) {
 	t.Helper()
-	db := geodb.MustOpen(geodb.Options{Name: "GEO"})
+	db := mustOpen(t, geodb.Options{Name: "GEO"})
 	must := func(err error) {
 		t.Helper()
 		if err != nil {

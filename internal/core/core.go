@@ -162,12 +162,26 @@ func (s *System) ListenAndServe(addr string) error {
 	return s.NewServer().ListenAndServe(addr)
 }
 
+// ClientOptions configures the weak-integration client transport: per-request
+// timeout, retry/backoff policy, and reconnect dialing.
+type ClientOptions = client.Options
+
+// RetryPolicy bounds retries of idempotent retrieval verbs.
+type RetryPolicy = client.RetryPolicy
+
 // RemoteSession dials a weak-integration server and returns a UI session
 // over it. The library is the client-side interface objects library (weak
 // integration keeps the UI adaptable to more than one backend, so it owns
 // its widgets). Close the returned client when done.
 func RemoteSession(addr string, lib *uikit.Library, ctx event.Context) (*ui.Session, *client.Client, error) {
-	cli, err := client.Dial(addr)
+	return RemoteSessionOptions(addr, lib, ctx, client.Options{})
+}
+
+// RemoteSessionOptions is RemoteSession with a fault-tolerant transport:
+// opts selects per-request timeouts, retry with backoff, and automatic
+// reconnect, so the session survives server restarts and flaky links.
+func RemoteSessionOptions(addr string, lib *uikit.Library, ctx event.Context, opts client.Options) (*ui.Session, *client.Client, error) {
+	cli, err := client.DialOptions(addr, opts)
 	if err != nil {
 		return nil, nil, err
 	}

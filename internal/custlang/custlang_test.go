@@ -13,6 +13,18 @@ import (
 	"repro/internal/uikit"
 )
 
+// mustOpen replaces the removed geodb.MustOpen for tests: Open or fail the
+// test. The library's open/recovery path returns errors instead of
+// panicking, so a corrupt page file degrades gracefully in servers.
+func mustOpen(t testing.TB, opts geodb.Options) *geodb.DB {
+	t.Helper()
+	db, err := geodb.Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
 // figure6 is the customization script of the paper's Figure 6, written in
 // this package's concrete syntax. The paper's shorthand source paths
 // (pole.material) are kept verbatim; the analyzer resolves them to
@@ -34,7 +46,7 @@ class Pole display
 
 func testAnalyzer(t testing.TB) (*Analyzer, *geodb.DB) {
 	t.Helper()
-	db := geodb.MustOpen(geodb.Options{})
+	db := mustOpen(t, geodb.Options{})
 	must := func(err error) {
 		t.Helper()
 		if err != nil {

@@ -1,0 +1,197 @@
+// Package faultnet wraps net.Conn with deterministic fault injection: added
+// latency, partial writes, mid-stream connection drops, and byte corruption.
+// It exists to prove the recovery paths of the weak-integration transport
+// (internal/client, internal/server) under the failures a real UI↔DBMS link
+// exhibits — §3.5 treats the interface as "an external module … adaptable to
+// more than one system", which in deployment means a network that stalls,
+// cuts, and corrupts.
+//
+// All randomness comes from a PRNG seeded in Options, so a failing test
+// reproduces exactly from its seed. The zero Options injects nothing: a
+// faultnet.Conn with no faults behaves byte-for-byte like the wrapped conn.
+package faultnet
+
+import (
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Options selects which faults to inject. Zero value = no faults.
+type Options struct {
+	// Seed seeds the PRNG that drives partial-write splits and corruption
+	// positions. Two conns with the same Options inject identical faults.
+	Seed int64
+
+	// ReadLatency is added before every Read touches the wrapped conn.
+	ReadLatency time.Duration
+	// WriteLatency is added before every Write touches the wrapped conn.
+	WriteLatency time.Duration
+
+	// PartialWrites splits every multi-byte Write into two separate writes
+	// at a PRNG-chosen point, exercising short-write handling in framing.
+	PartialWrites bool
+
+	// DropAfterBytes hard-closes the connection once this many bytes have
+	// been written through it — typically mid-frame. 0 disables.
+	DropAfterBytes int64
+
+	// CorruptEveryN flips one bit in roughly every N written bytes
+	// (PRNG-chosen position per window). 0 disables.
+	CorruptEveryN int
+}
+
+// Stats counts the faults a Conn actually injected; fields are atomic so
+// tests may read them while the conn is in use.
+type Stats struct {
+	Delays        atomic.Int64 // latency injections applied
+	PartialWrites atomic.Int64 // writes split in two
+	Drops         atomic.Int64 // forced mid-stream closes (0 or 1)
+	CorruptedBits atomic.Int64 // bits flipped
+}
+
+// Conn is a net.Conn with fault injection on the write and read paths.
+type Conn struct {
+	net.Conn
+	opts Options
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	written int64
+	dropped bool
+
+	// Stats reports what was injected so far.
+	Stats Stats
+}
+
+// Wrap returns conn with the given faults layered on top.
+func Wrap(conn net.Conn, opts Options) *Conn {
+	return &Conn{
+		Conn: conn,
+		opts: opts,
+		rng:  rand.New(rand.NewSource(opts.Seed)),
+	}
+}
+
+// Pipe is net.Pipe with faults injected on the first (client-side) end.
+func Pipe(opts Options) (*Conn, net.Conn) {
+	a, b := net.Pipe()
+	return Wrap(a, opts), b
+}
+
+// Read injects latency, then reads from the wrapped conn.
+func (c *Conn) Read(p []byte) (int, error) {
+	if c.opts.ReadLatency > 0 {
+		c.Stats.Delays.Add(1)
+		time.Sleep(c.opts.ReadLatency)
+	}
+	return c.Conn.Read(p)
+}
+
+// Write injects the configured write faults in order: latency, corruption,
+// partial split, and the mid-stream drop. After a drop every Write fails.
+func (c *Conn) Write(p []byte) (int, error) {
+	if c.opts.WriteLatency > 0 {
+		c.Stats.Delays.Add(1)
+		time.Sleep(c.opts.WriteLatency)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.dropped {
+		return 0, net.ErrClosed
+	}
+
+	data := p
+	if c.opts.CorruptEveryN > 0 {
+		data = append([]byte(nil), p...)
+		// One flipped bit per CorruptEveryN-byte window, at a seeded
+		// position, so corruption lands deterministically mid-payload.
+		for start := 0; start < len(data); start += c.opts.CorruptEveryN {
+			end := start + c.opts.CorruptEveryN
+			if end > len(data) {
+				break // short tail window stays clean (deterministic)
+			}
+			i := start + c.rng.Intn(c.opts.CorruptEveryN)
+			data[i] ^= 1 << uint(c.rng.Intn(8))
+			c.Stats.CorruptedBits.Add(1)
+		}
+	}
+
+	// A pending drop cuts the write mid-frame: the prefix reaches the wire,
+	// the rest never does, and the conn is closed under the writer.
+	if c.opts.DropAfterBytes > 0 && c.written+int64(len(data)) > c.opts.DropAfterBytes {
+		keep := c.opts.DropAfterBytes - c.written
+		if keep < 0 {
+			keep = 0
+		}
+		n := 0
+		if keep > 0 {
+			n, _ = c.Conn.Write(data[:keep])
+			c.written += int64(n)
+		}
+		c.Stats.Drops.Add(1)
+		c.dropped = true
+		c.Conn.Close()
+		return n, net.ErrClosed
+	}
+
+	if c.opts.PartialWrites && len(data) > 1 {
+		c.Stats.PartialWrites.Add(1)
+		cut := 1 + c.rng.Intn(len(data)-1)
+		n1, err := c.Conn.Write(data[:cut])
+		c.written += int64(n1)
+		if err != nil {
+			return n1, err
+		}
+		n2, err := c.Conn.Write(data[cut:])
+		c.written += int64(n2)
+		return n1 + n2, err
+	}
+
+	n, err := c.Conn.Write(data)
+	c.written += int64(n)
+	return n, err
+}
+
+// Listener wraps accepted conns with per-connection faults. The i-th
+// accepted conn gets Options.Seed+i as its seed, keeping the whole accept
+// sequence deterministic.
+type Listener struct {
+	net.Listener
+	opts Options
+
+	mu       sync.Mutex
+	accepted int64
+	conns    []*Conn
+}
+
+// WrapListener layers faults over every conn l accepts.
+func WrapListener(l net.Listener, opts Options) *Listener {
+	return &Listener{Listener: l, opts: opts}
+}
+
+// Accept waits for a connection and wraps it.
+func (l *Listener) Accept() (net.Conn, error) {
+	conn, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	l.mu.Lock()
+	opts := l.opts
+	opts.Seed += l.accepted
+	l.accepted++
+	fc := Wrap(conn, opts)
+	l.conns = append(l.conns, fc)
+	l.mu.Unlock()
+	return fc, nil
+}
+
+// Conns returns the wrapped connections accepted so far, in accept order,
+// so tests can inspect their Stats.
+func (l *Listener) Conns() []*Conn {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]*Conn(nil), l.conns...)
+}

@@ -1,0 +1,149 @@
+package faultnet
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// echoSink reads everything from conn into a buffer and signals completion.
+func drain(conn net.Conn) <-chan []byte {
+	out := make(chan []byte, 1)
+	go func() {
+		var buf bytes.Buffer
+		io.Copy(&buf, conn)
+		out <- buf.Bytes()
+	}()
+	return out
+}
+
+func TestZeroOptionsIsTransparent(t *testing.T) {
+	fc, peer := Pipe(Options{})
+	got := drain(peer)
+	msg := []byte("hello weak integration")
+	if _, err := fc.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	fc.Close()
+	if !bytes.Equal(<-got, msg) {
+		t.Fatal("zero-fault conn altered bytes")
+	}
+	if fc.Stats.PartialWrites.Load() != 0 || fc.Stats.CorruptedBits.Load() != 0 {
+		t.Fatal("zero options injected faults")
+	}
+}
+
+func TestPartialWritesPreserveBytes(t *testing.T) {
+	fc, peer := Pipe(Options{Seed: 42, PartialWrites: true})
+	got := drain(peer)
+	msg := bytes.Repeat([]byte("abcdefgh"), 32)
+	if _, err := fc.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	fc.Close()
+	if !bytes.Equal(<-got, msg) {
+		t.Fatal("partial writes corrupted the stream")
+	}
+	if fc.Stats.PartialWrites.Load() != 1 {
+		t.Fatalf("partial writes = %d", fc.Stats.PartialWrites.Load())
+	}
+}
+
+func TestDropAfterBytesCutsMidStream(t *testing.T) {
+	fc, peer := Pipe(Options{Seed: 1, DropAfterBytes: 10})
+	got := drain(peer)
+	if _, err := fc.Write([]byte("0123456")); err != nil { // 7 bytes, under budget
+		t.Fatal(err)
+	}
+	n, err := fc.Write([]byte("89abcdef")) // crosses the 10-byte budget
+	if !errors.Is(err, net.ErrClosed) {
+		t.Fatalf("drop error = %v", err)
+	}
+	if n != 3 { // exactly the bytes up to the budget reached the wire
+		t.Fatalf("prefix written = %d, want 3", n)
+	}
+	if !bytes.Equal(<-got, []byte("012345689a")) {
+		t.Fatal("peer did not see exactly the pre-drop prefix")
+	}
+	if _, err := fc.Write([]byte("x")); err == nil {
+		t.Fatal("write after drop succeeded")
+	}
+	if fc.Stats.Drops.Load() != 1 {
+		t.Fatalf("drops = %d", fc.Stats.Drops.Load())
+	}
+}
+
+func TestCorruptionIsDeterministic(t *testing.T) {
+	run := func() ([]byte, int64) {
+		fc, peer := Pipe(Options{Seed: 7, CorruptEveryN: 16})
+		got := drain(peer)
+		msg := bytes.Repeat([]byte{0}, 64)
+		if _, err := fc.Write(msg); err != nil {
+			t.Fatal(err)
+		}
+		fc.Close()
+		return <-got, fc.Stats.CorruptedBits.Load()
+	}
+	a, na := run()
+	b, nb := run()
+	if na == 0 {
+		t.Fatal("no corruption injected")
+	}
+	if na != nb || !bytes.Equal(a, b) {
+		t.Fatal("same seed produced different corruption")
+	}
+	if bytes.Equal(a, bytes.Repeat([]byte{0}, 64)) {
+		t.Fatal("corruption did not alter the stream")
+	}
+}
+
+func TestLatencyDelaysIO(t *testing.T) {
+	fc, peer := Pipe(Options{WriteLatency: 30 * time.Millisecond})
+	got := drain(peer)
+	start := time.Now()
+	if _, err := fc.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Fatalf("write returned after %v, want >= 30ms latency", d)
+	}
+	fc.Close()
+	<-got
+}
+
+func TestWrapListenerSeedsPerConn(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl := WrapListener(l, Options{Seed: 5, PartialWrites: true})
+	defer fl.Close()
+	accepted := make(chan net.Conn, 2)
+	go func() {
+		for i := 0; i < 2; i++ {
+			c, err := fl.Accept()
+			if err != nil {
+				return
+			}
+			accepted <- c
+		}
+	}()
+	for i := 0; i < 2; i++ {
+		c, err := net.Dial("tcp", l.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		(<-accepted).(*Conn).Close()
+	}
+	conns := fl.Conns()
+	if len(conns) != 2 {
+		t.Fatalf("accepted = %d", len(conns))
+	}
+	if conns[0].opts.Seed == conns[1].opts.Seed {
+		t.Fatal("accepted conns share a seed")
+	}
+}

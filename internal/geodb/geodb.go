@@ -153,15 +153,6 @@ func Open(opts Options) (*DB, error) {
 	return db, nil
 }
 
-// MustOpen is Open for tests and examples where options are known-good.
-func MustOpen(opts Options) *DB {
-	db, err := Open(opts)
-	if err != nil {
-		panic(err)
-	}
-	return db
-}
-
 // Name returns the database name.
 func (db *DB) Name() string { return db.name }
 

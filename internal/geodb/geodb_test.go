@@ -11,13 +11,25 @@ import (
 	"repro/internal/storage"
 )
 
+// mustOpen replaces the removed MustOpen for tests: Open or fail the
+// test. The library's open/recovery path returns errors instead of
+// panicking, so a corrupt page file degrades gracefully in servers.
+func mustOpen(t testing.TB, opts Options) *DB {
+	t.Helper()
+	db, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
 var testCtx = event.Context{User: "juliano", Application: "pole_manager"}
 
 // buildPhoneNet defines the paper's Section 4 schema: Supplier and Pole
 // (Figure 5), plus a Duct class with line geometry.
 func buildPhoneNet(t testing.TB) *DB {
 	t.Helper()
-	db := MustOpen(Options{Name: "GEO"})
+	db := mustOpen(t, Options{Name: "GEO"})
 	if err := db.DefineSchema("phone_net"); err != nil {
 		t.Fatal(err)
 	}
@@ -400,7 +412,7 @@ func TestNearest(t *testing.T) {
 }
 
 func TestRelateQuery(t *testing.T) {
-	db := MustOpen(Options{})
+	db := mustOpen(t, Options{})
 	if err := db.DefineSchema("city"); err != nil {
 		t.Fatal(err)
 	}
@@ -488,7 +500,7 @@ func TestMethods(t *testing.T) {
 }
 
 func TestMethodInheritance(t *testing.T) {
-	db := MustOpen(Options{})
+	db := mustOpen(t, Options{})
 	db.DefineSchema("net")
 	if err := db.DefineClass("net", catalog.Class{
 		Name:    "Element",
@@ -538,7 +550,7 @@ func TestPersistentDBRecovery(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "geo.db")
 	var poleOID, supOID catalog.OID
 	{
-		db := MustOpen(Options{Path: path, PoolSize: 32, Name: "GEO"})
+		db := mustOpen(t, Options{Path: path, PoolSize: 32, Name: "GEO"})
 		// Reuse the phone_net schema builder against this on-disk DB.
 		must := func(err error) {
 			t.Helper()
@@ -583,7 +595,7 @@ func TestPersistentDBRecovery(t *testing.T) {
 	}
 
 	// Reopen: catalog, instances, spatial index all recover.
-	db := MustOpen(Options{Path: path, PoolSize: 32, Name: "GEO"})
+	db := mustOpen(t, Options{Path: path, PoolSize: 32, Name: "GEO"})
 	defer db.Close()
 	info, err := db.GetSchema(testCtx, "phone_net")
 	if err != nil {
@@ -640,7 +652,7 @@ func TestPersistentDBRecovery(t *testing.T) {
 
 func TestRecoveryAfterDeletes(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "geo2.db")
-	db := MustOpen(Options{Path: path, PoolSize: 16})
+	db := mustOpen(t, Options{Path: path, PoolSize: 16})
 	if err := db.DefineSchema("s"); err != nil {
 		t.Fatal(err)
 	}
@@ -666,7 +678,7 @@ func TestRecoveryAfterDeletes(t *testing.T) {
 	if err := db.Close(); err != nil {
 		t.Fatal(err)
 	}
-	db2 := MustOpen(Options{Path: path, PoolSize: 16})
+	db2 := mustOpen(t, Options{Path: path, PoolSize: 16})
 	defer db2.Close()
 	if got := db2.Count("s", "P"); got != 15 {
 		t.Fatalf("recovered extension = %d, want 15", got)

@@ -10,9 +10,21 @@ import (
 	"repro/internal/workload"
 )
 
+// mustOpen replaces the removed geodb.MustOpen for tests: Open or fail the
+// test. The library's open/recovery path returns errors instead of
+// panicking, so a corrupt page file degrades gracefully in servers.
+func mustOpen(t testing.TB, opts geodb.Options) *geodb.DB {
+	t.Helper()
+	db, err := geodb.Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
 func testNet(t testing.TB) (*geodb.DB, *workload.PhoneNet) {
 	t.Helper()
-	db := geodb.MustOpen(geodb.Options{})
+	db := mustOpen(t, geodb.Options{})
 	net, err := workload.BuildPhoneNet(db, workload.PhoneNetOptions{Seed: 5, ZonesPerSide: 1, PolesPerZone: 8})
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,102 @@
+package proto
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+)
+
+// TestOversizedFrameLeavesReaderPosition pins ReadMessage's documented
+// contract: rejecting an oversized frame consumes exactly the 4-byte length
+// prefix, so a caller that discards the advertised length lands on the next
+// frame boundary.
+func TestOversizedFrameLeavesReaderPosition(t *testing.T) {
+	var buf bytes.Buffer
+	// An oversized frame whose payload is present...
+	payload := []byte("this payload claims to be enormous")
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], MaxMessageSize+7)
+	buf.Write(hdr[:])
+	buf.Write(payload)
+	// ...followed by a valid frame.
+	if err := WriteMessage(&buf, Request{ID: 9, Op: OpStats}); err != nil {
+		t.Fatal(err)
+	}
+
+	var r Request
+	if err := ReadMessage(&buf, &r); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversize frame: %v", err)
+	}
+	// Exactly the prefix was consumed: the payload is the next unread byte.
+	head := make([]byte, len(payload))
+	if _, err := io.ReadFull(&buf, head); err != nil || !bytes.Equal(head, payload) {
+		t.Fatalf("reader not positioned after the prefix: %q, %v", head, err)
+	}
+	// Having skipped the rejected payload, the next frame parses.
+	if err := ReadMessage(&buf, &r); err != nil || r.ID != 9 || r.Op != OpStats {
+		t.Fatalf("next frame after skip = %+v, %v", r, err)
+	}
+}
+
+func TestTruncatedLengthPrefix(t *testing.T) {
+	// Nothing at all: clean EOF (a peer closing between frames).
+	var r Request
+	if err := ReadMessage(bytes.NewReader(nil), &r); !errors.Is(err, io.EOF) {
+		t.Fatalf("empty stream: %v", err)
+	}
+	// A partial prefix: the peer died mid-header.
+	for n := 1; n < 4; n++ {
+		err := ReadMessage(bytes.NewReader(make([]byte, n)), &r)
+		if !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("%d-byte prefix: %v", n, err)
+		}
+	}
+}
+
+func TestTruncatedPayload(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteMessage(&buf, Request{ID: 1, Op: OpConnect}); err != nil {
+		t.Fatal(err)
+	}
+	whole := buf.Bytes()
+	// Every truncation point inside the payload must error, never hang or
+	// panic, and never return a message.
+	for cut := 4; cut < len(whole); cut++ {
+		var r Request
+		if err := ReadMessage(bytes.NewReader(whole[:cut]), &r); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+// FuzzReadMessage throws arbitrary bytes at the frame reader: it must never
+// panic, and any frame it accepts must round-trip back through WriteMessage
+// to an equivalent decode.
+func FuzzReadMessage(f *testing.F) {
+	var seed bytes.Buffer
+	WriteMessage(&seed, Request{ID: 3, Op: OpGetClass, Schema: "phone_net", Class: "Pole"})
+	f.Add(seed.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 'x'})
+	f.Add([]byte{0, 0, 0, 2, '{', '}'})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var req Request
+		if err := ReadMessage(bytes.NewReader(data), &req); err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteMessage(&buf, req); err != nil {
+			t.Fatalf("accepted frame failed to re-encode: %v", err)
+		}
+		var again Request
+		if err := ReadMessage(&buf, &again); err != nil {
+			t.Fatalf("re-encoded frame failed to decode: %v", err)
+		}
+		if again.ID != req.ID || again.Op != req.Op || again.Schema != req.Schema {
+			t.Fatalf("round trip mismatch: %+v vs %+v", req, again)
+		}
+	})
+}

@@ -313,6 +313,14 @@ func WriteMessage(w io.Writer, msg any) error {
 }
 
 // ReadMessage reads one framed message into msg.
+//
+// Stream position on failure is well defined: on ErrFrameTooLarge exactly
+// the 4-byte length prefix has been consumed and the (oversized) payload is
+// still unread; a truncated length prefix returns io.EOF (nothing read) or
+// io.ErrUnexpectedEOF (partial prefix consumed). Callers treating the
+// stream as poisoned after any error — as internal/client does — need no
+// resynchronization logic; callers that want to skip an oversized frame can
+// discard exactly the rejected length.
 func ReadMessage(r io.Reader, msg any) error {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {

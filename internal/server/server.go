@@ -3,9 +3,17 @@
 // architecture. One Server serves many concurrent UI clients; each
 // connection is handled sequentially, matching the one-interaction-at-a-time
 // nature of a UI session.
+//
+// The transport is fault-tolerant: per-connection idle/write deadlines bound
+// how long a dead peer can hold resources, MaxConns applies accept
+// backpressure, a panicking backend turns into a protocol error instead of a
+// dead connection, and Shutdown drains in-flight requests before closing.
+// Every recovery event is counted in the internal/obs registry (see the
+// "Failure model & recovery" section of DESIGN.md for the metric names).
 package server
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -13,6 +21,7 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/geom"
 	"repro/internal/obs"
@@ -37,17 +46,49 @@ var (
 		proto.OpStats:       obs.Default().Histogram(`gis_server_request_seconds{op="stats"}`, obs.LatencyBuckets),
 	}
 	mVerbOther = obs.Default().Histogram(`gis_server_request_seconds{op="other"}`, obs.LatencyBuckets)
+
+	// Fault-tolerance accounting (the tentpole of the robustness PR).
+	mPanics        = obs.Default().Counter("gis_server_panics_total")
+	mConnsAccepted = obs.Default().Counter("gis_server_conns_accepted_total")
+	mConnsOpen     = obs.Default().Gauge("gis_server_open_conns")
+	mIdleTimeouts  = obs.Default().Counter("gis_server_idle_timeouts_total")
+	mLimitWaits    = obs.Default().Counter("gis_server_conn_limit_waits_total")
+	mDrains        = obs.Default().Counter("gis_server_drains_total")
 )
+
+// connState tracks whether a connection is between requests (idle) or has
+// one in flight; Shutdown closes idle conns immediately and lets busy ones
+// finish their current response.
+type connState struct {
+	busy bool
+}
 
 // Server answers protocol requests against a Backend (normally a
 // ui.DirectBackend wrapping the database and its rule engine).
+//
+// The exported tuning fields must be set before Serve/ServeConn.
 type Server struct {
 	backend ui.Backend
 
 	mu       sync.Mutex
+	cond     *sync.Cond // signaled when a conn unregisters or state changes
 	listener net.Listener
-	conns    map[net.Conn]struct{}
+	conns    map[net.Conn]*connState
 	closed   bool
+	draining bool
+
+	// IdleTimeout bounds how long a connection may sit between requests; a
+	// peer that sends nothing for this long is disconnected. Zero disables.
+	IdleTimeout time.Duration
+
+	// WriteTimeout bounds writing one response. Zero disables.
+	WriteTimeout time.Duration
+
+	// MaxConns caps concurrently served connections. When the cap is
+	// reached, Serve stops accepting (backpressure: the TCP backlog, not
+	// the server, queues newcomers) until a connection closes. Zero means
+	// unlimited.
+	MaxConns int
 
 	// Logf receives connection-level failures; default drops them. Request
 	// errors are returned to the client, not logged.
@@ -60,11 +101,13 @@ type Server struct {
 
 // New returns a server over the backend.
 func New(backend ui.Backend) *Server {
-	return &Server{
+	s := &Server{
 		backend: backend,
-		conns:   map[net.Conn]struct{}{},
+		conns:   map[net.Conn]*connState{},
 		Logf:    func(string, ...any) {},
 	}
+	s.cond = sync.NewCond(&s.mu)
+	return s
 }
 
 // NewLogging is New with failures logged to the standard logger.
@@ -74,31 +117,76 @@ func NewLogging(backend ui.Backend) *Server {
 	return s
 }
 
+// register inserts conn into the live set, or closes it when the server is
+// already closed or draining — the Close/Serve race fix: a connection
+// accepted concurrently with Close must never be tracked-and-leaked.
+func (s *Server) register(conn net.Conn) *connState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || s.draining {
+		conn.Close()
+		return nil
+	}
+	st := &connState{}
+	s.conns[conn] = st
+	mConnsAccepted.Inc()
+	mConnsOpen.Inc()
+	return st
+}
+
+func (s *Server) unregister(conn net.Conn) {
+	conn.Close()
+	s.mu.Lock()
+	if _, ok := s.conns[conn]; ok {
+		delete(s.conns, conn)
+		mConnsOpen.Dec()
+	}
+	s.cond.Broadcast() // frees a MaxConns slot and advances Shutdown
+	s.mu.Unlock()
+}
+
 // Serve accepts connections until the listener closes. It returns nil after
-// Close.
+// Close or Shutdown.
 func (s *Server) Serve(l net.Listener) error {
 	s.mu.Lock()
-	if s.closed {
+	if s.closed || s.draining {
 		s.mu.Unlock()
 		return errors.New("server: already closed")
 	}
 	s.listener = l
 	s.mu.Unlock()
 	for {
+		// Accept backpressure: at the MaxConns cap, park before accepting
+		// so newcomers queue in the listen backlog instead of being served.
+		s.mu.Lock()
+		waited := false
+		for s.MaxConns > 0 && len(s.conns) >= s.MaxConns && !s.closed && !s.draining {
+			if !waited {
+				mLimitWaits.Inc()
+				waited = true
+			}
+			s.cond.Wait()
+		}
+		stopped := s.closed || s.draining
+		s.mu.Unlock()
+		if stopped {
+			return nil
+		}
 		conn, err := l.Accept()
 		if err != nil {
 			s.mu.Lock()
-			closed := s.closed
+			stopped := s.closed || s.draining
 			s.mu.Unlock()
-			if closed {
+			if stopped {
 				return nil
 			}
 			return fmt.Errorf("server: accept: %w", err)
 		}
-		s.mu.Lock()
-		s.conns[conn] = struct{}{}
-		s.mu.Unlock()
-		go s.serveConn(conn)
+		st := s.register(conn)
+		if st == nil {
+			continue
+		}
+		go s.serveConn(conn, st)
 	}
 }
 
@@ -113,18 +201,25 @@ func (s *Server) ListenAndServe(addr string) error {
 
 // ServeConn handles a single pre-established connection (used with
 // net.Pipe for the in-process weak-integration configuration). It returns
-// when the connection closes.
+// when the connection closes; a conn arriving after Close is closed
+// immediately rather than served.
 func (s *Server) ServeConn(conn net.Conn) {
-	s.mu.Lock()
-	s.conns[conn] = struct{}{}
-	s.mu.Unlock()
-	s.serveConn(conn)
+	st := s.register(conn)
+	if st == nil {
+		return
+	}
+	s.serveConn(conn, st)
 }
 
-// Close stops accepting and closes every live connection.
+// Close stops accepting and closes every live connection immediately,
+// without draining. Use Shutdown for a graceful stop.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.closeLocked()
+}
+
+func (s *Server) closeLocked() error {
 	if s.closed {
 		return nil
 	}
@@ -136,33 +231,124 @@ func (s *Server) Close() error {
 	for c := range s.conns {
 		c.Close()
 	}
+	s.cond.Broadcast()
 	return err
 }
 
-func (s *Server) serveConn(conn net.Conn) {
-	defer func() {
-		conn.Close()
-		s.mu.Lock()
-		delete(s.conns, conn)
+// Shutdown gracefully stops the server: it stops accepting, closes idle
+// connections, lets in-flight requests finish writing their responses, then
+// closes everything. If ctx expires first, remaining connections are
+// force-closed and the context error is returned.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
 		s.mu.Unlock()
+		return nil
+	}
+	alreadyDraining := s.draining
+	s.draining = true
+	if !alreadyDraining {
+		mDrains.Inc()
+		if s.listener != nil {
+			s.listener.Close()
+		}
+		// Idle connections are between requests: nothing to drain, close
+		// them now. Busy ones close themselves after their response.
+		for c, st := range s.conns {
+			if !st.busy {
+				c.Close()
+			}
+		}
+		s.cond.Broadcast() // unpark Serve's backpressure wait
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		for len(s.conns) > 0 && !s.closed {
+			s.cond.Wait()
+		}
 	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+	}
+	s.mu.Lock()
+	s.closeLocked()
+	s.mu.Unlock()
+	<-done
+	return err
+}
+
+// Draining reports whether a graceful Shutdown is in progress or done.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining || s.closed
+}
+
+// isTimeout reports whether err is a network deadline expiry.
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+func (s *Server) serveConn(conn net.Conn, st *connState) {
+	defer s.unregister(conn)
 	for {
+		if s.IdleTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(s.IdleTimeout))
+		}
 		var req proto.Request
 		if err := proto.ReadMessage(conn, &req); err != nil {
-			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+			switch {
+			case isTimeout(err):
+				mIdleTimeouts.Inc()
+				s.Logf("server: idle timeout on %v", conn.RemoteAddr())
+			case !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed):
 				s.Logf("server: read from %v: %v", conn.RemoteAddr(), err)
 			}
 			return
 		}
-		resp := s.handle(req)
-		if err := proto.WriteMessage(conn, resp); err != nil {
-			s.Logf("server: write to %v: %v", conn.RemoteAddr(), err)
+		s.mu.Lock()
+		if s.draining || s.closed {
+			// The drain raced our read: drop the request rather than
+			// answer past the shutdown point.
+			s.mu.Unlock()
 			return
+		}
+		st.busy = true
+		s.mu.Unlock()
+
+		resp := s.handle(req)
+
+		if s.WriteTimeout > 0 {
+			conn.SetWriteDeadline(time.Now().Add(s.WriteTimeout))
+		}
+		werr := proto.WriteMessage(conn, resp)
+
+		s.mu.Lock()
+		st.busy = false
+		drain := s.draining || s.closed
+		s.mu.Unlock()
+		if werr != nil {
+			if !errors.Is(werr, net.ErrClosed) {
+				s.Logf("server: write to %v: %v", conn.RemoteAddr(), werr)
+			}
+			return
+		}
+		if drain {
+			return // response delivered; the drain takes the conn down
 		}
 	}
 }
 
-func (s *Server) handle(req proto.Request) proto.Response {
+func (s *Server) handle(req proto.Request) (resp proto.Response) {
 	s.Requests.Add(1)
 	mRequestsTotal.Inc()
 	mInFlight.Inc()
@@ -174,8 +360,15 @@ func (s *Server) handle(req proto.Request) proto.Response {
 	defer func() {
 		sw.Stop()
 		mInFlight.Dec()
+		// A panicking backend must cost one request, not the connection:
+		// surface it as a protocol error and keep serving.
+		if r := recover(); r != nil {
+			mPanics.Inc()
+			s.Logf("server: panic handling %s: %v", req.Op, r)
+			resp = proto.Response{ID: req.ID, Err: fmt.Sprintf("server: internal error handling %s: %v", req.Op, r)}
+		}
 	}()
-	resp := proto.Response{ID: req.ID}
+	resp = proto.Response{ID: req.ID}
 	fail := func(err error) proto.Response {
 		resp.Err = err.Error()
 		return resp

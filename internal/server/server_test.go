@@ -14,9 +14,21 @@ import (
 	"repro/internal/ui"
 )
 
+// mustOpen replaces the removed geodb.MustOpen for tests: Open or fail the
+// test. The library's open/recovery path returns errors instead of
+// panicking, so a corrupt page file degrades gracefully in servers.
+func mustOpen(t testing.TB, opts geodb.Options) *geodb.DB {
+	t.Helper()
+	db, err := geodb.Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
 func testBackend(t testing.TB) *ui.DirectBackend {
 	t.Helper()
-	db := geodb.MustOpen(geodb.Options{})
+	db := mustOpen(t, geodb.Options{})
 	if err := db.DefineSchema("s"); err != nil {
 		t.Fatal(err)
 	}

@@ -11,13 +11,25 @@ import (
 	"repro/internal/geom"
 )
 
+// mustOpen replaces the removed geodb.MustOpen for tests: Open or fail the
+// test. The library's open/recovery path returns errors instead of
+// panicking, so a corrupt page file degrades gracefully in servers.
+func mustOpen(t testing.TB, opts geodb.Options) *geodb.DB {
+	t.Helper()
+	db, err := geodb.Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
 var ctx = event.Context{User: "op", Application: "maintenance"}
 
 // cityWorld builds a schema with zones (regions), ducts (lines) and poles
 // (points) — the [11] constraint scenario.
 func cityWorld(t testing.TB) (*geodb.DB, *active.Engine, *Guard) {
 	t.Helper()
-	db := geodb.MustOpen(geodb.Options{})
+	db := mustOpen(t, geodb.Options{})
 	must := func(err error) {
 		t.Helper()
 		if err != nil {

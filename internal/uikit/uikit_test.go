@@ -8,6 +8,18 @@ import (
 	"repro/internal/geom"
 )
 
+// mustOpen replaces the removed geodb.MustOpen for tests: Open or fail the
+// test. The library's open/recovery path returns errors instead of
+// panicking, so a corrupt page file degrades gracefully in servers.
+func mustOpen(t testing.TB, opts geodb.Options) *geodb.DB {
+	t.Helper()
+	db, err := geodb.Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
 func TestWidgetTreeBasics(t *testing.T) {
 	win := New(KindWindow, "main")
 	control := New(KindPanel, "control").Add(
@@ -310,7 +322,7 @@ func TestUnmarshalRejectsGarbage(t *testing.T) {
 }
 
 func TestLibraryPersistenceInDB(t *testing.T) {
-	db := geodb.MustOpen(geodb.Options{})
+	db := mustOpen(t, geodb.Options{})
 	lib := Kernel()
 	if err := lib.Specialize("poleWidget", "button", func(w *Widget) {
 		w.Kind = KindSlider

@@ -11,9 +11,21 @@ import (
 	"repro/internal/geom"
 )
 
+// mustOpen replaces the removed geodb.MustOpen for tests: Open or fail the
+// test. The library's open/recovery path returns errors instead of
+// panicking, so a corrupt page file degrades gracefully in servers.
+func mustOpen(t testing.TB, opts geodb.Options) *geodb.DB {
+	t.Helper()
+	db, err := geodb.Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
 func TestBuildPhoneNetDeterministic(t *testing.T) {
 	build := func() *PhoneNet {
-		db := geodb.MustOpen(geodb.Options{})
+		db := mustOpen(t, geodb.Options{})
 		net, err := BuildPhoneNet(db, PhoneNetOptions{Seed: 42, ZonesPerSide: 2, PolesPerZone: 10})
 		if err != nil {
 			t.Fatal(err)
@@ -36,7 +48,7 @@ func TestBuildPhoneNetDeterministic(t *testing.T) {
 }
 
 func TestGeneratedDataIsWellFormed(t *testing.T) {
-	db := geodb.MustOpen(geodb.Options{})
+	db := mustOpen(t, geodb.Options{})
 	net, err := BuildPhoneNet(db, PhoneNetOptions{Seed: 7, ZonesPerSide: 1, PolesPerZone: 20})
 	if err != nil {
 		t.Fatal(err)
@@ -84,7 +96,7 @@ func TestStandardLibrary(t *testing.T) {
 }
 
 func TestFigure6SourceCompiles(t *testing.T) {
-	db := geodb.MustOpen(geodb.Options{})
+	db := mustOpen(t, geodb.Options{})
 	if _, err := BuildPhoneNet(db, PhoneNetOptions{PolesPerZone: 1}); err != nil {
 		t.Fatal(err)
 	}
@@ -118,7 +130,7 @@ func TestContexts(t *testing.T) {
 }
 
 func TestGeneratedDirectivesCompile(t *testing.T) {
-	db := geodb.MustOpen(geodb.Options{})
+	db := mustOpen(t, geodb.Options{})
 	if _, err := BuildPhoneNet(db, PhoneNetOptions{PolesPerZone: 1}); err != nil {
 		t.Fatal(err)
 	}
