@@ -3,9 +3,9 @@
 
 GOFILES := $(shell find . -name '*.go' -not -path './.*')
 
-.PHONY: ci fmt vet build test bench fuzz
+.PHONY: ci fmt vet build test bench fuzz lint
 
-ci: fmt vet build test fuzz
+ci: fmt vet build lint test fuzz
 
 fmt:
 	@out=$$(gofmt -l $(GOFILES)); \
@@ -21,6 +21,21 @@ build:
 
 test:
 	go test -race ./...
+
+# Static analysis beyond go vet: repovet keeps library packages from
+# printing to stdout, and gislint checks the rule-set corpora — the Figure 6
+# workload and the clean testdata file must lint clean, while the seeded
+# ambiguous/shadowed/cycle files must keep failing (so the checks cannot
+# silently rot).
+lint:
+	go run ./cmd/repovet .
+	go run ./cmd/gislint -figure6 cmd/gislint/testdata/clean.cust
+	@if go run ./cmd/gislint cmd/gislint/testdata/ambiguous.cust >/dev/null 2>&1; then \
+		echo "gislint missed the seeded ambiguity"; exit 1; fi
+	@if go run ./cmd/gislint cmd/gislint/testdata/shadowed.cust >/dev/null 2>&1; then \
+		echo "gislint missed the seeded shadowed rule"; exit 1; fi
+	@if go run ./cmd/gislint cmd/gislint/testdata/cycle.rules.json >/dev/null 2>&1; then \
+		echo "gislint missed the seeded triggering cycle"; exit 1; fi
 
 # Short fuzz smoke over the wire-protocol frame reader; deeper runs are
 # `go test -fuzz=FuzzReadMessage -fuzztime=5m ./internal/proto`.

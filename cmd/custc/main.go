@@ -32,22 +32,22 @@ func main() {
 	)
 	flag.Parse()
 
-	var src string
+	var src, file string
 	switch {
 	case *figure6:
-		src = workload.Figure6Source
+		src, file = workload.Figure6Source, "figure6"
 	case flag.NArg() == 1 && flag.Arg(0) == "-":
 		data, err := io.ReadAll(os.Stdin)
 		if err != nil {
 			fatal(err)
 		}
-		src = string(data)
+		src, file = string(data), "<stdin>"
 	case flag.NArg() == 1:
 		data, err := os.ReadFile(flag.Arg(0))
 		if err != nil {
 			fatal(err)
 		}
-		src = string(data)
+		src, file = string(data), flag.Arg(0)
 	default:
 		fmt.Fprintln(os.Stderr, "usage: custc [-ast] <file>|-|-figure6")
 		os.Exit(2)
@@ -65,7 +65,7 @@ func main() {
 	}
 	analyzer := &custlang.Analyzer{Cat: sys.DB.Catalog(), Lib: lib}
 
-	units, err := analyzer.CompileSource(src)
+	units, err := analyzer.CompileSourceFile(file, src)
 	if err != nil {
 		fatal(err)
 	}

@@ -1,0 +1,239 @@
+// Command gislint statically analyzes customization rule sets before they
+// reach an engine: it compiles directive files (.cust) against the reference
+// phone_net environment, loads hand-written reaction rule sets from JSON
+// manifests (.json), and reports ambiguities, shadowed (dead) rules,
+// triggering-graph cycles, duplicate contexts and conflicting directives
+// with file:line:col positions.
+//
+// Usage:
+//
+//	gislint file.cust rules.json ...   lint files
+//	gislint -figure6                   lint the paper's Figure 6 script
+//	gislint -json ...                  machine-readable findings
+//	gislint -fail-on error ...         exit non-zero only on errors
+//
+// Exit status: 0 when no finding reaches the -fail-on severity (default
+// warning), 1 when one does or an input cannot be processed, 2 on usage
+// errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/active"
+	"repro/internal/custlang"
+	"repro/internal/event"
+	"repro/internal/geodb"
+	"repro/internal/ruleanalysis"
+	"repro/internal/workload"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("gislint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		jsonOut = fs.Bool("json", false, "emit findings as a JSON array")
+		failOn  = fs.String("fail-on", "warning", "lowest severity that fails the run (info, warning, error)")
+		figure6 = fs.Bool("figure6", false, "lint the paper's Figure 6 script")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	threshold, ok := ruleanalysis.ParseSeverity(*failOn)
+	if !ok {
+		fmt.Fprintf(stderr, "gislint: unknown -fail-on severity %q\n", *failOn)
+		return 2
+	}
+	if fs.NArg() == 0 && !*figure6 {
+		fmt.Fprintln(stderr, "usage: gislint [-json] [-fail-on sev] [-figure6] <file.cust|rules.json>...")
+		return 2
+	}
+
+	analyzer, err := referenceAnalyzer()
+	if err != nil {
+		fmt.Fprintln(stderr, "gislint:", err)
+		return 1
+	}
+
+	type input struct{ path, src string }
+	var inputs []input
+	if *figure6 {
+		inputs = append(inputs, input{"figure6", workload.Figure6Source})
+	}
+	for _, path := range fs.Args() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(stderr, "gislint:", err)
+			return 1
+		}
+		inputs = append(inputs, input{path, string(data)})
+	}
+
+	failed := false
+	var all []ruleanalysis.Finding
+	for _, in := range inputs {
+		var findings []ruleanalysis.Finding
+		var err error
+		if strings.HasSuffix(in.path, ".json") {
+			findings, err = lintManifest(in.path, in.src)
+		} else {
+			findings, err = lintDirectives(analyzer, in.path, in.src)
+		}
+		if err != nil {
+			fmt.Fprintf(stderr, "gislint: %s: %v\n", in.path, err)
+			failed = true
+			continue
+		}
+		all = append(all, findings...)
+		if !*jsonOut {
+			if len(findings) == 0 {
+				fmt.Fprintf(stdout, "%s: ok\n", in.path)
+			} else {
+				_ = ruleanalysis.WriteText(stdout, findings)
+			}
+		}
+		if worst, ok := ruleanalysis.MaxSeverity(findings); ok && worst >= threshold {
+			failed = true
+		}
+	}
+	if *jsonOut {
+		if err := ruleanalysis.WriteJSON(stdout, all); err != nil {
+			fmt.Fprintln(stderr, "gislint:", err)
+			return 1
+		}
+	}
+	if failed {
+		return 1
+	}
+	return 0
+}
+
+// referenceAnalyzer builds the environment directives are linted against:
+// the phone_net schema and the standard interface objects library — the
+// same environment custc compiles in.
+func referenceAnalyzer() (*custlang.Analyzer, error) {
+	db, err := geodb.Open(geodb.Options{})
+	if err != nil {
+		return nil, err
+	}
+	if err := workload.DefineSchema(db); err != nil {
+		return nil, err
+	}
+	lib, err := workload.StandardLibrary()
+	if err != nil {
+		return nil, err
+	}
+	return &custlang.Analyzer{Cat: db.Catalog(), Lib: lib}, nil
+}
+
+// lintDirectives runs the full analysis over a directive file: the
+// whole-program checks over the parsed directives, then the engine-level
+// checks over the rules they compile to (installed into a throwaway
+// engine).
+func lintDirectives(a *custlang.Analyzer, path, src string) ([]ruleanalysis.Finding, error) {
+	ds, err := custlang.ParseFile(path, src)
+	if err != nil {
+		return nil, err
+	}
+	findings := custlang.CheckProgram(ds)
+	engine := active.NewEngine()
+	if _, err := a.InstallFile(engine, path, src); err != nil {
+		return nil, err
+	}
+	findings = append(findings, engine.CheckSet()...)
+	ruleanalysis.Sort(findings)
+	return findings, nil
+}
+
+// manifestRule is the JSON shape of one hand-written rule: RuleInfo with
+// string event kinds, so reaction rule sets written in Go can be described
+// for the analyzer without compiling them.
+type manifestRule struct {
+	Name     string            `json:"name"`
+	Family   string            `json:"family"`
+	On       string            `json:"on"`
+	Schema   string            `json:"schema"`
+	Class    string            `json:"class"`
+	Attr     string            `json:"attr"`
+	Context  manifestContext   `json:"context"`
+	Priority int               `json:"priority"`
+	When     bool              `json:"when"`
+	Emits    []manifestPattern `json:"emits"`
+	Line     int               `json:"line"`
+	Col      int               `json:"col"`
+}
+
+type manifestContext struct {
+	User        string            `json:"user"`
+	Category    string            `json:"category"`
+	Application string            `json:"application"`
+	Extra       map[string]string `json:"extra"`
+}
+
+type manifestPattern struct {
+	Kind   string `json:"kind"`
+	Schema string `json:"schema"`
+	Class  string `json:"class"`
+	Attr   string `json:"attr"`
+	Name   string `json:"name"`
+}
+
+// lintManifest checks a JSON rule manifest describing a hand-written rule
+// set.
+func lintManifest(path, src string) ([]ruleanalysis.Finding, error) {
+	var doc struct {
+		Rules []manifestRule `json:"rules"`
+	}
+	dec := json.NewDecoder(strings.NewReader(src))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&doc); err != nil {
+		return nil, err
+	}
+	if len(doc.Rules) == 0 {
+		return nil, fmt.Errorf("manifest has no rules")
+	}
+	infos := make([]ruleanalysis.RuleInfo, len(doc.Rules))
+	for i, m := range doc.Rules {
+		on, ok := event.ParseKind(m.On)
+		if !ok {
+			return nil, fmt.Errorf("rule %q: unknown event kind %q", m.Name, m.On)
+		}
+		info := ruleanalysis.RuleInfo{
+			Name:   m.Name,
+			Family: m.Family,
+			On:     on,
+			Schema: m.Schema,
+			Class:  m.Class,
+			Attr:   m.Attr,
+			Context: event.Context{
+				User:        m.Context.User,
+				Category:    m.Context.Category,
+				Application: m.Context.Application,
+				Extra:       m.Context.Extra,
+			},
+			Priority: m.Priority,
+			HasWhen:  m.When,
+			Pos:      ruleanalysis.Position{File: path, Line: m.Line, Col: m.Col},
+		}
+		for _, p := range m.Emits {
+			kind, ok := event.ParseKind(p.Kind)
+			if !ok {
+				return nil, fmt.Errorf("rule %q: unknown emitted event kind %q", m.Name, p.Kind)
+			}
+			info.Emits = append(info.Emits, event.Pattern{
+				Kind: kind, Schema: p.Schema, Class: p.Class, Attr: p.Attr, Name: p.Name,
+			})
+		}
+		infos[i] = info
+	}
+	return ruleanalysis.CheckRules(infos), nil
+}

@@ -1,0 +1,134 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// runLint runs the CLI in-process and returns its stdout and exit code.
+func runLint(t *testing.T, args ...string) (string, int) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	if stderr.Len() > 0 {
+		t.Logf("stderr:\n%s", stderr.String())
+	}
+	return stdout.String(), code
+}
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("output drifted from %s:\n--- got ---\n%s--- want ---\n%s", path, got, want)
+	}
+}
+
+func TestGolden(t *testing.T) {
+	cases := []struct {
+		name     string
+		args     []string
+		golden   string
+		wantCode int
+	}{
+		{"clean", []string{"testdata/clean.cust"}, "clean.golden", 0},
+		{"ambiguous", []string{"testdata/ambiguous.cust"}, "ambiguous.golden", 1},
+		{"shadowed", []string{"testdata/shadowed.cust"}, "shadowed.golden", 1},
+		{"cycle", []string{"testdata/cycle.rules.json"}, "cycle.golden", 1},
+		{"json", []string{"-json", "testdata/ambiguous.cust", "testdata/cycle.rules.json"}, "combined.json.golden", 1},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			out, code := runLint(t, c.args...)
+			if code != c.wantCode {
+				t.Errorf("exit = %d, want %d", code, c.wantCode)
+			}
+			checkGolden(t, c.golden, out)
+		})
+	}
+}
+
+func TestFigure6IsClean(t *testing.T) {
+	out, code := runLint(t, "-figure6")
+	if code != 0 || out != "figure6: ok\n" {
+		t.Fatalf("figure6 lint: code=%d out=%q", code, out)
+	}
+}
+
+func TestFailOnThreshold(t *testing.T) {
+	// Shadowing is a warning: -fail-on error lets it pass...
+	if _, code := runLint(t, "-fail-on", "error", "testdata/shadowed.cust"); code != 0 {
+		t.Errorf("shadowed with -fail-on error: code = %d", code)
+	}
+	// ...but an ambiguity (error) still fails.
+	if _, code := runLint(t, "-fail-on", "error", "testdata/ambiguous.cust"); code != 1 {
+		t.Errorf("ambiguous with -fail-on error: code = %d", code)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	if _, code := runLint(t); code != 2 {
+		t.Errorf("no args: code = %d", code)
+	}
+	if _, code := runLint(t, "-fail-on", "fatal", "testdata/clean.cust"); code != 2 {
+		t.Errorf("bad -fail-on: code = %d", code)
+	}
+	if _, code := runLint(t, "testdata/no-such-file.cust"); code != 1 {
+		t.Errorf("missing file: code = %d", code)
+	}
+}
+
+func TestBadManifest(t *testing.T) {
+	dir := t.TempDir()
+	for name, src := range map[string]string{
+		"empty.json":   `{"rules": []}`,
+		"badkind.json": `{"rules": [{"name": "x", "family": "reaction", "on": "Nope"}]}`,
+		"badkey.json":  `{"rules": [{"name": "x", "family": "reaction", "on": "External", "emit": []}]}`,
+	} {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, code := runLint(t, path); code != 1 {
+			t.Errorf("%s: code = %d, want 1", name, code)
+		}
+	}
+}
+
+func TestDiagnosticsCarryPositions(t *testing.T) {
+	out, _ := runLint(t, "testdata/ambiguous.cust")
+	for _, want := range []string{
+		"testdata/ambiguous.cust:4:1",
+		"error: ambiguity",
+		"error: conflict",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output lacks %q:\n%s", want, out)
+		}
+	}
+	out, _ = runLint(t, "testdata/cycle.rules.json")
+	for _, want := range []string{
+		"testdata/cycle.rules.json:4:5",
+		"audit -> reaudit -> audit",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output lacks %q:\n%s", want, out)
+		}
+	}
+}

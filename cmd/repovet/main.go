@@ -1,0 +1,147 @@
+// Command repovet enforces repo-local hygiene rules that go vet does not:
+// library packages must not print to stdout/stderr via fmt.Print* — output
+// belongs to the cmd/ front-ends (and examples/), while libraries report
+// through errors, traces and metrics.
+//
+// Usage:
+//
+//	repovet [root]
+//
+// Walks the tree rooted at root (default ".") and reports every offending
+// call as file:line:col. Exit status 1 when anything is found.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	findings, err := vetTree(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "repovet:", err)
+		os.Exit(1)
+	}
+	report(os.Stdout, findings)
+	if len(findings) > 0 {
+		os.Exit(1)
+	}
+}
+
+func report(w io.Writer, findings []string) {
+	for _, f := range findings {
+		fmt.Fprintln(w, f)
+	}
+}
+
+// allowed reports whether the file may print: command front-ends and
+// examples own the terminal; everything else does not.
+func allowed(rel string) bool {
+	rel = filepath.ToSlash(rel)
+	return strings.HasPrefix(rel, "cmd/") || strings.HasPrefix(rel, "examples/")
+}
+
+// vetTree scans every non-test Go file under root and returns one
+// "file:line:col: message" string per fmt.Print/Printf/Println call in a
+// package that must not print.
+func vetTree(root string) ([]string, error) {
+	var findings []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if name == ".git" || name == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			return nil
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		if allowed(rel) {
+			return nil
+		}
+		fs, err := vetFile(rel, path)
+		if err != nil {
+			return err
+		}
+		findings = append(findings, fs...)
+		return nil
+	})
+	return findings, err
+}
+
+// vetFile parses one file and finds fmt.Print* calls, tracking the local
+// name the fmt package is imported under (including aliases; dot imports
+// are reported as findings themselves since they defeat the check).
+func vetFile(rel, path string) ([]string, error) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
+	if err != nil {
+		return nil, err
+	}
+	fmtName := ""
+	for _, imp := range f.Imports {
+		p, err := strconv.Unquote(imp.Path.Value)
+		if err != nil || p != "fmt" {
+			continue
+		}
+		switch {
+		case imp.Name == nil:
+			fmtName = "fmt"
+		case imp.Name.Name == ".":
+			pos := fset.Position(imp.Pos())
+			return []string{fmt.Sprintf("%s:%d:%d: dot-import of fmt defeats the print check",
+				rel, pos.Line, pos.Column)}, nil
+		case imp.Name.Name == "_":
+			return nil, nil
+		default:
+			fmtName = imp.Name.Name
+		}
+	}
+	if fmtName == "" {
+		return nil, nil
+	}
+	var findings []string
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkg, ok := sel.X.(*ast.Ident)
+		if !ok || pkg.Name != fmtName {
+			return true
+		}
+		switch sel.Sel.Name {
+		case "Print", "Printf", "Println":
+			pos := fset.Position(call.Pos())
+			findings = append(findings, fmt.Sprintf(
+				"%s:%d:%d: %s.%s writes to stdout from a library package; return an error or use obs instead",
+				rel, pos.Line, pos.Column, fmtName, sel.Sel.Name))
+		}
+		return true
+	})
+	return findings, nil
+}

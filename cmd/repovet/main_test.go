@@ -1,0 +1,111 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func write(t *testing.T, root, rel, src string) {
+	t.Helper()
+	path := filepath.Join(root, rel)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVetTree(t *testing.T) {
+	root := t.TempDir()
+	write(t, root, "internal/a/a.go", `package a
+
+import "fmt"
+
+func A() { fmt.Println("hi") }
+`)
+	write(t, root, "internal/b/b.go", `package b
+
+import out "fmt"
+
+func B() { out.Printf("x %d", 1) }
+`)
+	write(t, root, "internal/c/c.go", `package c
+
+import "fmt"
+
+func C() error { return fmt.Errorf("fine") }
+`)
+	write(t, root, "cmd/tool/main.go", `package main
+
+import "fmt"
+
+func main() { fmt.Println("allowed") }
+`)
+	write(t, root, "examples/demo/main.go", `package main
+
+import "fmt"
+
+func main() { fmt.Print("allowed") }
+`)
+	write(t, root, "internal/a/a_test.go", `package a
+
+import "fmt"
+
+func helper() { fmt.Println("tests may print") }
+`)
+	write(t, root, "internal/skip/testdata/x.go", `package ignored
+
+import "fmt"
+
+func X() { fmt.Println("testdata is skipped") }
+`)
+
+	findings, err := vetTree(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 2 {
+		t.Fatalf("findings = %v", findings)
+	}
+	joined := strings.Join(findings, "\n")
+	for _, want := range []string{
+		"a.go:5:12: fmt.Println",
+		"b.go:5:12: out.Printf",
+	} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("findings lack %q:\n%s", want, joined)
+		}
+	}
+}
+
+func TestVetTreeCleanRepo(t *testing.T) {
+	// The repository itself must stay clean: repovet over the repo root
+	// (two levels up from this package) finds nothing.
+	findings, err := vetTree("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Fatalf("repo is not print-clean:\n%s", strings.Join(findings, "\n"))
+	}
+}
+
+func TestDotImportReported(t *testing.T) {
+	root := t.TempDir()
+	write(t, root, "internal/d/d.go", `package d
+
+import . "fmt"
+
+func D() { Println("hidden") }
+`)
+	findings, err := vetTree(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 || !strings.Contains(findings[0], "dot-import") {
+		t.Fatalf("findings = %v", findings)
+	}
+}

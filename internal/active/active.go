@@ -30,6 +30,7 @@ import (
 
 	"repro/internal/event"
 	"repro/internal/obs"
+	"repro/internal/ruleanalysis"
 	"repro/internal/spec"
 )
 
@@ -56,10 +57,11 @@ var (
 
 // Errors returned by the engine.
 var (
-	ErrBadRule       = errors.New("active: invalid rule")
-	ErrDuplicateRule = errors.New("active: duplicate rule name")
-	ErrUnknownRule   = errors.New("active: unknown rule")
-	ErrCascadeLimit  = errors.New("active: cascade depth limit exceeded")
+	ErrBadRule        = errors.New("active: invalid rule")
+	ErrDuplicateRule  = errors.New("active: duplicate rule name")
+	ErrUnknownRule    = errors.New("active: unknown rule")
+	ErrCascadeLimit   = errors.New("active: cascade depth limit exceeded")
+	ErrUndeclaredEmit = errors.New("active: emission not declared in the rule's Emits")
 )
 
 // Family partitions the rule set, as §3.3 suggests ("the rule set may be
@@ -125,9 +127,25 @@ type Rule struct {
 	Context event.Context
 	// When is an optional extra predicate over the event (nil = true).
 	When func(event.Event) bool
-	// Priority breaks specificity ties; higher wins. The compiler leaves
-	// it zero; hand-written rules may use it.
+	// Priority breaks specificity ties; higher wins. The compiler fills
+	// it from the directive's optional priority clause (zero by default);
+	// hand-written rules may use it. Full ties (equal specificity and
+	// priority) break deterministically by rule name.
 	Priority int
+	// Emits declares the event patterns the React action may emit through
+	// its Emitter. The engine ENFORCES the declaration: an emission not
+	// covered by Emits fails with ErrUndeclaredEmit, so nil means "emits
+	// nothing". The static analyzer (ruleanalysis, Engine.CheckSet) builds
+	// the rule-triggering graph from these declarations — termination
+	// analysis is only as sound as the declarations, which is why they are
+	// enforced rather than advisory. Customization rules must leave Emits
+	// nil: they never receive an Emitter (the paper's no-cascade property,
+	// enforced structurally).
+	Emits []event.Pattern
+	// Src optionally records where the rule came from (the custlang
+	// compiler threads the source clause's position here); static-analysis
+	// diagnostics carry it.
+	Src ruleanalysis.Position
 	// Customize is the action for FamilyCustomization rules.
 	Customize CustomizationAction
 	// React is the action for FamilyConstraint and FamilyReaction rules.
@@ -158,19 +176,53 @@ func (r *Rule) matches(e event.Event) bool {
 }
 
 // specificity orders customization rules: context specificity first, then
-// event-scope narrowness, then Priority.
+// event-scope narrowness, then Priority. It delegates to the shared scoring
+// in ruleanalysis so the static analyzer can never drift from the
+// dispatcher.
 func (r *Rule) specificity() int {
-	s := r.Context.Specificity() * 8
-	if r.Schema != "" {
-		s += 4
+	return ruleanalysis.Specificity(r.Context, r.Schema, r.Class, r.Attr)
+}
+
+// beats reports whether a wins the customization selection contest against
+// b: higher specificity, then higher priority, then — so selection is
+// deterministic regardless of insertion order or Indexed mode — the
+// lexicographically smaller name.
+func beats(a, b *Rule) bool {
+	sa, sb := a.specificity(), b.specificity()
+	if sa != sb {
+		return sa > sb
 	}
-	if r.Class != "" {
-		s += 2
+	if a.Priority != b.Priority {
+		return a.Priority > b.Priority
 	}
-	if r.Attr != "" {
-		s++
+	return a.Name < b.Name
+}
+
+// emitDeclared reports whether the rule's Emits declaration covers e.
+func (r *Rule) emitDeclared(e event.Event) bool {
+	for _, p := range r.Emits {
+		if p.Matches(e) {
+			return true
+		}
 	}
-	return s
+	return false
+}
+
+// analysisInfo converts the rule to its statically analyzable shape.
+func (r *Rule) analysisInfo() ruleanalysis.RuleInfo {
+	return ruleanalysis.RuleInfo{
+		Name:     r.Name,
+		Family:   r.Family.String(),
+		On:       r.On,
+		Schema:   r.Schema,
+		Class:    r.Class,
+		Attr:     r.Attr,
+		Context:  r.Context,
+		Priority: r.Priority,
+		HasWhen:  r.When != nil,
+		Emits:    append([]event.Pattern(nil), r.Emits...),
+		Pos:      r.Src,
+	}
 }
 
 // Stats counts engine activity.
@@ -289,6 +341,9 @@ func (en *Engine) AddRule(r Rule) error {
 		if r.React != nil {
 			return fmt.Errorf("%w: customization rule %q must not have a React action", ErrBadRule, r.Name)
 		}
+		if len(r.Emits) > 0 {
+			return fmt.Errorf("%w: customization rule %q cannot emit events (no Emitter is ever handed to it)", ErrBadRule, r.Name)
+		}
 	case FamilyConstraint, FamilyReaction:
 		if r.React == nil {
 			return fmt.Errorf("%w: %s rule %q has no React action", ErrBadRule, r.Family, r.Name)
@@ -383,9 +438,16 @@ func (en *Engine) HandleEvent(e event.Event) error {
 type nestedEmitter struct {
 	en    *Engine
 	depth int
+	// rule is the reaction rule the emitter was handed to; emissions are
+	// checked against its Emits declaration so the static triggering
+	// graph (Engine.CheckSet) stays sound.
+	rule *Rule
 }
 
 func (ne nestedEmitter) EmitNested(e event.Event) error {
+	if !ne.rule.emitDeclared(e) {
+		return fmt.Errorf("%w: rule %q emitted [%s]", ErrUndeclaredEmit, ne.rule.Name, e)
+	}
 	return ne.en.dispatch(e, ne.depth+1)
 }
 
@@ -434,8 +496,7 @@ func (en *Engine) dispatch(e event.Event, depth int) error {
 		}
 		if r.Family == FamilyCustomization {
 			matchedCust = append(matchedCust, r)
-			if best == nil || r.specificity() > best.specificity() ||
-				(r.specificity() == best.specificity() && r.Priority > best.Priority) {
+			if best == nil || beats(r, best) {
 				if best != nil {
 					suppressed++
 				}
@@ -465,14 +526,13 @@ func (en *Engine) dispatch(e event.Event, depth int) error {
 		}
 		return others[i].Priority > others[j].Priority
 	})
-	em := nestedEmitter{en: en, depth: depth}
 	for _, r := range others {
 		en.trace("fire %s rule %q on %s", r.Family, r.Name, e.Kind)
 		en.countFired()
 		fsp := sp.Child("rule.fire")
 		fsp.Set("rule", r.Name).Set("family", r.Family.String())
 		sw := obs.Start(mFireSeconds)
-		err := r.React(e, em)
+		err := r.React(e, nestedEmitter{en: en, depth: depth, rule: r})
 		sw.Stop()
 		fsp.Finish()
 		if err != nil {
@@ -481,13 +541,10 @@ func (en *Engine) dispatch(e event.Event, depth int) error {
 	}
 	if en.SelectAll && len(matchedCust) > 0 {
 		// Ablation path: fire every match, least specific first, so the
-		// most specific customization lands last in the pending slot.
+		// most specific customization lands last in the pending slot —
+		// ordered by the same contest dispatch uses, winner last.
 		sort.SliceStable(matchedCust, func(i, j int) bool {
-			si, sj := matchedCust[i].specificity(), matchedCust[j].specificity()
-			if si != sj {
-				return si < sj
-			}
-			return matchedCust[i].Priority < matchedCust[j].Priority
+			return beats(matchedCust[j], matchedCust[i])
 		})
 		for _, r := range matchedCust {
 			en.trace("fire-all customization rule %q for %s", r.Name, e.Kind)
@@ -574,4 +631,25 @@ func (en *Engine) PendingCount() int {
 	en.mu.RLock()
 	defer en.mu.RUnlock()
 	return len(en.pending)
+}
+
+// RuleInfos snapshots the installed rules in their statically analyzable
+// shape, sorted by name.
+func (en *Engine) RuleInfos() []ruleanalysis.RuleInfo {
+	en.mu.RLock()
+	infos := make([]ruleanalysis.RuleInfo, 0, len(en.all))
+	for _, r := range en.all {
+		infos = append(infos, r.analysisInfo())
+	}
+	en.mu.RUnlock()
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
+	return infos
+}
+
+// CheckSet statically analyzes the installed rule set: triggering-graph
+// cycles (non-termination), ambiguous customization pairs, and shadowed
+// (dead) rules. It is the engine-level entry point of the gislint checks;
+// the custlang compiler's strict Install and cmd/gislint both run it.
+func (en *Engine) CheckSet() []ruleanalysis.Finding {
+	return ruleanalysis.CheckRules(en.RuleInfos())
 }

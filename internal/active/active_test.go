@@ -225,6 +225,7 @@ func TestReactionCascade(t *testing.T) {
 	var seen []string
 	en.AddRule(Rule{
 		Name: "onInsert", Family: FamilyReaction, On: event.PostInsert,
+		Emits: []event.Pattern{{Kind: event.External, Name: "audit"}},
 		React: func(e event.Event, em Emitter) error {
 			seen = append(seen, "insert")
 			return em.EmitNested(event.Event{Kind: event.External, Name: "audit"})
@@ -250,6 +251,7 @@ func TestCascadeDepthLimit(t *testing.T) {
 	en.MaxCascade = 5
 	en.AddRule(Rule{
 		Name: "loop", Family: FamilyReaction, On: event.External,
+		Emits: []event.Pattern{{Kind: event.External}},
 		React: func(e event.Event, em Emitter) error {
 			return em.EmitNested(e) // infinite self-trigger
 		},
@@ -257,6 +259,50 @@ func TestCascadeDepthLimit(t *testing.T) {
 	err := en.HandleEvent(event.Event{Kind: event.External, Name: "boom"})
 	if !errors.Is(err, ErrCascadeLimit) {
 		t.Fatalf("runaway cascade not caught: %v", err)
+	}
+	// The static analyzer sees the same loop before any event fires: the
+	// declared self-emission is a triggering-graph cycle.
+	findings := en.CheckSet()
+	if len(findings) != 1 || findings[0].Check != "cycle" {
+		t.Fatalf("CheckSet = %+v, want one cycle finding", findings)
+	}
+	if len(findings[0].Rules) != 2 || findings[0].Rules[0] != "loop" || findings[0].Rules[1] != "loop" {
+		t.Fatalf("cycle path = %v", findings[0].Rules)
+	}
+}
+
+func TestUndeclaredEmissionRejected(t *testing.T) {
+	en := NewEngine()
+	en.AddRule(Rule{
+		Name: "sneaky", Family: FamilyReaction, On: event.PostInsert,
+		Emits: []event.Pattern{{Kind: event.External, Name: "audit"}},
+		React: func(e event.Event, em Emitter) error {
+			return em.EmitNested(event.Event{Kind: event.PostUpdate}) // not declared
+		},
+	})
+	err := en.HandleEvent(event.Event{Kind: event.PostInsert})
+	if !errors.Is(err, ErrUndeclaredEmit) {
+		t.Fatalf("undeclared emission not rejected: %v", err)
+	}
+	// A rule with nil Emits declares "emits nothing".
+	en2 := NewEngine()
+	en2.AddRule(Rule{
+		Name: "silent", Family: FamilyReaction, On: event.PostInsert,
+		React: func(e event.Event, em Emitter) error {
+			return em.EmitNested(event.Event{Kind: event.External})
+		},
+	})
+	if err := en2.HandleEvent(event.Event{Kind: event.PostInsert}); !errors.Is(err, ErrUndeclaredEmit) {
+		t.Fatalf("nil-Emits emission not rejected: %v", err)
+	}
+}
+
+func TestCustomizationRuleCannotDeclareEmits(t *testing.T) {
+	en := NewEngine()
+	r := custRule("c", event.Context{}, spec.DisplayDefault)
+	r.Emits = []event.Pattern{{Kind: event.External}}
+	if err := en.AddRule(r); !errors.Is(err, ErrBadRule) {
+		t.Fatalf("customization rule with Emits accepted: %v", err)
 	}
 }
 
@@ -506,5 +552,66 @@ func TestSelectAllAblation(t *testing.T) {
 	}
 	if all.Stats().Fired != 3 || all.Stats().Selected != 3 {
 		t.Fatalf("fire-all stats = %+v", all.Stats())
+	}
+}
+
+func TestTieBreakDeterministic(t *testing.T) {
+	// Equal specificity and equal priority: the lexicographically smaller
+	// rule name must win, regardless of insertion order or Indexed mode.
+	ctx := event.Context{Category: "novice"}
+	e := event.Event{Kind: event.GetSchema, Schema: "s", Ctx: event.Context{Category: "novice"}}
+	for _, indexed := range []bool{true, false} {
+		for _, order := range [][2]string{{"alpha", "beta"}, {"beta", "alpha"}} {
+			en := NewEngine()
+			en.Indexed = indexed
+			for _, name := range order {
+				if err := en.AddRule(custRule(name, ctx, spec.DisplayDefault)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := en.HandleEvent(e); err != nil {
+				t.Fatal(err)
+			}
+			c, ok := en.TakeCustomization(e)
+			if !ok || c.Origin != "alpha" {
+				t.Fatalf("indexed=%v order=%v: winner = %q (ok=%v), want alpha",
+					indexed, order, c.Origin, ok)
+			}
+		}
+	}
+}
+
+func TestCheckSetFindsAmbiguityAndShadowing(t *testing.T) {
+	en := NewEngine()
+	// alpha/beta: identical context, scope and priority — ambiguous.
+	en.AddRule(custRule("alpha", event.Context{Category: "novice"}, spec.DisplayDefault))
+	en.AddRule(custRule("beta", event.Context{Category: "novice"}, spec.DisplayHierarchy))
+	// low is shadowed by high: same pattern, strictly higher priority.
+	low := custRule("low", event.Context{User: "ann"}, spec.DisplayDefault)
+	high := custRule("high", event.Context{User: "ann"}, spec.DisplayHierarchy)
+	high.Priority = 5
+	en.AddRule(low)
+	en.AddRule(high)
+
+	findings := en.CheckSet()
+	var checks []string
+	for _, f := range findings {
+		checks = append(checks, f.Check)
+	}
+	wantAmb, wantShadow := false, false
+	for _, f := range findings {
+		switch f.Check {
+		case "ambiguity":
+			if len(f.Rules) == 2 && f.Rules[0] == "alpha" && f.Rules[1] == "beta" {
+				wantAmb = true
+			}
+		case "shadowing":
+			if len(f.Rules) == 2 && f.Rules[0] == "low" && f.Rules[1] == "high" {
+				wantShadow = true
+			}
+		}
+	}
+	if !wantAmb || !wantShadow {
+		t.Fatalf("CheckSet checks = %v, findings = %+v", checks, findings)
 	}
 }

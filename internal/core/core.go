@@ -108,6 +108,17 @@ func (s *System) InstallDirectives(src string) ([]custlang.Compiled, error) {
 	return s.Analyzer().Install(s.Engine, src)
 }
 
+// InstallDirectivesStrict is InstallDirectives with the static rule-set
+// analysis gating the install: the source is rejected (wrapping
+// custlang.ErrRuleSet) and rolled back if the installed rule set would
+// contain an ambiguity, a dead rule conflict, or a triggering cycle of
+// error severity. file names the source in diagnostics.
+func (s *System) InstallDirectivesStrict(file, src string) ([]custlang.Compiled, error) {
+	a := s.Analyzer()
+	a.Strict = true
+	return a.InstallFile(s.Engine, file, src)
+}
+
 // SaveDirectives validates and persists a named directive source in the
 // database.
 func (s *System) SaveDirectives(name, src string) error {

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"repro/internal/catalog"
+	"repro/internal/custlang"
 	"repro/internal/geodb"
 	"repro/internal/geom"
 	"repro/internal/topo"
@@ -227,5 +228,31 @@ func TestSystemReopenLifecycle(t *testing.T) {
 	}
 	if _, err := s.OpenInstance(poleOID); err != nil {
 		t.Fatalf("customized instance window after reopen: %v", err)
+	}
+}
+
+func TestInstallDirectivesStrict(t *testing.T) {
+	sys, _ := testSystem(t)
+	defer sys.Close()
+	// A conflicting pair is rejected and rolled back...
+	before := sys.Engine.RuleCount()
+	_, err := sys.InstallDirectivesStrict("amb.cust", workload.AmbiguousSource)
+	if !errors.Is(err, custlang.ErrRuleSet) {
+		t.Fatalf("strict install of ambiguous pair: %v", err)
+	}
+	if sys.Engine.RuleCount() != before {
+		t.Fatalf("rollback failed: %d rules, was %d", sys.Engine.RuleCount(), before)
+	}
+	// ...while Figure 6 installs clean.
+	units, err := sys.InstallDirectivesStrict("figure6", workload.Figure6Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(units) != 1 {
+		t.Fatalf("units = %d", len(units))
+	}
+	// The non-strict path still accepts the ambiguous pair (back-compat).
+	if _, err := sys.InstallDirectives(workload.AmbiguousSource); err != nil {
+		t.Fatalf("non-strict install: %v", err)
 	}
 }

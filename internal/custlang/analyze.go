@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"repro/internal/catalog"
+	"repro/internal/ruleanalysis"
 	"repro/internal/spec"
 	"repro/internal/uikit"
 )
@@ -28,6 +29,10 @@ type Analyzer struct {
 	Formats map[string]bool
 	// DefaultSchema is used when a directive has no schema clause.
 	DefaultSchema string
+	// Strict makes InstallFile run the static rule-set analysis
+	// (internal/ruleanalysis) after installing and reject the source —
+	// rolling the install back — when any finding is an error.
+	Strict bool
 }
 
 var builderFormats = map[string]bool{
@@ -50,21 +55,27 @@ func (a *Analyzer) formatKnown(name string) bool {
 // "pole_composition.pole_material"). All detected errors are joined.
 func (a *Analyzer) Analyze(d Directive) (Directive, error) {
 	var errs []error
-	fail := func(format string, args ...any) {
-		errs = append(errs, fmt.Errorf("%w: %s", ErrSemantic, fmt.Sprintf(format, args...)))
+	fail := func(pos ruleanalysis.Position, format string, args ...any) {
+		msg := fmt.Sprintf(format, args...)
+		if s := pos.String(); s != "" {
+			msg = s + ": " + msg
+		}
+		errs = append(errs, fmt.Errorf("%w: %s", ErrSemantic, msg))
 	}
 
 	schemaName := a.DefaultSchema
+	schemaPos := d.Pos
 	if d.Schema != nil {
 		schemaName = d.Schema.Name
+		schemaPos = d.Schema.Pos
 	}
 	if schemaName == "" {
-		fail("directive at line %d has no schema clause and no default schema", d.Line)
+		fail(d.Pos, "directive at line %d has no schema clause and no default schema", d.Line)
 		return d, errors.Join(errs...)
 	}
 	sch, err := a.Cat.Schema(schemaName)
 	if err != nil {
-		fail("unknown schema %q", schemaName)
+		fail(schemaPos, "unknown schema %q", schemaName)
 		return d, errors.Join(errs...)
 	}
 
@@ -72,7 +83,7 @@ func (a *Analyzer) Analyze(d Directive) (Directive, error) {
 	if d.Schema != nil {
 		sc := *d.Schema
 		if sc.Display == spec.DisplayUserDefined && !a.Lib.Has(sc.Widget) {
-			fail("schema clause: widget %q not in the interface objects library", sc.Widget)
+			fail(sc.Pos, "schema clause: widget %q not in the interface objects library", sc.Widget)
 		}
 		out.Schema = &sc
 	}
@@ -82,51 +93,51 @@ func (a *Analyzer) Analyze(d Directive) (Directive, error) {
 	for i, cc := range d.Classes {
 		norm := cc
 		if seenClass[cc.Name] {
-			fail("duplicate class clause for %q", cc.Name)
+			fail(cc.Pos, "duplicate class clause for %q", cc.Name)
 		}
 		seenClass[cc.Name] = true
 		if !sch.HasClass(cc.Name) {
-			fail("unknown class %q in schema %q", cc.Name, schemaName)
+			fail(cc.Pos, "unknown class %q in schema %q", cc.Name, schemaName)
 			out.Classes[i] = norm
 			continue
 		}
 		if cc.Control != "" && !a.Lib.Has(cc.Control) {
-			fail("class %s: control widget %q not in the library", cc.Name, cc.Control)
+			fail(cc.Pos, "class %s: control widget %q not in the library", cc.Name, cc.Control)
 		}
 		if cc.Presentation != "" && !a.formatKnown(cc.Presentation) {
-			fail("class %s: unknown presentation format %q", cc.Name, cc.Presentation)
+			fail(cc.Pos, "class %s: unknown presentation format %q", cc.Name, cc.Presentation)
 		}
 		attrs, err := sch.EffectiveAttrs(cc.Name)
 		if err != nil {
-			fail("class %s: %v", cc.Name, err)
+			fail(cc.Pos, "class %s: %v", cc.Name, err)
 			out.Classes[i] = norm
 			continue
 		}
 		methods, err := sch.EffectiveMethods(cc.Name)
 		if err != nil {
-			fail("class %s: %v", cc.Name, err)
+			fail(cc.Pos, "class %s: %v", cc.Name, err)
 		}
 		norm.Attrs = make([]AttrClause, len(cc.Attrs))
 		seenAttr := map[string]bool{}
 		for j, ac := range cc.Attrs {
 			na := ac
 			if seenAttr[ac.Attr] {
-				fail("class %s: duplicate display attribute clause for %q", cc.Name, ac.Attr)
+				fail(ac.Pos, "class %s: duplicate display attribute clause for %q", cc.Name, ac.Attr)
 			}
 			seenAttr[ac.Attr] = true
 			if !attrExists(attrs, ac.Attr) {
-				fail("class %s: unknown attribute %q", cc.Name, ac.Attr)
+				fail(ac.Pos, "class %s: unknown attribute %q", cc.Name, ac.Attr)
 			}
 			if !ac.Null {
 				if !a.Lib.Has(ac.Widget) {
-					fail("class %s, attribute %s: widget %q not in the library",
+					fail(ac.Pos, "class %s, attribute %s: widget %q not in the library",
 						cc.Name, ac.Attr, ac.Widget)
 				}
 				na.From = make([]spec.AttrSource, len(ac.From))
 				for k, src := range ac.From {
 					ns, err := resolveSource(attrs, methods, src)
 					if err != nil {
-						fail("class %s, attribute %s: %v", cc.Name, ac.Attr, err)
+						fail(ac.Pos, "class %s, attribute %s: %v", cc.Name, ac.Attr, err)
 						ns = src
 					}
 					na.From[k] = ns

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"repro/internal/event"
+	"repro/internal/ruleanalysis"
 	"repro/internal/spec"
 )
 
@@ -21,8 +22,15 @@ type Directive struct {
 	Schema *SchemaClause
 	// Classes are the class clauses, in source order.
 	Classes []ClassClause
+	// Priority breaks selection ties between directives whose contexts have
+	// equal specificity ("For ... priority <n>"); higher wins. Without it
+	// two directives for the same context are ambiguous — gislint flags
+	// them — so priority is how an author legitimately layers overrides.
+	Priority int
 	// Line records the directive's starting line for diagnostics.
 	Line int
+	// Pos locates the For keyword (Line plus the column and source file).
+	Pos ruleanalysis.Position
 }
 
 // SchemaClause is "schema <name> display as <mode> [<widget>]".
@@ -31,6 +39,8 @@ type SchemaClause struct {
 	Display spec.SchemaDisplay
 	// Widget names the library object for the user-defined mode.
 	Widget string
+	// Pos locates the schema keyword.
+	Pos ruleanalysis.Position
 }
 
 // ClassClause is "class <name> display [control as <w>]
@@ -40,6 +50,8 @@ type ClassClause struct {
 	Control      string
 	Presentation string
 	Attrs        []AttrClause
+	// Pos locates the class keyword.
+	Pos ruleanalysis.Position
 }
 
 // AttrClause is "display attribute <attr> as <widget>|Null
@@ -50,6 +62,8 @@ type AttrClause struct {
 	Widget string
 	From   []spec.AttrSource
 	Using  string
+	// Pos locates the display keyword opening the clause.
+	Pos ruleanalysis.Position
 }
 
 // String renders the directive in canonical concrete syntax; parsing the
@@ -73,6 +87,9 @@ func (d Directive) String() string {
 	sort.Strings(extraKeys)
 	for _, k := range extraKeys {
 		fmt.Fprintf(&b, " where %s %s", k, d.Context.Extra[k])
+	}
+	if d.Priority != 0 {
+		fmt.Fprintf(&b, " priority %d", d.Priority)
 	}
 	b.WriteString("\n")
 	if d.Schema != nil {

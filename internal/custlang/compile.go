@@ -1,14 +1,21 @@
 package custlang
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
 
 	"repro/internal/active"
 	"repro/internal/event"
+	"repro/internal/ruleanalysis"
 	"repro/internal/spec"
 )
+
+// ErrRuleSet is wrapped by strict installs that reject a rule set because
+// static analysis found an error-severity problem (ambiguity, triggering
+// cycle, conflicting directives).
+var ErrRuleSet = errors.New("custlang: rule set rejected by static analysis")
 
 // This file is the directive-to-rule compiler: §3.4's mapping of a
 // customization directive into customization database rules — one schema
@@ -63,11 +70,13 @@ func (a *Analyzer) Compile(d Directive, id int) (Compiled, error) {
 			},
 		}
 		rules = append(rules, active.Rule{
-			Name:    fmt.Sprintf("cust%d[%s]schema:%s", id, ctxTag, sc.Name),
-			Family:  active.FamilyCustomization,
-			On:      event.GetSchema,
-			Schema:  sc.Name,
-			Context: norm.Context,
+			Name:     fmt.Sprintf("cust%d[%s]schema:%s", id, ctxTag, sc.Name),
+			Family:   active.FamilyCustomization,
+			On:       event.GetSchema,
+			Schema:   sc.Name,
+			Context:  norm.Context,
+			Priority: norm.Priority,
+			Src:      sc.Pos,
 			Customize: func(event.Event) (spec.Customization, error) {
 				return cust, nil
 			},
@@ -85,12 +94,14 @@ func (a *Analyzer) Compile(d Directive, id int) (Compiled, error) {
 				},
 			}
 			rules = append(rules, active.Rule{
-				Name:    fmt.Sprintf("cust%d[%s]class:%s", id, ctxTag, cc.Name),
-				Family:  active.FamilyCustomization,
-				On:      event.GetClass,
-				Schema:  schemaName,
-				Class:   cc.Name,
-				Context: norm.Context,
+				Name:     fmt.Sprintf("cust%d[%s]class:%s", id, ctxTag, cc.Name),
+				Family:   active.FamilyCustomization,
+				On:       event.GetClass,
+				Schema:   schemaName,
+				Class:    cc.Name,
+				Context:  norm.Context,
+				Priority: norm.Priority,
+				Src:      cc.Pos,
 				Customize: func(event.Event) (spec.Customization, error) {
 					return cust, nil
 				},
@@ -109,12 +120,14 @@ func (a *Analyzer) Compile(d Directive, id int) (Compiled, error) {
 			}
 			cust := spec.Customization{Level: spec.LevelInstance, Instance: ic}
 			rules = append(rules, active.Rule{
-				Name:    fmt.Sprintf("cust%d[%s]instance:%s", id, ctxTag, cc.Name),
-				Family:  active.FamilyCustomization,
-				On:      event.GetValue,
-				Schema:  schemaName,
-				Class:   cc.Name,
-				Context: norm.Context,
+				Name:     fmt.Sprintf("cust%d[%s]instance:%s", id, ctxTag, cc.Name),
+				Family:   active.FamilyCustomization,
+				On:       event.GetValue,
+				Schema:   schemaName,
+				Class:    cc.Name,
+				Context:  norm.Context,
+				Priority: norm.Priority,
+				Src:      cc.Pos,
 				Customize: func(event.Event) (spec.Customization, error) {
 					return cust, nil
 				},
@@ -126,7 +139,13 @@ func (a *Analyzer) Compile(d Directive, id int) (Compiled, error) {
 
 // CompileSource parses, analyzes and compiles a whole source file.
 func (a *Analyzer) CompileSource(src string) ([]Compiled, error) {
-	ds, err := Parse(src)
+	return a.CompileSourceFile("", src)
+}
+
+// CompileSourceFile is CompileSource with the file name threaded into every
+// diagnostic and rule position.
+func (a *Analyzer) CompileSourceFile(file, src string) ([]Compiled, error) {
+	ds, err := ParseFile(file, src)
 	if err != nil {
 		return nil, err
 	}
@@ -144,20 +163,52 @@ func (a *Analyzer) CompileSource(src string) ([]Compiled, error) {
 // Install compiles a source file and adds every generated rule to the
 // engine, returning the compiled units. On any error no rules are installed.
 func (a *Analyzer) Install(engine *active.Engine, src string) ([]Compiled, error) {
-	units, err := a.CompileSource(src)
+	return a.InstallFile(engine, "", src)
+}
+
+// InstallFile is Install with the file name threaded into diagnostics. When
+// the analyzer's Strict mode is on, the install additionally runs the static
+// rule-set analysis — the whole-program directive checks plus the engine's
+// CheckSet over everything now installed — records the findings in the
+// metrics registry, and rolls the install back (wrapping ErrRuleSet) if any
+// finding is an error.
+func (a *Analyzer) InstallFile(engine *active.Engine, file, src string) ([]Compiled, error) {
+	units, err := a.CompileSourceFile(file, src)
 	if err != nil {
 		return nil, err
 	}
 	var installed []string
+	rollback := func() {
+		for _, name := range installed {
+			_ = engine.RemoveRule(name)
+		}
+	}
 	for _, u := range units {
 		for _, r := range u.Rules {
 			if err := engine.AddRule(r); err != nil {
-				for _, name := range installed {
-					_ = engine.RemoveRule(name)
-				}
+				rollback()
 				return nil, err
 			}
 			installed = append(installed, r.Name)
+		}
+	}
+	if a.Strict {
+		ds := make([]Directive, len(units))
+		for i, u := range units {
+			ds[i] = u.Directive
+		}
+		findings := append(CheckProgram(ds), engine.CheckSet()...)
+		ruleanalysis.Sort(findings)
+		ruleanalysis.ObserveFindings(findings)
+		if worst, ok := ruleanalysis.MaxSeverity(findings); ok && worst >= ruleanalysis.SeverityError {
+			rollback()
+			msgs := make([]string, 0, len(findings))
+			for _, f := range findings {
+				if f.Severity >= ruleanalysis.SeverityError {
+					msgs = append(msgs, f.String())
+				}
+			}
+			return nil, fmt.Errorf("%w:\n  %s", ErrRuleSet, strings.Join(msgs, "\n  "))
 		}
 	}
 	return units, nil

@@ -3,8 +3,10 @@ package custlang
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"strings"
 
+	"repro/internal/ruleanalysis"
 	"repro/internal/spec"
 )
 
@@ -12,13 +14,20 @@ import (
 var ErrSyntax = errors.New("custlang: syntax error")
 
 // Parse parses a source file containing one or more customization
-// directives.
+// directives. Diagnostics carry line:col positions without a file name; use
+// ParseFile to get file:line:col.
 func Parse(src string) ([]Directive, error) {
-	toks, err := lexAll(src)
+	return ParseFile("", src)
+}
+
+// ParseFile parses a source file, threading the file name into every
+// diagnostic position (and into the positions recorded on the AST).
+func ParseFile(file, src string) ([]Directive, error) {
+	toks, err := lexAll(file, src)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrSyntax, err)
 	}
-	p := &parser{toks: toks}
+	p := &parser{file: file, toks: toks}
 	var out []Directive
 	for !p.at(tokEOF) {
 		d, err := p.directive()
@@ -46,6 +55,7 @@ func ParseOne(src string) (Directive, error) {
 }
 
 type parser struct {
+	file string
 	toks []token
 	pos  int
 }
@@ -57,8 +67,13 @@ func (p *parser) at(k tokenKind) bool {
 }
 func (p *parser) atKeyword(kw string) bool { return isKeyword(p.peek(), kw) }
 
+// tokenPos converts a token's location to a diagnostic position.
+func (p *parser) tokenPos(t token) ruleanalysis.Position {
+	return ruleanalysis.Position{File: p.file, Line: t.line, Col: t.col}
+}
+
 func (p *parser) errf(t token, format string, args ...any) error {
-	return fmt.Errorf("%w: line %d:%d: %s", ErrSyntax, t.line, t.col, fmt.Sprintf(format, args...))
+	return fmt.Errorf("%w: %s: %s", ErrSyntax, p.tokenPos(t), fmt.Sprintf(format, args...))
 }
 
 func (p *parser) expectKeyword(kw string) error {
@@ -83,6 +98,7 @@ var stopWords = map[string]bool{
 	"instances": true, "control": true, "presentation": true,
 	"from": true, "using": true, "user": true, "category": true,
 	"application": true, "attribute": true, "as": true, "where": true,
+	"priority": true,
 }
 
 func isStopWord(t token) bool {
@@ -94,9 +110,10 @@ func (p *parser) directive() (Directive, error) {
 	if err := p.expectKeyword("For"); err != nil {
 		return Directive{}, err
 	}
-	d := Directive{Line: start.line}
+	d := Directive{Line: start.line, Pos: p.tokenPos(start)}
 	// Context parts, in any order, at least one.
 	parts := 0
+	prioritySet := false
 	for {
 		switch {
 		case p.atKeyword("user"):
@@ -150,6 +167,24 @@ func (p *parser) directive() (Directive, error) {
 				return d, p.errf(p.peek(), "duplicate where clause for %q", key)
 			}
 			d.Context.Extra[key] = val
+		case p.atKeyword("priority"):
+			// "priority <n>" lets the author rank directives whose contexts
+			// tie on specificity; it does not count as a context part.
+			p.next()
+			t := p.next()
+			if t.kind != tokIdent {
+				return d, p.errf(t, "expected priority value, found %s", t)
+			}
+			n, err := strconv.Atoi(t.text)
+			if err != nil {
+				return d, p.errf(t, "priority must be an integer, found %q", t.text)
+			}
+			if prioritySet {
+				return d, p.errf(t, "duplicate priority clause")
+			}
+			d.Priority = n
+			prioritySet = true
+			continue
 		default:
 			if parts == 0 {
 				return d, p.errf(p.peek(),
@@ -181,8 +216,8 @@ clauses:
 }
 
 func (p *parser) schemaClause() (SchemaClause, error) {
-	p.next() // "schema"
-	var sc SchemaClause
+	kw := p.next() // "schema"
+	sc := SchemaClause{Pos: p.tokenPos(kw)}
 	name, err := p.ident("schema name")
 	if err != nil {
 		return sc, err
@@ -214,8 +249,8 @@ func (p *parser) schemaClause() (SchemaClause, error) {
 }
 
 func (p *parser) classClause() (ClassClause, error) {
-	p.next() // "class"
-	var cc ClassClause
+	kw := p.next() // "class"
+	cc := ClassClause{Pos: p.tokenPos(kw)}
 	name, err := p.ident("class name")
 	if err != nil {
 		return cc, err
@@ -271,8 +306,8 @@ func (p *parser) classClause() (ClassClause, error) {
 }
 
 func (p *parser) attrClause() (AttrClause, error) {
-	var ac AttrClause
-	p.next() // "display"
+	kw := p.next() // "display"
+	ac := AttrClause{Pos: p.tokenPos(kw)}
 	if err := p.expectKeyword("attribute"); err != nil {
 		return ac, err
 	}

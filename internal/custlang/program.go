@@ -1,0 +1,143 @@
+package custlang
+
+import (
+	"fmt"
+
+	"repro/internal/ruleanalysis"
+	"repro/internal/spec"
+)
+
+// This file holds the whole-program checks: properties of a directive file
+// as a unit, above the single-directive validation the analyzer does and
+// below the installed-rule analysis the engine's CheckSet does. They catch
+// the authoring mistakes a per-directive pass cannot see — the same context
+// customized twice, or customized twice *differently*.
+
+// directiveLabel names a directive for diagnostics: its context, which is
+// how an author thinks of it.
+func directiveLabel(d Directive) string {
+	return fmt.Sprintf("directive %s (line %d)", d.Context, d.Line)
+}
+
+// sameContext reports whether two contexts are identical patterns (not
+// merely overlapping).
+func sameContext(a, b Directive) bool {
+	x, y := a.Context, b.Context
+	if x.User != y.User || x.Category != y.Category || x.Application != y.Application {
+		return false
+	}
+	if len(x.Extra) != len(y.Extra) {
+		return false
+	}
+	for k, v := range x.Extra {
+		if y.Extra[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// CheckProgram runs the whole-program checks over a parsed directive file
+// and returns the findings sorted for stable output:
+//
+//   - duplicate-context (warning): two directives with an identical context
+//     and equal priority — every rule pair they generate at the same level
+//     is an ambiguity waiting to happen;
+//   - conflict (error): two same-context, same-priority directives that
+//     prescribe *different* presentations for the same target (schema
+//     display mode, class control/presentation, or attribute widget) — the
+//     engine would pick one by the name tiebreak and silently drop the
+//     other.
+//
+// Directives with the same context but different priorities layer cleanly
+// (the higher priority wins everywhere) and are not reported.
+func CheckProgram(ds []Directive) []ruleanalysis.Finding {
+	var fs []ruleanalysis.Finding
+	for i := range ds {
+		for j := i + 1; j < len(ds); j++ {
+			a, b := ds[i], ds[j]
+			if !sameContext(a, b) || a.Priority != b.Priority {
+				continue
+			}
+			conflicts := directiveConflicts(a, b)
+			if len(conflicts) == 0 {
+				fs = append(fs, ruleanalysis.Finding{
+					Check:    ruleanalysis.CheckDuplicateContext,
+					Severity: ruleanalysis.SeverityWarning,
+					Pos:      b.Pos,
+					Message: fmt.Sprintf(
+						"%s repeats the context of %s with equal priority; give one a priority clause or merge them",
+						directiveLabel(b), directiveLabel(a)),
+				})
+				continue
+			}
+			for _, c := range conflicts {
+				fs = append(fs, ruleanalysis.Finding{
+					Check:    ruleanalysis.CheckConflict,
+					Severity: ruleanalysis.SeverityError,
+					Pos:      b.Pos,
+					Message: fmt.Sprintf(
+						"%s conflicts with %s: %s",
+						directiveLabel(b), directiveLabel(a), c),
+				})
+			}
+		}
+	}
+	ruleanalysis.Sort(fs)
+	return fs
+}
+
+// directiveConflicts lists the concrete disagreements between two
+// same-context directives: targets both customize, with different outcomes.
+func directiveConflicts(a, b Directive) []string {
+	var out []string
+	if a.Schema != nil && b.Schema != nil && a.Schema.Name == b.Schema.Name {
+		if a.Schema.Display != b.Schema.Display || a.Schema.Widget != b.Schema.Widget {
+			out = append(out, fmt.Sprintf(
+				"schema %s displayed as %s vs %s",
+				a.Schema.Name, renderDisplay(*b.Schema), renderDisplay(*a.Schema)))
+		}
+	}
+	for _, ca := range a.Classes {
+		for _, cb := range b.Classes {
+			if ca.Name != cb.Name {
+				continue
+			}
+			if ca.Control != "" && cb.Control != "" && ca.Control != cb.Control {
+				out = append(out, fmt.Sprintf(
+					"class %s control %q vs %q", ca.Name, cb.Control, ca.Control))
+			}
+			if ca.Presentation != "" && cb.Presentation != "" && ca.Presentation != cb.Presentation {
+				out = append(out, fmt.Sprintf(
+					"class %s presentation %q vs %q", ca.Name, cb.Presentation, ca.Presentation))
+			}
+			for _, aa := range ca.Attrs {
+				for _, ab := range cb.Attrs {
+					if aa.Attr != ab.Attr {
+						continue
+					}
+					if aa.Null != ab.Null || aa.Widget != ab.Widget {
+						out = append(out, fmt.Sprintf(
+							"class %s attribute %s shown as %s vs %s",
+							ca.Name, aa.Attr, renderAttr(ab), renderAttr(aa)))
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+func renderDisplay(sc SchemaClause) string {
+	if sc.Display == spec.DisplayUserDefined {
+		return fmt.Sprintf("%s %s", sc.Display, sc.Widget)
+	}
+	return sc.Display.String()
+}
+
+func renderAttr(ac AttrClause) string {
+	if ac.Null {
+		return "Null"
+	}
+	return ac.Widget
+}

@@ -1,0 +1,223 @@
+package custlang
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/active"
+	"repro/internal/obs"
+	"repro/internal/ruleanalysis"
+)
+
+func TestParseFilePositions(t *testing.T) {
+	src := `For user juliano application pole_manager
+schema phone_net display as Null
+class Pole display
+  control as poleWidget
+  instances
+    display attribute pole_location as Null
+`
+	ds, err := ParseFile("f6.cust", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := ds[0]
+	if d.Pos != (ruleanalysis.Position{File: "f6.cust", Line: 1, Col: 1}) {
+		t.Errorf("directive pos = %v", d.Pos)
+	}
+	if d.Schema.Pos != (ruleanalysis.Position{File: "f6.cust", Line: 2, Col: 1}) {
+		t.Errorf("schema pos = %v", d.Schema.Pos)
+	}
+	if d.Classes[0].Pos != (ruleanalysis.Position{File: "f6.cust", Line: 3, Col: 1}) {
+		t.Errorf("class pos = %v", d.Classes[0].Pos)
+	}
+	if d.Classes[0].Attrs[0].Pos != (ruleanalysis.Position{File: "f6.cust", Line: 6, Col: 5}) {
+		t.Errorf("attr pos = %v", d.Classes[0].Attrs[0].Pos)
+	}
+}
+
+func TestParseErrorPositions(t *testing.T) {
+	_, err := ParseFile("bad.cust", "For user u\nclass C show\n")
+	if err == nil || !strings.Contains(err.Error(), "bad.cust:2:9") {
+		t.Fatalf("parse error lacks file:line:col: %v", err)
+	}
+	// Without a file name the position degrades to line:col.
+	_, err = Parse("For user u\nclass C show\n")
+	if err == nil || !strings.Contains(err.Error(), "2:9") ||
+		strings.Contains(err.Error(), "bad.cust") {
+		t.Fatalf("fileless parse error = %v", err)
+	}
+	// Lexer errors carry positions too.
+	_, err = ParseFile("bad.cust", "For user u ???")
+	if err == nil || !strings.Contains(err.Error(), "bad.cust:1:12") {
+		t.Fatalf("lex error lacks position: %v", err)
+	}
+}
+
+func TestAnalyzeErrorPositions(t *testing.T) {
+	a, _ := testAnalyzer(t)
+	src := `For user u
+schema phone_net display as default
+class Pole display
+  control as ghost
+`
+	ds, err := ParseFile("sem.cust", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = a.Analyze(ds[0])
+	if err == nil || !strings.Contains(err.Error(), "sem.cust:3:1") {
+		t.Fatalf("semantic error lacks clause position: %v", err)
+	}
+}
+
+func TestPriorityClause(t *testing.T) {
+	d, err := ParseOne(`For user u priority 7
+schema phone_net display as default`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Priority != 7 {
+		t.Fatalf("priority = %d", d.Priority)
+	}
+	// Round trip preserves the clause.
+	d2, err := ParseOne(d.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Priority != 7 || d.String() != d2.String() {
+		t.Fatalf("round trip: %q vs %q", d.String(), d2.String())
+	}
+	// Bad values and duplicates are syntax errors.
+	for _, src := range []string{
+		`For user u priority high schema s display as default`,
+		`For user u priority 1 priority 2 schema s display as default`,
+		`For user u priority schema s display as default`,
+	} {
+		if _, err := Parse(src); !errors.Is(err, ErrSyntax) {
+			t.Errorf("%q: err = %v", src, err)
+		}
+	}
+	// Priority alone is not a context.
+	if _, err := Parse(`For priority 1 schema s display as default`); !errors.Is(err, ErrSyntax) {
+		t.Errorf("contextless priority accepted: %v", err)
+	}
+}
+
+func TestPriorityReachesCompiledRules(t *testing.T) {
+	a, _ := testAnalyzer(t)
+	units, err := a.CompileSourceFile("p.cust", `For user u priority 3
+schema phone_net display as default`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := units[0].Rules[0]
+	if r.Priority != 3 {
+		t.Fatalf("rule priority = %d", r.Priority)
+	}
+	if r.Src != (ruleanalysis.Position{File: "p.cust", Line: 2, Col: 1}) {
+		t.Fatalf("rule src = %v", r.Src)
+	}
+}
+
+func TestCheckProgram(t *testing.T) {
+	parse := func(src string) []Directive {
+		t.Helper()
+		ds, err := Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ds
+	}
+	// Identical context, compatible content: duplicate-context warning.
+	fs := CheckProgram(parse(`For user u
+schema s display as default
+For user u
+class C display control as w`))
+	if len(fs) != 1 || fs[0].Check != ruleanalysis.CheckDuplicateContext ||
+		fs[0].Severity != ruleanalysis.SeverityWarning {
+		t.Fatalf("duplicate-context findings = %+v", fs)
+	}
+	// Identical context, disagreeing display: conflict error.
+	fs = CheckProgram(parse(`For user u
+schema s display as default
+For user u
+schema s display as hierarchy`))
+	if len(fs) != 1 || fs[0].Check != ruleanalysis.CheckConflict ||
+		fs[0].Severity != ruleanalysis.SeverityError {
+		t.Fatalf("conflict findings = %+v", fs)
+	}
+	if !strings.Contains(fs[0].Message, "hierarchy") || !strings.Contains(fs[0].Message, "default") {
+		t.Errorf("conflict message should show both modes: %s", fs[0].Message)
+	}
+	// Differing priorities layer cleanly: no findings.
+	fs = CheckProgram(parse(`For user u
+schema s display as default
+For user u priority 1
+schema s display as hierarchy`))
+	if len(fs) != 0 {
+		t.Fatalf("prioritized pair: findings = %+v", fs)
+	}
+	// Different contexts: no findings.
+	fs = CheckProgram(parse(`For user u
+schema s display as default
+For user v
+schema s display as hierarchy`))
+	if len(fs) != 0 {
+		t.Fatalf("distinct contexts: findings = %+v", fs)
+	}
+	// Conflicting attribute widgets are called out.
+	fs = CheckProgram(parse(`For user u
+schema s display as default
+class C display instances display attribute a as text
+For user u
+schema s display as default
+class C display instances display attribute a as Null`))
+	found := false
+	for _, f := range fs {
+		if f.Check == ruleanalysis.CheckConflict && strings.Contains(f.Message, "attribute a") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("attr conflict not reported: %+v", fs)
+	}
+}
+
+func TestStrictInstallRejectsConflicts(t *testing.T) {
+	a, _ := testAnalyzer(t)
+	a.Strict = true
+	engine := active.NewEngine()
+	src := `For user u
+schema phone_net display as default
+For user u
+schema phone_net display as hierarchy
+`
+	before := obs.Default().Counter(`gis_lint_findings_total{check="conflict"}`).Value()
+	_, err := a.InstallFile(engine, "dup.cust", src)
+	if !errors.Is(err, ErrRuleSet) {
+		t.Fatalf("strict install err = %v", err)
+	}
+	if !strings.Contains(err.Error(), "conflict") || !strings.Contains(err.Error(), "dup.cust:3:1") {
+		t.Fatalf("error lacks finding detail: %v", err)
+	}
+	if engine.RuleCount() != 0 {
+		t.Fatalf("rollback failed: %d rules left", engine.RuleCount())
+	}
+	after := obs.Default().Counter(`gis_lint_findings_total{check="conflict"}`).Value()
+	if after <= before {
+		t.Fatalf("lint findings counter did not move: %d -> %d", before, after)
+	}
+	// The same source installs fine without Strict (back-compat), and a
+	// clean file installs fine with it.
+	a.Strict = false
+	if _, err := a.Install(active.NewEngine(), src); err != nil {
+		t.Fatalf("non-strict install: %v", err)
+	}
+	a.Strict = true
+	if _, err := a.InstallFile(active.NewEngine(), "ok.cust", `For user u
+schema phone_net display as default`); err != nil {
+		t.Fatalf("strict install of clean file: %v", err)
+	}
+}

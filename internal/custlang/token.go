@@ -26,6 +26,8 @@ package custlang
 import (
 	"fmt"
 	"strings"
+
+	"repro/internal/ruleanalysis"
 )
 
 type tokenKind uint8
@@ -65,14 +67,15 @@ func (t token) String() string {
 // dotted paths like "pole.material" and "composed_text.notify" are single
 // tokens). '#' starts a comment running to end of line.
 type lexer struct {
+	file string
 	src  string
 	pos  int
 	line int
 	col  int
 }
 
-func newLexer(src string) *lexer {
-	return &lexer{src: src, line: 1, col: 1}
+func newLexer(file, src string) *lexer {
+	return &lexer{file: file, src: src, line: 1, col: 1}
 }
 
 func (l *lexer) advance() byte {
@@ -127,13 +130,15 @@ body:
 		}
 		return token{kind: tokIdent, text: l.src[start:l.pos], line: line, col: col}, nil
 	default:
-		return token{}, fmt.Errorf("line %d:%d: unexpected character %q", line, col, string(c))
+		pos := ruleanalysis.Position{File: l.file, Line: line, Col: col}
+		return token{}, fmt.Errorf("%s: unexpected character %q", pos, string(c))
 	}
 }
 
-// lexAll tokenizes the entire input.
-func lexAll(src string) ([]token, error) {
-	l := newLexer(src)
+// lexAll tokenizes the entire input. file (may be empty) prefixes positions
+// in diagnostics.
+func lexAll(file, src string) ([]token, error) {
+	l := newLexer(file, src)
 	var out []token
 	for {
 		t, err := l.next()

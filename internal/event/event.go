@@ -229,6 +229,59 @@ func (e Event) String() string {
 	return b.String()
 }
 
+// Pattern describes a set of events: a kind plus optional scope pins
+// (empty components are wildcards). Reaction rules declare the events
+// their actions may emit as patterns (active.Rule.Emits); the engine
+// enforces the declaration at emission time and the static analyzer
+// (internal/ruleanalysis) builds the rule-triggering graph from it.
+type Pattern struct {
+	Kind   Kind   `json:"kind"`
+	Schema string `json:"schema,omitempty"`
+	Class  string `json:"class,omitempty"`
+	Attr   string `json:"attr,omitempty"`
+	// Name pins External events to a particular name.
+	Name string `json:"name,omitempty"`
+}
+
+// Matches reports whether the concrete event falls within the pattern.
+func (p Pattern) Matches(e Event) bool {
+	if p.Kind != e.Kind {
+		return false
+	}
+	if p.Schema != "" && p.Schema != e.Schema {
+		return false
+	}
+	if p.Class != "" && p.Class != e.Class {
+		return false
+	}
+	if p.Attr != "" && p.Attr != e.Attr {
+		return false
+	}
+	if p.Name != "" && p.Name != e.Name {
+		return false
+	}
+	return true
+}
+
+// String renders the pattern for diagnostics.
+func (p Pattern) String() string {
+	var b strings.Builder
+	b.WriteString(p.Kind.String())
+	if p.Schema != "" {
+		fmt.Fprintf(&b, " schema=%s", p.Schema)
+	}
+	if p.Class != "" {
+		fmt.Fprintf(&b, " class=%s", p.Class)
+	}
+	if p.Attr != "" {
+		fmt.Fprintf(&b, " attr=%s", p.Attr)
+	}
+	if p.Name != "" {
+		fmt.Fprintf(&b, " name=%s", p.Name)
+	}
+	return b.String()
+}
+
 // Handler processes an event. Returning an error from a Pre* event vetoes
 // the mutation; errors from other events propagate to the emitter.
 type Handler interface {

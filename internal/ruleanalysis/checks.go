@@ -1,0 +1,169 @@
+package ruleanalysis
+
+import (
+	"fmt"
+
+	"repro/internal/event"
+)
+
+// This file holds the selection-contest checks: ambiguity (two rules can
+// tie for the same event) and shadowing (a rule can never win). Both apply
+// only to the customization family — constraint and reaction rules run for
+// every match by design, so ties among them are not errors.
+
+// scopeOverlap reports whether two scope pins can match the same event
+// component: at least one is a wildcard, or they agree.
+func scopeOverlap(a, b string) bool { return a == "" || b == "" || a == b }
+
+// scopeCovers reports whether outer matches every component inner matches.
+func scopeCovers(outer, inner string) bool { return outer == "" || outer == inner }
+
+// contextsOverlap reports whether some concrete context matches both
+// patterns: wherever both pin a dimension, the values agree.
+func contextsOverlap(a, b event.Context) bool {
+	if a.User != "" && b.User != "" && a.User != b.User {
+		return false
+	}
+	if a.Category != "" && b.Category != "" && a.Category != b.Category {
+		return false
+	}
+	if a.Application != "" && b.Application != "" && a.Application != b.Application {
+		return false
+	}
+	for k, v := range a.Extra {
+		if bv, ok := b.Extra[k]; ok && bv != v {
+			return false
+		}
+	}
+	return true
+}
+
+// contextCovers reports whether every concrete context matching inner also
+// matches outer: outer's pins are a subset of inner's, with equal values.
+func contextCovers(outer, inner event.Context) bool {
+	if outer.User != "" && outer.User != inner.User {
+		return false
+	}
+	if outer.Category != "" && outer.Category != inner.Category {
+		return false
+	}
+	if outer.Application != "" && outer.Application != inner.Application {
+		return false
+	}
+	for k, v := range outer.Extra {
+		if inner.Extra[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// overlaps reports whether the two rules' full event patterns (kind, scope,
+// context) can match the same concrete event.
+func overlaps(a, b *RuleInfo) bool {
+	return a.On == b.On &&
+		scopeOverlap(a.Schema, b.Schema) &&
+		scopeOverlap(a.Class, b.Class) &&
+		scopeOverlap(a.Attr, b.Attr) &&
+		contextsOverlap(a.Context, b.Context)
+}
+
+// covers reports whether s matches every event r matches. s must have no
+// opaque predicate (a When could exclude events r accepts).
+func covers(s, r *RuleInfo) bool {
+	return !s.HasWhen && s.On == r.On &&
+		scopeCovers(s.Schema, r.Schema) &&
+		scopeCovers(s.Class, r.Class) &&
+		scopeCovers(s.Attr, r.Attr) &&
+		contextCovers(s.Context, r.Context)
+}
+
+// checkAmbiguity flags pairs of customization rules that can match the same
+// event with equal specificity and equal priority — the case the paper's
+// "only the single most specific rule executes" contract leaves undefined
+// and the engine resolves only by its deterministic name tiebreak.
+func checkAmbiguity(rules []RuleInfo) []Finding {
+	var fs []Finding
+	for i := range rules {
+		a := &rules[i]
+		if a.Family != FamilyCustomization {
+			continue
+		}
+		for j := i + 1; j < len(rules); j++ {
+			b := &rules[j]
+			if b.Family != FamilyCustomization {
+				continue
+			}
+			sa, sb := a.specificity(), b.specificity()
+			if sa != sb || a.Priority != b.Priority || !overlaps(a, b) {
+				continue
+			}
+			sev := SeverityError
+			note := ""
+			if a.HasWhen || b.HasWhen {
+				// An opaque predicate may keep the rules from ever
+				// matching the same event; report, but do not fail.
+				sev = SeverityWarning
+				note = "; a When predicate may disambiguate at run time"
+			}
+			winner := a.Name
+			if b.Name < winner {
+				winner = b.Name
+			}
+			f := Finding{
+				Check:    CheckAmbiguity,
+				Severity: sev,
+				Rules:    []string{a.Name, b.Name},
+				Pos:      a.Pos,
+				Message: fmt.Sprintf(
+					"rules %q and %q can match the same %s event with equal specificity %d and priority %d; selection degrades to the name tiebreak (%q wins)%s",
+					a.Name, b.Name, a.On, sa, a.Priority, winner, note),
+			}
+			if !b.Pos.IsZero() {
+				f.Message += fmt.Sprintf(" — second rule at %s", b.Pos)
+			}
+			fs = append(fs, f)
+		}
+	}
+	return fs
+}
+
+// checkShadowing flags customization rules that can never be selected: some
+// other rule matches every event they match and always outranks them in the
+// (specificity, priority) contest. Given the specificity scoring — every
+// pinned dimension adds points — a proper covering rule always scores
+// lower, so in practice a shadow is an identical pattern with a higher
+// priority; the general covering test is kept so the check survives scoring
+// changes.
+func checkShadowing(rules []RuleInfo) []Finding {
+	var fs []Finding
+	for i := range rules {
+		r := &rules[i]
+		if r.Family != FamilyCustomization {
+			continue
+		}
+		for j := range rules {
+			s := &rules[j]
+			if i == j || s.Family != FamilyCustomization || !covers(s, r) {
+				continue
+			}
+			ss, rs := s.specificity(), r.specificity()
+			if ss < rs || (ss == rs && s.Priority <= r.Priority) {
+				// Equal specificity and priority with identical
+				// patterns is ambiguity, reported separately.
+				continue
+			}
+			fs = append(fs, Finding{
+				Check:    CheckShadowing,
+				Severity: SeverityWarning,
+				Rules:    []string{r.Name, s.Name},
+				Pos:      r.Pos,
+				Message: fmt.Sprintf(
+					"rule %q is dead: %q matches every %s event it matches and always outranks it (specificity %d vs %d, priority %d vs %d)",
+					r.Name, s.Name, r.On, ss, rs, s.Priority, r.Priority),
+			})
+			break // one dominator is enough; avoid finding spam
+		}
+	}
+	return fs
+}

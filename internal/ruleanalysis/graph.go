@@ -1,0 +1,207 @@
+package ruleanalysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// This file builds the triggering graph and reports its cycles as
+// non-termination findings. Nodes are rules; there is an edge A → B when
+// some event A declares in Emits can trigger B: the kinds agree, the scope
+// pins are compatible, and the two context patterns overlap (cascades
+// preserve the interaction context — see the package comment for the model
+// limit). Customization rules never receive an Emitter, so they are always
+// sinks; only rules with a non-empty Emits fan out.
+
+// TriggerGraph is the rule-triggering adjacency: Edges[i] lists the indexes
+// of rules that rule i's declared emissions can trigger.
+type TriggerGraph struct {
+	Rules []RuleInfo
+	Edges [][]int
+}
+
+// BuildTriggerGraph constructs the triggering graph over the rule set.
+func BuildTriggerGraph(rules []RuleInfo) *TriggerGraph {
+	g := &TriggerGraph{Rules: rules, Edges: make([][]int, len(rules))}
+	for i := range rules {
+		if len(rules[i].Emits) == 0 {
+			continue
+		}
+		for j := range rules {
+			if g.canTrigger(&rules[i], &rules[j]) {
+				g.Edges[i] = append(g.Edges[i], j)
+			}
+		}
+	}
+	return g
+}
+
+// canTrigger reports whether one of from's declared emissions can match
+// to's event pattern. The receiving rule's scope has no event-name pin, so
+// a pattern's Name never excludes an edge; a When predicate on the receiver
+// is opaque and treated as satisfiable.
+func (g *TriggerGraph) canTrigger(from, to *RuleInfo) bool {
+	for _, p := range from.Emits {
+		if p.Kind != to.On {
+			continue
+		}
+		if !scopeOverlap(p.Schema, to.Schema) ||
+			!scopeOverlap(p.Class, to.Class) ||
+			!scopeOverlap(p.Attr, to.Attr) {
+			continue
+		}
+		if !contextsOverlap(from.Context, to.Context) {
+			continue
+		}
+		return true
+	}
+	return false
+}
+
+// checkCycles reports every strongly connected component with a cycle as a
+// non-termination finding carrying one concrete rule path through it.
+func checkCycles(rules []RuleInfo) []Finding {
+	g := BuildTriggerGraph(rules)
+	var fs []Finding
+	for _, scc := range g.sccs() {
+		if len(scc) == 1 && !g.hasEdge(scc[0], scc[0]) {
+			continue
+		}
+		path := g.cyclePath(scc)
+		names := make([]string, len(path))
+		opaque := false
+		for i, n := range path {
+			names[i] = g.Rules[n].Name
+			if g.Rules[n].HasWhen {
+				opaque = true
+			}
+		}
+		sev := SeverityError
+		note := ""
+		if opaque {
+			sev = SeverityWarning
+			note = "; a When predicate on the path may break the cycle at run time"
+		}
+		fs = append(fs, Finding{
+			Check:    CheckCycle,
+			Severity: sev,
+			Rules:    names,
+			Pos:      g.Rules[path[0]].Pos,
+			Message: fmt.Sprintf(
+				"reaction cascade may not terminate: %s (bounded only by MaxCascade at run time)%s",
+				strings.Join(names, " -> "), note),
+		})
+	}
+	return fs
+}
+
+func (g *TriggerGraph) hasEdge(from, to int) bool {
+	for _, n := range g.Edges[from] {
+		if n == to {
+			return true
+		}
+	}
+	return false
+}
+
+// sccs returns the strongly connected components (Tarjan), each sorted by
+// rule index; components are ordered by their smallest member for
+// deterministic reporting.
+func (g *TriggerGraph) sccs() [][]int {
+	n := len(g.Rules)
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+	}
+	var stack []int
+	next := 0
+	var comps [][]int
+
+	var strongconnect func(v int)
+	strongconnect = func(v int) {
+		index[v], low[v] = next, next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range g.Edges[v] {
+			if index[w] == -1 {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var comp []int
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp = append(comp, w)
+				if w == v {
+					break
+				}
+			}
+			comps = append(comps, comp)
+		}
+	}
+	for v := 0; v < n; v++ {
+		if index[v] == -1 {
+			strongconnect(v)
+		}
+	}
+	for _, c := range comps {
+		sort.Ints(c)
+	}
+	sort.Slice(comps, func(i, j int) bool { return comps[i][0] < comps[j][0] })
+	return comps
+}
+
+// cyclePath finds a concrete cycle within the component by BFS from its
+// smallest member back to itself, restricted to component members. The
+// returned path repeats the starting rule at the end ("a -> b -> a").
+func (g *TriggerGraph) cyclePath(scc []int) []int {
+	start := scc[0]
+	in := map[int]bool{}
+	for _, n := range scc {
+		in[n] = true
+	}
+	prev := map[int]int{}
+	queue := []int{start}
+	visited := map[int]bool{}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range g.Edges[v] {
+			if !in[w] {
+				continue
+			}
+			if w == start {
+				// Reconstruct start -> ... -> v -> start.
+				path := []int{start}
+				var rev []int
+				for u := v; u != start; u = prev[u] {
+					rev = append(rev, u)
+				}
+				for i := len(rev) - 1; i >= 0; i-- {
+					path = append(path, rev[i])
+				}
+				if v != start || len(rev) > 0 || g.hasEdge(start, start) {
+					return append(path, start)
+				}
+			}
+			if !visited[w] {
+				visited[w] = true
+				prev[w] = v
+				queue = append(queue, w)
+			}
+		}
+	}
+	// Unreachable for a genuine SCC; fall back to the component itself.
+	return append(append([]int(nil), scc...), start)
+}

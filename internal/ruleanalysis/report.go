@@ -1,0 +1,30 @@
+package ruleanalysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/obs"
+)
+
+// WriteJSON renders the findings as a JSON array — gislint's
+// machine-readable mode. An empty or nil slice renders as [].
+func WriteJSON(w io.Writer, fs []Finding) error {
+	if fs == nil {
+		fs = []Finding{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(fs)
+}
+
+// ObserveFindings counts the findings into the default metrics registry as
+// gis_lint_findings_total{check=...}, so rule-set health surfaces through
+// the STATS verb and the --metrics endpoint whenever a strict install (or
+// an explicit CheckSet caller) runs the analyzer.
+func ObserveFindings(fs []Finding) {
+	for _, f := range fs {
+		obs.Default().Counter(fmt.Sprintf("gis_lint_findings_total{check=%q}", f.Check)).Inc()
+	}
+}

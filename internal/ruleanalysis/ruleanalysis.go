@@ -1,0 +1,252 @@
+// Package ruleanalysis statically analyzes customization rule sets: the
+// compile/install-time counterpart of the active engine's run-time guards.
+//
+// The paper's contract is that for any context <user class, application
+// domain> exactly ONE most-specific customization rule fires, and that
+// reaction cascades terminate. The engine enforces neither statically: it
+// breaks full ties deterministically (by rule name) and cuts runaway
+// cascades at MaxCascade — both run-time discoveries of what are really
+// rule-base authoring errors. This package proves the properties over the
+// rule set itself, before any event is dispatched:
+//
+//   - termination: a triggering graph is built from each rule's declared
+//     Emits patterns (which events its reaction action may emit) and every
+//     cycle is reported with the full rule path;
+//   - ambiguity: two customization rules with equal specificity and equal
+//     priority whose patterns can match the same event — the case the
+//     engine resolves only by the name tiebreak;
+//   - shadowing: a rule that can never be the most-specific match for any
+//     event it triggers on, because a covering rule always outranks it.
+//
+// The analysis is deliberately conservative where rules are opaque: a When
+// predicate cannot be inspected, so findings that depend on one are
+// downgraded to warnings rather than suppressed. The triggering graph
+// assumes cascades preserve the interaction context (an emitted event
+// carries the context of the event that triggered the emitter), which holds
+// for every reaction family in this repository; a reaction that fabricates
+// an unrelated context escapes the context-overlap pruning but is still
+// covered by the kind/scope edges.
+//
+// The package depends only on internal/event and internal/obs so that both
+// the engine (Engine.CheckSet) and the compiler (strict Install) can layer
+// on top of it without import cycles.
+package ruleanalysis
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/event"
+)
+
+// Position locates a diagnostic in a source file. The zero value means "no
+// position" (hand-written rules installed programmatically).
+type Position struct {
+	File string `json:"file,omitempty"`
+	Line int    `json:"line,omitempty"`
+	Col  int    `json:"col,omitempty"`
+}
+
+// IsZero reports whether the position is unset.
+func (p Position) IsZero() bool { return p == Position{} }
+
+// String renders "file:line:col" (components omitted when unset).
+func (p Position) String() string {
+	switch {
+	case p.IsZero():
+		return ""
+	case p.File == "" && p.Line == 0:
+		return ""
+	case p.File == "":
+		return fmt.Sprintf("%d:%d", p.Line, p.Col)
+	case p.Line == 0:
+		return p.File
+	default:
+		return fmt.Sprintf("%s:%d:%d", p.File, p.Line, p.Col)
+	}
+}
+
+// Severity grades a finding.
+type Severity int8
+
+// Severities, in ascending order.
+const (
+	SeverityInfo Severity = iota
+	SeverityWarning
+	SeverityError
+)
+
+// String names the severity.
+func (s Severity) String() string {
+	switch s {
+	case SeverityInfo:
+		return "info"
+	case SeverityWarning:
+		return "warning"
+	case SeverityError:
+		return "error"
+	default:
+		return fmt.Sprintf("Severity(%d)", int8(s))
+	}
+}
+
+// MarshalJSON renders the severity as its name.
+func (s Severity) MarshalJSON() ([]byte, error) {
+	return []byte(fmt.Sprintf("%q", s.String())), nil
+}
+
+// ParseSeverity resolves a severity name.
+func ParseSeverity(name string) (Severity, bool) {
+	switch name {
+	case "info":
+		return SeverityInfo, true
+	case "warning":
+		return SeverityWarning, true
+	case "error":
+		return SeverityError, true
+	default:
+		return 0, false
+	}
+}
+
+// Check names for findings (the `check` label of gis_lint_findings_total).
+const (
+	CheckCycle            = "cycle"
+	CheckAmbiguity        = "ambiguity"
+	CheckShadowing        = "shadowing"
+	CheckDuplicateContext = "duplicate-context"
+	CheckConflict         = "conflict"
+)
+
+// Finding is one diagnostic produced by the analyzer.
+type Finding struct {
+	// Check identifies which analysis produced the finding.
+	Check string `json:"check"`
+	// Severity grades it; gislint's exit status keys off the worst one.
+	Severity Severity `json:"severity"`
+	// Rules names the rules (or directives) involved. For cycles this is
+	// the full triggering path, first rule repeated at the end.
+	Rules []string `json:"rules,omitempty"`
+	// Pos anchors the finding in source, when the rules came from a
+	// directive file.
+	Pos Position `json:"pos"`
+	// Message is the human diagnostic.
+	Message string `json:"message"`
+}
+
+// String renders the finding as "pos: severity: check: message".
+func (f Finding) String() string {
+	prefix := ""
+	if s := f.Pos.String(); s != "" {
+		prefix = s + ": "
+	}
+	return fmt.Sprintf("%s%s: %s: %s", prefix, f.Severity, f.Check, f.Message)
+}
+
+// RuleInfo is the analyzable shape of an active rule: everything about it
+// except the opaque action funcs. active.Engine.CheckSet converts installed
+// rules into these; gislint additionally loads them from JSON manifests for
+// hand-written reaction rule sets.
+type RuleInfo struct {
+	Name   string `json:"name"`
+	Family string `json:"family"` // "customization", "constraint", "reaction"
+	On     event.Kind
+	Schema string `json:"schema,omitempty"`
+	Class  string `json:"class,omitempty"`
+	Attr   string `json:"attr,omitempty"`
+	// Context is the rule's condition pattern.
+	Context event.Context `json:"context"`
+	// Priority breaks specificity ties.
+	Priority int `json:"priority,omitempty"`
+	// HasWhen marks an opaque extra predicate; findings involving such a
+	// rule are downgraded to warnings.
+	HasWhen bool `json:"when,omitempty"`
+	// Emits declares the event patterns the rule's reaction may emit —
+	// the triggering-graph edges out of this rule.
+	Emits []event.Pattern `json:"emits,omitempty"`
+	// Pos locates the rule's source, when known.
+	Pos Position `json:"pos"`
+}
+
+// FamilyCustomization is the family name of customization rules as reported
+// by active.Family.String; the ambiguity and shadowing checks apply only to
+// this family (other families run all matches by design).
+const FamilyCustomization = "customization"
+
+// Specificity is the selection score the engine uses to pick the single
+// winning customization rule: context specificity (user > category >
+// application > extras) dominating event-scope narrowness. The engine's
+// Rule.specificity delegates here so the analyzer can never drift from the
+// dispatcher.
+func Specificity(ctx event.Context, schema, class, attr string) int {
+	s := ctx.Specificity() * 8
+	if schema != "" {
+		s += 4
+	}
+	if class != "" {
+		s += 2
+	}
+	if attr != "" {
+		s++
+	}
+	return s
+}
+
+func (r *RuleInfo) specificity() int {
+	return Specificity(r.Context, r.Schema, r.Class, r.Attr)
+}
+
+// CheckRules runs every rule-level check over the set and returns the
+// findings sorted for stable output. The input is not mutated.
+func CheckRules(rules []RuleInfo) []Finding {
+	rs := append([]RuleInfo(nil), rules...)
+	sort.Slice(rs, func(i, j int) bool { return rs[i].Name < rs[j].Name })
+	var fs []Finding
+	fs = append(fs, checkAmbiguity(rs)...)
+	fs = append(fs, checkShadowing(rs)...)
+	fs = append(fs, checkCycles(rs)...)
+	Sort(fs)
+	return fs
+}
+
+// Sort orders findings by position, then check, then message.
+func Sort(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.Pos.File != b.Pos.File {
+			return a.Pos.File < b.Pos.File
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Col != b.Pos.Col {
+			return a.Pos.Col < b.Pos.Col
+		}
+		if a.Check != b.Check {
+			return a.Check < b.Check
+		}
+		return a.Message < b.Message
+	})
+}
+
+// MaxSeverity returns the worst severity present; ok is false for an empty
+// finding list.
+func MaxSeverity(fs []Finding) (worst Severity, ok bool) {
+	for _, f := range fs {
+		if !ok || f.Severity > worst {
+			worst, ok = f.Severity, true
+		}
+	}
+	return worst, ok
+}
+
+// WriteText prints one finding per line.
+func WriteText(w io.Writer, fs []Finding) error {
+	for _, f := range fs {
+		if _, err := fmt.Fprintln(w, f.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

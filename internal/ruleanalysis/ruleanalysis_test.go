@@ -1,0 +1,272 @@
+package ruleanalysis
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/event"
+)
+
+func cust(name string, ctx event.Context) RuleInfo {
+	return RuleInfo{Name: name, Family: FamilyCustomization, On: event.GetSchema, Context: ctx}
+}
+
+func reaction(name string, on event.Kind, emits ...event.Pattern) RuleInfo {
+	return RuleInfo{Name: name, Family: "reaction", On: on, Emits: emits}
+}
+
+func findChecks(fs []Finding) []string {
+	var cs []string
+	for _, f := range fs {
+		cs = append(cs, f.Check)
+	}
+	return cs
+}
+
+func TestPositionString(t *testing.T) {
+	cases := []struct {
+		p    Position
+		want string
+	}{
+		{Position{}, ""},
+		{Position{File: "f.cust"}, "f.cust"},
+		{Position{Line: 3, Col: 7}, "3:7"},
+		{Position{File: "f.cust", Line: 3, Col: 7}, "f.cust:3:7"},
+	}
+	for _, c := range cases {
+		if got := c.p.String(); got != c.want {
+			t.Errorf("%+v.String() = %q, want %q", c.p, got, c.want)
+		}
+	}
+}
+
+func TestSeverity(t *testing.T) {
+	for _, s := range []Severity{SeverityInfo, SeverityWarning, SeverityError} {
+		got, ok := ParseSeverity(s.String())
+		if !ok || got != s {
+			t.Errorf("ParseSeverity(%q) = %v, %v", s.String(), got, ok)
+		}
+	}
+	if _, ok := ParseSeverity("fatal"); ok {
+		t.Error("ParseSeverity accepted unknown name")
+	}
+	b, err := SeverityError.MarshalJSON()
+	if err != nil || string(b) != `"error"` {
+		t.Errorf("MarshalJSON = %s, %v", b, err)
+	}
+}
+
+func TestFindingString(t *testing.T) {
+	f := Finding{
+		Check:    CheckAmbiguity,
+		Severity: SeverityError,
+		Pos:      Position{File: "x.cust", Line: 2, Col: 1},
+		Message:  "boom",
+	}
+	if got := f.String(); got != "x.cust:2:1: error: ambiguity: boom" {
+		t.Errorf("String() = %q", got)
+	}
+	f.Pos = Position{}
+	if got := f.String(); got != "error: ambiguity: boom" {
+		t.Errorf("no-pos String() = %q", got)
+	}
+}
+
+func TestAmbiguity(t *testing.T) {
+	ctx := event.Context{Category: "novice"}
+	fs := CheckRules([]RuleInfo{cust("a", ctx), cust("b", ctx)})
+	if len(fs) != 1 || fs[0].Check != CheckAmbiguity || fs[0].Severity != SeverityError {
+		t.Fatalf("findings = %+v", fs)
+	}
+	if !strings.Contains(fs[0].Message, `"a" wins`) {
+		t.Errorf("message should name the tiebreak winner: %s", fs[0].Message)
+	}
+
+	// A When predicate downgrades to a warning.
+	withWhen := cust("b", ctx)
+	withWhen.HasWhen = true
+	fs = CheckRules([]RuleInfo{cust("a", ctx), withWhen})
+	if len(fs) != 1 || fs[0].Severity != SeverityWarning {
+		t.Fatalf("with When: findings = %+v", fs)
+	}
+
+	// Different priority: no ambiguity (but shadowing, since the patterns
+	// are identical and one always outranks).
+	hi := cust("b", ctx)
+	hi.Priority = 1
+	fs = CheckRules([]RuleInfo{cust("a", ctx), hi})
+	if got := findChecks(fs); len(got) != 1 || got[0] != CheckShadowing {
+		t.Fatalf("priority-differing pair: checks = %v", got)
+	}
+
+	// Disjoint contexts never collide.
+	fs = CheckRules([]RuleInfo{
+		cust("a", event.Context{Category: "novice"}),
+		cust("b", event.Context{Category: "expert"}),
+	})
+	if len(fs) != 0 {
+		t.Fatalf("disjoint contexts: findings = %+v", fs)
+	}
+
+	// Different event kinds never collide.
+	other := cust("b", ctx)
+	other.On = event.GetClass
+	fs = CheckRules([]RuleInfo{cust("a", ctx), other})
+	if len(fs) != 0 {
+		t.Fatalf("different kinds: findings = %+v", fs)
+	}
+}
+
+func TestShadowing(t *testing.T) {
+	ctx := event.Context{User: "ann"}
+	low := cust("low", ctx)
+	high := cust("high", ctx)
+	high.Priority = 3
+	fs := CheckRules([]RuleInfo{low, high})
+	if len(fs) != 1 || fs[0].Check != CheckShadowing || fs[0].Severity != SeverityWarning {
+		t.Fatalf("findings = %+v", fs)
+	}
+	if len(fs[0].Rules) != 2 || fs[0].Rules[0] != "low" || fs[0].Rules[1] != "high" {
+		t.Fatalf("rules = %v", fs[0].Rules)
+	}
+
+	// A When on the would-be dominator blocks the coverage claim.
+	guarded := high
+	guarded.HasWhen = true
+	fs = CheckRules([]RuleInfo{low, guarded})
+	if len(fs) != 0 {
+		t.Fatalf("guarded dominator: findings = %+v", fs)
+	}
+
+	// A dominator with a *narrower* context does not cover (it scores
+	// higher but misses events the broad rule accepts).
+	broad := cust("broad", event.Context{Category: "novice"})
+	narrow := cust("narrow", event.Context{Category: "novice", User: "ann"})
+	fs = CheckRules([]RuleInfo{broad, narrow})
+	if len(fs) != 0 {
+		t.Fatalf("narrower context: findings = %+v", fs)
+	}
+}
+
+func TestCoverHelpers(t *testing.T) {
+	if !contextsOverlap(event.Context{User: "a"}, event.Context{Category: "c"}) {
+		t.Error("orthogonal pins should overlap")
+	}
+	if contextsOverlap(event.Context{User: "a"}, event.Context{User: "b"}) {
+		t.Error("conflicting user pins should not overlap")
+	}
+	if !contextCovers(event.Context{}, event.Context{User: "a"}) {
+		t.Error("wildcard should cover any context")
+	}
+	if contextCovers(event.Context{User: "a"}, event.Context{}) {
+		t.Error("pinned should not cover wildcard")
+	}
+	if !contextsOverlap(
+		event.Context{Extra: map[string]string{"scale": "1:100"}},
+		event.Context{Extra: map[string]string{"epoch": "1997"}}) {
+		t.Error("distinct extra keys should overlap")
+	}
+	if contextsOverlap(
+		event.Context{Extra: map[string]string{"scale": "1:100"}},
+		event.Context{Extra: map[string]string{"scale": "1:500"}}) {
+		t.Error("conflicting extra values should not overlap")
+	}
+}
+
+func TestCycleDetection(t *testing.T) {
+	// audit -> reaudit -> audit.
+	fs := CheckRules([]RuleInfo{
+		reaction("audit", event.PostUpdate, event.Pattern{Kind: event.External, Name: "audit"}),
+		reaction("reaudit", event.External, event.Pattern{Kind: event.PostUpdate}),
+	})
+	if len(fs) != 1 || fs[0].Check != CheckCycle || fs[0].Severity != SeverityError {
+		t.Fatalf("findings = %+v", fs)
+	}
+	want := []string{"audit", "reaudit", "audit"}
+	if len(fs[0].Rules) != len(want) {
+		t.Fatalf("cycle path = %v, want %v", fs[0].Rules, want)
+	}
+	for i := range want {
+		if fs[0].Rules[i] != want[i] {
+			t.Fatalf("cycle path = %v, want %v", fs[0].Rules, want)
+		}
+	}
+
+	// Self-loop.
+	fs = CheckRules([]RuleInfo{
+		reaction("loop", event.External, event.Pattern{Kind: event.External}),
+	})
+	if len(fs) != 1 || fs[0].Check != CheckCycle {
+		t.Fatalf("self-loop findings = %+v", fs)
+	}
+
+	// A chain without a back edge is fine.
+	fs = CheckRules([]RuleInfo{
+		reaction("first", event.PostInsert, event.Pattern{Kind: event.External, Name: "next"}),
+		reaction("second", event.External),
+	})
+	if len(fs) != 0 {
+		t.Fatalf("acyclic chain: findings = %+v", fs)
+	}
+
+	// Disjoint contexts prune the cross edge (the self-loop stays: a rule's
+	// emission can always retrigger itself when kind and scope agree).
+	a := reaction("a", event.External, event.Pattern{Kind: event.External})
+	a.Context = event.Context{Application: "cadastral"}
+	b := reaction("b", event.External)
+	b.Context = event.Context{Application: "network"}
+	g := BuildTriggerGraph([]RuleInfo{a, b})
+	if !g.hasEdge(0, 0) {
+		t.Error("self edge a -> a missing")
+	}
+	if g.hasEdge(0, 1) {
+		t.Error("edge a -> b should be pruned by disjoint contexts")
+	}
+
+	// A When on the path downgrades to warning.
+	guarded := reaction("guarded", event.External, event.Pattern{Kind: event.External})
+	guarded.HasWhen = true
+	fs = CheckRules([]RuleInfo{guarded})
+	if len(fs) != 1 || fs[0].Severity != SeverityWarning {
+		t.Fatalf("guarded cycle: findings = %+v", fs)
+	}
+}
+
+func TestMaxSeverityAndSort(t *testing.T) {
+	if _, ok := MaxSeverity(nil); ok {
+		t.Error("MaxSeverity(nil) should report no findings")
+	}
+	fs := []Finding{
+		{Check: "b", Severity: SeverityWarning, Pos: Position{File: "z.cust", Line: 1}},
+		{Check: "a", Severity: SeverityError, Pos: Position{File: "a.cust", Line: 9}},
+	}
+	worst, ok := MaxSeverity(fs)
+	if !ok || worst != SeverityError {
+		t.Fatalf("MaxSeverity = %v, %v", worst, ok)
+	}
+	Sort(fs)
+	if fs[0].Pos.File != "a.cust" {
+		t.Fatalf("sort order = %+v", fs)
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(buf.String()) != "[]" {
+		t.Fatalf("empty findings JSON = %q", buf.String())
+	}
+	buf.Reset()
+	if err := WriteJSON(&buf, []Finding{{Check: CheckCycle, Severity: SeverityError, Message: "m"}}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{`"check": "cycle"`, `"severity": "error"`, `"message": "m"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("JSON missing %s:\n%s", want, out)
+		}
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"math/rand"
 	"strings"
 
+	"repro/internal/active"
 	"repro/internal/catalog"
 	"repro/internal/event"
 	"repro/internal/geodb"
@@ -287,6 +288,54 @@ class Pole display
       from get_supplier_name(pole_supplier)
     display attribute pole_location as Null
 `
+
+// AmbiguousSource is a directive file whose two directives target the same
+// context with equal priority and disagreeing schema displays — the seeded
+// lint corpus for the ambiguity/conflict checks (gislint must reject it).
+const AmbiguousSource = `For category planners application pole_manager
+schema phone_net display as default
+
+For category planners application pole_manager
+schema phone_net display as hierarchy
+`
+
+// ShadowedSource is a directive file whose first directive can never win:
+// the second repeats its context with a higher priority — the seeded lint
+// corpus for the shadowing check.
+const ShadowedSource = `For user juliano application pole_manager
+schema phone_net display as default
+
+For user juliano application pole_manager priority 5
+schema phone_net display as default
+`
+
+// CycleRules returns a pair of reaction rules whose declared emissions
+// trigger each other — the seeded lint corpus for the termination check.
+// Reaction rules are written in Go (directives only compile to
+// customization rules), so this is the programmatic equivalent of the
+// cycle.rules.json manifest gislint consumes.
+func CycleRules() []active.Rule {
+	return []active.Rule{
+		{
+			Name:   "audit",
+			Family: active.FamilyReaction,
+			On:     event.PostUpdate,
+			Emits:  []event.Pattern{{Kind: event.External, Name: "audit"}},
+			React: func(e event.Event, em active.Emitter) error {
+				return em.EmitNested(event.Event{Kind: event.External, Name: "audit", Ctx: e.Ctx})
+			},
+		},
+		{
+			Name:   "reaudit",
+			Family: active.FamilyReaction,
+			On:     event.External,
+			Emits:  []event.Pattern{{Kind: event.PostUpdate}},
+			React: func(e event.Event, em active.Emitter) error {
+				return em.EmitNested(event.Event{Kind: event.PostUpdate, Ctx: e.Ctx})
+			},
+		},
+	}
+}
 
 // Contexts generates n distinct user contexts spread over a few categories
 // and applications — the context population for rule-scaling benches.

@@ -176,3 +176,82 @@ func TestBrowseTrace(t *testing.T) {
 		t.Fatal("no class steps")
 	}
 }
+
+func TestLintCorpus(t *testing.T) {
+	db := mustOpen(t, geodb.Options{})
+	if err := DefineSchema(db); err != nil {
+		t.Fatal(err)
+	}
+	lib, err := StandardLibrary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := &custlang.Analyzer{Cat: db.Catalog(), Lib: lib}
+
+	// The ambiguous pair: the whole-program check flags the conflict, and
+	// the engine-level check flags every generated rule pair as ambiguous.
+	ds, err := custlang.Parse(AmbiguousSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := custlang.CheckProgram(ds)
+	if len(fs) == 0 || fs[0].Check != "conflict" {
+		t.Fatalf("AmbiguousSource program findings = %+v", fs)
+	}
+	en := active.NewEngine()
+	if _, err := a.Install(en, AmbiguousSource); err != nil {
+		t.Fatal(err)
+	}
+	ambiguous := false
+	for _, f := range en.CheckSet() {
+		if f.Check == "ambiguity" {
+			ambiguous = true
+		}
+	}
+	if !ambiguous {
+		t.Fatal("AmbiguousSource produced no ambiguity finding")
+	}
+
+	// The shadowed pair: the lower-priority directive's rule is dead.
+	en = active.NewEngine()
+	if _, err := a.Install(en, ShadowedSource); err != nil {
+		t.Fatal(err)
+	}
+	shadowed := false
+	for _, f := range en.CheckSet() {
+		if f.Check == "shadowing" {
+			shadowed = true
+		}
+	}
+	if !shadowed {
+		t.Fatalf("ShadowedSource produced no shadowing finding: %+v", en.CheckSet())
+	}
+
+	// The cycle pair: CheckSet sees the declared emissions loop.
+	en = active.NewEngine()
+	for _, r := range CycleRules() {
+		if err := en.AddRule(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fs = en.CheckSet()
+	if len(fs) != 1 || fs[0].Check != "cycle" {
+		t.Fatalf("CycleRules findings = %+v", fs)
+	}
+	want := "audit -> reaudit -> audit"
+	if !strings.Contains(fs[0].Message, want) {
+		t.Fatalf("cycle message %q lacks path %q", fs[0].Message, want)
+	}
+
+	// And the runtime agrees: dispatching hits the cascade limit.
+	if err := en.HandleEvent(event.Event{Kind: event.PostUpdate}); err == nil {
+		t.Fatal("cycle ran to completion; expected cascade limit")
+	}
+
+	// Figure 6 stays lint-clean end to end.
+	en = active.NewEngine()
+	a.Strict = true
+	if _, err := a.InstallFile(en, "figure6", Figure6Source); err != nil {
+		t.Fatalf("Figure 6 is not lint-clean: %v", err)
+	}
+}
