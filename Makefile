@@ -3,9 +3,9 @@
 
 GOFILES := $(shell find . -name '*.go' -not -path './.*')
 
-.PHONY: ci fmt vet build test bench fuzz lint
+.PHONY: ci fmt vet build test bench bench-smoke bench-json fuzz lint
 
-ci: fmt vet build lint test fuzz
+ci: fmt vet build lint test bench-smoke fuzz
 
 fmt:
 	@out=$$(gofmt -l $(GOFILES)); \
@@ -44,3 +44,13 @@ fuzz:
 
 bench:
 	go test -run xxx -bench . -benchmem .
+
+# One iteration of every benchmark: keeps the bench series compiling and
+# running (not measuring) on every PR.
+bench-smoke:
+	go test -run xxx -bench . -benchtime 1x .
+
+# Machine-readable perf artifact for the concurrent hot paths: decision
+# cache, pipelined client, sharded buffer pool (DESIGN.md §10).
+bench-json:
+	go run ./cmd/gisbench -json BENCH_PR4.json

@@ -11,7 +11,9 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/active"
 	"repro/internal/catalog"
@@ -101,6 +103,11 @@ func ruleEngine(b *testing.B, contexts int, indexed bool) *active.Engine {
 	b.Cleanup(func() { f.Close() })
 	engine := active.NewEngine()
 	engine.Indexed = indexed
+	// These benchmarks measure the candidate scan itself; the decision
+	// cache would collapse the repeated probe into a map hit and hide the
+	// indexed-vs-linear contrast (BenchmarkDispatchCached measures the
+	// cache instead).
+	engine.CacheDecisions = false
 	a := f.Sys.Analyzer()
 	for i, ctx := range workload.Contexts(contexts) {
 		if _, err := a.Install(engine, workload.DirectiveFor(ctx, i)); err != nil {
@@ -546,6 +553,108 @@ func BenchmarkObsDisabledOverhead(b *testing.B) {
 				b.Fatal(err)
 			}
 			engine.TakeCustomization(probe)
+		}
+	})
+}
+
+// --- PR 4: decision cache, pipelined client, sharded pool -------------------
+
+// benchDispatchFigure6 measures one dispatch of the Figure 6 schema
+// decision against an engine that also carries a population of
+// category-scoped background rules (a shared installation). The cached and
+// uncached variants are identical except for Engine.CacheDecisions.
+func benchDispatchFigure6(b *testing.B, cached bool) {
+	d, err := experiments.NewDispatchBench(cached)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { d.Close() })
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := d.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDispatchCached(b *testing.B)   { benchDispatchFigure6(b, true) }
+func BenchmarkDispatchUncached(b *testing.B) { benchDispatchFigure6(b, false) }
+
+// BenchmarkClientPipelined measures requests through ONE multiplexed client
+// connection against a real pipelined server.Server over TCP, with the
+// backend paying ~200µs of simulated DBMS latency per request. depth is the
+// number of concurrent callers; depth=1 is the old lockstep behavior.
+func BenchmarkClientPipelined(b *testing.B) {
+	p, err := experiments.NewPipelineBench(200 * time.Microsecond)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(p.Close)
+	for _, depth := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			if err := p.Do(depth, b.N); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// BenchmarkPoolSharded contrasts the single-mutex buffer pool with the
+// striped one under concurrent Fetch/Unpin traffic (more pages than frames,
+// so the replacement policy stays busy).
+func BenchmarkPoolSharded(b *testing.B) {
+	for _, shards := range []int{1, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			p, err := experiments.NewPoolBench(256, 512, shards)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(func() { p.Close() })
+			var seq atomic.Int64
+			b.SetParallelism(4)
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := int(seq.Add(1)) * 131
+				for pb.Next() {
+					if err := p.Step(i); err != nil {
+						b.Error(err)
+						return
+					}
+					i += 13
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkFigure4DefaultWindowsParallel is Figure 4 with concurrent
+// sessions: the engine's RLock'd candidate scan, the decision cache and the
+// sharded pool all see simultaneous readers.
+func BenchmarkFigure4DefaultWindowsParallel(b *testing.B) {
+	f := experiments.MustFixture(16, 1, false)
+	defer f.Close()
+	b.SetParallelism(4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			s := f.Sys.NewSession(experiments.MariaCtx)
+			if err := s.Connect(); err != nil {
+				b.Error(err)
+				return
+			}
+			if _, err := s.OpenSchema(workload.SchemaName); err != nil {
+				b.Error(err)
+				return
+			}
+			if _, err := s.OpenInstance(f.Net.Poles[0]); err != nil {
+				b.Error(err)
+				return
+			}
 		}
 	})
 }

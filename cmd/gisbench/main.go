@@ -27,8 +27,29 @@ func main() {
 		list    = flag.Bool("list", false, "list experiments")
 		quick   = flag.Bool("quick", false, "reduced sizes for fast runs")
 		metrics = flag.Bool("metrics", false, "print the metrics delta after each experiment")
+		jsonOut = flag.String("json", "", "run the PR-4 perf series (decision cache, pipelined client, sharded pool) and write machine-readable results to this file")
 	)
 	flag.Parse()
+
+	if *jsonOut != "" {
+		rep, err := experiments.WritePerfJSON(*jsonOut, *quick)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gisbench: perf series failed: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n\n", *jsonOut)
+		fmt.Printf("%-28s %14s %12s %12s\n", "benchmark", "ns/op", "allocs/op", "B/op")
+		for _, r := range rep.Results {
+			fmt.Printf("%-28s %14.0f %12d %12d\n", r.Name, r.NsPerOp, r.AllocsPerOp, r.BytesPerOp)
+		}
+		fmt.Println()
+		for _, k := range []string{"dispatch_cached_speedup", "pipeline_depth16_speedup", "pool_sharded_speedup"} {
+			if v, ok := rep.Ratios[k]; ok {
+				fmt.Printf("%-28s %14.2fx\n", k, v)
+			}
+		}
+		return
+	}
 
 	if *list || *expFlag == "" {
 		fmt.Println("experiments:")

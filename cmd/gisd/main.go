@@ -34,6 +34,7 @@ func main() {
 		idle       = flag.Duration("idle-timeout", 5*time.Minute, "disconnect clients idle longer than this (0 = never)")
 		maxConns   = flag.Int("max-conns", 0, "maximum concurrent client connections (0 = unlimited)")
 		drain      = flag.Duration("drain", 10*time.Second, "graceful-shutdown deadline for in-flight requests")
+		pipeline   = flag.Int("pipeline", 1, "max concurrent requests per connection (1 = sequential, pre-pipelining behavior)")
 	)
 	flag.Parse()
 
@@ -112,6 +113,7 @@ func main() {
 	srv := sys.NewServer()
 	srv.IdleTimeout = *idle
 	srv.MaxConns = *maxConns
+	srv.PipelineDepth = *pipeline
 	srv.Logf = func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, "gisd: "+format+"\n", args...)
 	}

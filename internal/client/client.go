@@ -4,11 +4,16 @@
 // in-process (strong integration) or remote (weak integration) — exactly the
 // adaptability §3.5 argues for.
 //
-// The transport is fault-tolerant: requests carry optional deadlines, a
-// RetryPolicy re-issues idempotent retrieval verbs with exponential backoff
-// and jitter, a dial function lets the client reconnect so it survives
-// server restarts, and any framing or ID-mismatch error poisons the
-// connection — a desynchronized stream is closed and never reused. Retries,
+// The transport is fault-tolerant and pipelined. Concurrent callers share
+// one connection: each request carries a unique proto.Request.ID, a single
+// reader goroutine demultiplexes responses back to their waiters, and writes
+// are serialized per frame — so N sessions multiplexed over one link wait on
+// the DBMS, not on each other (DESIGN.md §10). Requests carry optional
+// deadlines, a RetryPolicy re-issues idempotent retrieval verbs with
+// exponential backoff and jitter, a dial function lets the client reconnect
+// so it survives server restarts, and any framing or ID-mismatch error
+// poisons the connection — a desynchronized stream is closed, every
+// in-flight request on it fails fast, and it is never reused. Retries,
 // reconnects, timeouts and poisonings are counted in the internal/obs
 // registry and therefore appear in the STATS verb snapshot.
 package client
@@ -19,6 +24,7 @@ import (
 	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/catalog"
@@ -95,9 +101,10 @@ type Options struct {
 	// through it after any transport failure, surviving server restarts.
 	// Nil means the client is pinned to one fixed connection.
 	Dial func() (net.Conn, error)
-	// Timeout bounds one request round trip (write + read). Zero disables.
-	// A timed-out connection is poisoned: the late response would
-	// desynchronize the stream, so it is never read.
+	// Timeout bounds one request round trip (write + wait for the matching
+	// response). Zero disables. A timed-out connection is poisoned: the
+	// late response would desynchronize the demultiplexer's view of the
+	// stream, so the whole session is discarded.
 	Timeout time.Duration
 	// Retry shapes transparent retries of idempotent verbs.
 	Retry RetryPolicy
@@ -106,17 +113,42 @@ type Options struct {
 	Seed int64
 }
 
-// Client speaks the protocol over one connection. Requests are serialized
-// by a mutex: a UI session issues one interaction at a time, and sharing a
-// client across sessions just queues them.
+// result is what a waiter receives from the reader goroutine.
+type result struct {
+	resp proto.Response
+	err  error
+}
+
+// session is one live connection plus its demultiplexer state. A session is
+// created on (re)connect and discarded wholesale on any transport failure;
+// the Client above it survives and dials a fresh session.
+type session struct {
+	conn net.Conn
+	// writeMu serializes frame writes; requests from concurrent callers
+	// interleave at frame granularity, which is all the framing needs.
+	writeMu sync.Mutex
+
+	mu      sync.Mutex
+	pending map[uint64]chan result // in-flight requests by ID
+	closed  bool
+	err     error // the teardown cause, served to late arrivals
+}
+
+// Client speaks the protocol over one connection, pipelined: concurrent
+// callers issue requests without queueing behind each other's round trips.
+// All methods are safe for concurrent use.
 type Client struct {
 	mu     sync.Mutex
-	conn   net.Conn
-	next   uint64
+	sess   *session
+	conn   net.Conn // pre-established conn not yet wrapped in a session
 	opts   Options
-	rng    *rand.Rand
 	dialed bool // a first connection existed; later dials are reconnects
 	closed bool
+
+	next atomic.Uint64 // request ID source, unique across sessions
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
 }
 
 // Dial connects to a TCP server with no timeout and no retries — the
@@ -133,9 +165,7 @@ func DialOptions(addr string, opts Options) (*Client, error) {
 		opts.Dial = func() (net.Conn, error) { return net.Dial("tcp", addr) }
 	}
 	c := New(opts)
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if err := c.ensureConn(); err != nil {
+	if _, err := c.ensureSession(); err != nil {
 		return nil, fmt.Errorf("client: dial %s: %w", addr, err)
 	}
 	return c, nil
@@ -165,47 +195,118 @@ func NewClientOptions(conn net.Conn, opts Options) *Client {
 	return c
 }
 
-// Close closes the connection; further requests fail with ErrClosed.
+// Close closes the connection and fails any in-flight requests with
+// ErrClosed; further requests fail with ErrClosed.
 func (c *Client) Close() error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.closed = true
-	if c.conn == nil {
-		return nil
-	}
-	err := c.conn.Close()
+	s := c.sess
+	conn := c.conn
 	c.conn = nil
-	return err
-}
-
-// ensureConn dials when the connection is gone. Caller holds c.mu.
-func (c *Client) ensureConn() error {
-	if c.conn != nil {
-		return nil
+	c.mu.Unlock()
+	if s != nil {
+		c.teardown(s, ErrClosed, false)
 	}
-	if c.opts.Dial == nil {
-		return errNotConnected
+	if conn != nil {
+		return conn.Close()
 	}
-	conn, err := c.opts.Dial()
-	if err != nil {
-		return err
-	}
-	c.conn = conn
-	if c.dialed {
-		mReconnects.Inc()
-	}
-	c.dialed = true
 	return nil
 }
 
-// poison closes and forgets the connection: after a framing error, timeout
-// or ID mismatch the stream position is undefined, and reusing it could pair
-// a response with the wrong request. Caller holds c.mu.
-func (c *Client) poison() {
-	if c.conn != nil {
-		c.conn.Close()
-		c.conn = nil
+// ensureSession returns the live session, dialing a new connection and
+// starting its reader when none exists.
+func (c *Client) ensureSession() (*session, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, ErrClosed
+	}
+	if c.sess != nil {
+		return c.sess, nil
+	}
+	conn := c.conn
+	c.conn = nil
+	if conn == nil {
+		if c.opts.Dial == nil {
+			return nil, errNotConnected
+		}
+		var err error
+		conn, err = c.opts.Dial()
+		if err != nil {
+			return nil, err
+		}
+		if c.dialed {
+			mReconnects.Inc()
+		}
+	}
+	c.dialed = true
+	s := &session{conn: conn, pending: make(map[uint64]chan result)}
+	c.sess = s
+	go c.readLoop(s)
+	return s, nil
+}
+
+// teardown retires a session: the connection is closed, every in-flight
+// request fails fast with err, and the client forgets the session so the
+// next request dials fresh. Idempotent — only the first caller wins, so a
+// clean Close (poison=false) racing the reader never inflates the poison
+// counter. poison marks streams whose position became untrustworthy
+// (framing error, timeout, ID desync).
+func (c *Client) teardown(s *session, err error, poison bool) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.err = err
+	pending := s.pending
+	s.pending = nil
+	s.mu.Unlock()
+
+	s.conn.Close()
+	if poison {
 		mPoisoned.Inc()
+	}
+	for _, ch := range pending {
+		ch <- result{err: err}
+	}
+	c.mu.Lock()
+	if c.sess == s {
+		c.sess = nil
+	}
+	c.mu.Unlock()
+}
+
+// readLoop is the session's demultiplexer: it owns the read side of the
+// connection, routing each response to the waiter registered under its ID.
+// Any read failure or unmatched ID retires the whole session.
+func (c *Client) readLoop(s *session) {
+	for {
+		var resp proto.Response
+		if err := proto.ReadMessage(s.conn, &resp); err != nil {
+			// If teardown already ran (Close, timeout, write failure) this
+			// is the reader observing its own closed conn: a no-op.
+			c.teardown(s, fmt.Errorf("client: connection lost: %w", err), true)
+			return
+		}
+		s.mu.Lock()
+		ch, ok := s.pending[resp.ID]
+		if ok {
+			delete(s.pending, resp.ID)
+		}
+		closed := s.closed
+		s.mu.Unlock()
+		if !ok {
+			if closed {
+				return // late response racing a concurrent teardown
+			}
+			// An ID we never sent (or already satisfied) proves the stream
+			// is desynchronized: nothing read from it can be trusted.
+			c.teardown(s, fmt.Errorf("client: response id %d matches no in-flight request", resp.ID), true)
+			return
+		}
+		ch <- result{resp: resp}
 	}
 }
 
@@ -228,8 +329,6 @@ func transient(err error) bool {
 }
 
 func (c *Client) roundTrip(req proto.Request) (proto.Response, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	attempts := 1
 	if retryable(req.Op) && c.opts.Retry.MaxAttempts > 1 {
 		attempts = c.opts.Retry.MaxAttempts
@@ -238,12 +337,10 @@ func (c *Client) roundTrip(req proto.Request) (proto.Response, error) {
 	for attempt := 1; attempt <= attempts; attempt++ {
 		if attempt > 1 {
 			mRetries.Inc()
+			c.rngMu.Lock()
 			delay := c.opts.Retry.backoff(attempt-1, c.rng)
-			// Sleep outside the lock so other goroutines sharing the
-			// client are not serialized behind this backoff.
-			c.mu.Unlock()
+			c.rngMu.Unlock()
 			time.Sleep(delay)
-			c.mu.Lock()
 		}
 		resp, err := c.attempt(&req)
 		if err == nil {
@@ -257,51 +354,70 @@ func (c *Client) roundTrip(req proto.Request) (proto.Response, error) {
 	return proto.Response{}, lastErr
 }
 
-// attempt performs one wire exchange. Caller holds c.mu. Any transport
-// failure poisons the connection so the next attempt reconnects.
+// attempt performs one pipelined exchange: register a waiter under a fresh
+// ID, write the frame, then block until the reader delivers the matching
+// response (or the deadline/teardown fails it). Concurrent attempts share
+// the session; only the frame write itself is serialized.
 func (c *Client) attempt(req *proto.Request) (proto.Response, error) {
-	if c.closed {
-		return proto.Response{}, ErrClosed
-	}
-	if err := c.ensureConn(); err != nil {
+	s, err := c.ensureSession()
+	if err != nil {
 		return proto.Response{}, err
 	}
-	conn := c.conn
-	if c.opts.Timeout > 0 {
-		conn.SetDeadline(time.Now().Add(c.opts.Timeout))
-	}
-	c.next++
-	req.ID = c.next
-	if err := proto.WriteMessage(conn, *req); err != nil {
-		c.fail(err)
+	id := c.next.Add(1)
+	req.ID = id
+	ch := make(chan result, 1)
+	s.mu.Lock()
+	if s.closed {
+		err := s.err
+		s.mu.Unlock()
 		return proto.Response{}, err
 	}
-	var resp proto.Response
-	if err := proto.ReadMessage(conn, &resp); err != nil {
-		c.fail(err)
-		return proto.Response{}, err
-	}
-	if c.opts.Timeout > 0 {
-		conn.SetDeadline(time.Time{})
-	}
-	if resp.ID != req.ID {
-		err := fmt.Errorf("client: response id %d for request %d", resp.ID, req.ID)
-		c.poison()
-		return proto.Response{}, err
-	}
-	if resp.Err != "" {
-		return proto.Response{}, fmt.Errorf("%w: %s", proto.ErrRemote, resp.Err)
-	}
-	return resp, nil
-}
+	s.pending[id] = ch
+	s.mu.Unlock()
 
-// fail records a transport error and poisons the connection.
-func (c *Client) fail(err error) {
-	var ne net.Error
-	if errors.As(err, &ne) && ne.Timeout() {
-		mTimeouts.Inc()
+	s.writeMu.Lock()
+	if c.opts.Timeout > 0 {
+		s.conn.SetWriteDeadline(time.Now().Add(c.opts.Timeout))
 	}
-	c.poison()
+	werr := proto.WriteMessage(s.conn, *req)
+	if werr == nil && c.opts.Timeout > 0 {
+		s.conn.SetWriteDeadline(time.Time{})
+	}
+	s.writeMu.Unlock()
+	if werr != nil {
+		var ne net.Error
+		if errors.As(werr, &ne) && ne.Timeout() {
+			mTimeouts.Inc()
+		}
+		// A partial frame leaves the write side desynchronized for every
+		// other in-flight request too: fail them all and start over.
+		c.teardown(s, fmt.Errorf("client: write failed: %w", werr), true)
+		return proto.Response{}, werr
+	}
+
+	var timeoutC <-chan time.Time
+	if c.opts.Timeout > 0 {
+		timer := time.NewTimer(c.opts.Timeout)
+		defer timer.Stop()
+		timeoutC = timer.C
+	}
+	select {
+	case res := <-ch:
+		if res.err != nil {
+			return proto.Response{}, res.err
+		}
+		if res.resp.Err != "" {
+			return proto.Response{}, fmt.Errorf("%w: %s", proto.ErrRemote, res.resp.Err)
+		}
+		return res.resp, nil
+	case <-timeoutC:
+		mTimeouts.Inc()
+		terr := fmt.Errorf("client: request %d timed out after %v", id, c.opts.Timeout)
+		// The response may still arrive later; reading past it is not an
+		// option (it could pair with a future request), so poison.
+		c.teardown(s, terr, true)
+		return proto.Response{}, terr
+	}
 }
 
 // Connect implements ui.Backend.

@@ -256,3 +256,40 @@ func TestInstallDirectivesStrict(t *testing.T) {
 		t.Fatalf("non-strict install: %v", err)
 	}
 }
+
+// TestStrictRollbackBumpsEpoch: a failed strict install adds rules and then
+// removes them again; both halves are rule mutations, so the engine's
+// decision-cache epoch must advance and no stale winner may be served
+// across the rollback.
+func TestStrictRollbackBumpsEpoch(t *testing.T) {
+	sys, _ := testSystem(t)
+	defer sys.Close()
+	if _, err := sys.InstallDirectivesStrict("figure6", workload.Figure6Source); err != nil {
+		t.Fatal(err)
+	}
+
+	// Warm the decision cache for the Figure 6 schema event.
+	s := sys.NewSession(Context("juliano", "", "pole_manager"))
+	if err := s.Connect(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.OpenSchema(workload.SchemaName); err != nil {
+		t.Fatal(err)
+	}
+
+	before := sys.Engine.Epoch()
+	if _, err := sys.InstallDirectivesStrict("amb.cust", workload.AmbiguousSource); !errors.Is(err, custlang.ErrRuleSet) {
+		t.Fatalf("strict install of ambiguous pair: %v", err)
+	}
+	if after := sys.Engine.Epoch(); after <= before {
+		t.Fatalf("epoch %d -> %d: rollback did not invalidate the cache", before, after)
+	}
+	// The rolled-back rule set still answers like the original.
+	win, err := s.OpenSchema(workload.SchemaName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if win.Prop("visible") != "false" {
+		t.Fatal("Figure 6 customization lost across the rollback")
+	}
+}

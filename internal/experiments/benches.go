@@ -55,6 +55,9 @@ func RunB1(w io.Writer, quick bool) error {
 		build := func(indexed bool) (*active.Engine, error) {
 			engine := active.NewEngine()
 			engine.Indexed = indexed
+			// B1 contrasts lookup strategies; the decision cache would
+			// collapse the repeated probe into one scan and hide them.
+			engine.CacheDecisions = false
 			a := f.Sys.Analyzer()
 			for i, ctx := range workload.Contexts(n) {
 				if _, err := a.Install(engine, workload.DirectiveFor(ctx, i)); err != nil {

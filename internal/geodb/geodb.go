@@ -33,6 +33,10 @@ type Options struct {
 	Name string
 	// PoolSize is the buffer pool capacity in pages; 0 means 256.
 	PoolSize int
+	// PoolShards stripes the buffer pool across this many locks (see
+	// storage.NewShardedBufferPool); 0 or 1 keeps the classic single-shard
+	// pool with one global capacity.
+	PoolShards int
 	// Policy selects the buffer replacement policy.
 	Policy storage.ReplacementPolicy
 	// Path, when non-empty, stores pages in a file; otherwise in memory.
@@ -127,7 +131,11 @@ func Open(opts Options) (*DB, error) {
 	} else {
 		pager = storage.NewMemPager()
 	}
-	pool := storage.NewBufferPool(pager, poolSize, opts.Policy)
+	shards := opts.PoolShards
+	if shards < 1 {
+		shards = 1
+	}
+	pool := storage.NewShardedBufferPool(pager, poolSize, opts.Policy, shards)
 	name := opts.Name
 	if name == "" {
 		name = "GEO"

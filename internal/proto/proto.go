@@ -9,6 +9,15 @@
 // primitive carries the (data, presentation) pair: the query result plus the
 // customization the server-side active mechanism selected, so the interface
 // builder on the client needs no second round trip.
+//
+// Requests and responses carry a caller-chosen ID, and a response answers
+// the request with the same ID. Nothing in the framing requires lockstep
+// request/response alternation: both sides may pipeline — a client may have
+// several requests in flight on one connection and a server may answer them
+// out of order (internal/client multiplexes waiters by ID; internal/server
+// bounds per-connection concurrency with Options.PipelineDepth). The wire
+// format itself is unchanged from the sequential protocol; a pipelined peer
+// interoperates with a sequential one.
 package proto
 
 import (

@@ -1,8 +1,11 @@
 // Package server exposes a geographic database (with its active mechanism)
 // over the weak-integration protocol: the DBMS side of §3.5's open-GIS
-// architecture. One Server serves many concurrent UI clients; each
-// connection is handled sequentially, matching the one-interaction-at-a-time
-// nature of a UI session.
+// architecture. One Server serves many concurrent UI clients. By default
+// each connection is handled sequentially, matching the
+// one-interaction-at-a-time nature of a UI session; setting PipelineDepth
+// lets one connection carry several in-flight requests (a pipelined client
+// multiplexing sessions), handled by a bounded worker pool with a single
+// response-writer goroutine (DESIGN.md §10).
 //
 // The transport is fault-tolerant: per-connection idle/write deadlines bound
 // how long a dead peer can hold resources, MaxConns applies accept
@@ -56,11 +59,11 @@ var (
 	mDrains        = obs.Default().Counter("gis_server_drains_total")
 )
 
-// connState tracks whether a connection is between requests (idle) or has
-// one in flight; Shutdown closes idle conns immediately and lets busy ones
-// finish their current response.
+// connState tracks how many requests a connection has in flight (at most
+// one unless PipelineDepth raises it); Shutdown closes idle conns
+// immediately and lets busy ones finish writing their in-flight responses.
 type connState struct {
-	busy bool
+	inflight int
 }
 
 // Server answers protocol requests against a Backend (normally a
@@ -89,6 +92,14 @@ type Server struct {
 	// the server, queues newcomers) until a connection closes. Zero means
 	// unlimited.
 	MaxConns int
+
+	// PipelineDepth caps in-flight requests per connection. 0 or 1 keeps
+	// the sequential read-handle-write loop (one request at a time, exactly
+	// the pre-pipelining behavior). Higher values run up to PipelineDepth
+	// handlers concurrently per connection, with responses funneled through
+	// one writer goroutine; responses may leave in completion order, which
+	// is what proto.Request.ID exists to disambiguate.
+	PipelineDepth int
 
 	// Logf receives connection-level failures; default drops them. Request
 	// errors are returned to the client, not logged.
@@ -253,9 +264,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 			s.listener.Close()
 		}
 		// Idle connections are between requests: nothing to drain, close
-		// them now. Busy ones close themselves after their response.
+		// them now. Busy ones close themselves after their responses.
 		for c, st := range s.conns {
-			if !st.busy {
+			if st.inflight == 0 {
 				c.Close()
 			}
 		}
@@ -299,20 +310,14 @@ func isTimeout(err error) bool {
 }
 
 func (s *Server) serveConn(conn net.Conn, st *connState) {
+	if s.PipelineDepth > 1 {
+		s.serveConnPipelined(conn, st, s.PipelineDepth)
+		return
+	}
 	defer s.unregister(conn)
 	for {
-		if s.IdleTimeout > 0 {
-			conn.SetReadDeadline(time.Now().Add(s.IdleTimeout))
-		}
-		var req proto.Request
-		if err := proto.ReadMessage(conn, &req); err != nil {
-			switch {
-			case isTimeout(err):
-				mIdleTimeouts.Inc()
-				s.Logf("server: idle timeout on %v", conn.RemoteAddr())
-			case !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed):
-				s.Logf("server: read from %v: %v", conn.RemoteAddr(), err)
-			}
+		req, ok := s.readRequest(conn)
+		if !ok {
 			return
 		}
 		s.mu.Lock()
@@ -322,7 +327,7 @@ func (s *Server) serveConn(conn net.Conn, st *connState) {
 			s.mu.Unlock()
 			return
 		}
-		st.busy = true
+		st.inflight = 1
 		s.mu.Unlock()
 
 		resp := s.handle(req)
@@ -333,7 +338,7 @@ func (s *Server) serveConn(conn net.Conn, st *connState) {
 		werr := proto.WriteMessage(conn, resp)
 
 		s.mu.Lock()
-		st.busy = false
+		st.inflight = 0
 		drain := s.draining || s.closed
 		s.mu.Unlock()
 		if werr != nil {
@@ -345,6 +350,105 @@ func (s *Server) serveConn(conn net.Conn, st *connState) {
 		if drain {
 			return // response delivered; the drain takes the conn down
 		}
+	}
+}
+
+// readRequest reads one frame under the idle deadline, logging the reasons
+// a connection ends; ok is false when the connection is done.
+func (s *Server) readRequest(conn net.Conn) (req proto.Request, ok bool) {
+	if s.IdleTimeout > 0 {
+		conn.SetReadDeadline(time.Now().Add(s.IdleTimeout))
+	}
+	if err := proto.ReadMessage(conn, &req); err != nil {
+		switch {
+		case isTimeout(err):
+			mIdleTimeouts.Inc()
+			s.Logf("server: idle timeout on %v", conn.RemoteAddr())
+		case !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed):
+			s.Logf("server: read from %v: %v", conn.RemoteAddr(), err)
+		}
+		return proto.Request{}, false
+	}
+	return req, true
+}
+
+// serveConnPipelined runs one connection with up to depth requests in
+// flight: a reader (this goroutine) admits requests through a semaphore,
+// workers run s.handle concurrently — panic recovery, deadlines and verb
+// accounting all live inside handle, unchanged — and a single writer
+// goroutine serializes response frames so concurrent handlers can never
+// interleave bytes on the wire.
+func (s *Server) serveConnPipelined(conn net.Conn, st *connState, depth int) {
+	defer s.unregister(conn)
+
+	respCh := make(chan proto.Response, depth)
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		failed := false
+		for resp := range respCh {
+			if !failed {
+				if s.WriteTimeout > 0 {
+					conn.SetWriteDeadline(time.Now().Add(s.WriteTimeout))
+				}
+				if werr := proto.WriteMessage(conn, resp); werr != nil {
+					if !errors.Is(werr, net.ErrClosed) {
+						s.Logf("server: write to %v: %v", conn.RemoteAddr(), werr)
+					}
+					// The stream is broken; close so the reader stops
+					// admitting, then keep draining respCh so workers
+					// never block on a dead writer.
+					failed = true
+					conn.Close()
+				}
+			}
+			// The request counts as in flight until its response is out
+			// (or abandoned): Shutdown must not cut a written-but-unsent
+			// response, so the drain close happens here, after the write.
+			s.requestDone(conn, st)
+		}
+	}()
+
+	sem := make(chan struct{}, depth)
+	var wg sync.WaitGroup
+	for {
+		req, ok := s.readRequest(conn)
+		if !ok {
+			break
+		}
+		s.mu.Lock()
+		if s.draining || s.closed {
+			// The drain raced our read: drop the request rather than
+			// answer past the shutdown point.
+			s.mu.Unlock()
+			break
+		}
+		st.inflight++
+		s.mu.Unlock()
+		sem <- struct{}{} // caps concurrent handlers at depth
+		wg.Add(1)
+		go func(req proto.Request) {
+			defer wg.Done()
+			respCh <- s.handle(req)
+			<-sem
+		}(req)
+	}
+	wg.Wait()
+	close(respCh)
+	<-writerDone
+}
+
+// requestDone retires one in-flight pipelined request. During a graceful
+// drain the last response out closes the connection, which unblocks the
+// reader goroutine so the conn can unregister and Shutdown can return.
+func (s *Server) requestDone(conn net.Conn, st *connState) {
+	s.mu.Lock()
+	st.inflight--
+	closeNow := (s.draining || s.closed) && st.inflight == 0
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	if closeNow {
+		conn.Close()
 	}
 }
 

@@ -40,8 +40,10 @@ func (p ReplacementPolicy) String() string {
 	}
 }
 
-// ErrPoolExhausted is returned when every frame is pinned and a new page is
-// requested.
+// ErrPoolExhausted is returned when every frame a page could occupy is
+// pinned and a new page is requested. In a sharded pool the exhaustion is
+// per shard: only the shard the page stripes to can hold it, so its frames
+// are the ones that must free up.
 var ErrPoolExhausted = errors.New("storage: buffer pool exhausted (all frames pinned)")
 
 // PoolStats counts buffer pool traffic. Hits+Misses equals the number of
@@ -60,6 +62,13 @@ func (s PoolStats) HitRatio() float64 {
 	return float64(s.Hits) / float64(total)
 }
 
+func (s *PoolStats) add(o PoolStats) {
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.Evictions += o.Evictions
+	s.Flushes += o.Flushes
+}
+
 type frame struct {
 	id     PageID
 	page   Page
@@ -72,7 +81,24 @@ type frame struct {
 // BufferPool caches pages of a Pager in a fixed number of frames with
 // pin/unpin semantics. All methods are safe for concurrent use; a pinned
 // page's bytes may be read or mutated by the pinning goroutine until Unpin.
+//
+// The pool is striped: frames live in shards keyed by PageID, each shard
+// with its own mutex and replacement state (DESIGN.md §10), so concurrent
+// fetches of pages in different shards never contend. NewBufferPool builds
+// the single-shard pool (the exact pre-sharding semantics, with one global
+// capacity); NewShardedBufferPool stripes the capacity across N shards.
 type BufferPool struct {
+	pager    Pager
+	capacity int
+	policy   ReplacementPolicy
+	shards   []*poolShard
+}
+
+// poolShard is one stripe of the pool: a fixed number of frames with their
+// own lock, replacement state and counters. It is exactly the pre-sharding
+// BufferPool, minus the Pager (shared; Pager implementations are required
+// to be safe for concurrent use, so shards call it in parallel).
+type poolShard struct {
 	mu       sync.Mutex
 	pager    Pager
 	capacity int
@@ -85,30 +111,73 @@ type BufferPool struct {
 }
 
 // NewBufferPool wraps pager with a pool of capacity frames using the given
-// replacement policy. It panics on a non-positive capacity: pool sizing is a
-// construction-time decision.
+// replacement policy, in a single shard (one lock, one global capacity — the
+// classic configuration, and what capacity-precise callers should use). It
+// panics on a non-positive capacity: pool sizing is a construction-time
+// decision.
 func NewBufferPool(pager Pager, capacity int, policy ReplacementPolicy) *BufferPool {
+	return NewShardedBufferPool(pager, capacity, policy, 1)
+}
+
+// NewShardedBufferPool wraps pager with capacity frames striped across
+// shards locks. Shard counts are clamped to [1, capacity] so every shard
+// has at least one frame; the capacity remainder goes to the first shards.
+// Note that striping makes capacity per-shard: a workload that pins more
+// than capacity/shards pages all landing in one shard can see
+// ErrPoolExhausted before the whole pool is pinned.
+func NewShardedBufferPool(pager Pager, capacity int, policy ReplacementPolicy, shards int) *BufferPool {
 	if capacity <= 0 {
 		panic("storage: buffer pool capacity must be positive")
 	}
-	return &BufferPool{
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > capacity {
+		shards = capacity
+	}
+	b := &BufferPool{
 		pager:    pager,
 		capacity: capacity,
 		policy:   policy,
-		frames:   make(map[PageID]*frame, capacity),
-		lru:      list.New(),
+		shards:   make([]*poolShard, shards),
 	}
+	base, rem := capacity/shards, capacity%shards
+	for i := range b.shards {
+		n := base
+		if i < rem {
+			n++
+		}
+		b.shards[i] = &poolShard{
+			pager:    pager,
+			capacity: n,
+			policy:   policy,
+			frames:   make(map[PageID]*frame, n),
+			lru:      list.New(),
+		}
+	}
+	return b
 }
 
-// Stats returns a snapshot of the pool counters.
+func (b *BufferPool) shardFor(id PageID) *poolShard {
+	return b.shards[int(uint32(id))%len(b.shards)]
+}
+
+// Stats returns a snapshot of the pool counters, aggregated across shards.
 func (b *BufferPool) Stats() PoolStats {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.stats
+	var out PoolStats
+	for _, sh := range b.shards {
+		sh.mu.Lock()
+		out.add(sh.stats)
+		sh.mu.Unlock()
+	}
+	return out
 }
 
-// Capacity returns the number of frames.
+// Capacity returns the total number of frames across all shards.
 func (b *BufferPool) Capacity() int { return b.capacity }
+
+// Shards returns the number of lock stripes.
+func (b *BufferPool) Shards() int { return len(b.shards) }
 
 // Policy returns the replacement policy.
 func (b *BufferPool) Policy() ReplacementPolicy { return b.policy }
@@ -117,34 +186,79 @@ func (b *BufferPool) Policy() ReplacementPolicy { return b.policy }
 // must Unpin with the same id exactly once, marking whether it mutated the
 // page.
 func (b *BufferPool) Fetch(id PageID) (*Page, error) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if f, ok := b.frames[id]; ok {
-		b.stats.Hits++
-		mPoolHits.Inc()
-		b.pin(f)
-		return &f.page, nil
-	}
-	b.stats.Misses++
-	mPoolMisses.Inc()
-	f, err := b.allocFrame(id)
-	if err != nil {
-		return nil, err
-	}
-	if err := b.pager.ReadPage(id, &f.page); err != nil {
-		delete(b.frames, id)
-		return nil, err
-	}
-	b.pin(f)
-	return &f.page, nil
+	return b.shardFor(id).fetch(id)
 }
 
 // Unpin releases one pin on the page. dirty marks the page as modified so
 // eviction or Flush writes it back.
 func (b *BufferPool) Unpin(id PageID, dirty bool) error {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	f, ok := b.frames[id]
+	return b.shardFor(id).unpin(id, dirty)
+}
+
+// Allocate creates a new page through the pool: it is allocated in the pager
+// and immediately cached and pinned. Callers must Unpin it.
+func (b *BufferPool) Allocate() (PageID, *Page, error) {
+	id, err := b.pager.Allocate()
+	if err != nil {
+		return 0, nil, err
+	}
+	page, err := b.shardFor(id).adopt(id)
+	if err != nil {
+		return 0, nil, err
+	}
+	return id, page, nil
+}
+
+// NumPages reports the page count of the underlying pager.
+func (b *BufferPool) NumPages() uint32 { return b.pager.NumPages() }
+
+// Flush writes every dirty frame back to the pager without evicting,
+// visiting shards in index order.
+func (b *BufferPool) Flush() error {
+	for _, sh := range b.shards {
+		if err := sh.flush(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close flushes dirty pages (shards in index order) and closes the pager.
+func (b *BufferPool) Close() error {
+	if err := b.Flush(); err != nil {
+		b.pager.Close()
+		return err
+	}
+	return b.pager.Close()
+}
+
+func (sh *poolShard) fetch(id PageID) (*Page, error) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if f, ok := sh.frames[id]; ok {
+		sh.stats.Hits++
+		mPoolHits.Inc()
+		sh.pin(f)
+		return &f.page, nil
+	}
+	sh.stats.Misses++
+	mPoolMisses.Inc()
+	f, err := sh.allocFrame(id)
+	if err != nil {
+		return nil, err
+	}
+	if err := sh.pager.ReadPage(id, &f.page); err != nil {
+		delete(sh.frames, id)
+		return nil, err
+	}
+	sh.pin(f)
+	return &f.page, nil
+}
+
+func (sh *poolShard) unpin(id PageID, dirty bool) error {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	f, ok := sh.frames[id]
 	if !ok {
 		return fmt.Errorf("storage: unpin of uncached page %d", id)
 	}
@@ -155,144 +269,126 @@ func (b *BufferPool) Unpin(id PageID, dirty bool) error {
 	f.pins--
 	if f.pins == 0 {
 		f.ref = true
-		if b.policy == PolicyLRU {
-			f.lruEnt = b.lru.PushFront(id)
+		if sh.policy == PolicyLRU {
+			f.lruEnt = sh.lru.PushFront(id)
 		}
 	}
 	return nil
 }
 
+// adopt caches and pins a freshly allocated page (bytes initialized here).
+func (sh *poolShard) adopt(id PageID) (*Page, error) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	f, err := sh.allocFrame(id)
+	if err != nil {
+		return nil, err
+	}
+	f.page.InitPage()
+	f.dirty = true
+	sh.pin(f)
+	return &f.page, nil
+}
+
 // pin marks a frame in use, removing it from the eviction structures.
-func (b *BufferPool) pin(f *frame) {
+func (sh *poolShard) pin(f *frame) {
 	f.pins++
 	f.ref = true
 	if f.pins == 1 && f.lruEnt != nil {
-		b.lru.Remove(f.lruEnt)
+		sh.lru.Remove(f.lruEnt)
 		f.lruEnt = nil
 	}
 }
 
 // allocFrame finds or evicts a frame for page id and registers it (page
 // bytes unfilled).
-func (b *BufferPool) allocFrame(id PageID) (*frame, error) {
-	if len(b.frames) >= b.capacity {
-		if err := b.evict(); err != nil {
+func (sh *poolShard) allocFrame(id PageID) (*frame, error) {
+	if len(sh.frames) >= sh.capacity {
+		if err := sh.evict(); err != nil {
 			return nil, err
 		}
 	}
 	f := &frame{id: id}
-	b.frames[id] = f
-	if b.policy == PolicyClock {
-		b.clock = append(b.clock, id)
+	sh.frames[id] = f
+	if sh.policy == PolicyClock {
+		sh.clock = append(sh.clock, id)
 	}
 	return f, nil
 }
 
-func (b *BufferPool) evict() error {
-	switch b.policy {
+func (sh *poolShard) evict() error {
+	switch sh.policy {
 	case PolicyLRU:
-		for e := b.lru.Back(); e != nil; e = e.Prev() {
+		for e := sh.lru.Back(); e != nil; e = e.Prev() {
 			id := e.Value.(PageID)
-			f := b.frames[id]
+			f := sh.frames[id]
 			if f == nil || f.pins > 0 {
 				continue
 			}
-			b.lru.Remove(e)
-			return b.dropFrame(f)
+			sh.lru.Remove(e)
+			return sh.dropFrame(f)
 		}
 		return ErrPoolExhausted
 	case PolicyClock:
 		// Two full sweeps: the first clears reference bits, the second
 		// must find a victim unless everything is pinned.
-		for sweep := 0; sweep < 2*len(b.clock)+1; sweep++ {
-			if len(b.clock) == 0 {
+		for sweep := 0; sweep < 2*len(sh.clock)+1; sweep++ {
+			if len(sh.clock) == 0 {
 				break
 			}
-			b.hand %= len(b.clock)
-			id := b.clock[b.hand]
-			f, ok := b.frames[id]
+			sh.hand %= len(sh.clock)
+			id := sh.clock[sh.hand]
+			f, ok := sh.frames[id]
 			if !ok {
 				// Stale ring entry from an earlier eviction; compact.
-				b.clock = append(b.clock[:b.hand], b.clock[b.hand+1:]...)
+				sh.clock = append(sh.clock[:sh.hand], sh.clock[sh.hand+1:]...)
 				continue
 			}
 			if f.pins > 0 {
-				b.hand++
+				sh.hand++
 				continue
 			}
 			if f.ref {
 				f.ref = false
-				b.hand++
+				sh.hand++
 				continue
 			}
-			b.clock = append(b.clock[:b.hand], b.clock[b.hand+1:]...)
-			return b.dropFrame(f)
+			sh.clock = append(sh.clock[:sh.hand], sh.clock[sh.hand+1:]...)
+			return sh.dropFrame(f)
 		}
 		return ErrPoolExhausted
 	default:
-		return fmt.Errorf("storage: unknown replacement policy %v", b.policy)
+		return fmt.Errorf("storage: unknown replacement policy %v", sh.policy)
 	}
 }
 
-func (b *BufferPool) dropFrame(f *frame) error {
+func (sh *poolShard) dropFrame(f *frame) error {
 	if f.dirty {
-		if err := b.pager.WritePage(f.id, &f.page); err != nil {
+		if err := sh.pager.WritePage(f.id, &f.page); err != nil {
 			return fmt.Errorf("storage: writeback of page %d: %w", f.id, err)
 		}
-		b.stats.Flushes++
+		sh.stats.Flushes++
 		mPoolFlushes.Inc()
 	}
-	delete(b.frames, f.id)
-	b.stats.Evictions++
+	delete(sh.frames, f.id)
+	sh.stats.Evictions++
 	mPoolEvictions.Inc()
 	return nil
 }
 
-// Flush writes every dirty frame back to the pager without evicting.
-func (b *BufferPool) Flush() error {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	for _, f := range b.frames {
+func (sh *poolShard) flush() error {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for _, f := range sh.frames {
 		if !f.dirty {
 			continue
 		}
-		if err := b.pager.WritePage(f.id, &f.page); err != nil {
+		if err := sh.pager.WritePage(f.id, &f.page); err != nil {
 			return fmt.Errorf("storage: flush page %d: %w", f.id, err)
 		}
 		f.dirty = false
-		b.stats.Flushes++
+		sh.stats.Flushes++
 		mPoolFlushes.Inc()
 	}
 	return nil
-}
-
-// Allocate creates a new page through the pool: it is allocated in the pager
-// and immediately cached and pinned. Callers must Unpin it.
-func (b *BufferPool) Allocate() (PageID, *Page, error) {
-	id, err := b.pager.Allocate()
-	if err != nil {
-		return 0, nil, err
-	}
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	f, err := b.allocFrame(id)
-	if err != nil {
-		return 0, nil, err
-	}
-	f.page.InitPage()
-	f.dirty = true
-	b.pin(f)
-	return id, &f.page, nil
-}
-
-// NumPages reports the page count of the underlying pager.
-func (b *BufferPool) NumPages() uint32 { return b.pager.NumPages() }
-
-// Close flushes dirty pages and closes the pager.
-func (b *BufferPool) Close() error {
-	if err := b.Flush(); err != nil {
-		b.pager.Close()
-		return err
-	}
-	return b.pager.Close()
 }

@@ -1,0 +1,207 @@
+// Tests for the sharded buffer pool (DESIGN.md §10): capacity striping,
+// stat aggregation, deterministic flush, per-shard exhaustion, and
+// concurrent access under -race.
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// preparePages allocates n pages through the pager directly so tests can
+// Fetch them by ID.
+func preparePages(t *testing.T, pager Pager, n int) []PageID {
+	t.Helper()
+	ids := make([]PageID, n)
+	for i := range ids {
+		id, err := pager.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var p Page
+		p.InitPage()
+		if err := pager.WritePage(id, &p); err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+	}
+	return ids
+}
+
+func TestShardedCapacityDistribution(t *testing.T) {
+	cases := []struct {
+		capacity, shards int
+		wantShards       int
+		wantCaps         []int
+	}{
+		{10, 4, 4, []int{3, 3, 2, 2}},
+		{8, 8, 8, []int{1, 1, 1, 1, 1, 1, 1, 1}},
+		{3, 8, 3, []int{1, 1, 1}}, // clamped: every shard needs a frame
+		{5, 0, 1, []int{5}},       // clamped up to one shard
+	}
+	for _, c := range cases {
+		t.Run(fmt.Sprintf("cap=%d,shards=%d", c.capacity, c.shards), func(t *testing.T) {
+			pool := NewShardedBufferPool(NewMemPager(), c.capacity, PolicyLRU, c.shards)
+			if pool.Shards() != c.wantShards {
+				t.Fatalf("Shards() = %d, want %d", pool.Shards(), c.wantShards)
+			}
+			if pool.Capacity() != c.capacity {
+				t.Fatalf("Capacity() = %d, want %d", pool.Capacity(), c.capacity)
+			}
+			total := 0
+			for i, sh := range pool.shards {
+				if sh.capacity != c.wantCaps[i] {
+					t.Fatalf("shard %d capacity = %d, want %d", i, sh.capacity, c.wantCaps[i])
+				}
+				total += sh.capacity
+			}
+			if total != c.capacity {
+				t.Fatalf("shard capacities sum to %d, want %d", total, c.capacity)
+			}
+		})
+	}
+}
+
+func TestShardedStatsAggregate(t *testing.T) {
+	pager := NewMemPager()
+	ids := preparePages(t, pager, 16)
+	pool := NewShardedBufferPool(pager, 32, PolicyLRU, 4)
+
+	// Two passes: the first all misses, the second all hits — regardless of
+	// which shard each page striped to.
+	for pass := 0; pass < 2; pass++ {
+		for _, id := range ids {
+			if _, err := pool.Fetch(id); err != nil {
+				t.Fatal(err)
+			}
+			if err := pool.Unpin(id, false); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	st := pool.Stats()
+	if st.Misses != 16 || st.Hits != 16 {
+		t.Fatalf("aggregated hits/misses = %d/%d, want 16/16", st.Hits, st.Misses)
+	}
+	if got := st.HitRatio(); got != 0.5 {
+		t.Fatalf("hit ratio = %v", got)
+	}
+}
+
+func TestShardedFlushWritesEveryShard(t *testing.T) {
+	pager := NewMemPager()
+	ids := preparePages(t, pager, 12)
+	pool := NewShardedBufferPool(pager, 32, PolicyLRU, 4)
+
+	for i, id := range ids {
+		p, err := pool.Fetch(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := p.InsertRecord([]byte(fmt.Sprintf("record-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+		if err := pool.Unpin(id, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := pool.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if st := pool.Stats(); st.Flushes != 12 {
+		t.Fatalf("flushes = %d, want one per dirty page", st.Flushes)
+	}
+	// The pager (not just the pool) must hold the bytes now.
+	for i, id := range ids {
+		var p Page
+		if err := pager.ReadPage(id, &p); err != nil {
+			t.Fatal(err)
+		}
+		got, err := p.GetRecord(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := fmt.Sprintf("record-%d", i); string(got) != want {
+			t.Fatalf("page %d = %q, want %q", id, got, want)
+		}
+	}
+}
+
+// TestShardedExhaustionIsPerShard documents the striping trade-off: pinning
+// every frame of ONE shard exhausts fetches that stripe there, even though
+// other shards have room.
+func TestShardedExhaustionIsPerShard(t *testing.T) {
+	pager := NewMemPager()
+	ids := preparePages(t, pager, 16)
+	pool := NewShardedBufferPool(pager, 8, PolicyLRU, 4) // 2 frames per shard
+
+	shard0 := make([]PageID, 0, 3)
+	for _, id := range ids {
+		if int(uint32(id))%4 == 0 {
+			shard0 = append(shard0, id)
+		}
+		if len(shard0) == 3 {
+			break
+		}
+	}
+	if len(shard0) < 3 {
+		t.Fatalf("test needs 3 pages striping to shard 0, got %d", len(shard0))
+	}
+	for _, id := range shard0[:2] {
+		if _, err := pool.Fetch(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := pool.Fetch(shard0[2]); !errors.Is(err, ErrPoolExhausted) {
+		t.Fatalf("third pinned page in a 2-frame shard: %v", err)
+	}
+	// A page striping elsewhere still fits.
+	other := PageID(0)
+	for _, id := range ids {
+		if int(uint32(id))%4 != 0 {
+			other = id
+			break
+		}
+	}
+	if _, err := pool.Fetch(other); err != nil {
+		t.Fatalf("other shard refused a fetch: %v", err)
+	}
+}
+
+// TestShardedConcurrentFetch hammers the pool from several goroutines; run
+// under -race it checks the striped locking.
+func TestShardedConcurrentFetch(t *testing.T) {
+	pager := NewMemPager()
+	ids := preparePages(t, pager, 64)
+	pool := NewShardedBufferPool(pager, 32, PolicyClock, 8)
+
+	const workers, rounds = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				id := ids[(w*rounds+r*7)%len(ids)]
+				if _, err := pool.Fetch(id); err != nil {
+					t.Errorf("worker %d: fetch %d: %v", w, id, err)
+					return
+				}
+				if err := pool.Unpin(id, r%3 == 0); err != nil {
+					t.Errorf("worker %d: unpin %d: %v", w, id, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := pool.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st := pool.Stats()
+	if st.Hits+st.Misses != workers*rounds {
+		t.Fatalf("hits+misses = %d, want %d", st.Hits+st.Misses, workers*rounds)
+	}
+}
