@@ -3,9 +3,9 @@
 
 GOFILES := $(shell find . -name '*.go' -not -path './.*')
 
-.PHONY: ci fmt vet build test bench bench-smoke bench-json fuzz lint
+.PHONY: ci fmt vet build test bench bench-smoke bench-json fuzz lint cover
 
-ci: fmt vet build lint test bench-smoke fuzz
+ci: fmt vet build lint test cover bench-smoke fuzz
 
 fmt:
 	@out=$$(gofmt -l $(GOFILES)); \
@@ -37,10 +37,28 @@ lint:
 	@if go run ./cmd/gislint cmd/gislint/testdata/cycle.rules.json >/dev/null 2>&1; then \
 		echo "gislint missed the seeded triggering cycle"; exit 1; fi
 
-# Short fuzz smoke over the wire-protocol frame reader; deeper runs are
-# `go test -fuzz=FuzzReadMessage -fuzztime=5m ./internal/proto`.
+# Short fuzz smoke over the torn-input decoders: the wire-protocol frame
+# reader and the WAL record scanner. Deeper runs raise -fuzztime, e.g.
+# `go test -fuzz=FuzzWALDecode -fuzztime=5m ./internal/storage`.
 fuzz:
 	go test -run='^$$' -fuzz=FuzzReadMessage -fuzztime=10s ./internal/proto
+	go test -run='^$$' -fuzz=FuzzWALDecode -fuzztime=10s ./internal/storage
+
+# Per-package coverage floor over the packages that guard data: storage
+# (WAL, crash matrix), the database, the rule engine, the wire protocol.
+COVER_FLOOR := 70
+COVER_PKGS  := internal/storage internal/geodb internal/active internal/proto
+
+cover:
+	@mkdir -p /tmp/gis-cover
+	@fail=0; for pkg in $(COVER_PKGS); do \
+		prof=/tmp/gis-cover/$$(basename $$pkg).out; \
+		go test -count=1 -coverprofile=$$prof ./$$pkg >/dev/null || exit 1; \
+		pct=$$(go tool cover -func=$$prof | awk '/^total:/ {gsub(/%/,"",$$3); print $$3}'); \
+		printf 'coverage %-20s %6s%% (floor $(COVER_FLOOR)%%)\n' $$pkg $$pct; \
+		if ! awk -v p="$$pct" -v f="$(COVER_FLOOR)" 'BEGIN {exit !(p+0 >= f)}'; then \
+			echo "coverage below floor for $$pkg"; fail=1; fi; \
+	done; exit $$fail
 
 bench:
 	go test -run xxx -bench . -benchmem .
@@ -50,7 +68,9 @@ bench:
 bench-smoke:
 	go test -run xxx -bench . -benchtime 1x .
 
-# Machine-readable perf artifact for the concurrent hot paths: decision
-# cache, pipelined client, sharded buffer pool (DESIGN.md §10).
+# Machine-readable perf artifacts: the PR-4 concurrent hot paths (decision
+# cache, pipelined client, sharded buffer pool; DESIGN.md §10) and the PR-5
+# durability series (WAL off vs synced vs batched fsync; DESIGN.md §11).
 bench-json:
 	go run ./cmd/gisbench -json BENCH_PR4.json
+	go run ./cmd/gisbench -wal-json BENCH_PR5.json

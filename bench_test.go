@@ -658,3 +658,25 @@ func BenchmarkFigure4DefaultWindowsParallel(b *testing.B) {
 		}
 	})
 }
+
+// benchWALInsert measures acknowledged inserts under one durability
+// configuration (the B-series for PR 5; `gisbench -wal-json` writes the
+// same workloads as BENCH_PR5.json).
+func benchWALInsert(b *testing.B, disable bool, syncEvery int) {
+	wb, err := experiments.NewWALBench(b.TempDir(), disable, syncEvery)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer wb.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := wb.Step(i); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWALInsertOff(b *testing.B)       { benchWALInsert(b, true, 0) }
+func BenchmarkWALInsertSynced(b *testing.B)    { benchWALInsert(b, false, 1) }
+func BenchmarkWALInsertBatched32(b *testing.B) { benchWALInsert(b, false, 32) }

@@ -28,8 +28,33 @@ func main() {
 		quick   = flag.Bool("quick", false, "reduced sizes for fast runs")
 		metrics = flag.Bool("metrics", false, "print the metrics delta after each experiment")
 		jsonOut = flag.String("json", "", "run the PR-4 perf series (decision cache, pipelined client, sharded pool) and write machine-readable results to this file")
+		walOut  = flag.String("wal-json", "", "run the PR-5 durability series (WAL off vs synced vs batched fsync) and write machine-readable results to this file")
 	)
 	flag.Parse()
+
+	if *walOut != "" {
+		rep, err := experiments.WriteWALPerfJSON(*walOut, *quick)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gisbench: durability series failed: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n\n", *walOut)
+		fmt.Printf("%-28s %14s %16s\n", "benchmark", "ns/op", "inserts/sec")
+		for _, r := range rep.Results {
+			persec := 0.0
+			if r.NsPerOp > 0 {
+				persec = 1e9 / r.NsPerOp
+			}
+			fmt.Printf("%-28s %14.0f %16.0f\n", r.Name, r.NsPerOp, persec)
+		}
+		fmt.Println()
+		for _, k := range []string{"wal_synced_cost", "wal_batched32_cost", "wal_batch32_speedup"} {
+			if v, ok := rep.Ratios[k]; ok {
+				fmt.Printf("%-28s %14.2fx\n", k, v)
+			}
+		}
+		return
+	}
 
 	if *jsonOut != "" {
 		rep, err := experiments.WritePerfJSON(*jsonOut, *quick)

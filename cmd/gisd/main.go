@@ -35,6 +35,8 @@ func main() {
 		maxConns   = flag.Int("max-conns", 0, "maximum concurrent client connections (0 = unlimited)")
 		drain      = flag.Duration("drain", 10*time.Second, "graceful-shutdown deadline for in-flight requests")
 		pipeline   = flag.Int("pipeline", 1, "max concurrent requests per connection (1 = sequential, pre-pipelining behavior)")
+		wal        = flag.Bool("wal", true, "write-ahead logging for a -db file: acknowledged mutations survive a crash (false = flush-on-close only)")
+		ckptEvery  = flag.Int("checkpoint-every", 1024, "checkpoint (flush + truncate the WAL) after this many commits; bounds replay on restart (<0 = never)")
 	)
 	flag.Parse()
 
@@ -42,7 +44,10 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	sys, err := gisui.Open(gisui.Config{Name: "GEO", Path: *dbPath, Library: lib})
+	sys, err := gisui.Open(gisui.Config{
+		Name: "GEO", Path: *dbPath, Library: lib,
+		DisableWAL: !*wal, CheckpointEvery: *ckptEvery,
+	})
 	if err != nil {
 		fatal(err)
 	}
@@ -55,7 +60,8 @@ func main() {
 		}
 		poleCount = sys.DB.Count(workload.SchemaName, "Pole")
 		ductCount = sys.DB.Count(workload.SchemaName, "Duct")
-		fmt.Printf("gisd: recovered existing database from %s\n", *dbPath)
+		fmt.Printf("gisd: recovered existing database from %s (%d WAL records replayed)\n",
+			*dbPath, sys.DB.ReplayedRecords())
 	} else {
 		net, err := workload.BuildPhoneNet(sys.DB, workload.PhoneNetOptions{
 			Seed: *seed, ZonesPerSide: *zones, PolesPerZone: *poles})

@@ -1,0 +1,67 @@
+package gisui_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestExamplesSmoke compiles every example program and runs its main path to
+// completion: each must exit 0 within the deadline. The examples are the
+// documentation users actually run, so they break CI, not readers.
+func TestExamplesSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples smoke builds binaries; skipped in -short")
+	}
+	entries, err := os.ReadDir("examples")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("no examples found")
+	}
+	binDir := t.TempDir()
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		t.Run(name, func(t *testing.T) {
+			bin := filepath.Join(binDir, name)
+			if runtime.GOOS == "windows" {
+				bin += ".exe"
+			}
+			build := exec.Command("go", "build", "-o", bin, "./examples/"+name)
+			if out, err := build.CombinedOutput(); err != nil {
+				t.Fatalf("build failed: %v\n%s", err, out)
+			}
+
+			cmd := exec.Command(bin)
+			cmd.Dir = t.TempDir() // any files an example writes stay here
+			done := make(chan error, 1)
+			var out []byte
+			go func() {
+				var runErr error
+				out, runErr = cmd.CombinedOutput()
+				done <- runErr
+			}()
+			select {
+			case err := <-done:
+				if err != nil {
+					t.Fatalf("run failed: %v\n%s", err, out)
+				}
+				if len(out) == 0 {
+					t.Fatal("example produced no output")
+				}
+			case <-time.After(60 * time.Second):
+				if cmd.Process != nil {
+					cmd.Process.Kill()
+				}
+				t.Fatal("example did not finish within 60s")
+			}
+		})
+	}
+}

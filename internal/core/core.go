@@ -39,6 +39,16 @@ type Config struct {
 	// Library seeds the interface objects library; nil means the kernel
 	// classes of Figure 2.
 	Library *uikit.Library
+
+	// DisableWAL turns off the write-ahead log for a file-backed database
+	// (durability then depends on a clean Close, the pre-WAL behavior).
+	DisableWAL bool
+	// CheckpointEvery bounds WAL replay: checkpoint after this many
+	// commits. 0 = default (1024), negative = no automatic checkpoints.
+	CheckpointEvery int
+	// WALSyncEvery batches WAL fsyncs (see geodb.Options.SyncEvery); 0 or 1
+	// keeps every acknowledged mutation durable.
+	WALSyncEvery int
 }
 
 // System is the assembled architecture of Figure 1.
@@ -60,10 +70,13 @@ type System struct {
 // Open assembles a system.
 func Open(cfg Config) (*System, error) {
 	db, err := geodb.Open(geodb.Options{
-		Name:     cfg.Name,
-		Path:     cfg.Path,
-		PoolSize: cfg.PoolSize,
-		Policy:   cfg.Policy,
+		Name:            cfg.Name,
+		Path:            cfg.Path,
+		PoolSize:        cfg.PoolSize,
+		Policy:          cfg.Policy,
+		DisableWAL:      cfg.DisableWAL,
+		CheckpointEvery: cfg.CheckpointEvery,
+		SyncEvery:       cfg.WALSyncEvery,
 	})
 	if err != nil {
 		return nil, err
@@ -163,8 +176,12 @@ func (s *System) NewSession(ctx event.Context) *ui.Session {
 }
 
 // NewServer returns a weak-integration protocol server over this system.
+// A graceful Shutdown ends with a database checkpoint, so a restarted
+// daemon replays no WAL.
 func (s *System) NewServer() *server.Server {
-	return server.New(s.Backend)
+	srv := server.New(s.Backend)
+	srv.Checkpoint = s.DB.Checkpoint
+	return srv
 }
 
 // ListenAndServe serves the weak-integration protocol on a TCP address

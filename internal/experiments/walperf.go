@@ -1,0 +1,174 @@
+// Perf harness for the PR-5 durability work: what does the write-ahead log
+// cost, and what does batching its fsyncs buy back? Three configurations of
+// the same file-backed insert workload — WAL off (the pre-WAL baseline,
+// durable only at Close), WAL with every commit fsynced (full acknowledged-
+// mutation durability), and WAL with fsyncs batched every 32 commits (the
+// last <32 acks are at risk, everything older is durable). The testing.B
+// series in bench_test.go and `gisbench -wal-json` (BENCH_PR5.json) run
+// exactly these constructions.
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/event"
+	"repro/internal/geodb"
+)
+
+// WALBench inserts fixed-shape rows into a file-backed database under one
+// durability configuration.
+type WALBench struct {
+	DB  *geodb.DB
+	ctx event.Context
+}
+
+// NewWALBench opens a fresh file-backed database in dir. disable turns the
+// WAL off entirely; syncEvery batches its commit fsyncs (see
+// geodb.Options.SyncEvery).
+func NewWALBench(dir string, disable bool, syncEvery int) (*WALBench, error) {
+	path := filepath.Join(dir, fmt.Sprintf("walbench-off%v-sync%d.pages", disable, syncEvery))
+	db, err := geodb.Open(geodb.Options{
+		Name:       "WALBENCH",
+		Path:       path,
+		DisableWAL: disable,
+		SyncEvery:  syncEvery,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := db.DefineSchema("net"); err != nil {
+		db.Close()
+		return nil, err
+	}
+	if err := db.DefineClass("net", catalog.Class{
+		Name: "Station",
+		Attrs: []catalog.Field{
+			catalog.F("name", catalog.Scalar(catalog.KindText)),
+			catalog.F("load", catalog.Scalar(catalog.KindInteger)),
+		},
+	}); err != nil {
+		db.Close()
+		return nil, err
+	}
+	return &WALBench{DB: db, ctx: event.Context{User: "bench", Application: "walperf"}}, nil
+}
+
+// Step acknowledges one insert (the measured unit: mutate, log, fsync per
+// the configuration).
+func (wb *WALBench) Step(i int) error {
+	_, err := wb.DB.Insert(wb.ctx, "net", "Station", []catalog.Value{
+		catalog.TextVal(fmt.Sprintf("s%08d", i)),
+		catalog.IntVal(int64(i)),
+	})
+	return err
+}
+
+// Close checkpoints and closes the database.
+func (wb *WALBench) Close() error { return wb.DB.Close() }
+
+// walVariant names one durability configuration of the series.
+type walVariant struct {
+	Name      string
+	Disable   bool
+	SyncEvery int
+}
+
+func walVariants() []walVariant {
+	return []walVariant{
+		{"insert_wal_off", true, 0},         // pre-WAL baseline: durable at Close only
+		{"insert_wal_synced", false, 1},     // fsync per acknowledged insert
+		{"insert_wal_batched32", false, 32}, // fsync every 32nd commit
+	}
+}
+
+// RunWALPerf measures the durability series with testing.Benchmark. quick
+// caps each measurement at a fixed small iteration count for CI.
+func RunWALPerf(quick bool) (*PerfReport, error) {
+	rep := &PerfReport{Ratios: map[string]float64{}}
+	dir, err := os.MkdirTemp("", "walperf")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	ns := map[string]float64{}
+	for _, v := range walVariants() {
+		wb, err := NewWALBench(dir, v.Disable, v.SyncEvery)
+		if err != nil {
+			return nil, err
+		}
+		var stepErr error
+		var r testing.BenchmarkResult
+		if quick {
+			// One fixed-size timed pass: keeps CI off the disk's fsync
+			// budget instead of letting testing.Benchmark ramp up.
+			const n = 150
+			start := time.Now()
+			for i := 0; i < n && stepErr == nil; i++ {
+				stepErr = wb.Step(i)
+			}
+			r = testing.BenchmarkResult{N: n, T: time.Since(start)}
+		} else {
+			seq := 0
+			r = testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if err := wb.Step(seq); err != nil {
+						stepErr = err
+						return
+					}
+					seq++
+				}
+			})
+		}
+		closeErr := wb.Close()
+		if stepErr != nil {
+			return nil, stepErr
+		}
+		if closeErr != nil {
+			return nil, closeErr
+		}
+		var extra map[string]float64
+		if !v.Disable {
+			syncEvery := v.SyncEvery
+			if syncEvery < 1 {
+				syncEvery = 1
+			}
+			extra = map[string]float64{"sync_every": float64(syncEvery)}
+		}
+		res := perfResult(v.Name, r, extra)
+		ns[v.Name] = res.NsPerOp
+		rep.Results = append(rep.Results, res)
+	}
+	if ns["insert_wal_off"] > 0 {
+		rep.Ratios["wal_synced_cost"] = ns["insert_wal_synced"] / ns["insert_wal_off"]
+		rep.Ratios["wal_batched32_cost"] = ns["insert_wal_batched32"] / ns["insert_wal_off"]
+	}
+	if ns["insert_wal_batched32"] > 0 {
+		rep.Ratios["wal_batch32_speedup"] = ns["insert_wal_synced"] / ns["insert_wal_batched32"]
+	}
+	return rep, nil
+}
+
+// WriteWALPerfJSON runs the durability series and writes BENCH_PR5.json.
+func WriteWALPerfJSON(path string, quick bool) (*PerfReport, error) {
+	rep, err := RunWALPerf(quick)
+	if err != nil {
+		return nil, err
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}

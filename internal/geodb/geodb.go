@@ -41,6 +41,29 @@ type Options struct {
 	Policy storage.ReplacementPolicy
 	// Path, when non-empty, stores pages in a file; otherwise in memory.
 	Path string
+
+	// DisableWAL turns the write-ahead log off even for a file-backed
+	// database, reverting to flush-on-close durability (the pre-WAL
+	// behavior; the BENCH_PR5 baseline).
+	DisableWAL bool
+	// WALPath overrides where the log lives; default Path+".wal".
+	WALPath string
+	// SyncEvery batches WAL fsyncs: the log is synced every Nth commit
+	// instead of every commit. 0 or 1 = every acknowledged mutation is
+	// durable; N>1 trades the last <N acknowledgements for throughput.
+	SyncEvery int
+	// CheckpointEvery checkpoints (flush dirty pages, sync the data file,
+	// truncate the log) after this many commits, bounding both the log size
+	// and replay work at the next Open. 0 means 1024; negative disables
+	// automatic checkpoints (Checkpoint can still be called directly).
+	CheckpointEvery int
+
+	// Pager injects the page store directly, overriding Path (crash-matrix
+	// tests wrap a MemPager in a storage.CrashPager here).
+	Pager storage.Pager
+	// WALFile injects the log file, enabling the WAL even without a Path
+	// (crash-matrix tests use a storage.CrashLogFile).
+	WALFile storage.LogFile
 }
 
 type classKey struct {
@@ -96,9 +119,19 @@ func (in Instance) Geometry() (geom.Geometry, bool) {
 // DB is an object-oriented geographic database. All exported methods are
 // safe for concurrent use: reads share an RWMutex; writes serialize.
 type DB struct {
-	name string
-	cat  *catalog.Catalog
-	bus  *event.Bus
+	name  string
+	cat   *catalog.Catalog
+	bus   *event.Bus
+	pager storage.Pager
+	wal   *storage.WAL // nil when the WAL is disabled
+
+	// checkpointEvery/ckptMu drive automatic checkpoints: every commit
+	// counts, and the commit that reaches the threshold performs the
+	// checkpoint before acknowledging.
+	checkpointEvery int
+	ckptMu          sync.Mutex
+	commits         int
+	replayed        int // WAL records applied by Open
 
 	mu        sync.RWMutex
 	heap      *storage.HeapFile
@@ -115,35 +148,95 @@ type DB struct {
 	UseSpatialIndex bool
 }
 
-// Open creates a database with the given options.
+// Open creates a database with the given options. When the WAL is enabled
+// (file-backed databases by default, or an injected WALFile), acknowledged
+// mutations left unflushed by a crash are replayed from the log — before
+// the catalog recovery scan — and the recovered state is checkpointed so
+// the log starts the new run empty.
 func Open(opts Options) (*DB, error) {
 	poolSize := opts.PoolSize
 	if poolSize == 0 {
 		poolSize = 256
 	}
-	var pager storage.Pager
-	if opts.Path != "" {
-		fp, err := storage.OpenFilePager(opts.Path)
-		if err != nil {
-			return nil, err
+	pager := opts.Pager
+	if pager == nil {
+		if opts.Path != "" {
+			fp, err := storage.OpenFilePager(opts.Path)
+			if err != nil {
+				return nil, err
+			}
+			pager = fp
+		} else {
+			pager = storage.NewMemPager()
 		}
-		pager = fp
-	} else {
-		pager = storage.NewMemPager()
+	}
+	var wal *storage.WAL
+	var replayed int
+	if !opts.DisableWAL {
+		logFile := opts.WALFile
+		if logFile == nil && opts.Path != "" {
+			walPath := opts.WALPath
+			if walPath == "" {
+				walPath = opts.Path + ".wal"
+			}
+			lf, err := storage.OpenLogFile(walPath)
+			if err != nil {
+				pager.Close()
+				return nil, err
+			}
+			logFile = lf
+		}
+		if logFile != nil {
+			w, err := storage.OpenWAL(logFile, storage.WALOptions{SyncEvery: opts.SyncEvery})
+			if err != nil {
+				pager.Close()
+				return nil, err
+			}
+			// Redo acknowledged mutations the data file never saw, make them
+			// durable in the data file, then truncate: recovery itself ends
+			// with a checkpoint, so a crash loop never replays twice.
+			if replayed, err = w.ReplayInto(pager); err != nil {
+				pager.Close()
+				return nil, err
+			}
+			if err := pager.Sync(); err != nil {
+				pager.Close()
+				return nil, err
+			}
+			if err := w.Checkpoint(); err != nil {
+				pager.Close()
+				return nil, err
+			}
+			wal = w
+		}
 	}
 	shards := opts.PoolShards
 	if shards < 1 {
 		shards = 1
 	}
 	pool := storage.NewShardedBufferPool(pager, poolSize, opts.Policy, shards)
+	if wal != nil {
+		pool.AttachWAL(wal)
+	}
 	name := opts.Name
 	if name == "" {
 		name = "GEO"
+	}
+	checkpointEvery := opts.CheckpointEvery
+	switch {
+	case checkpointEvery == 0:
+		checkpointEvery = 1024
+	case checkpointEvery < 0:
+		checkpointEvery = 0 // disabled
 	}
 	db := &DB{
 		name:            name,
 		cat:             catalog.New(),
 		bus:             event.NewBus(),
+		pager:           pager,
+		wal:             wal,
+		checkpointEvery: checkpointEvery,
+		replayed:        replayed,
 		heap:            storage.NewHeapFile(pool),
 		instances:       make(map[catalog.OID]instanceMeta),
 		byClass:         make(map[classKey][]catalog.OID),
@@ -155,6 +248,9 @@ func Open(opts Options) (*DB, error) {
 		// Reopening an existing file: rebuild catalog, directory, indexes.
 		if err := db.recover(); err != nil {
 			pool.Close()
+			if wal != nil {
+				wal.Close()
+			}
 			return nil, err
 		}
 	}
@@ -173,11 +269,85 @@ func (db *DB) Bus() *event.Bus { return db.bus }
 // Pool exposes buffer pool statistics for the B5 experiment.
 func (db *DB) Pool() *storage.BufferPool { return db.heap.Pool() }
 
-// Close flushes and closes the underlying storage.
+// WAL exposes the write-ahead log, or nil when disabled.
+func (db *DB) WAL() *storage.WAL { return db.wal }
+
+// ReplayedRecords reports how many WAL records Open applied — the measure
+// of how much work the last checkpoint before the crash saved.
+func (db *DB) ReplayedRecords() int { return db.replayed }
+
+// Close checkpoints (when the WAL is on), flushes and closes the
+// underlying storage.
 func (db *DB) Close() error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	return db.heap.Pool().Close()
+	var firstErr error
+	if db.wal != nil {
+		if err := db.checkpointLocked(); err != nil {
+			firstErr = err
+		}
+	}
+	if err := db.heap.Pool().Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	if db.wal != nil {
+		if err := db.wal.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Checkpoint flushes every dirty page (each preceded by the WAL sync the
+// writeback gate demands), syncs the data file, and truncates the log. It
+// excludes writers for its duration — the flush/truncate pair must not
+// interleave with new page images, or a post-flush image could be
+// discarded while its page is still dirty. A no-op without a WAL.
+func (db *DB) Checkpoint() error {
+	if db.wal == nil {
+		return nil
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.checkpointLocked()
+}
+
+func (db *DB) checkpointLocked() error {
+	if err := db.heap.Pool().Flush(); err != nil {
+		return err
+	}
+	if err := db.pager.Sync(); err != nil {
+		return err
+	}
+	return db.wal.Checkpoint()
+}
+
+// commitDurable is the acknowledgement gate every mutation passes on its
+// way out: the WAL is synced (subject to SyncEvery batching) so the
+// mutation survives a crash, and the commit that reaches CheckpointEvery
+// performs the periodic checkpoint. Mutations return errors from here
+// instead of acknowledging.
+func (db *DB) commitDurable() error {
+	if db.wal == nil {
+		return nil
+	}
+	if err := db.wal.Commit(); err != nil {
+		return err
+	}
+	if db.checkpointEvery <= 0 {
+		return nil
+	}
+	db.ckptMu.Lock()
+	db.commits++
+	due := db.commits >= db.checkpointEvery
+	if due {
+		db.commits = 0
+	}
+	db.ckptMu.Unlock()
+	if due {
+		return db.Checkpoint()
+	}
+	return nil
 }
 
 // DefineSchema creates a schema and persists the catalog.
@@ -378,6 +548,9 @@ func (db *DB) Insert(ctx event.Context, schema, class string, values []catalog.V
 		tree.Insert(b, uint64(oid))
 	}
 	db.mu.Unlock()
+	if err := db.commitDurable(); err != nil {
+		return 0, err
+	}
 	post := event.Event{Kind: event.PostInsert, Schema: schema, Class: class, OID: oid, Ctx: ctx, New: values}
 	if err := db.bus.Emit(post); err != nil {
 		return oid, err
@@ -448,6 +621,9 @@ func (db *DB) Update(ctx event.Context, oid catalog.OID, values []catalog.Value)
 		db.spatial[key] = tree
 	}
 	db.mu.Unlock()
+	if err := db.commitDurable(); err != nil {
+		return err
+	}
 	post := event.Event{Kind: event.PostUpdate, Schema: old.Schema, Class: old.Class,
 		OID: oid, Ctx: ctx, Old: old.Values, New: values}
 	return db.bus.Emit(post)
@@ -507,6 +683,9 @@ func (db *DB) Delete(ctx event.Context, oid catalog.OID) error {
 		}
 	}
 	db.mu.Unlock()
+	if err := db.commitDurable(); err != nil {
+		return err
+	}
 	post := event.Event{Kind: event.PostDelete, Schema: old.Schema, Class: old.Class,
 		OID: oid, Ctx: ctx, Old: old.Values}
 	return db.bus.Emit(post)

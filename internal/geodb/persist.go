@@ -65,9 +65,16 @@ func decodeEnvelope(data []byte) (tag int64, oid catalog.OID, schema, class stri
 	}
 }
 
-// persistCatalog rewrites the reserved catalog record. Callers hold no lock;
-// it takes the write lock itself.
+// persistCatalog rewrites the reserved catalog record and commits it to the
+// WAL. Callers hold no lock; it takes the write lock itself.
 func (db *DB) persistCatalog() error {
+	if err := db.persistCatalogRecord(); err != nil {
+		return err
+	}
+	return db.commitDurable()
+}
+
+func (db *DB) persistCatalogRecord() error {
 	doc, err := catalog.MarshalSnapshot(db.cat.Snapshot())
 	if err != nil {
 		return err

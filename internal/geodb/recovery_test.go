@@ -1,0 +1,314 @@
+package geodb
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/storage"
+)
+
+// The geodb-level crash matrix: the same enumeration-then-kill discipline as
+// the storage matrix (storage/crash_test.go), but driven through the full
+// database — typed inserts, updates and deletes with catalog persistence,
+// automatic checkpoints, and recovery through geodb.Open itself.
+
+const geodbCkptEvery = 4
+
+// geodbOp is one acknowledged-state transition: OID gets load, or dies.
+type geodbOp struct {
+	oid  catalog.OID
+	load int
+	del  bool
+}
+
+func (o geodbOp) String() string {
+	if o.del {
+		return fmt.Sprintf("delete oid %d", o.oid)
+	}
+	return fmt.Sprintf("put oid %d load %d", o.oid, o.load)
+}
+
+// runGeodbWorkload opens a database over the injected pager and log and
+// drives a fixed mutation sequence. acked is OID→load as acknowledged; a
+// non-nil pending is the op in flight at the crash, which recovery may
+// surface or not.
+func runGeodbWorkload(pager storage.Pager, logf storage.LogFile) (acked map[catalog.OID]int, pending *geodbOp, err error) {
+	db, err := Open(Options{
+		Pager:           pager,
+		WALFile:         logf,
+		PoolSize:        4,
+		CheckpointEvery: geodbCkptEvery,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := db.DefineSchema("net"); err != nil {
+		return nil, nil, err
+	}
+	if err := db.DefineClass("net", catalog.Class{
+		Name: "Station",
+		Attrs: []catalog.Field{
+			catalog.F("name", catalog.Scalar(catalog.KindText)),
+			catalog.F("load", catalog.Scalar(catalog.KindInteger)),
+		},
+	}); err != nil {
+		return nil, nil, err
+	}
+
+	acked = map[catalog.OID]int{}
+	insert := func(name string, load int) error {
+		// OIDs are assigned sequentially, so the op's OID is predictable.
+		op := geodbOp{oid: catalog.OID(len(acked)) + 1, load: load}
+		pending = &op
+		oid, err := db.Insert(testCtx, "net", "Station", []catalog.Value{
+			catalog.TextVal(name), catalog.IntVal(int64(load)),
+		})
+		if err != nil {
+			return err
+		}
+		acked[oid] = load
+		pending = nil
+		return nil
+	}
+	update := func(oid catalog.OID, load int) error {
+		op := geodbOp{oid: oid, load: load}
+		pending = &op
+		if err := db.UpdateAttr(testCtx, oid, "load", catalog.IntVal(int64(load))); err != nil {
+			return err
+		}
+		acked[oid] = load
+		pending = nil
+		return nil
+	}
+	del := func(oid catalog.OID) error {
+		op := geodbOp{oid: oid, del: true}
+		pending = &op
+		if err := db.Delete(testCtx, oid); err != nil {
+			return err
+		}
+		delete(acked, oid)
+		pending = nil
+		return nil
+	}
+
+	// Insert OIDs are predicted from the count of live rows, so the script
+	// below keeps OID arithmetic trivial: 6 inserts → OIDs 1..6.
+	for i := 1; i <= 6; i++ {
+		if err := insert(fmt.Sprintf("s%d", i), 10*i); err != nil {
+			return acked, pending, err
+		}
+	}
+	steps := []func() error{
+		func() error { return update(1, 101) },
+		func() error { return update(3, 103) },
+		func() error { return del(2) },
+		func() error { return update(6, 106) },
+		func() error { return del(5) },
+		func() error { return update(4, 104) },
+	}
+	for _, step := range steps {
+		if err := step(); err != nil {
+			return acked, pending, err
+		}
+	}
+	return acked, nil, nil
+}
+
+// verifyGeodbRecovery reopens the surviving bytes through geodb.Open and
+// asserts the database holds exactly the acknowledged state.
+func verifyGeodbRecovery(t *testing.T, label string, mem *storage.MemPager, logf *storage.MemLogFile, acked map[catalog.OID]int, pending *geodbOp) {
+	t.Helper()
+	db, err := Open(Options{Pager: mem, WALFile: logf, CheckpointEvery: -1})
+	if err != nil {
+		t.Fatalf("%s: reopen: %v", label, err)
+	}
+	if n := db.ReplayedRecords(); n > 2*geodbCkptEvery {
+		t.Fatalf("%s: replayed %d records; checkpoints every %d commits should bound replay near that",
+			label, n, geodbCkptEvery)
+	}
+	got := map[catalog.OID]int{}
+	for oid := range db.instances {
+		in, err := db.lookup(oid)
+		if err != nil {
+			t.Fatalf("%s: oid %d unreadable after recovery: %v", label, oid, err)
+		}
+		v, ok := in.Get("load")
+		if !ok || v.Kind != catalog.KindInteger {
+			t.Fatalf("%s: oid %d recovered without a load attribute", label, oid)
+		}
+		got[oid] = int(v.Int)
+	}
+	pendingOn := func(oid catalog.OID) bool { return pending != nil && pending.oid == oid }
+	for oid, load := range got {
+		want, isAcked := acked[oid]
+		switch {
+		case isAcked && load == want:
+		case pendingOn(oid) && !pending.del && load == pending.load:
+		case isAcked:
+			t.Fatalf("%s: oid %d recovered load %d, acknowledged %d (pending %v)",
+				label, oid, load, want, pending)
+		default:
+			t.Fatalf("%s: unacknowledged oid %d (load %d) surfaced", label, oid, load)
+		}
+	}
+	for oid, load := range acked {
+		if _, ok := got[oid]; !ok && !(pendingOn(oid) && pending.del) {
+			t.Fatalf("%s: acknowledged oid %d (load %d) lost", label, oid, load)
+		}
+	}
+	if err := db.Close(); err != nil {
+		t.Fatalf("%s: close recovered db: %v", label, err)
+	}
+}
+
+func TestGeodbCrashMatrix(t *testing.T) {
+	// Enumeration pass: count the IO points and prove the completed
+	// workload recovers without a Close.
+	crash := &storage.Crasher{}
+	mem := storage.NewMemPager()
+	logf := storage.NewMemLogFile()
+	acked, pending, err := runGeodbWorkload(storage.NewCrashPager(mem, crash), storage.NewCrashLogFile(logf, crash))
+	if err != nil {
+		t.Fatalf("enumeration run failed: %v", err)
+	}
+	if pending != nil {
+		t.Fatalf("enumeration run left %v unacknowledged", pending)
+	}
+	total := crash.Points()
+	t.Logf("workload spans %d IO points (%d live rows acknowledged)", total, len(acked))
+	verifyGeodbRecovery(t, "no-crash", mem, logf, acked, nil)
+
+	for _, torn := range []bool{false, true} {
+		for k := 1; k <= total; k++ {
+			crash := &storage.Crasher{KillAt: k, Torn: torn}
+			mem := storage.NewMemPager()
+			logf := storage.NewMemLogFile()
+			acked, pending, err := runGeodbWorkload(storage.NewCrashPager(mem, crash), storage.NewCrashLogFile(logf, crash))
+			if err == nil {
+				t.Fatalf("kill@%d: workload finished without crashing", k)
+			}
+			if !errors.Is(err, storage.ErrCrashed) {
+				t.Fatalf("kill@%d torn=%v: failed with %v, want the injected crash", k, torn, err)
+			}
+			verifyGeodbRecovery(t, fmt.Sprintf("kill@%d torn=%v", k, torn), mem, logf, acked, pending)
+		}
+	}
+}
+
+// TestReopenAfterCrashFileBacked is the end-to-end durability claim on real
+// files: acknowledged inserts survive a process that never closes the
+// database, because Open replays the on-disk WAL.
+func TestReopenAfterCrashFileBacked(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "geo.pages")
+	db := mustOpen(t, Options{Name: "GEO", Path: path})
+	if err := db.DefineSchema("net"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.DefineClass("net", catalog.Class{
+		Name:  "Station",
+		Attrs: []catalog.Field{catalog.F("load", catalog.Scalar(catalog.KindInteger))},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if db.WAL() == nil {
+		t.Fatal("file-backed database opened without a WAL")
+	}
+	for i := 1; i <= 3; i++ {
+		if _, err := db.Insert(testCtx, "net", "Station",
+			[]catalog.Value{catalog.IntVal(int64(100 * i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Crash: walk away without Close — no flush, no checkpoint. The buffer
+	// pool still holds every dirty page; only the WAL is on disk.
+
+	db2 := mustOpen(t, Options{Name: "GEO", Path: path})
+	defer db2.Close()
+	if db2.ReplayedRecords() == 0 {
+		t.Fatal("reopen replayed nothing — the acked inserts were never in the log")
+	}
+	if n := db2.Count("net", "Station"); n != 3 {
+		t.Fatalf("recovered %d stations, want 3", n)
+	}
+	for i := 1; i <= 3; i++ {
+		in, err := db2.lookup(catalog.OID(i))
+		if err != nil {
+			t.Fatalf("oid %d: %v", i, err)
+		}
+		if v, _ := in.Get("load"); v.Int != int64(100*i) {
+			t.Fatalf("oid %d: load %d, want %d", i, v.Int, 100*i)
+		}
+	}
+}
+
+// TestCheckpointBoundsReplay: replay work after a crash is bounded by the
+// checkpoint interval, not by database size.
+func TestCheckpointBoundsReplay(t *testing.T) {
+	mem := storage.NewMemPager()
+	logf := storage.NewMemLogFile()
+	db, err := Open(Options{Pager: mem, WALFile: logf, CheckpointEvery: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.DefineSchema("net"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.DefineClass("net", catalog.Class{
+		Name:  "Station",
+		Attrs: []catalog.Field{catalog.F("load", catalog.Scalar(catalog.KindInteger))},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if _, err := db.Insert(testCtx, "net", "Station",
+			[]catalog.Value{catalog.IntVal(int64(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Crash without Close, reopen over the surviving bytes.
+	db2, err := Open(Options{Pager: mem, WALFile: logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if n := db2.ReplayedRecords(); n > 16 {
+		t.Fatalf("replayed %d records after 50 inserts; checkpoint-every=8 should bound it", n)
+	}
+	if n := db2.Count("net", "Station"); n != 50 {
+		t.Fatalf("recovered %d stations, want 50", n)
+	}
+}
+
+// TestDisableWAL: the pre-WAL configuration still works, reports no WAL,
+// and stays durable through a clean Close.
+func TestDisableWAL(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "geo.pages")
+	db := mustOpen(t, Options{Path: path, DisableWAL: true})
+	if db.WAL() != nil {
+		t.Fatal("DisableWAL left a WAL attached")
+	}
+	if err := db.DefineSchema("net"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.DefineClass("net", catalog.Class{
+		Name:  "Station",
+		Attrs: []catalog.Field{catalog.F("load", catalog.Scalar(catalog.KindInteger))},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Insert(testCtx, "net", "Station",
+		[]catalog.Value{catalog.IntVal(7)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2 := mustOpen(t, Options{Path: path, DisableWAL: true})
+	defer db2.Close()
+	if n := db2.Count("net", "Station"); n != 1 {
+		t.Fatalf("clean close lost data: %d stations, want 1", n)
+	}
+}

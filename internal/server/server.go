@@ -101,6 +101,13 @@ type Server struct {
 	// is what proto.Request.ID exists to disambiguate.
 	PipelineDepth int
 
+	// Checkpoint, when set, is invoked once after Shutdown finishes
+	// draining: the graceful stop ends with a durability point, so a
+	// restart replays nothing (core.System.NewServer wires it to
+	// geodb.DB.Checkpoint). Close does not call it — an abrupt stop relies
+	// on WAL replay instead.
+	Checkpoint func() error
+
 	// Logf receives connection-level failures; default drops them. Request
 	// errors are returned to the client, not logged.
 	Logf func(format string, args ...any)
@@ -293,6 +300,17 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.closeLocked()
 	s.mu.Unlock()
 	<-done
+	// The drain is over (cleanly or by deadline): no request will mutate
+	// the database through this server again, so checkpoint now and the
+	// next Open has nothing to replay.
+	if s.Checkpoint != nil {
+		if cerr := s.Checkpoint(); cerr != nil {
+			s.Logf("server: shutdown checkpoint: %v", cerr)
+			if err == nil {
+				err = cerr
+			}
+		}
+	}
 	return err
 }
 

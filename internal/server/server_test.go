@@ -1,8 +1,11 @@
 package server
 
 import (
+	"context"
+	"errors"
 	"net"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -219,5 +222,58 @@ func TestConcurrentConnections(t *testing.T) {
 		if err := <-done; err != nil {
 			t.Fatal(err)
 		}
+	}
+}
+
+// TestShutdownCheckpoints: a graceful Shutdown ends with exactly one call to
+// the Checkpoint hook, after the drain, and a checkpoint failure surfaces as
+// the Shutdown error.
+func TestShutdownCheckpoints(t *testing.T) {
+	srv := New(testBackend(t))
+	var calls int32
+	srv.Checkpoint = func() error {
+		if srv.Draining() != true {
+			t.Error("checkpoint ran before the drain finished")
+		}
+		atomic.AddInt32(&calls, 1)
+		return nil
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(l)
+	conn, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := rawExchange(t, conn, proto.Request{ID: 1, Op: proto.OpGetSchema, Schema: "s"})
+	if resp.Err != "" {
+		t.Fatal(resp.Err)
+	}
+	conn.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if n := atomic.LoadInt32(&calls); n != 1 {
+		t.Fatalf("checkpoint hook called %d times, want 1", n)
+	}
+
+	// A failing checkpoint turns an otherwise clean shutdown into an error.
+	srv2 := New(testBackend(t))
+	wantErr := errors.New("disk gone")
+	srv2.Checkpoint = func() error { return wantErr }
+	srv2.Logf = func(string, ...any) {}
+	l2, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv2.Serve(l2)
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	if err := srv2.Shutdown(ctx2); !errors.Is(err, wantErr) {
+		t.Fatalf("shutdown error = %v, want the checkpoint failure", err)
 	}
 }

@@ -76,6 +76,14 @@ type frame struct {
 	dirty  bool
 	ref    bool          // Clock reference bit
 	lruEnt *list.Element // position in LRU list (unpinned frames only)
+
+	// WAL bookkeeping (zero when no WAL is attached). pageLSN is the LSN of
+	// the latest logged image of this page; recLSN is the LSN that first
+	// dirtied it since it was last clean (the replay lower bound a fuzzy
+	// checkpoint would record). WAL-before-data: the frame may be written
+	// back only once the log is synced through pageLSN.
+	pageLSN LSN
+	recLSN  LSN
 }
 
 // BufferPool caches pages of a Pager in a fixed number of frames with
@@ -92,6 +100,7 @@ type BufferPool struct {
 	capacity int
 	policy   ReplacementPolicy
 	shards   []*poolShard
+	wal      *WAL
 }
 
 // poolShard is one stripe of the pool: a fixed number of frames with their
@@ -101,6 +110,7 @@ type BufferPool struct {
 type poolShard struct {
 	mu       sync.Mutex
 	pager    Pager
+	wal      *WAL
 	capacity int
 	policy   ReplacementPolicy
 	frames   map[PageID]*frame
@@ -161,6 +171,20 @@ func NewShardedBufferPool(pager Pager, capacity int, policy ReplacementPolicy, s
 func (b *BufferPool) shardFor(id PageID) *poolShard {
 	return b.shards[int(uint32(id))%len(b.shards)]
 }
+
+// AttachWAL enables write-ahead logging: every Unpin(dirty) appends the
+// page's after-image to the log, and eviction/Flush refuse to write a page
+// back until the log is synced through its latest image. Attach before any
+// page is dirtied (geodb.Open does this right after construction).
+func (b *BufferPool) AttachWAL(w *WAL) {
+	b.wal = w
+	for _, sh := range b.shards {
+		sh.wal = w
+	}
+}
+
+// WAL returns the attached log, or nil.
+func (b *BufferPool) WAL() *WAL { return b.wal }
 
 // Stats returns a snapshot of the pool counters, aggregated across shards.
 func (b *BufferPool) Stats() PoolStats {
@@ -265,6 +289,30 @@ func (sh *poolShard) unpin(id PageID, dirty bool) error {
 	if f.pins == 0 {
 		return fmt.Errorf("storage: unpin of unpinned page %d", id)
 	}
+	if dirty && sh.wal != nil {
+		// Log the after-image before the mutation can be considered done.
+		// The record is not yet synced: the commit point (WAL.Commit) or the
+		// writeback gate below makes it durable.
+		lsn, err := sh.wal.AppendPage(id, &f.page)
+		if err != nil {
+			// The pin is still released — a failed append must not wedge the
+			// frame — but the page stays dirty and the caller sees the error
+			// (and must not acknowledge the mutation).
+			f.dirty = true
+			f.pins--
+			if f.pins == 0 {
+				f.ref = true
+				if sh.policy == PolicyLRU {
+					f.lruEnt = sh.lru.PushFront(id)
+				}
+			}
+			return err
+		}
+		f.pageLSN = lsn
+		if f.recLSN == 0 {
+			f.recLSN = lsn
+		}
+	}
 	f.dirty = f.dirty || dirty
 	f.pins--
 	if f.pins == 0 {
@@ -364,6 +412,13 @@ func (sh *poolShard) evict() error {
 
 func (sh *poolShard) dropFrame(f *frame) error {
 	if f.dirty {
+		if sh.wal != nil {
+			// WAL-before-data: the page's latest logged image must be
+			// durable before the data file can change under it.
+			if err := sh.wal.SyncTo(f.pageLSN); err != nil {
+				return fmt.Errorf("storage: wal sync before writeback of page %d: %w", f.id, err)
+			}
+		}
 		if err := sh.pager.WritePage(f.id, &f.page); err != nil {
 			return fmt.Errorf("storage: writeback of page %d: %w", f.id, err)
 		}
@@ -383,10 +438,16 @@ func (sh *poolShard) flush() error {
 		if !f.dirty {
 			continue
 		}
+		if sh.wal != nil {
+			if err := sh.wal.SyncTo(f.pageLSN); err != nil {
+				return fmt.Errorf("storage: wal sync before flush of page %d: %w", f.id, err)
+			}
+		}
 		if err := sh.pager.WritePage(f.id, &f.page); err != nil {
 			return fmt.Errorf("storage: flush page %d: %w", f.id, err)
 		}
 		f.dirty = false
+		f.recLSN = 0
 		sh.stats.Flushes++
 		mPoolFlushes.Inc()
 	}

@@ -1,0 +1,232 @@
+// Deterministic crash injection for the durability test matrix (the
+// storage-layer sibling of internal/faultnet). A Crasher numbers every
+// write/sync point the store hits — WAL appends, WAL syncs, data-page
+// writes, page allocations, pager syncs — and kills the store at a chosen
+// point k: the k-th IO either does not happen at all or, in torn mode,
+// happens partially (half the bytes land). After the kill every further IO
+// fails with ErrCrashed, exactly as a dead process stops issuing writes.
+//
+// The test matrix first runs a workload with an inert Crasher to count its
+// IO points, then re-runs it once per point (and again per point in torn
+// mode), reopening the surviving bytes each time and asserting that every
+// acknowledged mutation recovered and no page is torn. Durability stops
+// being a claim and becomes an enumerable property.
+package storage
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrCrashed is the failure every IO returns at and after the injected
+// crash point.
+var ErrCrashed = errors.New("storage: injected crash")
+
+// Crasher counts IO points and triggers the crash at the configured one.
+// The zero value (or KillAt 0) never crashes and just counts — the
+// enumeration pass of the matrix.
+type Crasher struct {
+	mu      sync.Mutex
+	count   int
+	crashed bool
+
+	// KillAt is the 1-based IO point to crash at; 0 disables.
+	KillAt int
+	// Torn makes the killing write partial (half its bytes) instead of
+	// dropped, modeling a torn sector/page write.
+	Torn bool
+}
+
+// beforeIO numbers one IO of size bytes. It returns how many bytes the
+// caller should actually transfer and whether the IO (and every later one)
+// fails. A torn kill returns size/2 bytes and the error together.
+func (c *Crasher) beforeIO(size int) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.crashed {
+		return 0, ErrCrashed
+	}
+	c.count++
+	if c.KillAt > 0 && c.count == c.KillAt {
+		c.crashed = true
+		if c.Torn && size > 1 {
+			return size / 2, ErrCrashed
+		}
+		return 0, ErrCrashed
+	}
+	return size, nil
+}
+
+// Points reports how many IO points have been counted so far.
+func (c *Crasher) Points() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.count
+}
+
+// Crashed reports whether the kill has fired.
+func (c *Crasher) Crashed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.crashed
+}
+
+// CrashPager wraps a Pager, routing every durability-relevant operation
+// (WritePage, Allocate, Sync) through a Crasher. Reads are not crash
+// points: a dying process loses writes, not the bytes already on disk.
+// After the crash the wrapped pager retains exactly the bytes written
+// before the kill — tests reopen it directly to simulate the restart.
+type CrashPager struct {
+	Pager
+	C *Crasher
+}
+
+// NewCrashPager wraps pager with crash injection from c.
+func NewCrashPager(pager Pager, c *Crasher) *CrashPager {
+	return &CrashPager{Pager: pager, C: c}
+}
+
+// WritePage implements Pager. A torn kill writes a page whose first half
+// is the new image and whose second half is whatever was there before.
+func (p *CrashPager) WritePage(id PageID, src *Page) error {
+	n, err := p.C.beforeIO(PageSize)
+	if err != nil {
+		if n > 0 {
+			var torn Page
+			if rerr := p.Pager.ReadPage(id, &torn); rerr == nil {
+				copy(torn[:n], src[:n])
+				p.Pager.WritePage(id, &torn)
+			}
+		}
+		return err
+	}
+	return p.Pager.WritePage(id, src)
+}
+
+// Allocate implements Pager. Allocation extends the file: one IO point.
+func (p *CrashPager) Allocate() (PageID, error) {
+	if _, err := p.C.beforeIO(PageSize); err != nil {
+		return 0, err
+	}
+	return p.Pager.Allocate()
+}
+
+// Sync implements Pager.
+func (p *CrashPager) Sync() error {
+	if _, err := p.C.beforeIO(0); err != nil {
+		return err
+	}
+	return p.Pager.Sync()
+}
+
+// Close implements Pager without crashing: the matrix reopens the
+// underlying store, and a double "close" of a dead process is meaningless.
+func (p *CrashPager) Close() error { return nil }
+
+// MemLogFile is an in-memory LogFile. Like MemPager it survives a
+// simulated crash: the bytes written before the kill stay readable, so the
+// matrix can reopen it as "the file the dead process left behind".
+type MemLogFile struct {
+	mu   sync.Mutex
+	data []byte
+}
+
+// NewMemLogFile returns an empty in-memory log file.
+func NewMemLogFile() *MemLogFile { return &MemLogFile{} }
+
+// ReadAt implements LogFile.
+func (m *MemLogFile) ReadAt(p []byte, off int64) (int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if off >= int64(len(m.data)) {
+		return 0, nil
+	}
+	return copy(p, m.data[off:]), nil
+}
+
+// WriteAt implements LogFile, extending the file as needed.
+func (m *MemLogFile) WriteAt(p []byte, off int64) (int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if grow := off + int64(len(p)) - int64(len(m.data)); grow > 0 {
+		m.data = append(m.data, make([]byte, grow)...)
+	}
+	return copy(m.data[off:], p), nil
+}
+
+// Truncate implements LogFile.
+func (m *MemLogFile) Truncate(size int64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if size < int64(len(m.data)) {
+		m.data = m.data[:size]
+	}
+	return nil
+}
+
+// Sync implements LogFile (memory is always "durable").
+func (m *MemLogFile) Sync() error { return nil }
+
+// Size implements LogFile.
+func (m *MemLogFile) Size() (int64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return int64(len(m.data)), nil
+}
+
+// Close implements LogFile.
+func (m *MemLogFile) Close() error { return nil }
+
+// Bytes returns a copy of the file contents (corpus seeding in fuzz tests).
+func (m *MemLogFile) Bytes() []byte {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]byte, len(m.data))
+	copy(out, m.data)
+	return out
+}
+
+// CrashLogFile wraps a LogFile, routing WriteAt, Truncate and Sync through
+// a Crasher. A torn kill lands a prefix of the record bytes — exactly the
+// torn-tail case WAL replay must detect and discard.
+type CrashLogFile struct {
+	LogFile
+	C *Crasher
+}
+
+// NewCrashLogFile wraps f with crash injection from c.
+func NewCrashLogFile(f LogFile, c *Crasher) *CrashLogFile {
+	return &CrashLogFile{LogFile: f, C: c}
+}
+
+// WriteAt implements LogFile.
+func (f *CrashLogFile) WriteAt(p []byte, off int64) (int, error) {
+	n, err := f.C.beforeIO(len(p))
+	if err != nil {
+		if n > 0 {
+			f.LogFile.WriteAt(p[:n], off)
+		}
+		return 0, err
+	}
+	return f.LogFile.WriteAt(p, off)
+}
+
+// Truncate implements LogFile. Truncation is a metadata write: one IO
+// point, atomic (it happens entirely or not at all).
+func (f *CrashLogFile) Truncate(size int64) error {
+	if _, err := f.C.beforeIO(0); err != nil {
+		return err
+	}
+	return f.LogFile.Truncate(size)
+}
+
+// Sync implements LogFile.
+func (f *CrashLogFile) Sync() error {
+	if _, err := f.C.beforeIO(0); err != nil {
+		return err
+	}
+	return f.LogFile.Sync()
+}
+
+// Close implements LogFile without crashing (see CrashPager.Close).
+func (f *CrashLogFile) Close() error { return nil }

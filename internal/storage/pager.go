@@ -26,6 +26,9 @@ type Pager interface {
 	Allocate() (PageID, error)
 	// NumPages reports how many pages exist.
 	NumPages() uint32
+	// Sync forces written pages to stable storage (checkpoints call it
+	// after flushing the buffer pool).
+	Sync() error
 	// Close releases underlying resources, flushing if needed.
 	Close() error
 }
@@ -84,6 +87,9 @@ func (m *MemPager) NumPages() uint32 {
 	defer m.mu.RUnlock()
 	return uint32(len(m.pages))
 }
+
+// Sync implements Pager (memory is always "durable").
+func (m *MemPager) Sync() error { return nil }
 
 // Close implements Pager.
 func (m *MemPager) Close() error { return nil }
@@ -157,6 +163,16 @@ func (fp *FilePager) NumPages() uint32 {
 	fp.mu.Lock()
 	defer fp.mu.Unlock()
 	return fp.pages
+}
+
+// Sync implements Pager.
+func (fp *FilePager) Sync() error {
+	fp.mu.Lock()
+	defer fp.mu.Unlock()
+	if err := fp.f.Sync(); err != nil {
+		return fmt.Errorf("storage: sync page file: %w", err)
+	}
+	return nil
 }
 
 // Close implements Pager.

@@ -1,0 +1,407 @@
+// Write-ahead logging. The WAL is a redo-only log of full page images:
+// before any acknowledged mutation, the after-image of every page the
+// mutation dirtied is appended (by the buffer pool, at unpin time) and
+// fsynced (by the commit point, wal.Commit). The buffer pool enforces
+// WAL-before-data: a dirty page is never written back to the pager until
+// the log covering its latest image is synced, so any torn or lost data-page
+// write has a durable image to redo from. Checkpoints flush every dirty
+// page, sync the pager, and truncate the log, which bounds replay at the
+// next Open to the mutations since the last checkpoint (DESIGN.md §11).
+//
+// Record framing, little-endian:
+//
+//	[0:4)   CRC32 (Castagnoli) over bytes [4:17+len)
+//	[4:8)   uint32 payload length
+//	[8:16)  uint64 LSN
+//	[16]    record type (recPageImage, recCheckpoint)
+//	[17:..) payload
+//
+// Page-image payloads are a uint32 page id followed by the PageSize image.
+// LSNs increase strictly within a log generation; a decoder that sees a CRC
+// mismatch, an impossible length, or a non-monotonic LSN treats the rest of
+// the log as a torn tail and truncates it — crash mid-append must never
+// corrupt recovery, only lose the unacknowledged tail.
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// LSN is a log sequence number: strictly increasing within a log generation
+// (truncation starts a new generation; the counter itself never goes back
+// within one process lifetime).
+type LSN uint64
+
+// WAL record types.
+const (
+	recPageImage  byte = 1
+	recCheckpoint byte = 2
+)
+
+const (
+	walHeaderSize = 17
+	// maxWALPayload bounds decoded payload lengths: the largest legitimate
+	// record is a page image (4-byte page id + page bytes). Anything longer
+	// is a corrupt length field, not a record.
+	maxWALPayload = 4 + PageSize
+)
+
+// ErrWALCorrupt reports a log that is damaged before its tail (replay
+// handles a torn tail silently by truncating it; this error is for callers
+// that ask about specific records).
+var ErrWALCorrupt = errors.New("storage: corrupt WAL record")
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// WAL traffic mirrored into the process-wide metrics registry.
+var (
+	mWALAppends     = obs.Default().Counter("gis_wal_appends_total")
+	mWALSyncs       = obs.Default().Counter("gis_wal_syncs_total")
+	mWALReplayed    = obs.Default().Counter("gis_wal_replayed_records_total")
+	mWALCheckpoints = obs.Default().Counter("gis_wal_checkpoints_total")
+	mWALTruncations = obs.Default().Counter("gis_wal_truncations_total")
+)
+
+// LogFile is the byte store under a WAL: a flat file the log appends to,
+// reads back at recovery, and truncates at checkpoints. *os.File (via
+// OpenLogFile) is the production implementation; MemLogFile backs tests and
+// CrashLogFile injects crashes at every write and sync point.
+type LogFile interface {
+	ReadAt(p []byte, off int64) (int, error)
+	WriteAt(p []byte, off int64) (int, error)
+	Truncate(size int64) error
+	Sync() error
+	Size() (int64, error)
+	Close() error
+}
+
+// osLogFile adapts *os.File to LogFile (Size via Stat).
+type osLogFile struct {
+	*os.File
+}
+
+func (f osLogFile) Size() (int64, error) {
+	info, err := f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return info.Size(), nil
+}
+
+// OpenLogFile opens (creating if absent) a WAL file at path.
+func OpenLogFile(path string) (LogFile, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("storage: open wal file: %w", err)
+	}
+	return osLogFile{f}, nil
+}
+
+// WALOptions tunes a WAL.
+type WALOptions struct {
+	// SyncEvery batches commit fsyncs: Commit syncs the log only every Nth
+	// call (eviction-forced syncs are never batched). 0 or 1 syncs every
+	// commit — full durability of every acknowledged mutation. N>1 trades
+	// the last <N acknowledged commits for fewer fsyncs (the B-bench
+	// quantifies the trade; see BENCH_PR5.json).
+	SyncEvery int
+}
+
+// WAL is a redo write-ahead log over a LogFile. All methods are safe for
+// concurrent use.
+type WAL struct {
+	opts WALOptions
+
+	mu         sync.Mutex
+	f          LogFile
+	off        int64 // append offset
+	nextLSN    LSN
+	appended   LSN // LSN of the last appended record
+	synced     LSN // LSN through which the log is durable
+	unsynced   int // commits since the last sync (SyncEvery batching)
+	replayed   int // records applied by the last Replay
+	generation int // truncation count, for diagnostics
+}
+
+// OpenWAL positions a WAL at the tail of f. It does not replay: callers
+// that may hold acknowledged-but-unapplied mutations must call Replay (and
+// normally checkpoint) before appending. An empty file starts at LSN 1.
+func OpenWAL(f LogFile, opts WALOptions) (*WAL, error) {
+	w := &WAL{opts: opts, f: f, nextLSN: 1}
+	size, err := f.Size()
+	if err != nil {
+		return nil, fmt.Errorf("storage: wal size: %w", err)
+	}
+	if size > 0 {
+		data, err := readFull(f, size)
+		if err != nil {
+			return nil, err
+		}
+		recs, valid := scanWAL(data)
+		w.off = int64(valid)
+		if len(recs) > 0 {
+			last := recs[len(recs)-1].lsn
+			w.nextLSN = last + 1
+			w.appended = last
+			w.synced = last // it is on stable storage by definition
+		}
+		if int64(valid) < size {
+			// Torn tail from a crash mid-append: discard it now so later
+			// appends never interleave with garbage.
+			if err := f.Truncate(int64(valid)); err != nil {
+				return nil, fmt.Errorf("storage: truncate torn wal tail: %w", err)
+			}
+			mWALTruncations.Inc()
+		}
+	}
+	return w, nil
+}
+
+func readFull(f LogFile, size int64) ([]byte, error) {
+	data := make([]byte, size)
+	n, err := f.ReadAt(data, 0)
+	if int64(n) != size && err != nil {
+		return nil, fmt.Errorf("storage: read wal: %w", err)
+	}
+	return data[:n], nil
+}
+
+// walRecord is one decoded log record.
+type walRecord struct {
+	lsn     LSN
+	typ     byte
+	payload []byte
+}
+
+// scanWAL decodes records from data until the first torn or corrupt one,
+// returning the decoded prefix and how many bytes of data it covers.
+// Corruption past the valid prefix is indistinguishable from a crash
+// mid-append, so the scanner never errors: it just stops.
+func scanWAL(data []byte) (recs []walRecord, valid int) {
+	off := 0
+	var prev LSN
+	for off+walHeaderSize <= len(data) {
+		length := int(binary.LittleEndian.Uint32(data[off+4 : off+8]))
+		if length > maxWALPayload || off+walHeaderSize+length > len(data) {
+			break
+		}
+		end := off + walHeaderSize + length
+		sum := binary.LittleEndian.Uint32(data[off : off+4])
+		if crc32.Checksum(data[off+4:end], crcTable) != sum {
+			break
+		}
+		lsn := LSN(binary.LittleEndian.Uint64(data[off+8 : off+16]))
+		if lsn <= prev {
+			break // stale bytes from an earlier generation, not a record
+		}
+		typ := data[off+16]
+		if typ != recPageImage && typ != recCheckpoint {
+			break
+		}
+		if typ == recPageImage && length != 4+PageSize {
+			break
+		}
+		recs = append(recs, walRecord{lsn: lsn, typ: typ, payload: data[off+walHeaderSize : end]})
+		prev = lsn
+		off = end
+	}
+	return recs, off
+}
+
+// encodeRecord frames one record.
+func encodeRecord(lsn LSN, typ byte, payload []byte) []byte {
+	buf := make([]byte, walHeaderSize+len(payload))
+	binary.LittleEndian.PutUint32(buf[4:8], uint32(len(payload)))
+	binary.LittleEndian.PutUint64(buf[8:16], uint64(lsn))
+	buf[16] = typ
+	copy(buf[walHeaderSize:], payload)
+	binary.LittleEndian.PutUint32(buf[0:4], crc32.Checksum(buf[4:], crcTable))
+	return buf
+}
+
+// AppendPage logs the after-image of page id and returns its LSN. The
+// record is buffered in the OS until a Sync/Commit/SyncTo makes it durable.
+func (w *WAL) AppendPage(id PageID, p *Page) (LSN, error) {
+	payload := make([]byte, 4+PageSize)
+	binary.LittleEndian.PutUint32(payload[0:4], uint32(id))
+	copy(payload[4:], p[:])
+	return w.append(recPageImage, payload)
+}
+
+func (w *WAL) append(typ byte, payload []byte) (LSN, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	lsn := w.nextLSN
+	buf := encodeRecord(lsn, typ, payload)
+	if _, err := w.f.WriteAt(buf, w.off); err != nil {
+		return 0, fmt.Errorf("storage: wal append: %w", err)
+	}
+	w.off += int64(len(buf))
+	w.nextLSN++
+	w.appended = lsn
+	mWALAppends.Inc()
+	return lsn, nil
+}
+
+// Commit makes the log durable through the last append, batched per
+// SyncEvery: this is the acknowledged-mutation point. With SyncEvery <= 1
+// every commit fsyncs.
+func (w *WAL) Commit() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.unsynced++
+	if w.opts.SyncEvery > 1 && w.unsynced < w.opts.SyncEvery && w.appended > w.synced {
+		return nil
+	}
+	return w.syncLocked()
+}
+
+// Sync forces the log durable through the last append.
+func (w *WAL) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.syncLocked()
+}
+
+// SyncTo makes the log durable through at least lsn. It is the
+// WAL-before-data gate: the buffer pool calls it before writing back a
+// dirty page whose latest image is lsn. Already-synced LSNs are free.
+func (w *WAL) SyncTo(lsn LSN) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if lsn <= w.synced {
+		return nil
+	}
+	return w.syncLocked()
+}
+
+func (w *WAL) syncLocked() error {
+	if w.synced >= w.appended {
+		w.unsynced = 0
+		return nil // nothing new to make durable
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("storage: wal sync: %w", err)
+	}
+	w.synced = w.appended
+	w.unsynced = 0
+	mWALSyncs.Inc()
+	return nil
+}
+
+// SyncedLSN reports the LSN through which the log is durable.
+func (w *WAL) SyncedLSN() LSN {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.synced
+}
+
+// Replay applies every page image in the log, in order, through apply,
+// then truncates any torn tail and positions the WAL for appending. It
+// returns how many records were applied. Callers replay exactly once,
+// right after OpenWAL, before any append.
+func (w *WAL) Replay(apply func(id PageID, p *Page) error) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	data, err := readFull(w.f, w.off)
+	if err != nil {
+		return 0, err
+	}
+	recs, _ := scanWAL(data)
+	n := 0
+	for _, r := range recs {
+		if r.typ != recPageImage {
+			continue
+		}
+		id := PageID(binary.LittleEndian.Uint32(r.payload[0:4]))
+		var p Page
+		copy(p[:], r.payload[4:])
+		if err := apply(id, &p); err != nil {
+			return n, fmt.Errorf("storage: wal replay page %d (lsn %d): %w", id, r.lsn, err)
+		}
+		n++
+		mWALReplayed.Inc()
+	}
+	w.replayed = n
+	return n, nil
+}
+
+// ReplayInto is Replay against a pager: pages past the pager's end are
+// allocated, then overwritten with the logged image.
+func (w *WAL) ReplayInto(pager Pager) (int, error) {
+	return w.Replay(func(id PageID, p *Page) error {
+		for pager.NumPages() <= uint32(id) {
+			if _, err := pager.Allocate(); err != nil {
+				return err
+			}
+		}
+		return pager.WritePage(id, p)
+	})
+}
+
+// Replayed reports how many records the last Replay applied.
+func (w *WAL) Replayed() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.replayed
+}
+
+// Checkpoint truncates the log and stamps a durable checkpoint marker.
+// Callers must have flushed every dirty page and synced the pager first,
+// with mutations excluded until Checkpoint returns (geodb.DB.Checkpoint
+// holds the database write lock across the flush+truncate pair): a page
+// image appended after the flush but before the truncation would be
+// discarded while its page is still dirty, losing the redo copy.
+func (w *WAL) Checkpoint() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.f.Truncate(0); err != nil {
+		return fmt.Errorf("storage: wal truncate: %w", err)
+	}
+	w.off = 0
+	w.generation++
+	mWALTruncations.Inc()
+	// Stamp the new generation so even an untouched post-checkpoint log is
+	// self-describing (and the decoder has a second record type to chew on).
+	lsn := w.nextLSN
+	buf := encodeRecord(lsn, recCheckpoint, nil)
+	if _, err := w.f.WriteAt(buf, w.off); err != nil {
+		return fmt.Errorf("storage: wal checkpoint marker: %w", err)
+	}
+	w.off += int64(len(buf))
+	w.nextLSN++
+	w.appended = lsn
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("storage: wal checkpoint sync: %w", err)
+	}
+	w.synced = lsn
+	w.unsynced = 0
+	mWALSyncs.Inc()
+	mWALCheckpoints.Inc()
+	return nil
+}
+
+// Size reports the current log length in bytes.
+func (w *WAL) Size() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.off
+}
+
+// Close syncs and closes the log file.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.syncLocked(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}

@@ -1,0 +1,386 @@
+package storage
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"testing"
+)
+
+// pageWith returns an initialized page holding one record with the payload.
+func pageWith(t *testing.T, payload string) *Page {
+	t.Helper()
+	var p Page
+	p.InitPage()
+	if _, err := p.InsertRecord([]byte(payload)); err != nil {
+		t.Fatalf("insert record: %v", err)
+	}
+	return &p
+}
+
+func TestWALAppendAndReplay(t *testing.T) {
+	lf := NewMemLogFile()
+	w, err := OpenWAL(lf, WALOptions{})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	images := map[PageID]*Page{}
+	for i := 0; i < 5; i++ {
+		id := PageID(i % 3) // later images of a page must win
+		p := pageWith(t, fmt.Sprintf("page-%d-gen-%d", id, i))
+		if _, err := w.AppendPage(id, p); err != nil {
+			t.Fatalf("append: %v", err)
+		}
+		images[id] = p
+	}
+	if err := w.Commit(); err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+
+	// Reopen and replay into a fresh pager, as Open would after a crash.
+	w2, err := OpenWAL(lf, WALOptions{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	pager := NewMemPager()
+	n, err := w2.ReplayInto(pager)
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if n != 5 {
+		t.Fatalf("replayed %d records, want 5", n)
+	}
+	if w2.Replayed() != 5 {
+		t.Fatalf("Replayed() = %d, want 5", w2.Replayed())
+	}
+	for id, want := range images {
+		var got Page
+		if err := pager.ReadPage(id, &got); err != nil {
+			t.Fatalf("read page %d: %v", id, err)
+		}
+		if !bytes.Equal(got[:], want[:]) {
+			t.Fatalf("page %d: replay did not produce the last logged image", id)
+		}
+	}
+}
+
+func TestWALTornTailTruncated(t *testing.T) {
+	lf := NewMemLogFile()
+	w, err := OpenWAL(lf, WALOptions{})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := w.AppendPage(PageID(i), pageWith(t, fmt.Sprintf("p%d", i))); err != nil {
+			t.Fatalf("append: %v", err)
+		}
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+	goodSize, err := lf.Size()
+	if err != nil {
+		t.Fatalf("size: %v", err)
+	}
+
+	// A crash mid-append leaves a torn record: a valid-looking prefix of a
+	// fourth record whose bytes end early.
+	torn := encodeRecord(17, recPageImage, make([]byte, 4+PageSize))
+	if _, err := lf.WriteAt(torn[:len(torn)/3], goodSize); err != nil {
+		t.Fatalf("write torn tail: %v", err)
+	}
+
+	w2, err := OpenWAL(lf, WALOptions{})
+	if err != nil {
+		t.Fatalf("reopen over torn tail: %v", err)
+	}
+	pager := NewMemPager()
+	n, err := w2.ReplayInto(pager)
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if n != 3 {
+		t.Fatalf("replayed %d records, want the 3 intact ones", n)
+	}
+	if size, _ := lf.Size(); size != goodSize {
+		t.Fatalf("torn tail not truncated: size %d, want %d", size, goodSize)
+	}
+
+	// Appending after truncation must produce a log that scans cleanly.
+	if _, err := w2.AppendPage(9, pageWith(t, "after-tear")); err != nil {
+		t.Fatalf("append after truncation: %v", err)
+	}
+	if err := w2.Sync(); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+	recs, valid := scanWAL(lf.Bytes())
+	if len(recs) != 4 {
+		t.Fatalf("scan found %d records, want 4", len(recs))
+	}
+	if int64(valid) != w2.Size() {
+		t.Fatalf("scan valid=%d, wal size=%d", valid, w2.Size())
+	}
+}
+
+func TestWALCorruptMiddleStopsScan(t *testing.T) {
+	lf := NewMemLogFile()
+	w, err := OpenWAL(lf, WALOptions{})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := w.AppendPage(PageID(i), pageWith(t, fmt.Sprintf("p%d", i))); err != nil {
+			t.Fatalf("append: %v", err)
+		}
+	}
+	data := lf.Bytes()
+	// Flip one payload bit of the second record.
+	recLen := walHeaderSize + 4 + PageSize
+	data[recLen+walHeaderSize+100] ^= 0x40
+	recs, valid := scanWAL(data)
+	if len(recs) != 1 {
+		t.Fatalf("scan past corruption: got %d records, want 1", len(recs))
+	}
+	if valid != recLen {
+		t.Fatalf("valid=%d, want %d", valid, recLen)
+	}
+}
+
+func TestWALSyncBatching(t *testing.T) {
+	lf := NewMemLogFile()
+	crash := &Crasher{} // count-only: every WriteAt/Sync/Truncate is a point
+	cf := NewCrashLogFile(lf, crash)
+	w, err := OpenWAL(cf, WALOptions{SyncEvery: 4})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	points := func() int { return crash.Points() }
+	before := points()
+	for i := 0; i < 8; i++ {
+		if _, err := w.AppendPage(PageID(i), pageWith(t, "x")); err != nil {
+			t.Fatalf("append: %v", err)
+		}
+		if err := w.Commit(); err != nil {
+			t.Fatalf("commit: %v", err)
+		}
+	}
+	// 8 appends (8 writes) + 2 syncs (every 4th commit) = 10 IO points.
+	if got := points() - before; got != 10 {
+		t.Fatalf("8 batched commits cost %d IO points, want 10 (8 writes + 2 syncs)", got)
+	}
+	if w.SyncedLSN() != 8 {
+		t.Fatalf("synced LSN %d, want 8", w.SyncedLSN())
+	}
+}
+
+func TestWALSyncToForcesBatchedTail(t *testing.T) {
+	lf := NewMemLogFile()
+	w, err := OpenWAL(lf, WALOptions{SyncEvery: 100})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	lsn, err := w.AppendPage(1, pageWith(t, "x"))
+	if err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	if err := w.Commit(); err != nil { // batched: no sync yet
+		t.Fatalf("commit: %v", err)
+	}
+	if w.SyncedLSN() >= lsn {
+		t.Fatalf("commit with SyncEvery=100 synced eagerly")
+	}
+	// The writeback gate must not be batched away.
+	if err := w.SyncTo(lsn); err != nil {
+		t.Fatalf("syncTo: %v", err)
+	}
+	if w.SyncedLSN() < lsn {
+		t.Fatalf("SyncTo(%d) left synced LSN at %d", lsn, w.SyncedLSN())
+	}
+}
+
+func TestWALCheckpointTruncatesAndKeepsLSNsMonotonic(t *testing.T) {
+	lf := NewMemLogFile()
+	w, err := OpenWAL(lf, WALOptions{})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := w.AppendPage(PageID(i), pageWith(t, "x")); err != nil {
+			t.Fatalf("append: %v", err)
+		}
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+	bigSize := w.Size()
+	if err := w.Checkpoint(); err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	if w.Size() >= bigSize {
+		t.Fatalf("checkpoint did not shrink the log: %d -> %d", bigSize, w.Size())
+	}
+	// Replay after checkpoint applies nothing: the data file owns it all.
+	pager := NewMemPager()
+	w2, err := OpenWAL(lf, WALOptions{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if n, err := w2.ReplayInto(pager); err != nil || n != 0 {
+		t.Fatalf("replay after checkpoint: n=%d err=%v, want 0 records", n, err)
+	}
+	// Post-checkpoint appends continue the LSN sequence past the marker.
+	lsn, err := w.AppendPage(7, pageWith(t, "y"))
+	if err != nil {
+		t.Fatalf("append after checkpoint: %v", err)
+	}
+	if lsn <= 5 { // 4 images + 1 checkpoint marker
+		t.Fatalf("LSN went backwards across checkpoint: %d", lsn)
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+	recs, _ := scanWAL(lf.Bytes())
+	var prev LSN
+	for _, r := range recs {
+		if r.lsn <= prev {
+			t.Fatalf("non-monotonic LSN %d after %d", r.lsn, prev)
+		}
+		prev = r.lsn
+	}
+}
+
+func TestWALFileBacked(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "test.wal")
+	lf, err := OpenLogFile(path)
+	if err != nil {
+		t.Fatalf("open log file: %v", err)
+	}
+	w, err := OpenWAL(lf, WALOptions{})
+	if err != nil {
+		t.Fatalf("open wal: %v", err)
+	}
+	want := pageWith(t, "on-disk")
+	if _, err := w.AppendPage(3, want); err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	if err := w.Close(); err != nil { // Close syncs
+		t.Fatalf("close: %v", err)
+	}
+
+	lf2, err := OpenLogFile(path)
+	if err != nil {
+		t.Fatalf("reopen log file: %v", err)
+	}
+	w2, err := OpenWAL(lf2, WALOptions{})
+	if err != nil {
+		t.Fatalf("reopen wal: %v", err)
+	}
+	pager := NewMemPager()
+	if n, err := w2.ReplayInto(pager); err != nil || n != 1 {
+		t.Fatalf("replay: n=%d err=%v", n, err)
+	}
+	var got Page
+	if err := pager.ReadPage(3, &got); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if !bytes.Equal(got[:], want[:]) {
+		t.Fatalf("file-backed replay produced a different image")
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+}
+
+func TestCrasherKillsAtPoint(t *testing.T) {
+	crash := &Crasher{KillAt: 2}
+	lf := NewCrashLogFile(NewMemLogFile(), crash)
+	if _, err := lf.WriteAt([]byte("one"), 0); err != nil {
+		t.Fatalf("first write should survive: %v", err)
+	}
+	if _, err := lf.WriteAt([]byte("two"), 3); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("second write: err=%v, want ErrCrashed", err)
+	}
+	if err := lf.Sync(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash sync: err=%v, want ErrCrashed", err)
+	}
+	if !crash.Crashed() {
+		t.Fatalf("crasher did not record the crash")
+	}
+}
+
+func TestCrashPagerTornWrite(t *testing.T) {
+	mem := NewMemPager()
+	id, err := mem.Allocate()
+	if err != nil {
+		t.Fatalf("allocate: %v", err)
+	}
+	old := pageWith(t, "old-old-old-old")
+	if err := mem.WritePage(id, old); err != nil {
+		t.Fatalf("seed: %v", err)
+	}
+	crash := &Crasher{KillAt: 1, Torn: true}
+	cp := NewCrashPager(mem, crash)
+	fresh := pageWith(t, "new-new-new-new")
+	if err := cp.WritePage(id, fresh); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("torn write: err=%v, want ErrCrashed", err)
+	}
+	var got Page
+	if err := mem.ReadPage(id, &got); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	half := PageSize / 2
+	if !bytes.Equal(got[:half], fresh[:half]) || !bytes.Equal(got[half:], old[half:]) {
+		t.Fatalf("torn write is not half-new half-old")
+	}
+}
+
+// TestWALBeforeData proves the writeback gate: evicting a dirty page forces
+// the log durable through that page's image first, even under batched sync.
+func TestWALBeforeData(t *testing.T) {
+	mem := NewMemPager()
+	lf := NewMemLogFile()
+	w, err := OpenWAL(lf, WALOptions{SyncEvery: 1 << 20}) // never sync on commit
+	if err != nil {
+		t.Fatalf("open wal: %v", err)
+	}
+	pool := NewBufferPool(mem, 1, PolicyLRU) // capacity 1: second page evicts first
+	pool.AttachWAL(w)
+	id0, p0, err := pool.Allocate()
+	if err != nil {
+		t.Fatalf("allocate: %v", err)
+	}
+	if _, err := p0.InsertRecord([]byte("dirty")); err != nil {
+		t.Fatalf("insert: %v", err)
+	}
+	if err := pool.Unpin(id0, true); err != nil {
+		t.Fatalf("unpin: %v", err)
+	}
+	if w.SyncedLSN() != 0 {
+		t.Fatalf("log synced before any writeback")
+	}
+	// Fetching a second page evicts page 0 (dirty) — the gate must sync.
+	if _, err := mem.Allocate(); err != nil {
+		t.Fatalf("allocate second: %v", err)
+	}
+	if _, err := pool.Fetch(1); err != nil {
+		t.Fatalf("fetch: %v", err)
+	}
+	if w.SyncedLSN() == 0 {
+		t.Fatalf("dirty page written back without syncing its WAL image")
+	}
+	// And the logged image must be exactly what was written back.
+	recs, _ := scanWAL(lf.Bytes())
+	if len(recs) != 1 {
+		t.Fatalf("got %d records, want 1", len(recs))
+	}
+	loggedID := PageID(binary.LittleEndian.Uint32(recs[0].payload[0:4]))
+	var onDisk Page
+	if err := mem.ReadPage(id0, &onDisk); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if loggedID != id0 || !bytes.Equal(recs[0].payload[4:], onDisk[:]) {
+		t.Fatalf("logged image differs from the page written back")
+	}
+}
