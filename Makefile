@@ -47,7 +47,7 @@ fuzz:
 # Per-package coverage floor over the packages that guard data: storage
 # (WAL, crash matrix), the database, the rule engine, the wire protocol.
 COVER_FLOOR := 70
-COVER_PKGS  := internal/storage internal/geodb internal/active internal/proto
+COVER_PKGS  := internal/storage internal/geodb internal/active internal/proto internal/obs
 
 cover:
 	@mkdir -p /tmp/gis-cover

@@ -16,6 +16,8 @@
 //	explain                 explanation mode: why these windows
 //	scenario <subcmd> ...   simulation mode (start/pole/move/delete/window/commit/drop)
 //	stale / refresh         view-refresh: list and rebuild out-of-date windows
+//	stats                   per-verb latency quantiles (server's in -connect mode)
+//	trace [id]              list the server's retained traces, or print one span tree
 //	quit
 package main
 
@@ -24,14 +26,17 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
 
 	gisui "repro"
 	"repro/internal/catalog"
+	"repro/internal/client"
 	"repro/internal/geodb"
 	"repro/internal/geom"
+	"repro/internal/obs"
 	"repro/internal/render"
 	"repro/internal/workload"
 )
@@ -59,6 +64,7 @@ func main() {
 	ctx := gisui.Context(*user, *category, *app)
 
 	var session *gisui.Session
+	var remote *client.Client // non-nil in -connect mode: stats/trace verbs
 	if *connect != "" {
 		// Fault-tolerant transport: retrieval requests are retried with
 		// backoff and the connection is re-dialed, so an exploratory session
@@ -72,6 +78,7 @@ func main() {
 		}
 		defer cli.Close()
 		session = s
+		remote = cli
 		fmt.Printf("connected to %s as %s\n", *connect, ctx)
 	} else {
 		sys := gisui.MustOpen(gisui.Config{Name: "GEO", Library: lib})
@@ -115,7 +122,7 @@ func main() {
 		if len(fields) == 0 {
 			continue
 		}
-		if err := dispatch(session, fields); err != nil {
+		if err := dispatch(session, remote, fields); err != nil {
 			if err == errQuit {
 				return
 			}
@@ -126,7 +133,7 @@ func main() {
 
 var errQuit = fmt.Errorf("quit")
 
-func dispatch(s *gisui.Session, fields []string) error {
+func dispatch(s *gisui.Session, remote *client.Client, fields []string) error {
 	switch fields[0] {
 	case "schema":
 		_, err := s.OpenSchema(workload.SchemaName)
@@ -201,10 +208,133 @@ func dispatch(s *gisui.Session, fields []string) error {
 		}
 		fmt.Printf("refreshed %d window(s)\n", n)
 		return nil
+	case "stats":
+		return statsCmd(remote)
+	case "trace":
+		return traceCmd(remote, fields[1:])
 	case "quit", "exit":
 		return errQuit
 	default:
 		return fmt.Errorf("unknown command %q", fields[0])
+	}
+}
+
+// statsCmd prints per-verb latency quantiles derived from the latency
+// histograms' bucket counts — the server's registry over the stats verb in
+// -connect mode, the local process registry when embedded.
+func statsCmd(remote *client.Client) error {
+	var snap obs.Snapshot
+	if remote != nil {
+		var err error
+		snap, err = remote.Stats()
+		if err != nil {
+			return err
+		}
+	} else {
+		snap = obs.Default().Snapshot()
+	}
+	names := make([]string, 0, len(snap.Histograms))
+	for name := range snap.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Printf("  %-52s %8s %9s %9s %9s\n", "histogram", "count", "p50", "p95", "p99")
+	for _, name := range names {
+		h := snap.Histograms[name]
+		if h.Count == 0 {
+			continue
+		}
+		fmt.Printf("  %-52s %8d %8.2fms %8.2fms %8.2fms\n", name, h.Count,
+			h.Quantile(0.50)*1e3, h.Quantile(0.95)*1e3, h.Quantile(0.99)*1e3)
+	}
+	return nil
+}
+
+// traceCmd lists the server's retained traces, or prints one trace's span
+// tree when given a hex trace ID.
+func traceCmd(remote *client.Client, args []string) error {
+	if remote == nil {
+		return fmt.Errorf("trace requires -connect (the embedded browser keeps no tail sampler)")
+	}
+	if len(args) == 0 {
+		traces, err := remote.Traces()
+		if err != nil {
+			return err
+		}
+		if len(traces) == 0 {
+			fmt.Println("  no traces retained yet")
+			return nil
+		}
+		fmt.Printf("  %-16s %-8s %10s %6s  %s\n", "trace", "reason", "duration", "spans", "root")
+		for _, td := range traces {
+			root := ""
+			for _, sp := range td.Spans {
+				if sp.ID == td.Root {
+					root = sp.Name
+					break
+				}
+			}
+			fmt.Printf("  %-16s %-8s %10s %6d  %s\n",
+				obs.IDString(td.TraceID), td.Reason, td.Duration.Round(time.Microsecond),
+				len(td.Spans), root)
+		}
+		return nil
+	}
+	id, err := obs.ParseID(args[0])
+	if err != nil {
+		return err
+	}
+	td, err := remote.Trace(id)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  trace %s (%s, %s, %d spans)\n",
+		obs.IDString(td.TraceID), td.Reason, td.Duration.Round(time.Microsecond), len(td.Spans))
+	printSpanTree(td.Spans)
+	return nil
+}
+
+// printSpanTree renders spans as an indented tree. Spans whose parent is
+// missing (e.g. the client half of a cross-process trace when only the
+// server retained it) print as additional roots.
+func printSpanTree(spans []obs.Span) {
+	children := make(map[uint64][]int, len(spans))
+	have := make(map[uint64]bool, len(spans))
+	for _, sp := range spans {
+		have[sp.ID] = true
+	}
+	var roots []int
+	for i, sp := range spans {
+		if sp.Parent != 0 && have[sp.Parent] {
+			children[sp.Parent] = append(children[sp.Parent], i)
+		} else {
+			roots = append(roots, i)
+		}
+	}
+	byStart := func(idx []int) {
+		sort.Slice(idx, func(a, b int) bool { return spans[idx[a]].Start.Before(spans[idx[b]].Start) })
+	}
+	byStart(roots)
+	var walk func(i, depth int)
+	walk = func(i, depth int) {
+		sp := spans[i]
+		line := fmt.Sprintf("  %s%s %s", strings.Repeat("  ", depth), sp.Name,
+			sp.End.Sub(sp.Start).Round(time.Microsecond))
+		for _, a := range sp.Attrs {
+			line += fmt.Sprintf(" %s=%s", a.Key, a.Value)
+		}
+		if sp.Error != "" {
+			line += " error=" + sp.Error
+		}
+		fmt.Println(line)
+		kids := children[sp.ID]
+		byStart(kids)
+		for _, k := range kids {
+			walk(k, depth+1)
+		}
+	}
+	for _, r := range roots {
+		walk(r, 0)
 	}
 }
 

@@ -6,9 +6,11 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -37,8 +39,20 @@ func main() {
 		pipeline   = flag.Int("pipeline", 1, "max concurrent requests per connection (1 = sequential, pre-pipelining behavior)")
 		wal        = flag.Bool("wal", true, "write-ahead logging for a -db file: acknowledged mutations survive a crash (false = flush-on-close only)")
 		ckptEvery  = flag.Int("checkpoint-every", 1024, "checkpoint (flush + truncate the WAL) after this many commits; bounds replay on restart (<0 = never)")
+
+		trace     = flag.Bool("trace", true, "distributed tracing: span every request tree, retain slow/error traces in the tail sampler")
+		traceSlow = flag.Int("trace-slowest", 16, "tail sampler: always retain the N slowest complete traces")
+		traceRate = flag.Float64("trace-head-rate", 0.01, "tail sampler: fraction of ordinary (fast, error-free) traces retained")
+		traceMax  = flag.Int("trace-max", 64, "tail sampler: maximum retained traces (oldest non-slow evicted first)")
+		slowReq   = flag.Duration("slow-request", 250*time.Millisecond, "log a warn line for requests slower than this (0 = never)")
+		logLevel  = flag.String("log-level", "info", "structured log threshold: debug, info, warn or error")
 	)
 	flag.Parse()
+	lvl, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fatal(err)
+	}
+	logger := obs.NewLogger(os.Stderr, lvl).With("proc", "gisd")
 
 	lib, err := workload.StandardLibrary()
 	if err != nil {
@@ -97,6 +111,15 @@ func main() {
 			}
 		}
 	}
+	// EnableTracing must run before NewServer below: NewServer snapshots the
+	// sampler into the server's TraceStore for the trace verb.
+	if *trace {
+		sys.EnableTracing(obs.TailSamplerOptions{
+			SlowestN:  *traceSlow,
+			HeadRate:  *traceRate,
+			MaxTraces: *traceMax,
+		})
+	}
 	fmt.Printf("gisd: %s\n", sys.Describe())
 	fmt.Printf("gisd: %d poles, %d ducts; serving on %s\n", poleCount, ductCount, *addr)
 	if *metrics != "" {
@@ -105,12 +128,42 @@ func main() {
 			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 			obs.Default().WriteText(w)
 		})
+		mux.HandleFunc("/traces", func(w http.ResponseWriter, _ *http.Request) {
+			if sys.Traces == nil {
+				http.Error(w, "tracing disabled (-trace=false)", http.StatusNotFound)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(sys.Traces.Traces()); err != nil {
+				logger.Warn("trace export failed", "err", err)
+			}
+		})
+		mux.HandleFunc("/traces/chrome", func(w http.ResponseWriter, _ *http.Request) {
+			if sys.Traces == nil {
+				http.Error(w, "tracing disabled (-trace=false)", http.StatusNotFound)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.Header().Set("Content-Disposition", `attachment; filename="gisd-trace.json"`)
+			if err := obs.WriteChromeTrace(w, sys.Traces.Traces()); err != nil {
+				logger.Warn("chrome trace export failed", "err", err)
+			}
+		})
+		// Profiling rides the same mux (net/http/pprof registers on the
+		// default mux only, so wire its handlers explicitly).
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		go func() {
 			if err := http.ListenAndServe(*metrics, mux); err != nil {
 				fmt.Fprintln(os.Stderr, "gisd: metrics:", err)
 			}
 		}()
-		fmt.Printf("gisd: metrics on http://%s/metrics\n", *metrics)
+		fmt.Printf("gisd: metrics on http://%s/metrics (also /traces, /traces/chrome, /debug/pprof/)\n", *metrics)
 	}
 
 	// Graceful shutdown: on SIGINT/SIGTERM the server stops accepting,
@@ -120,8 +173,10 @@ func main() {
 	srv.IdleTimeout = *idle
 	srv.MaxConns = *maxConns
 	srv.PipelineDepth = *pipeline
+	srv.Log = logger
+	srv.SlowRequest = *slowReq
 	srv.Logf = func(format string, args ...any) {
-		fmt.Fprintf(os.Stderr, "gisd: "+format+"\n", args...)
+		logger.Warn(fmt.Sprintf(format, args...))
 	}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe(*addr) }()

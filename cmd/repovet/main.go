@@ -1,7 +1,8 @@
 // Command repovet enforces repo-local hygiene rules that go vet does not:
-// library packages must not print to stdout/stderr via fmt.Print* — output
-// belongs to the cmd/ front-ends (and examples/), while libraries report
-// through errors, traces and metrics.
+// library packages must not print to stdout/stderr via fmt.Print* or the
+// standard log package (log.Print*/Fatal*/Panic*) — output belongs to the
+// cmd/ front-ends (and examples/), while libraries report through errors,
+// traces, metrics and the structured obs.Logger.
 //
 // Usage:
 //
@@ -54,8 +55,8 @@ func allowed(rel string) bool {
 }
 
 // vetTree scans every non-test Go file under root and returns one
-// "file:line:col: message" string per fmt.Print/Printf/Println call in a
-// package that must not print.
+// "file:line:col: message" string per fmt.Print/Printf/Println or
+// log.Print*/Fatal*/Panic* call in a package that must not print.
 func vetTree(root string) ([]string, error) {
 	var findings []string
 	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
@@ -89,8 +90,19 @@ func vetTree(root string) ([]string, error) {
 	return findings, err
 }
 
-// vetFile parses one file and finds fmt.Print* calls, tracking the local
-// name the fmt package is imported under (including aliases; dot imports
+// banned maps a banned package import path to the set of call names that
+// write to the terminal (or kill the process) from library code.
+var banned = map[string]map[string]bool{
+	"fmt": {"Print": true, "Printf": true, "Println": true},
+	"log": {
+		"Print": true, "Printf": true, "Println": true,
+		"Fatal": true, "Fatalf": true, "Fatalln": true,
+		"Panic": true, "Panicf": true, "Panicln": true,
+	},
+}
+
+// vetFile parses one file and finds banned fmt/log calls, tracking the
+// local name each package is imported under (including aliases; dot imports
 // are reported as findings themselves since they defeat the check).
 func vetFile(rel, path string) ([]string, error) {
 	fset := token.NewFileSet()
@@ -98,26 +110,26 @@ func vetFile(rel, path string) ([]string, error) {
 	if err != nil {
 		return nil, err
 	}
-	fmtName := ""
+	// localName maps the in-file identifier to the banned package it names.
+	localName := map[string]string{}
 	for _, imp := range f.Imports {
 		p, err := strconv.Unquote(imp.Path.Value)
-		if err != nil || p != "fmt" {
+		if err != nil || banned[p] == nil {
 			continue
 		}
 		switch {
 		case imp.Name == nil:
-			fmtName = "fmt"
+			localName[p] = p
 		case imp.Name.Name == ".":
 			pos := fset.Position(imp.Pos())
-			return []string{fmt.Sprintf("%s:%d:%d: dot-import of fmt defeats the print check",
-				rel, pos.Line, pos.Column)}, nil
+			return []string{fmt.Sprintf("%s:%d:%d: dot-import of %s defeats the print check",
+				rel, pos.Line, pos.Column, p)}, nil
 		case imp.Name.Name == "_":
-			return nil, nil
 		default:
-			fmtName = imp.Name.Name
+			localName[imp.Name.Name] = p
 		}
 	}
-	if fmtName == "" {
+	if len(localName) == 0 {
 		return nil, nil
 	}
 	var findings []string
@@ -131,16 +143,17 @@ func vetFile(rel, path string) ([]string, error) {
 			return true
 		}
 		pkg, ok := sel.X.(*ast.Ident)
-		if !ok || pkg.Name != fmtName {
+		if !ok {
 			return true
 		}
-		switch sel.Sel.Name {
-		case "Print", "Printf", "Println":
-			pos := fset.Position(call.Pos())
-			findings = append(findings, fmt.Sprintf(
-				"%s:%d:%d: %s.%s writes to stdout from a library package; return an error or use obs instead",
-				rel, pos.Line, pos.Column, fmtName, sel.Sel.Name))
+		path, ok := localName[pkg.Name]
+		if !ok || !banned[path][sel.Sel.Name] {
+			return true
 		}
+		pos := fset.Position(call.Pos())
+		findings = append(findings, fmt.Sprintf(
+			"%s:%d:%d: %s.%s writes to the terminal from a library package; return an error or use obs instead",
+			rel, pos.Line, pos.Column, pkg.Name, sel.Sel.Name))
 		return true
 	})
 	return findings, nil

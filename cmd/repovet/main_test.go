@@ -81,6 +81,54 @@ func X() { fmt.Println("testdata is skipped") }
 	}
 }
 
+func TestVetTreeBansLog(t *testing.T) {
+	root := t.TempDir()
+	write(t, root, "internal/a/a.go", `package a
+
+import "log"
+
+func A() { log.Printf("x %d", 1) }
+
+func B() { log.Fatal("boom") }
+`)
+	write(t, root, "internal/b/b.go", `package b
+
+import stdlog "log"
+
+func C() { stdlog.Panicln("boom") }
+`)
+	write(t, root, "internal/c/c.go", `package c
+
+import "log"
+
+func D() *log.Logger { return log.New(nil, "", 0) }
+`)
+	write(t, root, "cmd/tool/main.go", `package main
+
+import "log"
+
+func main() { log.Println("allowed") }
+`)
+
+	findings, err := vetTree(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 3 {
+		t.Fatalf("findings = %v", findings)
+	}
+	joined := strings.Join(findings, "\n")
+	for _, want := range []string{
+		"a.go:5:12: log.Printf",
+		"a.go:7:12: log.Fatal",
+		"b.go:5:12: stdlog.Panicln",
+	} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("findings lack %q:\n%s", want, joined)
+		}
+	}
+}
+
 func TestVetTreeCleanRepo(t *testing.T) {
 	// The repository itself must stay clean: repovet over the repo root
 	// (two levels up from this package) finds nothing.

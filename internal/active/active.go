@@ -781,7 +781,7 @@ func (en *Engine) dispatch(e event.Event, depth int) error {
 	if depth > 0 {
 		mCascadeDepth.Observe(float64(depth))
 	}
-	sp := en.tracer.Start("active.dispatch")
+	sp := en.tracer.StartSpan("active.dispatch", e.Ctx.Trace)
 	if sp != nil {
 		sp.Set("event", e.Kind.String()).Set("ctx", e.Ctx.String())
 		if e.Class != "" {
@@ -801,6 +801,7 @@ func (en *Engine) dispatch(e event.Event, depth int) error {
 		cacheable = false
 		en.stats.cacheUncacheable.Add(1)
 		mCacheUncacheable.Inc()
+		sp.Set("cache", "uncacheable")
 	}
 	var key planKey
 	var epoch uint64
@@ -846,9 +847,11 @@ func (en *Engine) dispatch(e event.Event, depth int) error {
 			if hasWhen {
 				en.stats.cacheUncacheable.Add(1)
 				mCacheUncacheable.Inc()
+				sp.Set("cache", "uncacheable")
 			} else {
 				en.stats.cacheMisses.Add(1)
 				mCacheMisses.Inc()
+				sp.Set("cache", "miss")
 				p := &plan{
 					epoch:      epoch,
 					best:       best,

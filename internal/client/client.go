@@ -147,9 +147,16 @@ type Client struct {
 
 	next atomic.Uint64 // request ID source, unique across sessions
 
+	// tracer spans every round trip and each transport attempt inside it;
+	// disabled (and free) until a sink is attached via Tracer().
+	tracer obs.Tracer
+
 	rngMu sync.Mutex
 	rng   *rand.Rand
 }
+
+// Tracer exposes the client's tracer so a span sink can be attached.
+func (c *Client) Tracer() *obs.Tracer { return &c.tracer }
 
 // Dial connects to a TCP server with no timeout and no retries — the
 // plain §3.5 configuration. Use DialOptions for a fault-tolerant client.
@@ -316,7 +323,7 @@ func (c *Client) readLoop(s *session) {
 func retryable(op proto.Op) bool {
 	switch op {
 	case proto.OpConnect, proto.OpGetSchema, proto.OpGetClass,
-		proto.OpGetValue, proto.OpSelectWhere, proto.OpStats:
+		proto.OpGetValue, proto.OpSelectWhere, proto.OpStats, proto.OpTrace:
 		return true
 	}
 	return false
@@ -328,7 +335,13 @@ func transient(err error) bool {
 	return !errors.Is(err, proto.ErrRemote) && !errors.Is(err, ErrClosed)
 }
 
-func (c *Client) roundTrip(req proto.Request) (proto.Response, error) {
+func (c *Client) roundTrip(req proto.Request) (_ proto.Response, rerr error) {
+	// One span covers the whole logical request; each transport attempt gets
+	// a child of its own, and the wire context is restamped per attempt — so
+	// a retried request keeps one trace ID but every attempt is a distinct
+	// span in the tree.
+	sp := c.tracer.StartSpan("client."+string(req.Op), req.Ctx.Trace)
+	defer func() { sp.SetError(rerr).Finish() }()
 	attempts := 1
 	if retryable(req.Op) && c.opts.Retry.MaxAttempts > 1 {
 		attempts = c.opts.Retry.MaxAttempts
@@ -342,7 +355,18 @@ func (c *Client) roundTrip(req proto.Request) (proto.Response, error) {
 			c.rngMu.Unlock()
 			time.Sleep(delay)
 		}
+		asp := sp.Child("client.attempt").Setf("attempt", "%d", attempt)
+		if asp != nil {
+			sc := asp.Context()
+			req.Trace = &sc
+		} else if req.Ctx.Trace.Valid() {
+			// Tracing is off in this client but the caller has a trace (e.g.
+			// a recording session over an untraced client): still propagate.
+			sc := req.Ctx.Trace
+			req.Trace = &sc
+		}
 		resp, err := c.attempt(&req)
+		asp.SetError(err).Finish()
 		if err == nil {
 			return resp, nil
 		}
@@ -553,4 +577,61 @@ func (c *Client) CallMethod(oid catalog.OID, method string, args ...catalog.Valu
 		return catalog.Value{}, fmt.Errorf("%w: missing value payload", proto.ErrRemote)
 	}
 	return proto.DecodeValue(*resp.Value)
+}
+
+// ScenarioInsert implements ui.Mutator over the scenario_insert verb, so a
+// remote session commits simulation workspaces through the server's normal
+// rule-guarded, WAL-durable mutation path. Mutations are never retried: a
+// transport failure surfaces to CommitScenario, whose workspace-consuming
+// replay already handles resumption.
+func (c *Client) ScenarioInsert(ctx event.Context, schema, class string, values []catalog.Value) (catalog.OID, error) {
+	wvals, err := proto.EncodeValues(values)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := c.roundTrip(proto.Request{
+		Op: proto.OpScenarioInsert, Ctx: ctx, Schema: schema, Class: class, Args: wvals})
+	if err != nil {
+		return 0, err
+	}
+	return resp.OID, nil
+}
+
+// ScenarioUpdate implements ui.Mutator over the scenario_update verb.
+func (c *Client) ScenarioUpdate(ctx event.Context, oid catalog.OID, values []catalog.Value) error {
+	wvals, err := proto.EncodeValues(values)
+	if err != nil {
+		return err
+	}
+	_, err = c.roundTrip(proto.Request{Op: proto.OpScenarioUpdate, Ctx: ctx, OID: oid, Args: wvals})
+	return err
+}
+
+// ScenarioDelete implements ui.Mutator over the scenario_delete verb.
+func (c *Client) ScenarioDelete(ctx event.Context, oid catalog.OID) error {
+	_, err := c.roundTrip(proto.Request{Op: proto.OpScenarioDelete, Ctx: ctx, OID: oid})
+	return err
+}
+
+// Traces fetches every trace retained by the server's tail sampler (the
+// TRACE observability verb).
+func (c *Client) Traces() ([]obs.TraceData, error) {
+	resp, err := c.roundTrip(proto.Request{Op: proto.OpTrace})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Traces, nil
+}
+
+// Trace fetches one retained trace by ID; a trace the sampler did not
+// retain (or has since evicted) is a remote error.
+func (c *Client) Trace(trace uint64) (obs.TraceData, error) {
+	resp, err := c.roundTrip(proto.Request{Op: proto.OpTrace, TraceID: trace})
+	if err != nil {
+		return obs.TraceData{}, err
+	}
+	if len(resp.Traces) == 0 {
+		return obs.TraceData{}, fmt.Errorf("%w: trace %s not retained", proto.ErrRemote, obs.IDString(trace))
+	}
+	return resp.Traces[0], nil
 }

@@ -19,6 +19,7 @@ import (
 	"repro/internal/custlang"
 	"repro/internal/event"
 	"repro/internal/geodb"
+	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/internal/storage"
 	"repro/internal/topo"
@@ -65,6 +66,13 @@ type System struct {
 	Backend *ui.DirectBackend
 	// Guard owns topological constraints.
 	Guard *topo.Guard
+
+	// Tracer roots interaction spans for sessions created by NewSession and
+	// request spans for servers from NewServer. Disabled (all span
+	// operations free no-ops) until EnableTracing attaches the sampler.
+	Tracer *obs.Tracer
+	// Traces is the tail sampler EnableTracing installed, or nil.
+	Traces *obs.TailSampler
 }
 
 // Open assembles a system.
@@ -94,7 +102,22 @@ func Open(cfg Config) (*System, error) {
 		Builder: builder.New(lib, db),
 		Backend: backend,
 		Guard:   topo.NewGuard(db),
+		Tracer:  obs.NewTracer(),
 	}, nil
+}
+
+// EnableTracing builds a tail sampler from opts and attaches it to every
+// tracer in the system — the session/server tracer, the rule engine's and
+// the database's — so one interaction's spans land in one trace tree. It
+// returns the sampler (also stored as s.Traces) for the trace verb, HTTP
+// export and tests. Calling it again replaces the sampler.
+func (s *System) EnableTracing(opts obs.TailSamplerOptions) *obs.TailSampler {
+	ts := obs.NewTailSampler(opts)
+	s.Traces = ts
+	s.Tracer.AttachSink(ts)
+	s.Engine.Tracer().AttachSink(ts)
+	s.DB.Tracer().AttachSink(ts)
+	return ts
 }
 
 // MustOpen is Open for known-good configurations.
@@ -172,7 +195,9 @@ func (s *System) Certify(c topo.Constraint) ([]topo.Violation, error) {
 
 // NewSession opens a strong-integration UI session for the context.
 func (s *System) NewSession(ctx event.Context) *ui.Session {
-	return ui.NewSession(s.Backend, s.Builder, ctx)
+	sess := ui.NewSession(s.Backend, s.Builder, ctx)
+	sess.SetTracer(s.Tracer)
+	return sess
 }
 
 // NewServer returns a weak-integration protocol server over this system.
@@ -181,6 +206,8 @@ func (s *System) NewSession(ctx event.Context) *ui.Session {
 func (s *System) NewServer() *server.Server {
 	srv := server.New(s.Backend)
 	srv.Checkpoint = s.DB.Checkpoint
+	srv.Tracer = s.Tracer
+	srv.TraceStore = s.Traces
 	return srv
 }
 
@@ -214,7 +241,12 @@ func RemoteSessionOptions(addr string, lib *uikit.Library, ctx event.Context, op
 		return nil, nil, err
 	}
 	bld := builder.New(lib, cli)
-	return ui.NewSession(cli, bld, ctx), cli, nil
+	sess := ui.NewSession(cli, bld, ctx)
+	// The session's interaction spans and the client's transport spans share
+	// the client's tracer: attach one sink (e.g. an obs.TailSampler) to
+	// cli.Tracer() and the whole client-side half of each trace is captured.
+	sess.SetTracer(cli.Tracer())
+	return sess, cli, nil
 }
 
 // PipeSession attaches a weak-integration session to this system over an
@@ -230,7 +262,9 @@ func (s *System) PipeSession(lib *uikit.Library, ctx event.Context) (*ui.Session
 		cli.Close()
 		srv.Close()
 	}
-	return ui.NewSession(cli, bld, ctx), cleanup, nil
+	sess := ui.NewSession(cli, bld, ctx)
+	sess.SetTracer(cli.Tracer())
+	return sess, cleanup, nil
 }
 
 // Describe renders a one-line system summary.

@@ -121,6 +121,14 @@ type Context struct {
 	Application string
 	// Extra holds extended context dimensions such as "scale" or "epoch".
 	Extra map[string]string
+
+	// Trace is the distributed-tracing context of the interaction that
+	// produced this event. It rides the Context because the context already
+	// flows from the UI through every primitive, event and rule dispatch —
+	// but it is identity, not context: rule matching and specificity ignore
+	// it, and it does not serialize here (the wire protocol carries it in
+	// an explicit request field instead).
+	Trace obs.SpanContext `json:"-"`
 }
 
 // Specificity scores how restrictive the context is; the active mechanism

@@ -125,6 +125,11 @@ type DB struct {
 	pager storage.Pager
 	wal   *storage.WAL // nil when the WAL is disabled
 
+	// tracer stamps spans on the exploratory primitives and mutations.
+	// Disabled (nil sink) until core.EnableTracing attaches one; every
+	// span operation below is a nil-safe no-op then.
+	tracer obs.Tracer
+
 	// checkpointEvery/ckptMu drive automatic checkpoints: every commit
 	// counts, and the commit that reaches the threshold performs the
 	// checkpoint before acknowledging.
@@ -266,6 +271,9 @@ func (db *DB) Catalog() *catalog.Catalog { return db.cat }
 // Bus exposes the database event bus; the active mechanism subscribes here.
 func (db *DB) Bus() *event.Bus { return db.bus }
 
+// Tracer exposes the database's tracer so a span sink can be attached.
+func (db *DB) Tracer() *obs.Tracer { return &db.tracer }
+
 // Pool exposes buffer pool statistics for the B5 experiment.
 func (db *DB) Pool() *storage.BufferPool { return db.heap.Pool() }
 
@@ -283,7 +291,7 @@ func (db *DB) Close() error {
 	defer db.mu.Unlock()
 	var firstErr error
 	if db.wal != nil {
-		if err := db.checkpointLocked(); err != nil {
+		if err := db.checkpointLocked(nil); err != nil {
 			firstErr = err
 		}
 	}
@@ -309,11 +317,17 @@ func (db *DB) Checkpoint() error {
 	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	return db.checkpointLocked()
+	return db.checkpointLocked(nil)
 }
 
-func (db *DB) checkpointLocked() error {
-	if err := db.heap.Pool().Flush(); err != nil {
+// checkpointLocked does the work under db.mu; sp (nil ok) parents the
+// pool-flush span so a checkpoint triggered inside a traced mutation shows
+// up in that mutation's tree.
+func (db *DB) checkpointLocked(sp *obs.Span) error {
+	fl := sp.Child("pool.flush")
+	err := db.heap.Pool().Flush()
+	fl.SetError(err).Finish()
+	if err != nil {
 		return err
 	}
 	if err := db.pager.Sync(); err != nil {
@@ -326,12 +340,16 @@ func (db *DB) checkpointLocked() error {
 // way out: the WAL is synced (subject to SyncEvery batching) so the
 // mutation survives a crash, and the commit that reaches CheckpointEvery
 // performs the periodic checkpoint. Mutations return errors from here
-// instead of acknowledging.
-func (db *DB) commitDurable() error {
+// instead of acknowledging. sp (nil ok) is the mutation's span; the WAL
+// commit and any due checkpoint become its children.
+func (db *DB) commitDurable(sp *obs.Span) error {
 	if db.wal == nil {
 		return nil
 	}
-	if err := db.wal.Commit(); err != nil {
+	wsp := sp.Child("wal.commit")
+	err := db.wal.Commit()
+	wsp.SetError(err).Finish()
+	if err != nil {
 		return err
 	}
 	if db.checkpointEvery <= 0 {
@@ -345,7 +363,12 @@ func (db *DB) commitDurable() error {
 	}
 	db.ckptMu.Unlock()
 	if due {
-		return db.Checkpoint()
+		ck := sp.Child("db.checkpoint")
+		db.mu.Lock()
+		err := db.checkpointLocked(ck)
+		db.mu.Unlock()
+		ck.SetError(err).Finish()
+		return err
 	}
 	return nil
 }
@@ -510,9 +533,12 @@ func (db *DB) ValuesFromMap(schema, class string, m map[string]catalog.Value) ([
 
 // Insert stores a new instance and returns its OID. Pre/Post insert events
 // are emitted; an error from a PreInsert handler vetoes the insert.
-func (db *DB) Insert(ctx event.Context, schema, class string, values []catalog.Value) (catalog.OID, error) {
+func (db *DB) Insert(ctx event.Context, schema, class string, values []catalog.Value) (_ catalog.OID, rerr error) {
 	sw := obs.Start(mInsertSeconds)
 	defer sw.Stop()
+	sp := db.tracer.StartSpan("geodb.insert", ctx.Trace)
+	sp.Set("class", schema+"."+class)
+	defer func() { sp.SetError(rerr).Finish() }()
 	attrs, err := db.typecheck(schema, class, values)
 	if err != nil {
 		return 0, err
@@ -548,7 +574,7 @@ func (db *DB) Insert(ctx event.Context, schema, class string, values []catalog.V
 		tree.Insert(b, uint64(oid))
 	}
 	db.mu.Unlock()
-	if err := db.commitDurable(); err != nil {
+	if err := db.commitDurable(sp); err != nil {
 		return 0, err
 	}
 	post := event.Event{Kind: event.PostInsert, Schema: schema, Class: class, OID: oid, Ctx: ctx, New: values}
@@ -569,7 +595,10 @@ func (db *DB) InsertMap(ctx event.Context, schema, class string, m map[string]ca
 
 // Update replaces the instance's values. PreUpdate handlers may veto (the
 // topological-constraint rules of [11] do exactly that).
-func (db *DB) Update(ctx event.Context, oid catalog.OID, values []catalog.Value) error {
+func (db *DB) Update(ctx event.Context, oid catalog.OID, values []catalog.Value) (rerr error) {
+	sp := db.tracer.StartSpan("geodb.update", ctx.Trace)
+	sp.Setf("oid", "%d", oid)
+	defer func() { sp.SetError(rerr).Finish() }()
 	old, err := db.lookup(oid)
 	if err != nil {
 		return err
@@ -621,7 +650,7 @@ func (db *DB) Update(ctx event.Context, oid catalog.OID, values []catalog.Value)
 		db.spatial[key] = tree
 	}
 	db.mu.Unlock()
-	if err := db.commitDurable(); err != nil {
+	if err := db.commitDurable(sp); err != nil {
 		return err
 	}
 	post := event.Event{Kind: event.PostUpdate, Schema: old.Schema, Class: old.Class,
@@ -652,7 +681,10 @@ func (db *DB) UpdateAttr(ctx event.Context, oid catalog.OID, attr string, v cata
 }
 
 // Delete removes an instance. PreDelete handlers may veto.
-func (db *DB) Delete(ctx event.Context, oid catalog.OID) error {
+func (db *DB) Delete(ctx event.Context, oid catalog.OID) (rerr error) {
+	sp := db.tracer.StartSpan("geodb.delete", ctx.Trace)
+	sp.Setf("oid", "%d", oid)
+	defer func() { sp.SetError(rerr).Finish() }()
 	old, err := db.lookup(oid)
 	if err != nil {
 		return err
@@ -683,7 +715,7 @@ func (db *DB) Delete(ctx event.Context, oid catalog.OID) error {
 		}
 	}
 	db.mu.Unlock()
-	if err := db.commitDurable(); err != nil {
+	if err := db.commitDurable(sp); err != nil {
 		return err
 	}
 	post := event.Event{Kind: event.PostDelete, Schema: old.Schema, Class: old.Class,

@@ -71,7 +71,7 @@ func (db *DB) persistCatalog() error {
 	if err := db.persistCatalogRecord(); err != nil {
 		return err
 	}
-	return db.commitDurable()
+	return db.commitDurable(nil)
 }
 
 func (db *DB) persistCatalogRecord() error {

@@ -52,9 +52,12 @@ type ClassInfo struct {
 
 // GetSchema implements the Get_Schema primitive: it emits the event (which
 // triggers schema presentation rules) and returns the schema inventory.
-func (db *DB) GetSchema(ctx event.Context, schema string) (SchemaInfo, error) {
+func (db *DB) GetSchema(ctx event.Context, schema string) (_ SchemaInfo, rerr error) {
 	sw := obs.Start(mGetSchemaSeconds)
 	defer sw.Stop()
+	sp := db.tracer.StartSpan("geodb.get_schema", ctx.Trace)
+	sp.Set("schema", schema)
+	defer func() { sp.SetError(rerr).Finish() }()
 	s, err := db.cat.Schema(schema)
 	if err != nil {
 		return SchemaInfo{}, err
@@ -74,9 +77,12 @@ func (db *DB) GetSchema(ctx event.Context, schema string) (SchemaInfo, error) {
 }
 
 // GetClass implements the Get_Class primitive.
-func (db *DB) GetClass(ctx event.Context, schema, class string) (ClassInfo, error) {
+func (db *DB) GetClass(ctx event.Context, schema, class string) (_ ClassInfo, rerr error) {
 	sw := obs.Start(mGetClassSeconds)
 	defer sw.Stop()
+	sp := db.tracer.StartSpan("geodb.get_class", ctx.Trace)
+	sp.Set("class", schema+"."+class)
+	defer func() { sp.SetError(rerr).Finish() }()
 	s, err := db.cat.Schema(schema)
 	if err != nil {
 		return ClassInfo{}, err
@@ -107,9 +113,12 @@ func (db *DB) GetClass(ctx event.Context, schema, class string) (ClassInfo, erro
 
 // GetValue implements the Get_Value primitive: it emits the event and
 // materializes the instance.
-func (db *DB) GetValue(ctx event.Context, oid catalog.OID) (Instance, error) {
+func (db *DB) GetValue(ctx event.Context, oid catalog.OID) (_ Instance, rerr error) {
 	sw := obs.Start(mGetValueSeconds)
 	defer sw.Stop()
+	sp := db.tracer.StartSpan("geodb.get_value", ctx.Trace)
+	sp.Setf("oid", "%d", oid)
+	defer func() { sp.SetError(rerr).Finish() }()
 	in, err := db.lookup(oid)
 	if err != nil {
 		return Instance{}, err

@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// chromeEvent is one entry of the Chrome trace_event format (the JSON the
+// chrome://tracing and Perfetto viewers load). "X" events are complete
+// slices with microsecond timestamps; "M" events carry metadata such as
+// process names.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	Ts   int64             `json:"ts"`
+	Dur  int64             `json:"dur,omitempty"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+type chromeFile struct {
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+}
+
+// WriteChromeTrace renders retained traces in Chrome trace_event format:
+// each trace becomes one "process" (named by its trace ID), and overlapping
+// spans are packed onto as few "thread" lanes as nesting allows, so the
+// span tree of one interaction reads as a flame chart. Timestamps are
+// microseconds relative to the earliest span in the export, which keeps the
+// output stable for identical inputs.
+func WriteChromeTrace(w io.Writer, traces []TraceData) error {
+	var base time.Time
+	for _, td := range traces {
+		for _, s := range td.Spans {
+			if base.IsZero() || s.Start.Before(base) {
+				base = s.Start
+			}
+		}
+	}
+	events := make([]chromeEvent, 0, 16)
+	for i, td := range traces {
+		pid := i + 1
+		name := fmt.Sprintf("trace %s (%s, %s)", IDString(td.TraceID), td.Reason, td.Duration)
+		events = append(events, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: pid, Tid: 0,
+			Args: map[string]string{"name": name},
+		})
+		spans := append([]Span(nil), td.Spans...)
+		sort.SliceStable(spans, func(a, b int) bool { return spans[a].Start.Before(spans[b].Start) })
+		// Greedy lane packing: each span takes the lowest lane free at its
+		// start time, so parents and their sequential children share lanes
+		// while concurrent (pipelined) siblings stack.
+		var laneEnd []time.Time
+		for _, s := range spans {
+			lane := -1
+			for li, end := range laneEnd {
+				if !s.Start.Before(end) {
+					lane = li
+					break
+				}
+			}
+			if lane == -1 {
+				lane = len(laneEnd)
+				laneEnd = append(laneEnd, time.Time{})
+			}
+			laneEnd[lane] = s.End
+			args := map[string]string{
+				"span":   IDString(s.ID),
+				"parent": IDString(s.Parent),
+			}
+			for _, a := range s.Attrs {
+				args[a.Key] = a.Value
+			}
+			if s.Error != "" {
+				args["error"] = s.Error
+			}
+			events = append(events, chromeEvent{
+				Name: s.Name,
+				Ph:   "X",
+				Ts:   s.Start.Sub(base).Microseconds(),
+				Dur:  s.Duration().Microseconds(),
+				Pid:  pid,
+				Tid:  lane + 1,
+				Args: args,
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(chromeFile{DisplayTimeUnit: "ms", TraceEvents: events})
+}

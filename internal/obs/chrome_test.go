@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenTraces is a fixed two-trace export: one cross-process tree with a
+// cache attribute and an error, one single-span trace — enough to exercise
+// metadata events, lane packing of overlapping spans, attrs and errors.
+func goldenTraces() []TraceData {
+	base := time.Date(1997, 4, 7, 12, 0, 0, 0, time.UTC)
+	at := func(offsetUS, durUS int64) (time.Time, time.Time) {
+		s := base.Add(time.Duration(offsetUS) * time.Microsecond)
+		return s, s.Add(time.Duration(durUS) * time.Microsecond)
+	}
+	mk := func(trace, id, parent uint64, name string, offsetUS, durUS int64, attrs []Attr, errMsg string) Span {
+		start, end := at(offsetUS, durUS)
+		return Span{Trace: trace, ID: id, Parent: parent, Name: name,
+			Start: start, End: end, Attrs: attrs, Error: errMsg}
+	}
+	return []TraceData{
+		{
+			TraceID: 0x1111, Root: 0x10, Reason: ReasonSlow, Duration: 1200 * time.Microsecond,
+			Spans: []Span{
+				mk(0x1111, 0x13, 0x12, "geodb.get_class", 300, 400,
+					[]Attr{{Key: "class", Value: "NET.Pole"}}, ""),
+				mk(0x1111, 0x12, 0x11, "server.get_class", 200, 700,
+					[]Attr{{Key: "cache", Value: "miss"}}, ""),
+				mk(0x1111, 0x11, 0x10, "client.get_class", 100, 900, nil, ""),
+				mk(0x1111, 0x10, 0, "ui.open_class", 0, 1200, nil, ""),
+			},
+		},
+		{
+			TraceID: 0x2222, Root: 0x20, Reason: ReasonError, Duration: 500 * time.Microsecond,
+			Err: true,
+			Spans: []Span{
+				mk(0x2222, 0x20, 0, "server.scenario_insert", 2000, 500, nil, "constraint violated"),
+			},
+		},
+	}
+}
+
+func TestWriteChromeTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, goldenTraces()); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "chrome_trace.golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with go test -run ChromeTraceGolden -update)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("chrome export drifted from the golden file\n--- got ---\n%s\n--- want ---\n%s",
+			buf.Bytes(), want)
+	}
+}
+
+func TestWriteChromeTraceLanePacking(t *testing.T) {
+	// The overlapping parent/child chain of the golden fixture needs four
+	// lanes (each span starts before the previous ends); the second trace
+	// is a separate process starting at lane 1.
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, goldenTraces()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`"ph": "M"`,               // process metadata present
+		`"name": "ui.open_class"`, // spans named
+		`"cache": "miss"`,         // attrs exported
+		`"error": "constraint violated"`,
+		`"tid": 4`, // deepest overlap reached lane 4
+	} {
+		if !bytes.Contains(buf.Bytes(), []byte(want)) {
+			t.Errorf("export lacks %s:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteChromeTraceEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte(`"traceEvents": []`)) {
+		t.Errorf("empty export = %s", buf.String())
+	}
+}

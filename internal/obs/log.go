@@ -1,0 +1,163 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Level orders log severities.
+type Level int8
+
+// The severity ladder.
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+// String returns the level's lowercase name.
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	case LevelError:
+		return "error"
+	default:
+		return fmt.Sprintf("level(%d)", int8(l))
+	}
+}
+
+// ParseLevel resolves a level name (case-insensitive).
+func ParseLevel(s string) (Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return LevelDebug, nil
+	case "info", "":
+		return LevelInfo, nil
+	case "warn", "warning":
+		return LevelWarn, nil
+	case "error":
+		return LevelError, nil
+	default:
+		return LevelInfo, fmt.Errorf("obs: unknown log level %q", s)
+	}
+}
+
+// field is one pre-bound key/value pair.
+type field struct {
+	key string
+	val any
+}
+
+// Logger writes leveled, structured JSON lines: one object per line with
+// "ts", "level", "msg", the logger's bound fields (With), then the call's
+// key/value pairs. A nil *Logger is a valid, silent logger, so instrumented
+// code holds one without guards. Loggers sharing a writer (including every
+// With derivative) serialize their writes.
+type Logger struct {
+	mu     *sync.Mutex
+	w      io.Writer
+	min    Level
+	fields []field
+	now    func() time.Time
+}
+
+// NewLogger returns a logger writing JSON lines at or above min to w.
+func NewLogger(w io.Writer, min Level) *Logger {
+	return &Logger{mu: &sync.Mutex{}, w: w, min: min, now: time.Now}
+}
+
+// With returns a logger that stamps the given key/value pairs on every
+// line — per-connection, per-session or per-trace context attaches here
+// once instead of at every call site. Nil-safe.
+func (l *Logger) With(kvs ...any) *Logger {
+	if l == nil || len(kvs) == 0 {
+		return l
+	}
+	nl := &Logger{mu: l.mu, w: l.w, min: l.min, now: l.now}
+	nl.fields = append(append([]field(nil), l.fields...), pairs(kvs)...)
+	return nl
+}
+
+// Enabled reports whether lines at lv would be written.
+func (l *Logger) Enabled(lv Level) bool { return l != nil && lv >= l.min }
+
+// Debug logs at debug level.
+func (l *Logger) Debug(msg string, kvs ...any) { l.log(LevelDebug, msg, kvs) }
+
+// Info logs at info level.
+func (l *Logger) Info(msg string, kvs ...any) { l.log(LevelInfo, msg, kvs) }
+
+// Warn logs at warn level.
+func (l *Logger) Warn(msg string, kvs ...any) { l.log(LevelWarn, msg, kvs) }
+
+// Error logs at error level.
+func (l *Logger) Error(msg string, kvs ...any) { l.log(LevelError, msg, kvs) }
+
+func pairs(kvs []any) []field {
+	out := make([]field, 0, (len(kvs)+1)/2)
+	for i := 0; i < len(kvs); i += 2 {
+		k, ok := kvs[i].(string)
+		if !ok {
+			k = fmt.Sprint(kvs[i])
+		}
+		var v any
+		if i+1 < len(kvs) {
+			v = kvs[i+1]
+		}
+		out = append(out, field{key: k, val: v})
+	}
+	return out
+}
+
+func (l *Logger) log(lv Level, msg string, kvs []any) {
+	if !l.Enabled(lv) {
+		return
+	}
+	buf := make([]byte, 0, 256)
+	buf = append(buf, `{"ts":"`...)
+	buf = l.now().UTC().AppendFormat(buf, time.RFC3339Nano)
+	buf = append(buf, `","level":"`...)
+	buf = append(buf, lv.String()...)
+	buf = append(buf, `","msg":`...)
+	buf = appendJSON(buf, msg)
+	for _, f := range l.fields {
+		buf = appendField(buf, f)
+	}
+	for _, f := range pairs(kvs) {
+		buf = appendField(buf, f)
+	}
+	buf = append(buf, '}', '\n')
+	l.mu.Lock()
+	l.w.Write(buf)
+	l.mu.Unlock()
+}
+
+func appendField(buf []byte, f field) []byte {
+	buf = append(buf, ',')
+	buf = appendJSON(buf, f.key)
+	buf = append(buf, ':')
+	return appendJSON(buf, f.val)
+}
+
+// appendJSON marshals v onto buf; unmarshalable values degrade to their
+// fmt.Sprint form rather than dropping the line.
+func appendJSON(buf []byte, v any) []byte {
+	if err, ok := v.(error); ok && err != nil {
+		v = err.Error()
+	}
+	b, err := json.Marshal(v)
+	if err != nil {
+		b, _ = json.Marshal(fmt.Sprint(v))
+	}
+	return append(buf, b...)
+}

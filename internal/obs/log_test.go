@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// decodeLines splits the buffer into one decoded JSON object per line.
+func decodeLines(t *testing.T, buf *bytes.Buffer) []map[string]any {
+	t.Helper()
+	var out []map[string]any
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		if line == "" {
+			continue
+		}
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("line %q is not JSON: %v", line, err)
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+func TestLoggerJSONShape(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, LevelDebug)
+	l.now = func() time.Time { return time.Date(1997, 4, 7, 12, 0, 0, 0, time.UTC) }
+	l.Info("request done", "verb", "get_class", "dur_ms", 12.5, "trace", IDString(0xab))
+
+	lines := decodeLines(t, &buf)
+	if len(lines) != 1 {
+		t.Fatalf("wrote %d lines, want 1", len(lines))
+	}
+	m := lines[0]
+	if m["ts"] != "1997-04-07T12:00:00Z" {
+		t.Errorf("ts = %v", m["ts"])
+	}
+	if m["level"] != "info" || m["msg"] != "request done" {
+		t.Errorf("level/msg = %v/%v", m["level"], m["msg"])
+	}
+	if m["verb"] != "get_class" || m["dur_ms"] != 12.5 {
+		t.Errorf("kv fields = %v", m)
+	}
+	if m["trace"] != "00000000000000ab" {
+		t.Errorf("trace = %v", m["trace"])
+	}
+}
+
+func TestLoggerLevelThreshold(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, LevelWarn)
+	l.Debug("no")
+	l.Info("no")
+	l.Warn("yes")
+	l.Error("also yes")
+	lines := decodeLines(t, &buf)
+	if len(lines) != 2 {
+		t.Fatalf("wrote %d lines, want 2: %v", len(lines), lines)
+	}
+	if lines[0]["level"] != "warn" || lines[1]["level"] != "error" {
+		t.Errorf("levels = %v, %v", lines[0]["level"], lines[1]["level"])
+	}
+	if l.Enabled(LevelInfo) || !l.Enabled(LevelError) {
+		t.Error("Enabled disagrees with the threshold")
+	}
+}
+
+func TestLoggerWithBindsFields(t *testing.T) {
+	var buf bytes.Buffer
+	base := NewLogger(&buf, LevelInfo)
+	conn := base.With("proc", "gisd", "conn", 3)
+	conn.Info("connection opened", "peer", "1.2.3.4:5")
+
+	lines := decodeLines(t, &buf)
+	m := lines[0]
+	if m["proc"] != "gisd" || m["conn"] != float64(3) || m["peer"] != "1.2.3.4:5" {
+		t.Errorf("bound + call fields = %v", m)
+	}
+	// The parent logger is unchanged.
+	buf.Reset()
+	base.Info("plain")
+	if m := decodeLines(t, &buf)[0]; m["conn"] != nil {
+		t.Errorf("parent logger inherited child fields: %v", m)
+	}
+}
+
+func TestLoggerErrorAndOddKVs(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, LevelInfo)
+	l.Error("failed", "err", errors.New("boom"), "dangling")
+	m := decodeLines(t, &buf)[0]
+	if m["err"] != "boom" {
+		t.Errorf("error value = %v, want its message", m["err"])
+	}
+	if v, present := m["dangling"]; !present || v != nil {
+		t.Errorf("dangling key = %v (present %v), want null", v, present)
+	}
+}
+
+func TestLoggerUnmarshalableValueDegrades(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, LevelInfo)
+	l.Info("weird", "ch", make(chan int))
+	m := decodeLines(t, &buf)[0]
+	if _, ok := m["ch"].(string); !ok {
+		t.Errorf("unmarshalable value should degrade to a string, got %T", m["ch"])
+	}
+}
+
+func TestLoggerNilSafe(t *testing.T) {
+	var l *Logger
+	l.Debug("no-op")
+	l.Info("no-op")
+	l.Warn("no-op")
+	l.Error("no-op")
+	if l.With("k", "v") != nil {
+		t.Error("nil.With should stay nil")
+	}
+	if l.Enabled(LevelError) {
+		t.Error("nil logger reports enabled")
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Level
+		ok   bool
+	}{
+		{"debug", LevelDebug, true},
+		{"info", LevelInfo, true},
+		{"", LevelInfo, true},
+		{" WARN ", LevelWarn, true},
+		{"warning", LevelWarn, true},
+		{"error", LevelError, true},
+		{"loud", LevelInfo, false},
+	}
+	for _, c := range cases {
+		got, err := ParseLevel(c.in)
+		if (err == nil) != c.ok || got != c.want {
+			t.Errorf("ParseLevel(%q) = %v, %v; want %v, ok=%v", c.in, got, err, c.want, c.ok)
+		}
+	}
+	if LevelDebug.String() != "debug" || Level(9).String() != "level(9)" {
+		t.Error("Level.String misrenders")
+	}
+}

@@ -270,6 +270,50 @@ func (h HistogramSnapshot) Mean() float64 {
 	return h.Sum / float64(h.Count)
 }
 
+// Quantile estimates the q-quantile (q in 0..1) from the bucket counts by
+// linear interpolation within the bucket holding the target rank — the
+// same estimate Prometheus's histogram_quantile computes. Observations in
+// the +Inf overflow bucket clamp to the highest finite bound; an empty
+// histogram returns 0.
+func (h HistogramSnapshot) Quantile(q float64) float64 {
+	if h.Count == 0 || len(h.Bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.Count)
+	var cum float64
+	for i, c := range h.Counts {
+		if c == 0 {
+			cum += float64(c)
+			continue
+		}
+		prev := cum
+		cum += float64(c)
+		if cum < rank {
+			continue
+		}
+		if i >= len(h.Bounds) {
+			return h.Bounds[len(h.Bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = h.Bounds[i-1]
+		}
+		hi := h.Bounds[i]
+		frac := (rank - prev) / float64(c)
+		if frac < 0 {
+			frac = 0
+		}
+		return lo + (hi-lo)*frac
+	}
+	return h.Bounds[len(h.Bounds)-1]
+}
+
 // Snapshot is a point-in-time copy of a whole registry — the payload of the
 // STATS protocol verb.
 type Snapshot struct {

@@ -1,0 +1,345 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Tail-sampling accounting (how many traces were kept and why), so the
+// sampler's behavior is itself observable through the stats verb.
+var (
+	mTraceFinalized     = Default().Counter("gis_trace_finalized_total")
+	mTraceRetainedSlow  = Default().Counter(`gis_trace_retained_total{reason="slow"}`)
+	mTraceRetainedError = Default().Counter(`gis_trace_retained_total{reason="error"}`)
+	mTraceRetainedHead  = Default().Counter(`gis_trace_retained_total{reason="sampled"}`)
+	mTraceDroppedFast   = Default().Counter("gis_trace_dropped_total")
+	mTraceSpanOverflow  = Default().Counter("gis_trace_span_overflow_total")
+	mTracePendingEvict  = Default().Counter("gis_trace_pending_evicted_total")
+)
+
+// TailSamplerOptions sizes a TailSampler. The zero value gets defaults.
+type TailSamplerOptions struct {
+	// SlowestN is how many of the slowest complete traces to retain
+	// (default 16). A new trace slower than the current fastest retained
+	// "slow" trace displaces it.
+	SlowestN int
+	// HeadRate is the fraction (0..1) of ordinary traces — neither slow
+	// nor errored — retained anyway, so the store always holds some
+	// typical traffic. The decision is a deterministic function of the
+	// trace ID, equivalent to deciding at trace start (default 0).
+	HeadRate float64
+	// MaxTraces bounds retained traces overall (default 64; raised to
+	// SlowestN when smaller). When full, the oldest non-slow trace is
+	// evicted first.
+	MaxTraces int
+	// MaxSpansPerTrace bounds one trace's tree (default 512); spans past
+	// the cap are counted in TraceData.DroppedSpans.
+	MaxSpansPerTrace int
+	// MaxPending bounds traces that have spans but no finished request
+	// boundary yet (default 256). When full the oldest is discarded —
+	// a leak guard for spans whose request never completes.
+	MaxPending int
+}
+
+func (o TailSamplerOptions) withDefaults() TailSamplerOptions {
+	if o.SlowestN <= 0 {
+		o.SlowestN = 16
+	}
+	if o.MaxTraces <= 0 {
+		o.MaxTraces = 64
+	}
+	if o.MaxTraces < o.SlowestN {
+		o.MaxTraces = o.SlowestN
+	}
+	if o.MaxSpansPerTrace <= 0 {
+		o.MaxSpansPerTrace = 512
+	}
+	if o.MaxPending <= 0 {
+		o.MaxPending = 256
+	}
+	return o
+}
+
+// Retention reasons recorded on TraceData.Reason.
+const (
+	ReasonSlow    = "slow"
+	ReasonError   = "error"
+	ReasonSampled = "sampled"
+)
+
+// TraceData is one retained trace: its complete span tree (up to the span
+// cap) plus the retention verdict. It is what the trace verb and the gisd
+// /traces endpoints serve.
+type TraceData struct {
+	TraceID uint64 `json:"trace_id"`
+	// Root is the span ID of the request boundary that completed the
+	// trace on this side of the wire.
+	Root uint64 `json:"root,omitempty"`
+	// Reason is why the trace was kept: "slow", "error" or "sampled".
+	Reason string `json:"reason"`
+	// Duration is the boundary span's elapsed time.
+	Duration time.Duration `json:"duration"`
+	// Err reports whether any span recorded an error.
+	Err bool `json:"err,omitempty"`
+	// DroppedSpans counts spans discarded past MaxSpansPerTrace.
+	DroppedSpans int `json:"dropped_spans,omitempty"`
+	// Spans holds the tree in completion order (children before parents).
+	Spans []Span `json:"spans"`
+}
+
+// traceBuf accumulates one trace's spans until its retention verdict.
+type traceBuf struct {
+	spans   []Span
+	dropped int
+	hasErr  bool
+
+	// set once the request boundary finishes
+	done   bool
+	root   uint64
+	dur    time.Duration
+	reason string
+}
+
+// TailSampler is a SpanSink that retains whole traces by outcome rather
+// than sampling spans blindly: the slowest-N traces and every trace with an
+// errored span are kept in full, a configurable fraction of ordinary
+// traffic is kept as a baseline, and the rest is dropped once complete.
+//
+// Spans accumulate per trace ID until a request-boundary span (Tracer.Start
+// or StartRequest) finishes — that is the completion signal. Spans of an
+// already-retained trace (e.g. a UI interaction wrapping several requests)
+// keep appending to it; spans of a dropped trace are discarded, so one
+// trace gets one verdict.
+//
+// Attach one sampler to every tracer in the process (client or server,
+// engine, database) and their spans join into per-interaction trees.
+type TailSampler struct {
+	mu  sync.Mutex
+	opt TailSamplerOptions
+
+	pending  map[uint64]*traceBuf
+	pendq    []uint64 // pending trace IDs, oldest first
+	retained map[uint64]*traceBuf
+	retq     []uint64 // retained trace IDs, oldest first
+
+	// dropped remembers recently dropped trace IDs so stragglers (spans
+	// finishing after the verdict) are discarded, not resurrected.
+	dropped  map[uint64]struct{}
+	droppedq []uint64
+}
+
+// NewTailSampler returns a sampler sized by opt.
+func NewTailSampler(opt TailSamplerOptions) *TailSampler {
+	return &TailSampler{
+		opt:      opt.withDefaults(),
+		pending:  make(map[uint64]*traceBuf),
+		retained: make(map[uint64]*traceBuf),
+		dropped:  make(map[uint64]struct{}),
+	}
+}
+
+// record implements SpanSink.
+func (ts *TailSampler) record(s Span) {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+
+	if tb, ok := ts.retained[s.Trace]; ok {
+		ts.appendSpan(tb, s)
+		if s.boundary && s.Duration() > tb.dur {
+			// A later, larger boundary (the UI interaction wrapping the
+			// request that got this trace retained): report its duration.
+			tb.dur = s.Duration()
+			tb.root = s.ID
+		}
+		return
+	}
+	if _, ok := ts.dropped[s.Trace]; ok {
+		return // verdict already "drop"; stragglers stay dropped
+	}
+
+	tb, ok := ts.pending[s.Trace]
+	if !ok {
+		if len(ts.pendq) >= ts.opt.MaxPending {
+			evict := ts.pendq[0]
+			ts.pendq = ts.pendq[1:]
+			delete(ts.pending, evict)
+			mTracePendingEvict.Inc()
+		}
+		tb = &traceBuf{}
+		ts.pending[s.Trace] = tb
+		ts.pendq = append(ts.pendq, s.Trace)
+	}
+	ts.appendSpan(tb, s)
+	if !s.boundary {
+		return
+	}
+
+	// The request boundary finished: the trace is complete — decide.
+	mTraceFinalized.Inc()
+	tb.done = true
+	tb.root = s.ID
+	tb.dur = s.Duration()
+	ts.unpend(s.Trace)
+	switch {
+	case tb.hasErr:
+		tb.reason = ReasonError
+		mTraceRetainedError.Inc()
+		ts.retain(s.Trace, tb)
+	case ts.qualifiesSlowLocked(tb.dur):
+		tb.reason = ReasonSlow
+		mTraceRetainedSlow.Inc()
+		ts.retain(s.Trace, tb)
+	case ts.headKeep(s.Trace):
+		tb.reason = ReasonSampled
+		mTraceRetainedHead.Inc()
+		ts.retain(s.Trace, tb)
+	default:
+		mTraceDroppedFast.Inc()
+		ts.drop(s.Trace)
+	}
+}
+
+func (ts *TailSampler) appendSpan(tb *traceBuf, s Span) {
+	if s.Error != "" {
+		tb.hasErr = true
+	}
+	if len(tb.spans) >= ts.opt.MaxSpansPerTrace {
+		tb.dropped++
+		mTraceSpanOverflow.Inc()
+		return
+	}
+	tb.spans = append(tb.spans, s)
+}
+
+func (ts *TailSampler) unpend(trace uint64) {
+	delete(ts.pending, trace)
+	for i, id := range ts.pendq {
+		if id == trace {
+			ts.pendq = append(ts.pendq[:i], ts.pendq[i+1:]...)
+			break
+		}
+	}
+}
+
+// qualifiesSlowLocked reports whether a trace of duration d belongs in the
+// slowest-N set, displacing the fastest retained "slow" trace if full.
+func (ts *TailSampler) qualifiesSlowLocked(d time.Duration) bool {
+	var nslow int
+	var minID uint64
+	minDur := time.Duration(-1)
+	for id, tb := range ts.retained {
+		if tb.reason != ReasonSlow {
+			continue
+		}
+		nslow++
+		if minDur < 0 || tb.dur < minDur {
+			minDur, minID = tb.dur, id
+		}
+	}
+	if nslow < ts.opt.SlowestN {
+		return true
+	}
+	if d <= minDur {
+		return false
+	}
+	ts.evict(minID)
+	return true
+}
+
+// headKeep is the deterministic head-sampling decision: a fixed slice of
+// the (uniformly random) trace-ID space, so the decision is independent of
+// the trace's outcome.
+func (ts *TailSampler) headKeep(trace uint64) bool {
+	r := ts.opt.HeadRate
+	if r <= 0 {
+		return false
+	}
+	if r >= 1 {
+		return true
+	}
+	return float64(trace%1_000_000) < r*1_000_000
+}
+
+func (ts *TailSampler) retain(trace uint64, tb *traceBuf) {
+	for len(ts.retq) >= ts.opt.MaxTraces {
+		// Evict the oldest non-slow trace; if everything is slow, the
+		// oldest slow one goes.
+		victim := ts.retq[0]
+		for _, id := range ts.retq {
+			if ts.retained[id].reason != ReasonSlow {
+				victim = id
+				break
+			}
+		}
+		ts.evict(victim)
+	}
+	ts.retained[trace] = tb
+	ts.retq = append(ts.retq, trace)
+}
+
+func (ts *TailSampler) evict(trace uint64) {
+	delete(ts.retained, trace)
+	for i, id := range ts.retq {
+		if id == trace {
+			ts.retq = append(ts.retq[:i], ts.retq[i+1:]...)
+			break
+		}
+	}
+	ts.rememberDropped(trace)
+}
+
+func (ts *TailSampler) drop(trace uint64) {
+	ts.rememberDropped(trace)
+}
+
+func (ts *TailSampler) rememberDropped(trace uint64) {
+	const maxDropped = 4096
+	if len(ts.droppedq) >= maxDropped {
+		old := ts.droppedq[0]
+		ts.droppedq = ts.droppedq[1:]
+		delete(ts.dropped, old)
+	}
+	ts.dropped[trace] = struct{}{}
+	ts.droppedq = append(ts.droppedq, trace)
+}
+
+func (tb *traceBuf) export(trace uint64) TraceData {
+	return TraceData{
+		TraceID:      trace,
+		Root:         tb.root,
+		Reason:       tb.reason,
+		Duration:     tb.dur,
+		Err:          tb.hasErr,
+		DroppedSpans: tb.dropped,
+		Spans:        append([]Span(nil), tb.spans...),
+	}
+}
+
+// Traces returns every retained trace, oldest retention first.
+func (ts *TailSampler) Traces() []TraceData {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	out := make([]TraceData, 0, len(ts.retq))
+	for _, id := range ts.retq {
+		out = append(out, ts.retained[id].export(id))
+	}
+	return out
+}
+
+// Get returns one retained trace by ID.
+func (ts *TailSampler) Get(trace uint64) (TraceData, bool) {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	tb, ok := ts.retained[trace]
+	if !ok {
+		return TraceData{}, false
+	}
+	return tb.export(trace), true
+}
+
+// Len reports how many traces are currently retained.
+func (ts *TailSampler) Len() int {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	return len(ts.retq)
+}

@@ -1,0 +1,263 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// span builds a finished span with a deterministic duration for feeding the
+// sampler directly (bypassing a Tracer, whose Finish stamps wall time).
+func span(trace, id, parent uint64, name string, d time.Duration, boundary bool, errMsg string) Span {
+	start := time.Unix(1_000_000, 0).UTC()
+	return Span{
+		Trace: trace, ID: id, Parent: parent, Name: name,
+		Start: start, End: start.Add(d),
+		Error: errMsg, boundary: boundary,
+	}
+}
+
+func TestTailSamplerRetainsSlowest(t *testing.T) {
+	ts := NewTailSampler(TailSamplerOptions{SlowestN: 2, HeadRate: 0})
+	for i, d := range []time.Duration{
+		10 * time.Millisecond, // retained (set not full)
+		20 * time.Millisecond, // retained (set not full)
+		5 * time.Millisecond,  // dropped: slower traces already hold both slots
+		30 * time.Millisecond, // displaces the 10ms trace
+	} {
+		trace := uint64(i + 1)
+		ts.record(span(trace, trace*100, 0, "req", d, true, ""))
+	}
+	if ts.Len() != 2 {
+		t.Fatalf("retained %d traces, want 2", ts.Len())
+	}
+	if _, ok := ts.Get(1); ok {
+		t.Error("10ms trace should have been displaced by the 30ms one")
+	}
+	if _, ok := ts.Get(3); ok {
+		t.Error("5ms trace should never have been retained")
+	}
+	for _, trace := range []uint64{2, 4} {
+		td, ok := ts.Get(trace)
+		if !ok {
+			t.Fatalf("trace %d missing", trace)
+		}
+		if td.Reason != ReasonSlow {
+			t.Errorf("trace %d reason = %q, want %q", trace, td.Reason, ReasonSlow)
+		}
+	}
+	if td, _ := ts.Get(4); td.Duration != 30*time.Millisecond || td.Root != 400 {
+		t.Errorf("trace 4 duration/root = %v/%d", td.Duration, td.Root)
+	}
+}
+
+func TestTailSamplerRetainsErrors(t *testing.T) {
+	ts := NewTailSampler(TailSamplerOptions{SlowestN: 1, HeadRate: 0})
+	// Fill the slow slot with a much slower trace first, so the errored
+	// trace cannot qualify as slow.
+	ts.record(span(1, 10, 0, "req", time.Second, true, ""))
+	ts.record(span(2, 20, 21, "geodb.insert", time.Millisecond, false, "constraint violated"))
+	ts.record(span(2, 21, 0, "req", 2*time.Millisecond, true, ""))
+	td, ok := ts.Get(2)
+	if !ok {
+		t.Fatal("errored trace not retained")
+	}
+	if td.Reason != ReasonError || !td.Err {
+		t.Errorf("reason/err = %q/%v, want error/true", td.Reason, td.Err)
+	}
+	if len(td.Spans) != 2 {
+		t.Errorf("retained %d spans, want the complete 2-span tree", len(td.Spans))
+	}
+}
+
+func TestTailSamplerHeadKeep(t *testing.T) {
+	ts := NewTailSampler(TailSamplerOptions{SlowestN: 1, HeadRate: 0.5})
+	// Occupy the slow slot so the decision below is purely head sampling.
+	ts.record(span(1, 10, 0, "req", time.Second, true, ""))
+	// The head decision is deterministic in the trace ID: keep iff
+	// trace%1e6 < rate*1e6.
+	ts.record(span(2, 20, 0, "req", time.Millisecond, true, ""))       // 2 < 500000: kept
+	ts.record(span(999_999, 30, 0, "req", time.Millisecond, true, "")) // dropped
+	if td, ok := ts.Get(2); !ok || td.Reason != ReasonSampled {
+		t.Errorf("head-kept trace: ok=%v reason=%q, want sampled", ok, td.Reason)
+	}
+	if _, ok := ts.Get(999_999); ok {
+		t.Error("trace above the head-rate slice should be dropped")
+	}
+}
+
+func TestTailSamplerStickyDrop(t *testing.T) {
+	ts := NewTailSampler(TailSamplerOptions{SlowestN: 1, HeadRate: 0})
+	ts.record(span(1, 10, 0, "req", time.Second, true, ""))      // slow slot
+	ts.record(span(2, 20, 0, "req", time.Millisecond, true, "")) // dropped
+	// A straggler span finishing after the verdict must stay dropped, not
+	// reopen the trace as pending.
+	ts.record(span(2, 21, 20, "late.child", time.Millisecond, false, ""))
+	if _, ok := ts.Get(2); ok {
+		t.Error("dropped trace resurrected by a straggler span")
+	}
+	ts.mu.Lock()
+	npend := len(ts.pending)
+	ts.mu.Unlock()
+	if npend != 0 {
+		t.Errorf("straggler created %d pending buffers, want 0", npend)
+	}
+}
+
+func TestTailSamplerRetainedTraceKeepsAppending(t *testing.T) {
+	ts := NewTailSampler(TailSamplerOptions{SlowestN: 2, HeadRate: 0})
+	// The server's request boundary finishes first and retains the trace...
+	ts.record(span(7, 70, 71, "server.get_class", 10*time.Millisecond, true, ""))
+	// ...then the client half of the same trace arrives: spans append, and
+	// the larger UI boundary becomes the reported root/duration.
+	ts.record(span(7, 71, 72, "client.get_class", 12*time.Millisecond, false, ""))
+	ts.record(span(7, 72, 0, "ui.open_class", 15*time.Millisecond, true, ""))
+	td, ok := ts.Get(7)
+	if !ok {
+		t.Fatal("trace missing")
+	}
+	if len(td.Spans) != 3 {
+		t.Fatalf("spans = %d, want 3", len(td.Spans))
+	}
+	if td.Root != 72 || td.Duration != 15*time.Millisecond {
+		t.Errorf("root/duration = %d/%v, want the wrapping interaction 72/15ms", td.Root, td.Duration)
+	}
+}
+
+func TestTailSamplerSpanCap(t *testing.T) {
+	ts := NewTailSampler(TailSamplerOptions{SlowestN: 1, MaxSpansPerTrace: 2})
+	ts.record(span(1, 10, 13, "a", time.Millisecond, false, ""))
+	ts.record(span(1, 11, 13, "b", time.Millisecond, false, ""))
+	ts.record(span(1, 12, 13, "c", time.Millisecond, false, "")) // past the cap
+	ts.record(span(1, 13, 0, "req", 5*time.Millisecond, true, ""))
+	td, ok := ts.Get(1)
+	if !ok {
+		t.Fatal("trace missing")
+	}
+	if len(td.Spans) != 2 || td.DroppedSpans != 2 {
+		t.Errorf("spans/dropped = %d/%d, want 2/2", len(td.Spans), td.DroppedSpans)
+	}
+}
+
+func TestTailSamplerMaxTracesEvictsOldestNonSlow(t *testing.T) {
+	ts := NewTailSampler(TailSamplerOptions{SlowestN: 1, HeadRate: 1, MaxTraces: 2})
+	ts.record(span(1, 10, 0, "req", time.Second, true, ""))        // slow
+	ts.record(span(2, 20, 0, "req", time.Millisecond, true, ""))   // sampled
+	ts.record(span(3, 30, 0, "req", 2*time.Millisecond, true, "")) // sampled; store full
+	if ts.Len() != 2 {
+		t.Fatalf("retained %d, want 2", ts.Len())
+	}
+	if _, ok := ts.Get(1); !ok {
+		t.Error("slow trace evicted before the non-slow one")
+	}
+	if _, ok := ts.Get(2); ok {
+		t.Error("oldest non-slow trace should have been evicted")
+	}
+	if _, ok := ts.Get(3); !ok {
+		t.Error("newest trace missing")
+	}
+}
+
+func TestTailSamplerPendingEviction(t *testing.T) {
+	ts := NewTailSampler(TailSamplerOptions{SlowestN: 4, MaxPending: 2})
+	ts.record(span(1, 10, 11, "child", time.Millisecond, false, ""))
+	ts.record(span(2, 20, 21, "child", time.Millisecond, false, ""))
+	ts.record(span(3, 30, 31, "child", time.Millisecond, false, "")) // evicts trace 1's buffer
+	ts.record(span(1, 11, 0, "req", time.Second, true, ""))
+	td, ok := ts.Get(1)
+	if !ok {
+		t.Fatal("trace 1 not retained")
+	}
+	// The child span was lost to pending eviction; only the boundary remains.
+	if len(td.Spans) != 1 || td.Spans[0].ID != 11 {
+		t.Errorf("spans = %v, want just the boundary", td.Spans)
+	}
+}
+
+func TestTailSamplerTracesOrder(t *testing.T) {
+	ts := NewTailSampler(TailSamplerOptions{SlowestN: 3})
+	for _, trace := range []uint64{5, 6, 7} {
+		ts.record(span(trace, trace*10, 0, "req", time.Duration(trace)*time.Millisecond, true, ""))
+	}
+	all := ts.Traces()
+	if len(all) != 3 {
+		t.Fatalf("Traces() = %d entries, want 3", len(all))
+	}
+	for i, want := range []uint64{5, 6, 7} {
+		if all[i].TraceID != want {
+			t.Errorf("Traces()[%d] = %d, want %d (oldest retention first)", i, all[i].TraceID, want)
+		}
+	}
+}
+
+func TestTracerBoundarySemantics(t *testing.T) {
+	tr := NewTracer()
+	ts := NewTailSampler(TailSamplerOptions{SlowestN: 4})
+	tr.AttachSink(ts)
+
+	// StartSpan continuing a live parent is NOT a boundary: finishing it
+	// must not finalize the trace.
+	root := tr.Start("ui.interaction")
+	sub := tr.StartSpan("geodb.get_class", root.Context())
+	if sub.Trace != root.Trace || sub.Parent != root.ID {
+		t.Fatalf("StartSpan linkage: trace %d/%d parent %d/%d", sub.Trace, root.Trace, sub.Parent, root.ID)
+	}
+	sub.Finish()
+	if ts.Len() != 0 {
+		t.Fatal("non-boundary span finalized the trace")
+	}
+	root.Finish()
+	if ts.Len() != 1 {
+		t.Fatal("boundary finish did not finalize the trace")
+	}
+
+	// StartRequest with a valid remote parent continues the trace but IS a
+	// boundary on this side.
+	remote := SpanContext{Trace: 42, Span: 7}
+	req := tr.StartRequest("server.get_class", remote)
+	if req.Trace != 42 || req.Parent != 7 {
+		t.Fatalf("StartRequest did not adopt the remote context: %+v", req)
+	}
+	req.Finish()
+	if _, ok := ts.Get(42); !ok {
+		t.Error("remote-parented request boundary did not finalize trace 42")
+	}
+
+	// StartSpan with an invalid parent roots (and finalizes) its own trace.
+	orphan := tr.StartSpan("geodb.insert", SpanContext{})
+	if orphan.Parent != 0 || orphan.Trace == 0 {
+		t.Fatalf("orphan StartSpan: %+v", orphan)
+	}
+	before := ts.Len()
+	orphan.Finish()
+	if ts.Len() != before+1 {
+		t.Error("orphan StartSpan should act as its own request boundary")
+	}
+}
+
+func TestSpanContextAndIDs(t *testing.T) {
+	if (SpanContext{}).Valid() {
+		t.Error("zero context must be invalid")
+	}
+	if !(SpanContext{Trace: 1}).Valid() {
+		t.Error("non-zero trace must be valid")
+	}
+	var nilSpan *Span
+	if nilSpan.Context().Valid() {
+		t.Error("nil span context must be invalid")
+	}
+	id := uint64(0xdeadbeef12345678)
+	s := IDString(id)
+	if s != "deadbeef12345678" {
+		t.Errorf("IDString = %q", s)
+	}
+	got, err := ParseID(s)
+	if err != nil || got != id {
+		t.Errorf("ParseID(%q) = %d, %v", s, got, err)
+	}
+	if got, err := ParseID("0xdeadbeef12345678"); err != nil || got != id {
+		t.Errorf("ParseID with 0x = %d, %v", got, err)
+	}
+	if _, err := ParseID("zzz"); err == nil {
+		t.Error("ParseID accepted garbage")
+	}
+}

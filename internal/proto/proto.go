@@ -57,9 +57,20 @@ const (
 	OpGetValue    Op = "get_value"
 	OpSelectWhere Op = "select_where"
 	OpCallMethod  Op = "call_method"
+	// Scenario-commit mutation verbs: the weak-integration binding of
+	// ui.Mutator, so a remote session can commit a simulation workspace
+	// through the server's normal (rule-guarded, WAL-durable) mutation
+	// path. Like call_method they are never retried.
+	OpScenarioInsert Op = "scenario_insert"
+	OpScenarioUpdate Op = "scenario_update"
+	OpScenarioDelete Op = "scenario_delete"
 	// OpStats returns a snapshot of the server's metrics registry; it is
 	// the observability verb, outside the paper's primitive set.
 	OpStats Op = "stats"
+	// OpTrace returns traces retained by the server's tail sampler: all of
+	// them, or — when Request.TraceID is set — just that one. Like OpStats
+	// it is an observability verb outside the paper's primitive set.
+	OpTrace Op = "trace"
 )
 
 // Request is a client→server message.
@@ -76,6 +87,13 @@ type Request struct {
 	Filters []Filter `json:"filters,omitempty"`
 	Method  string   `json:"method,omitempty"`
 	Args    []Value  `json:"args,omitempty"`
+	// Trace carries the caller's span context so the server's spans join
+	// the client's trace. Optional and backward-compatible: an old peer's
+	// JSON decoder ignores the unknown field, an old client simply never
+	// sends it.
+	Trace *obs.SpanContext `json:"trace,omitempty"`
+	// TraceID selects one retained trace for the trace verb (0 = all).
+	TraceID uint64 `json:"trace_id,omitempty"`
 }
 
 // Response is a server→client message. Err is non-empty on failure; on
@@ -90,6 +108,10 @@ type Response struct {
 	Value     *Value              `json:"value,omitempty"`
 	Cust      *spec.Customization `json:"cust,omitempty"`
 	Stats     *obs.Snapshot       `json:"stats,omitempty"`
+	// OID answers scenario_insert with the new instance's identity.
+	OID catalog.OID `json:"oid,omitempty"`
+	// Traces answers the trace verb with the server's retained traces.
+	Traces []obs.TraceData `json:"traces,omitempty"`
 }
 
 // SchemaInfo mirrors geodb.SchemaInfo on the wire.

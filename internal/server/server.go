@@ -20,8 +20,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"log"
 	"net"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -35,20 +35,26 @@ import (
 
 // Registry-side request accounting: a per-verb latency histogram plus the
 // gauge of requests currently being handled. Handles are resolved once so
-// handle() pays atomic adds only.
+// handle() pays atomic adds only. The histograms keep full bucket counts in
+// the stats snapshot, so consumers derive p50/p95/p99 per verb with
+// obs.HistogramSnapshot.Quantile.
 var (
 	mRequestsTotal = obs.Default().Counter("gis_server_requests_total")
 	mInFlight      = obs.Default().Gauge("gis_server_inflight_requests")
 	mVerbSeconds   = map[proto.Op]*obs.Histogram{
-		proto.OpConnect:     obs.Default().Histogram(`gis_server_request_seconds{op="connect"}`, obs.LatencyBuckets),
-		proto.OpGetSchema:   obs.Default().Histogram(`gis_server_request_seconds{op="get_schema"}`, obs.LatencyBuckets),
-		proto.OpGetClass:    obs.Default().Histogram(`gis_server_request_seconds{op="get_class"}`, obs.LatencyBuckets),
-		proto.OpGetValue:    obs.Default().Histogram(`gis_server_request_seconds{op="get_value"}`, obs.LatencyBuckets),
-		proto.OpSelectWhere: obs.Default().Histogram(`gis_server_request_seconds{op="select_where"}`, obs.LatencyBuckets),
-		proto.OpCallMethod:  obs.Default().Histogram(`gis_server_request_seconds{op="call_method"}`, obs.LatencyBuckets),
-		proto.OpStats:       obs.Default().Histogram(`gis_server_request_seconds{op="stats"}`, obs.LatencyBuckets),
+		proto.OpConnect:        obs.Default().Histogram(`gis_server_verb_seconds{verb="connect"}`, obs.LatencyBuckets),
+		proto.OpGetSchema:      obs.Default().Histogram(`gis_server_verb_seconds{verb="get_schema"}`, obs.LatencyBuckets),
+		proto.OpGetClass:       obs.Default().Histogram(`gis_server_verb_seconds{verb="get_class"}`, obs.LatencyBuckets),
+		proto.OpGetValue:       obs.Default().Histogram(`gis_server_verb_seconds{verb="get_value"}`, obs.LatencyBuckets),
+		proto.OpSelectWhere:    obs.Default().Histogram(`gis_server_verb_seconds{verb="select_where"}`, obs.LatencyBuckets),
+		proto.OpCallMethod:     obs.Default().Histogram(`gis_server_verb_seconds{verb="call_method"}`, obs.LatencyBuckets),
+		proto.OpScenarioInsert: obs.Default().Histogram(`gis_server_verb_seconds{verb="scenario_insert"}`, obs.LatencyBuckets),
+		proto.OpScenarioUpdate: obs.Default().Histogram(`gis_server_verb_seconds{verb="scenario_update"}`, obs.LatencyBuckets),
+		proto.OpScenarioDelete: obs.Default().Histogram(`gis_server_verb_seconds{verb="scenario_delete"}`, obs.LatencyBuckets),
+		proto.OpStats:          obs.Default().Histogram(`gis_server_verb_seconds{verb="stats"}`, obs.LatencyBuckets),
+		proto.OpTrace:          obs.Default().Histogram(`gis_server_verb_seconds{verb="trace"}`, obs.LatencyBuckets),
 	}
-	mVerbOther = obs.Default().Histogram(`gis_server_request_seconds{op="other"}`, obs.LatencyBuckets)
+	mVerbOther = obs.Default().Histogram(`gis_server_verb_seconds{verb="other"}`, obs.LatencyBuckets)
 
 	// Fault-tolerance accounting (the tentpole of the robustness PR).
 	mPanics        = obs.Default().Counter("gis_server_panics_total")
@@ -112,9 +118,28 @@ type Server struct {
 	// errors are returned to the client, not logged.
 	Logf func(format string, args ...any)
 
+	// Log, when set, emits structured JSON lines: connection lifecycle at
+	// debug, and requests slower than SlowRequest at warn, each stamped
+	// with the connection ID and (when traced) the trace ID.
+	Log *obs.Logger
+
+	// SlowRequest is the latency threshold above which a request earns a
+	// warn-level log line (requires Log). Zero disables.
+	SlowRequest time.Duration
+
+	// Tracer, when set, roots one server-side span per request, continuing
+	// the client's trace when the request carries a trace context.
+	Tracer *obs.Tracer
+
+	// TraceStore, when set, answers the trace verb with retained traces.
+	TraceStore *obs.TailSampler
+
 	// Requests counts requests served (B8 reporting). It is mutated across
 	// connection goroutines, hence atomic; read it with Requests.Load().
 	Requests atomic.Uint64
+
+	// connSeq hands out connection IDs for log correlation.
+	connSeq atomic.Uint64
 }
 
 // New returns a server over the backend.
@@ -128,10 +153,13 @@ func New(backend ui.Backend) *Server {
 	return s
 }
 
-// NewLogging is New with failures logged to the standard logger.
+// NewLogging is New with failures emitted as structured JSON warn lines on
+// stderr (and the same logger installed as Log for request logging).
 func NewLogging(backend ui.Backend) *Server {
 	s := New(backend)
-	s.Logf = log.Printf
+	lg := obs.NewLogger(os.Stderr, obs.LevelInfo).With("proc", "gis-server")
+	s.Log = lg
+	s.Logf = func(format string, args ...any) { lg.Warn(fmt.Sprintf(format, args...)) }
 	return s
 }
 
@@ -327,11 +355,67 @@ func isTimeout(err error) bool {
 	return errors.As(err, &ne) && ne.Timeout()
 }
 
+// connLogger derives the per-connection logger: every line it emits carries
+// the connection ID and peer address. Nil-safe (nil when Log is unset).
+func (s *Server) connLogger(conn net.Conn, cid uint64) *obs.Logger {
+	var peer string
+	if addr := conn.RemoteAddr(); addr != nil {
+		peer = addr.String()
+	}
+	return s.Log.With("conn", cid, "peer", peer)
+}
+
+// startRequestSpan opens the server-side request span — the local root of
+// the trace, continuing the client's context when the request carries one —
+// and grafts the trace identity onto the request context so every backend
+// component below (engine, geodb, WAL) parents its spans correctly. Returns
+// nil (and still propagates a carried context) when tracing is off.
+func (s *Server) startRequestSpan(req *proto.Request) *obs.Span {
+	var parent obs.SpanContext
+	if req.Trace != nil {
+		parent = *req.Trace
+	}
+	sp := s.Tracer.StartRequest("server."+string(req.Op), parent)
+	if sp != nil {
+		req.Ctx.Trace = sp.Context()
+	} else if parent.Valid() {
+		req.Ctx.Trace = parent
+	}
+	return sp
+}
+
+// finishRequest closes out one request after its response left (or failed to
+// leave): the request span finishes — triggering the tail sampler's
+// retention decision — and requests over the SlowRequest threshold earn a
+// structured warn line carrying the trace ID.
+func (s *Server) finishRequest(cl *obs.Logger, op proto.Op, sp *obs.Span, t0 time.Time, errMsg string) {
+	if errMsg != "" {
+		sp.SetError(errors.New(errMsg))
+	}
+	sp.Finish()
+	dur := time.Since(t0)
+	if s.SlowRequest > 0 && dur >= s.SlowRequest && cl.Enabled(obs.LevelWarn) {
+		kvs := []any{"verb", string(op), "dur_ms", dur.Milliseconds()}
+		if sp != nil {
+			kvs = append(kvs, "trace", obs.IDString(sp.Trace))
+		}
+		if errMsg != "" {
+			kvs = append(kvs, "err", errMsg)
+		}
+		cl.Warn("slow request", kvs...)
+	}
+}
+
 func (s *Server) serveConn(conn net.Conn, st *connState) {
+	cid := s.connSeq.Add(1)
+	cl := s.connLogger(conn, cid)
+	cl.Debug("connection opened")
 	if s.PipelineDepth > 1 {
-		s.serveConnPipelined(conn, st, s.PipelineDepth)
+		s.serveConnPipelined(conn, st, s.PipelineDepth, cl)
+		cl.Debug("connection closed")
 		return
 	}
+	defer cl.Debug("connection closed")
 	defer s.unregister(conn)
 	for {
 		req, ok := s.readRequest(conn)
@@ -348,12 +432,15 @@ func (s *Server) serveConn(conn net.Conn, st *connState) {
 		st.inflight = 1
 		s.mu.Unlock()
 
+		t0 := time.Now()
+		sp := s.startRequestSpan(&req)
 		resp := s.handle(req)
 
 		if s.WriteTimeout > 0 {
 			conn.SetWriteDeadline(time.Now().Add(s.WriteTimeout))
 		}
 		werr := proto.WriteMessage(conn, resp)
+		s.finishRequest(cl, req.Op, sp, t0, resp.Err)
 
 		s.mu.Lock()
 		st.inflight = 0
@@ -390,26 +477,42 @@ func (s *Server) readRequest(conn net.Conn) (req proto.Request, ok bool) {
 	return req, true
 }
 
+// pipelined is one in-flight pipelined request on its way to the writer:
+// the response plus the request span and start time the writer needs to
+// finish accounting after the frame is out.
+type pipelined struct {
+	resp proto.Response
+	op   proto.Op
+	sp   *obs.Span
+	t0   time.Time
+}
+
 // serveConnPipelined runs one connection with up to depth requests in
 // flight: a reader (this goroutine) admits requests through a semaphore,
 // workers run s.handle concurrently — panic recovery, deadlines and verb
 // accounting all live inside handle, unchanged — and a single writer
 // goroutine serializes response frames so concurrent handlers can never
 // interleave bytes on the wire.
-func (s *Server) serveConnPipelined(conn net.Conn, st *connState, depth int) {
+//
+// The request span is created HERE, in the reader, before the worker
+// handoff, and threaded through the worker and writer explicitly: worker
+// goroutines are pooled across requests, so any tracing state held
+// per-goroutine (rather than per-request) would stitch spans of unrelated
+// requests together under whichever trace the goroutine saw first.
+func (s *Server) serveConnPipelined(conn net.Conn, st *connState, depth int, cl *obs.Logger) {
 	defer s.unregister(conn)
 
-	respCh := make(chan proto.Response, depth)
+	respCh := make(chan pipelined, depth)
 	writerDone := make(chan struct{})
 	go func() {
 		defer close(writerDone)
 		failed := false
-		for resp := range respCh {
+		for p := range respCh {
 			if !failed {
 				if s.WriteTimeout > 0 {
 					conn.SetWriteDeadline(time.Now().Add(s.WriteTimeout))
 				}
-				if werr := proto.WriteMessage(conn, resp); werr != nil {
+				if werr := proto.WriteMessage(conn, p.resp); werr != nil {
 					if !errors.Is(werr, net.ErrClosed) {
 						s.Logf("server: write to %v: %v", conn.RemoteAddr(), werr)
 					}
@@ -420,6 +523,7 @@ func (s *Server) serveConnPipelined(conn net.Conn, st *connState, depth int) {
 					conn.Close()
 				}
 			}
+			s.finishRequest(cl, p.op, p.sp, p.t0, p.resp.Err)
 			// The request counts as in flight until its response is out
 			// (or abandoned): Shutdown must not cut a written-but-unsent
 			// response, so the drain close happens here, after the write.
@@ -443,13 +547,15 @@ func (s *Server) serveConnPipelined(conn net.Conn, st *connState, depth int) {
 		}
 		st.inflight++
 		s.mu.Unlock()
+		t0 := time.Now()
+		sp := s.startRequestSpan(&req)
 		sem <- struct{}{} // caps concurrent handlers at depth
 		wg.Add(1)
-		go func(req proto.Request) {
+		go func(req proto.Request, sp *obs.Span, t0 time.Time) {
 			defer wg.Done()
-			respCh <- s.handle(req)
+			respCh <- pipelined{resp: s.handle(req), op: req.Op, sp: sp, t0: t0}
 			<-sem
-		}(req)
+		}(req, sp, t0)
 	}
 	wg.Wait()
 	close(respCh)
@@ -580,9 +686,56 @@ func (s *Server) handle(req proto.Request) (resp proto.Response) {
 			return fail(err)
 		}
 		resp.Value = &wv
+	case proto.OpScenarioInsert:
+		m, ok := s.backend.(ui.Mutator)
+		if !ok {
+			return fail(ui.ErrCannotCommit)
+		}
+		values, err := proto.DecodeValues(req.Args)
+		if err != nil {
+			return fail(err)
+		}
+		oid, err := m.ScenarioInsert(req.Ctx, req.Schema, req.Class, values)
+		if err != nil {
+			return fail(err)
+		}
+		resp.OID = oid
+	case proto.OpScenarioUpdate:
+		m, ok := s.backend.(ui.Mutator)
+		if !ok {
+			return fail(ui.ErrCannotCommit)
+		}
+		values, err := proto.DecodeValues(req.Args)
+		if err != nil {
+			return fail(err)
+		}
+		if err := m.ScenarioUpdate(req.Ctx, req.OID, values); err != nil {
+			return fail(err)
+		}
+	case proto.OpScenarioDelete:
+		m, ok := s.backend.(ui.Mutator)
+		if !ok {
+			return fail(ui.ErrCannotCommit)
+		}
+		if err := m.ScenarioDelete(req.Ctx, req.OID); err != nil {
+			return fail(err)
+		}
 	case proto.OpStats:
 		snap := obs.Default().Snapshot()
 		resp.Stats = &snap
+	case proto.OpTrace:
+		if s.TraceStore == nil {
+			return fail(errors.New("server: tracing not enabled"))
+		}
+		if req.TraceID != 0 {
+			td, ok := s.TraceStore.Get(req.TraceID)
+			if !ok {
+				return fail(fmt.Errorf("server: trace %s not retained", obs.IDString(req.TraceID)))
+			}
+			resp.Traces = []obs.TraceData{td}
+		} else {
+			resp.Traces = s.TraceStore.Traces()
+		}
 	default:
 		resp.Err = fmt.Sprintf("server: unknown op %q", req.Op)
 	}

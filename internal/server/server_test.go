@@ -174,7 +174,7 @@ func TestStatsVerbOverTCP(t *testing.T) {
 	if got := resp.Stats.Counters["gis_server_requests_total"]; got < 2 {
 		t.Errorf("gis_server_requests_total = %d, want >= 2", got)
 	}
-	h, ok := resp.Stats.Histograms[`gis_server_request_seconds{op="get_schema"}`]
+	h, ok := resp.Stats.Histograms[`gis_server_verb_seconds{verb="get_schema"}`]
 	if !ok || h.Count < 1 {
 		t.Errorf("get_schema latency histogram missing or empty: %+v", h)
 	}

@@ -67,6 +67,10 @@ var (
 	mWALReplayed    = obs.Default().Counter("gis_wal_replayed_records_total")
 	mWALCheckpoints = obs.Default().Counter("gis_wal_checkpoints_total")
 	mWALTruncations = obs.Default().Counter("gis_wal_truncations_total")
+	// mWALFsyncSeconds times every physical fsync of the log file — the
+	// dominant term in acknowledged-mutation latency, so the stats verb
+	// surfaces its p50/p95/p99.
+	mWALFsyncSeconds = obs.Default().Histogram("gis_wal_fsync_seconds", obs.LatencyBuckets)
 )
 
 // LogFile is the byte store under a WAL: a flat file the log appends to,
@@ -287,7 +291,10 @@ func (w *WAL) syncLocked() error {
 		w.unsynced = 0
 		return nil // nothing new to make durable
 	}
-	if err := w.f.Sync(); err != nil {
+	sw := obs.Start(mWALFsyncSeconds)
+	err := w.f.Sync()
+	sw.Stop()
+	if err != nil {
 		return fmt.Errorf("storage: wal sync: %w", err)
 	}
 	w.synced = w.appended
@@ -378,7 +385,10 @@ func (w *WAL) Checkpoint() error {
 	w.off += int64(len(buf))
 	w.nextLSN++
 	w.appended = lsn
-	if err := w.f.Sync(); err != nil {
+	sw := obs.Start(mWALFsyncSeconds)
+	err := w.f.Sync()
+	sw.Stop()
+	if err != nil {
 		return fmt.Errorf("storage: wal checkpoint sync: %w", err)
 	}
 	w.synced = lsn

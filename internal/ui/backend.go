@@ -133,22 +133,23 @@ func (b *DirectBackend) CallMethod(oid catalog.OID, method string, args ...catal
 	return b.DB.CallMethod(oid, method, args...)
 }
 
-// scenarioCtx tags mutations replayed from a committed scenario.
+// scenarioCtx tags mutations replayed from a committed scenario;
+// CommitScenario grafts the interaction's trace identity onto it.
 var scenarioCtx = event.Context{Application: "_scenario_commit"}
 
 // ScenarioInsert implements Mutator: constraint rules guard the insert.
-func (b *DirectBackend) ScenarioInsert(schema, class string, values []catalog.Value) (catalog.OID, error) {
-	return b.DB.Insert(scenarioCtx, schema, class, values)
+func (b *DirectBackend) ScenarioInsert(ctx event.Context, schema, class string, values []catalog.Value) (catalog.OID, error) {
+	return b.DB.Insert(ctx, schema, class, values)
 }
 
 // ScenarioUpdate implements Mutator.
-func (b *DirectBackend) ScenarioUpdate(oid catalog.OID, values []catalog.Value) error {
-	return b.DB.Update(scenarioCtx, oid, values)
+func (b *DirectBackend) ScenarioUpdate(ctx event.Context, oid catalog.OID, values []catalog.Value) error {
+	return b.DB.Update(ctx, oid, values)
 }
 
 // ScenarioDelete implements Mutator.
-func (b *DirectBackend) ScenarioDelete(oid catalog.OID) error {
-	return b.DB.Delete(scenarioCtx, oid)
+func (b *DirectBackend) ScenarioDelete(ctx event.Context, oid catalog.OID) error {
+	return b.DB.Delete(ctx, oid)
 }
 
 func (b *DirectBackend) take(e event.Event) *spec.Customization {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/catalog"
+	"repro/internal/event"
 	"repro/internal/geodb"
 	"repro/internal/spec"
 	"repro/internal/uikit"
@@ -29,13 +30,14 @@ var (
 const scenarioOIDBase catalog.OID = 1 << 62
 
 // Mutator is the optional backend capability scenario commit needs. The
-// strong-integration DirectBackend implements it; the weak-integration
-// client does not (the paper's §5 limitation: the UI protocol customizes
-// queries, not updates).
+// strong-integration DirectBackend implements it in-process; the
+// weak-integration client implements it over the scenario_* protocol verbs.
+// The context carries the commit tag (so constraint rules match it) and the
+// interaction's trace identity.
 type Mutator interface {
-	ScenarioInsert(schema, class string, values []catalog.Value) (catalog.OID, error)
-	ScenarioUpdate(oid catalog.OID, values []catalog.Value) error
-	ScenarioDelete(oid catalog.OID) error
+	ScenarioInsert(ctx event.Context, schema, class string, values []catalog.Value) (catalog.OID, error)
+	ScenarioUpdate(ctx event.Context, oid catalog.OID, values []catalog.Value) error
+	ScenarioDelete(ctx event.Context, oid catalog.OID) error
 }
 
 type scenarioObject struct {
@@ -181,7 +183,7 @@ func (s *Session) applyScenario(data ClassData) ClassData {
 // mutations already applied are *consumed from the workspace* (so a retry
 // after correcting the scenario resumes instead of duplicating), and the
 // remaining hypothetical state stays active for correction.
-func (s *Session) CommitScenario() error {
+func (s *Session) CommitScenario() (rerr error) {
 	if s.scenario == nil {
 		return ErrNoScenario
 	}
@@ -189,23 +191,30 @@ func (s *Session) CommitScenario() error {
 	if !ok {
 		return ErrCannotCommit
 	}
+	sp, _ := s.startInteraction("commit_scenario")
+	sp.Set("scenario", s.scenario.Name)
+	defer func() { sp.SetError(rerr).Finish() }()
+	// Mutations replay under the commit tag (constraint rules match on it),
+	// stamped with this interaction's trace identity.
+	ctx := scenarioCtx
+	ctx.Trace = sp.Context()
 	sc := s.scenario
 	total := len(sc.added) + len(sc.updated) + len(sc.deleted)
 	for oid := range sc.deleted {
-		if err := m.ScenarioDelete(oid); err != nil {
+		if err := m.ScenarioDelete(ctx, oid); err != nil {
 			return fmt.Errorf("scenario %q: delete %d: %w", sc.Name, oid, err)
 		}
 		delete(sc.deleted, oid)
 	}
 	for oid, values := range sc.updated {
-		if err := m.ScenarioUpdate(oid, values); err != nil {
+		if err := m.ScenarioUpdate(ctx, oid, values); err != nil {
 			return fmt.Errorf("scenario %q: update %d: %w", sc.Name, oid, err)
 		}
 		delete(sc.updated, oid)
 	}
 	for len(sc.added) > 0 {
 		add := sc.added[0]
-		if _, err := m.ScenarioInsert(add.schema, add.class, add.values); err != nil {
+		if _, err := m.ScenarioInsert(ctx, add.schema, add.class, add.values); err != nil {
 			return fmt.Errorf("scenario %q: insert %s.%s: %w", sc.Name, add.schema, add.class, err)
 		}
 		sc.added = sc.added[1:]
@@ -218,7 +227,7 @@ func (s *Session) CommitScenario() error {
 // OpenClassSimulated is OpenClass with the active scenario merged in; the
 // resulting window is tagged with the scenario name so renderings make the
 // hypothetical state visible.
-func (s *Session) OpenClassSimulated(schema, class string) (*uikit.Widget, error) {
+func (s *Session) OpenClassSimulated(schema, class string) (_ *uikit.Widget, rerr error) {
 	if !s.connected {
 		return nil, ErrNotConnected
 	}
@@ -226,7 +235,10 @@ func (s *Session) OpenClassSimulated(schema, class string) (*uikit.Widget, error
 		return nil, ErrNoScenario
 	}
 	s.Interactions++
-	data, cust, err := s.backend.GetClass(s.ctx, schema, class)
+	sp, ctx := s.startInteraction("open_class_simulated")
+	sp.Set("class", schema+"."+class)
+	defer func() { sp.SetError(rerr).Finish() }()
+	data, cust, err := s.backend.GetClass(ctx, schema, class)
 	if err != nil {
 		return nil, err
 	}

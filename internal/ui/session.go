@@ -41,6 +41,12 @@ type Session struct {
 	registry *uikit.Registry
 	ctx      event.Context
 
+	// tracer roots one span per user interaction; every database event the
+	// interaction produces carries that identity in its context, so the
+	// whole tree — across the wire under weak integration — shares one
+	// trace ID. Nil until SetTracer; all span operations are nil-safe.
+	tracer *obs.Tracer
+
 	connected bool
 	windows   map[string]*uikit.Widget
 	order     []string
@@ -78,13 +84,29 @@ func NewSession(b Backend, bld *builder.Builder, ctx event.Context) *Session {
 // Context returns the session's interaction context.
 func (s *Session) Context() event.Context { return s.ctx }
 
+// SetTracer installs the tracer that roots one span per interaction.
+func (s *Session) SetTracer(t *obs.Tracer) { s.tracer = t }
+
+// startInteraction opens the root span of one user interaction and returns
+// the interaction context carrying its trace identity. With no tracer (or a
+// detached one) the span is nil and the context is the session's own.
+func (s *Session) startInteraction(name string) (*obs.Span, event.Context) {
+	sp := s.tracer.Start("ui." + name)
+	ctx := s.ctx
+	ctx.Trace = sp.Context()
+	return sp, ctx
+}
+
 // Registry exposes the callback registry so applications can register the
 // callbacks their customizations name (e.g. composed_text.notify).
 func (s *Session) Registry() *uikit.Registry { return s.registry }
 
 // Connect attaches the session to the database.
 func (s *Session) Connect() error {
-	if err := s.backend.Connect(s.ctx); err != nil {
+	sp, ctx := s.startInteraction("connect")
+	err := s.backend.Connect(ctx)
+	sp.SetError(err).Finish()
+	if err != nil {
 		return err
 	}
 	s.connected = true
@@ -97,13 +119,16 @@ func (s *Session) Connect() error {
 // answers Null display with a class list, the dispatcher auto-opens those
 // Class set windows — the paper's R1 action "Build_Window(Schema, phone_net,
 // NULL); Get_Class(Pole)".
-func (s *Session) OpenSchema(schema string) (*uikit.Widget, error) {
+func (s *Session) OpenSchema(schema string) (_ *uikit.Widget, rerr error) {
 	if !s.connected {
 		return nil, ErrNotConnected
 	}
 	s.Interactions++
 	mInteractions.Inc()
-	info, cust, err := s.backend.GetSchema(s.ctx, schema)
+	sp, ctx := s.startInteraction("open_schema")
+	sp.Set("schema", schema)
+	defer func() { sp.SetError(rerr).Finish() }()
+	info, cust, err := s.backend.GetSchema(ctx, schema)
 	if err != nil {
 		return nil, err
 	}
@@ -121,8 +146,10 @@ func (s *Session) OpenSchema(schema string) (*uikit.Widget, error) {
 	}
 	s.addWindow(win, "")
 	if sc != nil && sc.Display == spec.DisplayNull {
+		// Auto-opened class windows belong to the same interaction, so they
+		// inherit its trace context instead of rooting traces of their own.
 		for _, class := range sc.Classes {
-			if _, err := s.openClassUnder(win.Name, schema, class); err != nil {
+			if _, err := s.openClassCtx(ctx, win.Name, schema, class); err != nil {
 				return nil, err
 			}
 		}
@@ -139,10 +166,19 @@ func (s *Session) OpenClass(schema, class string) (*uikit.Widget, error) {
 	return s.openClassUnder("schema:"+schema, schema, class)
 }
 
-func (s *Session) openClassUnder(parent, schema, class string) (*uikit.Widget, error) {
+func (s *Session) openClassUnder(parent, schema, class string) (_ *uikit.Widget, rerr error) {
+	sp, ctx := s.startInteraction("open_class")
+	sp.Set("class", schema+"."+class)
+	defer func() { sp.SetError(rerr).Finish() }()
+	return s.openClassCtx(ctx, parent, schema, class)
+}
+
+// openClassCtx is the shared Get_Class interaction body, parameterized on
+// the interaction context so nested opens join their initiator's trace.
+func (s *Session) openClassCtx(ctx event.Context, parent, schema, class string) (*uikit.Widget, error) {
 	s.Interactions++
 	mInteractions.Inc()
-	data, cust, err := s.backend.GetClass(s.ctx, schema, class)
+	data, cust, err := s.backend.GetClass(ctx, schema, class)
 	if err != nil {
 		return nil, err
 	}
@@ -165,13 +201,16 @@ func (s *Session) openClassUnder(parent, schema, class string) (*uikit.Widget, e
 
 // OpenInstance performs a Get_Value interaction, building an Instance window
 // under its Class set window.
-func (s *Session) OpenInstance(oid catalog.OID) (*uikit.Widget, error) {
+func (s *Session) OpenInstance(oid catalog.OID) (_ *uikit.Widget, rerr error) {
 	if !s.connected {
 		return nil, ErrNotConnected
 	}
 	s.Interactions++
 	mInteractions.Inc()
-	in, cust, err := s.backend.GetValue(s.ctx, oid)
+	sp, ctx := s.startInteraction("open_instance")
+	sp.Setf("oid", "%d", oid)
+	defer func() { sp.SetError(rerr).Finish() }()
+	in, cust, err := s.backend.GetValue(ctx, oid)
 	if err != nil {
 		return nil, err
 	}
@@ -196,13 +235,16 @@ func (s *Session) OpenInstance(oid catalog.OID) (*uikit.Widget, error) {
 // rectangle (the map zoom/pan path, served by the spatial index and — under
 // weak integration — shipping only the visible instances). The window
 // replaces any open window of the same class and records its viewport.
-func (s *Session) OpenClassZoomed(schema, class string, viewport geom.Rect) (*uikit.Widget, error) {
+func (s *Session) OpenClassZoomed(schema, class string, viewport geom.Rect) (_ *uikit.Widget, rerr error) {
 	if !s.connected {
 		return nil, ErrNotConnected
 	}
 	s.Interactions++
 	mInteractions.Inc()
-	data, cust, err := s.backend.GetClassWindowed(s.ctx, schema, class, viewport)
+	sp, ctx := s.startInteraction("open_class_zoomed")
+	sp.Set("class", schema+"."+class)
+	defer func() { sp.SetError(rerr).Finish() }()
+	data, cust, err := s.backend.GetClassWindowed(ctx, schema, class, viewport)
 	if err != nil {
 		return nil, err
 	}
@@ -227,17 +269,20 @@ func (s *Session) OpenClassZoomed(schema, class string, viewport geom.Rect) (*ui
 // filters are evaluated by the backend (server-side under weak integration,
 // so only matches cross the wire); the Get_Class interaction still runs so
 // class-window customization rules apply to the analysis window too.
-func (s *Session) Analyze(schema, class string, filters []geodb.Filter) (*uikit.Widget, error) {
+func (s *Session) Analyze(schema, class string, filters []geodb.Filter) (_ *uikit.Widget, rerr error) {
 	if !s.connected {
 		return nil, ErrNotConnected
 	}
 	s.Interactions++
 	mInteractions.Inc()
-	data, cust, err := s.backend.GetClass(s.ctx, schema, class)
+	sp, ctx := s.startInteraction("analyze")
+	sp.Set("class", schema+"."+class)
+	defer func() { sp.SetError(rerr).Finish() }()
+	data, cust, err := s.backend.GetClass(ctx, schema, class)
 	if err != nil {
 		return nil, err
 	}
-	kept, err := s.backend.SelectWhere(s.ctx, schema, class, filters)
+	kept, err := s.backend.SelectWhere(ctx, schema, class, filters)
 	if err != nil {
 		return nil, err
 	}
