@@ -3,9 +3,9 @@
 
 GOFILES := $(shell find . -name '*.go' -not -path './.*')
 
-.PHONY: ci fmt vet build test bench bench-smoke bench-json fuzz lint cover
+.PHONY: ci fmt vet build test bench bench-smoke bench-json fuzz lint cover repl-smoke
 
-ci: fmt vet build lint test cover bench-smoke fuzz
+ci: fmt vet build lint test cover bench-smoke fuzz repl-smoke
 
 fmt:
 	@out=$$(gofmt -l $(GOFILES)); \
@@ -47,7 +47,7 @@ fuzz:
 # Per-package coverage floor over the packages that guard data: storage
 # (WAL, crash matrix), the database, the rule engine, the wire protocol.
 COVER_FLOOR := 70
-COVER_PKGS  := internal/storage internal/geodb internal/active internal/proto internal/obs
+COVER_PKGS  := internal/storage internal/geodb internal/active internal/proto internal/obs internal/repl
 
 cover:
 	@mkdir -p /tmp/gis-cover
@@ -68,9 +68,19 @@ bench:
 bench-smoke:
 	go test -run xxx -bench . -benchtime 1x .
 
+# Replication fault smoke (DESIGN.md §13): the ship stream under injected
+# partitions/corruption, and the stalled-replica failover in the topology
+# client. `make test` runs the full matrices; this re-runs just the fault
+# paths so a CI log names them explicitly.
+repl-smoke:
+	go test -race -count=1 -run 'TestShipStreamFaultMatrix|TestHungPrimaryCannotWedgeApply' ./internal/repl
+	go test -race -count=1 -run 'TestTopologyStalledReplicaPoisonedAndEvicted' ./internal/client
+
 # Machine-readable perf artifacts: the PR-4 concurrent hot paths (decision
-# cache, pipelined client, sharded buffer pool; DESIGN.md §10) and the PR-5
-# durability series (WAL off vs synced vs batched fsync; DESIGN.md §11).
+# cache, pipelined client, sharded buffer pool; DESIGN.md §10), the PR-5
+# durability series (WAL off vs synced vs batched fsync; DESIGN.md §11),
+# and the PR-7 replication read scale-out series (DESIGN.md §13).
 bench-json:
 	go run ./cmd/gisbench -json BENCH_PR4.json
 	go run ./cmd/gisbench -wal-json BENCH_PR5.json
+	go run ./cmd/gisbench -repl-json BENCH_PR7.json

@@ -29,8 +29,29 @@ func main() {
 		metrics = flag.Bool("metrics", false, "print the metrics delta after each experiment")
 		jsonOut = flag.String("json", "", "run the PR-4 perf series (decision cache, pipelined client, sharded pool) and write machine-readable results to this file")
 		walOut  = flag.String("wal-json", "", "run the PR-5 durability series (WAL off vs synced vs batched fsync) and write machine-readable results to this file")
+		replOut = flag.String("repl-json", "", "run the PR-7 replication series (read throughput at 0/1/2/4 replicas) and write machine-readable results to this file")
 	)
 	flag.Parse()
+
+	if *replOut != "" {
+		rep, err := experiments.WriteReplPerfJSON(*replOut, *quick)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gisbench: replication series failed: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n\n", *replOut)
+		fmt.Printf("%-28s %14s %16s\n", "benchmark", "ns/op", "reads/sec")
+		for _, r := range rep.Results {
+			fmt.Printf("%-28s %14.0f %16.0f\n", r.Name, r.NsPerOp, r.Extra["reads_per_sec"])
+		}
+		fmt.Println()
+		for _, k := range []string{"read_scaleout_1_replica", "read_scaleout_2_replicas", "read_scaleout_4_replicas"} {
+			if v, ok := rep.Ratios[k]; ok {
+				fmt.Printf("%-28s %14.2fx\n", k, v)
+			}
+		}
+		return
+	}
 
 	if *walOut != "" {
 		rep, err := experiments.WriteWALPerfJSON(*walOut, *quick)

@@ -323,7 +323,8 @@ func (c *Client) readLoop(s *session) {
 func retryable(op proto.Op) bool {
 	switch op {
 	case proto.OpConnect, proto.OpGetSchema, proto.OpGetClass,
-		proto.OpGetValue, proto.OpSelectWhere, proto.OpStats, proto.OpTrace:
+		proto.OpGetValue, proto.OpSelectWhere, proto.OpStats, proto.OpTrace,
+		proto.OpReplStatus:
 		return true
 	}
 	return false
@@ -611,6 +612,20 @@ func (c *Client) ScenarioUpdate(ctx event.Context, oid catalog.OID, values []cat
 func (c *Client) ScenarioDelete(ctx event.Context, oid catalog.OID) error {
 	_, err := c.roundTrip(proto.Request{Op: proto.OpScenarioDelete, Ctx: ctx, OID: oid})
 	return err
+}
+
+// ReplStatus fetches the server's replication status (the repl_status
+// verb): role, applied/durable LSNs, lag and health. A server that does not
+// replicate answers with a remote error.
+func (c *Client) ReplStatus() (proto.ReplStatus, error) {
+	resp, err := c.roundTrip(proto.Request{Op: proto.OpReplStatus})
+	if err != nil {
+		return proto.ReplStatus{}, err
+	}
+	if resp.Repl == nil {
+		return proto.ReplStatus{}, fmt.Errorf("%w: missing repl payload", proto.ErrRemote)
+	}
+	return *resp.Repl, nil
 }
 
 // Traces fetches every trace retained by the server's tail sampler (the

@@ -1,0 +1,255 @@
+package client
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/event"
+	"repro/internal/faultnet"
+	"repro/internal/geodb"
+	"repro/internal/geom"
+	"repro/internal/proto"
+	"repro/internal/server"
+	"repro/internal/spec"
+	"repro/internal/ui"
+)
+
+// stubBackend is a minimal ui.Backend whose GetSchema answers with the
+// endpoint's tag, so tests can see which endpoint served a read. Setting
+// fail makes it answer every verb with the replica-unavailable sentinel,
+// imitating a lagging or detached replica.
+type stubBackend struct {
+	tag   string
+	calls atomic.Int64
+	fail  atomic.Bool
+}
+
+func (b *stubBackend) check() error {
+	if b.fail.Load() {
+		return errors.New(proto.ReplicaUnavailableMsg + ": stub down")
+	}
+	b.calls.Add(1)
+	return nil
+}
+
+func (b *stubBackend) Connect(event.Context) error { return b.check() }
+
+func (b *stubBackend) GetSchema(event.Context, string) (geodb.SchemaInfo, *spec.Customization, error) {
+	if err := b.check(); err != nil {
+		return geodb.SchemaInfo{}, nil, err
+	}
+	return geodb.SchemaInfo{Name: b.tag}, nil, nil
+}
+
+func (b *stubBackend) GetClass(event.Context, string, string) (ui.ClassData, *spec.Customization, error) {
+	if err := b.check(); err != nil {
+		return ui.ClassData{}, nil, err
+	}
+	return ui.ClassData{}, nil, nil
+}
+
+func (b *stubBackend) GetClassWindowed(event.Context, string, string, geom.Rect) (ui.ClassData, *spec.Customization, error) {
+	return b.GetClass(event.Context{}, "", "")
+}
+
+func (b *stubBackend) GetValue(event.Context, catalog.OID) (geodb.Instance, *spec.Customization, error) {
+	if err := b.check(); err != nil {
+		return geodb.Instance{}, nil, err
+	}
+	return geodb.Instance{OID: 1}, nil, nil
+}
+
+func (b *stubBackend) SelectWhere(event.Context, string, string, []geodb.Filter) ([]geodb.Instance, error) {
+	if err := b.check(); err != nil {
+		return nil, err
+	}
+	return nil, nil
+}
+
+func (b *stubBackend) CallMethod(catalog.OID, string, ...catalog.Value) (catalog.Value, error) {
+	if err := b.check(); err != nil {
+		return catalog.Value{}, err
+	}
+	return catalog.TextVal(b.tag), nil
+}
+
+// stubServer serves a stubBackend over per-dial pipes; wrap, when set,
+// intercepts each new server-side conn (faultnet injection).
+type stubServer struct {
+	t    *testing.T
+	b    *stubBackend
+	srv  *server.Server
+	mu   sync.Mutex
+	wrap func(net.Conn) net.Conn
+}
+
+func newStubServer(t *testing.T, tag string) *stubServer {
+	s := &stubServer{t: t, b: &stubBackend{tag: tag}}
+	s.srv = server.New(s.b)
+	t.Cleanup(func() { s.srv.Close() })
+	return s
+}
+
+func (s *stubServer) endpoint() Endpoint {
+	return Endpoint{Addr: s.b.tag, Dial: func() (net.Conn, error) {
+		cli, srv := net.Pipe()
+		s.mu.Lock()
+		wrap := s.wrap
+		s.mu.Unlock()
+		var conn net.Conn = srv
+		if wrap != nil {
+			conn = wrap(srv)
+		}
+		go s.srv.ServeConn(conn)
+		return cli, nil
+	}}
+}
+
+func (s *stubServer) setWrap(w func(net.Conn) net.Conn) {
+	s.mu.Lock()
+	s.wrap = w
+	s.mu.Unlock()
+}
+
+func topoWorld(t *testing.T, replicas int, opts TopologyOptions) (*Topology, *stubServer, []*stubServer) {
+	t.Helper()
+	prim := newStubServer(t, "primary")
+	var reps []*stubServer
+	var eps []Endpoint
+	for i := 0; i < replicas; i++ {
+		r := newStubServer(t, "replica"+string(rune('A'+i)))
+		reps = append(reps, r)
+		eps = append(eps, r.endpoint())
+	}
+	topo := NewTopology(prim.endpoint(), eps, opts)
+	t.Cleanup(func() { topo.Close() })
+	return topo, prim, reps
+}
+
+// TestTopologySpreadsReadsAndPinsMutations: reads rotate over primary and
+// replicas; call_method lands only on the primary.
+func TestTopologySpreadsReadsAndPinsMutations(t *testing.T) {
+	topo, prim, reps := topoWorld(t, 2, TopologyOptions{})
+	for i := 0; i < 30; i++ {
+		if _, _, err := topo.GetSchema(event.Context{}, "net"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if prim.b.calls.Load() == 0 || reps[0].b.calls.Load() == 0 || reps[1].b.calls.Load() == 0 {
+		t.Fatalf("reads not spread: primary=%d repA=%d repB=%d",
+			prim.b.calls.Load(), reps[0].b.calls.Load(), reps[1].b.calls.Load())
+	}
+
+	before := [2]int64{reps[0].b.calls.Load(), reps[1].b.calls.Load()}
+	for i := 0; i < 6; i++ {
+		if v, err := topo.CallMethod(1, "m"); err != nil || v.Text != "primary" {
+			t.Fatalf("call_method answered by %q (%v), want primary", v.Text, err)
+		}
+	}
+	if reps[0].b.calls.Load() != before[0] || reps[1].b.calls.Load() != before[1] {
+		t.Fatal("a mutation reached a replica")
+	}
+}
+
+// TestTopologyEvictsUnavailableReplicaAndRejoins: a replica answering the
+// unavailable sentinel is evicted on first contact, reads keep succeeding
+// on the rest, and the health prober re-admits it once it recovers.
+func TestTopologyEvictsUnavailableReplicaAndRejoins(t *testing.T) {
+	topo, _, reps := topoWorld(t, 2, TopologyOptions{HealthEvery: 20 * time.Millisecond})
+	reps[0].b.fail.Store(true)
+
+	for i := 0; i < 12; i++ {
+		if _, _, err := topo.GetSchema(event.Context{}, "net"); err != nil {
+			t.Fatalf("read %d failed during eviction: %v", i, err)
+		}
+	}
+	if topo.Healthy() != 1 {
+		t.Fatalf("%d healthy replicas after evicting one of two", topo.Healthy())
+	}
+
+	reps[0].b.fail.Store(false)
+	deadline := time.Now().Add(5 * time.Second)
+	for topo.Healthy() != 2 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if topo.Healthy() != 2 {
+		t.Fatal("recovered replica never rejoined the rotation")
+	}
+}
+
+// TestTopologyAllReplicasDownReadsFromPrimary: with every replica evicted,
+// every read lands on the primary and still succeeds.
+func TestTopologyAllReplicasDownReadsFromPrimary(t *testing.T) {
+	topo, prim, reps := topoWorld(t, 2, TopologyOptions{HealthEvery: time.Hour})
+	reps[0].b.fail.Store(true)
+	reps[1].b.fail.Store(true)
+	for i := 0; i < 10; i++ {
+		info, _, err := topo.GetSchema(event.Context{}, "net")
+		if err != nil {
+			t.Fatalf("read %d failed with all replicas down: %v", i, err)
+		}
+		if info.Name != "primary" {
+			t.Fatalf("read served by %q with all replicas down", info.Name)
+		}
+	}
+	if topo.Healthy() != 0 {
+		t.Fatalf("%d healthy replicas, want 0", topo.Healthy())
+	}
+	if prim.b.calls.Load() < 10 {
+		t.Fatalf("primary served %d calls, want all reads", prim.b.calls.Load())
+	}
+}
+
+// TestTopologyStalledReplicaPoisonedAndEvicted: the one-way stall fault — a
+// replica whose responses freeze mid-air (conn open, bytes stopped) — must
+// trip the client's request timeout, poison that connection, evict the
+// replica, and leave reads flowing through the survivors. Unfreezing lets
+// the health probe re-admit it.
+func TestTopologyStalledReplicaPoisonedAndEvicted(t *testing.T) {
+	topo, _, reps := topoWorld(t, 1, TopologyOptions{
+		Client:      Options{Timeout: 100 * time.Millisecond},
+		HealthEvery: 20 * time.Millisecond,
+	})
+
+	// Every conn to the replica comes up with its write side (the response
+	// path) frozen.
+	var mu sync.Mutex
+	var stalled []*faultnet.Conn
+	reps[0].setWrap(func(c net.Conn) net.Conn {
+		fc := faultnet.Wrap(c, faultnet.Options{})
+		fc.StallWrites(true)
+		mu.Lock()
+		stalled = append(stalled, fc)
+		mu.Unlock()
+		return fc
+	})
+
+	for i := 0; i < 8; i++ {
+		if _, _, err := topo.GetSchema(event.Context{}, "net"); err != nil {
+			t.Fatalf("read %d failed during stall failover: %v", i, err)
+		}
+	}
+	if topo.Healthy() != 0 {
+		t.Fatal("stalled replica still in the read rotation")
+	}
+
+	// Thaw: new conns are clean, parked writers are released.
+	reps[0].setWrap(nil)
+	mu.Lock()
+	for _, fc := range stalled {
+		fc.StallWrites(false)
+	}
+	mu.Unlock()
+	deadline := time.Now().Add(5 * time.Second)
+	for topo.Healthy() != 1 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if topo.Healthy() != 1 {
+		t.Fatal("thawed replica never rejoined the rotation")
+	}
+}

@@ -50,6 +50,10 @@ type Config struct {
 	// WALSyncEvery batches WAL fsyncs (see geodb.Options.SyncEvery); 0 or 1
 	// keeps every acknowledged mutation durable.
 	WALSyncEvery int
+	// WALFile injects the log file, enabling the WAL even for an in-memory
+	// database — a replication primary needs a log to ship regardless of
+	// where its pages live.
+	WALFile storage.LogFile
 }
 
 // System is the assembled architecture of Figure 1.
@@ -85,6 +89,7 @@ func Open(cfg Config) (*System, error) {
 		DisableWAL:      cfg.DisableWAL,
 		CheckpointEvery: cfg.CheckpointEvery,
 		SyncEvery:       cfg.WALSyncEvery,
+		WALFile:         cfg.WALFile,
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,278 @@
+// Perf harness for the PR-7 replication work: how does read throughput
+// scale as replicas join the rotation? One primary and N log-shipped
+// replicas each serve the retrieval verbs behind a fixed per-endpoint
+// service latency (the stand-in for disk/CPU a real deployment saturates),
+// and a topology client fans a pool of concurrent sessions over all of
+// them. Because each endpoint is a serial resource, aggregate throughput
+// should grow with every replica added — the read scale-out claim
+// `gisbench -repl-json` (BENCH_PR7.json) makes machine-checkable.
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/active"
+	"repro/internal/catalog"
+	"repro/internal/client"
+	"repro/internal/event"
+	"repro/internal/geodb"
+	"repro/internal/repl"
+	"repro/internal/server"
+	"repro/internal/spec"
+	"repro/internal/storage"
+	"repro/internal/ui"
+)
+
+// replSlowBackend models a backend whose endpoint is a serial resource:
+// each retrieval holds the endpoint for a fixed service time before
+// delegating. Capacity is therefore 1/latency reads per second per
+// endpoint, no matter how many connections or pipelined requests pile up —
+// which makes aggregate throughput a direct function of how many endpoints
+// the topology client can spread reads over.
+type replSlowBackend struct {
+	ui.Backend
+	mu  sync.Mutex
+	lat time.Duration
+}
+
+func (s *replSlowBackend) hold() {
+	s.mu.Lock()
+	time.Sleep(s.lat)
+	s.mu.Unlock()
+}
+
+func (s *replSlowBackend) GetValue(ctx event.Context, oid catalog.OID) (geodb.Instance, *spec.Customization, error) {
+	s.hold()
+	return s.Backend.GetValue(ctx, oid)
+}
+
+func (s *replSlowBackend) GetSchema(ctx event.Context, schema string) (geodb.SchemaInfo, *spec.Customization, error) {
+	s.hold()
+	return s.Backend.GetSchema(ctx, schema)
+}
+
+// ReplBench is one measurement world: a primary database, N converged
+// replicas, protocol servers for every endpoint, and a topology client
+// spreading reads over all of them.
+type ReplBench struct {
+	Topo    *client.Topology
+	OIDs    []catalog.OID
+	closers []func()
+}
+
+const replBenchRows = 32
+
+// NewReplBench assembles a primary with nReplicas converged log-shipping
+// replicas, every endpoint throttled to one read per latency.
+func NewReplBench(nReplicas int, latency time.Duration) (*ReplBench, error) {
+	rb := &ReplBench{}
+	ok := false
+	defer func() {
+		if !ok {
+			rb.Close()
+		}
+	}()
+
+	db, err := geodb.Open(geodb.Options{
+		Name:            "GEO",
+		Pager:           storage.NewMemPager(),
+		WALFile:         storage.NewMemLogFile(),
+		CheckpointEvery: -1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rb.closers = append(rb.closers, func() { db.Close() })
+	if err := db.DefineSchema("net"); err != nil {
+		return nil, err
+	}
+	if err := db.DefineClass("net", catalog.Class{
+		Name: "Station",
+		Attrs: []catalog.Field{
+			catalog.F("name", catalog.Scalar(catalog.KindText)),
+			catalog.F("load", catalog.Scalar(catalog.KindInteger)),
+		},
+	}); err != nil {
+		return nil, err
+	}
+	ctx := event.Context{User: "bench", Application: "replperf"}
+	for i := 0; i < replBenchRows; i++ {
+		oid, err := db.Insert(ctx, "net", "Station", []catalog.Value{
+			catalog.TextVal(fmt.Sprintf("s%04d", i)), catalog.IntVal(int64(i)),
+		})
+		if err != nil {
+			return nil, err
+		}
+		rb.OIDs = append(rb.OIDs, oid)
+	}
+
+	prim, err := repl.NewPrimary(db, repl.PrimaryOptions{})
+	if err != nil {
+		return nil, err
+	}
+	rb.closers = append(rb.closers, func() { prim.Close() })
+	shipDial := func() (net.Conn, error) {
+		cli, srv := net.Pipe()
+		go prim.ServeConn(srv)
+		return cli, nil
+	}
+
+	endpoint := func(name string, b ui.Backend) client.Endpoint {
+		srv := server.New(&replSlowBackend{Backend: b, lat: latency})
+		rb.closers = append(rb.closers, func() { srv.Close() })
+		return client.Endpoint{Addr: name, Dial: func() (net.Conn, error) {
+			cli, sc := net.Pipe()
+			go srv.ServeConn(sc)
+			return cli, nil
+		}}
+	}
+
+	var reps []client.Endpoint
+	for i := 0; i < nReplicas; i++ {
+		rep := repl.NewReplica(repl.ReplicaOptions{Dial: shipDial})
+		rep.Start()
+		rb.closers = append(rb.closers, func() { rep.Close() })
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			st := rep.Status()
+			if st.Healthy && st.Applied == uint64(prim.Durable()) {
+				break
+			}
+			if time.Now().After(deadline) {
+				return nil, fmt.Errorf("replica %d never converged (applied %d, durable %d)",
+					i, st.Applied, prim.Durable())
+			}
+			time.Sleep(time.Millisecond)
+		}
+		reps = append(reps, endpoint(fmt.Sprintf("replica-%d", i), rep))
+	}
+
+	primaryEp := endpoint("primary", ui.NewDirectBackend(db, active.NewEngine()))
+	rb.Topo = client.NewTopology(primaryEp, reps, client.TopologyOptions{
+		Client:      client.Options{Timeout: 30 * time.Second},
+		HealthEvery: time.Hour, // endpoints never fail here; keep probes out of the measurement
+	})
+	rb.closers = append(rb.closers, func() { rb.Topo.Close() })
+	ok = true
+	return rb, nil
+}
+
+// Run drives sessions concurrent readers against the topology for the
+// window and reports completed reads and the elapsed wall time.
+func (rb *ReplBench) Run(sessions int, window time.Duration) (int64, time.Duration, error) {
+	ctx := event.Context{User: "bench", Application: "replperf"}
+	var ops int64
+	var firstErr atomic.Value
+	start := time.Now()
+	stop := start.Add(window)
+	var wg sync.WaitGroup
+	for s := 0; s < sessions; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for i := s; time.Now().Before(stop); i++ {
+				if _, _, err := rb.Topo.GetValue(ctx, rb.OIDs[i%len(rb.OIDs)]); err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+				atomic.AddInt64(&ops, 1)
+			}
+		}(s)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if err, _ := firstErr.Load().(error); err != nil {
+		return 0, 0, err
+	}
+	return atomic.LoadInt64(&ops), elapsed, nil
+}
+
+// Close tears the world down in reverse construction order.
+func (rb *ReplBench) Close() {
+	for i := len(rb.closers) - 1; i >= 0; i-- {
+		rb.closers[i]()
+	}
+	rb.closers = nil
+}
+
+// ReplFanouts is the replica-count series BENCH_PR7.json sweeps.
+var ReplFanouts = []int{0, 1, 2, 4}
+
+// RunReplPerf measures read throughput at each fan-out. quick shrinks the
+// session pool and the measurement window for CI; the full run fans out
+// thousands of concurrent sessions.
+func RunReplPerf(quick bool) (*PerfReport, error) {
+	latency := 2 * time.Millisecond
+	sessions, window := 2048, time.Second
+	if quick {
+		sessions, window = 64, 250*time.Millisecond
+	}
+	rep := &PerfReport{Ratios: map[string]float64{}}
+	rps := map[int]float64{}
+	for _, n := range ReplFanouts {
+		rb, err := NewReplBench(n, latency)
+		if err != nil {
+			return nil, err
+		}
+		ops, elapsed, err := rb.Run(sessions, window)
+		rb.Close()
+		if err != nil {
+			return nil, err
+		}
+		if ops == 0 {
+			return nil, fmt.Errorf("fan-out %d completed no reads", n)
+		}
+		perSec := float64(ops) / elapsed.Seconds()
+		rps[n] = perSec
+		rep.Results = append(rep.Results, PerfResult{
+			Name:    fmt.Sprintf("read_replicas_%d", n),
+			NsPerOp: float64(elapsed.Nanoseconds()) / float64(ops),
+			Extra: map[string]float64{
+				"replicas":      float64(n),
+				"sessions":      float64(sessions),
+				"reads_per_sec": perSec,
+			},
+		})
+	}
+	if rps[0] > 0 {
+		rep.Ratios["read_scaleout_1_replica"] = rps[1] / rps[0]
+		rep.Ratios["read_scaleout_2_replicas"] = rps[2] / rps[0]
+		rep.Ratios["read_scaleout_4_replicas"] = rps[4] / rps[0]
+	}
+	return rep, nil
+}
+
+// WriteReplPerfJSON runs the fan-out series and writes BENCH_PR7.json. The
+// series is only accepted when throughput grows with every replica added —
+// a flat or shrinking curve means replication is not actually spreading
+// reads, and the artifact must not paper over that.
+func WriteReplPerfJSON(path string, quick bool) (*PerfReport, error) {
+	rep, err := RunReplPerf(quick)
+	if err != nil {
+		return nil, err
+	}
+	prev := -1.0
+	for _, r := range rep.Results {
+		persec := r.Extra["reads_per_sec"]
+		if persec <= prev {
+			return nil, fmt.Errorf("read throughput not monotonic: %s at %.0f reads/sec after %.0f",
+				r.Name, persec, prev)
+		}
+		prev = persec
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}

@@ -50,6 +50,7 @@ type Stats struct {
 	PartialWrites atomic.Int64 // writes split in two
 	Drops         atomic.Int64 // forced mid-stream closes (0 or 1)
 	CorruptedBits atomic.Int64 // bits flipped
+	Stalls        atomic.Int64 // reads/writes frozen at a stall gate
 }
 
 // Conn is a net.Conn with fault injection on the write and read paths.
@@ -62,6 +63,15 @@ type Conn struct {
 	written int64
 	dropped bool
 
+	// Stall gates: a half-dead peer keeps the conn open but one direction
+	// simply stops making progress. gateCh is closed and replaced on every
+	// state change so parked operations re-check the flags.
+	gateMu       sync.Mutex
+	readStalled  bool
+	writeStalled bool
+	closed       bool
+	gateCh       chan struct{}
+
 	// Stats reports what was injected so far.
 	Stats Stats
 }
@@ -69,10 +79,67 @@ type Conn struct {
 // Wrap returns conn with the given faults layered on top.
 func Wrap(conn net.Conn, opts Options) *Conn {
 	return &Conn{
-		Conn: conn,
-		opts: opts,
-		rng:  rand.New(rand.NewSource(opts.Seed)),
+		Conn:   conn,
+		opts:   opts,
+		rng:    rand.New(rand.NewSource(opts.Seed)),
+		gateCh: make(chan struct{}),
 	}
+}
+
+// StallReads freezes (on=true) or thaws (on=false) the read direction: a
+// stalled Read parks before touching the wrapped conn, without closing
+// anything — the way a partitioned or wedged peer looks from this side.
+// Parked reads resume on thaw and fail with net.ErrClosed on Close. Note the
+// gate parks *before* the wrapped conn, so read deadlines set on the conn do
+// not fire while parked; peers that bound reads with timer-based waits (the
+// pipelined client) or that stall the opposite end's writes see their
+// timeouts normally.
+func (c *Conn) StallReads(on bool) { c.setStall(&c.readStalled, on) }
+
+// StallWrites freezes or thaws the write direction; see StallReads.
+func (c *Conn) StallWrites(on bool) { c.setStall(&c.writeStalled, on) }
+
+func (c *Conn) setStall(flag *bool, on bool) {
+	c.gateMu.Lock()
+	*flag = on
+	close(c.gateCh)
+	c.gateCh = make(chan struct{})
+	c.gateMu.Unlock()
+}
+
+// waitGate parks while *flag is set; it returns net.ErrClosed once the conn
+// is closed so a stalled endpoint still tears down cleanly.
+func (c *Conn) waitGate(flag *bool) error {
+	c.gateMu.Lock()
+	counted := false
+	for *flag && !c.closed {
+		if !counted {
+			c.Stats.Stalls.Add(1)
+			counted = true
+		}
+		ch := c.gateCh
+		c.gateMu.Unlock()
+		<-ch
+		c.gateMu.Lock()
+	}
+	closed := c.closed
+	c.gateMu.Unlock()
+	if closed {
+		return net.ErrClosed
+	}
+	return nil
+}
+
+// Close releases any parked reads/writes, then closes the wrapped conn.
+func (c *Conn) Close() error {
+	c.gateMu.Lock()
+	if !c.closed {
+		c.closed = true
+		close(c.gateCh)
+		c.gateCh = make(chan struct{})
+	}
+	c.gateMu.Unlock()
+	return c.Conn.Close()
 }
 
 // Pipe is net.Pipe with faults injected on the first (client-side) end.
@@ -81,8 +148,12 @@ func Pipe(opts Options) (*Conn, net.Conn) {
 	return Wrap(a, opts), b
 }
 
-// Read injects latency, then reads from the wrapped conn.
+// Read injects latency and the read-stall gate, then reads from the wrapped
+// conn.
 func (c *Conn) Read(p []byte) (int, error) {
+	if err := c.waitGate(&c.readStalled); err != nil {
+		return 0, err
+	}
 	if c.opts.ReadLatency > 0 {
 		c.Stats.Delays.Add(1)
 		time.Sleep(c.opts.ReadLatency)
@@ -90,9 +161,13 @@ func (c *Conn) Read(p []byte) (int, error) {
 	return c.Conn.Read(p)
 }
 
-// Write injects the configured write faults in order: latency, corruption,
-// partial split, and the mid-stream drop. After a drop every Write fails.
+// Write injects the configured write faults in order: the write-stall gate,
+// latency, corruption, partial split, and the mid-stream drop. After a drop
+// every Write fails.
 func (c *Conn) Write(p []byte) (int, error) {
+	if err := c.waitGate(&c.writeStalled); err != nil {
+		return 0, err
+	}
 	if c.opts.WriteLatency > 0 {
 		c.Stats.Delays.Add(1)
 		time.Sleep(c.opts.WriteLatency)

@@ -147,3 +147,102 @@ func TestWrapListenerSeedsPerConn(t *testing.T) {
 		t.Fatal("accepted conns share a seed")
 	}
 }
+
+// TestStallReadsParksAndResumes: StallReads freezes the read side of a live
+// conn without closing it — bytes written by the peer queue up — and
+// releasing the stall delivers them.
+func TestStallReadsParksAndResumes(t *testing.T) {
+	fc, peer := Pipe(Options{})
+	defer fc.Close()
+	defer peer.Close()
+
+	fc.StallReads(true)
+	got := make(chan []byte, 1)
+	go func() {
+		buf := make([]byte, 5)
+		n, err := io.ReadFull(fc, buf)
+		if err != nil {
+			got <- nil
+			return
+		}
+		got <- buf[:n]
+	}()
+	go peer.Write([]byte("hello"))
+
+	select {
+	case <-got:
+		t.Fatal("read completed while stalled")
+	case <-time.After(50 * time.Millisecond):
+	}
+	if fc.Stats.Stalls.Load() == 0 {
+		t.Fatal("stall not counted")
+	}
+	fc.StallReads(false)
+	select {
+	case b := <-got:
+		if string(b) != "hello" {
+			t.Fatalf("read %q after unstall, want hello", b)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("read still parked after the stall was released")
+	}
+}
+
+// TestStallWritesParksAndResumes: the one-way write stall — the conn stays
+// open and readable, but nothing leaves.
+func TestStallWritesParksAndResumes(t *testing.T) {
+	fc, peer := Pipe(Options{})
+	defer fc.Close()
+	defer peer.Close()
+
+	fc.StallWrites(true)
+	done := make(chan error, 1)
+	go func() {
+		_, err := fc.Write([]byte("x"))
+		done <- err
+	}()
+	select {
+	case <-done:
+		t.Fatal("write completed while stalled")
+	case <-time.After(50 * time.Millisecond):
+	}
+	fc.StallWrites(false)
+	buf := make([]byte, 1)
+	if _, err := peer.Read(buf); err != nil || buf[0] != 'x' {
+		t.Fatalf("peer read %q/%v after unstall", buf, err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("write failed after unstall: %v", err)
+	}
+}
+
+// TestCloseReleasesStalledIO: closing the conn frees parked readers and
+// writers with net.ErrClosed instead of leaking them.
+func TestCloseReleasesStalledIO(t *testing.T) {
+	fc, peer := Pipe(Options{})
+	defer peer.Close()
+
+	fc.StallReads(true)
+	fc.StallWrites(true)
+	errs := make(chan error, 2)
+	go func() {
+		_, err := fc.Read(make([]byte, 1))
+		errs <- err
+	}()
+	go func() {
+		_, err := fc.Write([]byte("y"))
+		errs <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	fc.Close()
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-errs:
+			if !errors.Is(err, net.ErrClosed) {
+				t.Fatalf("parked IO returned %v, want net.ErrClosed", err)
+			}
+		case <-time.After(time.Second):
+			t.Fatal("parked IO still blocked after Close")
+		}
+	}
+}

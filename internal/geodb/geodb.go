@@ -25,6 +25,10 @@ var (
 	ErrNoInstance = errors.New("geodb: no such instance")
 	ErrNoMethod   = errors.New("geodb: no such method")
 	ErrVetoed     = errors.New("geodb: operation vetoed by rule")
+	// ErrReadOnly rejects every mutation on a follower-opened database: a
+	// replica's state is defined entirely by the primary's log, so local
+	// writes would fork it off the primary's history.
+	ErrReadOnly = errors.New("geodb: read-only database")
 )
 
 // Options configures a database.
@@ -64,6 +68,11 @@ type Options struct {
 	// WALFile injects the log file, enabling the WAL even without a Path
 	// (crash-matrix tests use a storage.CrashLogFile).
 	WALFile storage.LogFile
+
+	// ReadOnly rejects every mutation with ErrReadOnly. Replication opens a
+	// replica's applied pages this way (see OpenFollower): reads are served
+	// normally, writes belong to the primary alone.
+	ReadOnly bool
 }
 
 type classKey struct {
@@ -119,11 +128,12 @@ func (in Instance) Geometry() (geom.Geometry, bool) {
 // DB is an object-oriented geographic database. All exported methods are
 // safe for concurrent use: reads share an RWMutex; writes serialize.
 type DB struct {
-	name  string
-	cat   *catalog.Catalog
-	bus   *event.Bus
-	pager storage.Pager
-	wal   *storage.WAL // nil when the WAL is disabled
+	name     string
+	cat      *catalog.Catalog
+	bus      *event.Bus
+	pager    storage.Pager
+	wal      *storage.WAL // nil when the WAL is disabled
+	readOnly bool
 
 	// tracer stamps spans on the exploratory primitives and mutations.
 	// Disabled (nil sink) until core.EnableTracing attaches one; every
@@ -240,6 +250,7 @@ func Open(opts Options) (*DB, error) {
 		bus:             event.NewBus(),
 		pager:           pager,
 		wal:             wal,
+		readOnly:        opts.ReadOnly,
 		checkpointEvery: checkpointEvery,
 		replayed:        replayed,
 		heap:            storage.NewHeapFile(pool),
@@ -260,6 +271,44 @@ func Open(opts Options) (*DB, error) {
 		}
 	}
 	return db, nil
+}
+
+// OpenFollower opens a read-only database over pages a replica applied from
+// the primary's log: no WAL of its own (the primary's log IS the history),
+// every mutation rejected with ErrReadOnly, catalog/directory/indexes
+// rebuilt from the pages by the same recovery scan a restart uses.
+func OpenFollower(name string, pager storage.Pager) (*DB, error) {
+	return Open(Options{Name: name, Pager: pager, DisableWAL: true, ReadOnly: true})
+}
+
+// SnapshotPages streams a consistent point-in-time copy of every page to fn,
+// for replication catch-up: under the database write lock (no mutation can
+// interleave) it checkpoints — flushing every dirty page into the pager and
+// truncating the log — then hands fn each page image in id order. The
+// returned LSN is the checkpoint marker's: the snapshot is exactly the
+// primary's durable history through that LSN, and the log stream continues
+// at the next record. fn must not retain p.
+func (db *DB) SnapshotPages(fn func(id storage.PageID, p *storage.Page) error) (storage.LSN, error) {
+	if db.wal == nil {
+		return 0, errors.New("geodb: snapshot requires a WAL-backed database")
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if err := db.checkpointLocked(nil); err != nil {
+		return 0, err
+	}
+	lsn := db.wal.Durable()
+	n := db.pager.NumPages()
+	for id := storage.PageID(0); uint32(id) < n; id++ {
+		var p storage.Page
+		if err := db.pager.ReadPage(id, &p); err != nil {
+			return 0, err
+		}
+		if err := fn(id, &p); err != nil {
+			return 0, err
+		}
+	}
+	return lsn, nil
 }
 
 // Name returns the database name.
@@ -334,6 +383,16 @@ func (db *DB) checkpointLocked(sp *obs.Span) error {
 		return err
 	}
 	return db.wal.Checkpoint()
+}
+
+// endGroup closes the current mutation's WAL record group (see
+// storage.WAL.EndGroup). Callers must hold db.mu: the lock is what keeps
+// group records contiguous in the log, which is what lets a replica expose
+// only whole-mutation prefixes.
+func (db *DB) endGroup() {
+	if db.wal != nil {
+		db.wal.EndGroup()
+	}
 }
 
 // commitDurable is the acknowledgement gate every mutation passes on its
@@ -534,6 +593,9 @@ func (db *DB) ValuesFromMap(schema, class string, m map[string]catalog.Value) ([
 // Insert stores a new instance and returns its OID. Pre/Post insert events
 // are emitted; an error from a PreInsert handler vetoes the insert.
 func (db *DB) Insert(ctx event.Context, schema, class string, values []catalog.Value) (_ catalog.OID, rerr error) {
+	if db.readOnly {
+		return 0, ErrReadOnly
+	}
 	sw := obs.Start(mInsertSeconds)
 	defer sw.Stop()
 	sp := db.tracer.StartSpan("geodb.insert", ctx.Trace)
@@ -573,6 +635,7 @@ func (db *DB) Insert(ctx event.Context, schema, class string, values []catalog.V
 		}
 		tree.Insert(b, uint64(oid))
 	}
+	db.endGroup()
 	db.mu.Unlock()
 	if err := db.commitDurable(sp); err != nil {
 		return 0, err
@@ -596,6 +659,9 @@ func (db *DB) InsertMap(ctx event.Context, schema, class string, m map[string]ca
 // Update replaces the instance's values. PreUpdate handlers may veto (the
 // topological-constraint rules of [11] do exactly that).
 func (db *DB) Update(ctx event.Context, oid catalog.OID, values []catalog.Value) (rerr error) {
+	if db.readOnly {
+		return ErrReadOnly
+	}
 	sp := db.tracer.StartSpan("geodb.update", ctx.Trace)
 	sp.Setf("oid", "%d", oid)
 	defer func() { sp.SetError(rerr).Finish() }()
@@ -649,6 +715,7 @@ func (db *DB) Update(ctx event.Context, oid catalog.OID, values []catalog.Value)
 		tree.Insert(b, uint64(oid))
 		db.spatial[key] = tree
 	}
+	db.endGroup()
 	db.mu.Unlock()
 	if err := db.commitDurable(sp); err != nil {
 		return err
@@ -682,6 +749,9 @@ func (db *DB) UpdateAttr(ctx event.Context, oid catalog.OID, attr string, v cata
 
 // Delete removes an instance. PreDelete handlers may veto.
 func (db *DB) Delete(ctx event.Context, oid catalog.OID) (rerr error) {
+	if db.readOnly {
+		return ErrReadOnly
+	}
 	sp := db.tracer.StartSpan("geodb.delete", ctx.Trace)
 	sp.Setf("oid", "%d", oid)
 	defer func() { sp.SetError(rerr).Finish() }()
@@ -714,6 +784,7 @@ func (db *DB) Delete(ctx event.Context, oid catalog.OID) (rerr error) {
 			tree.Delete(b, uint64(oid))
 		}
 	}
+	db.endGroup()
 	db.mu.Unlock()
 	if err := db.commitDurable(sp); err != nil {
 		return err

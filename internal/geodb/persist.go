@@ -68,6 +68,9 @@ func decodeEnvelope(data []byte) (tag int64, oid catalog.OID, schema, class stri
 // persistCatalog rewrites the reserved catalog record and commits it to the
 // WAL. Callers hold no lock; it takes the write lock itself.
 func (db *DB) persistCatalog() error {
+	if db.readOnly {
+		return ErrReadOnly
+	}
 	if err := db.persistCatalogRecord(); err != nil {
 		return err
 	}
@@ -88,6 +91,7 @@ func (db *DB) persistCatalogRecord() error {
 	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	defer db.endGroup() // runs before the unlock (LIFO), closing the group
 	if db.catalogRID != nil {
 		if err := db.heap.Update(*db.catalogRID, data); err == nil {
 			return nil

@@ -71,7 +71,48 @@ const (
 	// them, or — when Request.TraceID is set — just that one. Like OpStats
 	// it is an observability verb outside the paper's primitive set.
 	OpTrace Op = "trace"
+	// OpReplStatus reports the server's replication role and progress: a
+	// primary answers with its durable LSN and per-replica lag, a replica
+	// with its applied LSN and health. Idempotent, so it is in the client's
+	// retry class; the topology client's health probe rides it.
+	OpReplStatus Op = "repl_status"
 )
+
+// ReplicaUnavailableMsg prefixes every error a replica serves while it is
+// unfit to answer reads (still snapshotting, lagging beyond its bound, or
+// disconnected from the primary). It crosses the wire as the error text, so
+// the topology client string-matches it to evict the replica from the read
+// rotation — a deliberate sentinel, like io.EOF's message, not a format.
+const ReplicaUnavailableMsg = "replica unavailable"
+
+// ReplStatus answers the repl_status verb.
+type ReplStatus struct {
+	// Role is "primary", "replica", or "none" (replication not enabled).
+	Role string `json:"role"`
+	// RunID identifies the primary's log lineage; a replica refuses to mix
+	// records from two lineages (see internal/repl).
+	RunID uint64 `json:"run_id,omitempty"`
+	// Durable is the primary's durable LSN (primaries only).
+	Durable uint64 `json:"durable,omitempty"`
+	// Applied is the replica's last applied consistent LSN; PrimaryDurable
+	// is its latest view of the primary's durable LSN; Lag their difference.
+	Applied        uint64 `json:"applied,omitempty"`
+	PrimaryDurable uint64 `json:"primary_durable,omitempty"`
+	Lag            uint64 `json:"lag,omitempty"`
+	// Healthy reports whether the replica is serving reads (connected,
+	// caught up within its lag bound). Always true on a primary.
+	Healthy   bool `json:"healthy"`
+	Connected bool `json:"connected"`
+	// Replicas lists a primary's attached replicas.
+	Replicas []ReplConnStatus `json:"replicas,omitempty"`
+}
+
+// ReplConnStatus is one attached replica as the primary sees it.
+type ReplConnStatus struct {
+	Addr  string `json:"addr"`
+	Acked uint64 `json:"acked"`
+	Lag   uint64 `json:"lag"`
+}
 
 // Request is a client→server message.
 type Request struct {
@@ -112,6 +153,8 @@ type Response struct {
 	OID catalog.OID `json:"oid,omitempty"`
 	// Traces answers the trace verb with the server's retained traces.
 	Traces []obs.TraceData `json:"traces,omitempty"`
+	// Repl answers the repl_status verb.
+	Repl *ReplStatus `json:"repl,omitempty"`
 }
 
 // SchemaInfo mirrors geodb.SchemaInfo on the wire.

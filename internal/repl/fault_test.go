@@ -1,0 +1,231 @@
+package repl
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/faultnet"
+	"repro/internal/storage"
+)
+
+// The replication fault matrix: the ship stream is attacked with bit flips,
+// mid-frame drops and one-way stalls, and the apply path is killed at every
+// IO point. The invariants under every fault are the same two: the replica
+// converges to the primary's state once the fault clears, and it never
+// serves anything but a prefix of the primary's acknowledged history.
+
+// faultyThenCleanDialer wires the first `faulty` connections through a
+// faultnet conn with opts; later connections are clean, so every run ends
+// with a converging stream.
+func faultyThenCleanDialer(p *Primary, faulty int, opts faultnet.Options) func() (net.Conn, error) {
+	var n atomic.Int32
+	return func() (net.Conn, error) {
+		cli, srv := net.Pipe()
+		if int(n.Add(1)) <= faulty {
+			go p.ServeConn(faultnet.Wrap(srv, opts))
+		} else {
+			go p.ServeConn(srv)
+		}
+		return cli, nil
+	}
+}
+
+// TestShipStreamFaultMatrix: corruption and mid-frame drops on the ship
+// stream. A flipped bit in a page image must be caught by the per-record
+// CRC (JSON framing alone would decode it silently), a dropped conn must be
+// redialed, and in every case the replica converges bit-for-bit once a
+// clean connection comes up.
+func TestShipStreamFaultMatrix(t *testing.T) {
+	cases := []struct {
+		name string
+		opts faultnet.Options
+	}{
+		{"corrupt-dense", faultnet.Options{CorruptEveryN: 512}},
+		{"corrupt-sparse", faultnet.Options{CorruptEveryN: 8192}},
+		{"drop-early", faultnet.Options{DropAfterBytes: 256}},
+		{"drop-midframe", faultnet.Options{DropAfterBytes: 9000}},
+		{"drop-and-corrupt", faultnet.Options{DropAfterBytes: 20000, CorruptEveryN: 4096}},
+	}
+	for _, tc := range cases {
+		for seed := int64(1); seed <= 3; seed++ {
+			tc, seed := tc, seed
+			t.Run(fmt.Sprintf("%s/seed%d", tc.name, seed), func(t *testing.T) {
+				t.Parallel()
+				opts := tc.opts
+				opts.Seed = seed
+				db := newPrimaryDB(t)
+				insertN(t, db, 0, 10)
+				p := newTestPrimary(t, db, PrimaryOptions{
+					PingEvery:    20 * time.Millisecond,
+					WriteTimeout: time.Second,
+				})
+				r := newTestReplica(t, ReplicaOptions{
+					Dial:        faultyThenCleanDialer(p, 2, opts),
+					ReadTimeout: time.Second,
+				})
+				insertN(t, db, 10, 10)
+				waitConverged(t, r, p)
+				if n := replicaCount(r); n != 20 {
+					t.Fatalf("replica serves %d instances, want 20", n)
+				}
+			})
+		}
+	}
+}
+
+// TestHungPrimaryCannotWedgeApply: a primary whose ship stream freezes
+// mid-air (one-way write stall: the conn stays open, bytes stop) must trip
+// the replica's read deadline, not wedge it. The replica reconnects and
+// converges, and its Status stays responsive throughout.
+func TestHungPrimaryCannotWedgeApply(t *testing.T) {
+	db := newPrimaryDB(t)
+	insertN(t, db, 0, 8)
+	p := newTestPrimary(t, db, PrimaryOptions{
+		PingEvery:    20 * time.Millisecond,
+		WriteTimeout: 200 * time.Millisecond,
+	})
+	var mu sync.Mutex
+	var gates []*faultnet.Conn
+	dial := func() (net.Conn, error) {
+		cli, srv := net.Pipe()
+		g := faultnet.Wrap(srv, faultnet.Options{})
+		mu.Lock()
+		gates = append(gates, g)
+		mu.Unlock()
+		go p.ServeConn(g)
+		return cli, nil
+	}
+	r := newTestReplica(t, ReplicaOptions{
+		Dial:        dial,
+		ReadTimeout: 150 * time.Millisecond,
+	})
+	waitConverged(t, r, p)
+
+	// Freeze the primary's writes on the live conn without closing it.
+	mu.Lock()
+	gates[0].StallWrites(true)
+	mu.Unlock()
+	before := r.Reconnects()
+
+	// Status must answer while the stream is frozen (the apply loop is
+	// parked in a deadline-bounded read, not wedged on a lock).
+	done := make(chan struct{})
+	go func() { r.Status(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("Status() wedged while the primary was hung")
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for r.Reconnects() == before && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if r.Reconnects() == before {
+		t.Fatal("hung primary never tripped the replica's read deadline")
+	}
+	insertN(t, db, 8, 8)
+	waitConverged(t, r, p)
+	if n := replicaCount(r); n != 16 {
+		t.Fatalf("replica serves %d instances after hung-primary recovery, want 16", n)
+	}
+}
+
+// crashPagerFactory makes the replica's FIRST pager crash at IO point k;
+// every later pager (the post-reset catch-up target) is clean. One factory
+// per run.
+func crashPagerFactory(k int, torn bool) func() storage.Pager {
+	var first atomic.Bool
+	first.Store(true)
+	return func() storage.Pager {
+		if first.CompareAndSwap(true, false) {
+			return storage.NewCrashPager(storage.NewMemPager(), &storage.Crasher{KillAt: k, Torn: torn})
+		}
+		return storage.NewMemPager()
+	}
+}
+
+// TestReplicaApplyCrashMatrix kills the replica's apply path at every IO
+// point k (both dropped and torn writes) while the primary keeps
+// committing. Two invariants hold at every k:
+//
+//  1. Prefix: every state the replica serves while crashing and recovering
+//     is a prefix of the primary's acknowledged history — the instance
+//     count never exceeds what the primary has acknowledged, and never
+//     shrinks.
+//  2. Convergence: after the crash the replica resnapshots onto a clean
+//     pager and ends bit-for-bit equal with the primary.
+func TestReplicaApplyCrashMatrix(t *testing.T) {
+	const inserts = 12
+	for _, torn := range []bool{false, true} {
+		for k := 1; k <= 24; k += 1 {
+			torn, k := torn, k
+			t.Run(fmt.Sprintf("torn=%v/k=%d", torn, k), func(t *testing.T) {
+				t.Parallel()
+				db := newPrimaryDB(t)
+				insertN(t, db, 0, 2)
+				p := newTestPrimary(t, db, PrimaryOptions{
+					PingEvery: 10 * time.Millisecond,
+					// Small batches so kill points interleave with acks, and
+					// a small buffer so late crashes recover via the
+					// snapshot path while early ones re-stream the log.
+					BatchRecords:  2,
+					BufferRecords: 16,
+				})
+				r := newTestReplica(t, ReplicaOptions{
+					Dial:           pipeDialer(p),
+					NewPager:       crashPagerFactory(k, torn),
+					ReadTimeout:    time.Second,
+					ReconnectDelay: time.Millisecond,
+				})
+
+				var acked atomic.Int64
+				acked.Store(2)
+				stop := make(chan struct{})
+				var wg sync.WaitGroup
+				wg.Add(1)
+				prevSeen := 0
+				go func() { // the prefix auditor
+					defer wg.Done()
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						n := replicaCount(r)
+						if n >= 0 {
+							if int64(n) > acked.Load() {
+								t.Errorf("replica serves %d instances, primary acked only %d", n, acked.Load())
+								return
+							}
+							if n < prevSeen {
+								t.Errorf("replica state went backwards: %d then %d", prevSeen, n)
+								return
+							}
+							prevSeen = n
+						}
+						time.Sleep(200 * time.Microsecond)
+					}
+				}()
+				for i := 0; i < inserts; i++ {
+					// Count the op before issuing it: the replica may serve
+					// it the instant it is durable, before Insert returns.
+					acked.Add(1)
+					insertN(t, db, 2+i, 1)
+					time.Sleep(500 * time.Microsecond)
+				}
+				waitConverged(t, r, p)
+				close(stop)
+				wg.Wait()
+				if n := replicaCount(r); n != 2+inserts {
+					t.Fatalf("replica serves %d instances, want %d", n, 2+inserts)
+				}
+			})
+		}
+	}
+}

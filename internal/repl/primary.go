@@ -1,0 +1,575 @@
+package repl
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/geodb"
+	"repro/internal/obs"
+	"repro/internal/proto"
+	"repro/internal/storage"
+)
+
+// PrimaryOptions tunes a Primary.
+type PrimaryOptions struct {
+	// PingEvery is the heartbeat interval on idle ship streams (default 1s):
+	// replicas measure lag from the durable LSN the ping carries, and their
+	// read deadlines are calibrated to a multiple of it.
+	PingEvery time.Duration
+	// WriteTimeout bounds every ship-stream write (default 5s): a stuck
+	// replica is dropped instead of wedging its ship goroutine.
+	WriteTimeout time.Duration
+	// HandshakeTimeout bounds the wait for a replica's hello (default 10s).
+	HandshakeTimeout time.Duration
+	// BufferRecords caps the in-memory record tail the primary can stream
+	// from (default 4096). A replica that falls further behind than the
+	// buffer holds is caught up with a page snapshot instead.
+	BufferRecords int
+	// BatchRecords is the preferred records-per-frame (default 128); frames
+	// stretch past it only to end on a mutation boundary.
+	BatchRecords int
+	// MaxFrameRecords hard-caps records-per-frame against the protocol's
+	// frame size limit (default 1024).
+	MaxFrameRecords int
+	// SnapshotChunk is pages per snapshot frame (default 128).
+	SnapshotChunk int
+	// Tracer parents ship/snapshot spans (nil = disabled).
+	Tracer *obs.Tracer
+	// Logf, when set, receives one line per replica attach/detach/fault.
+	Logf func(format string, args ...any)
+}
+
+func (o *PrimaryOptions) defaults() {
+	if o.PingEvery <= 0 {
+		o.PingEvery = time.Second
+	}
+	if o.WriteTimeout <= 0 {
+		o.WriteTimeout = 5 * time.Second
+	}
+	if o.HandshakeTimeout <= 0 {
+		o.HandshakeTimeout = 10 * time.Second
+	}
+	if o.BufferRecords <= 0 {
+		o.BufferRecords = 4096
+	}
+	if o.BatchRecords <= 0 {
+		o.BatchRecords = 128
+	}
+	if o.MaxFrameRecords <= 0 {
+		o.MaxFrameRecords = 1024
+	}
+	if o.SnapshotChunk <= 0 {
+		o.SnapshotChunk = 128
+	}
+}
+
+// bufRec is one buffered log record plus whether it ends a durable mutation
+// group (a boundary — a state a replica may expose).
+type bufRec struct {
+	rec      storage.Record
+	boundary bool
+}
+
+// Primary owns the ship side of replication: it observes the database's WAL
+// (every append, durable advance, and mutation boundary), keeps a bounded
+// in-memory tail of the record stream — the log file itself truncates at
+// checkpoints, so it cannot be streamed from directly — and serves any
+// number of replica connections, each getting either a tail stream from its
+// resume LSN or a checkpoint-based page snapshot when that history is gone.
+type Primary struct {
+	db    *geodb.DB
+	wal   *storage.WAL
+	opts  PrimaryOptions
+	runID uint64
+
+	mu      sync.Mutex
+	buf     []bufRec // contiguous LSNs; buf[0] is the oldest streamable
+	durable storage.LSN
+	notify  chan struct{} // closed+replaced on durable/boundary advance
+	conns   map[*shipConn]struct{}
+	ln      net.Listener
+	closed  bool
+
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// shipConn is one attached replica from the primary's side.
+type shipConn struct {
+	addr string
+
+	mu    sync.Mutex
+	acked storage.LSN
+}
+
+func (sc *shipConn) setAcked(lsn storage.LSN) {
+	sc.mu.Lock()
+	if lsn > sc.acked {
+		sc.acked = lsn
+	}
+	sc.mu.Unlock()
+}
+
+func (sc *shipConn) getAcked() storage.LSN {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	return sc.acked
+}
+
+// NewPrimary attaches a Primary to db, which must have been opened with a
+// WAL — the log is the replication stream.
+func NewPrimary(db *geodb.DB, opts PrimaryOptions) (*Primary, error) {
+	wal := db.WAL()
+	if wal == nil {
+		return nil, errors.New("repl: primary requires a WAL-backed database (geodb.Options.WALFile or a -db path)")
+	}
+	opts.defaults()
+	runID := rand.Uint64()
+	for runID == 0 {
+		runID = rand.Uint64()
+	}
+	p := &Primary{
+		db:     db,
+		wal:    wal,
+		opts:   opts,
+		runID:  runID,
+		notify: make(chan struct{}),
+		conns:  make(map[*shipConn]struct{}),
+		done:   make(chan struct{}),
+	}
+	// Observer first, then seed: records appended between the two land in
+	// the buffer twice-sourced, deduped by LSN below.
+	wal.OnAppend(p.onAppend)
+	wal.OnDurable(p.onDurable)
+	wal.OnBoundary(p.onBoundary)
+	seed, err := wal.ReadFrom(0)
+	if err != nil {
+		wal.OnAppend(nil)
+		wal.OnDurable(nil)
+		wal.OnBoundary(nil)
+		return nil, err
+	}
+	p.mu.Lock()
+	if len(seed) > 0 {
+		var firstObserved storage.LSN
+		if len(p.buf) > 0 {
+			firstObserved = p.buf[0].rec.LSN
+		}
+		var head []bufRec
+		durable := wal.Durable()
+		for _, r := range seed {
+			if firstObserved != 0 && r.LSN >= firstObserved {
+				break
+			}
+			// Everything in the file predating the observer is at rest:
+			// the durable tail of it is all closed groups.
+			head = append(head, bufRec{rec: r, boundary: r.LSN <= durable})
+		}
+		p.buf = append(head, p.buf...)
+		if over := len(p.buf) - opts.BufferRecords; over > 0 {
+			p.buf = append([]bufRec(nil), p.buf[over:]...)
+		}
+	}
+	if d := wal.Durable(); d > p.durable {
+		p.durable = d
+	}
+	p.mu.Unlock()
+	return p, nil
+}
+
+// onAppend runs under the WAL lock: copy the record into the tail buffer.
+func (p *Primary) onAppend(r storage.Record) {
+	p.mu.Lock()
+	p.buf = append(p.buf, bufRec{rec: r, boundary: r.Checkpoint})
+	if over := len(p.buf) - p.opts.BufferRecords; over > 0 {
+		p.buf = append([]bufRec(nil), p.buf[over:]...)
+	}
+	p.mu.Unlock()
+}
+
+// onDurable runs under the WAL lock: advance the ship bound and wake ship
+// loops.
+func (p *Primary) onDurable(lsn storage.LSN) {
+	p.mu.Lock()
+	if lsn > p.durable {
+		p.durable = lsn
+	}
+	close(p.notify)
+	p.notify = make(chan struct{})
+	p.mu.Unlock()
+}
+
+// onBoundary runs under the WAL lock: mark the buffered record ending a
+// durable mutation group.
+func (p *Primary) onBoundary(lsn storage.LSN) {
+	p.mu.Lock()
+	for i := len(p.buf) - 1; i >= 0; i-- {
+		if p.buf[i].rec.LSN == lsn {
+			p.buf[i].boundary = true
+			break
+		}
+		if p.buf[i].rec.LSN < lsn {
+			break
+		}
+	}
+	close(p.notify)
+	p.notify = make(chan struct{})
+	p.mu.Unlock()
+}
+
+// RunID identifies this primary's log lineage.
+func (p *Primary) RunID() uint64 { return p.runID }
+
+// canStream reports whether records (from, durable] are all present in the
+// tail buffer (true with nothing to send counts). A replica ahead of the
+// primary is from another lineage and must snapshot.
+func (p *Primary) canStream(from storage.LSN) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if from > p.durable {
+		return false
+	}
+	if from == p.durable {
+		return true
+	}
+	return len(p.buf) > 0 && p.buf[0].rec.LSN <= from+1
+}
+
+// collect returns the buffered records in (from, durable], the current
+// durable LSN, and whether the range was fully available (false = the tail
+// buffer no longer reaches back to from; the replica must resnapshot).
+func (p *Primary) collect(from storage.LSN) ([]bufRec, storage.LSN, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	durable := p.durable
+	if from >= durable {
+		return nil, durable, true
+	}
+	if len(p.buf) == 0 || p.buf[0].rec.LSN > from+1 {
+		return nil, durable, false
+	}
+	var out []bufRec
+	for _, br := range p.buf {
+		if br.rec.LSN <= from {
+			continue
+		}
+		if br.rec.LSN > durable {
+			break
+		}
+		out = append(out, br)
+	}
+	return out, durable, true
+}
+
+// Serve accepts replica connections on ln until Close.
+func (p *Primary) Serve(ln net.Listener) error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return errors.New("repl: primary closed")
+	}
+	p.ln = ln
+	p.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			select {
+			case <-p.done:
+				return nil
+			default:
+				return err
+			}
+		}
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			p.ServeConn(conn)
+		}()
+	}
+}
+
+// ListenAndServe listens on addr and serves replicas (blocking).
+func (p *Primary) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return p.Serve(ln)
+}
+
+// ServeConn runs one replica's ship stream to completion (blocking): the
+// handshake, an optional snapshot, then the record stream with heartbeats,
+// with acks draining on a side goroutine. It closes conn on return.
+func (p *Primary) ServeConn(conn net.Conn) {
+	defer conn.Close()
+	addr := "pipe"
+	if ra := conn.RemoteAddr(); ra != nil && ra.String() != "" {
+		addr = ra.String()
+	}
+	sc := &shipConn{addr: addr}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.conns[sc] = struct{}{}
+	mAttachedGauge.Set(int64(len(p.conns)))
+	p.mu.Unlock()
+	defer func() {
+		p.mu.Lock()
+		delete(p.conns, sc)
+		mAttachedGauge.Set(int64(len(p.conns)))
+		p.mu.Unlock()
+	}()
+	if err := p.shipTo(conn, sc); err != nil {
+		p.logf("repl: primary: replica %s detached: %v", addr, err)
+	}
+}
+
+func (p *Primary) shipTo(conn net.Conn, sc *shipConn) error {
+	conn.SetReadDeadline(time.Now().Add(p.opts.HandshakeTimeout))
+	var hello msg
+	if err := proto.ReadMessage(conn, &hello); err != nil {
+		return fmt.Errorf("read hello: %w", err)
+	}
+	if hello.Kind != kindHello {
+		return fmt.Errorf("expected hello, got %q", hello.Kind)
+	}
+	conn.SetReadDeadline(time.Time{})
+
+	from := storage.LSN(hello.From)
+	if hello.RunID != p.runID {
+		// Different lineage (or a fresh replica): its LSNs mean nothing
+		// against this log. Snapshot from scratch.
+		from = 0
+	}
+	if err := p.write(conn, &msg{Kind: kindHelloOK, RunID: p.runID, Durable: uint64(p.Durable())}); err != nil {
+		return err
+	}
+	if !p.canStream(from) {
+		snapLSN, err := p.sendSnapshot(conn)
+		if err != nil {
+			return fmt.Errorf("snapshot: %w", err)
+		}
+		from = snapLSN
+		sc.setAcked(snapLSN)
+		p.logf("repl: primary: replica %s snapshotted through lsn %d", sc.addr, snapLSN)
+	}
+
+	// Acks ride the same conn in the other direction; any read error closes
+	// the conn, which unblocks the ship loop's writes.
+	ackDone := make(chan struct{})
+	go func() {
+		defer close(ackDone)
+		for {
+			var a msg
+			if err := proto.ReadMessage(conn, &a); err != nil {
+				conn.Close()
+				return
+			}
+			if a.Kind == kindAck {
+				sc.setAcked(storage.LSN(a.Applied))
+			}
+		}
+	}()
+	// Close the conn before waiting: the ack reader is parked in a read.
+	defer func() { conn.Close(); <-ackDone }()
+
+	ticker := time.NewTicker(p.opts.PingEvery)
+	defer ticker.Stop()
+	for {
+		recs, durable, ok := p.collect(from)
+		if !ok {
+			// The tail buffer scrolled past this replica's position while it
+			// lagged: drop the conn; its reconnect handshake will snapshot.
+			mShipGaps.Inc()
+			return fmt.Errorf("tail buffer no longer reaches lsn %d (replica too far behind)", from)
+		}
+		if len(recs) == 0 {
+			p.mu.Lock()
+			notify := p.notify
+			p.mu.Unlock()
+			select {
+			case <-notify:
+			case <-ticker.C:
+				if err := p.write(conn, &msg{Kind: kindPing, Durable: uint64(p.Durable())}); err != nil {
+					return err
+				}
+			case <-p.done:
+				return nil
+			}
+			continue
+		}
+		if err := p.sendRecords(conn, recs, durable); err != nil {
+			return err
+		}
+		from = recs[len(recs)-1].rec.LSN
+	}
+}
+
+// sendRecords frames recs (contiguous, all durable) preferring to cut each
+// frame at a mutation boundary so a replica at rest between frames is
+// always at a servable state. The hard cap defends the frame size limit;
+// past it the frame's Boundary simply trails its last record.
+func (p *Primary) sendRecords(conn net.Conn, recs []bufRec, durable storage.LSN) error {
+	sp := p.opts.Tracer.StartRequest("repl.ship", obs.SpanContext{})
+	defer sp.Finish()
+	sp.Setf("records", "%d", len(recs))
+	var frame []wireRecord
+	var boundary storage.LSN
+	flush := func() error {
+		if len(frame) == 0 {
+			return nil
+		}
+		m := &msg{
+			Kind:    kindRecords,
+			Recs:    frame,
+			Durable: uint64(durable),
+			LSN:     uint64(boundary),
+		}
+		if c := sp.Context(); c.Valid() {
+			m.Trace = &c
+		}
+		if err := p.write(conn, m); err != nil {
+			return err
+		}
+		mShippedRecords.Add(uint64(len(frame)))
+		frame = frame[:0]
+		return nil
+	}
+	for _, br := range recs {
+		frame = append(frame, toWireRecord(br.rec))
+		if br.boundary {
+			boundary = br.rec.LSN
+		}
+		atBoundary := br.boundary && len(frame) >= p.opts.BatchRecords
+		if atBoundary || len(frame) >= p.opts.MaxFrameRecords {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+	}
+	return flush()
+}
+
+// sendSnapshot streams a consistent page snapshot. It holds the database
+// write lock for its duration (SnapshotPages), so a slow replica can stall
+// mutations for up to WriteTimeout per chunk — catch-up is expected to be
+// rare and the alternative (unbounded log retention) costs memory always.
+func (p *Primary) sendSnapshot(conn net.Conn) (storage.LSN, error) {
+	sp := p.opts.Tracer.StartRequest("repl.snapshot", obs.SpanContext{})
+	defer sp.Finish()
+	var chunk []wirePage
+	pages := 0
+	flush := func() error {
+		if len(chunk) == 0 {
+			return nil
+		}
+		if err := p.write(conn, &msg{Kind: kindSnap, Pages: chunk}); err != nil {
+			return err
+		}
+		chunk = chunk[:0]
+		return nil
+	}
+	lsn, err := p.db.SnapshotPages(func(id storage.PageID, pg *storage.Page) error {
+		data := append([]byte(nil), pg[:]...)
+		chunk = append(chunk, wirePage{ID: uint32(id), Data: data, CRC: shipCRC(uint64(id), data)})
+		pages++
+		if len(chunk) >= p.opts.SnapshotChunk {
+			return flush()
+		}
+		return nil
+	})
+	if err != nil {
+		sp.SetError(err)
+		return 0, err
+	}
+	if err := flush(); err != nil {
+		sp.SetError(err)
+		return 0, err
+	}
+	sp.Setf("pages", "%d", pages)
+	sp.Setf("lsn", "%d", lsn)
+	mShippedSnaps.Inc()
+	var tr *obs.SpanContext
+	if c := sp.Context(); c.Valid() {
+		tr = &c
+	}
+	return lsn, p.write(conn, &msg{Kind: kindSnapEnd, LSN: uint64(lsn), Durable: uint64(lsn), Trace: tr})
+}
+
+func (p *Primary) write(conn net.Conn, m *msg) error {
+	if p.opts.WriteTimeout > 0 {
+		conn.SetWriteDeadline(time.Now().Add(p.opts.WriteTimeout))
+	}
+	err := proto.WriteMessage(conn, m)
+	if p.opts.WriteTimeout > 0 {
+		conn.SetWriteDeadline(time.Time{})
+	}
+	return err
+}
+
+// Durable reports the primary's durable LSN (the ship bound).
+func (p *Primary) Durable() storage.LSN {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.durable
+}
+
+// Status answers the repl_status verb.
+func (p *Primary) Status() *proto.ReplStatus {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st := &proto.ReplStatus{
+		Role:      "primary",
+		RunID:     p.runID,
+		Durable:   uint64(p.durable),
+		Healthy:   true,
+		Connected: true,
+	}
+	for sc := range p.conns {
+		acked := sc.getAcked()
+		lag := uint64(0)
+		if p.durable > acked {
+			lag = uint64(p.durable - acked)
+		}
+		st.Replicas = append(st.Replicas, proto.ReplConnStatus{
+			Addr: sc.addr, Acked: uint64(acked), Lag: lag,
+		})
+	}
+	sort.Slice(st.Replicas, func(i, j int) bool { return st.Replicas[i].Addr < st.Replicas[j].Addr })
+	return st
+}
+
+// Close detaches the WAL observers, stops accepting, and drops every
+// attached replica.
+func (p *Primary) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	ln := p.ln
+	p.mu.Unlock()
+	close(p.done)
+	p.wal.OnAppend(nil)
+	p.wal.OnDurable(nil)
+	p.wal.OnBoundary(nil)
+	if ln != nil {
+		ln.Close()
+	}
+	p.wg.Wait()
+	return nil
+}
+
+func (p *Primary) logf(format string, args ...any) {
+	if p.opts.Logf != nil {
+		p.opts.Logf(format, args...)
+	}
+}

@@ -132,6 +132,39 @@ type WAL struct {
 	unsynced   int // commits since the last sync (SyncEvery batching)
 	replayed   int // records applied by the last Replay
 	generation int // truncation count, for diagnostics
+
+	// Group tracking for replication. A "group" is one mutation's run of
+	// records: geodb appends them while holding its write lock and calls
+	// EndGroup before releasing it, so groups are contiguous in the log.
+	// boundary is the largest group-end LSN that is durable — the largest
+	// prefix of the log that contains no partial mutation, which is what a
+	// replica may safely expose to readers.
+	lastGroupEnd LSN
+	boundary     LSN
+	onAppend     func(Record)
+	onDurable    func(LSN)
+	onBoundary   func(LSN)
+}
+
+// Record is one log record as a log consumer — the replication ship loop —
+// sees it: the LSN, whether it is a checkpoint marker, and for page images
+// the page id plus the full after-image. Data is owned by the receiver.
+type Record struct {
+	LSN        LSN
+	Checkpoint bool
+	Page       PageID
+	Data       []byte // PageSize after-image; nil for checkpoint markers
+}
+
+func toRecord(r walRecord) Record {
+	if r.typ == recCheckpoint {
+		return Record{LSN: r.lsn, Checkpoint: true}
+	}
+	return Record{
+		LSN:  r.lsn,
+		Page: PageID(binary.LittleEndian.Uint32(r.payload[0:4])),
+		Data: r.payload[4:],
+	}
 }
 
 // OpenWAL positions a WAL at the tail of f. It does not replay: callers
@@ -155,6 +188,8 @@ func OpenWAL(f LogFile, opts WALOptions) (*WAL, error) {
 			w.nextLSN = last + 1
 			w.appended = last
 			w.synced = last // it is on stable storage by definition
+			w.lastGroupEnd = last
+			w.boundary = last
 		}
 		if int64(valid) < size {
 			// Torn tail from a crash mid-append: discard it now so later
@@ -251,7 +286,70 @@ func (w *WAL) append(typ byte, payload []byte) (LSN, error) {
 	w.nextLSN++
 	w.appended = lsn
 	mWALAppends.Inc()
+	if w.onAppend != nil {
+		w.onAppend(toRecord(walRecord{lsn: lsn, typ: typ, payload: append([]byte(nil), payload...)}))
+	}
 	return lsn, nil
+}
+
+// OnAppend registers fn to observe every record the moment it is appended,
+// in LSN order with no gaps (checkpoint markers included). fn runs under the
+// WAL lock and must not block or call back into the WAL; the Data slice is
+// the observer's to keep.
+func (w *WAL) OnAppend(fn func(Record)) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.onAppend = fn
+}
+
+// OnDurable registers fn to observe every durable-LSN advance (the record
+// with that LSN, and everything before it, is on stable storage). fn runs
+// under the WAL lock and must not block or call back into the WAL.
+func (w *WAL) OnDurable(fn func(LSN)) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.onDurable = fn
+}
+
+// OnBoundary registers fn to observe every advance of the replication
+// boundary (see EndGroup). fn runs under the WAL lock and must not block or
+// call back into the WAL.
+func (w *WAL) OnBoundary(fn func(LSN)) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.onBoundary = fn
+}
+
+// EndGroup marks the end of one mutation's record group. The caller must
+// still hold whatever lock serialized the group's appends (geodb's write
+// lock), so no other mutation's records can interleave before the mark. An
+// eviction-forced sync can make a *partial* group durable; the replication
+// boundary — the largest group-end LSN that is durable — never lands inside
+// a group, so a replica that only exposes states at boundaries never shows
+// half a mutation.
+func (w *WAL) EndGroup() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.lastGroupEnd = w.appended
+	if w.appended <= w.synced {
+		w.advanceBoundaryLocked(w.appended)
+	}
+}
+
+// Boundary reports the largest durable group-end LSN.
+func (w *WAL) Boundary() LSN {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.boundary
+}
+
+func (w *WAL) advanceBoundaryLocked(lsn LSN) {
+	if lsn > w.boundary {
+		w.boundary = lsn
+		if w.onBoundary != nil {
+			w.onBoundary(lsn)
+		}
+	}
 }
 
 // Commit makes the log durable through the last append, batched per
@@ -300,6 +398,10 @@ func (w *WAL) syncLocked() error {
 	w.synced = w.appended
 	w.unsynced = 0
 	mWALSyncs.Inc()
+	if w.onDurable != nil {
+		w.onDurable(w.synced)
+	}
+	w.advanceBoundaryLocked(w.lastGroupEnd) // every closed group is now durable
 	return nil
 }
 
@@ -308,6 +410,37 @@ func (w *WAL) SyncedLSN() LSN {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	return w.synced
+}
+
+// Durable reports the LSN through which the log is durable — the replication
+// ship loop's name for SyncedLSN: a primary only ever streams records at or
+// below this bound, so a replica can never apply state the primary might
+// lose in a crash.
+func (w *WAL) Durable() LSN {
+	return w.SyncedLSN()
+}
+
+// ReadFrom decodes the records still present in the log with LSN >= from,
+// in order. Checkpoints truncate the log, so records older than the last
+// checkpoint are gone — a caller (the ship loop seeding its tail buffer, a
+// replica catching up) that needs history from before the first returned
+// record must fall back to a page snapshot.
+func (w *WAL) ReadFrom(from LSN) ([]Record, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	data, err := readFull(w.f, w.off)
+	if err != nil {
+		return nil, err
+	}
+	recs, _ := scanWAL(data)
+	var out []Record
+	for _, r := range recs {
+		if r.lsn < from {
+			continue
+		}
+		out = append(out, toRecord(r)) // aliases data, freshly read per call
+	}
+	return out, nil
 }
 
 // Replay applies every page image in the log, in order, through apply,
@@ -385,6 +518,11 @@ func (w *WAL) Checkpoint() error {
 	w.off += int64(len(buf))
 	w.nextLSN++
 	w.appended = lsn
+	if w.onAppend != nil {
+		// The marker rides the observer stream too: consumers (the ship loop)
+		// rely on LSN contiguity to detect gaps, so no record may be skipped.
+		w.onAppend(Record{LSN: lsn, Checkpoint: true})
+	}
 	sw := obs.Start(mWALFsyncSeconds)
 	err := w.f.Sync()
 	sw.Stop()
@@ -395,6 +533,13 @@ func (w *WAL) Checkpoint() error {
 	w.unsynced = 0
 	mWALSyncs.Inc()
 	mWALCheckpoints.Inc()
+	if w.onDurable != nil {
+		w.onDurable(lsn)
+	}
+	// The marker is its own group (Checkpoint runs under the database write
+	// lock, so no mutation is mid-append) and it is durable.
+	w.lastGroupEnd = lsn
+	w.advanceBoundaryLocked(lsn)
 	return nil
 }
 

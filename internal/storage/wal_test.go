@@ -384,3 +384,228 @@ func TestWALBeforeData(t *testing.T) {
 		t.Fatalf("logged image differs from the page written back")
 	}
 }
+
+// TestWALCheckpointOnlyLogReopens: a log whose only content is a checkpoint
+// marker (the state right after a checkpoint with no later mutations) must
+// reopen cleanly, replay nothing, and keep handing out LSNs after the
+// marker's.
+func TestWALCheckpointOnlyLogReopens(t *testing.T) {
+	lf := NewMemLogFile()
+	w, err := OpenWAL(lf, WALOptions{})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if _, err := w.AppendPage(0, pageWith(t, "x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Checkpoint(); err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	ckptLSN := w.SyncedLSN()
+
+	w2, err := OpenWAL(lf, WALOptions{})
+	if err != nil {
+		t.Fatalf("reopen of checkpoint-marker-only log: %v", err)
+	}
+	if n, err := w2.ReplayInto(NewMemPager()); err != nil || n != 0 {
+		t.Fatalf("replay of checkpoint-only log: n=%d err=%v, want 0, nil", n, err)
+	}
+	// The marker is the last durable record and a group boundary.
+	if w2.Durable() != ckptLSN || w2.Boundary() != ckptLSN {
+		t.Fatalf("durable=%d boundary=%d after reopen, want both %d", w2.Durable(), w2.Boundary(), ckptLSN)
+	}
+	lsn, err := w2.AppendPage(1, pageWith(t, "y"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn != ckptLSN+1 {
+		t.Fatalf("first LSN after checkpoint-only reopen is %d, want %d", lsn, ckptLSN+1)
+	}
+}
+
+// TestWALLSNContinuesAfterTruncation: checkpoints truncate the file but
+// must never reset the LSN sequence — replication resumes by LSN, so a
+// restart of the sequence would alias two different histories.
+func TestWALLSNContinuesAfterTruncation(t *testing.T) {
+	lf := NewMemLogFile()
+	w, err := OpenWAL(lf, WALOptions{})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	var last LSN
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 4; i++ {
+			lsn, err := w.AppendPage(PageID(i), pageWith(t, fmt.Sprintf("r%d-%d", round, i)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if lsn != last+1 {
+				t.Fatalf("round %d: LSN %d after %d, want strictly +1", round, lsn, last)
+			}
+			last = lsn
+		}
+		if err := w.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		sizeBefore := w.Size()
+		if err := w.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+		last++ // the checkpoint marker takes an LSN too
+		if w.Size() >= sizeBefore {
+			t.Fatalf("round %d: checkpoint did not truncate (%d → %d bytes)", round, sizeBefore, w.Size())
+		}
+	}
+}
+
+// TestWALReadFrom: ReadFrom returns exactly the records with LSN >= from,
+// and after a truncating checkpoint the gap is visible as a first returned
+// LSN greater than requested — the signal the replication primary turns
+// into a snapshot fallback.
+func TestWALReadFrom(t *testing.T) {
+	lf := NewMemLogFile()
+	w, err := OpenWAL(lf, WALOptions{})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	for i := 0; i < 6; i++ {
+		if _, err := w.AppendPage(PageID(i), pageWith(t, fmt.Sprintf("p%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := w.ReadFrom(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 4 {
+		t.Fatalf("ReadFrom(3) returned %d records, want 4", len(recs))
+	}
+	for i, r := range recs {
+		if r.LSN != LSN(3+i) {
+			t.Fatalf("record %d has LSN %d, want %d", i, r.LSN, 3+i)
+		}
+		if r.Checkpoint || len(r.Data) != PageSize {
+			t.Fatalf("record %d malformed: ckpt=%v len=%d", i, r.Checkpoint, len(r.Data))
+		}
+	}
+	if recs, err := w.ReadFrom(7); err != nil || len(recs) != 0 {
+		t.Fatalf("ReadFrom(past head) = %d recs, %v; want empty, nil", len(recs), err)
+	}
+	// Truncate via checkpoint, then ask for pre-truncation history: the
+	// records are gone, and the gap shows as firstLSN > from.
+	if err := w.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err = w.ReadFrom(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 || recs[0].LSN <= 1 {
+		t.Fatalf("ReadFrom(1) after truncation = %+v; want the surviving tail starting past LSN 1", recs)
+	}
+}
+
+// TestWALGroupBoundary: the boundary is the largest durable group end — it
+// trails the durable LSN while a group is open and catches up when the
+// group closes, which is what keeps replicas from serving torn mutations.
+func TestWALGroupBoundary(t *testing.T) {
+	lf := NewMemLogFile()
+	w, err := OpenWAL(lf, WALOptions{})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	var boundaries []LSN
+	w.OnBoundary(func(lsn LSN) { boundaries = append(boundaries, lsn) })
+
+	// Group one: two pages, closed, then made durable.
+	if _, err := w.AppendPage(0, pageWith(t, "a")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.AppendPage(1, pageWith(t, "b")); err != nil {
+		t.Fatal(err)
+	}
+	w.EndGroup()
+	if w.Boundary() != 0 {
+		t.Fatalf("boundary %d before any sync, want 0", w.Boundary())
+	}
+	if err := w.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Boundary() != 2 {
+		t.Fatalf("boundary %d after group commit, want 2", w.Boundary())
+	}
+
+	// Group two: durable mid-group (an eviction-forced sync) must NOT move
+	// the boundary — the group is still open.
+	if _, err := w.AppendPage(2, pageWith(t, "c")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Durable() != 3 {
+		t.Fatalf("durable %d after forced sync, want 3", w.Durable())
+	}
+	if w.Boundary() != 2 {
+		t.Fatalf("boundary %d moved by a mid-group sync, want 2", w.Boundary())
+	}
+	// Closing the already-durable group advances the boundary immediately.
+	w.EndGroup()
+	if w.Boundary() != 3 {
+		t.Fatalf("boundary %d after closing a durable group, want 3", w.Boundary())
+	}
+	want := []LSN{2, 3}
+	if len(boundaries) != len(want) || boundaries[0] != want[0] || boundaries[1] != want[1] {
+		t.Fatalf("boundary notifications %v, want %v", boundaries, want)
+	}
+}
+
+// TestWALObservers: OnAppend sees every record with its payload copied out
+// of the WAL's buffers, and OnDurable fires on every sync with the new
+// durable LSN.
+func TestWALObservers(t *testing.T) {
+	lf := NewMemLogFile()
+	w, err := OpenWAL(lf, WALOptions{})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	var appended []Record
+	var durables []LSN
+	w.OnAppend(func(r Record) { appended = append(appended, r) })
+	w.OnDurable(func(lsn LSN) { durables = append(durables, lsn) })
+
+	p := pageWith(t, "observed")
+	if _, err := w.AppendPage(7, p); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if len(appended) != 1 || appended[0].Page != 7 || appended[0].LSN != 1 {
+		t.Fatalf("bad append observation: %+v", appended)
+	}
+	if !bytes.Equal(appended[0].Data, p[:]) {
+		t.Fatal("observer saw a different page image than was appended")
+	}
+	if len(durables) != 1 || durables[0] != 1 {
+		t.Fatalf("bad durable observations: %v", durables)
+	}
+	// Detach: no further callbacks.
+	w.OnAppend(nil)
+	w.OnDurable(nil)
+	if _, err := w.AppendPage(8, p); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if len(appended) != 1 || len(durables) != 1 {
+		t.Fatal("detached observers still fired")
+	}
+}
