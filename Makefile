@@ -22,18 +22,26 @@ build:
 test:
 	go test -race ./...
 
-# Static analysis beyond go vet: repovet keeps library packages from
-# printing to stdout, and gislint checks the rule-set corpora — the Figure 6
-# workload and the clean testdata file must lint clean, while the seeded
-# ambiguous/shadowed/cycle files must keep failing (so the checks cannot
-# silently rot).
+# Static analysis beyond go vet (DESIGN.md §9, §14). repovet runs the full
+# internal/vet suite (noprint, errdrop, lockheld, atomicmix, testleak) over
+# the repository — zero unsuppressed findings allowed — archiving the JSON
+# report under /tmp/gis-lint and printing per-check counts as
+# gis_lint_findings_total{check} series. gislint checks the rule-set
+# corpora: the Figure 6 workload and the clean/disjoint testdata files must
+# lint clean, while the seeded ambiguous/shadowed/cycle/when-shadowed/dead
+# files must keep failing (so the checks cannot silently rot).
 lint:
-	go run ./cmd/repovet .
-	go run ./cmd/gislint -figure6 cmd/gislint/testdata/clean.cust
+	@mkdir -p /tmp/gis-lint
+	go run ./cmd/repovet -out /tmp/gis-lint/vet.json -counts .
+	go run ./cmd/gislint -figure6 cmd/gislint/testdata/clean.cust cmd/gislint/testdata/when_disjoint.cust
 	@if go run ./cmd/gislint cmd/gislint/testdata/ambiguous.cust >/dev/null 2>&1; then \
 		echo "gislint missed the seeded ambiguity"; exit 1; fi
 	@if go run ./cmd/gislint cmd/gislint/testdata/shadowed.cust >/dev/null 2>&1; then \
 		echo "gislint missed the seeded shadowed rule"; exit 1; fi
+	@if go run ./cmd/gislint cmd/gislint/testdata/when_shadowed.cust >/dev/null 2>&1; then \
+		echo "gislint missed the seeded condition-implied shadowing"; exit 1; fi
+	@if go run ./cmd/gislint cmd/gislint/testdata/dead.rules.json >/dev/null 2>&1; then \
+		echo "gislint missed the seeded dead rules"; exit 1; fi
 	@if go run ./cmd/gislint cmd/gislint/testdata/cycle.rules.json >/dev/null 2>&1; then \
 		echo "gislint missed the seeded triggering cycle"; exit 1; fi
 
@@ -45,9 +53,10 @@ fuzz:
 	go test -run='^$$' -fuzz=FuzzWALDecode -fuzztime=10s ./internal/storage
 
 # Per-package coverage floor over the packages that guard data: storage
-# (WAL, crash matrix), the database, the rule engine, the wire protocol.
+# (WAL, crash matrix), the database, the rule engine, the wire protocol —
+# and the analysis suite that vets them (internal/vet).
 COVER_FLOOR := 70
-COVER_PKGS  := internal/storage internal/geodb internal/active internal/proto internal/obs internal/repl
+COVER_PKGS  := internal/storage internal/geodb internal/active internal/proto internal/obs internal/repl internal/vet
 
 cover:
 	@mkdir -p /tmp/gis-cover

@@ -166,6 +166,7 @@ type manifestRule struct {
 	Attr     string            `json:"attr"`
 	Context  manifestContext   `json:"context"`
 	Priority int               `json:"priority"`
+	Cond     string            `json:"cond"`
 	When     bool              `json:"when"`
 	Emits    []manifestPattern `json:"emits"`
 	Line     int               `json:"line"`
@@ -221,6 +222,7 @@ func lintManifest(path, src string) ([]ruleanalysis.Finding, error) {
 				Extra:       m.Context.Extra,
 			},
 			Priority: m.Priority,
+			Cond:     m.Cond,
 			HasWhen:  m.When,
 			Pos:      ruleanalysis.Position{File: path, Line: m.Line, Col: m.Col},
 		}

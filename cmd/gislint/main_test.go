@@ -50,6 +50,9 @@ func TestGolden(t *testing.T) {
 		{"clean", []string{"testdata/clean.cust"}, "clean.golden", 0},
 		{"ambiguous", []string{"testdata/ambiguous.cust"}, "ambiguous.golden", 1},
 		{"shadowed", []string{"testdata/shadowed.cust"}, "shadowed.golden", 1},
+		{"when_disjoint", []string{"testdata/when_disjoint.cust"}, "when_disjoint.golden", 0},
+		{"when_shadowed", []string{"testdata/when_shadowed.cust"}, "when_shadowed.golden", 1},
+		{"dead", []string{"testdata/dead.rules.json"}, "dead.golden", 1},
 		{"cycle", []string{"testdata/cycle.rules.json"}, "cycle.golden", 1},
 		{"json", []string{"-json", "testdata/ambiguous.cust", "testdata/cycle.rules.json"}, "combined.json.golden", 1},
 	}

@@ -1,160 +1,110 @@
-// Command repovet enforces repo-local hygiene rules that go vet does not:
-// library packages must not print to stdout/stderr via fmt.Print* or the
-// standard log package (log.Print*/Fatal*/Panic*) — output belongs to the
-// cmd/ front-ends (and examples/), while libraries report through errors,
-// traces, metrics and the structured obs.Logger.
+// Command repovet runs the project's static analysis suite (internal/vet)
+// over a source tree: the concurrency and hygiene invariants go vet does
+// not check — locks held across blocking calls (lockheld), mixed
+// atomic/plain access (atomicmix), dropped durability errors (errdrop),
+// leaky test goroutines (testleak), and the original library-must-not-
+// print rule (noprint).
 //
 // Usage:
 //
-//	repovet [root]
+//	repovet [-json] [-out file] [-counts] [-checks list] [-fail-on sev] [root]
 //
-// Walks the tree rooted at root (default ".") and reports every offending
-// call as file:line:col. Exit status 1 when anything is found.
+// Walks the tree rooted at root (default ".") and reports every finding as
+// file:line:col: severity: check: message. Exit status 1 when any finding
+// at or above -fail-on (default warning) survives suppression, 2 on usage
+// or load errors. Intentional findings are waved off in source with
+// //vet:ignore <check> -- <reason>.
 package main
 
 import (
+	"flag"
 	"fmt"
-	"go/ast"
-	"go/parser"
-	"go/token"
 	"io"
-	"io/fs"
 	"os"
-	"path/filepath"
-	"strconv"
-	"strings"
+
+	"repro/internal/ruleanalysis"
+	"repro/internal/vet"
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("repovet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array")
+	outFile := fs.String("out", "", "also write JSON findings to this file")
+	counts := fs.Bool("counts", false, "print per-check totals (gis_lint_findings_total form)")
+	checks := fs.String("checks", "", "comma-separated checks to run (default all)")
+	failOn := fs.String("fail-on", "warning", "exit non-zero at this severity or above (info, warning, error)")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: repovet [-json] [-out file] [-counts] [-checks list] [-fail-on sev] [root]")
+		fs.PrintDefaults()
+		fmt.Fprintln(stderr, "checks:")
+		for _, a := range vet.All() {
+			fmt.Fprintf(stderr, "  %-10s %s\n", a.Name, a.Doc)
+		}
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() > 1 {
+		fs.Usage()
+		return 2
+	}
 	root := "."
-	if len(os.Args) > 1 {
-		root = os.Args[1]
+	if fs.NArg() == 1 {
+		root = fs.Arg(0)
 	}
-	findings, err := vetTree(root)
+	threshold, ok := ruleanalysis.ParseSeverity(*failOn)
+	if !ok {
+		fmt.Fprintf(stderr, "repovet: unknown severity %q\n", *failOn)
+		return 2
+	}
+	analyzers, err := vet.Select(vet.All(), *checks)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "repovet:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "repovet:", err)
+		return 2
 	}
-	report(os.Stdout, findings)
-	if len(findings) > 0 {
-		os.Exit(1)
-	}
-}
-
-func report(w io.Writer, findings []string) {
-	for _, f := range findings {
-		fmt.Fprintln(w, f)
-	}
-}
-
-// allowed reports whether the file may print: command front-ends and
-// examples own the terminal; everything else does not.
-func allowed(rel string) bool {
-	rel = filepath.ToSlash(rel)
-	return strings.HasPrefix(rel, "cmd/") || strings.HasPrefix(rel, "examples/")
-}
-
-// vetTree scans every non-test Go file under root and returns one
-// "file:line:col: message" string per fmt.Print/Printf/Println or
-// log.Print*/Fatal*/Panic* call in a package that must not print.
-func vetTree(root string) ([]string, error) {
-	var findings []string
-	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
-		if err != nil {
-			return err
-		}
-		name := d.Name()
-		if d.IsDir() {
-			if name == ".git" || name == "testdata" {
-				return filepath.SkipDir
-			}
-			return nil
-		}
-		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
-			return nil
-		}
-		rel, err := filepath.Rel(root, path)
-		if err != nil {
-			return err
-		}
-		if allowed(rel) {
-			return nil
-		}
-		fs, err := vetFile(rel, path)
-		if err != nil {
-			return err
-		}
-		findings = append(findings, fs...)
-		return nil
-	})
-	return findings, err
-}
-
-// banned maps a banned package import path to the set of call names that
-// write to the terminal (or kill the process) from library code.
-var banned = map[string]map[string]bool{
-	"fmt": {"Print": true, "Printf": true, "Println": true},
-	"log": {
-		"Print": true, "Printf": true, "Println": true,
-		"Fatal": true, "Fatalf": true, "Fatalln": true,
-		"Panic": true, "Panicf": true, "Panicln": true,
-	},
-}
-
-// vetFile parses one file and finds banned fmt/log calls, tracking the
-// local name each package is imported under (including aliases; dot imports
-// are reported as findings themselves since they defeat the check).
-func vetFile(rel, path string) ([]string, error) {
-	fset := token.NewFileSet()
-	f, err := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
+	findings, err := vet.Run(root, analyzers)
 	if err != nil {
-		return nil, err
+		fmt.Fprintln(stderr, "repovet:", err)
+		return 2
 	}
-	// localName maps the in-file identifier to the banned package it names.
-	localName := map[string]string{}
-	for _, imp := range f.Imports {
-		p, err := strconv.Unquote(imp.Path.Value)
-		if err != nil || banned[p] == nil {
-			continue
+	ruleanalysis.ObserveFindings(findings)
+	if *jsonOut {
+		if err := ruleanalysis.WriteJSON(stdout, findings); err != nil {
+			fmt.Fprintln(stderr, "repovet:", err)
+			return 2
 		}
-		switch {
-		case imp.Name == nil:
-			localName[p] = p
-		case imp.Name.Name == ".":
-			pos := fset.Position(imp.Pos())
-			return []string{fmt.Sprintf("%s:%d:%d: dot-import of %s defeats the print check",
-				rel, pos.Line, pos.Column, p)}, nil
-		case imp.Name.Name == "_":
-		default:
-			localName[imp.Name.Name] = p
+	} else if err := vet.WriteText(stdout, findings); err != nil {
+		fmt.Fprintln(stderr, "repovet:", err)
+		return 2
+	}
+	if *outFile != "" {
+		f, err := os.Create(*outFile)
+		if err != nil {
+			fmt.Fprintln(stderr, "repovet:", err)
+			return 2
+		}
+		werr := ruleanalysis.WriteJSON(f, findings)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintln(stderr, "repovet:", werr)
+			return 2
 		}
 	}
-	if len(localName) == 0 {
-		return nil, nil
+	if *counts {
+		if err := vet.WriteCounts(stdout, analyzers, findings); err != nil {
+			fmt.Fprintln(stderr, "repovet:", err)
+			return 2
+		}
 	}
-	var findings []string
-	ast.Inspect(f, func(n ast.Node) bool {
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
-			return true
-		}
-		sel, ok := call.Fun.(*ast.SelectorExpr)
-		if !ok {
-			return true
-		}
-		pkg, ok := sel.X.(*ast.Ident)
-		if !ok {
-			return true
-		}
-		path, ok := localName[pkg.Name]
-		if !ok || !banned[path][sel.Sel.Name] {
-			return true
-		}
-		pos := fset.Position(call.Pos())
-		findings = append(findings, fmt.Sprintf(
-			"%s:%d:%d: %s.%s writes to the terminal from a library package; return an error or use obs instead",
-			rel, pos.Line, pos.Column, pkg.Name, sel.Sel.Name))
-		return true
-	})
-	return findings, nil
+	if worst, any := vet.MaxSeverity(findings); any && worst >= threshold {
+		return 1
+	}
+	return 0
 }

@@ -1,10 +1,14 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/ruleanalysis"
 )
 
 func write(t *testing.T, root, rel, src string) {
@@ -18,7 +22,10 @@ func write(t *testing.T, root, rel, src string) {
 	}
 }
 
-func TestVetTree(t *testing.T) {
+// printRoot builds a tree with exactly one noprint finding and a clean
+// cmd/ package.
+func printRoot(t *testing.T) string {
+	t.Helper()
 	root := t.TempDir()
 	write(t, root, "internal/a/a.go", `package a
 
@@ -26,134 +33,116 @@ import "fmt"
 
 func A() { fmt.Println("hi") }
 `)
-	write(t, root, "internal/b/b.go", `package b
-
-import out "fmt"
-
-func B() { out.Printf("x %d", 1) }
-`)
-	write(t, root, "internal/c/c.go", `package c
-
-import "fmt"
-
-func C() error { return fmt.Errorf("fine") }
-`)
 	write(t, root, "cmd/tool/main.go", `package main
 
 import "fmt"
 
 func main() { fmt.Println("allowed") }
 `)
-	write(t, root, "examples/demo/main.go", `package main
+	return root
+}
 
-import "fmt"
+func TestRunTextAndExitCode(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{printRoot(t)}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit = %d, stderr: %s", code, errOut.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "a.go:5:12: error: noprint: fmt.Println") {
+		t.Errorf("output = %s", got)
+	}
+	if strings.Contains(got, "cmd/tool") {
+		t.Errorf("cmd/ exemption lost: %s", got)
+	}
+}
 
-func main() { fmt.Print("allowed") }
-`)
+func TestRunChecksFilter(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-checks", "errdrop,lockheld", printRoot(t)}, &out, &errOut); code != 0 {
+		t.Fatalf("exit = %d, out: %s", code, out.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("unexpected findings: %s", out.String())
+	}
+}
+
+func TestRunJSONAndArchive(t *testing.T) {
+	archive := filepath.Join(t.TempDir(), "vet.json")
+	var out, errOut bytes.Buffer
+	code := run([]string{"-json", "-out", archive, printRoot(t)}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit = %d, stderr: %s", code, errOut.String())
+	}
+	var fs []ruleanalysis.Finding
+	if err := json.Unmarshal(out.Bytes(), &fs); err != nil {
+		t.Fatalf("stdout JSON: %v", err)
+	}
+	if len(fs) != 1 || fs[0].Check != "noprint" {
+		t.Fatalf("findings = %+v", fs)
+	}
+	data, err := os.ReadFile(archive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, out.Bytes()) {
+		t.Error("archived JSON differs from stdout JSON")
+	}
+}
+
+func TestRunCounts(t *testing.T) {
+	var out, errOut bytes.Buffer
+	run([]string{"-counts", printRoot(t)}, &out, &errOut)
+	if !strings.Contains(out.String(), `gis_lint_findings_total{check="noprint"} 1`) {
+		t.Errorf("counts missing:\n%s", out.String())
+	}
+}
+
+func TestRunFailOn(t *testing.T) {
+	root := t.TempDir()
+	// A lone testleak warning: fails at the default threshold, passes at
+	// -fail-on error.
 	write(t, root, "internal/a/a_test.go", `package a
 
-import "fmt"
+import (
+	"testing"
+	"time"
+)
 
-func helper() { fmt.Println("tests may print") }
+func TestSleepy(t *testing.T) { time.Sleep(time.Millisecond) }
 `)
-	write(t, root, "internal/skip/testdata/x.go", `package ignored
-
-import "fmt"
-
-func X() { fmt.Println("testdata is skipped") }
-`)
-
-	findings, err := vetTree(root)
-	if err != nil {
-		t.Fatal(err)
+	var out, errOut bytes.Buffer
+	if code := run([]string{root}, &out, &errOut); code != 1 {
+		t.Fatalf("default fail-on: exit = %d, out: %s", code, out.String())
 	}
-	if len(findings) != 2 {
-		t.Fatalf("findings = %v", findings)
+	if code := run([]string{"-fail-on", "error", root}, &out, &errOut); code != 0 {
+		t.Fatalf("fail-on error: exit = %d", code)
 	}
-	joined := strings.Join(findings, "\n")
-	for _, want := range []string{
-		"a.go:5:12: fmt.Println",
-		"b.go:5:12: out.Printf",
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-nosuch"},
+		{"a", "b"},
+		{"-fail-on", "fatal", "."},
+		{"-checks", "nosuch", "."},
+		{filepath.Join(t.TempDir(), "missing")},
 	} {
-		if !strings.Contains(joined, want) {
-			t.Errorf("findings lack %q:\n%s", want, joined)
+		var out, errOut bytes.Buffer
+		if code := run(args, &out, &errOut); code != 2 {
+			t.Errorf("run(%v) = %d, want 2", args, code)
 		}
 	}
 }
 
-func TestVetTreeBansLog(t *testing.T) {
-	root := t.TempDir()
-	write(t, root, "internal/a/a.go", `package a
-
-import "log"
-
-func A() { log.Printf("x %d", 1) }
-
-func B() { log.Fatal("boom") }
-`)
-	write(t, root, "internal/b/b.go", `package b
-
-import stdlog "log"
-
-func C() { stdlog.Panicln("boom") }
-`)
-	write(t, root, "internal/c/c.go", `package c
-
-import "log"
-
-func D() *log.Logger { return log.New(nil, "", 0) }
-`)
-	write(t, root, "cmd/tool/main.go", `package main
-
-import "log"
-
-func main() { log.Println("allowed") }
-`)
-
-	findings, err := vetTree(root)
-	if err != nil {
-		t.Fatal(err)
+// TestRepoClean is the dogfood gate: the repository itself must pass its
+// own analysis suite with zero unsuppressed findings.
+func TestRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole repository")
 	}
-	if len(findings) != 3 {
-		t.Fatalf("findings = %v", findings)
-	}
-	joined := strings.Join(findings, "\n")
-	for _, want := range []string{
-		"a.go:5:12: log.Printf",
-		"a.go:7:12: log.Fatal",
-		"b.go:5:12: stdlog.Panicln",
-	} {
-		if !strings.Contains(joined, want) {
-			t.Errorf("findings lack %q:\n%s", want, joined)
-		}
-	}
-}
-
-func TestVetTreeCleanRepo(t *testing.T) {
-	// The repository itself must stay clean: repovet over the repo root
-	// (two levels up from this package) finds nothing.
-	findings, err := vetTree("../..")
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(findings) != 0 {
-		t.Fatalf("repo is not print-clean:\n%s", strings.Join(findings, "\n"))
-	}
-}
-
-func TestDotImportReported(t *testing.T) {
-	root := t.TempDir()
-	write(t, root, "internal/d/d.go", `package d
-
-import . "fmt"
-
-func D() { Println("hidden") }
-`)
-	findings, err := vetTree(root)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(findings) != 1 || !strings.Contains(findings[0], "dot-import") {
-		t.Fatalf("findings = %v", findings)
+	var out, errOut bytes.Buffer
+	if code := run([]string{"../.."}, &out, &errOut); code != 0 {
+		t.Fatalf("repo is not vet-clean (exit %d):\n%s%s", code, out.String(), errOut.String())
 	}
 }

@@ -147,6 +147,18 @@ type Rule struct {
 	// Context is the condition: the context pattern that must cover the
 	// event's context.
 	Context event.Context
+	// Cond is an optional declared condition expression (ruleanalysis
+	// condition grammar) over the event's named dimensions, evaluated under
+	// event.Dim; empty means true. Unlike the opaque When func the engine
+	// can show Cond to the static analyzer, so ambiguity/shadowing/dead-rule
+	// checks reason about its satisfiability instead of downgrading to
+	// warnings. The engine enforces it at dispatch — the rule matches only
+	// when Cond holds — which is what makes those static conclusions sound.
+	// A Cond that reads only cache-key dimensions (user, category,
+	// application, schema, class, attr, or Extra keys) keeps the rule
+	// decision-cacheable; one that reads oid or name is evaluated with the
+	// When predicate and makes matching shapes uncacheable.
+	Cond string
 	// When is an optional extra predicate over the event (nil = true). A
 	// non-nil When makes every event shape the rule could statically match
 	// uncacheable: the predicate may inspect dynamic event fields (OID,
@@ -180,11 +192,18 @@ type Rule struct {
 	// selection contest and the pre-sorted bucket order never recompute it
 	// on the hot path. Filled by AddRule.
 	specScore int
+	// cond is the parsed form of Cond; condDynamic marks a condition that
+	// reads dimensions outside the decision-cache key (oid, name) and must
+	// therefore be evaluated on the When path. Filled by AddRule.
+	cond        *ruleanalysis.Cond
+	condDynamic bool
 }
 
-// matchesStatic reports whether the rule's event pattern and context cover
-// e, ignoring the dynamic When predicate. Every field it reads is part of
-// the decision-cache key, so its outcome is a pure function of the key.
+// matchesStatic reports whether the rule's event pattern, context and
+// static condition cover e, ignoring the dynamic predicates (When and a
+// cache-dynamic Cond). Every dimension it reads is part of the
+// decision-cache key — or an Extra dimension, and Extra-carrying events
+// never reach the cache — so its outcome is a pure function of the key.
 func (r *Rule) matchesStatic(e event.Event) bool {
 	if r.On != e.Kind {
 		return false
@@ -198,15 +217,27 @@ func (r *Rule) matchesStatic(e event.Event) bool {
 	if r.Attr != "" && r.Attr != e.Attr {
 		return false
 	}
-	return r.Context.Matches(e.Ctx)
+	if !r.Context.Matches(e.Ctx) {
+		return false
+	}
+	if r.cond != nil && !r.condDynamic {
+		return r.cond.Eval(e.Dim)
+	}
+	return true
+}
+
+// matchesDynamic evaluates the predicates excluded from matchesStatic: a
+// cache-dynamic condition, then the When func.
+func (r *Rule) matchesDynamic(e event.Event) bool {
+	if r.condDynamic && !r.cond.Eval(e.Dim) {
+		return false
+	}
+	return r.When == nil || r.When(e)
 }
 
 // matches reports whether the rule's event pattern and condition cover e.
 func (r *Rule) matches(e event.Event) bool {
-	if !r.matchesStatic(e) {
-		return false
-	}
-	return r.When == nil || r.When(e)
+	return r.matchesStatic(e) && r.matchesDynamic(e)
 }
 
 // specificity orders customization rules: context specificity first, then
@@ -266,10 +297,25 @@ func (r *Rule) analysisInfo() ruleanalysis.RuleInfo {
 		Attr:     r.Attr,
 		Context:  r.Context,
 		Priority: r.Priority,
+		Cond:     r.Cond,
 		HasWhen:  r.When != nil,
 		Emits:    append([]event.Pattern(nil), r.Emits...),
 		Pos:      r.Src,
 	}
+}
+
+// condReadsDynamic reports whether the condition reads a dimension outside
+// the decision-cache key: oid and name are event-instance data the planKey
+// does not discriminate on, so a condition over them must run on the
+// uncacheable (When) path. Every other dimension is either a key field or
+// an Extra key, and Extra-carrying events bypass the cache anyway.
+func condReadsDynamic(c *ruleanalysis.Cond) bool {
+	for _, v := range c.Vars() {
+		if v == "oid" || v == "name" {
+			return true
+		}
+	}
+	return false
 }
 
 // Stats counts engine activity.
@@ -574,12 +620,18 @@ func (en *Engine) AddRule(r Rule) error {
 	default:
 		return fmt.Errorf("%w: rule %q has unknown family", ErrBadRule, r.Name)
 	}
+	cond, err := ruleanalysis.ParseCond(r.Cond)
+	if err != nil {
+		return fmt.Errorf("%w: rule %q: %v", ErrBadRule, r.Name, err)
+	}
 	en.mu.Lock()
 	defer en.mu.Unlock()
 	if _, ok := en.rules[r.Name]; ok {
 		return fmt.Errorf("%w: %q", ErrDuplicateRule, r.Name)
 	}
 	stored := r
+	stored.cond = cond
+	stored.condDynamic = condReadsDynamic(cond)
 	stored.specScore = stored.specificity()
 	en.rules[r.Name] = &stored
 	en.linear.insert(&stored)
@@ -753,7 +805,7 @@ func mergeCollect(dst *[]*Rule, xs, ys []*Rule, before func(a, b *Rule) bool, e 
 		if !r.matchesStatic(e) {
 			continue
 		}
-		if r.When != nil {
+		if r.When != nil || r.condDynamic {
 			*hasWhen = true
 		}
 		*dst = append(*dst, r)
@@ -761,13 +813,13 @@ func mergeCollect(dst *[]*Rule, xs, ys []*Rule, before func(a, b *Rule) bool, e 
 	return evaluated
 }
 
-// filterWhen drops rules whose When predicate rejects e, in place,
-// preserving order. It runs outside every engine lock: predicates are
-// caller code.
+// filterWhen drops rules whose dynamic predicates (cache-dynamic Cond or
+// When) reject e, in place, preserving order. It runs outside every engine
+// lock: When predicates are caller code.
 func filterWhen(rs []*Rule, e event.Event) []*Rule {
 	kept := rs[:0]
 	for _, r := range rs {
-		if r.When == nil || r.When(e) {
+		if r.matchesDynamic(e) {
 			kept = append(kept, r)
 		}
 	}

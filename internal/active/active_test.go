@@ -263,8 +263,8 @@ func TestCascadeDepthLimit(t *testing.T) {
 	// The static analyzer sees the same loop before any event fires: the
 	// declared self-emission is a triggering-graph cycle.
 	findings := en.CheckSet()
-	if len(findings) != 1 || findings[0].Check != "cycle" {
-		t.Fatalf("CheckSet = %+v, want one cycle finding", findings)
+	if len(findings) != 2 || findings[0].Check != "cycle" || findings[1].Check != "dead-rule" {
+		t.Fatalf("CheckSet = %+v, want a cycle and a dead-rule finding", findings)
 	}
 	if len(findings[0].Rules) != 2 || findings[0].Rules[0] != "loop" || findings[0].Rules[1] != "loop" {
 		t.Fatalf("cycle path = %v", findings[0].Rules)

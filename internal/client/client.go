@@ -271,7 +271,7 @@ func (c *Client) teardown(s *session, err error, poison bool) {
 	s.pending = nil
 	s.mu.Unlock()
 
-	s.conn.Close()
+	_ = s.conn.Close()
 	if poison {
 		mPoisoned.Inc()
 	}

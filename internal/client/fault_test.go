@@ -189,6 +189,7 @@ func TestCorruptedStreamPoisonedAndRetried(t *testing.T) {
 // answers — a stalled server.
 func blackHole() net.Conn {
 	srvConn, cliConn := net.Pipe()
+	//vet:ignore testleak -- the copier exits when the test closes its end of the pipe
 	go io.Copy(io.Discard, srvConn)
 	return cliConn
 }
@@ -365,6 +366,7 @@ func TestIdleDisconnectHealsTransparently(t *testing.T) {
 	if _, _, err := cli.GetSchema(event.Context{}, "phone_net"); err != nil {
 		t.Fatal(err)
 	}
+	//vet:ignore testleak -- sleeps past the server's idle deadline; the disconnect is time-driven with no observable event
 	time.Sleep(200 * time.Millisecond) // server disconnects the idle conn
 	if _, _, err := cli.GetSchema(event.Context{}, "phone_net"); err != nil {
 		t.Fatalf("idle disconnect surfaced to the session: %v", err)

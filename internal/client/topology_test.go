@@ -105,6 +105,7 @@ func (s *stubServer) endpoint() Endpoint {
 		if wrap != nil {
 			conn = wrap(srv)
 		}
+		//vet:ignore testleak -- ServeConn exits when the test closes the client end of the pipe
 		go s.srv.ServeConn(conn)
 		return cli, nil
 	}}

@@ -264,8 +264,8 @@ func (s *System) PipeSession(lib *uikit.Library, ctx event.Context) (*ui.Session
 	cli := client.NewClient(cliConn)
 	bld := builder.New(lib, cli)
 	cleanup := func() {
-		cli.Close()
-		srv.Close()
+		_ = cli.Close()
+		_ = srv.Close()
 	}
 	sess := ui.NewSession(cli, bld, ctx)
 	sess.SetTracer(cli.Tracer())

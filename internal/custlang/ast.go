@@ -27,6 +27,13 @@ type Directive struct {
 	// two directives for the same context are ambiguous — gislint flags
 	// them — so priority is how an author legitimately layers overrides.
 	Priority int
+	// When is an optional condition expression (`when "<expr>"`, the
+	// ruleanalysis condition grammar) restricting the directive beyond its
+	// context pattern — e.g. `when "scale > 10000"`. It becomes the Cond of
+	// every generated rule, so the engine enforces it at dispatch and the
+	// static checks reason about its satisfiability: two same-context
+	// directives with provably disjoint when clauses are not duplicates.
+	When string
 	// Line records the directive's starting line for diagnostics.
 	Line int
 	// Pos locates the For keyword (Line plus the column and source file).
@@ -87,6 +94,9 @@ func (d Directive) String() string {
 	sort.Strings(extraKeys)
 	for _, k := range extraKeys {
 		fmt.Fprintf(&b, " where %s %s", k, d.Context.Extra[k])
+	}
+	if d.When != "" {
+		fmt.Fprintf(&b, " when %q", d.When)
 	}
 	if d.Priority != 0 {
 		fmt.Fprintf(&b, " priority %d", d.Priority)

@@ -76,6 +76,7 @@ func (a *Analyzer) Compile(d Directive, id int) (Compiled, error) {
 			Schema:   sc.Name,
 			Context:  norm.Context,
 			Priority: norm.Priority,
+			Cond:     norm.When,
 			Src:      sc.Pos,
 			Customize: func(event.Event) (spec.Customization, error) {
 				return cust, nil
@@ -101,6 +102,7 @@ func (a *Analyzer) Compile(d Directive, id int) (Compiled, error) {
 				Class:    cc.Name,
 				Context:  norm.Context,
 				Priority: norm.Priority,
+				Cond:     norm.When,
 				Src:      cc.Pos,
 				Customize: func(event.Event) (spec.Customization, error) {
 					return cust, nil
@@ -127,6 +129,7 @@ func (a *Analyzer) Compile(d Directive, id int) (Compiled, error) {
 				Class:    cc.Name,
 				Context:  norm.Context,
 				Priority: norm.Priority,
+				Cond:     norm.When,
 				Src:      cc.Pos,
 				Customize: func(event.Event) (spec.Customization, error) {
 					return cust, nil

@@ -98,7 +98,7 @@ var stopWords = map[string]bool{
 	"instances": true, "control": true, "presentation": true,
 	"from": true, "using": true, "user": true, "category": true,
 	"application": true, "attribute": true, "as": true, "where": true,
-	"priority": true,
+	"priority": true, "when": true,
 }
 
 func isStopWord(t token) bool {
@@ -167,6 +167,27 @@ func (p *parser) directive() (Directive, error) {
 				return d, p.errf(p.peek(), "duplicate where clause for %q", key)
 			}
 			d.Context.Extra[key] = val
+		case p.atKeyword("when"):
+			// `when "<expr>"` restricts the directive by a condition
+			// expression over event dimensions; like priority it does not
+			// count as a context part. The expression is validated here so
+			// a typo fails at parse time, not at install time.
+			p.next()
+			t := p.next()
+			if t.kind != tokString {
+				return d, p.errf(t, "expected quoted condition after when, found %s", t)
+			}
+			if d.When != "" {
+				return d, p.errf(t, "duplicate when clause")
+			}
+			if _, err := ruleanalysis.ParseCond(t.text); err != nil {
+				return d, p.errf(t, "bad when condition: %v", err)
+			}
+			if strings.TrimSpace(t.text) == "" {
+				return d, p.errf(t, "empty when condition")
+			}
+			d.When = t.text
+			continue
 		case p.atKeyword("priority"):
 			// "priority <n>" lets the author rank directives whose contexts
 			// tie on specificity; it does not count as a context part.

@@ -16,7 +16,31 @@ import (
 // directiveLabel names a directive for diagnostics: its context, which is
 // how an author thinks of it.
 func directiveLabel(d Directive) string {
+	if d.When != "" {
+		return fmt.Sprintf("directive %s when %q (line %d)", d.Context, d.When, d.Line)
+	}
 	return fmt.Sprintf("directive %s (line %d)", d.Context, d.Line)
+}
+
+// whensDisjoint reports whether the two directives' when clauses are
+// PROVABLY co-unsatisfiable under their (identical) context — the
+// expression-level escape hatch from the duplicate-context and conflict
+// checks: `when "scale <= 10000"` and `when "scale > 10000"` layer two
+// presentations over one context without ambiguity. An unparsable when is
+// treated as opaque (not disjoint); CheckProgram reports it separately.
+func whensDisjoint(a, b Directive) bool {
+	if a.When == "" && b.When == "" {
+		return false
+	}
+	ca, errA := ruleanalysis.ParseCond(a.When)
+	cb, errB := ruleanalysis.ParseCond(b.When)
+	if errA != nil || errB != nil {
+		return false
+	}
+	pins := ruleanalysis.ContextCond(a.Context.User, a.Context.Category, a.Context.Application, a.Context.Extra)
+	overlaps, exact := ruleanalysis.Overlaps(
+		ruleanalysis.And(ca, pins), ruleanalysis.And(cb, pins))
+	return exact && !overlaps
 }
 
 // sameContext reports whether two contexts are identical patterns (not
@@ -50,13 +74,31 @@ func sameContext(a, b Directive) bool {
 //     other.
 //
 // Directives with the same context but different priorities layer cleanly
-// (the higher priority wins everywhere) and are not reported.
+// (the higher priority wins everywhere) and are not reported, as are
+// same-context directives whose when clauses are provably disjoint (no
+// event satisfies both, so their rules never compete). An unparsable when
+// on a programmatically built directive is reported as cond-syntax (the
+// parser rejects them in source files before they get here).
 func CheckProgram(ds []Directive) []ruleanalysis.Finding {
 	var fs []ruleanalysis.Finding
+	for i := range ds {
+		if _, err := ruleanalysis.ParseCond(ds[i].When); err != nil {
+			fs = append(fs, ruleanalysis.Finding{
+				Check:    ruleanalysis.CheckCondSyntax,
+				Severity: ruleanalysis.SeverityError,
+				Pos:      ds[i].Pos,
+				Message: fmt.Sprintf(
+					"%s has an unparsable when condition: %v", directiveLabel(ds[i]), err),
+			})
+		}
+	}
 	for i := range ds {
 		for j := i + 1; j < len(ds); j++ {
 			a, b := ds[i], ds[j]
 			if !sameContext(a, b) || a.Priority != b.Priority {
+				continue
+			}
+			if whensDisjoint(a, b) {
 				continue
 			}
 			conflicts := directiveConflicts(a, b)

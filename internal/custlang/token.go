@@ -35,6 +35,7 @@ type tokenKind uint8
 const (
 	tokEOF tokenKind = iota
 	tokIdent
+	tokString
 	tokLParen
 	tokRParen
 	tokComma
@@ -123,6 +124,25 @@ body:
 	case c == ',':
 		l.advance()
 		return token{kind: tokComma, text: ",", line: line, col: col}, nil
+	case c == '"':
+		// Quoted string, used by the when clause to carry a condition
+		// expression verbatim. No escapes; a newline inside is an error.
+		l.advance()
+		start := l.pos
+		for l.pos < len(l.src) && l.src[l.pos] != '"' {
+			if l.src[l.pos] == '\n' {
+				pos := ruleanalysis.Position{File: l.file, Line: line, Col: col}
+				return token{}, fmt.Errorf("%s: newline in quoted string", pos)
+			}
+			l.advance()
+		}
+		if l.pos >= len(l.src) {
+			pos := ruleanalysis.Position{File: l.file, Line: line, Col: col}
+			return token{}, fmt.Errorf("%s: unterminated quoted string", pos)
+		}
+		text := l.src[start:l.pos]
+		l.advance() // closing quote
+		return token{kind: tokString, text: text, line: line, col: col}, nil
 	case isIdentByte(c):
 		start := l.pos
 		for l.pos < len(l.src) && isIdentByte(l.src[l.pos]) {

@@ -14,6 +14,7 @@ package event
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 
 	"repro/internal/catalog"
@@ -235,6 +236,41 @@ func (e Event) String() string {
 	}
 	fmt.Fprintf(&b, " ctx=%s", e.Ctx)
 	return b.String()
+}
+
+// Dim resolves a condition-expression dimension name against the event:
+// the builtins user, category and application (from the context), schema,
+// class, attr and name (from the event scope), oid (decimal, absent while
+// zero), and any extended-context dimension from Ctx.Extra. An empty value
+// is reported as absent — the same convention the context pattern matcher
+// uses for wildcards. This is the binding rule conditions (active.Rule.Cond)
+// are evaluated under.
+func (e Event) Dim(name string) (string, bool) {
+	var v string
+	switch name {
+	case "user":
+		v = e.Ctx.User
+	case "category":
+		v = e.Ctx.Category
+	case "application":
+		v = e.Ctx.Application
+	case "schema":
+		v = e.Schema
+	case "class":
+		v = e.Class
+	case "attr":
+		v = e.Attr
+	case "name":
+		v = e.Name
+	case "oid":
+		if e.OID == 0 {
+			return "", false
+		}
+		return strconv.FormatUint(uint64(e.OID), 10), true
+	default:
+		v = e.Ctx.Extra[name]
+	}
+	return v, v != ""
 }
 
 // Pattern describes a set of events: a kind plus optional scope pins

@@ -273,13 +273,13 @@ func RunB4(w io.Writer, quick bool) error {
 		a := f.Sys.Analyzer()
 		for i, ctx := range workload.Contexts(n) {
 			if _, err := a.Install(f.Sys.Engine, workload.DirectiveFor(ctx, i)); err != nil {
-				f.Close()
+				_ = f.Close()
 				return err
 			}
 		}
 		s := f.Sys.NewSession(event.Context{User: "user0000", Category: "planners", Application: "pole_manager"})
 		if err := s.Connect(); err != nil {
-			f.Close()
+			_ = f.Close()
 			return err
 		}
 		ns, err := timeIt(iters, func() error {
@@ -289,7 +289,7 @@ func RunB4(w io.Writer, quick bool) error {
 			_, err := s.OpenClass(workload.SchemaName, "Duct")
 			return err
 		})
-		f.Close()
+		_ = f.Close()
 		if err != nil {
 			return err
 		}
@@ -325,7 +325,7 @@ func RunB5(w io.Writer, quick bool) error {
 			net, err := workload.BuildPhoneNet(db, workload.PhoneNetOptions{
 				Seed: 5, ZonesPerSide: 2, PolesPerZone: 120, PictureBytes: 2048})
 			if err != nil {
-				db.Close()
+				_ = db.Close()
 				return err
 			}
 			// Browsing trace: window queries over a drifting viewport plus
@@ -334,12 +334,12 @@ func RunB5(w io.Writer, quick bool) error {
 			for r := 0; r < rounds; r++ {
 				oids, err := db.Window(workload.SchemaName, "Pole", view)
 				if err != nil {
-					db.Close()
+					_ = db.Close()
 					return err
 				}
 				for _, oid := range oids {
 					if _, err := db.GetValue(event.Context{}, oid); err != nil {
-						db.Close()
+						_ = db.Close()
 						return err
 					}
 				}
@@ -353,7 +353,7 @@ func RunB5(w io.Writer, quick bool) error {
 			_ = net
 			t.add(size, policy, fmt.Sprintf("%.3f", st.HitRatio()),
 				st.Hits+st.Misses, st.Evictions)
-			db.Close()
+			_ = db.Close()
 		}
 	}
 	t.write(w)
@@ -381,7 +381,7 @@ func RunB6(w io.Writer, quick bool) error {
 		perZone := n / 4
 		if _, err := workload.BuildPhoneNet(db, workload.PhoneNetOptions{
 			Seed: 7, ZonesPerSide: 2, PolesPerZone: perZone, DuctEvery: 0}); err != nil {
-			db.Close()
+			_ = db.Close()
 			return err
 		}
 		// ~1% of the area.
@@ -394,7 +394,7 @@ func RunB6(w io.Writer, quick bool) error {
 			return err
 		})
 		if err != nil {
-			db.Close()
+			_ = db.Close()
 			return err
 		}
 		db.UseSpatialIndex = false
@@ -402,7 +402,7 @@ func RunB6(w io.Writer, quick bool) error {
 			_, err := db.Window(workload.SchemaName, "Pole", win)
 			return err
 		})
-		db.Close()
+		_ = db.Close()
 		if err != nil {
 			return err
 		}
@@ -433,7 +433,7 @@ func RunB7(w io.Writer, quick bool) error {
 		}
 		if _, err := workload.BuildPhoneNet(db, workload.PhoneNetOptions{
 			Seed: 3, ZonesPerSide: 2, PolesPerZone: 50}); err != nil {
-			db.Close()
+			_ = db.Close()
 			return err
 		}
 		engine := active.NewEngine()
@@ -447,7 +447,7 @@ func RunB7(w io.Writer, quick bool) error {
 		}
 		for i := 0; i < nc; i++ {
 			if err := guard.Install(engine, constraints[i]); err != nil {
-				db.Close()
+				_ = db.Close()
 				return err
 			}
 		}
@@ -469,13 +469,13 @@ func RunB7(w io.Writer, quick bool) error {
 			case nc > 0:
 				vetoed++
 			default:
-				db.Close()
+				_ = db.Close()
 				return err
 			}
 		}
 		us := float64(time.Since(start).Microseconds()) / float64(inserts)
 		t.add(nc, inserts, accepted, vetoed, fmt.Sprintf("%.1f", us))
-		db.Close()
+		_ = db.Close()
 	}
 	t.write(w)
 	return nil
@@ -514,8 +514,8 @@ func RunB8(w io.Writer, quick bool) error {
 	go pipeSrv.ServeConn(srvConn)
 	pipeCli := client.NewClient(cliConn)
 	bindings = append(bindings, binding{"weak (pipe)", pipeCli, func() {
-		pipeCli.Close()
-		pipeSrv.Close()
+		_ = pipeCli.Close()
+		_ = pipeSrv.Close()
 	}})
 
 	l, err := net.Listen("tcp", "127.0.0.1:0")
@@ -529,8 +529,8 @@ func RunB8(w io.Writer, quick bool) error {
 		return err
 	}
 	bindings = append(bindings, binding{"weak (TCP)", tcpCli, func() {
-		tcpCli.Close()
-		tcpSrv.Close()
+		_ = tcpCli.Close()
+		_ = tcpSrv.Close()
 	}})
 
 	fmt.Fprintln(w, "B8 — integration styles: per-primitive latency (µs/op)")
@@ -613,7 +613,7 @@ func RunB9(w io.Writer, quick bool) error {
 				}
 				return nil
 			})
-			f.Close()
+			_ = f.Close()
 			if err != nil {
 				return err
 			}

@@ -38,12 +38,12 @@ func NewFixture(polesPerZone, zonesPerSide int, withRules bool) (*Fixture, error
 		PolesPerZone: polesPerZone,
 	})
 	if err != nil {
-		sys.Close()
+		_ = sys.Close()
 		return nil, err
 	}
 	if withRules {
 		if _, err := sys.InstallDirectives(workload.Figure6Source); err != nil {
-			sys.Close()
+			_ = sys.Close()
 			return nil, err
 		}
 	}

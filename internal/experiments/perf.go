@@ -52,7 +52,7 @@ func NewDispatchBench(cached bool) (*DispatchBench, error) {
 	engine.CacheDecisions = cached
 	a := f.Sys.Analyzer()
 	if _, err := a.Install(engine, workload.Figure6Source); err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, err
 	}
 	var bg []byte
@@ -61,7 +61,7 @@ func NewDispatchBench(cached bool) (*DispatchBench, error) {
 			i/16, i%16, workload.SchemaName)
 	}
 	if _, err := a.Install(engine, string(bg)); err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, err
 	}
 	return &DispatchBench{
@@ -113,14 +113,14 @@ func NewPipelineBench(delay time.Duration) (*PipelineBench, error) {
 	srv.PipelineDepth = 16
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, err
 	}
 	go srv.Serve(l)
 	cli, err := client.Dial(l.Addr().String())
 	if err != nil {
-		srv.Close()
-		f.Close()
+		_ = srv.Close()
+		_ = f.Close()
 		return nil, err
 	}
 	return &PipelineBench{Cli: cli, srv: srv, f: f}, nil
@@ -168,9 +168,9 @@ feed:
 }
 
 func (p *PipelineBench) Close() {
-	p.Cli.Close()
-	p.srv.Close()
-	p.f.Close()
+	_ = p.Cli.Close()
+	_ = p.srv.Close()
+	_ = p.f.Close()
 }
 
 // PoolBench drives Fetch/Unpin cycles over a sharded buffer pool with more
@@ -274,7 +274,7 @@ func RunPerf(quick bool) (*PerfReport, error) {
 				"cached_plans": float64(d.Engine.CachedPlans()),
 			}
 		}
-		d.Close()
+		_ = d.Close()
 		if stepErr != nil {
 			return nil, stepErr
 		}

@@ -43,6 +43,7 @@ type replSlowBackend struct {
 
 func (s *replSlowBackend) hold() {
 	s.mu.Lock()
+	//vet:ignore lockheld -- simulates a slow backend: the sleep under the lock is the contention being measured
 	time.Sleep(s.lat)
 	s.mu.Unlock()
 }
@@ -88,7 +89,7 @@ func NewReplBench(nReplicas int, latency time.Duration) (*ReplBench, error) {
 	if err != nil {
 		return nil, err
 	}
-	rb.closers = append(rb.closers, func() { db.Close() })
+	rb.closers = append(rb.closers, func() { _ = db.Close() })
 	if err := db.DefineSchema("net"); err != nil {
 		return nil, err
 	}
@@ -116,7 +117,7 @@ func NewReplBench(nReplicas int, latency time.Duration) (*ReplBench, error) {
 	if err != nil {
 		return nil, err
 	}
-	rb.closers = append(rb.closers, func() { prim.Close() })
+	rb.closers = append(rb.closers, func() { _ = prim.Close() })
 	shipDial := func() (net.Conn, error) {
 		cli, srv := net.Pipe()
 		go prim.ServeConn(srv)
@@ -125,7 +126,7 @@ func NewReplBench(nReplicas int, latency time.Duration) (*ReplBench, error) {
 
 	endpoint := func(name string, b ui.Backend) client.Endpoint {
 		srv := server.New(&replSlowBackend{Backend: b, lat: latency})
-		rb.closers = append(rb.closers, func() { srv.Close() })
+		rb.closers = append(rb.closers, func() { _ = srv.Close() })
 		return client.Endpoint{Addr: name, Dial: func() (net.Conn, error) {
 			cli, sc := net.Pipe()
 			go srv.ServeConn(sc)
@@ -137,7 +138,7 @@ func NewReplBench(nReplicas int, latency time.Duration) (*ReplBench, error) {
 	for i := 0; i < nReplicas; i++ {
 		rep := repl.NewReplica(repl.ReplicaOptions{Dial: shipDial})
 		rep.Start()
-		rb.closers = append(rb.closers, func() { rep.Close() })
+		rb.closers = append(rb.closers, func() { _ = rep.Close() })
 		deadline := time.Now().Add(10 * time.Second)
 		for {
 			st := rep.Status()
@@ -158,7 +159,7 @@ func NewReplBench(nReplicas int, latency time.Duration) (*ReplBench, error) {
 		Client:      client.Options{Timeout: 30 * time.Second},
 		HealthEvery: time.Hour, // endpoints never fail here; keep probes out of the measurement
 	})
-	rb.closers = append(rb.closers, func() { rb.Topo.Close() })
+	rb.closers = append(rb.closers, func() { _ = rb.Topo.Close() })
 	ok = true
 	return rb, nil
 }

@@ -43,7 +43,7 @@ func NewWALBench(dir string, disable bool, syncEvery int) (*WALBench, error) {
 		return nil, err
 	}
 	if err := db.DefineSchema("net"); err != nil {
-		db.Close()
+		_ = db.Close()
 		return nil, err
 	}
 	if err := db.DefineClass("net", catalog.Class{
@@ -53,7 +53,7 @@ func NewWALBench(dir string, disable bool, syncEvery int) (*WALBench, error) {
 			catalog.F("load", catalog.Scalar(catalog.KindInteger)),
 		},
 	}); err != nil {
-		db.Close()
+		_ = db.Close()
 		return nil, err
 	}
 	return &WALBench{DB: db, ctx: event.Context{User: "bench", Application: "walperf"}}, nil

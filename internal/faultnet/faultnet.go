@@ -203,28 +203,32 @@ func (c *Conn) Write(p []byte) (int, error) {
 		}
 		n := 0
 		if keep > 0 {
+			//vet:ignore lockheld -- fault injection must decide and apply each write atomically; c.mu serializes the fault state with the write
 			n, _ = c.Conn.Write(data[:keep])
 			c.written += int64(n)
 		}
 		c.Stats.Drops.Add(1)
 		c.dropped = true
-		c.Conn.Close()
+		_ = c.Conn.Close()
 		return n, net.ErrClosed
 	}
 
 	if c.opts.PartialWrites && len(data) > 1 {
 		c.Stats.PartialWrites.Add(1)
 		cut := 1 + c.rng.Intn(len(data)-1)
+		//vet:ignore lockheld -- see above: the fault decision and the write must be one atomic step
 		n1, err := c.Conn.Write(data[:cut])
 		c.written += int64(n1)
 		if err != nil {
 			return n1, err
 		}
+		//vet:ignore lockheld -- see above: the fault decision and the write must be one atomic step
 		n2, err := c.Conn.Write(data[cut:])
 		c.written += int64(n2)
 		return n1 + n2, err
 	}
 
+	//vet:ignore lockheld -- see above: the fault decision and the write must be one atomic step
 	n, err := c.Conn.Write(data)
 	c.written += int64(n)
 	return n, err

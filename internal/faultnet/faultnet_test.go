@@ -12,6 +12,7 @@ import (
 // echoSink reads everything from conn into a buffer and signals completion.
 func drain(conn net.Conn) <-chan []byte {
 	out := make(chan []byte, 1)
+	//vet:ignore testleak -- the reader exits on conn close and hands its result over the returned channel
 	go func() {
 		var buf bytes.Buffer
 		io.Copy(&buf, conn)
@@ -233,6 +234,7 @@ func TestCloseReleasesStalledIO(t *testing.T) {
 		_, err := fc.Write([]byte("y"))
 		errs <- err
 	}()
+	//vet:ignore testleak -- gives the writers time to park in the stalled conn; the stall is the scenario under test
 	time.Sleep(20 * time.Millisecond)
 	fc.Close()
 	for i := 0; i < 2; i++ {

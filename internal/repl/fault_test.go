@@ -26,8 +26,10 @@ func faultyThenCleanDialer(p *Primary, faulty int, opts faultnet.Options) func()
 	return func() (net.Conn, error) {
 		cli, srv := net.Pipe()
 		if int(n.Add(1)) <= faulty {
+			//vet:ignore testleak -- ServeConn exits when the dialer's client end closes
 			go p.ServeConn(faultnet.Wrap(srv, opts))
 		} else {
+			//vet:ignore testleak -- ServeConn exits when the dialer's client end closes
 			go p.ServeConn(srv)
 		}
 		return cli, nil

@@ -562,7 +562,7 @@ func (p *Primary) Close() error {
 	p.wal.OnDurable(nil)
 	p.wal.OnBoundary(nil)
 	if ln != nil {
-		ln.Close()
+		_ = ln.Close()
 	}
 	p.wg.Wait()
 	return nil

@@ -75,6 +75,7 @@ func newTestPrimary(t testing.TB, db *geodb.DB, opts PrimaryOptions) *Primary {
 func pipeDialer(p *Primary) func() (net.Conn, error) {
 	return func() (net.Conn, error) {
 		cli, srv := net.Pipe()
+		//vet:ignore testleak -- ServeConn exits when the dialer's client end closes
 		go p.ServeConn(srv)
 		return cli, nil
 	}
@@ -257,6 +258,7 @@ func (s *scriptedPrimary) send(m *msg) {
 // drain discards the replica's acks: net.Pipe writes are synchronous, so
 // without a reader the replica would block sending them.
 func (s *scriptedPrimary) drain() {
+	//vet:ignore testleak -- the ack reader exits when the primary closes the conn
 	go func() {
 		for {
 			var m msg

@@ -134,7 +134,7 @@ func (r *Replica) Close() error {
 	r.mu.Unlock()
 	close(r.done)
 	if conn != nil {
-		conn.Close()
+		_ = conn.Close()
 	}
 	r.wg.Wait()
 	return nil
@@ -200,7 +200,7 @@ func (r *Replica) session() error {
 	r.mu.Lock()
 	if r.closed {
 		r.mu.Unlock()
-		conn.Close()
+		_ = conn.Close()
 		return nil
 	}
 	r.conn = conn

@@ -10,6 +10,20 @@ import (
 // tie for the same event) and shadowing (a rule can never win). Both apply
 // only to the customization family — constraint and reaction rules run for
 // every match by design, so ties among them are not errors.
+//
+// Both checks reason at two levels. The shape level compares the rules'
+// event patterns (kind, scope pins, context pins) exactly as the engine's
+// matcher does. The expression level then consults the declared condition
+// expressions: a shape overlap whose condition conjunction is provably
+// unsatisfiable is no overlap at all, and a covering rule must additionally
+// be implied by the covered rule's condition. Only an opaque When predicate
+// (a Go func the analyzer cannot see) still forces the conservative
+// downgrade to a warning.
+
+// opaque reports whether the rule carries a predicate the analyzer cannot
+// reason about: an opaque When func, or a condition that failed to parse
+// (reported separately by checkCondSyntax).
+func (r *analyzedRule) opaque() bool { return r.HasWhen || r.condErr != nil }
 
 // scopeOverlap reports whether two scope pins can match the same event
 // component: at least one is a wildcard, or they agree.
@@ -58,9 +72,9 @@ func contextCovers(outer, inner event.Context) bool {
 	return true
 }
 
-// overlaps reports whether the two rules' full event patterns (kind, scope,
-// context) can match the same concrete event.
-func overlaps(a, b *RuleInfo) bool {
+// shapesOverlap reports whether the two rules' event patterns (kind, scope,
+// context) can match the same concrete event, ignoring conditions.
+func shapesOverlap(a, b *analyzedRule) bool {
 	return a.On == b.On &&
 		scopeOverlap(a.Schema, b.Schema) &&
 		scopeOverlap(a.Class, b.Class) &&
@@ -68,21 +82,47 @@ func overlaps(a, b *RuleInfo) bool {
 		contextsOverlap(a.Context, b.Context)
 }
 
-// covers reports whether s matches every event r matches. s must have no
-// opaque predicate (a When could exclude events r accepts).
-func covers(s, r *RuleInfo) bool {
-	return !s.HasWhen && s.On == r.On &&
-		scopeCovers(s.Schema, r.Schema) &&
-		scopeCovers(s.Class, r.Class) &&
-		scopeCovers(s.Attr, r.Attr) &&
-		contextCovers(s.Context, r.Context)
+// condsDisjoint reports whether the two rules' full formulas (condition ∧
+// context pins) are PROVABLY co-unsatisfiable — the expression-level
+// refinement that retires a shape-level overlap. A parse-failed condition
+// contributes nothing (conservative: not disjoint).
+func condsDisjoint(a, b *analyzedRule) bool {
+	if a.cond == nil && b.cond == nil {
+		return false // shape already decided; nothing to refine
+	}
+	overlaps, exact := Overlaps(a.full, b.full)
+	return exact && !overlaps
+}
+
+// covers reports whether s matches every event r matches: the shape covers,
+// and r's full formula implies s's condition. s must have no opaque
+// predicate (a When could exclude events r accepts); a condition on s is
+// fine when the implication is proven.
+func covers(s, r *analyzedRule) bool {
+	if s.opaque() || s.On != r.On ||
+		!scopeCovers(s.Schema, r.Schema) ||
+		!scopeCovers(s.Class, r.Class) ||
+		!scopeCovers(s.Attr, r.Attr) ||
+		!contextCovers(s.Context, r.Context) {
+		return false
+	}
+	if s.cond == nil {
+		return true
+	}
+	// Every event r accepts satisfies r.full (r's own condition only
+	// narrows further when r is opaque — narrowing keeps the implication
+	// sound). It must also satisfy s's condition.
+	implied, exact := Implies(r.full, s.cond)
+	return exact && implied
 }
 
 // checkAmbiguity flags pairs of customization rules that can match the same
 // event with equal specificity and equal priority — the case the paper's
 // "only the single most specific rule executes" contract leaves undefined
-// and the engine resolves only by its deterministic name tiebreak.
-func checkAmbiguity(rules []RuleInfo) []Finding {
+// and the engine resolves only by its deterministic name tiebreak. A pair
+// whose condition expressions are provably disjoint is not reported: the
+// expression level proves what the shape level cannot.
+func checkAmbiguity(rules []analyzedRule) []Finding {
 	var fs []Finding
 	for i := range rules {
 		a := &rules[i]
@@ -95,16 +135,22 @@ func checkAmbiguity(rules []RuleInfo) []Finding {
 				continue
 			}
 			sa, sb := a.specificity(), b.specificity()
-			if sa != sb || a.Priority != b.Priority || !overlaps(a, b) {
+			if sa != sb || a.Priority != b.Priority || !shapesOverlap(a, b) {
+				continue
+			}
+			if condsDisjoint(a, b) {
 				continue
 			}
 			sev := SeverityError
 			note := ""
-			if a.HasWhen || b.HasWhen {
+			switch {
+			case a.opaque() || b.opaque():
 				// An opaque predicate may keep the rules from ever
 				// matching the same event; report, but do not fail.
 				sev = SeverityWarning
 				note = "; a When predicate may disambiguate at run time"
+			case a.cond != nil || b.cond != nil:
+				note = "; their conditions are co-satisfiable"
 			}
 			winner := a.Name
 			if b.Name < winner {
@@ -132,10 +178,11 @@ func checkAmbiguity(rules []RuleInfo) []Finding {
 // other rule matches every event they match and always outranks them in the
 // (specificity, priority) contest. Given the specificity scoring — every
 // pinned dimension adds points — a proper covering rule always scores
-// lower, so in practice a shadow is an identical pattern with a higher
-// priority; the general covering test is kept so the check survives scoring
-// changes.
-func checkShadowing(rules []RuleInfo) []Finding {
+// lower, so a shadow is an identical pattern with a higher priority; with
+// condition expressions, it is also a weaker condition (r's condition
+// implies s's) on the same pattern. The general covering test is kept so
+// the check survives scoring changes.
+func checkShadowing(rules []analyzedRule) []Finding {
 	var fs []Finding
 	for i := range rules {
 		r := &rules[i]
@@ -153,14 +200,18 @@ func checkShadowing(rules []RuleInfo) []Finding {
 				// patterns is ambiguity, reported separately.
 				continue
 			}
+			via := ""
+			if s.cond != nil || r.cond != nil {
+				via = fmt.Sprintf(" — %q's condition is implied by %q's", s.Name, r.Name)
+			}
 			fs = append(fs, Finding{
 				Check:    CheckShadowing,
 				Severity: SeverityWarning,
 				Rules:    []string{r.Name, s.Name},
 				Pos:      r.Pos,
 				Message: fmt.Sprintf(
-					"rule %q is dead: %q matches every %s event it matches and always outranks it (specificity %d vs %d, priority %d vs %d)",
-					r.Name, s.Name, r.On, ss, rs, s.Priority, r.Priority),
+					"rule %q is dead: %q matches every %s event it matches and always outranks it (specificity %d vs %d, priority %d vs %d)%s",
+					r.Name, s.Name, r.On, ss, rs, s.Priority, r.Priority, via),
 			})
 			break // one dominator is enough; avoid finding spam
 		}

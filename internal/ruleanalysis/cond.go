@@ -1,0 +1,512 @@
+package ruleanalysis
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file implements the expression-level rule semantics: a small, fully
+// analyzable predicate language for rule conditions. The engine's Rule.When
+// is an opaque Go func — the analyzer can only downgrade findings that
+// involve one. A Cond is the declared, inspectable counterpart: a boolean
+// expression over the event's named dimensions that the engine evaluates at
+// dispatch time AND the analyzer reasons about at lint time (overlap,
+// implication, satisfiability). The relationship to When mirrors Emits and
+// the triggering graph: the declaration is enforced at run time (a rule
+// matches only when its Cond holds), so static conclusions drawn from it
+// are sound.
+//
+// Grammar (case-sensitive identifiers, '&&' binds tighter than '||'):
+//
+//	expr    := or
+//	or      := and ( '||' and )*
+//	and     := unary ( '&&' unary )*
+//	unary   := '!' unary | '(' expr ')' | cmp
+//	cmp     := ident op value
+//	op      := '==' | '!=' | '<' | '<=' | '>' | '>='
+//	value   := number | '"' chars '"' | bareword
+//
+// Identifiers name event dimensions: the builtins user, category,
+// application, schema, class, attr, name and oid, or any extended-context
+// (Extra) dimension such as zoom or scale. Order comparisons require a
+// numeric literal and hold only when the dimension's value parses as a
+// number. A dimension absent from the event makes every comparison on it
+// false (and therefore its negation true) — the same "missing never
+// matches" rule the context pattern matcher uses.
+
+// ErrCondSyntax is wrapped by every condition parse failure.
+var ErrCondSyntax = errors.New("ruleanalysis: condition syntax error")
+
+// CmpOp is a comparison operator.
+type CmpOp uint8
+
+// Comparison operators.
+const (
+	CmpEq CmpOp = iota + 1 // ==
+	CmpNe                  // !=
+	CmpLt                  // <
+	CmpLe                  // <=
+	CmpGt                  // >
+	CmpGe                  // >=
+)
+
+// String renders the operator.
+func (op CmpOp) String() string {
+	switch op {
+	case CmpEq:
+		return "=="
+	case CmpNe:
+		return "!="
+	case CmpLt:
+		return "<"
+	case CmpLe:
+		return "<="
+	case CmpGt:
+		return ">"
+	case CmpGe:
+		return ">="
+	default:
+		return fmt.Sprintf("CmpOp(%d)", uint8(op))
+	}
+}
+
+// ordered reports whether the operator is an order comparison (requires a
+// numeric literal and a numeric value).
+func (op CmpOp) ordered() bool { return op >= CmpLt }
+
+// CondOp is a condition node kind.
+type CondOp uint8
+
+// Condition node kinds.
+const (
+	CondCmp CondOp = iota + 1
+	CondAnd
+	CondOr
+	CondNot
+)
+
+// Cond is one node of a parsed condition expression. And/Or hold their
+// operands in Kids (n-ary); Not holds exactly one kid; Cmp is a leaf
+// comparing the dimension Var against the literal Val.
+type Cond struct {
+	Op   CondOp
+	Kids []*Cond
+	// Cmp leaf fields.
+	Var string
+	Cmp CmpOp
+	// Val is the literal as written; Num/IsNum cache its numeric parse.
+	Val   string
+	Num   float64
+	IsNum bool
+}
+
+// String renders the condition in canonical concrete syntax; parsing the
+// output reproduces the condition.
+func (c *Cond) String() string {
+	if c == nil {
+		return ""
+	}
+	return c.render(0)
+}
+
+// render emits with minimal parentheses: prec 0 = or-context, 1 = and, 2 =
+// unary.
+func (c *Cond) render(prec int) string {
+	switch c.Op {
+	case CondCmp:
+		val := c.Val
+		if !c.IsNum {
+			val = strconv.Quote(c.Val)
+		}
+		return fmt.Sprintf("%s %s %s", c.Var, c.Cmp, val)
+	case CondNot:
+		return "!" + c.Kids[0].render(2)
+	case CondAnd:
+		parts := make([]string, len(c.Kids))
+		for i, k := range c.Kids {
+			parts[i] = k.render(2)
+		}
+		s := strings.Join(parts, " && ")
+		if prec > 1 {
+			s = "(" + s + ")"
+		}
+		return s
+	case CondOr:
+		parts := make([]string, len(c.Kids))
+		for i, k := range c.Kids {
+			parts[i] = k.render(1)
+		}
+		s := strings.Join(parts, " || ")
+		if prec > 0 {
+			s = "(" + s + ")"
+		}
+		return s
+	default:
+		return fmt.Sprintf("Cond(%d)", uint8(c.Op))
+	}
+}
+
+// Vars returns the sorted set of dimension names the condition reads.
+func (c *Cond) Vars() []string {
+	set := map[string]bool{}
+	c.collectVars(set)
+	out := make([]string, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (c *Cond) collectVars(set map[string]bool) {
+	if c == nil {
+		return
+	}
+	if c.Op == CondCmp {
+		set[c.Var] = true
+		return
+	}
+	for _, k := range c.Kids {
+		k.collectVars(set)
+	}
+}
+
+// Eval evaluates the condition against a dimension lookup. A dimension for
+// which lookup reports !ok is treated as absent: every comparison on it is
+// false.
+func (c *Cond) Eval(lookup func(name string) (string, bool)) bool {
+	if c == nil {
+		return true
+	}
+	switch c.Op {
+	case CondCmp:
+		v, ok := lookup(c.Var)
+		if !ok {
+			return false
+		}
+		return evalCmp(c.Cmp, v, c.Val, c.Num, c.IsNum)
+	case CondNot:
+		return !c.Kids[0].Eval(lookup)
+	case CondAnd:
+		for _, k := range c.Kids {
+			if !k.Eval(lookup) {
+				return false
+			}
+		}
+		return true
+	case CondOr:
+		for _, k := range c.Kids {
+			if k.Eval(lookup) {
+				return true
+			}
+		}
+		return false
+	default:
+		return false
+	}
+}
+
+// evalCmp applies one comparison. Equality is numeric-aware: when both the
+// literal and the value parse as numbers they compare numerically ("3.0"
+// equals "3"); otherwise as strings. Order comparisons require both sides
+// numeric.
+func evalCmp(op CmpOp, v, lit string, litNum float64, litIsNum bool) bool {
+	switch op {
+	case CmpEq:
+		return condValuesEqual(v, lit, litNum, litIsNum)
+	case CmpNe:
+		return !condValuesEqual(v, lit, litNum, litIsNum)
+	}
+	// Ordered: the parser guarantees litIsNum.
+	n, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return false
+	}
+	switch op {
+	case CmpLt:
+		return n < litNum
+	case CmpLe:
+		return n <= litNum
+	case CmpGt:
+		return n > litNum
+	case CmpGe:
+		return n >= litNum
+	}
+	return false
+}
+
+func condValuesEqual(v, lit string, litNum float64, litIsNum bool) bool {
+	if litIsNum {
+		if n, err := strconv.ParseFloat(v, 64); err == nil {
+			return n == litNum
+		}
+		return false
+	}
+	return v == lit
+}
+
+// And conjoins conditions, ignoring nils; it returns nil for an empty
+// conjunction (the always-true condition).
+func And(cs ...*Cond) *Cond {
+	var kids []*Cond
+	for _, c := range cs {
+		if c == nil {
+			continue
+		}
+		if c.Op == CondAnd {
+			kids = append(kids, c.Kids...)
+			continue
+		}
+		kids = append(kids, c)
+	}
+	switch len(kids) {
+	case 0:
+		return nil
+	case 1:
+		return kids[0]
+	}
+	return &Cond{Op: CondAnd, Kids: kids}
+}
+
+// Not negates a condition; Not(nil) is the always-false condition, rendered
+// as a contradiction leaf pair so the solver handles it uniformly.
+func Not(c *Cond) *Cond {
+	if c == nil {
+		// ¬true: an unsatisfiable canonical contradiction.
+		return &Cond{Op: CondAnd, Kids: []*Cond{
+			{Op: CondCmp, Var: "\x00false", Cmp: CmpEq, Val: "0", Num: 0, IsNum: true},
+			{Op: CondNot, Kids: []*Cond{{Op: CondCmp, Var: "\x00false", Cmp: CmpEq, Val: "0", Num: 0, IsNum: true}}},
+		}}
+	}
+	return &Cond{Op: CondNot, Kids: []*Cond{c}}
+}
+
+// Eq builds the equality leaf "name == value" (string-literal semantics
+// when value does not parse as a number). Context pins are injected into
+// satisfiability queries through this.
+func Eq(name, value string) *Cond {
+	c := &Cond{Op: CondCmp, Var: name, Cmp: CmpEq, Val: value}
+	if n, err := strconv.ParseFloat(value, 64); err == nil {
+		c.Num, c.IsNum = n, true
+	}
+	return c
+}
+
+// ParseCond parses a condition expression. An empty (or all-blank) source
+// yields nil, the always-true condition.
+func ParseCond(src string) (*Cond, error) {
+	if strings.TrimSpace(src) == "" {
+		return nil, nil
+	}
+	p := &condParser{src: src}
+	c, err := p.or()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return nil, p.errf("unexpected %q", p.rest())
+	}
+	return c, nil
+}
+
+type condParser struct {
+	src string
+	pos int
+}
+
+func (p *condParser) errf(format string, args ...any) error {
+	return fmt.Errorf("%w: offset %d: %s", ErrCondSyntax, p.pos, fmt.Sprintf(format, args...))
+}
+
+func (p *condParser) rest() string {
+	r := p.src[p.pos:]
+	if len(r) > 12 {
+		r = r[:12] + "..."
+	}
+	return r
+}
+
+func (p *condParser) skipSpace() {
+	for p.pos < len(p.src) {
+		switch p.src[p.pos] {
+		case ' ', '\t', '\n', '\r':
+			p.pos++
+		default:
+			return
+		}
+	}
+}
+
+func (p *condParser) eat(tok string) bool {
+	p.skipSpace()
+	if strings.HasPrefix(p.src[p.pos:], tok) {
+		p.pos += len(tok)
+		return true
+	}
+	return false
+}
+
+func (p *condParser) or() (*Cond, error) {
+	c, err := p.and()
+	if err != nil {
+		return nil, err
+	}
+	kids := []*Cond{c}
+	for p.eat("||") {
+		k, err := p.and()
+		if err != nil {
+			return nil, err
+		}
+		kids = append(kids, k)
+	}
+	if len(kids) == 1 {
+		return c, nil
+	}
+	return &Cond{Op: CondOr, Kids: kids}, nil
+}
+
+func (p *condParser) and() (*Cond, error) {
+	c, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	kids := []*Cond{c}
+	for p.eat("&&") {
+		k, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		kids = append(kids, k)
+	}
+	if len(kids) == 1 {
+		return c, nil
+	}
+	return &Cond{Op: CondAnd, Kids: kids}, nil
+}
+
+func (p *condParser) unary() (*Cond, error) {
+	if p.eat("!") {
+		// Reject "!=" mistyped as a unary context.
+		if p.pos < len(p.src) && p.src[p.pos] == '=' {
+			return nil, p.errf("'!=' needs a left-hand dimension")
+		}
+		k, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &Cond{Op: CondNot, Kids: []*Cond{k}}, nil
+	}
+	if p.eat("(") {
+		c, err := p.or()
+		if err != nil {
+			return nil, err
+		}
+		if !p.eat(")") {
+			return nil, p.errf("expected ')', found %q", p.rest())
+		}
+		return c, nil
+	}
+	return p.cmp()
+}
+
+func isCondIdentByte(c byte, first bool) bool {
+	if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' {
+		return true
+	}
+	if first {
+		return false
+	}
+	return c >= '0' && c <= '9' || c == '.' || c == '-'
+}
+
+func (p *condParser) ident() (string, bool) {
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.src) && isCondIdentByte(p.src[p.pos], p.pos == start) {
+		p.pos++
+	}
+	return p.src[start:p.pos], p.pos > start
+}
+
+func (p *condParser) cmp() (*Cond, error) {
+	name, ok := p.ident()
+	if !ok {
+		return nil, p.errf("expected dimension name, found %q", p.rest())
+	}
+	var op CmpOp
+	switch {
+	case p.eat("=="):
+		op = CmpEq
+	case p.eat("!="):
+		op = CmpNe
+	case p.eat("<="):
+		op = CmpLe
+	case p.eat(">="):
+		op = CmpGe
+	case p.eat("<"):
+		op = CmpLt
+	case p.eat(">"):
+		op = CmpGt
+	default:
+		return nil, p.errf("expected comparison operator after %q, found %q", name, p.rest())
+	}
+	c := &Cond{Op: CondCmp, Var: name, Cmp: op}
+	if err := p.value(c); err != nil {
+		return nil, err
+	}
+	if op.ordered() && !c.IsNum {
+		return nil, p.errf("order comparison %s %s needs a numeric literal, found %q", name, op, c.Val)
+	}
+	return c, nil
+}
+
+func (p *condParser) value(c *Cond) error {
+	p.skipSpace()
+	if p.pos >= len(p.src) {
+		return p.errf("expected value, found end of input")
+	}
+	if p.src[p.pos] == '"' {
+		p.pos++
+		start := p.pos
+		for p.pos < len(p.src) && p.src[p.pos] != '"' {
+			if p.src[p.pos] == '\n' {
+				return p.errf("newline in quoted value")
+			}
+			p.pos++
+		}
+		if p.pos >= len(p.src) {
+			return p.errf("unterminated quoted value")
+		}
+		c.Val = p.src[start:p.pos]
+		p.pos++
+		// Quoting protects spaces and operator characters; it does not
+		// change value semantics — a numeric-looking value still compares
+		// numerically, keeping Eval and the satisfiability solver aligned.
+		if n, err := strconv.ParseFloat(c.Val, 64); err == nil {
+			c.Num, c.IsNum = n, true
+		}
+		return nil
+	}
+	// Bareword or number: run to a delimiter.
+	start := p.pos
+	for p.pos < len(p.src) {
+		ch := p.src[p.pos]
+		if ch == ' ' || ch == '\t' || ch == '\n' || ch == '\r' ||
+			ch == '&' || ch == '|' || ch == ')' || ch == '(' || ch == '!' {
+			break
+		}
+		p.pos++
+	}
+	if p.pos == start {
+		return p.errf("expected value, found %q", p.rest())
+	}
+	c.Val = p.src[start:p.pos]
+	if n, err := strconv.ParseFloat(c.Val, 64); err == nil {
+		c.Num, c.IsNum = n, true
+	}
+	return nil
+}

@@ -1,0 +1,416 @@
+package ruleanalysis
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/event"
+)
+
+func mustParse(t *testing.T, src string) *Cond {
+	t.Helper()
+	c, err := ParseCond(src)
+	if err != nil {
+		t.Fatalf("ParseCond(%q): %v", src, err)
+	}
+	return c
+}
+
+func env(pairs ...string) func(string) (string, bool) {
+	m := map[string]string{}
+	for i := 0; i+1 < len(pairs); i += 2 {
+		m[pairs[i]] = pairs[i+1]
+	}
+	return func(name string) (string, bool) {
+		v, ok := m[name]
+		return v, ok
+	}
+}
+
+func TestCondParseRoundTrip(t *testing.T) {
+	cases := []string{
+		`zoom > 10`,
+		`user == "ann"`,
+		`zoom > 10 && zoom < 20`,
+		`user == "ann" || category == "novice"`,
+		`!(zoom > 10) && name == "audit"`,
+		`(zoom > 1 || zoom < -1) && scale == "1:100"`,
+		`oid >= 100 && oid <= 200 && schema == "roads"`,
+		`!(user == "ann" && category == "expert") || zoom != 0`,
+	}
+	for _, src := range cases {
+		c := mustParse(t, src)
+		out := c.String()
+		c2, err := ParseCond(out)
+		if err != nil {
+			t.Fatalf("reparse of %q (from %q): %v", out, src, err)
+		}
+		if got := c2.String(); got != out {
+			t.Errorf("round-trip unstable: %q -> %q -> %q", src, out, got)
+		}
+	}
+	if c := mustParse(t, "   "); c != nil {
+		t.Errorf("blank source should parse to nil, got %v", c)
+	}
+	if got := (*Cond)(nil).String(); got != "" {
+		t.Errorf("nil String() = %q", got)
+	}
+}
+
+func TestCondParseErrors(t *testing.T) {
+	cases := []string{
+		`zoom >`,                   // missing value
+		`zoom`,                     // missing operator
+		`== 3`,                     // missing dimension
+		`zoom > "high"`,            // ordered needs numeric literal
+		`(zoom > 1`,                // unclosed paren
+		`zoom > 1 extra`,           // trailing garbage
+		`!= 3`,                     // bare != with no left-hand side
+		`user == "unclosed`,        // unterminated quote
+		`user == "a` + "\n" + `b"`, // newline in quoted value
+	}
+	for _, src := range cases {
+		if _, err := ParseCond(src); !errors.Is(err, ErrCondSyntax) {
+			t.Errorf("ParseCond(%q) err = %v, want ErrCondSyntax", src, err)
+		}
+	}
+}
+
+func TestCondEval(t *testing.T) {
+	cases := []struct {
+		src  string
+		env  func(string) (string, bool)
+		want bool
+	}{
+		{`zoom > 10`, env("zoom", "12"), true},
+		{`zoom > 10`, env("zoom", "10"), false},
+		{`zoom > 10`, env(), false},               // absent: comparison false
+		{`!(zoom > 10)`, env(), true},             // absent negated: true
+		{`zoom != 3`, env(), false},               // absent: even != is false
+		{`zoom == 3`, env("zoom", "3.0"), true},   // numeric-aware equality
+		{`zoom == "3"`, env("zoom", "3.0"), true}, // quoting does not change semantics
+		{`user == "ann"`, env("user", "ann"), true},
+		{`user == "ann"`, env("user", "bob"), false},
+		{`user != "ann"`, env("user", "bob"), true},
+		{`zoom > 5 && zoom < 9`, env("zoom", "7"), true},
+		{`zoom > 5 && zoom < 9`, env("zoom", "9"), false},
+		{`zoom > 5 || user == "ann"`, env("user", "ann"), true},
+		{`zoom >= 2`, env("zoom", "coarse"), false}, // non-numeric value: ordered false
+	}
+	for _, c := range cases {
+		if got := mustParse(t, c.src).Eval(c.env); got != c.want {
+			t.Errorf("Eval(%q) = %v, want %v", c.src, got, c.want)
+		}
+	}
+	if !(*Cond)(nil).Eval(env()) {
+		t.Error("nil condition should be true")
+	}
+}
+
+func TestCondVars(t *testing.T) {
+	c := mustParse(t, `zoom > 1 && (user == "ann" || zoom < 9) && name == "audit"`)
+	got := strings.Join(c.Vars(), ",")
+	if got != "name,user,zoom" {
+		t.Errorf("Vars = %q", got)
+	}
+}
+
+func TestSatisfiable(t *testing.T) {
+	cases := []struct {
+		src string
+		sat bool
+	}{
+		{`zoom > 10`, true},
+		{`zoom > 10 && zoom < 5`, false},
+		{`zoom > 10 && zoom <= 10`, false},
+		{`zoom >= 10 && zoom <= 10`, true}, // exactly 10
+		{`zoom >= 10 && zoom <= 10 && zoom != 10`, false},
+		{`zoom > 10 || zoom < 5`, true},
+		{`user == "ann" && user == "bob"`, false},
+		{`user == "ann" && user != "bob"`, true},
+		{`user == "ann" && zoom > 1`, true}, // independent dimensions
+		{`zoom == 3 && zoom > 5`, false},
+		{`zoom == "3" && zoom > 2`, true},    // quoted numeric still numeric
+		{`user == "ann" && user > 3`, false}, // string pin vs order cmp
+		// zoom > 1 forces a present numeric value, under which !(zoom > 0)
+		// cannot hold — absence cannot rescue a positive order comparison.
+		{`zoom > 1 && !(zoom > 0)`, false},
+	}
+	for _, c := range cases {
+		sat, exact := mustParse(t, c.src).Satisfiable()
+		if !exact {
+			t.Errorf("Satisfiable(%q) inexact", c.src)
+			continue
+		}
+		if sat != c.sat {
+			t.Errorf("Satisfiable(%q) = %v, want %v", c.src, sat, c.sat)
+		}
+	}
+}
+
+// TestSatisfiableAbsence pins the absence semantics the solver must respect:
+// ¬(x < 5) is weaker than x >= 5, because an absent or non-numeric x also
+// falsifies x < 5.
+func TestSatisfiableAbsence(t *testing.T) {
+	// ¬(zoom < 5) ∧ ¬(zoom >= 5): satisfiable by absent zoom.
+	c := mustParse(t, `!(zoom < 5) && !(zoom >= 5)`)
+	if sat, exact := c.Satisfiable(); !exact || !sat {
+		t.Errorf("absence case: sat=%v exact=%v, want true/true", sat, exact)
+	}
+	// Adding presence (zoom == zoom is not expressible; use a tautology-free
+	// witness: zoom > -1e300 forces a numeric value) makes it unsatisfiable
+	// only numerically; a non-numeric string still works... but ordered
+	// comparisons fail on strings, so zoom > -1e300 forces numeric and the
+	// conjunction becomes unsatisfiable.
+	c = mustParse(t, `!(zoom < 5) && !(zoom >= 5) && zoom > -1e300`)
+	if sat, exact := c.Satisfiable(); !exact || sat {
+		t.Errorf("forced-numeric case: sat=%v exact=%v, want false/true", sat, exact)
+	}
+}
+
+func TestImpliesAndOverlaps(t *testing.T) {
+	imp := func(a, b string, want bool) {
+		t.Helper()
+		got, exact := Implies(mustParse(t, a), mustParse(t, b))
+		if !exact {
+			t.Errorf("Implies(%q, %q) inexact", a, b)
+			return
+		}
+		if got != want {
+			t.Errorf("Implies(%q, %q) = %v, want %v", a, b, got, want)
+		}
+	}
+	imp(`zoom > 10`, `zoom > 0`, true)
+	imp(`zoom > 0`, `zoom > 10`, false)
+	imp(`zoom == 7`, `zoom > 0`, true)
+	imp(`user == "ann"`, `user != "bob"`, true)
+	imp(`user == "ann" && zoom > 1`, `user == "ann"`, true)
+	imp(`zoom > 1 || zoom < -1`, `zoom > 1`, false)
+	// ¬(zoom < 5) does NOT imply zoom >= 5 (absence).
+	imp(`!(zoom < 5)`, `zoom >= 5`, false)
+
+	if got, exact := Implies(mustParse(t, `zoom > 1`), nil); !got || !exact {
+		t.Errorf("Implies(_, nil) = %v, %v", got, exact)
+	}
+
+	ov := func(a, b string, want bool) {
+		t.Helper()
+		got, exact := Overlaps(mustParse(t, a), mustParse(t, b))
+		if !exact || got != want {
+			t.Errorf("Overlaps(%q, %q) = %v (exact %v), want %v", a, b, got, exact, want)
+		}
+	}
+	ov(`zoom > 10`, `zoom < 5`, false)
+	ov(`zoom > 10`, `zoom < 15`, true)
+	ov(`user == "ann"`, `user == "bob"`, false)
+	ov(`user == "ann"`, `category == "novice"`, true)
+}
+
+func TestSatisfiableInexact(t *testing.T) {
+	// Build (a1||b1) && (a2||b2) && ... deep enough to blow maxDNFConjuncts.
+	var sb strings.Builder
+	for i := 0; i < 12; i++ {
+		if i > 0 {
+			sb.WriteString(" && ")
+		}
+		sb.WriteString(`(zoom > 1 || scale == "s")`)
+	}
+	c := mustParse(t, sb.String())
+	sat, exact := c.Satisfiable()
+	if exact {
+		t.Skip("DNF bound not hit; raise the clause count")
+	}
+	if !sat {
+		t.Error("inexact answer must be the conservative 'satisfiable'")
+	}
+	if got, exact := Implies(c, mustParse(t, `zoom > 0`)); exact || got {
+		t.Errorf("inexact implication must be (false, false), got (%v, %v)", got, exact)
+	}
+}
+
+func TestContextCond(t *testing.T) {
+	c := ContextCond("ann", "", "cadastral", map[string]string{"scale": "1:100"})
+	if c == nil {
+		t.Fatal("pinned context should produce a condition")
+	}
+	vars := strings.Join(c.Vars(), ",")
+	if vars != "application,scale,user" {
+		t.Errorf("Vars = %q", vars)
+	}
+	if ContextCond("", "", "", nil) != nil {
+		t.Error("wildcard context should produce nil")
+	}
+	// A condition contradicting the pins is unsatisfiable.
+	full := And(c, mustParse(t, `user == "bob"`))
+	if sat, exact := full.Satisfiable(); !exact || sat {
+		t.Errorf("contradicting pin: sat=%v exact=%v", sat, exact)
+	}
+}
+
+func TestNotNilIsFalse(t *testing.T) {
+	if sat, exact := Not(nil).Satisfiable(); !exact || sat {
+		t.Errorf("Not(nil) sat=%v exact=%v, want false/true", sat, exact)
+	}
+	// Implies(x, nil-as-true) already covered; check a, b both nil.
+	if got, exact := Implies(nil, nil); !got || !exact {
+		t.Errorf("Implies(nil, nil) = %v, %v", got, exact)
+	}
+}
+
+// condCust builds a customization rule with a condition for check tests.
+func condCust(name string, ctx event.Context, cond string, prio int) RuleInfo {
+	r := cust(name, ctx)
+	r.Cond = cond
+	r.Priority = prio
+	return r
+}
+
+func TestAmbiguityWithConds(t *testing.T) {
+	ctx := event.Context{Category: "novice"}
+
+	// Disjoint conditions retire the shape-level ambiguity.
+	fs := CheckRules([]RuleInfo{
+		condCust("a", ctx, `zoom > 10`, 0),
+		condCust("b", ctx, `zoom <= 10`, 0),
+	})
+	if len(fs) != 0 {
+		t.Fatalf("disjoint conds: findings = %+v", fs)
+	}
+
+	// Co-satisfiable conditions keep it, as an error.
+	fs = CheckRules([]RuleInfo{
+		condCust("a", ctx, `zoom > 10`, 0),
+		condCust("b", ctx, `zoom > 5`, 0),
+	})
+	if len(fs) != 1 || fs[0].Check != CheckAmbiguity || fs[0].Severity != SeverityError {
+		t.Fatalf("co-satisfiable conds: findings = %+v", fs)
+	}
+	if !strings.Contains(fs[0].Message, "co-satisfiable") {
+		t.Errorf("message should mention conditions: %s", fs[0].Message)
+	}
+
+	// An unparsable condition behaves like an opaque When: syntax error
+	// finding plus a downgraded ambiguity warning.
+	fs = CheckRules([]RuleInfo{
+		condCust("a", ctx, `zoom >`, 0),
+		cust("b", ctx),
+	})
+	var checks []string
+	for _, f := range fs {
+		checks = append(checks, f.Check+":"+f.Severity.String())
+	}
+	got := strings.Join(checks, " ")
+	if got != "ambiguity:warning cond-syntax:error" {
+		t.Fatalf("unparsable cond: %v", got)
+	}
+}
+
+func TestShadowingWithConds(t *testing.T) {
+	ctx := event.Context{Category: "novice"}
+
+	// Same shape: d1's condition implies d2's weaker one, d2 outranks on
+	// priority — d1 is dead. This is exactly the case a shape-only check
+	// cannot see (the conditions differ, so the rules are not identical).
+	fs := CheckRules([]RuleInfo{
+		condCust("d1", ctx, `zoom > 10`, 0),
+		condCust("d2", ctx, `zoom > 0`, 5),
+	})
+	var shadow *Finding
+	for i := range fs {
+		if fs[i].Check == CheckShadowing {
+			shadow = &fs[i]
+		}
+	}
+	if shadow == nil {
+		t.Fatalf("implied condition shadowing missed: findings = %+v", fs)
+	}
+	if shadow.Rules[0] != "d1" || shadow.Rules[1] != "d2" {
+		t.Fatalf("shadow rules = %v", shadow.Rules)
+	}
+
+	// Reversed implication direction: d2's condition does not imply d1's,
+	// so no shadow (d2 matches zoom=5 events d1 ignores).
+	fs = CheckRules([]RuleInfo{
+		condCust("d1", ctx, `zoom > 0`, 0),
+		condCust("d2", ctx, `zoom > 10`, 5),
+	})
+	for _, f := range fs {
+		if f.Check == CheckShadowing {
+			t.Fatalf("spurious shadow: %+v", f)
+		}
+	}
+}
+
+func TestDeadRuleUnsatisfiable(t *testing.T) {
+	// Condition contradicts its own context pin.
+	r := condCust("ghost", event.Context{User: "ann"}, `user == "bob"`, 0)
+	fs := CheckRules([]RuleInfo{r})
+	if len(fs) != 1 || fs[0].Check != CheckDeadRule || fs[0].Severity != SeverityError {
+		t.Fatalf("findings = %+v", fs)
+	}
+	if !strings.Contains(fs[0].Message, "can never fire") {
+		t.Errorf("message = %s", fs[0].Message)
+	}
+
+	// Self-contradictory condition, no pins needed.
+	r2 := condCust("ghost2", event.Context{}, `zoom > 10 && zoom < 5`, 0)
+	fs = CheckRules([]RuleInfo{r2})
+	if len(fs) != 1 || fs[0].Check != CheckDeadRule {
+		t.Fatalf("findings = %+v", fs)
+	}
+}
+
+func TestDeadRuleUnreachableExternal(t *testing.T) {
+	// orphan triggers on External events nothing emits.
+	orphan := reaction("orphan", event.External)
+	fs := CheckRules([]RuleInfo{
+		reaction("audit", event.PostUpdate, event.Pattern{Kind: event.External, Name: "audit"}),
+		orphan,
+	})
+	if len(fs) != 0 {
+		// audit's pattern has no name constraint conflict: orphan has no
+		// cond, so the edge exists and orphan is reachable.
+		t.Fatalf("unconditioned orphan should be reachable: %+v", fs)
+	}
+
+	// With a name condition excluded by every emitter, the rule is dead.
+	named := reaction("named", event.External)
+	named.Cond = `name == "report"`
+	fs = CheckRules([]RuleInfo{
+		reaction("audit", event.PostUpdate, event.Pattern{Kind: event.External, Name: "audit"}),
+		named,
+	})
+	if len(fs) != 1 || fs[0].Check != CheckDeadRule || fs[0].Severity != SeverityWarning {
+		t.Fatalf("named orphan: findings = %+v", fs)
+	}
+	if !strings.Contains(fs[0].Message, "unreachable") {
+		t.Errorf("message = %s", fs[0].Message)
+	}
+
+	// Matching name: reachable again.
+	named.Cond = `name == "audit"`
+	fs = CheckRules([]RuleInfo{
+		reaction("audit", event.PostUpdate, event.Pattern{Kind: event.External, Name: "audit"}),
+		named,
+	})
+	if len(fs) != 0 {
+		t.Fatalf("matching name: findings = %+v", fs)
+	}
+}
+
+func TestCondAwareTriggerEdges(t *testing.T) {
+	from := reaction("from", event.PostUpdate, event.Pattern{Kind: event.External, Name: "audit"})
+	from.Context = event.Context{Application: "cadastral"}
+	to := reaction("to", event.External)
+	to.Cond = `application == "network"`
+	g := BuildTriggerGraph([]RuleInfo{from, to})
+	if g.hasEdge(0, 1) {
+		t.Error("edge should be pruned: receiver's condition contradicts the emitter's context pin")
+	}
+	to.Cond = `application == "cadastral"`
+	g = BuildTriggerGraph([]RuleInfo{from, to})
+	if !g.hasEdge(0, 1) {
+		t.Error("edge should survive: receiver's condition agrees with the emitter's context pin")
+	}
+}

@@ -1,0 +1,329 @@
+package ruleanalysis
+
+import (
+	"math"
+	"strconv"
+)
+
+// This file decides satisfiability of condition expressions — the engine
+// behind the expression-level ambiguity/shadowing/dead-rule checks. The
+// procedure is exact for the language: convert to disjunctive normal form
+// (negation tracked per literal, NOT rewritten into a flipped operator —
+// absence semantics make ¬(x < 5) strictly weaker than x >= 5), then decide
+// each conjunct per dimension by trying the three value modes an event can
+// present: the dimension is absent, carries a numeric value, or carries a
+// non-numeric string. Dimensions are independent, so a conjunct is
+// satisfiable iff every dimension has a feasible mode; numeric feasibility
+// is interval arithmetic with excluded points, string feasibility is
+// equality-set reasoning.
+//
+// DNF can explode on deeply alternated ||/&&; past maxDNFConjuncts the
+// solver gives up and reports "satisfiable, inexact" — the conservative
+// answer for every caller (an inexact answer never suppresses a finding and
+// never creates a proof).
+
+// maxDNFConjuncts bounds the DNF expansion; real rule conditions are tiny.
+const maxDNFConjuncts = 256
+
+// condLiteral is a possibly negated comparison in normal form. Ne is
+// normalized away (x != v  ≡  ¬(x == v)).
+type condLiteral struct {
+	varName string
+	cmp     CmpOp
+	val     string
+	num     float64
+	isNum   bool
+	neg     bool
+}
+
+// Satisfiable reports whether some event (assignment of present/absent
+// values to dimensions) satisfies the condition. exact is false when the
+// solver hit the DNF bound; in that case sat is true (the conservative
+// answer). A nil condition is trivially satisfiable.
+func (c *Cond) Satisfiable() (sat, exact bool) {
+	if c == nil {
+		return true, true
+	}
+	conjuncts, ok := dnf(c, false)
+	if !ok {
+		return true, false
+	}
+	for _, conj := range conjuncts {
+		if conjunctFeasible(conj) {
+			return true, true
+		}
+	}
+	return false, true
+}
+
+// Implies reports whether every event satisfying a also satisfies b, by
+// refuting a ∧ ¬b. exact is false when the solver could not decide; then
+// implies is false (no proof, no claim). A nil b (always true) is implied
+// by everything.
+func Implies(a, b *Cond) (implies, exact bool) {
+	if b == nil {
+		return true, true
+	}
+	sat, exact := And(a, Not(b)).Satisfiable()
+	if !exact {
+		return false, false
+	}
+	return !sat, true
+}
+
+// Overlaps reports whether some event satisfies both conditions. exact is
+// false when undecided; then overlaps is true (conservative).
+func Overlaps(a, b *Cond) (overlaps, exact bool) {
+	return And(a, b).Satisfiable()
+}
+
+// dnf expands the condition into conjuncts of literals, threading the
+// negation flag down. ok is false when the expansion exceeds the bound.
+func dnf(c *Cond, neg bool) ([][]condLiteral, bool) {
+	switch c.Op {
+	case CondCmp:
+		lit := condLiteral{varName: c.Var, cmp: c.Cmp, val: c.Val, num: c.Num, isNum: c.IsNum, neg: neg}
+		if lit.cmp == CmpNe {
+			lit.cmp, lit.neg = CmpEq, !lit.neg
+		}
+		return [][]condLiteral{{lit}}, true
+	case CondNot:
+		return dnf(c.Kids[0], !neg)
+	case CondAnd, CondOr:
+		// Negation swaps the connective (De Morgan).
+		isAnd := (c.Op == CondAnd) != neg
+		if isAnd {
+			acc := [][]condLiteral{{}}
+			for _, k := range c.Kids {
+				kd, ok := dnf(k, neg)
+				if !ok {
+					return nil, false
+				}
+				var next [][]condLiteral
+				for _, a := range acc {
+					for _, b := range kd {
+						merged := make([]condLiteral, 0, len(a)+len(b))
+						merged = append(merged, a...)
+						merged = append(merged, b...)
+						next = append(next, merged)
+						if len(next) > maxDNFConjuncts {
+							return nil, false
+						}
+					}
+				}
+				acc = next
+			}
+			return acc, true
+		}
+		var out [][]condLiteral
+		for _, k := range c.Kids {
+			kd, ok := dnf(k, neg)
+			if !ok {
+				return nil, false
+			}
+			out = append(out, kd...)
+			if len(out) > maxDNFConjuncts {
+				return nil, false
+			}
+		}
+		return out, true
+	default:
+		return nil, false
+	}
+}
+
+// conjunctFeasible decides one conjunct: group literals per dimension and
+// require a feasible mode for each.
+func conjunctFeasible(lits []condLiteral) bool {
+	byVar := map[string][]condLiteral{}
+	for _, l := range lits {
+		byVar[l.varName] = append(byVar[l.varName], l)
+	}
+	for _, group := range byVar {
+		if !varFeasible(group) {
+			return false
+		}
+	}
+	return true
+}
+
+// varFeasible reports whether some value mode of one dimension satisfies
+// all its literals.
+func varFeasible(lits []condLiteral) bool {
+	return absentFeasible(lits) || numericFeasible(lits) || stringFeasible(lits)
+}
+
+// absentFeasible: with the dimension absent every positive comparison is
+// false, every negated one true.
+func absentFeasible(lits []condLiteral) bool {
+	for _, l := range lits {
+		if !l.neg {
+			return false
+		}
+	}
+	return true
+}
+
+// numericFeasible: the dimension carries a value that parses as a number x.
+func numericFeasible(lits []condLiteral) bool {
+	lo, hi := math.Inf(-1), math.Inf(1)
+	loStrict, hiStrict := false, false
+	var required []float64
+	var excluded []float64
+	tightenLo := func(v float64, strict bool) {
+		if v > lo || (v == lo && strict && !loStrict) {
+			lo, loStrict = v, strict
+		}
+	}
+	tightenHi := func(v float64, strict bool) {
+		if v < hi || (v == hi && strict && !hiStrict) {
+			hi, hiStrict = v, strict
+		}
+	}
+	for _, l := range lits {
+		switch l.cmp {
+		case CmpEq:
+			if !l.neg {
+				if !l.isNum {
+					return false // x == "foo" can never hold for numeric x
+				}
+				required = append(required, l.num)
+			} else if l.isNum {
+				excluded = append(excluded, l.num)
+			}
+			// ¬(x == "foo") always holds for numeric x.
+		case CmpLt:
+			if !l.neg {
+				tightenHi(l.num, true)
+			} else {
+				tightenLo(l.num, false)
+			}
+		case CmpLe:
+			if !l.neg {
+				tightenHi(l.num, false)
+			} else {
+				tightenLo(l.num, true)
+			}
+		case CmpGt:
+			if !l.neg {
+				tightenLo(l.num, true)
+			} else {
+				tightenHi(l.num, false)
+			}
+		case CmpGe:
+			if !l.neg {
+				tightenLo(l.num, false)
+			} else {
+				tightenHi(l.num, true)
+			}
+		}
+	}
+	inBounds := func(x float64) bool {
+		if x < lo || (x == lo && loStrict) {
+			return false
+		}
+		if x > hi || (x == hi && hiStrict) {
+			return false
+		}
+		return true
+	}
+	if len(required) > 0 {
+		x := required[0]
+		for _, r := range required[1:] {
+			if r != x {
+				return false
+			}
+		}
+		if !inBounds(x) {
+			return false
+		}
+		for _, e := range excluded {
+			if e == x {
+				return false
+			}
+		}
+		return true
+	}
+	if lo > hi {
+		return false
+	}
+	if lo == hi {
+		if loStrict || hiStrict {
+			return false
+		}
+		for _, e := range excluded {
+			if e == lo {
+				return false
+			}
+		}
+		return true
+	}
+	// A real interval with positive length minus finitely many points is
+	// never empty.
+	return true
+}
+
+// stringFeasible: the dimension carries a value that does NOT parse as a
+// number. Every order comparison is then false.
+func stringFeasible(lits []condLiteral) bool {
+	var required []string
+	var excluded []string
+	for _, l := range lits {
+		switch l.cmp {
+		case CmpEq:
+			if !l.neg {
+				if l.isNum {
+					return false // a non-numeric value never equals a number
+				}
+				required = append(required, l.val)
+			} else if !l.isNum {
+				excluded = append(excluded, l.val)
+			}
+		default: // ordered
+			if !l.neg {
+				return false
+			}
+		}
+	}
+	if len(required) > 0 {
+		v := required[0]
+		for _, r := range required[1:] {
+			if r != v {
+				return false
+			}
+		}
+		if _, err := strconv.ParseFloat(v, 64); err == nil {
+			return false // the required value is numeric; numeric mode owns it
+		}
+		for _, e := range excluded {
+			if e == v {
+				return false
+			}
+		}
+		return true
+	}
+	// Free choice: a fresh non-numeric string outside the finite excluded
+	// set always exists.
+	return true
+}
+
+// ContextCond converts context pins into equality conjuncts over the
+// builtin dimensions, so satisfiability queries can see pattern pins and
+// condition expressions in one formula (a rule whose condition says
+// user == "alice" while its context pins user bob is unsatisfiable).
+func ContextCond(user, category, application string, extra map[string]string) *Cond {
+	var kids []*Cond
+	if user != "" {
+		kids = append(kids, Eq("user", user))
+	}
+	if category != "" {
+		kids = append(kids, Eq("category", category))
+	}
+	if application != "" {
+		kids = append(kids, Eq("application", application))
+	}
+	for k, v := range extra {
+		kids = append(kids, Eq(k, v))
+	}
+	return And(kids...)
+}

@@ -1,0 +1,87 @@
+package ruleanalysis
+
+import (
+	"fmt"
+
+	"repro/internal/event"
+)
+
+// checkDeadRules flags rules that can never fire.
+//
+// Two forms of deadness are decided:
+//
+//   - unsatisfiable: the rule's condition expression conjoined with its
+//     context pins has no model — no event, whatever its context or scope,
+//     can make the rule match. This is an authoring error (severity error):
+//     the rule is installed, pays its dispatch cost, and does nothing.
+//
+//   - unreachable: the rule triggers on External events, but no installed
+//     rule's Emits declaration can produce an External event it matches
+//     (transitively: only emitters that are themselves reachable from a
+//     database-generated event kind count). Database kinds are dispatched
+//     by every data operation, so only External rules can be orphaned this
+//     way. The application may still dispatch External events directly —
+//     the engine cannot rule that out — so this is a warning, not an error.
+//
+// Rules whose condition failed to parse are skipped here; checkCondSyntax
+// already reports them as errors and nothing sound can be concluded.
+func checkDeadRules(g *TriggerGraph, rules []analyzedRule) []Finding {
+	var fs []Finding
+	unsat := make([]bool, len(rules))
+	for i := range rules {
+		r := &rules[i]
+		if r.condErr != nil {
+			continue
+		}
+		if sat, exact := r.full.Satisfiable(); exact && !sat {
+			unsat[i] = true
+			fs = append(fs, Finding{
+				Check:    CheckDeadRule,
+				Severity: SeverityError,
+				Rules:    []string{r.Name},
+				Pos:      r.Pos,
+				Message: fmt.Sprintf(
+					"rule %q can never fire: condition %q is unsatisfiable together with its context pins",
+					r.Name, r.Cond),
+			})
+		}
+	}
+
+	// Reachability: roots are the live rules triggered by database event
+	// kinds; edges propagate through live emitters only (a provably dead
+	// rule never runs its reaction, so its declared emissions never happen).
+	reach := make([]bool, len(rules))
+	var queue []int
+	for i := range rules {
+		if rules[i].On != event.External && !unsat[i] {
+			reach[i] = true
+			queue = append(queue, i)
+		}
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range g.Edges[v] {
+			if !reach[w] && !unsat[w] {
+				reach[w] = true
+				queue = append(queue, w)
+			}
+		}
+	}
+	for i := range rules {
+		r := &rules[i]
+		if r.On != event.External || reach[i] || unsat[i] {
+			continue
+		}
+		fs = append(fs, Finding{
+			Check:    CheckDeadRule,
+			Severity: SeverityWarning,
+			Rules:    []string{r.Name},
+			Pos:      r.Pos,
+			Message: fmt.Sprintf(
+				"rule %q on External events is unreachable: no live rule's Emits can produce an event it matches; it fires only if the application dispatches one directly",
+				r.Name),
+		})
+	}
+	return fs
+}

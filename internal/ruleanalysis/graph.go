@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"repro/internal/event"
 )
 
 // This file builds the triggering graph and reports its cycles as
@@ -23,13 +25,19 @@ type TriggerGraph struct {
 
 // BuildTriggerGraph constructs the triggering graph over the rule set.
 func BuildTriggerGraph(rules []RuleInfo) *TriggerGraph {
+	return buildTriggerGraph(rules, analyzeRules(rules))
+}
+
+// buildTriggerGraph is the analyzed-rule core of BuildTriggerGraph; ar must
+// be analyzeRules(rules).
+func buildTriggerGraph(rules []RuleInfo, ar []analyzedRule) *TriggerGraph {
 	g := &TriggerGraph{Rules: rules, Edges: make([][]int, len(rules))}
-	for i := range rules {
-		if len(rules[i].Emits) == 0 {
+	for i := range ar {
+		if len(ar[i].Emits) == 0 {
 			continue
 		}
-		for j := range rules {
-			if g.canTrigger(&rules[i], &rules[j]) {
+		for j := range ar {
+			if canTrigger(&ar[i], &ar[j]) {
 				g.Edges[i] = append(g.Edges[i], j)
 			}
 		}
@@ -38,10 +46,14 @@ func BuildTriggerGraph(rules []RuleInfo) *TriggerGraph {
 }
 
 // canTrigger reports whether one of from's declared emissions can match
-// to's event pattern. The receiving rule's scope has no event-name pin, so
-// a pattern's Name never excludes an edge; a When predicate on the receiver
-// is opaque and treated as satisfiable.
-func (g *TriggerGraph) canTrigger(from, to *RuleInfo) bool {
+// to's event pattern. A When predicate on the receiver is opaque and
+// treated as satisfiable; a condition expression is not — the edge is
+// pruned when the receiver's formula, under the emitted event's known
+// dimensions (from's context pins, preserved by the cascade, plus the emit
+// pattern's scope/name pins), is provably unsatisfiable. from's own
+// condition is NOT assumed: it constrains the triggering event's scope
+// fields, which the emitted event does not inherit.
+func canTrigger(from, to *analyzedRule) bool {
 	for _, p := range from.Emits {
 		if p.Kind != to.On {
 			continue
@@ -54,15 +66,41 @@ func (g *TriggerGraph) canTrigger(from, to *RuleInfo) bool {
 		if !contextsOverlap(from.Context, to.Context) {
 			continue
 		}
+		if to.cond != nil && to.condErr == nil {
+			emitted := And(
+				ContextCond(from.Context.User, from.Context.Category, from.Context.Application, from.Context.Extra),
+				patternCond(p))
+			if sat, exact := And(emitted, to.full).Satisfiable(); exact && !sat {
+				continue
+			}
+		}
 		return true
 	}
 	return false
 }
 
+// patternCond converts an emit pattern's pins into equality conjuncts over
+// the event-scope dimensions a condition expression can reference.
+func patternCond(p event.Pattern) *Cond {
+	var kids []*Cond
+	if p.Schema != "" {
+		kids = append(kids, Eq("schema", p.Schema))
+	}
+	if p.Class != "" {
+		kids = append(kids, Eq("class", p.Class))
+	}
+	if p.Attr != "" {
+		kids = append(kids, Eq("attr", p.Attr))
+	}
+	if p.Name != "" {
+		kids = append(kids, Eq("name", p.Name))
+	}
+	return And(kids...)
+}
+
 // checkCycles reports every strongly connected component with a cycle as a
 // non-termination finding carrying one concrete rule path through it.
-func checkCycles(rules []RuleInfo) []Finding {
-	g := BuildTriggerGraph(rules)
+func checkCycles(g *TriggerGraph) []Finding {
 	var fs []Finding
 	for _, scc := range g.sccs() {
 		if len(scc) == 1 && !g.hasEdge(scc[0], scc[0]) {

@@ -33,6 +33,7 @@
 package ruleanalysis
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"sort"
@@ -96,6 +97,20 @@ func (s Severity) MarshalJSON() ([]byte, error) {
 	return []byte(fmt.Sprintf("%q", s.String())), nil
 }
 
+// UnmarshalJSON parses a severity name, so archived lint output reloads.
+func (s *Severity) UnmarshalJSON(data []byte) error {
+	var name string
+	if err := json.Unmarshal(data, &name); err != nil {
+		return err
+	}
+	parsed, ok := ParseSeverity(name)
+	if !ok {
+		return fmt.Errorf("unknown severity %q", name)
+	}
+	*s = parsed
+	return nil
+}
+
 // ParseSeverity resolves a severity name.
 func ParseSeverity(name string) (Severity, bool) {
 	switch name {
@@ -117,6 +132,8 @@ const (
 	CheckShadowing        = "shadowing"
 	CheckDuplicateContext = "duplicate-context"
 	CheckConflict         = "conflict"
+	CheckDeadRule         = "dead-rule"
+	CheckCondSyntax       = "cond-syntax"
 )
 
 // Finding is one diagnostic produced by the analyzer.
@@ -159,8 +176,13 @@ type RuleInfo struct {
 	Context event.Context `json:"context"`
 	// Priority breaks specificity ties.
 	Priority int `json:"priority,omitempty"`
-	// HasWhen marks an opaque extra predicate; findings involving such a
-	// rule are downgraded to warnings.
+	// Cond is the rule's declared condition expression (see ParseCond),
+	// empty for none. Unlike the opaque When flag, a Cond is fully
+	// analyzable: the ambiguity/shadowing/dead-rule checks reason about
+	// its satisfiability instead of falling back to shape overlap.
+	Cond string `json:"cond,omitempty"`
+	// HasWhen marks an opaque extra predicate beyond Cond; findings whose
+	// truth depends on one are downgraded to warnings.
 	HasWhen bool `json:"when,omitempty"`
 	// Emits declares the event patterns the rule's reaction may emit —
 	// the triggering-graph edges out of this rule.
@@ -202,11 +224,60 @@ func (r *RuleInfo) specificity() int {
 func CheckRules(rules []RuleInfo) []Finding {
 	rs := append([]RuleInfo(nil), rules...)
 	sort.Slice(rs, func(i, j int) bool { return rs[i].Name < rs[j].Name })
+	ar := analyzeRules(rs)
+	g := buildTriggerGraph(rs, ar)
 	var fs []Finding
-	fs = append(fs, checkAmbiguity(rs)...)
-	fs = append(fs, checkShadowing(rs)...)
-	fs = append(fs, checkCycles(rs)...)
+	fs = append(fs, checkCondSyntax(ar)...)
+	fs = append(fs, checkAmbiguity(ar)...)
+	fs = append(fs, checkShadowing(ar)...)
+	fs = append(fs, checkCycles(g)...)
+	fs = append(fs, checkDeadRules(g, ar)...)
 	Sort(fs)
+	return fs
+}
+
+// analyzedRule pairs a rule with its parsed condition and the conjunction
+// of that condition with the rule's context pins — the formula describing
+// exactly the events the rule can match (modulo any opaque When).
+type analyzedRule struct {
+	*RuleInfo
+	cond    *Cond
+	condErr error
+	// full is cond ∧ context pins.
+	full *Cond
+}
+
+func analyzeRules(rules []RuleInfo) []analyzedRule {
+	out := make([]analyzedRule, len(rules))
+	for i := range rules {
+		r := &rules[i]
+		a := analyzedRule{RuleInfo: r}
+		if r.Cond != "" {
+			a.cond, a.condErr = ParseCond(r.Cond)
+		}
+		a.full = And(a.cond, ContextCond(r.Context.User, r.Context.Category, r.Context.Application, r.Context.Extra))
+		out[i] = a
+	}
+	return out
+}
+
+// checkCondSyntax reports unparsable condition expressions; the other
+// checks then treat such a rule's condition as opaque (like a When).
+func checkCondSyntax(rules []analyzedRule) []Finding {
+	var fs []Finding
+	for i := range rules {
+		r := &rules[i]
+		if r.condErr == nil {
+			continue
+		}
+		fs = append(fs, Finding{
+			Check:    CheckCondSyntax,
+			Severity: SeverityError,
+			Rules:    []string{r.Name},
+			Pos:      r.Pos,
+			Message:  fmt.Sprintf("rule %q has an unparsable condition %q: %v", r.Name, r.Cond, r.condErr),
+		})
+	}
 	return fs
 }
 

@@ -193,11 +193,12 @@ func TestCycleDetection(t *testing.T) {
 		}
 	}
 
-	// Self-loop.
+	// Self-loop: a cycle, and — with no database-kind rule feeding it — an
+	// unreachable External rule too.
 	fs = CheckRules([]RuleInfo{
 		reaction("loop", event.External, event.Pattern{Kind: event.External}),
 	})
-	if len(fs) != 1 || fs[0].Check != CheckCycle {
+	if got := findChecks(fs); len(got) != 2 || got[0] != CheckCycle || got[1] != CheckDeadRule {
 		t.Fatalf("self-loop findings = %+v", fs)
 	}
 
@@ -224,11 +225,12 @@ func TestCycleDetection(t *testing.T) {
 		t.Error("edge a -> b should be pruned by disjoint contexts")
 	}
 
-	// A When on the path downgrades to warning.
+	// A When on the path downgrades the cycle to warning (the dead-rule
+	// warning rides along as in the unguarded self-loop).
 	guarded := reaction("guarded", event.External, event.Pattern{Kind: event.External})
 	guarded.HasWhen = true
 	fs = CheckRules([]RuleInfo{guarded})
-	if len(fs) != 1 || fs[0].Severity != SeverityWarning {
+	if got := findChecks(fs); len(got) != 2 || got[0] != CheckCycle || fs[0].Severity != SeverityWarning {
 		t.Fatalf("guarded cycle: findings = %+v", fs)
 	}
 }

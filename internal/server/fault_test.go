@@ -24,6 +24,7 @@ type slowBackend struct {
 }
 
 func (b *slowBackend) GetSchema(ctx event.Context, schema string) (geodb.SchemaInfo, *spec.Customization, error) {
+	//vet:ignore testleak -- the delay is the fixture: a deliberately slow backend
 	time.Sleep(b.delay)
 	return b.DirectBackend.GetSchema(ctx, schema)
 }
@@ -101,6 +102,7 @@ func TestGracefulShutdownDrainsInFlight(t *testing.T) {
 		}
 		inflight <- r
 	}()
+	//vet:ignore testleak -- parks the request in the slow backend before Shutdown is called; that overlap is the scenario
 	time.Sleep(60 * time.Millisecond) // request is now sleeping in the backend
 
 	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
@@ -141,6 +143,7 @@ func TestShutdownTimeoutForcesClose(t *testing.T) {
 	defer cliConn.Close()
 
 	go proto.WriteMessage(cliConn, proto.Request{ID: 1, Op: proto.OpGetSchema, Schema: "s"})
+	//vet:ignore testleak -- lets the request land in the backend so Shutdown has something to time out on
 	time.Sleep(50 * time.Millisecond)
 
 	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
@@ -287,6 +290,7 @@ func TestServeBackpressureUnblocksOnShutdown(t *testing.T) {
 	if resp := rawExchange(t, conn, proto.Request{ID: 1, Op: proto.OpStats}); resp.Err != "" {
 		t.Fatal(resp.Err)
 	}
+	//vet:ignore testleak -- lets Serve park on the connection cap before Shutdown unblocks it
 	time.Sleep(50 * time.Millisecond) // Serve is now parked on the cap
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 	defer cancel()

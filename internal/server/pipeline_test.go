@@ -169,6 +169,7 @@ func TestPipelinedGracefulDrain(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+	//vet:ignore testleak -- lets the pipelined requests reach the worker pool before the drain begins
 	time.Sleep(40 * time.Millisecond) // requests are now in the worker pool
 
 	drained := make(chan map[uint64]proto.Response, 1)

@@ -176,7 +176,7 @@ func (s *Server) register(conn net.Conn) *connState {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed || s.draining {
-		conn.Close()
+		_ = conn.Close()
 		return nil
 	}
 	st := &connState{}
@@ -187,7 +187,7 @@ func (s *Server) register(conn net.Conn) *connState {
 }
 
 func (s *Server) unregister(conn net.Conn) {
-	conn.Close()
+	_ = conn.Close()
 	s.mu.Lock()
 	if _, ok := s.conns[conn]; ok {
 		delete(s.conns, conn)
@@ -281,7 +281,7 @@ func (s *Server) closeLocked() error {
 		err = s.listener.Close()
 	}
 	for c := range s.conns {
-		c.Close()
+		_ = c.Close()
 	}
 	s.cond.Broadcast()
 	return err
@@ -302,13 +302,13 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	if !alreadyDraining {
 		mDrains.Inc()
 		if s.listener != nil {
-			s.listener.Close()
+			_ = s.listener.Close()
 		}
 		// Idle connections are between requests: nothing to drain, close
 		// them now. Busy ones close themselves after their responses.
 		for c, st := range s.conns {
 			if st.inflight == 0 {
-				c.Close()
+				_ = c.Close()
 			}
 		}
 		s.cond.Broadcast() // unpark Serve's backpressure wait
@@ -578,7 +578,7 @@ func (s *Server) requestDone(conn net.Conn, st *connState) {
 	s.cond.Broadcast()
 	s.mu.Unlock()
 	if closeNow {
-		conn.Close()
+		_ = conn.Close()
 	}
 }
 

@@ -125,6 +125,7 @@ func TestCloseUnblocksServe(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer conn.Close()
+	//vet:ignore testleak -- lets the accept loop pick up the conn before Close tears it down
 	time.Sleep(20 * time.Millisecond)
 	if err := srv.Close(); err != nil {
 		t.Fatal(err)

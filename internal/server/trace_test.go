@@ -133,6 +133,7 @@ type stallBackend struct {
 
 func (b *stallBackend) GetSchema(ctx event.Context, schema string) (geodb.SchemaInfo, *spec.Customization, error) {
 	if ctx.User == "slowpoke" {
+		//vet:ignore testleak -- the stall is the fixture: slowpoke requests must outlast the fast ones
 		time.Sleep(b.delay)
 	}
 	return b.DirectBackend.GetSchema(ctx, schema)

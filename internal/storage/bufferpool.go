@@ -250,7 +250,7 @@ func (b *BufferPool) Flush() error {
 // Close flushes dirty pages (shards in index order) and closes the pager.
 func (b *BufferPool) Close() error {
 	if err := b.Flush(); err != nil {
-		b.pager.Close()
+		_ = b.pager.Close()
 		return err
 	}
 	return b.pager.Close()

@@ -1,0 +1,127 @@
+package vet
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"repro/internal/ruleanalysis"
+)
+
+// AtomicMix flags a variable or struct field that one part of a package
+// accesses through sync/atomic and another part reads or writes plainly.
+// Mixing the two silently forfeits every guarantee the atomic side was
+// written for: the plain load can tear, race, or be hoisted by the
+// compiler. The fix is to route every access through sync/atomic (or an
+// atomic.Int64-style typed wrapper, which makes the mix impossible).
+var AtomicMix = &Analyzer{
+	Name:     "atomicmix",
+	Doc:      "same variable accessed both via sync/atomic and by plain load/store",
+	Severity: ruleanalysis.SeverityError,
+	Run:      runAtomicMix,
+}
+
+func runAtomicMix(p *Pass) {
+	// Pass 1: every &x handed to a sync/atomic call marks x's object as
+	// atomically accessed; the argument node is remembered so pass 2 does
+	// not count the atomic access itself as a plain one.
+	atomicObjs := map[types.Object]token.Pos{} // object -> first atomic use
+	atomicArgs := []ast.Node{}                 // &x nodes inside atomic calls
+	for _, f := range p.Unit.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || p.PkgNameOf(sel.X) != "sync/atomic" {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := arg.(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				obj := p.addressedObject(un.X)
+				if obj == nil {
+					continue
+				}
+				if _, seen := atomicObjs[obj]; !seen {
+					atomicObjs[obj] = un.Pos()
+				}
+				atomicArgs = append(atomicArgs, un)
+			}
+			return true
+		})
+	}
+	if len(atomicObjs) == 0 {
+		return
+	}
+	within := func(pos token.Pos) bool {
+		for _, n := range atomicArgs {
+			if n.Pos() <= pos && pos < n.End() {
+				return true
+			}
+		}
+		return false
+	}
+	// Pass 2: any other mention of those objects is a plain access. Taking
+	// the address again (&x for a later atomic call elsewhere, or passing
+	// the address around) is exempted by the argument ranges above only
+	// when it feeds sync/atomic directly — a stored-away pointer is still
+	// reported, conservatively, because the analyzer cannot see its uses.
+	type plain struct {
+		obj  types.Object
+		pos  token.Pos
+		name string
+	}
+	var plains []plain
+	for _, f := range p.Unit.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := p.ObjectOf(id)
+			if obj == nil {
+				return true
+			}
+			if _, tracked := atomicObjs[obj]; !tracked {
+				return true
+			}
+			if obj.Pos() == id.Pos() {
+				return true // the declaration site is not an access
+			}
+			if within(id.Pos()) {
+				return true
+			}
+			plains = append(plains, plain{obj, id.Pos(), id.Name})
+			return true
+		})
+	}
+	sort.Slice(plains, func(i, j int) bool { return plains[i].pos < plains[j].pos })
+	for _, pl := range plains {
+		p.Reportf(pl.pos,
+			"%s is accessed with sync/atomic elsewhere in this package (first at %s); this plain access races with it",
+			pl.name, p.Position(atomicObjs[pl.obj]))
+	}
+}
+
+// addressedObject resolves the operand of & to the variable or field
+// object being addressed.
+func (p *Pass) addressedObject(e ast.Expr) types.Object {
+	switch x := e.(type) {
+	case *ast.Ident:
+		if v, ok := p.ObjectOf(x).(*types.Var); ok {
+			return v
+		}
+	case *ast.SelectorExpr:
+		if v, ok := p.ObjectOf(x.Sel).(*types.Var); ok {
+			return v
+		}
+	case *ast.IndexExpr:
+		return p.addressedObject(x.X)
+	}
+	return nil
+}

@@ -1,0 +1,114 @@
+package vet
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/ruleanalysis"
+)
+
+// ErrDrop flags silently discarded errors from the durability-critical
+// close/flush family in library packages. A WAL Sync whose error vanishes
+// is a torn-write waiting to be discovered at recovery time, so:
+//
+//   - a bare statement `x.Close()` / `x.Sync()` / `x.Flush()` /
+//     `x.Checkpoint()` whose result includes an error is flagged;
+//   - `defer x.Sync()` (and Flush/Checkpoint) is flagged — the deferred
+//     error is structurally unobservable; call it before returning;
+//   - `defer x.Close()` is allowed (the idiomatic read-path cleanup), as
+//     is an explicit `_ = x.Close()`, which documents the decision.
+//
+// cmd/ and examples/ front-ends and _test.go files are exempt: they trade
+// rigor for brevity and their failures surface directly.
+var ErrDrop = &Analyzer{
+	Name:     "errdrop",
+	Doc:      "discarded errors from Close/Sync/Flush/Checkpoint in library packages",
+	Severity: ruleanalysis.SeverityError,
+	Run:      runErrDrop,
+}
+
+// errDropNames is the method family whose errors must not be dropped.
+var errDropNames = map[string]bool{
+	"Close": true, "Sync": true, "Flush": true, "Checkpoint": true,
+}
+
+// errDropDeferred is the subset still flagged under defer.
+var errDropDeferred = map[string]bool{
+	"Sync": true, "Flush": true, "Checkpoint": true,
+}
+
+func runErrDrop(p *Pass) {
+	if p.InCommandDir() {
+		return
+	}
+	for _, f := range p.Unit.Files {
+		if p.IsTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.ExprStmt:
+				if name, ok := p.droppedErrCall(st.X); ok {
+					p.Reportf(st.Pos(),
+						"error from %s is discarded; check it or assign to _ to document the drop", name)
+				}
+			case *ast.DeferStmt:
+				if name, ok := p.droppedErrCall(st.Call); ok && errDropDeferred[callName(st.Call)] {
+					p.Reportf(st.Pos(),
+						"defer discards the error from %s; call it before returning and check the result", name)
+				}
+				return false // the call itself is handled above; don't re-flag
+			case *ast.GoStmt:
+				return false // a goroutine's call result is not observable here
+			}
+			return true
+		})
+	}
+}
+
+// callName extracts the bare called name from a call, or "".
+func callName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	case *ast.Ident:
+		return fun.Name
+	}
+	return ""
+}
+
+// droppedErrCall reports whether e is a call to a Close/Sync/Flush/
+// Checkpoint returning an error, along with a printable name for it.
+func (p *Pass) droppedErrCall(e ast.Expr) (string, bool) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok || !errDropNames[callName(call)] {
+		return "", false
+	}
+	if !resultsIncludeError(p.TypeOf(call)) {
+		return "", false
+	}
+	return types.ExprString(call.Fun), true
+}
+
+// resultsIncludeError reports whether a call's result type carries an
+// error (as the single result or a tuple component).
+func resultsIncludeError(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if tup, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tup.Len(); i++ {
+			if isErrorType(tup.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	}
+	return isErrorType(t)
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Identical(t, errorType)
+}

@@ -1,0 +1,330 @@
+// Package vet is the project-specific static analysis framework: a
+// stdlib-only (go/ast + go/types + go/importer) multi-analyzer driver for
+// the concurrency and hygiene invariants this repo relies on but go vet
+// does not check — locks held across blocking calls, mixed atomic/plain
+// access, dropped durability errors, leaky test goroutines, and the
+// library-must-not-print rule the old repovet grep enforced.
+//
+// The framework reuses the position/severity/finding model of
+// internal/ruleanalysis, so rule-set lint (gislint) and code lint
+// (repovet) share reporters, JSON output and the
+// gis_lint_findings_total{check} metric.
+package vet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Unit is one type-checked batch of files that analyzers run over: a
+// package's library files augmented with its in-package test files, or an
+// external _test package. Units are what Pass exposes.
+type Unit struct {
+	// Dir is the unit's directory relative to the analysis root, in slash
+	// form ("." for the root itself).
+	Dir string
+	// PkgPath is the import path the unit was checked under.
+	PkgPath string
+	// Files are the parsed files belonging to this unit, in file-name order.
+	Files []*ast.File
+	// Pkg and Info carry the go/types results. Info is always non-nil;
+	// lookups must tolerate missing entries when TypeErrors is non-empty.
+	Pkg  *types.Package
+	Info *types.Info
+	// Test marks a unit that includes _test.go files.
+	Test bool
+	// TypeErrors collects type-check diagnostics; analysis proceeds on the
+	// partial information go/types still provides.
+	TypeErrors []error
+}
+
+// Loader parses and type-checks a source tree rooted at a directory,
+// resolving stdlib imports from source (go/importer "source" compiler) and
+// module-internal imports against the tree's own go.mod.
+type Loader struct {
+	Fset   *token.FileSet
+	root   string
+	module string // module path from go.mod, "" when absent
+
+	std     types.ImporterFrom
+	pkgs    map[string]*types.Package // module-internal import cache
+	loading map[string]bool           // cycle guard
+}
+
+// disableCgo makes the source importer use the pure-Go fallbacks for
+// packages like net and os/user; the analysis container has no C toolchain
+// and the analyzers do not care which implementation is selected.
+var disableCgo sync.Once
+
+// NewLoader prepares a loader for the tree rooted at root.
+func NewLoader(root string) (*Loader, error) {
+	disableCgo.Do(func() { build.Default.CgoEnabled = false })
+	abs, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	if st, err := os.Stat(abs); err != nil || !st.IsDir() {
+		return nil, fmt.Errorf("vet: root %s is not a directory", root)
+	}
+	fset := token.NewFileSet()
+	l := &Loader{
+		Fset:    fset,
+		root:    abs,
+		module:  readModulePath(filepath.Join(abs, "go.mod")),
+		pkgs:    map[string]*types.Package{},
+		loading: map[string]bool{},
+	}
+	std, ok := importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	if !ok {
+		return nil, fmt.Errorf("vet: source importer unavailable")
+	}
+	l.std = std
+	return l, nil
+}
+
+// readModulePath extracts the module path from a go.mod file, or "".
+func readModulePath(path string) string {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest)
+		}
+	}
+	return ""
+}
+
+// Load walks the tree and returns the type-checked units in directory
+// order. Directories named testdata or vendor, and hidden or underscore
+// directories, are skipped — the same set the go tool ignores.
+func (l *Loader) Load() ([]*Unit, error) {
+	var dirs []string
+	err := filepath.WalkDir(l.root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != l.root &&
+			(name == "testdata" || name == "vendor" ||
+				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		dirs = append(dirs, path)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var units []*Unit
+	for _, dir := range dirs {
+		us, err := l.loadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		units = append(units, us...)
+	}
+	return units, nil
+}
+
+// goFiles lists the .go file names in dir, sorted, split into library and
+// test files.
+func goFiles(dir string) (lib, test []string, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		if strings.HasSuffix(name, "_test.go") {
+			test = append(test, name)
+		} else {
+			lib = append(lib, name)
+		}
+	}
+	sort.Strings(lib)
+	sort.Strings(test)
+	return lib, test, nil
+}
+
+// loadDir type-checks one directory into zero, one or two units: the
+// package (library files plus in-package test files) and, when present,
+// the external _test package.
+func (l *Loader) loadDir(dir string) ([]*Unit, error) {
+	libNames, testNames, err := goFiles(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(libNames)+len(testNames) == 0 {
+		return nil, nil
+	}
+	parse := func(names []string) ([]*ast.File, error) {
+		var out []*ast.File
+		for _, name := range names {
+			f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("vet: %v", err)
+			}
+			out = append(out, f)
+		}
+		return out, nil
+	}
+	libFiles, err := parse(libNames)
+	if err != nil {
+		return nil, err
+	}
+	testFiles, err := parse(testNames)
+	if err != nil {
+		return nil, err
+	}
+	pkgName := ""
+	if len(libFiles) > 0 {
+		pkgName = libFiles[0].Name.Name
+	} else if len(testFiles) > 0 {
+		pkgName = strings.TrimSuffix(testFiles[0].Name.Name, "_test")
+	}
+	var inTest, extTest []*ast.File
+	for _, f := range testFiles {
+		if f.Name.Name == pkgName {
+			inTest = append(inTest, f)
+		} else {
+			extTest = append(extTest, f)
+		}
+	}
+	rel, err := filepath.Rel(l.root, dir)
+	if err != nil {
+		return nil, err
+	}
+	rel = filepath.ToSlash(rel)
+	path := l.importPath(rel)
+	var units []*Unit
+	if len(libFiles)+len(inTest) > 0 {
+		u := l.check(path, rel, append(append([]*ast.File{}, libFiles...), inTest...))
+		u.Test = len(inTest) > 0
+		units = append(units, u)
+	}
+	if len(extTest) > 0 {
+		u := l.check(path+"_test", rel, extTest)
+		u.Test = true
+		units = append(units, u)
+	}
+	return units, nil
+}
+
+// importPath maps a root-relative directory to its import path.
+func (l *Loader) importPath(rel string) string {
+	switch {
+	case l.module == "":
+		return rel
+	case rel == ".":
+		return l.module
+	default:
+		return l.module + "/" + rel
+	}
+}
+
+// check runs go/types over one unit's files, collecting rather than
+// failing on type errors so analyzers always get a unit to work with.
+func (l *Loader) check(path, rel string, files []*ast.File) *Unit {
+	u := &Unit{Dir: rel, PkgPath: path, Files: files, Info: newInfo()}
+	conf := types.Config{
+		Importer: l,
+		Error:    func(err error) { u.TypeErrors = append(u.TypeErrors, err) },
+	}
+	u.Pkg, _ = conf.Check(path, l.Fset, files, u.Info)
+	return u
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+}
+
+// Import implements types.Importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, l.root, 0)
+}
+
+// ImportFrom implements types.ImporterFrom: module-internal import paths
+// resolve against the analysis root's own tree (library files only, the
+// way another package sees it); everything else goes to the source-based
+// stdlib importer.
+func (l *Loader) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if l.module != "" && (path == l.module || strings.HasPrefix(path, l.module+"/")) {
+		return l.importModulePkg(path)
+	}
+	return l.std.ImportFrom(path, dir, mode)
+}
+
+// importModulePkg type-checks a package inside the analyzed module,
+// caching the result so diamond imports share one *types.Package.
+func (l *Loader) importModulePkg(path string) (*types.Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("vet: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	rel := "."
+	if path != l.module {
+		rel = strings.TrimPrefix(path, l.module+"/")
+	}
+	dir := filepath.Join(l.root, filepath.FromSlash(rel))
+	libNames, _, err := goFiles(dir)
+	if err != nil || len(libNames) == 0 {
+		return nil, fmt.Errorf("vet: cannot resolve import %q under %s: %v", path, l.root, err)
+	}
+	var files []*ast.File
+	for _, name := range libNames {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	var firstErr error
+	conf := types.Config{
+		Importer: l,
+		Error: func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		},
+	}
+	pkg, err := conf.Check(path, l.Fset, files, newInfo())
+	if err != nil && firstErr == nil {
+		firstErr = err
+	}
+	if pkg == nil {
+		return nil, firstErr
+	}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}

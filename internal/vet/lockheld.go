@@ -1,0 +1,288 @@
+package vet
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/ruleanalysis"
+)
+
+// LockHeld flags blocking calls made while a sync.Mutex or sync.RWMutex is
+// held. A critical section that does file IO, network IO, a durability
+// sync, a channel operation or a bare sleep serializes every other
+// contender behind the slowest device in the system — the exact shape of
+// the commitDurable regression this analyzer was seeded from, where a
+// per-commit fsync ran under the database lock.
+//
+// Detection is intra-procedural and source-ordered:
+//
+//   - x.mu.Lock()/RLock() marks the lock held; Unlock/RUnlock releases
+//     it; defer x.mu.Unlock() keeps it held to the end of the function;
+//   - a function whose name ends in "Locked" is assumed to run with its
+//     caller's lock held (the repo-wide naming convention);
+//   - while anything is held, these calls are flagged: methods named Sync
+//     or Checkpoint (the durability family), *os.File read/write methods,
+//     methods on net types and calls into package net, time.Sleep,
+//     WaitGroup.Wait and Cond.Wait, channel sends/receives, and select
+//     statements without a default.
+//
+// Function literals are scanned as their own scope (a goroutine body does
+// not inherit the spawner's critical section), and deferred calls are not
+// flagged (they run at return, where the defer stack ordering decides).
+// The walk approximates straight-line flow, so a lock released on one
+// branch is treated as released for the remainder — intentional cases
+// carry a //vet:ignore with the reason.
+var LockHeld = &Analyzer{
+	Name:     "lockheld",
+	Doc:      "mutex held across blocking calls (file/net IO, sync, channels, sleep)",
+	Severity: ruleanalysis.SeverityError,
+	Run:      runLockHeld,
+}
+
+// callerLockKey is the synthetic held-lock entry for *Locked functions.
+const callerLockKey = "the caller's lock (Locked-suffix convention)"
+
+func runLockHeld(p *Pass) {
+	for _, f := range p.Unit.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			lh := &lockHeld{pass: p}
+			if n := fn.Name.Name; len(n) > len("Locked") && hasSuffix(n, "Locked") {
+				lh.held(callerLockKey, fn.Pos())
+			}
+			lh.scan(fn.Body)
+			for _, lit := range lh.pending {
+				inner := &lockHeld{pass: p}
+				inner.scan(lit.Body)
+			}
+		}
+	}
+}
+
+func hasSuffix(s, suf string) bool {
+	return len(s) >= len(suf) && s[len(s)-len(suf):] == suf
+}
+
+// lockHeld is the per-function scan state.
+type lockHeld struct {
+	pass *Pass
+	// locks maps a lock expression (rendered source, e.g. "w.mu") to its
+	// acquisition position; non-empty means "inside a critical section".
+	locks map[string]token.Pos
+	// pending collects function literals for independent scanning.
+	pending []*ast.FuncLit
+}
+
+func (lh *lockHeld) held(key string, pos token.Pos) {
+	if lh.locks == nil {
+		lh.locks = map[string]token.Pos{}
+	}
+	lh.locks[key] = pos
+}
+
+// holder returns one held lock's name, preferring real locks over the
+// synthetic caller entry, or "" when none is held.
+func (lh *lockHeld) holder() string {
+	name := ""
+	for k := range lh.locks {
+		if k != callerLockKey {
+			return k
+		}
+		name = k
+	}
+	return name
+}
+
+// scan walks a body in source order, tracking lock state.
+func (lh *lockHeld) scan(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			lh.pending = append(lh.pending, x)
+			return false
+		case *ast.DeferStmt:
+			// defer mu.Unlock() keeps the lock to function end; any other
+			// deferred work runs at return and is not flagged here, but
+			// closures inside still get their own scan.
+			ast.Inspect(x.Call, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					lh.pending = append(lh.pending, lit)
+					return false
+				}
+				return true
+			})
+			return false
+		case *ast.CallExpr:
+			lh.call(x)
+		case *ast.SendStmt:
+			if name := lh.holder(); name != "" {
+				lh.pass.Reportf(x.Pos(), "%s is held across a channel send; move the send outside the critical section", name)
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				if name := lh.holder(); name != "" {
+					lh.pass.Reportf(x.Pos(), "%s is held across a channel receive; move the receive outside the critical section", name)
+				}
+			}
+		case *ast.SelectStmt:
+			if name := lh.holder(); name != "" && !selectHasDefault(x) {
+				lh.pass.Reportf(x.Pos(), "%s is held across a blocking select; move it outside the critical section", name)
+				return false // don't double-report the comm clauses
+			}
+		case *ast.RangeStmt:
+			if name := lh.holder(); name != "" {
+				if t := lh.pass.TypeOf(x.X); t != nil {
+					if _, ok := t.Underlying().(*types.Chan); ok {
+						lh.pass.Reportf(x.Pos(), "%s is held across a channel range loop; the loop blocks until the channel closes", name)
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// call updates lock state for Lock/Unlock and reports blocking calls made
+// inside a critical section.
+func (lh *lockHeld) call(call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	if lh.pass.isSyncLocker(sel) {
+		key := types.ExprString(sel.X)
+		switch sel.Sel.Name {
+		case "Lock", "RLock":
+			lh.held(key, call.Pos())
+		case "Unlock", "RUnlock":
+			delete(lh.locks, key)
+		}
+		return
+	}
+	name := lh.holder()
+	if name == "" {
+		return
+	}
+	if what, ok := lh.pass.blockingCall(call, sel); ok {
+		lh.pass.Reportf(call.Pos(),
+			"%s is held across %s; shrink the critical section or move the blocking work out of it",
+			name, what)
+	}
+}
+
+// selectHasDefault reports whether a select statement has a default
+// clause (making it non-blocking).
+func selectHasDefault(sel *ast.SelectStmt) bool {
+	for _, c := range sel.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// isSyncLocker reports whether sel is a Lock/RLock/Unlock/RUnlock method
+// on a sync.Mutex or sync.RWMutex.
+func (p *Pass) isSyncLocker(sel *ast.SelectorExpr) bool {
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return false
+	}
+	t := deref(p.TypeOf(sel.X))
+	return namedFrom(t, "sync", "Mutex") || namedFrom(t, "sync", "RWMutex")
+}
+
+// netBlockingMethods are the methods on net types that wait on the wire.
+// Deadline setters, address accessors and Close are bookkeeping: holding a
+// lock across them is normal (Close under a lock is how connections are
+// fenced against concurrent use).
+var netBlockingMethods = map[string]bool{
+	"Read": true, "Write": true, "ReadFrom": true, "WriteTo": true,
+	"Accept": true, "AcceptTCP": true, "ReadMsgUDP": true, "WriteMsgUDP": true,
+}
+
+// blockingCall classifies a call made under a lock, returning a
+// description when it belongs to the blocking set.
+//
+// sync.Cond.Wait is deliberately NOT in the set: Wait atomically releases
+// the associated lock while parked, so holding that lock at the call is
+// the required usage, not a defect.
+func (p *Pass) blockingCall(call *ast.CallExpr, sel *ast.SelectorExpr) (string, bool) {
+	callStr := types.ExprString(call.Fun)
+	// Package-level calls: time.Sleep and the dial/listen/lookup family.
+	switch p.PkgNameOf(sel.X) {
+	case "time":
+		if sel.Sel.Name == "Sleep" {
+			return "time.Sleep", true
+		}
+		return "", false
+	case "net":
+		if hasPrefix(sel.Sel.Name, "Dial") || hasPrefix(sel.Sel.Name, "Listen") ||
+			hasPrefix(sel.Sel.Name, "Lookup") {
+			return "the network call " + callStr, true
+		}
+		return "", false
+	case "":
+		// fall through to method-call classification
+	default:
+		return "", false
+	}
+	// The durability family blocks on the device no matter the receiver:
+	// every Sync/Checkpoint in this repo bottoms out in an fsync.
+	switch sel.Sel.Name {
+	case "Sync", "Checkpoint":
+		return "the durability call " + callStr + " (an fsync-class wait)", true
+	}
+	t := deref(p.TypeOf(sel.X))
+	if t == nil {
+		return "", false
+	}
+	switch {
+	case namedFrom(t, "os", "File"):
+		switch sel.Sel.Name {
+		case "Read", "ReadAt", "ReadFrom", "Write", "WriteAt", "WriteString", "WriteTo", "Truncate":
+			return "the file IO call " + callStr, true
+		}
+	case namedPkg(t) == "net":
+		if netBlockingMethods[sel.Sel.Name] {
+			return "the network call " + callStr, true
+		}
+	case namedFrom(t, "sync", "WaitGroup") && sel.Sel.Name == "Wait":
+		return "WaitGroup.Wait", true
+	}
+	return "", false
+}
+
+func hasPrefix(s, pre string) bool {
+	return len(s) >= len(pre) && s[:len(pre)] == pre
+}
+
+func deref(t types.Type) types.Type {
+	if p, ok := t.(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+// namedFrom reports whether t is the named type pkgPath.name.
+func namedFrom(t types.Type, pkgPath, name string) bool {
+	nt, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := nt.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+}
+
+// namedPkg returns the defining package path of a named type, or "".
+func namedPkg(t types.Type) string {
+	if nt, ok := t.(*types.Named); ok && nt.Obj().Pkg() != nil {
+		return nt.Obj().Pkg().Path()
+	}
+	return ""
+}

@@ -1,0 +1,61 @@
+package vet
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/ruleanalysis"
+)
+
+// WriteText renders findings one per line in the shared
+// "file:line:col: severity: check: message" form.
+func WriteText(w io.Writer, fs []ruleanalysis.Finding) error {
+	for _, f := range fs {
+		if _, err := fmt.Fprintln(w, f.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCounts renders per-check totals in metrics exposition form, the
+// same series the engine exports (gis_lint_findings_total{check=...}).
+// Every analyzer in ran gets a line even at zero, so a clean run still
+// exposes the series; checks present only in findings (typecheck,
+// vet-ignore) are appended.
+func WriteCounts(w io.Writer, ran []*Analyzer, fs []ruleanalysis.Finding) error {
+	counts := map[string]int{}
+	for _, a := range ran {
+		counts[a.Name] = 0
+	}
+	for _, f := range fs {
+		counts[f.Check]++
+	}
+	checks := make([]string, 0, len(counts))
+	for c := range counts {
+		checks = append(checks, c)
+	}
+	sort.Strings(checks)
+	for _, c := range checks {
+		if _, err := fmt.Fprintf(w, "gis_lint_findings_total{check=%q} %d\n", c, counts[c]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MaxSeverity returns the worst severity present, and false when there
+// are no findings.
+func MaxSeverity(fs []ruleanalysis.Finding) (ruleanalysis.Severity, bool) {
+	if len(fs) == 0 {
+		return 0, false
+	}
+	max := fs[0].Severity
+	for _, f := range fs[1:] {
+		if f.Severity > max {
+			max = f.Severity
+		}
+	}
+	return max, true
+}

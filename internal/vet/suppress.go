@@ -1,0 +1,126 @@
+package vet
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"repro/internal/ruleanalysis"
+)
+
+// Suppression comments let code declare that a finding is intentional:
+//
+//	//vet:ignore <check>[,<check>...] -- <reason>
+//	//vet:ignore all -- <reason>
+//
+// A directive applies to findings on its own line and on the line directly
+// below it (so it works both trailing a statement and on the line above).
+// The reason is mandatory — an ignore without a justification, or without
+// a check list, is itself reported as a finding of check "vet-ignore".
+
+const ignorePrefix = "vet:ignore"
+
+type supEntry struct {
+	all    bool
+	checks map[string]bool
+}
+
+type suppressions struct {
+	root string
+	// byLine maps a root-relative file name -> line -> entries in force on
+	// that line.
+	byLine    map[string]map[int][]supEntry
+	malformed []ruleanalysis.Finding
+}
+
+func newSuppressions(root string) *suppressions {
+	return &suppressions{root: root, byLine: map[string]map[int][]supEntry{}}
+}
+
+// collectFile scans one file's comments for ignore directives.
+func (s *suppressions) collectFile(fset *token.FileSet, f *ast.File) {
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text, ok := strings.CutPrefix(c.Text, "//")
+			if !ok {
+				continue // /* */ comments cannot carry directives
+			}
+			text = strings.TrimSpace(text)
+			rest, ok := strings.CutPrefix(text, ignorePrefix)
+			if !ok {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			file := relPath(s.root, pos.Filename)
+			entry, errMsg := parseIgnore(rest)
+			if errMsg != "" {
+				s.malformed = append(s.malformed, ruleanalysis.Finding{
+					Check:    "vet-ignore",
+					Severity: ruleanalysis.SeverityError,
+					Pos:      ruleanalysis.Position{File: file, Line: pos.Line, Col: pos.Column},
+					Message:  errMsg,
+				})
+				continue
+			}
+			lines := s.byLine[file]
+			if lines == nil {
+				lines = map[int][]supEntry{}
+				s.byLine[file] = lines
+			}
+			lines[pos.Line] = append(lines[pos.Line], entry)
+			lines[pos.Line+1] = append(lines[pos.Line+1], entry)
+		}
+	}
+}
+
+// parseIgnore parses the text after "vet:ignore". It returns a non-empty
+// error message when the directive is malformed.
+func parseIgnore(rest string) (supEntry, string) {
+	spec, reason, found := strings.Cut(rest, "--")
+	if !found {
+		return supEntry{}, `malformed //vet:ignore: missing "-- <reason>"`
+	}
+	if strings.TrimSpace(reason) == "" {
+		return supEntry{}, "malformed //vet:ignore: empty reason"
+	}
+	entry := supEntry{checks: map[string]bool{}}
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if name == "all" {
+			entry.all = true
+			continue
+		}
+		entry.checks[name] = true
+	}
+	if !entry.all && len(entry.checks) == 0 {
+		return supEntry{}, "malformed //vet:ignore: no checks named (use a check list or \"all\")"
+	}
+	return entry, ""
+}
+
+// suppressed reports whether a finding is covered by a directive.
+func (s *suppressions) suppressed(f ruleanalysis.Finding) bool {
+	if f.Check == "vet-ignore" {
+		return false // the directive checker cannot be waved off by itself
+	}
+	for _, e := range s.byLine[f.Pos.File][f.Pos.Line] {
+		if e.all || e.checks[f.Check] {
+			return true
+		}
+	}
+	return false
+}
+
+// apply filters out suppressed findings.
+func (s *suppressions) apply(fs []ruleanalysis.Finding) []ruleanalysis.Finding {
+	out := fs[:0]
+	for _, f := range fs {
+		if !s.suppressed(f) {
+			out = append(out, f)
+		}
+	}
+	return out
+}

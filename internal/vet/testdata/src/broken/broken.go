@@ -1,0 +1,5 @@
+// Package broken does not type-check: the driver must surface the error
+// as a finding instead of silently half-analyzing the tree.
+package broken
+
+var count int = "not a number"

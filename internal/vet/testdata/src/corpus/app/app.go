@@ -1,0 +1,50 @@
+// Package app exercises module-internal imports (it consumes walstub via
+// the fixture module path) and the channel cases of lockheld.
+package app
+
+import (
+	"sync"
+
+	"fixture/walstub"
+)
+
+// Server owns a WAL and a work channel.
+type Server struct {
+	mu   sync.Mutex
+	wal  *walstub.WAL
+	work chan []byte
+}
+
+// Submit sends on a channel with the lock held: flagged.
+func (s *Server) Submit(rec []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.work <- rec
+}
+
+// Drain receives with the lock held: flagged.
+func (s *Server) Drain() []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return <-s.work
+}
+
+// Commit snapshots the WAL pointer under the lock and appends outside
+// it: clean.
+func (s *Server) Commit(rec []byte) error {
+	s.mu.Lock()
+	w := s.wal
+	s.mu.Unlock()
+	return w.Append(rec)
+}
+
+// WaitReady parks on a condition variable with s.mu held: clean —
+// Cond.Wait releases the lock while parked, so this is the required
+// usage, not a lock held across a blocking call.
+func (s *Server) WaitReady(c *sync.Cond) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for s.wal == nil {
+		c.Wait()
+	}
+}

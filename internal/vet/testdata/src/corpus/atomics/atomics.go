@@ -1,0 +1,31 @@
+// Package atomics seeds the atomicmix corpus.
+package atomics
+
+import "sync/atomic"
+
+// Counter mixes access disciplines on ops but not on hits.
+type Counter struct {
+	ops  int64
+	hits int64
+}
+
+// Inc is the atomic side: establishes both fields as atomic.
+func (c *Counter) Inc() {
+	atomic.AddInt64(&c.ops, 1)
+	atomic.AddInt64(&c.hits, 1)
+}
+
+// Snapshot reads ops plainly: flagged (races with Inc).
+func (c *Counter) Snapshot() int64 {
+	return c.ops
+}
+
+// Hits reads atomically: clean.
+func (c *Counter) Hits() int64 {
+	return atomic.LoadInt64(&c.hits)
+}
+
+// Reset stores plainly: flagged.
+func (c *Counter) Reset() {
+	c.ops = 0
+}

@@ -1,0 +1,8 @@
+// Command tool owns the terminal: printing here is allowed.
+package main
+
+import "fmt"
+
+func main() {
+	fmt.Println("tool")
+}

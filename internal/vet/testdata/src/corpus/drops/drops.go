@@ -1,0 +1,23 @@
+// Package drops seeds the errdrop corpus.
+package drops
+
+import "os"
+
+// LoseClose drops the Close error: flagged.
+func LoseClose(f *os.File) {
+	f.Close()
+}
+
+// DeferSync defers a Sync whose error is structurally unobservable:
+// flagged.
+func DeferSync(f *os.File) {
+	defer f.Sync()
+}
+
+// Clean shows the allowed forms: deferred Close, documented drop, and
+// checked calls.
+func Clean(f *os.File) error {
+	defer f.Close()
+	_ = f.Close()
+	return f.Sync()
+}

@@ -1,0 +1,11 @@
+// Package leaks seeds the testleak corpus (see leaks_test.go).
+package leaks
+
+type server struct{ done chan struct{} }
+
+func newServer() *server { return &server{done: make(chan struct{})} }
+
+func (s *server) run() { <-s.done }
+
+// Close joins run: the teardown family counts as a join signal.
+func (s *server) Close() { close(s.done) }

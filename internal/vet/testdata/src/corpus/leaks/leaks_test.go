@@ -1,0 +1,41 @@
+// Package leaks seeds the testleak corpus.
+package leaks
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestLeaky spawns a goroutine with no join and sleeps for
+// synchronization: flagged twice.
+func TestLeaky(t *testing.T) {
+	go func() {
+		t.Log("background")
+	}()
+	time.Sleep(10 * time.Millisecond)
+}
+
+// TestJoined waits for its goroutine: clean.
+func TestJoined(t *testing.T) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+
+// TestPolls sleeps only as loop backoff: clean.
+func TestPolls(t *testing.T) {
+	for i := 0; i < 3; i++ {
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestClosed joins its goroutine through the teardown family: clean.
+func TestClosed(t *testing.T) {
+	srv := newServer()
+	go srv.run()
+	defer srv.Close()
+}

@@ -1,0 +1,9 @@
+package prints
+
+import . "strings"
+
+// Upper works, but the dot-import above is flagged: it defeats
+// qualifier-based checks.
+func Upper(s string) string {
+	return ToUpper(s)
+}

@@ -1,0 +1,19 @@
+// Package prints seeds the noprint corpus.
+package prints
+
+import (
+	"fmt"
+	stdlog "log"
+)
+
+// Shout prints from a library package: flagged twice (the alias does not
+// hide the log package from a type-based check).
+func Shout(msg string) {
+	fmt.Println(msg)
+	stdlog.Printf("shout: %s", msg)
+}
+
+// Quiet formats without printing: clean.
+func Quiet(msg string) string {
+	return fmt.Sprintf("quiet: %s", msg)
+}

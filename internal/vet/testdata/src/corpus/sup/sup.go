@@ -1,0 +1,27 @@
+// Package sup seeds the suppression corpus: real findings waved off with
+// reasons, and one malformed directive.
+package sup
+
+import "os"
+
+// CloseQuietly documents an intentional drop on its own line: suppressed.
+func CloseQuietly(f *os.File) {
+	f.Close() //vet:ignore errdrop -- best-effort close on the read path
+}
+
+// SyncQuietly suppresses from the line above.
+func SyncQuietly(f *os.File) {
+	//vet:ignore errdrop -- benchmark harness; durability is not under test
+	f.Sync()
+}
+
+// AllQuietly uses the all form: suppressed.
+func AllQuietly(f *os.File) {
+	f.Sync() //vet:ignore all -- fixture exercising the all form
+}
+
+// BadDirective carries no reason: the directive itself is flagged, and the
+// drop underneath stays flagged too.
+func BadDirective(f *os.File) {
+	f.Close() //vet:ignore errdrop
+}

@@ -1,0 +1,122 @@
+package vet
+
+import (
+	"go/ast"
+	"go/token"
+
+	"repro/internal/ruleanalysis"
+)
+
+// TestLeak flags two goroutine-hygiene smells in _test.go files:
+//
+//   - a `go` statement in a function with no visible join — no .Wait(),
+//     no t.Cleanup, no channel receive, no select. Such a goroutine can
+//     outlive the test, and its t.Errorf/panic lands in whichever test
+//     runs next (or nowhere, under -count=1 exits);
+//   - time.Sleep outside a polling loop — sleep-based synchronization is
+//     the classic flaky-test source: it passes at one machine speed and
+//     races at another. A Sleep inside a for loop is accepted as poll
+//     backoff; straight-line sleeps should become channel waits or
+//     deadline polls.
+//
+// Both are heuristics, so the severity is warning: fix the real ones,
+// //vet:ignore the intentional ones (e.g. simulated network latency) with
+// a reason.
+var TestLeak = &Analyzer{
+	Name:     "testleak",
+	Doc:      "test goroutines without a join; time.Sleep synchronization in tests",
+	Severity: ruleanalysis.SeverityWarning,
+	Run:      runTestLeak,
+}
+
+func runTestLeak(p *Pass) {
+	if !p.Unit.Test {
+		return
+	}
+	for _, f := range p.Unit.Files {
+		if !p.IsTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			p.leakCheckFunc(fn)
+		}
+	}
+}
+
+func (p *Pass) leakCheckFunc(fn *ast.FuncDecl) {
+	joined := hasJoinSignal(fn.Body)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.GoStmt:
+			if !joined {
+				p.Reportf(st.Pos(),
+					"goroutine started in %s with no visible join (Wait/Cleanup/channel receive/select); it may outlive the test",
+					fn.Name.Name)
+			}
+		case *ast.CallExpr:
+			if sel, ok := st.Fun.(*ast.SelectorExpr); ok &&
+				sel.Sel.Name == "Sleep" && p.PkgNameOf(sel.X) == "time" &&
+				!p.insideLoop(fn.Body, st.Pos()) {
+				p.Reportf(st.Pos(),
+					"time.Sleep used for synchronization in %s; wait on a channel or poll with a deadline",
+					fn.Name.Name)
+			}
+		}
+		return true
+	})
+}
+
+// joinMethods are the calls accepted as evidence that a test joins its
+// goroutines: explicit waits (WaitGroup/errgroup Wait, t.Cleanup), channel
+// synchronization, and the teardown family (Close/Shutdown/Stop), whose
+// implementations in this repo block until their goroutines exit.
+var joinMethods = map[string]bool{
+	"Wait": true, "Cleanup": true,
+	"Close": true, "Shutdown": true, "Stop": true,
+}
+
+// hasJoinSignal reports whether the function body contains any construct
+// that can join a goroutine: a join-family method call, a channel receive,
+// or a select statement.
+func hasJoinSignal(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := x.Fun.(*ast.SelectorExpr); ok && joinMethods[sel.Sel.Name] {
+				found = true
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				found = true
+			}
+		case *ast.SelectStmt:
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// insideLoop reports whether pos falls inside a for/range statement in
+// body — the poll-backoff exemption for time.Sleep.
+func (p *Pass) insideLoop(body *ast.BlockStmt, pos token.Pos) bool {
+	inside := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			if n.Pos() <= pos && pos < n.End() {
+				inside = true
+			}
+		}
+		return !inside
+	})
+	return inside
+}

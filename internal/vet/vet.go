@@ -1,0 +1,210 @@
+package vet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/ruleanalysis"
+)
+
+// An Analyzer is one named check. Run inspects the pass's unit and reports
+// findings; the driver stamps the analyzer's name as the finding check,
+// applies //vet:ignore suppressions and sorts the combined output.
+type Analyzer struct {
+	// Name is the check label: finding.Check, the //vet:ignore key and the
+	// gis_lint_findings_total{check} value.
+	Name string
+	// Doc is the one-line description shown by repovet -checks help.
+	Doc string
+	// Default severity for findings reported via Pass.Reportf.
+	Severity ruleanalysis.Severity
+	// Run analyzes one unit.
+	Run func(*Pass)
+}
+
+// A Pass carries one unit to one analyzer and collects its findings.
+type Pass struct {
+	Fset *token.FileSet
+	Unit *Unit
+
+	root     string
+	analyzer *Analyzer
+	findings *[]ruleanalysis.Finding
+}
+
+// Position converts a token position to the shared diagnostic position,
+// with the file path made relative to the analysis root so output (and
+// anything embedding a position in a message) is stable across checkouts.
+func (p *Pass) Position(pos token.Pos) ruleanalysis.Position {
+	if !pos.IsValid() {
+		return ruleanalysis.Position{}
+	}
+	pp := p.Fset.Position(pos)
+	return ruleanalysis.Position{File: relPath(p.root, pp.Filename), Line: pp.Line, Col: pp.Column}
+}
+
+// relPath rewrites an absolute file name under root to a root-relative
+// slash path.
+func relPath(root, file string) string {
+	if rest, ok := strings.CutPrefix(file, root+string(filepath.Separator)); ok {
+		return filepath.ToSlash(rest)
+	}
+	return file
+}
+
+// Reportf records a finding at the analyzer's default severity.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(p.analyzer.Severity, pos, format, args...)
+}
+
+// ReportSevf records a finding at an explicit severity.
+func (p *Pass) ReportSevf(sev ruleanalysis.Severity, pos token.Pos, format string, args ...any) {
+	p.report(sev, pos, format, args...)
+}
+
+func (p *Pass) report(sev ruleanalysis.Severity, pos token.Pos, format string, args ...any) {
+	*p.findings = append(*p.findings, ruleanalysis.Finding{
+		Check:    p.analyzer.Name,
+		Severity: sev,
+		Pos:      p.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// FileOf returns the unit file containing pos, or nil.
+func (p *Pass) FileOf(pos token.Pos) *ast.File {
+	for _, f := range p.Unit.Files {
+		if f.FileStart <= pos && pos < f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}
+
+// IsTestFile reports whether the file at pos is a _test.go file.
+func (p *Pass) IsTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// InCommandDir reports whether the unit lives under cmd/ or examples/ —
+// the packages that own the terminal and may print.
+func (p *Pass) InCommandDir() bool {
+	d := p.Unit.Dir
+	return d == "cmd" || d == "examples" ||
+		strings.HasPrefix(d, "cmd/") || strings.HasPrefix(d, "examples/")
+}
+
+// TypeOf is Info.TypeOf with a nil guard for partially checked units.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if p.Unit.Info == nil {
+		return nil
+	}
+	return p.Unit.Info.TypeOf(e)
+}
+
+// ObjectOf resolves an identifier to its object (use or def), or nil.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
+	if p.Unit.Info == nil {
+		return nil
+	}
+	return p.Unit.Info.ObjectOf(id)
+}
+
+// PkgNameOf reports the import path when e is a package qualifier
+// identifier (the "fmt" in fmt.Println), or "".
+func (p *Pass) PkgNameOf(e ast.Expr) string {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if pn, ok := p.ObjectOf(id).(*types.PkgName); ok {
+		return pn.Imported().Path()
+	}
+	return ""
+}
+
+// All returns the full analyzer suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		AtomicMix,
+		ErrDrop,
+		LockHeld,
+		NoPrint,
+		TestLeak,
+	}
+}
+
+// Select resolves a comma-separated check list against the suite.
+func Select(all []*Analyzer, checks string) ([]*Analyzer, error) {
+	if strings.TrimSpace(checks) == "" {
+		return all, nil
+	}
+	byName := map[string]*Analyzer{}
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, name := range strings.Split(checks, ",") {
+		name = strings.TrimSpace(name)
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("vet: unknown check %q", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// Run loads the tree rooted at root and applies the analyzers to every
+// unit. Findings are returned sorted, suppressions already applied;
+// malformed //vet:ignore directives surface as findings of check
+// "vet-ignore". Type-check failures surface as findings of check
+// "typecheck" so a broken tree is visible rather than silently
+// half-analyzed.
+func Run(root string, analyzers []*Analyzer) ([]ruleanalysis.Finding, error) {
+	l, err := NewLoader(root)
+	if err != nil {
+		return nil, err
+	}
+	units, err := l.Load()
+	if err != nil {
+		return nil, err
+	}
+	var findings []ruleanalysis.Finding
+	sup := newSuppressions(l.root)
+	for _, u := range units {
+		for _, f := range u.Files {
+			sup.collectFile(l.Fset, f)
+		}
+		for _, err := range u.TypeErrors {
+			findings = append(findings, typeErrorFinding(err, u, l.root))
+		}
+		for _, a := range analyzers {
+			p := &Pass{Fset: l.Fset, Unit: u, root: l.root, analyzer: a, findings: &findings}
+			a.Run(p)
+		}
+	}
+	findings = append(findings, sup.malformed...)
+	findings = sup.apply(findings)
+	ruleanalysis.Sort(findings)
+	return findings, nil
+}
+
+// typeErrorFinding wraps a go/types diagnostic as a finding.
+func typeErrorFinding(err error, u *Unit, root string) ruleanalysis.Finding {
+	f := ruleanalysis.Finding{
+		Check:    "typecheck",
+		Severity: ruleanalysis.SeverityError,
+		Message:  err.Error(),
+	}
+	if te, ok := err.(types.Error); ok {
+		pos := te.Fset.Position(te.Pos)
+		f.Pos = ruleanalysis.Position{File: relPath(root, pos.Filename), Line: pos.Line, Col: pos.Column}
+		f.Message = te.Msg
+	}
+	return f
+}
