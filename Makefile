@@ -3,9 +3,9 @@
 
 GOFILES := $(shell find . -name '*.go' -not -path './.*')
 
-.PHONY: ci fmt vet build test bench bench-smoke bench-json fuzz lint cover repl-smoke
+.PHONY: ci fmt vet build test bench bench-smoke bench-json fuzz lint cover repl-smoke txn-smoke
 
-ci: fmt vet build lint test cover bench-smoke fuzz repl-smoke
+ci: fmt vet build lint test cover bench-smoke fuzz repl-smoke txn-smoke
 
 fmt:
 	@out=$$(gofmt -l $(GOFILES)); \
@@ -85,11 +85,26 @@ repl-smoke:
 	go test -race -count=1 -run 'TestShipStreamFaultMatrix|TestHungPrimaryCannotWedgeApply' ./internal/repl
 	go test -race -count=1 -run 'TestTopologyStalledReplicaPoisonedAndEvicted' ./internal/client
 
+# Group-commit smoke (DESIGN.md §15): the concurrent-committer
+# linearizability oracle + crash matrix and the transaction test package
+# named explicitly in a CI log, then the PR-10 series on reduced sizes
+# with its gates enforced — throughput monotonic in writer count 1/2/4/8
+# and >=3x over the fsync-per-insert baseline at 8 writers (gisbench
+# exits nonzero otherwise). The committed artifact is regenerated at
+# full size by `make bench-json`.
+txn-smoke:
+	go test -race -count=1 -run 'TestWALGroupCommit|TestTxn' ./internal/storage ./internal/geodb
+	go test -race -count=1 -run 'TestShipFramesNeverSplitTxn|TestReplicaPrefixConsistencyConcurrentWriters' ./internal/repl
+	@mkdir -p /tmp/gis-bench
+	go run ./cmd/gisbench -txn-json /tmp/gis-bench/BENCH_PR10.json -quick
+
 # Machine-readable perf artifacts: the PR-4 concurrent hot paths (decision
 # cache, pipelined client, sharded buffer pool; DESIGN.md §10), the PR-5
-# durability series (WAL off vs synced vs batched fsync; DESIGN.md §11),
-# and the PR-7 replication read scale-out series (DESIGN.md §13).
+# durability series (WAL off vs synced vs group-committed; DESIGN.md §11),
+# the PR-7 replication read scale-out series (DESIGN.md §13), and the PR-10
+# group-commit transaction series (DESIGN.md §15).
 bench-json:
 	go run ./cmd/gisbench -json BENCH_PR4.json
 	go run ./cmd/gisbench -wal-json BENCH_PR5.json
 	go run ./cmd/gisbench -repl-json BENCH_PR7.json
+	go run ./cmd/gisbench -txn-json BENCH_PR10.json

@@ -661,22 +661,36 @@ func BenchmarkFigure4DefaultWindowsParallel(b *testing.B) {
 
 // benchWALInsert measures acknowledged inserts under one durability
 // configuration (the B-series for PR 5; `gisbench -wal-json` writes the
-// same workloads as BENCH_PR5.json).
-func benchWALInsert(b *testing.B, disable bool, syncEvery int) {
-	wb, err := experiments.NewWALBench(b.TempDir(), disable, syncEvery)
+// same workloads as BENCH_PR5.json). The grouped variant runs the insert
+// loop from parallel goroutines so concurrent commits coalesce onto shared
+// fsyncs (DESIGN.md §15).
+func benchWALInsert(b *testing.B, name string, disable, grouped bool) {
+	wb, err := experiments.NewWALBench(b.TempDir(), name, disable)
 	if err != nil {
 		b.Fatal(err)
 	}
 	defer wb.Close()
 	b.ReportAllocs()
 	b.ResetTimer()
+	if grouped {
+		b.SetParallelism(8)
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				if err := wb.Step(); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		})
+		return
+	}
 	for i := 0; i < b.N; i++ {
-		if err := wb.Step(i); err != nil {
+		if err := wb.Step(); err != nil {
 			b.Fatal(err)
 		}
 	}
 }
 
-func BenchmarkWALInsertOff(b *testing.B)       { benchWALInsert(b, true, 0) }
-func BenchmarkWALInsertSynced(b *testing.B)    { benchWALInsert(b, false, 1) }
-func BenchmarkWALInsertBatched32(b *testing.B) { benchWALInsert(b, false, 32) }
+func BenchmarkWALInsertOff(b *testing.B)     { benchWALInsert(b, "off", true, false) }
+func BenchmarkWALInsertSynced(b *testing.B)  { benchWALInsert(b, "synced", false, false) }
+func BenchmarkWALInsertGrouped(b *testing.B) { benchWALInsert(b, "grouped", false, true) }

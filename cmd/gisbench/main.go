@@ -28,10 +28,31 @@ func main() {
 		quick   = flag.Bool("quick", false, "reduced sizes for fast runs")
 		metrics = flag.Bool("metrics", false, "print the metrics delta after each experiment")
 		jsonOut = flag.String("json", "", "run the PR-4 perf series (decision cache, pipelined client, sharded pool) and write machine-readable results to this file")
-		walOut  = flag.String("wal-json", "", "run the PR-5 durability series (WAL off vs synced vs batched fsync) and write machine-readable results to this file")
+		walOut  = flag.String("wal-json", "", "run the PR-5 durability series (WAL off vs synced vs group-committed) and write machine-readable results to this file")
 		replOut = flag.String("repl-json", "", "run the PR-7 replication series (read throughput at 0/1/2/4 replicas) and write machine-readable results to this file")
+		txnOut  = flag.String("txn-json", "", "run the PR-10 group-commit series (transaction throughput at 1/2/4/8 writers vs the fsync-per-insert baseline) and write machine-readable results to this file; fails unless scaling is monotonic and 8 writers clear 3x the baseline")
 	)
 	flag.Parse()
+
+	if *txnOut != "" {
+		rep, err := experiments.WriteTxnPerfJSON(*txnOut, *quick)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gisbench: group-commit series failed: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n\n", *txnOut)
+		fmt.Printf("%-28s %14s %16s %16s\n", "benchmark", "ns/op", "txns/sec", "ops/sec")
+		for _, r := range rep.Results {
+			fmt.Printf("%-28s %14.0f %16.0f %16.0f\n", r.Name, r.NsPerOp, r.Extra["txns_per_sec"], r.Extra["ops_per_sec"])
+		}
+		fmt.Println()
+		for _, k := range []string{"txn_scaleout_2w", "txn_scaleout_4w", "txn_scaleout_8w", "txn_group_commit_speedup"} {
+			if v, ok := rep.Ratios[k]; ok {
+				fmt.Printf("%-28s %14.2fx\n", k, v)
+			}
+		}
+		return
+	}
 
 	if *replOut != "" {
 		rep, err := experiments.WriteReplPerfJSON(*replOut, *quick)
@@ -69,7 +90,7 @@ func main() {
 			fmt.Printf("%-28s %14.0f %16.0f\n", r.Name, r.NsPerOp, persec)
 		}
 		fmt.Println()
-		for _, k := range []string{"wal_synced_cost", "wal_batched32_cost", "wal_batch32_speedup"} {
+		for _, k := range []string{"wal_synced_cost", "wal_grouped8_cost", "wal_group_commit_speedup"} {
 			if v, ok := rep.Ratios[k]; ok {
 				fmt.Printf("%-28s %14.2fx\n", k, v)
 			}

@@ -22,6 +22,7 @@ package gisui
 import (
 	"repro/internal/core"
 	"repro/internal/event"
+	"repro/internal/geodb"
 	"repro/internal/ui"
 	"repro/internal/uikit"
 )
@@ -44,6 +45,10 @@ type Widget = uikit.Widget
 
 // Ctx is an interaction context <user, category, application>.
 type Ctx = event.Context
+
+// Txn is an explicit transaction (System.Begin): buffered mutations commit
+// atomically under one WAL group and one shared group-commit fsync.
+type Txn = geodb.Txn
 
 // Open assembles a system from the configuration.
 func Open(cfg Config) (*System, error) { return core.Open(cfg) }

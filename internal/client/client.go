@@ -614,6 +614,41 @@ func (c *Client) ScenarioDelete(ctx event.Context, oid catalog.OID) error {
 	return err
 }
 
+// CommitTxn implements ui.TxnMutator over the txn verb: the batch crosses
+// the wire as one request and commits server-side as one geodb transaction
+// (one WAL group, one shared group-commit fsync). Like the other mutation
+// verbs it is never retried — a transport failure leaves the outcome
+// unknown, and only the caller can decide whether re-issuing is safe.
+func (c *Client) CommitTxn(ctx event.Context, ops []ui.TxnOp) ([]catalog.OID, error) {
+	wire := make([]proto.TxnOp, len(ops))
+	for i, op := range ops {
+		values, err := proto.EncodeValues(op.Values)
+		if err != nil {
+			return nil, fmt.Errorf("client: txn op %d: %w", i, err)
+		}
+		w := proto.TxnOp{Schema: op.Schema, Class: op.Class, OID: op.OID, Values: values}
+		switch op.Kind {
+		case ui.TxnInsert:
+			w.Kind = proto.TxnInsert
+		case ui.TxnUpdate:
+			w.Kind = proto.TxnUpdate
+		case ui.TxnDelete:
+			w.Kind = proto.TxnDelete
+		default:
+			return nil, fmt.Errorf("client: txn op %d: unknown kind %s", i, op.Kind)
+		}
+		wire[i] = w
+	}
+	resp, err := c.roundTrip(proto.Request{Op: proto.OpTxn, Ctx: ctx, TxnOps: wire})
+	if err != nil {
+		return nil, err
+	}
+	if len(resp.OIDs) != len(ops) {
+		return nil, fmt.Errorf("%w: txn answered %d oids for %d ops", proto.ErrRemote, len(resp.OIDs), len(ops))
+	}
+	return resp.OIDs, nil
+}
+
 // ReplStatus fetches the server's replication status (the repl_status
 // verb): role, applied/durable LSNs, lag and health. A server that does not
 // replicate answers with a remote error.

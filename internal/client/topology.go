@@ -288,6 +288,12 @@ func (t *Topology) ScenarioDelete(ctx event.Context, oid catalog.OID) error {
 	return t.primary.ScenarioDelete(ctx, oid)
 }
 
+// CommitTxn implements ui.TxnMutator, pinned to the primary: only the
+// primary's log can make a batch durable.
+func (t *Topology) CommitTxn(ctx event.Context, ops []ui.TxnOp) ([]catalog.OID, error) {
+	return t.primary.CommitTxn(ctx, ops)
+}
+
 // ReplStatus fetches the primary's replication status.
 func (t *Topology) ReplStatus() (proto.ReplStatus, error) {
 	return t.primary.ReplStatus()
@@ -295,3 +301,4 @@ func (t *Topology) ReplStatus() (proto.ReplStatus, error) {
 
 var _ ui.Backend = (*Topology)(nil)
 var _ ui.Mutator = (*Topology)(nil)
+var _ ui.TxnMutator = (*Topology)(nil)

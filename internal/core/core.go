@@ -47,8 +47,9 @@ type Config struct {
 	// CheckpointEvery bounds WAL replay: checkpoint after this many
 	// commits. 0 = default (1024), negative = no automatic checkpoints.
 	CheckpointEvery int
-	// WALSyncEvery batches WAL fsyncs (see geodb.Options.SyncEvery); 0 or 1
-	// keeps every acknowledged mutation durable.
+	// WALSyncEvery is deprecated and ignored: group commit (DESIGN.md §15)
+	// replaced fsync batching — every acknowledged mutation is durable and
+	// concurrent committers share fsyncs instead of skipping them.
 	WALSyncEvery int
 	// WALFile injects the log file, enabling the WAL even for an in-memory
 	// database — a replication primary needs a log to ship regardless of
@@ -196,6 +197,13 @@ func (s *System) AddConstraint(c topo.Constraint) error {
 // Certify audits existing data against a constraint.
 func (s *System) Certify(c topo.Constraint) ([]topo.Violation, error) {
 	return s.Guard.Certify(c)
+}
+
+// Begin starts an explicit transaction: mutations buffered on it commit
+// atomically under one WAL group and one shared group-commit fsync
+// (DESIGN.md §15). Readers never see a transaction's ops until Commit.
+func (s *System) Begin(ctx event.Context) *geodb.Txn {
+	return s.DB.Begin(ctx)
 }
 
 // NewSession opens a strong-integration UI session for the context.

@@ -1,0 +1,213 @@
+// Perf harness for the PR-10 group-commit work: what does transaction
+// throughput look like as committers contend for the log? The series runs
+// the same 4-op insert transaction at 1/2/4/8 concurrent writers over a log
+// device with a fixed per-fsync latency — the cost group commit exists to
+// amortize — plus the fsync-per-insert baseline (one writer, one op per
+// commit) that PR-5 measured. `gisbench -txn-json` (BENCH_PR10.json) runs
+// exactly these constructions and rejects the run unless throughput is
+// monotonic in writer count and the 8-writer series clears 3x the baseline.
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/event"
+	"repro/internal/geodb"
+	"repro/internal/storage"
+)
+
+// txnDevice wraps a log file with a fixed per-fsync latency, modeling the
+// flush cost group commit amortizes. Pinning the device cost makes the
+// series' shape a function of fsync counts, not of scheduler noise, so the
+// acceptance gates below hold deterministically in CI.
+type txnDevice struct {
+	storage.LogFile
+	delay time.Duration
+}
+
+func (d *txnDevice) Sync() error {
+	time.Sleep(d.delay)
+	return d.LogFile.Sync()
+}
+
+const (
+	// txnFsyncDelay is the simulated log-flush latency (a fast SSD).
+	txnFsyncDelay = 500 * time.Microsecond
+	// txnOpsPer is the transaction shape: 4 inserts per commit.
+	txnOpsPer = 4
+)
+
+// newTxnPerfDB opens an in-memory database whose WAL rides the simulated
+// device, with the usual Station class defined. Automatic checkpoints are
+// off so the measurement is the commit path alone.
+func newTxnPerfDB() (*geodb.DB, error) {
+	db, err := geodb.Open(geodb.Options{
+		Name:            "TXNBENCH",
+		WALFile:         &txnDevice{LogFile: storage.NewMemLogFile(), delay: txnFsyncDelay},
+		CheckpointEvery: -1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := db.DefineSchema("net"); err != nil {
+		_ = db.Close()
+		return nil, err
+	}
+	if err := db.DefineClass("net", catalog.Class{
+		Name: "Station",
+		Attrs: []catalog.Field{
+			catalog.F("name", catalog.Scalar(catalog.KindText)),
+			catalog.F("load", catalog.Scalar(catalog.KindInteger)),
+		},
+	}); err != nil {
+		_ = db.Close()
+		return nil, err
+	}
+	return db, nil
+}
+
+// measureTxnWriters times `writers` concurrent committers each driving
+// `txns` transactions of `ops` inserts, and reports the result with N =
+// total committed transactions.
+func measureTxnWriters(db *geodb.DB, writers, txns, ops int) (testing.BenchmarkResult, error) {
+	ctx := event.Context{User: "bench", Application: "txnperf"}
+	errs := make([]error, writers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for j := 0; j < txns; j++ {
+				txn := db.Begin(ctx)
+				for k := 0; k < ops; k++ {
+					if _, err := txn.Insert("net", "Station", []catalog.Value{
+						catalog.TextVal(fmt.Sprintf("w%d-t%d-%d", w, j, k)),
+						catalog.IntVal(int64(j)),
+					}); err != nil {
+						txn.Abort()
+						errs[w] = err
+						return
+					}
+				}
+				if err := txn.Commit(); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return testing.BenchmarkResult{}, err
+		}
+	}
+	return testing.BenchmarkResult{N: writers * txns, T: elapsed}, nil
+}
+
+// RunTxnPerf measures the group-commit series and enforces its acceptance
+// criteria: transaction throughput must be monotonic in writer count
+// (coalescing must buy concurrency back, never lose it), and acknowledged
+// ops/sec at 8 writers must clear 3x the fsync-per-insert baseline. quick
+// shrinks the per-writer transaction count for CI.
+func RunTxnPerf(quick bool) (*PerfReport, error) {
+	rep := &PerfReport{Ratios: map[string]float64{}}
+	txns := 200
+	if quick {
+		txns = 40
+	}
+
+	// Baseline: one writer acknowledging one insert per commit — every ack
+	// pays the whole device flush, as PR-5's insert_wal_synced did.
+	db, err := newTxnPerfDB()
+	if err != nil {
+		return nil, err
+	}
+	base, err := measureTxnWriters(db, 1, txns*txnOpsPer, 1)
+	closeErr := db.Close()
+	if err != nil {
+		return nil, err
+	}
+	if closeErr != nil {
+		return nil, closeErr
+	}
+	baseOpsSec := float64(base.N) / base.T.Seconds()
+	rep.Results = append(rep.Results, perfResult("insert_fsync_each", base, map[string]float64{
+		"txns_per_sec": baseOpsSec, // one op per commit: a txn IS an insert
+		"ops_per_sec":  baseOpsSec,
+		"fsync_us":     float64(txnFsyncDelay.Microseconds()),
+	}))
+
+	// The series: the same transaction shape at rising writer counts, a
+	// fresh database per point so heap growth never favors a variant.
+	txnsSec := map[int]float64{}
+	opsSec := map[int]float64{}
+	for _, writers := range []int{1, 2, 4, 8} {
+		db, err := newTxnPerfDB()
+		if err != nil {
+			return nil, err
+		}
+		r, err := measureTxnWriters(db, writers, txns, txnOpsPer)
+		closeErr := db.Close()
+		if err != nil {
+			return nil, err
+		}
+		if closeErr != nil {
+			return nil, closeErr
+		}
+		txnsSec[writers] = float64(r.N) / r.T.Seconds()
+		opsSec[writers] = txnsSec[writers] * txnOpsPer
+		rep.Results = append(rep.Results, perfResult(fmt.Sprintf("txn_commit_%dw", writers), r, map[string]float64{
+			"writers":      float64(writers),
+			"ops_per_txn":  txnOpsPer,
+			"txns_per_sec": txnsSec[writers],
+			"ops_per_sec":  opsSec[writers],
+		}))
+	}
+
+	for _, writers := range []int{2, 4, 8} {
+		rep.Ratios[fmt.Sprintf("txn_scaleout_%dw", writers)] = txnsSec[writers] / txnsSec[1]
+	}
+	rep.Ratios["txn_group_commit_speedup"] = opsSec[8] / baseOpsSec
+
+	// Acceptance gates (the PR-10 criteria): reject the artifact rather
+	// than record a regression.
+	prev := 1
+	for _, writers := range []int{2, 4, 8} {
+		if txnsSec[writers] < txnsSec[prev] {
+			return nil, fmt.Errorf("txn throughput not monotonic: %d writers commit %.0f txns/sec, %d writers %.0f",
+				prev, txnsSec[prev], writers, txnsSec[writers])
+		}
+		prev = writers
+	}
+	if rep.Ratios["txn_group_commit_speedup"] < 3 {
+		return nil, fmt.Errorf("group commit at 8 writers is only %.2fx the fsync-per-insert baseline, want >= 3x",
+			rep.Ratios["txn_group_commit_speedup"])
+	}
+	return rep, nil
+}
+
+// WriteTxnPerfJSON runs the group-commit series and writes BENCH_PR10.json.
+func WriteTxnPerfJSON(path string, quick bool) (*PerfReport, error) {
+	rep, err := RunTxnPerf(quick)
+	if err != nil {
+		return nil, err
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}

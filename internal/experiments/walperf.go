@@ -1,11 +1,14 @@
-// Perf harness for the PR-5 durability work: what does the write-ahead log
-// cost, and what does batching its fsyncs buy back? Three configurations of
-// the same file-backed insert workload — WAL off (the pre-WAL baseline,
-// durable only at Close), WAL with every commit fsynced (full acknowledged-
-// mutation durability), and WAL with fsyncs batched every 32 commits (the
-// last <32 acks are at risk, everything older is durable). The testing.B
-// series in bench_test.go and `gisbench -wal-json` (BENCH_PR5.json) run
-// exactly these constructions.
+// Perf harness for the PR-5 durability work, updated for PR-10's group
+// commit: what does the write-ahead log cost, and what does coalescing its
+// fsyncs buy back? Three configurations of the same file-backed insert
+// workload — WAL off (the pre-WAL baseline, durable only at Close), WAL
+// with one sequential writer (every acknowledged insert pays a full fsync),
+// and WAL with 8 concurrent writers whose commits share fsyncs through the
+// group-commit leader (every ack still durable; see DESIGN.md §15). The
+// old `SyncEvery=32` variant is gone with the option it measured: deferring
+// fsyncs traded acknowledged durability for speed, group commit doesn't.
+// The testing.B series in bench_test.go and `gisbench -wal-json`
+// (BENCH_PR5.json) run exactly these constructions.
 package experiments
 
 import (
@@ -13,6 +16,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -26,18 +31,17 @@ import (
 type WALBench struct {
 	DB  *geodb.DB
 	ctx event.Context
+	seq atomic.Int64
 }
 
-// NewWALBench opens a fresh file-backed database in dir. disable turns the
-// WAL off entirely; syncEvery batches its commit fsyncs (see
-// geodb.Options.SyncEvery).
-func NewWALBench(dir string, disable bool, syncEvery int) (*WALBench, error) {
-	path := filepath.Join(dir, fmt.Sprintf("walbench-off%v-sync%d.pages", disable, syncEvery))
+// NewWALBench opens a fresh file-backed database in dir, named after the
+// variant. disable turns the WAL off entirely.
+func NewWALBench(dir, name string, disable bool) (*WALBench, error) {
+	path := filepath.Join(dir, fmt.Sprintf("walbench-%s.pages", name))
 	db, err := geodb.Open(geodb.Options{
 		Name:       "WALBENCH",
 		Path:       path,
 		DisableWAL: disable,
-		SyncEvery:  syncEvery,
 	})
 	if err != nil {
 		return nil, err
@@ -60,11 +64,13 @@ func NewWALBench(dir string, disable bool, syncEvery int) (*WALBench, error) {
 }
 
 // Step acknowledges one insert (the measured unit: mutate, log, fsync per
-// the configuration).
-func (wb *WALBench) Step(i int) error {
+// the configuration). Safe for concurrent use — the grouped variant runs
+// many Steps at once.
+func (wb *WALBench) Step() error {
+	i := wb.seq.Add(1)
 	_, err := wb.DB.Insert(wb.ctx, "net", "Station", []catalog.Value{
 		catalog.TextVal(fmt.Sprintf("s%08d", i)),
-		catalog.IntVal(int64(i)),
+		catalog.IntVal(i),
 	})
 	return err
 }
@@ -74,21 +80,64 @@ func (wb *WALBench) Close() error { return wb.DB.Close() }
 
 // walVariant names one durability configuration of the series.
 type walVariant struct {
-	Name      string
-	Disable   bool
-	SyncEvery int
+	Name    string
+	Disable bool
+	Writers int
 }
 
 func walVariants() []walVariant {
 	return []walVariant{
-		{"insert_wal_off", true, 0},         // pre-WAL baseline: durable at Close only
-		{"insert_wal_synced", false, 1},     // fsync per acknowledged insert
-		{"insert_wal_batched32", false, 32}, // fsync every 32nd commit
+		{"insert_wal_off", true, 1},       // pre-WAL baseline: durable at Close only
+		{"insert_wal_synced", false, 1},   // one writer: fsync per acknowledged insert
+		{"insert_wal_grouped8", false, 8}, // 8 writers: concurrent commits share fsyncs
 	}
 }
 
-// RunWALPerf measures the durability series with testing.Benchmark. quick
-// caps each measurement at a fixed small iteration count for CI.
+// runWALSteps drives n Steps split across the variant's writers and
+// returns the wall-clock result (N = acknowledged inserts).
+func runWALSteps(wb *WALBench, writers, n int) (testing.BenchmarkResult, error) {
+	if writers <= 1 {
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			if err := wb.Step(); err != nil {
+				return testing.BenchmarkResult{}, err
+			}
+		}
+		return testing.BenchmarkResult{N: n, T: time.Since(start)}, nil
+	}
+	errs := make([]error, writers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < writers; w++ {
+		share := n / writers
+		if w < n%writers {
+			share++
+		}
+		wg.Add(1)
+		go func(w, share int) {
+			defer wg.Done()
+			for i := 0; i < share; i++ {
+				if err := wb.Step(); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w, share)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return testing.BenchmarkResult{}, err
+		}
+	}
+	return testing.BenchmarkResult{N: n, T: elapsed}, nil
+}
+
+// RunWALPerf measures the durability series. quick caps each measurement at
+// a fixed small iteration count for CI; the full run sizes the pass to get
+// a stable per-op figure without testing.Benchmark's ramp-up hammering the
+// disk's fsync budget.
 func RunWALPerf(quick bool) (*PerfReport, error) {
 	rep := &PerfReport{Ratios: map[string]float64{}}
 	dir, err := os.MkdirTemp("", "walperf")
@@ -97,36 +146,17 @@ func RunWALPerf(quick bool) (*PerfReport, error) {
 	}
 	defer os.RemoveAll(dir)
 
+	n := 2000
+	if quick {
+		n = 150
+	}
 	ns := map[string]float64{}
 	for _, v := range walVariants() {
-		wb, err := NewWALBench(dir, v.Disable, v.SyncEvery)
+		wb, err := NewWALBench(dir, v.Name, v.Disable)
 		if err != nil {
 			return nil, err
 		}
-		var stepErr error
-		var r testing.BenchmarkResult
-		if quick {
-			// One fixed-size timed pass: keeps CI off the disk's fsync
-			// budget instead of letting testing.Benchmark ramp up.
-			const n = 150
-			start := time.Now()
-			for i := 0; i < n && stepErr == nil; i++ {
-				stepErr = wb.Step(i)
-			}
-			r = testing.BenchmarkResult{N: n, T: time.Since(start)}
-		} else {
-			seq := 0
-			r = testing.Benchmark(func(b *testing.B) {
-				b.ReportAllocs()
-				for i := 0; i < b.N; i++ {
-					if err := wb.Step(seq); err != nil {
-						stepErr = err
-						return
-					}
-					seq++
-				}
-			})
-		}
+		r, stepErr := runWALSteps(wb, v.Writers, n)
 		closeErr := wb.Close()
 		if stepErr != nil {
 			return nil, stepErr
@@ -134,24 +164,16 @@ func RunWALPerf(quick bool) (*PerfReport, error) {
 		if closeErr != nil {
 			return nil, closeErr
 		}
-		var extra map[string]float64
-		if !v.Disable {
-			syncEvery := v.SyncEvery
-			if syncEvery < 1 {
-				syncEvery = 1
-			}
-			extra = map[string]float64{"sync_every": float64(syncEvery)}
-		}
-		res := perfResult(v.Name, r, extra)
+		res := perfResult(v.Name, r, map[string]float64{"writers": float64(v.Writers)})
 		ns[v.Name] = res.NsPerOp
 		rep.Results = append(rep.Results, res)
 	}
 	if ns["insert_wal_off"] > 0 {
 		rep.Ratios["wal_synced_cost"] = ns["insert_wal_synced"] / ns["insert_wal_off"]
-		rep.Ratios["wal_batched32_cost"] = ns["insert_wal_batched32"] / ns["insert_wal_off"]
+		rep.Ratios["wal_grouped8_cost"] = ns["insert_wal_grouped8"] / ns["insert_wal_off"]
 	}
-	if ns["insert_wal_batched32"] > 0 {
-		rep.Ratios["wal_batch32_speedup"] = ns["insert_wal_synced"] / ns["insert_wal_batched32"]
+	if ns["insert_wal_grouped8"] > 0 {
+		rep.Ratios["wal_group_commit_speedup"] = ns["insert_wal_synced"] / ns["insert_wal_grouped8"]
 	}
 	return rep, nil
 }

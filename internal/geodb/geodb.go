@@ -52,9 +52,9 @@ type Options struct {
 	DisableWAL bool
 	// WALPath overrides where the log lives; default Path+".wal".
 	WALPath string
-	// SyncEvery batches WAL fsyncs: the log is synced every Nth commit
-	// instead of every commit. 0 or 1 = every acknowledged mutation is
-	// durable; N>1 trades the last <N acknowledgements for throughput.
+	// SyncEvery is deprecated and ignored: group commit (DESIGN.md §15)
+	// replaced fsync batching. Every acknowledged mutation is durable;
+	// concurrent committers share fsyncs instead of skipping them.
 	SyncEvery int
 	// CheckpointEvery checkpoints (flush dirty pages, sync the data file,
 	// truncate the log) after this many commits, bounding both the log size
@@ -87,6 +87,10 @@ type instanceMeta struct {
 	rid    storage.RID
 	schema string
 	class  string
+	// born is the commit sequence of the last write to this instance; a
+	// snapshot at seq S sees the current record only when born <= S (older
+	// states come from the undo versions, see snapshot.go).
+	born uint64
 }
 
 // MethodImpl is a registered method implementation. It receives the
@@ -157,6 +161,16 @@ type DB struct {
 	nextOID   catalog.OID
 	// catalogRID locates the reserved catalog snapshot record, once written.
 	catalogRID *storage.RID
+
+	// commitSeq counts applied commit groups (single mutations and explicit
+	// transactions alike); it advances under db.mu at each group close and is
+	// the version axis snapshots read against. undo retains pre-states that
+	// open snapshots may still need; snapMu guards the active-snapshot
+	// registry (always acquired after db.mu when both are held).
+	commitSeq uint64
+	undo      map[catalog.OID][]undoVersion
+	snapMu    sync.Mutex
+	snaps     map[uint64]int
 
 	// UseSpatialIndex can be disabled to force sequential scans; the B6
 	// experiment ablates it.
@@ -258,6 +272,8 @@ func Open(opts Options) (*DB, error) {
 		byClass:         make(map[classKey][]catalog.OID),
 		spatial:         make(map[classKey]*rtree.Tree),
 		methods:         make(map[methodKey]MethodImpl),
+		undo:            make(map[catalog.OID][]undoVersion),
+		snaps:           make(map[uint64]int),
 		UseSpatialIndex: true,
 	}
 	if pager.NumPages() > 0 {
@@ -387,28 +403,34 @@ func (db *DB) checkpointLocked(sp *obs.Span) error {
 	return db.wal.Checkpoint()
 }
 
-// endGroup closes the current mutation's WAL record group (see
-// storage.WAL.EndGroup). Callers must hold db.mu: the lock is what keeps
-// group records contiguous in the log, which is what lets a replica expose
-// only whole-mutation prefixes.
-func (db *DB) endGroup() {
-	if db.wal != nil {
-		db.wal.EndGroup()
+// closeGroupLocked terminates the current mutation group: the WAL gets its
+// commit marker (see storage.WAL.EndGroup) and the in-memory commit
+// sequence advances to seq, publishing the group's effects to snapshots
+// begun afterwards. Callers must hold db.mu: the lock is what keeps group
+// records contiguous in the log, which is what makes recovery and replicas
+// see only whole-mutation prefixes. The returned LSN is the group end the
+// committer must wait on before acknowledging.
+func (db *DB) closeGroupLocked(seq uint64) (storage.LSN, error) {
+	db.commitSeq = seq
+	if db.wal == nil {
+		return 0, nil
 	}
+	return db.wal.EndGroup()
 }
 
 // commitDurable is the acknowledgement gate every mutation passes on its
-// way out: the WAL is synced (subject to SyncEvery batching) so the
-// mutation survives a crash, and the commit that reaches CheckpointEvery
-// performs the periodic checkpoint. Mutations return errors from here
-// instead of acknowledging. sp (nil ok) is the mutation's span; the WAL
-// commit and any due checkpoint become its children.
-func (db *DB) commitDurable(sp *obs.Span) error {
+// way out: the WAL group commit makes the log durable through the
+// mutation's group end — concurrent committers coalesce on one fsync — and
+// the commit that reaches CheckpointEvery performs the periodic incremental
+// checkpoint. Mutations return errors from here instead of acknowledging.
+// sp (nil ok) is the mutation's span; the WAL commit and any due checkpoint
+// become its children.
+func (db *DB) commitDurable(sp *obs.Span, end storage.LSN) error {
 	if db.wal == nil {
 		return nil
 	}
 	wsp := sp.Child("wal.commit")
-	err := db.wal.Commit()
+	err := db.wal.WaitDurable(end)
 	wsp.SetError(err).Finish()
 	if err != nil {
 		return err
@@ -425,13 +447,28 @@ func (db *DB) commitDurable(sp *obs.Span) error {
 	db.ckptMu.Unlock()
 	if due {
 		ck := sp.Child("db.checkpoint")
-		db.mu.Lock()
-		err := db.checkpointLocked(ck)
-		db.mu.Unlock()
+		err := db.checkpointIncremental(ck)
 		ck.SetError(err).Finish()
 		return err
 	}
 	return nil
+}
+
+// checkpointIncremental is the periodic checkpoint on the commit path. It
+// is two-phase so the engine never pauses for time proportional to the
+// dirty set: a fuzzy first pass (FlushSettled) writes back committed dirty
+// pages while writers keep committing, and only the residue dirtied during
+// that pass is flushed under the write lock before the log is cut.
+func (db *DB) checkpointIncremental(sp *obs.Span) error {
+	fz := sp.Child("pool.flush_settled")
+	err := db.heap.Pool().FlushSettled()
+	fz.SetError(err).Finish()
+	if err != nil {
+		return err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.checkpointLocked(sp)
 }
 
 // DefineSchema creates a schema and persists the catalog.
@@ -509,10 +546,17 @@ func (db *DB) CallMethod(oid catalog.OID, method string, args ...catalog.Value) 
 }
 
 // lookup materializes an instance without emitting events (internal use).
+// The read lock is held across the heap read: a concurrent writer could
+// otherwise mutate the page bytes under the materialization.
 func (db *DB) lookup(oid catalog.OID) (Instance, error) {
 	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.lookupLocked(oid)
+}
+
+// lookupLocked is lookup for callers already holding db.mu (either mode).
+func (db *DB) lookupLocked(oid catalog.OID) (Instance, error) {
 	meta, ok := db.instances[oid]
-	db.mu.RUnlock()
 	if !ok {
 		return Instance{}, fmt.Errorf("%w: oid %d", ErrNoInstance, oid)
 	}
@@ -612,34 +656,18 @@ func (db *DB) Insert(ctx event.Context, schema, class string, values []catalog.V
 		return 0, fmt.Errorf("%w: %v", ErrVetoed, err)
 	}
 	db.mu.Lock()
-	db.nextOID++
-	oid := db.nextOID
-	data, err := encodeObjectRecord(oid, schema, class, values)
+	seq := db.commitSeq + 1
+	oid, err := db.applyInsertLocked(seq, 0, schema, class, attrs, values)
 	if err != nil {
-		db.nextOID--
 		db.mu.Unlock()
 		return 0, err
 	}
-	rid, err := db.heap.Insert(data)
-	if err != nil {
-		db.nextOID--
-		db.mu.Unlock()
-		return 0, err
-	}
-	key := classKey{schema, class}
-	db.instances[oid] = instanceMeta{rid: rid, schema: schema, class: class}
-	db.byClass[key] = append(db.byClass[key], oid)
-	if b, ok := geometryBounds(attrs, values); ok {
-		tree, found := db.spatial[key]
-		if !found {
-			tree = rtree.New()
-			db.spatial[key] = tree
-		}
-		tree.Insert(b, uint64(oid))
-	}
-	db.endGroup()
+	end, err := db.closeGroupLocked(seq)
 	db.mu.Unlock()
-	if err := db.commitDurable(sp); err != nil {
+	if err != nil {
+		return 0, err
+	}
+	if err := db.commitDurable(sp, end); err != nil {
 		return 0, err
 	}
 	post := event.Event{Kind: event.PostInsert, Schema: schema, Class: class, OID: oid, Ctx: ctx, New: values}
@@ -671,8 +699,7 @@ func (db *DB) Update(ctx event.Context, oid catalog.OID, values []catalog.Value)
 	if err != nil {
 		return err
 	}
-	attrs, err := db.typecheck(old.Schema, old.Class, values)
-	if err != nil {
+	if _, err := db.typecheck(old.Schema, old.Class, values); err != nil {
 		return err
 	}
 	pre := event.Event{Kind: event.PreUpdate, Schema: old.Schema, Class: old.Class,
@@ -680,46 +707,18 @@ func (db *DB) Update(ctx event.Context, oid catalog.OID, values []catalog.Value)
 	if err := db.bus.Emit(pre); err != nil {
 		return fmt.Errorf("%w: %v", ErrVetoed, err)
 	}
-	data, err := encodeObjectRecord(oid, old.Schema, old.Class, values)
+	db.mu.Lock()
+	seq := db.commitSeq + 1
+	if err := db.applyUpdateLocked(seq, oid, values); err != nil {
+		db.mu.Unlock()
+		return err
+	}
+	end, err := db.closeGroupLocked(seq)
+	db.mu.Unlock()
 	if err != nil {
 		return err
 	}
-	db.mu.Lock()
-	meta := db.instances[oid]
-	if err := db.heap.Update(meta.rid, data); err != nil {
-		if !errors.Is(err, storage.ErrPageFull) {
-			db.mu.Unlock()
-			return err
-		}
-		// Record no longer fits on its page: relocate.
-		if err := db.heap.Delete(meta.rid); err != nil {
-			db.mu.Unlock()
-			return err
-		}
-		rid, err := db.heap.Insert(data)
-		if err != nil {
-			db.mu.Unlock()
-			return err
-		}
-		meta.rid = rid
-		db.instances[oid] = meta
-	}
-	key := classKey{old.Schema, old.Class}
-	if tree, ok := db.spatial[key]; ok {
-		if b, had := geometryBounds(old.Attrs, old.Values); had {
-			tree.Delete(b, uint64(oid))
-		}
-		if b, has := geometryBounds(attrs, values); has {
-			tree.Insert(b, uint64(oid))
-		}
-	} else if b, has := geometryBounds(attrs, values); has {
-		tree := rtree.New()
-		tree.Insert(b, uint64(oid))
-		db.spatial[key] = tree
-	}
-	db.endGroup()
-	db.mu.Unlock()
-	if err := db.commitDurable(sp); err != nil {
+	if err := db.commitDurable(sp, end); err != nil {
 		return err
 	}
 	post := event.Event{Kind: event.PostUpdate, Schema: old.Schema, Class: old.Class,
@@ -767,9 +766,127 @@ func (db *DB) Delete(ctx event.Context, oid catalog.OID) (rerr error) {
 		return fmt.Errorf("%w: %v", ErrVetoed, err)
 	}
 	db.mu.Lock()
-	meta := db.instances[oid]
-	if err := db.heap.Delete(meta.rid); err != nil {
+	seq := db.commitSeq + 1
+	if err := db.applyDeleteLocked(seq, oid); err != nil {
 		db.mu.Unlock()
+		return err
+	}
+	end, err := db.closeGroupLocked(seq)
+	db.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if err := db.commitDurable(sp, end); err != nil {
+		return err
+	}
+	post := event.Event{Kind: event.PostDelete, Schema: old.Schema, Class: old.Class,
+		OID: oid, Ctx: ctx, Old: old.Values}
+	return db.bus.Emit(post)
+}
+
+// The applyXxxLocked helpers below are the shared mutation cores: the
+// single-mutation methods (Insert/Update/Delete) wrap one of them in its own
+// group, and Txn.Commit applies a whole buffered batch under one db.mu hold
+// and one WAL group. All of them require db.mu held for writing, apply at
+// commit sequence seq, and leave the WAL group open — the caller closes it
+// with closeGroupLocked. On error the in-memory state may be partially
+// applied but the group is never closed, so the records cannot replay and a
+// restart restores the pre-group state (in-process divergence until then is
+// the same contract the pre-transaction error paths had).
+
+// applyInsertLocked stores a new instance. A zero oid allocates the next
+// OID; a non-zero oid was pre-allocated by Txn.Insert.
+func (db *DB) applyInsertLocked(seq uint64, oid catalog.OID, schema, class string, attrs []catalog.Field, values []catalog.Value) (catalog.OID, error) {
+	assigned := false
+	if oid == 0 {
+		db.nextOID++
+		oid = db.nextOID
+		assigned = true
+	}
+	data, err := encodeObjectRecord(oid, schema, class, values)
+	if err != nil {
+		if assigned {
+			db.nextOID--
+		}
+		return 0, err
+	}
+	rid, err := db.heap.Insert(data)
+	if err != nil {
+		if assigned {
+			db.nextOID--
+		}
+		return 0, err
+	}
+	key := classKey{schema, class}
+	db.instances[oid] = instanceMeta{rid: rid, schema: schema, class: class, born: seq}
+	db.byClass[key] = append(db.byClass[key], oid)
+	if b, ok := geometryBounds(attrs, values); ok {
+		tree, found := db.spatial[key]
+		if !found {
+			tree = rtree.New()
+			db.spatial[key] = tree
+		}
+		tree.Insert(b, uint64(oid))
+	}
+	return oid, nil
+}
+
+// applyUpdateLocked replaces an instance's values. The pre-state is
+// materialized under the lock (the caller's earlier lookup may be stale)
+// and retained for open snapshots before the record changes.
+func (db *DB) applyUpdateLocked(seq uint64, oid catalog.OID, values []catalog.Value) error {
+	old, err := db.lookupLocked(oid)
+	if err != nil {
+		return err
+	}
+	data, err := encodeObjectRecord(oid, old.Schema, old.Class, values)
+	if err != nil {
+		return err
+	}
+	meta := db.instances[oid]
+	db.saveVersionLocked(old, meta.born, seq)
+	if err := db.heap.Update(meta.rid, data); err != nil {
+		if !errors.Is(err, storage.ErrPageFull) {
+			return err
+		}
+		// Record no longer fits on its page: relocate.
+		if err := db.heap.Delete(meta.rid); err != nil {
+			return err
+		}
+		rid, err := db.heap.Insert(data)
+		if err != nil {
+			return err
+		}
+		meta.rid = rid
+	}
+	meta.born = seq
+	db.instances[oid] = meta
+	key := classKey{old.Schema, old.Class}
+	if tree, ok := db.spatial[key]; ok {
+		if b, had := geometryBounds(old.Attrs, old.Values); had {
+			tree.Delete(b, uint64(oid))
+		}
+		if b, has := geometryBounds(old.Attrs, values); has {
+			tree.Insert(b, uint64(oid))
+		}
+	} else if b, has := geometryBounds(old.Attrs, values); has {
+		tree := rtree.New()
+		tree.Insert(b, uint64(oid))
+		db.spatial[key] = tree
+	}
+	return nil
+}
+
+// applyDeleteLocked removes an instance, retaining its final state for open
+// snapshots.
+func (db *DB) applyDeleteLocked(seq uint64, oid catalog.OID) error {
+	old, err := db.lookupLocked(oid)
+	if err != nil {
+		return err
+	}
+	meta := db.instances[oid]
+	db.saveVersionLocked(old, meta.born, seq)
+	if err := db.heap.Delete(meta.rid); err != nil {
 		return err
 	}
 	delete(db.instances, oid)
@@ -786,14 +903,7 @@ func (db *DB) Delete(ctx event.Context, oid catalog.OID) (rerr error) {
 			tree.Delete(b, uint64(oid))
 		}
 	}
-	db.endGroup()
-	db.mu.Unlock()
-	if err := db.commitDurable(sp); err != nil {
-		return err
-	}
-	post := event.Event{Kind: event.PostDelete, Schema: old.Schema, Class: old.Class,
-		OID: oid, Ctx: ctx, Old: old.Values}
-	return db.bus.Emit(post)
+	return nil
 }
 
 func geometryBounds(attrs []catalog.Field, values []catalog.Value) (geom.Rect, bool) {

@@ -71,27 +71,36 @@ func (db *DB) persistCatalog() error {
 	if db.readOnly {
 		return ErrReadOnly
 	}
-	if err := db.persistCatalogRecord(); err != nil {
-		return err
-	}
-	return db.commitDurable(nil)
-}
-
-func (db *DB) persistCatalogRecord() error {
-	doc, err := catalog.MarshalSnapshot(db.cat.Snapshot())
+	end, err := db.persistCatalogRecord()
 	if err != nil {
 		return err
+	}
+	return db.commitDurable(nil, end)
+}
+
+func (db *DB) persistCatalogRecord() (storage.LSN, error) {
+	doc, err := catalog.MarshalSnapshot(db.cat.Snapshot())
+	if err != nil {
+		return 0, err
 	}
 	data, err := catalog.EncodeRecord([]catalog.Value{
 		catalog.IntVal(recTagCatalog),
 		catalog.BitmapVal(doc),
 	})
 	if err != nil {
-		return err
+		return 0, err
 	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	defer db.endGroup() // runs before the unlock (LIFO), closing the group
+	if err := db.writeCatalogRecordLocked(data); err != nil {
+		// The group stays open: an unterminated group never replays, so a
+		// half-written catalog record cannot surface after a restart.
+		return 0, err
+	}
+	return db.closeGroupLocked(db.commitSeq + 1)
+}
+
+func (db *DB) writeCatalogRecordLocked(data []byte) error {
 	if db.catalogRID != nil {
 		if err := db.heap.Update(*db.catalogRID, data); err == nil {
 			return nil

@@ -140,26 +140,18 @@ func (db *DB) Connect(ctx event.Context) error {
 // Predicate filters instances in Select.
 type Predicate func(Instance) bool
 
-// Select materializes every instance of the class satisfying pred, in
-// insertion order. A nil pred selects the whole extension. This is the
-// analysis-mode query path; it does not emit exploratory events.
+// Select materializes every instance of the class satisfying pred, in OID
+// (= insertion) order. A nil pred selects the whole extension. This is the
+// analysis-mode query path; it does not emit exploratory events. The scan
+// runs over an internal snapshot: it sees one consistent committed state —
+// no dirty or non-repeatable reads — while writers commit freely mid-scan
+// (the read lock is only ever held per record, see Snapshot.Select).
 func (db *DB) Select(schema, class string, pred Predicate) ([]Instance, error) {
 	sw := obs.Start(mSelectSeconds)
 	defer sw.Stop()
-	db.mu.RLock()
-	oids := append([]catalog.OID(nil), db.byClass[classKey{schema, class}]...)
-	db.mu.RUnlock()
-	out := make([]Instance, 0, len(oids))
-	for _, oid := range oids {
-		in, err := db.lookup(oid)
-		if err != nil {
-			return nil, err
-		}
-		if pred == nil || pred(in) {
-			out = append(out, in)
-		}
-	}
-	return out, nil
+	snap := db.BeginSnapshot()
+	defer snap.Close()
+	return snap.Select(schema, class, pred)
 }
 
 // Count returns the extension size of a class.

@@ -1,0 +1,266 @@
+package geodb
+
+// Explicit transactions: Begin buffers mutations, Commit applies them all
+// under one db.mu hold and one WAL group — the group's commit marker is what
+// makes the batch atomic across a crash — and a single group-commit wait
+// acknowledges the whole batch. Abort discards the buffer. A transaction's
+// durable-write cost is therefore one fsync *shared* with every concurrently
+// committing transaction (DESIGN.md §15), which is how pipelined sessions
+// commit concurrently instead of serializing behind the log.
+//
+// Isolation: buffered ops are invisible to readers until Commit applies them
+// (no dirty reads). Within the transaction, Update/Delete see the buffered
+// state (read-your-writes). Conflict handling is last-writer-wins at apply
+// time, matching the single-mutation methods; there is no inter-transaction
+// locking beyond db.mu serialization of the apply step.
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/catalog"
+	"repro/internal/event"
+	"repro/internal/obs"
+)
+
+// ErrTxnDone rejects operations on a committed or aborted transaction.
+var ErrTxnDone = errors.New("geodb: transaction already committed or aborted")
+
+var (
+	mTxnCommitSeconds = obs.Default().Histogram("gis_geodb_txn_commit_seconds", obs.LatencyBuckets)
+	mTxnCommits       = obs.Default().Counter("gis_geodb_txn_commits_total")
+	mTxnAborts        = obs.Default().Counter("gis_geodb_txn_aborts_total")
+)
+
+type txnOpKind uint8
+
+const (
+	txnInsert txnOpKind = iota
+	txnUpdate
+	txnDelete
+)
+
+type txnOp struct {
+	kind   txnOpKind
+	oid    catalog.OID
+	schema string
+	class  string
+	attrs  []catalog.Field
+	values []catalog.Value // new values (insert/update)
+	old    Instance        // pre-state at buffer time (update/delete), for events
+}
+
+// Txn is an explicit transaction. It is not safe for concurrent use by
+// multiple goroutines (concurrent transactions each get their own Txn);
+// everything it buffers applies atomically at Commit.
+type Txn struct {
+	db   *DB
+	ctx  event.Context
+	done bool
+	ops  []txnOp
+}
+
+// Begin starts a transaction. Mutations buffered on it are invisible to
+// readers and other transactions until Commit.
+func (db *DB) Begin(ctx event.Context) *Txn {
+	return &Txn{db: db, ctx: ctx}
+}
+
+// pendingState resolves oid against the transaction's own buffered ops:
+// the latest buffered insert/update wins, a buffered delete hides it.
+func (t *Txn) pendingState(oid catalog.OID) (in Instance, deleted, found bool) {
+	for i := len(t.ops) - 1; i >= 0; i-- {
+		op := &t.ops[i]
+		if op.oid != oid {
+			continue
+		}
+		if op.kind == txnDelete {
+			return Instance{}, true, true
+		}
+		return Instance{
+			OID: oid, Schema: op.schema, Class: op.class,
+			Attrs: op.attrs, Values: op.values,
+		}, false, true
+	}
+	return Instance{}, false, false
+}
+
+// Insert buffers a new instance and returns its OID (allocated now, so the
+// transaction can reference it; an abort leaves a gap in the OID sequence,
+// which the directory tolerates). The PreInsert event fires at buffer time
+// and may veto — a veto rejects this op only, not the transaction.
+func (t *Txn) Insert(schema, class string, values []catalog.Value) (catalog.OID, error) {
+	if t.done {
+		return 0, ErrTxnDone
+	}
+	db := t.db
+	if db.readOnly {
+		return 0, ErrReadOnly
+	}
+	attrs, err := db.typecheck(schema, class, values)
+	if err != nil {
+		return 0, err
+	}
+	pre := event.Event{Kind: event.PreInsert, Schema: schema, Class: class, Ctx: t.ctx, New: values}
+	if err := db.bus.Emit(pre); err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrVetoed, err)
+	}
+	db.mu.Lock()
+	db.nextOID++
+	oid := db.nextOID
+	db.mu.Unlock()
+	t.ops = append(t.ops, txnOp{
+		kind: txnInsert, oid: oid, schema: schema, class: class,
+		attrs: attrs, values: values,
+	})
+	return oid, nil
+}
+
+// Update buffers a full-value update of oid. The pre-state for the event is
+// the transaction's own buffered state if it wrote oid, else the committed
+// state.
+func (t *Txn) Update(oid catalog.OID, values []catalog.Value) error {
+	if t.done {
+		return ErrTxnDone
+	}
+	db := t.db
+	if db.readOnly {
+		return ErrReadOnly
+	}
+	old, deleted, found := t.pendingState(oid)
+	if deleted {
+		return fmt.Errorf("%w: oid %d (deleted in this transaction)", ErrNoInstance, oid)
+	}
+	if !found {
+		var err error
+		if old, err = db.lookup(oid); err != nil {
+			return err
+		}
+	}
+	attrs, err := db.typecheck(old.Schema, old.Class, values)
+	if err != nil {
+		return err
+	}
+	pre := event.Event{Kind: event.PreUpdate, Schema: old.Schema, Class: old.Class,
+		OID: oid, Ctx: t.ctx, Old: old.Values, New: values}
+	if err := db.bus.Emit(pre); err != nil {
+		return fmt.Errorf("%w: %v", ErrVetoed, err)
+	}
+	t.ops = append(t.ops, txnOp{
+		kind: txnUpdate, oid: oid, schema: old.Schema, class: old.Class,
+		attrs: attrs, values: values, old: old,
+	})
+	return nil
+}
+
+// Delete buffers the removal of oid.
+func (t *Txn) Delete(oid catalog.OID) error {
+	if t.done {
+		return ErrTxnDone
+	}
+	db := t.db
+	if db.readOnly {
+		return ErrReadOnly
+	}
+	old, deleted, found := t.pendingState(oid)
+	if deleted {
+		return fmt.Errorf("%w: oid %d (deleted in this transaction)", ErrNoInstance, oid)
+	}
+	if !found {
+		var err error
+		if old, err = db.lookup(oid); err != nil {
+			return err
+		}
+	}
+	pre := event.Event{Kind: event.PreDelete, Schema: old.Schema, Class: old.Class,
+		OID: oid, Ctx: t.ctx, Old: old.Values}
+	if err := db.bus.Emit(pre); err != nil {
+		return fmt.Errorf("%w: %v", ErrVetoed, err)
+	}
+	t.ops = append(t.ops, txnOp{
+		kind: txnDelete, oid: oid, schema: old.Schema, class: old.Class, old: old,
+	})
+	return nil
+}
+
+// Len reports how many ops the transaction has buffered.
+func (t *Txn) Len() int { return len(t.ops) }
+
+// Abort discards the transaction. Buffered ops are dropped; OIDs allocated
+// by Insert stay consumed.
+func (t *Txn) Abort() {
+	if t.done {
+		return
+	}
+	t.done = true
+	t.ops = nil
+	mTxnAborts.Inc()
+}
+
+// Commit applies every buffered op under one WAL group and acknowledges
+// only when the group's commit marker is durable — via the group commit it
+// shares with every concurrent committer. Post events fire after the
+// acknowledgement, in buffer order. An error means the transaction did not
+// durably commit: an unterminated WAL group never replays, so a restart
+// restores the pre-transaction state.
+func (t *Txn) Commit() (rerr error) {
+	if t.done {
+		return ErrTxnDone
+	}
+	t.done = true
+	db := t.db
+	if len(t.ops) == 0 {
+		return nil
+	}
+	sw := obs.Start(mTxnCommitSeconds)
+	defer sw.Stop()
+	sp := db.tracer.StartSpan("geodb.txn_commit", t.ctx.Trace)
+	sp.Setf("ops", "%d", len(t.ops))
+	defer func() { sp.SetError(rerr).Finish() }()
+	db.mu.Lock()
+	seq := db.commitSeq + 1
+	for i := range t.ops {
+		op := &t.ops[i]
+		var err error
+		switch op.kind {
+		case txnInsert:
+			_, err = db.applyInsertLocked(seq, op.oid, op.schema, op.class, op.attrs, op.values)
+		case txnUpdate:
+			err = db.applyUpdateLocked(seq, op.oid, op.values)
+		case txnDelete:
+			err = db.applyDeleteLocked(seq, op.oid)
+		}
+		if err != nil {
+			db.mu.Unlock()
+			return fmt.Errorf("geodb: txn op %d: %w", i, err)
+		}
+	}
+	end, err := db.closeGroupLocked(seq)
+	db.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if err := db.commitDurable(sp, end); err != nil {
+		return err
+	}
+	mTxnCommits.Inc()
+	for i := range t.ops {
+		op := &t.ops[i]
+		var post event.Event
+		switch op.kind {
+		case txnInsert:
+			post = event.Event{Kind: event.PostInsert, Schema: op.schema, Class: op.class,
+				OID: op.oid, Ctx: t.ctx, New: op.values}
+		case txnUpdate:
+			post = event.Event{Kind: event.PostUpdate, Schema: op.schema, Class: op.class,
+				OID: op.oid, Ctx: t.ctx, Old: op.old.Values, New: op.values}
+		case txnDelete:
+			post = event.Event{Kind: event.PostDelete, Schema: op.schema, Class: op.class,
+				OID: op.oid, Ctx: t.ctx, Old: op.old.Values}
+		}
+		if err := db.bus.Emit(post); err != nil && rerr == nil {
+			rerr = err
+		}
+	}
+	return rerr
+}

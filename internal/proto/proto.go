@@ -64,6 +64,12 @@ const (
 	OpScenarioInsert Op = "scenario_insert"
 	OpScenarioUpdate Op = "scenario_update"
 	OpScenarioDelete Op = "scenario_delete"
+	// OpTxn commits an atomic batch of mutations: the weak-integration
+	// binding of ui.TxnMutator. The server applies Request.TxnOps as one
+	// geodb transaction — one WAL group, one shared group-commit fsync —
+	// and answers with the OIDs its inserts allocated. All-or-nothing on
+	// the server, so like the other mutation verbs it is never retried.
+	OpTxn Op = "txn"
 	// OpStats returns a snapshot of the server's metrics registry; it is
 	// the observability verb, outside the paper's primitive set.
 	OpStats Op = "stats"
@@ -114,6 +120,24 @@ type ReplConnStatus struct {
 	Lag   uint64 `json:"lag"`
 }
 
+// TxnOp kinds on the wire.
+const (
+	TxnInsert = "insert"
+	TxnUpdate = "update"
+	TxnDelete = "delete"
+)
+
+// TxnOp is one buffered mutation inside a txn request. Kind selects which
+// fields are meaningful: insert uses Schema/Class/Values, update uses
+// OID/Values, delete uses OID.
+type TxnOp struct {
+	Kind   string      `json:"kind"`
+	Schema string      `json:"schema,omitempty"`
+	Class  string      `json:"class,omitempty"`
+	OID    catalog.OID `json:"oid,omitempty"`
+	Values []Value     `json:"values,omitempty"`
+}
+
 // Request is a client→server message.
 type Request struct {
 	ID     uint64        `json:"id"`
@@ -135,6 +159,8 @@ type Request struct {
 	Trace *obs.SpanContext `json:"trace,omitempty"`
 	// TraceID selects one retained trace for the trace verb (0 = all).
 	TraceID uint64 `json:"trace_id,omitempty"`
+	// TxnOps is the txn verb's mutation batch, applied atomically in order.
+	TxnOps []TxnOp `json:"txn_ops,omitempty"`
 }
 
 // Response is a server→client message. Err is non-empty on failure; on
@@ -151,6 +177,9 @@ type Response struct {
 	Stats     *obs.Snapshot       `json:"stats,omitempty"`
 	// OID answers scenario_insert with the new instance's identity.
 	OID catalog.OID `json:"oid,omitempty"`
+	// OIDs answers the txn verb: one entry per op in request order, the
+	// allocated identity for inserts and zero for updates/deletes.
+	OIDs []catalog.OID `json:"oids,omitempty"`
 	// Traces answers the trace verb with the server's retained traces.
 	Traces []obs.TraceData `json:"traces,omitempty"`
 	// Repl answers the repl_status verb.

@@ -166,9 +166,11 @@ func NewPrimary(db *geodb.DB, opts PrimaryOptions) (*Primary, error) {
 			if firstObserved != 0 && r.LSN >= firstObserved {
 				break
 			}
-			// Everything in the file predating the observer is at rest:
-			// the durable tail of it is all closed groups.
-			head = append(head, bufRec{rec: r, boundary: r.LSN <= durable})
+			// Everything in the file predating the observer is at rest —
+			// all closed groups — but only a group's marker is a servable
+			// boundary: a frame cut at an interior page image would hand a
+			// replica a mid-transaction consistency point.
+			head = append(head, bufRec{rec: r, boundary: (r.Checkpoint || r.Commit) && r.LSN <= durable})
 		}
 		p.buf = append(head, p.buf...)
 		if over := len(p.buf) - opts.BufferRecords; over > 0 {

@@ -361,8 +361,8 @@ func (r *Replica) applyBatch(m *msg) (storage.LSN, error) {
 		r.pager = r.opts.NewPager()
 	}
 	for _, rec := range m.Recs {
-		if rec.Checkpoint {
-			continue
+		if rec.Checkpoint || rec.Commit {
+			continue // markers advance the LSN sequence but carry no page
 		}
 		if err := writePage(r.pager, storage.PageID(rec.Page), rec.Data); err != nil {
 			// The pager now holds half a frame: poison it.

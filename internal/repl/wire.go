@@ -76,10 +76,14 @@ type wirePage struct {
 	CRC  uint32 `json:"crc"`
 }
 
-// wireRecord is one shipped WAL record (page image or checkpoint marker).
+// wireRecord is one shipped WAL record (page image, checkpoint marker, or
+// group-commit marker). Markers carry no payload but keep their place in the
+// stream: LSN contiguity is how replicas detect gaps, so skipping them at
+// the source would look like loss.
 type wireRecord struct {
 	LSN        uint64 `json:"lsn"`
 	Checkpoint bool   `json:"ckpt,omitempty"`
+	Commit     bool   `json:"commit,omitempty"`
 	Page       uint32 `json:"page,omitempty"`
 	Data       []byte `json:"data,omitempty"`
 	CRC        uint32 `json:"crc"`
@@ -99,6 +103,7 @@ func toWireRecord(r storage.Record) wireRecord {
 	return wireRecord{
 		LSN:        uint64(r.LSN),
 		Checkpoint: r.Checkpoint,
+		Commit:     r.Commit,
 		Page:       uint32(r.Page),
 		Data:       r.Data,
 		CRC:        shipCRC(uint64(r.LSN), r.Data),

@@ -51,6 +51,7 @@ var (
 		proto.OpScenarioInsert: obs.Default().Histogram(`gis_server_verb_seconds{verb="scenario_insert"}`, obs.LatencyBuckets),
 		proto.OpScenarioUpdate: obs.Default().Histogram(`gis_server_verb_seconds{verb="scenario_update"}`, obs.LatencyBuckets),
 		proto.OpScenarioDelete: obs.Default().Histogram(`gis_server_verb_seconds{verb="scenario_delete"}`, obs.LatencyBuckets),
+		proto.OpTxn:            obs.Default().Histogram(`gis_server_verb_seconds{verb="txn"}`, obs.LatencyBuckets),
 		proto.OpStats:          obs.Default().Histogram(`gis_server_verb_seconds{verb="stats"}`, obs.LatencyBuckets),
 		proto.OpTrace:          obs.Default().Histogram(`gis_server_verb_seconds{verb="trace"}`, obs.LatencyBuckets),
 		proto.OpReplStatus:     obs.Default().Histogram(`gis_server_verb_seconds{verb="repl_status"}`, obs.LatencyBuckets),
@@ -107,6 +108,11 @@ type Server struct {
 	// one writer goroutine; responses may leave in completion order, which
 	// is what proto.Request.ID exists to disambiguate.
 	PipelineDepth int
+
+	// DisableTxn turns off the txn verb (gisd -txn=false): batches are then
+	// rejected with ui.ErrNoTxn even though the backend supports them, so an
+	// operator can force clients back to per-mutation commits.
+	DisableTxn bool
 
 	// Checkpoint, when set, is invoked once after Shutdown finishes
 	// draining: the graceful stop ends with a durability point, so a
@@ -726,6 +732,35 @@ func (s *Server) handle(req proto.Request) (resp proto.Response) {
 		if err := m.ScenarioDelete(req.Ctx, req.OID); err != nil {
 			return fail(err)
 		}
+	case proto.OpTxn:
+		m, ok := s.backend.(ui.TxnMutator)
+		if !ok || s.DisableTxn {
+			return fail(ui.ErrNoTxn)
+		}
+		ops := make([]ui.TxnOp, len(req.TxnOps))
+		for i, w := range req.TxnOps {
+			values, err := proto.DecodeValues(w.Values)
+			if err != nil {
+				return fail(fmt.Errorf("server: txn op %d: %w", i, err))
+			}
+			op := ui.TxnOp{Schema: w.Schema, Class: w.Class, OID: w.OID, Values: values}
+			switch w.Kind {
+			case proto.TxnInsert:
+				op.Kind = ui.TxnInsert
+			case proto.TxnUpdate:
+				op.Kind = ui.TxnUpdate
+			case proto.TxnDelete:
+				op.Kind = ui.TxnDelete
+			default:
+				return fail(fmt.Errorf("server: txn op %d: unknown kind %q", i, w.Kind))
+			}
+			ops[i] = op
+		}
+		oids, err := m.CommitTxn(req.Ctx, ops)
+		if err != nil {
+			return fail(err)
+		}
+		resp.OIDs = oids
 	case proto.OpStats:
 		snap := obs.Default().Snapshot()
 		resp.Stats = &snap

@@ -237,10 +237,27 @@ func (b *BufferPool) Allocate() (PageID, *Page, error) {
 func (b *BufferPool) NumPages() uint32 { return b.pager.NumPages() }
 
 // Flush writes every dirty frame back to the pager without evicting,
-// visiting shards in index order.
+// visiting shards in index order. Callers must have quiesced writers (geodb
+// holds its write lock): every group is closed, so nothing here can steal
+// an uncommitted page.
 func (b *BufferPool) Flush() error {
 	for _, sh := range b.shards {
-		if err := sh.flush(); err != nil {
+		if err := sh.flush(false); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FlushSettled writes back every dirty frame that is unpinned and whose
+// latest logged image belongs to a committed group, taking each shard's
+// lock briefly. It is the fuzzy first pass of an incremental checkpoint:
+// it runs concurrently with writers, shrinking the residue the quiesced
+// second pass (Flush under the database write lock) must handle. Pinned or
+// open-group frames are skipped, not errors.
+func (b *BufferPool) FlushSettled() error {
+	for _, sh := range b.shards {
+		if err := sh.flush(true); err != nil {
 			return err
 		}
 	}
@@ -364,13 +381,22 @@ func (sh *poolShard) allocFrame(id PageID) (*frame, error) {
 	return f, nil
 }
 
+// openGroup reports whether f's latest logged image belongs to the WAL's
+// currently open (uncommitted) record group. The no-steal rule: such a
+// frame must not reach the data file, because recovery discards unfinished
+// groups from the log and a stolen page would leave the data file holding
+// half a mutation with no durable image to redo or discard it from.
+func (sh *poolShard) openGroup(f *frame) bool {
+	return sh.wal != nil && f.dirty && f.pageLSN > sh.wal.LastGroupEnd()
+}
+
 func (sh *poolShard) evict() error {
 	switch sh.policy {
 	case PolicyLRU:
 		for e := sh.lru.Back(); e != nil; e = e.Prev() {
 			id := e.Value.(PageID)
 			f := sh.frames[id]
-			if f == nil || f.pins > 0 {
+			if f == nil || f.pins > 0 || sh.openGroup(f) {
 				continue
 			}
 			sh.lru.Remove(e)
@@ -392,7 +418,7 @@ func (sh *poolShard) evict() error {
 				sh.clock = append(sh.clock[:sh.hand], sh.clock[sh.hand+1:]...)
 				continue
 			}
-			if f.pins > 0 {
+			if f.pins > 0 || sh.openGroup(f) {
 				sh.hand++
 				continue
 			}
@@ -431,11 +457,17 @@ func (sh *poolShard) dropFrame(f *frame) error {
 	return nil
 }
 
-func (sh *poolShard) flush() error {
+func (sh *poolShard) flush(settledOnly bool) error {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	for _, f := range sh.frames {
 		if !f.dirty {
+			continue
+		}
+		if settledOnly && (f.pins > 0 || sh.openGroup(f)) {
+			// A pinned frame may be mid-mutation by its pinning goroutine and
+			// an open-group frame is no-steal; the quiesced second pass of the
+			// checkpoint picks both up.
 			continue
 		}
 		if sh.wal != nil {

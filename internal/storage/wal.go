@@ -1,22 +1,37 @@
 // Write-ahead logging. The WAL is a redo-only log of full page images:
 // before any acknowledged mutation, the after-image of every page the
-// mutation dirtied is appended (by the buffer pool, at unpin time) and
-// fsynced (by the commit point, wal.Commit). The buffer pool enforces
-// WAL-before-data: a dirty page is never written back to the pager until
-// the log covering its latest image is synced, so any torn or lost data-page
-// write has a durable image to redo from. Checkpoints flush every dirty
-// page, sync the pager, and truncate the log, which bounds replay at the
-// next Open to the mutations since the last checkpoint (DESIGN.md §11).
+// mutation dirtied is appended (by the buffer pool, at unpin time) and made
+// durable by the commit point. The buffer pool enforces WAL-before-data: a
+// dirty page is never written back to the pager until the log covering its
+// latest image is synced, so any torn or lost data-page write has a durable
+// image to redo from. Checkpoints flush every dirty page, sync the pager,
+// and truncate the log, which bounds replay at the next Open to the
+// mutations since the last checkpoint (DESIGN.md §11).
+//
+// Commit durability is group commit (DESIGN.md §15): concurrent committers
+// do not each fsync. The first committer to find no fsync in flight becomes
+// the leader, captures the current log tail as its goal, releases the lock,
+// and syncs; everyone else parks on a condition variable. When the leader's
+// fsync lands it covers every record appended before it started — one disk
+// flush acknowledges the whole group of parked committers at once. A
+// committer whose records landed after the leader captured its goal simply
+// leads (or joins) the next round. Appends proceed concurrently with the
+// in-flight fsync, which is what lets durable write throughput scale with
+// the number of writers instead of serializing behind the log mutex.
 //
 // Record framing, little-endian:
 //
 //	[0:4)   CRC32 (Castagnoli) over bytes [4:17+len)
 //	[4:8)   uint32 payload length
 //	[8:16)  uint64 LSN
-//	[16]    record type (recPageImage, recCheckpoint)
+//	[16]    record type (recPageImage, recCheckpoint, recCommit)
 //	[17:..) payload
 //
 // Page-image payloads are a uint32 page id followed by the PageSize image.
+// Commit markers (recCommit, empty payload) terminate one mutation group's
+// run of page images: EndGroup appends one, and recovery treats any trailing
+// records after the last marker as an unfinished group and discards them —
+// an acknowledged commit is exactly a group whose marker reached the disk.
 // LSNs increase strictly within a log generation; a decoder that sees a CRC
 // mismatch, an impossible length, or a non-monotonic LSN treats the rest of
 // the log as a torn tail and truncates it — crash mid-append must never
@@ -43,6 +58,7 @@ type LSN uint64
 const (
 	recPageImage  byte = 1
 	recCheckpoint byte = 2
+	recCommit     byte = 3
 )
 
 const (
@@ -71,6 +87,9 @@ var (
 	// dominant term in acknowledged-mutation latency, so the stats verb
 	// surfaces its p50/p95/p99.
 	mWALFsyncSeconds = obs.Default().Histogram("gis_wal_fsync_seconds", obs.LatencyBuckets)
+	// mWALGroupCommits counts commit waits that were satisfied by another
+	// committer's fsync — the group-commit coalescing rate.
+	mWALGroupCommits = obs.Default().Counter("gis_wal_group_commits_total")
 )
 
 // LogFile is the byte store under a WAL: a flat file the log appends to,
@@ -110,11 +129,13 @@ func OpenLogFile(path string) (LogFile, error) {
 
 // WALOptions tunes a WAL.
 type WALOptions struct {
-	// SyncEvery batches commit fsyncs: Commit syncs the log only every Nth
-	// call (eviction-forced syncs are never batched). 0 or 1 syncs every
-	// commit — full durability of every acknowledged mutation. N>1 trades
-	// the last <N acknowledged commits for fewer fsyncs (the B-bench
-	// quantifies the trade; see BENCH_PR5.json).
+	// SyncEvery is deprecated and ignored. It used to batch commit fsyncs
+	// (sync only every Nth commit), trading the durability of the last <N
+	// acknowledged commits for throughput — and it had a hole: an
+	// eviction-forced sync could reset the batch counter mid-group, letting
+	// Commit acknowledge a mutation whose tail records were never synced.
+	// Group commit replaces it: every acknowledged commit is durable, and
+	// concurrent committers share fsyncs instead of skipping them.
 	SyncEvery int
 }
 
@@ -124,22 +145,26 @@ type WAL struct {
 	opts WALOptions
 
 	mu         sync.Mutex
+	syncCond   *sync.Cond // broadcast when synced advances or the leader slot frees
+	syncing    bool       // a leader's fsync is in flight (mu released around it)
 	f          LogFile
 	off        int64 // append offset
 	nextLSN    LSN
 	appended   LSN // LSN of the last appended record
 	synced     LSN // LSN through which the log is durable
-	unsynced   int // commits since the last sync (SyncEvery batching)
 	replayed   int // records applied by the last Replay
 	generation int // truncation count, for diagnostics
 
-	// Group tracking for replication. A "group" is one mutation's run of
-	// records: geodb appends them while holding its write lock and calls
-	// EndGroup before releasing it, so groups are contiguous in the log.
+	// Group tracking for replication and recovery. A "group" is one
+	// mutation's run of records: geodb appends them while holding its write
+	// lock and calls EndGroup — which appends a recCommit marker — before
+	// releasing it, so groups are contiguous in the log and self-terminating.
 	// boundary is the largest group-end LSN that is durable — the largest
 	// prefix of the log that contains no partial mutation, which is what a
-	// replica may safely expose to readers.
+	// replica may safely expose to readers. pendingEnds holds closed group
+	// ends not yet covered by a sync, in ascending LSN order.
 	lastGroupEnd LSN
+	pendingEnds  []LSN
 	boundary     LSN
 	onAppend     func(Record)
 	onDurable    func(LSN)
@@ -147,18 +172,23 @@ type WAL struct {
 }
 
 // Record is one log record as a log consumer — the replication ship loop —
-// sees it: the LSN, whether it is a checkpoint marker, and for page images
-// the page id plus the full after-image. Data is owned by the receiver.
+// sees it: the LSN, whether it is a checkpoint or commit marker, and for
+// page images the page id plus the full after-image. Data is owned by the
+// receiver.
 type Record struct {
 	LSN        LSN
 	Checkpoint bool
+	Commit     bool
 	Page       PageID
-	Data       []byte // PageSize after-image; nil for checkpoint markers
+	Data       []byte // PageSize after-image; nil for markers
 }
 
 func toRecord(r walRecord) Record {
-	if r.typ == recCheckpoint {
+	switch r.typ {
+	case recCheckpoint:
 		return Record{LSN: r.lsn, Checkpoint: true}
+	case recCommit:
+		return Record{LSN: r.lsn, Commit: true}
 	}
 	return Record{
 		LSN:  r.lsn,
@@ -167,11 +197,16 @@ func toRecord(r walRecord) Record {
 	}
 }
 
-// OpenWAL positions a WAL at the tail of f. It does not replay: callers
-// that may hold acknowledged-but-unapplied mutations must call Replay (and
-// normally checkpoint) before appending. An empty file starts at LSN 1.
+// OpenWAL positions a WAL at the tail of f. Besides the torn-tail
+// truncation, it discards any trailing records past the last commit or
+// checkpoint marker: those belong to a group whose commit never reached the
+// disk, and replaying half a mutation would break group atomicity. It does
+// not replay: callers that may hold acknowledged-but-unapplied mutations
+// must call Replay (and normally checkpoint) before appending. An empty
+// file starts at LSN 1.
 func OpenWAL(f LogFile, opts WALOptions) (*WAL, error) {
 	w := &WAL{opts: opts, f: f, nextLSN: 1}
+	w.syncCond = sync.NewCond(&w.mu)
 	size, err := f.Size()
 	if err != nil {
 		return nil, fmt.Errorf("storage: wal size: %w", err)
@@ -181,7 +216,19 @@ func OpenWAL(f LogFile, opts WALOptions) (*WAL, error) {
 		if err != nil {
 			return nil, err
 		}
-		recs, valid := scanWAL(data)
+		recs, _ := scanWAL(data)
+		// Keep only the prefix ending at the last group marker; anything
+		// after it is an unfinished group, indistinguishable in outcome from
+		// a torn tail.
+		keep, valid := 0, 0
+		off := 0
+		for i, r := range recs {
+			off += walHeaderSize + len(r.payload)
+			if r.typ != recPageImage {
+				keep, valid = i+1, off
+			}
+		}
+		recs = recs[:keep]
 		w.off = int64(valid)
 		if len(recs) > 0 {
 			last := recs[len(recs)-1].lsn
@@ -192,8 +239,8 @@ func OpenWAL(f LogFile, opts WALOptions) (*WAL, error) {
 			w.boundary = last
 		}
 		if int64(valid) < size {
-			// Torn tail from a crash mid-append: discard it now so later
-			// appends never interleave with garbage.
+			// Torn tail or unfinished group from a crash: discard it now so
+			// later appends never interleave with garbage.
 			if err := f.Truncate(int64(valid)); err != nil {
 				return nil, fmt.Errorf("storage: truncate torn wal tail: %w", err)
 			}
@@ -241,10 +288,13 @@ func scanWAL(data []byte) (recs []walRecord, valid int) {
 			break // stale bytes from an earlier generation, not a record
 		}
 		typ := data[off+16]
-		if typ != recPageImage && typ != recCheckpoint {
+		if typ != recPageImage && typ != recCheckpoint && typ != recCommit {
 			break
 		}
 		if typ == recPageImage && length != 4+PageSize {
+			break
+		}
+		if typ != recPageImage && length != 0 {
 			break
 		}
 		recs = append(recs, walRecord{lsn: lsn, typ: typ, payload: data[off+walHeaderSize : end]})
@@ -266,17 +316,18 @@ func encodeRecord(lsn LSN, typ byte, payload []byte) []byte {
 }
 
 // AppendPage logs the after-image of page id and returns its LSN. The
-// record is buffered in the OS until a Sync/Commit/SyncTo makes it durable.
+// record is buffered in the OS until a commit, sync or writeback gate makes
+// it durable.
 func (w *WAL) AppendPage(id PageID, p *Page) (LSN, error) {
 	payload := make([]byte, 4+PageSize)
 	binary.LittleEndian.PutUint32(payload[0:4], uint32(id))
 	copy(payload[4:], p[:])
-	return w.append(recPageImage, payload)
-}
-
-func (w *WAL) append(typ byte, payload []byte) (LSN, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	return w.appendLocked(recPageImage, payload)
+}
+
+func (w *WAL) appendLocked(typ byte, payload []byte) (LSN, error) {
 	lsn := w.nextLSN
 	buf := encodeRecord(lsn, typ, payload)
 	if _, err := w.f.WriteAt(buf, w.off); err != nil {
@@ -293,9 +344,9 @@ func (w *WAL) append(typ byte, payload []byte) (LSN, error) {
 }
 
 // OnAppend registers fn to observe every record the moment it is appended,
-// in LSN order with no gaps (checkpoint markers included). fn runs under the
-// WAL lock and must not block or call back into the WAL; the Data slice is
-// the observer's to keep.
+// in LSN order with no gaps (checkpoint and commit markers included). fn
+// runs under the WAL lock and must not block or call back into the WAL; the
+// Data slice is the observer's to keep.
 func (w *WAL) OnAppend(fn func(Record)) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -320,20 +371,49 @@ func (w *WAL) OnBoundary(fn func(LSN)) {
 	w.onBoundary = fn
 }
 
-// EndGroup marks the end of one mutation's record group. The caller must
-// still hold whatever lock serialized the group's appends (geodb's write
-// lock), so no other mutation's records can interleave before the mark. An
-// eviction-forced sync can make a *partial* group durable; the replication
-// boundary — the largest group-end LSN that is durable — never lands inside
-// a group, so a replica that only exposes states at boundaries never shows
-// half a mutation.
-func (w *WAL) EndGroup() {
+// EndGroup closes one mutation's record group by appending a recCommit
+// marker and returns the marker's LSN — the group-end the committer must
+// wait on (WaitDurable) before acknowledging. The caller must still hold
+// whatever lock serialized the group's appends (geodb's write lock), so no
+// other mutation's records can interleave before the marker. Recovery
+// discards trailing records past the last marker, so a group is applied at
+// replay if and only if its marker reached the disk: an eviction-forced
+// sync may make a partial group durable, but never a recoverable one. A
+// group with no appends since the last marker is a no-op returning the
+// previous group end.
+func (w *WAL) EndGroup() (LSN, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	w.lastGroupEnd = w.appended
-	if w.appended <= w.synced {
-		w.advanceBoundaryLocked(w.appended)
+	return w.endGroupLocked()
+}
+
+func (w *WAL) endGroupLocked() (LSN, error) {
+	if w.appended == w.lastGroupEnd {
+		return w.lastGroupEnd, nil
 	}
+	lsn, err := w.appendLocked(recCommit, nil)
+	if err != nil {
+		return 0, err
+	}
+	w.lastGroupEnd = lsn
+	if lsn <= w.synced {
+		w.advanceBoundaryLocked(lsn)
+	} else {
+		w.pendingEnds = append(w.pendingEnds, lsn)
+	}
+	return lsn, nil
+}
+
+// LastGroupEnd reports the LSN of the last group marker — records above it
+// belong to the currently open group. The buffer pool uses it as its
+// no-steal gate: a dirty page whose latest image is above this LSN belongs
+// to an uncommitted group and must not be written back to the data file,
+// or a crash would leave the data file holding half a mutation that replay
+// (which discards unfinished groups) cannot undo.
+func (w *WAL) LastGroupEnd() LSN {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.lastGroupEnd
 }
 
 // Boundary reports the largest durable group-end LSN.
@@ -352,24 +432,30 @@ func (w *WAL) advanceBoundaryLocked(lsn LSN) {
 	}
 }
 
-// Commit makes the log durable through the last append, batched per
-// SyncEvery: this is the acknowledged-mutation point. With SyncEvery <= 1
-// every commit fsyncs.
+// Commit makes the log durable through the last append — the
+// acknowledged-mutation point. Concurrent committers coalesce via the
+// group-commit protocol (see waitDurable); every Commit that returns nil
+// guarantees its caller's records, group marker included, are on stable
+// storage.
 func (w *WAL) Commit() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	w.unsynced++
-	if w.opts.SyncEvery > 1 && w.unsynced < w.opts.SyncEvery && w.appended > w.synced {
-		return nil
-	}
-	return w.syncLocked()
+	return w.waitDurableLocked(w.appended)
+}
+
+// WaitDurable blocks until the log is durable through at least lsn,
+// joining (or leading) the in-flight group commit. This is the precise
+// acknowledgement gate for a committer that knows its group-end LSN: it
+// never waits for records appended after its own group.
+func (w *WAL) WaitDurable(lsn LSN) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.waitDurableLocked(lsn)
 }
 
 // Sync forces the log durable through the last append.
 func (w *WAL) Sync() error {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	return w.syncLocked()
+	return w.Commit()
 }
 
 // SyncTo makes the log durable through at least lsn. It is the
@@ -378,32 +464,75 @@ func (w *WAL) Sync() error {
 func (w *WAL) SyncTo(lsn LSN) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	if lsn <= w.synced {
-		return nil
-	}
-	return w.syncLocked()
+	return w.waitDurableLocked(lsn)
 }
 
-func (w *WAL) syncLocked() error {
-	if w.synced >= w.appended {
-		w.unsynced = 0
-		return nil // nothing new to make durable
+// waitDurableLocked is the group-commit core: callers block until the log
+// is durable through target. The first caller to find no fsync in flight
+// becomes the leader — it captures the current tail as its goal, releases
+// the lock so appends and new committers keep flowing, syncs, and then
+// publishes the new durable LSN to every parked follower. A follower whose
+// target is not covered by the round it slept through leads the next one.
+func (w *WAL) waitDurableLocked(target LSN) error {
+	led, waited := false, false
+	for w.synced < target {
+		if w.syncing {
+			waited = true
+			w.syncCond.Wait()
+			continue
+		}
+		led = true
+		if err := w.leadSyncRound(); err != nil {
+			return err
+		}
 	}
+	if waited && !led {
+		mWALGroupCommits.Inc() // another committer's fsync covered us
+	}
+	return nil
+}
+
+// leadSyncRound runs one group-commit fsync round. The caller holds w.mu and
+// found no round in flight; the round marks itself in flight, releases w.mu
+// around the physical fsync — so appends and new committers keep flowing
+// while the disk works — then reacquires it, publishes the new durable LSN,
+// and wakes every parked follower. Returns with w.mu held either way.
+func (w *WAL) leadSyncRound() error {
+	w.syncing = true
+	goal := w.appended
 	sw := obs.Start(mWALFsyncSeconds)
-	//vet:ignore lockheld -- group commit: holding the lock across the fsync lets one sync cover every queued append
+	w.mu.Unlock()
 	err := w.f.Sync()
+	w.mu.Lock()
 	sw.Stop()
+	w.syncing = false
+	if err == nil && goal > w.synced {
+		w.advanceDurableLocked(goal)
+	}
+	w.syncCond.Broadcast()
 	if err != nil {
 		return fmt.Errorf("storage: wal sync: %w", err)
 	}
-	w.synced = w.appended
-	w.unsynced = 0
+	return nil
+}
+
+// advanceDurableLocked publishes a new durable LSN: observers fire, and the
+// replication boundary moves to the largest closed group end now covered.
+func (w *WAL) advanceDurableLocked(goal LSN) {
+	w.synced = goal
 	mWALSyncs.Inc()
 	if w.onDurable != nil {
-		w.onDurable(w.synced)
+		w.onDurable(goal)
 	}
-	w.advanceBoundaryLocked(w.lastGroupEnd) // every closed group is now durable
-	return nil
+	i := 0
+	for i < len(w.pendingEnds) && w.pendingEnds[i] <= goal {
+		i++
+	}
+	if i > 0 {
+		end := w.pendingEnds[i-1]
+		w.pendingEnds = append(w.pendingEnds[:0], w.pendingEnds[i:]...)
+		w.advanceBoundaryLocked(end)
+	}
 }
 
 // SyncedLSN reports the LSN through which the log is durable.
@@ -445,9 +574,10 @@ func (w *WAL) ReadFrom(from LSN) ([]Record, error) {
 }
 
 // Replay applies every page image in the log, in order, through apply,
-// then truncates any torn tail and positions the WAL for appending. It
-// returns how many records were applied. Callers replay exactly once,
-// right after OpenWAL, before any append.
+// then positions the WAL for appending. OpenWAL already discarded any torn
+// tail or unfinished trailing group, so everything Replay sees belongs to a
+// committed group. It returns how many page images were applied. Callers
+// replay exactly once, right after OpenWAL, before any append.
 func (w *WAL) Replay(apply func(id PageID, p *Page) error) (int, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -511,37 +641,32 @@ func (w *WAL) Checkpoint() error {
 	mWALTruncations.Inc()
 	// Stamp the new generation so even an untouched post-checkpoint log is
 	// self-describing (and the decoder has a second record type to chew on).
-	lsn := w.nextLSN
-	buf := encodeRecord(lsn, recCheckpoint, nil)
-	if _, err := w.f.WriteAt(buf, w.off); err != nil {
+	lsn, err := w.appendLocked(recCheckpoint, nil)
+	if err != nil {
 		return fmt.Errorf("storage: wal checkpoint marker: %w", err)
-	}
-	w.off += int64(len(buf))
-	w.nextLSN++
-	w.appended = lsn
-	if w.onAppend != nil {
-		// The marker rides the observer stream too: consumers (the ship loop)
-		// rely on LSN contiguity to detect gaps, so no record may be skipped.
-		w.onAppend(Record{LSN: lsn, Checkpoint: true})
 	}
 	sw := obs.Start(mWALFsyncSeconds)
 	//vet:ignore lockheld -- checkpoint barrier: the lock must pin the log tail until the marker is durable
-	err := w.f.Sync()
+	serr := w.f.Sync()
 	sw.Stop()
-	if err != nil {
-		return fmt.Errorf("storage: wal checkpoint sync: %w", err)
+	if serr != nil {
+		return fmt.Errorf("storage: wal checkpoint sync: %w", serr)
 	}
 	w.synced = lsn
-	w.unsynced = 0
 	mWALSyncs.Inc()
 	mWALCheckpoints.Inc()
 	if w.onDurable != nil {
 		w.onDurable(lsn)
 	}
 	// The marker is its own group (Checkpoint runs under the database write
-	// lock, so no mutation is mid-append) and it is durable.
+	// lock, so no mutation is mid-append) and it is durable. Committers
+	// parked on earlier LSNs are satisfied by the truncation itself — their
+	// groups were flushed into the data file before the log was cut — so
+	// wake them.
 	w.lastGroupEnd = lsn
+	w.pendingEnds = w.pendingEnds[:0]
 	w.advanceBoundaryLocked(lsn)
+	w.syncCond.Broadcast()
 	return nil
 }
 
@@ -552,11 +677,16 @@ func (w *WAL) Size() int64 {
 	return w.off
 }
 
-// Close syncs and closes the log file.
+// Close ends the open group (a clean shutdown commits what was appended),
+// makes the log durable through the last append and closes the file.
 func (w *WAL) Close() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	if err := w.syncLocked(); err != nil {
+	if _, err := w.endGroupLocked(); err != nil {
+		_ = w.f.Close()
+		return err
+	}
+	if err := w.waitDurableLocked(w.appended); err != nil {
 		_ = w.f.Close()
 		return err
 	}

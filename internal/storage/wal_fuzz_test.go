@@ -31,15 +31,19 @@ func FuzzWALDecode(f *testing.F) {
 	if _, err := w.AppendPage(4, &p); err != nil {
 		f.Fatal(err)
 	}
+	if _, err := w.EndGroup(); err != nil {
+		f.Fatal(err)
+	}
 	if err := w.Sync(); err != nil {
 		f.Fatal(err)
 	}
-	valid := seed.Bytes()
+	valid := seed.Bytes() // checkpoint marker + page image + commit marker
 	f.Add(valid)
 	f.Add(valid[:len(valid)/2])         // torn mid-record
 	f.Add(append([]byte{}, 0, 1, 2, 3)) // garbage
 	f.Add(encodeRecord(1, recPageImage, make([]byte, 4+PageSize)))
 	f.Add(encodeRecord(9, recCheckpoint, nil))
+	f.Add(encodeRecord(5, recCommit, nil))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		recs, n := scanWAL(data)
@@ -53,7 +57,7 @@ func FuzzWALDecode(f *testing.F) {
 				t.Fatalf("record %d: LSN %d not above %d", i, r.lsn, prev)
 			}
 			prev = r.lsn
-			if r.typ != recPageImage && r.typ != recCheckpoint {
+			if r.typ != recPageImage && r.typ != recCheckpoint && r.typ != recCommit {
 				t.Fatalf("record %d: unknown type %d accepted", i, r.typ)
 			}
 			if r.typ == recPageImage && len(r.payload) != 4+PageSize {
@@ -78,12 +82,21 @@ func FuzzWALDecode(f *testing.F) {
 		if n2 < len(valid) {
 			t.Fatalf("garbage tail shrank the valid prefix: %d < %d", n2, len(valid))
 		}
-		if len(recs2) < 2 { // the seed ends as checkpoint marker + page image
-			t.Fatalf("garbage tail lost records: %d < 2", len(recs2))
+		if len(recs2) < 3 { // the seed is checkpoint marker + image + commit marker
+			t.Fatalf("garbage tail lost records: %d < 3", len(recs2))
 		}
 
-		// And OpenWAL over the same bytes must position at the valid prefix,
-		// truncate the rest, and replay without error.
+		// And OpenWAL over the same bytes must position at the last group
+		// marker — trailing page images with no marker are an unfinished
+		// group, discarded like a torn tail — and replay without error.
+		keep := 0
+		off2 := 0
+		for _, r := range recs {
+			off2 += walHeaderSize + len(r.payload)
+			if r.typ != recPageImage {
+				keep = off2
+			}
+		}
 		lf := NewMemLogFile()
 		if _, err := lf.WriteAt(data, 0); err != nil {
 			t.Fatal(err)
@@ -92,8 +105,8 @@ func FuzzWALDecode(f *testing.F) {
 		if err != nil {
 			t.Fatalf("OpenWAL on fuzzed bytes: %v", err)
 		}
-		if size, _ := lf.Size(); size != int64(n) {
-			t.Fatalf("OpenWAL truncated to %d, scanner says %d valid", size, n)
+		if size, _ := lf.Size(); size != int64(keep) {
+			t.Fatalf("OpenWAL truncated to %d, want the last-marker prefix %d (scanner valid %d)", size, keep, n)
 		}
 		if _, err := w.ReplayInto(NewMemPager()); err != nil {
 			t.Fatalf("replay of fuzzed bytes: %v", err)

@@ -35,6 +35,9 @@ func TestWALAppendAndReplay(t *testing.T) {
 		}
 		images[id] = p
 	}
+	if _, err := w.EndGroup(); err != nil {
+		t.Fatalf("end group: %v", err)
+	}
 	if err := w.Commit(); err != nil {
 		t.Fatalf("commit: %v", err)
 	}
@@ -77,6 +80,9 @@ func TestWALTornTailTruncated(t *testing.T) {
 			t.Fatalf("append: %v", err)
 		}
 	}
+	if _, err := w.EndGroup(); err != nil {
+		t.Fatalf("end group: %v", err)
+	}
 	if err := w.Sync(); err != nil {
 		t.Fatalf("sync: %v", err)
 	}
@@ -86,7 +92,7 @@ func TestWALTornTailTruncated(t *testing.T) {
 	}
 
 	// A crash mid-append leaves a torn record: a valid-looking prefix of a
-	// fourth record whose bytes end early.
+	// fifth record whose bytes end early.
 	torn := encodeRecord(17, recPageImage, make([]byte, 4+PageSize))
 	if _, err := lf.WriteAt(torn[:len(torn)/3], goodSize); err != nil {
 		t.Fatalf("write torn tail: %v", err)
@@ -116,8 +122,8 @@ func TestWALTornTailTruncated(t *testing.T) {
 		t.Fatalf("sync: %v", err)
 	}
 	recs, valid := scanWAL(lf.Bytes())
-	if len(recs) != 4 {
-		t.Fatalf("scan found %d records, want 4", len(recs))
+	if len(recs) != 5 { // 3 images + group marker + the post-tear image
+		t.Fatalf("scan found %d records, want 5", len(recs))
 	}
 	if int64(valid) != w2.Size() {
 		t.Fatalf("scan valid=%d, wal size=%d", valid, w2.Size())
@@ -148,7 +154,10 @@ func TestWALCorruptMiddleStopsScan(t *testing.T) {
 	}
 }
 
-func TestWALSyncBatching(t *testing.T) {
+// TestWALCommitAlwaysDurable: SyncEvery is deprecated and ignored — every
+// Commit that returns has made the log durable through its last append, no
+// matter what batching the options ask for.
+func TestWALCommitAlwaysDurable(t *testing.T) {
 	lf := NewMemLogFile()
 	crash := &Crasher{} // count-only: every WriteAt/Sync/Truncate is a point
 	cf := NewCrashLogFile(lf, crash)
@@ -156,8 +165,7 @@ func TestWALSyncBatching(t *testing.T) {
 	if err != nil {
 		t.Fatalf("open: %v", err)
 	}
-	points := func() int { return crash.Points() }
-	before := points()
+	before := crash.Points()
 	for i := 0; i < 8; i++ {
 		if _, err := w.AppendPage(PageID(i), pageWith(t, "x")); err != nil {
 			t.Fatalf("append: %v", err)
@@ -165,38 +173,50 @@ func TestWALSyncBatching(t *testing.T) {
 		if err := w.Commit(); err != nil {
 			t.Fatalf("commit: %v", err)
 		}
+		if w.SyncedLSN() != LSN(i+1) {
+			t.Fatalf("commit %d acknowledged at synced LSN %d, want %d", i, w.SyncedLSN(), i+1)
+		}
 	}
-	// 8 appends (8 writes) + 2 syncs (every 4th commit) = 10 IO points.
-	if got := points() - before; got != 10 {
-		t.Fatalf("8 batched commits cost %d IO points, want 10 (8 writes + 2 syncs)", got)
-	}
-	if w.SyncedLSN() != 8 {
-		t.Fatalf("synced LSN %d, want 8", w.SyncedLSN())
+	// A lone committer gets no coalescing: 8 writes + 8 syncs = 16 IO points.
+	if got := crash.Points() - before; got != 16 {
+		t.Fatalf("8 serial commits cost %d IO points, want 16 (8 writes + 8 syncs)", got)
 	}
 }
 
-func TestWALSyncToForcesBatchedTail(t *testing.T) {
+// TestWALCommitCoversGroupAfterEvictionSync is the regression test for the
+// SyncEvery durability hole: under batched sync, an eviction-forced SyncTo
+// mid-group reset the batch counter, so the Commit that closed the group
+// could acknowledge without its tail records — marker included — ever being
+// synced. The invariant now: acknowledged ⇒ the whole group is durable.
+func TestWALCommitCoversGroupAfterEvictionSync(t *testing.T) {
 	lf := NewMemLogFile()
-	w, err := OpenWAL(lf, WALOptions{SyncEvery: 100})
+	w, err := OpenWAL(lf, WALOptions{SyncEvery: 100}) // old code: sync every 100th commit
 	if err != nil {
 		t.Fatalf("open: %v", err)
 	}
-	lsn, err := w.AppendPage(1, pageWith(t, "x"))
+	first, err := w.AppendPage(1, pageWith(t, "a"))
 	if err != nil {
 		t.Fatalf("append: %v", err)
 	}
-	if err := w.Commit(); err != nil { // batched: no sync yet
-		t.Fatalf("commit: %v", err)
-	}
-	if w.SyncedLSN() >= lsn {
-		t.Fatalf("commit with SyncEvery=100 synced eagerly")
-	}
-	// The writeback gate must not be batched away.
-	if err := w.SyncTo(lsn); err != nil {
+	// An eviction writes page 1 back: the WAL-before-data gate syncs its image.
+	if err := w.SyncTo(first); err != nil {
 		t.Fatalf("syncTo: %v", err)
 	}
-	if w.SyncedLSN() < lsn {
-		t.Fatalf("SyncTo(%d) left synced LSN at %d", lsn, w.SyncedLSN())
+	if _, err := w.AppendPage(2, pageWith(t, "b")); err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	marker, err := w.EndGroup()
+	if err != nil {
+		t.Fatalf("end group: %v", err)
+	}
+	if err := w.Commit(); err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+	if w.SyncedLSN() < marker {
+		t.Fatalf("commit acknowledged with synced LSN %d < group marker %d: the group is not durable", w.SyncedLSN(), marker)
+	}
+	if w.Boundary() != marker {
+		t.Fatalf("boundary %d after acknowledged group, want %d", w.Boundary(), marker)
 	}
 }
 
@@ -341,7 +361,7 @@ func TestCrashPagerTornWrite(t *testing.T) {
 func TestWALBeforeData(t *testing.T) {
 	mem := NewMemPager()
 	lf := NewMemLogFile()
-	w, err := OpenWAL(lf, WALOptions{SyncEvery: 1 << 20}) // never sync on commit
+	w, err := OpenWAL(lf, WALOptions{})
 	if err != nil {
 		t.Fatalf("open wal: %v", err)
 	}
@@ -356,6 +376,11 @@ func TestWALBeforeData(t *testing.T) {
 	}
 	if err := pool.Unpin(id0, true); err != nil {
 		t.Fatalf("unpin: %v", err)
+	}
+	// Close the group: a settled page is evictable, but writing it back must
+	// still force its image durable first.
+	if _, err := w.EndGroup(); err != nil {
+		t.Fatalf("end group: %v", err)
 	}
 	if w.SyncedLSN() != 0 {
 		t.Fatalf("log synced before any writeback")
@@ -372,8 +397,8 @@ func TestWALBeforeData(t *testing.T) {
 	}
 	// And the logged image must be exactly what was written back.
 	recs, _ := scanWAL(lf.Bytes())
-	if len(recs) != 1 {
-		t.Fatalf("got %d records, want 1", len(recs))
+	if len(recs) != 2 || recs[0].typ != recPageImage || recs[1].typ != recCommit {
+		t.Fatalf("got %d records, want page image + group marker", len(recs))
 	}
 	loggedID := PageID(binary.LittleEndian.Uint32(recs[0].payload[0:4]))
 	var onDisk Page
@@ -523,22 +548,24 @@ func TestWALGroupBoundary(t *testing.T) {
 	var boundaries []LSN
 	w.OnBoundary(func(lsn LSN) { boundaries = append(boundaries, lsn) })
 
-	// Group one: two pages, closed, then made durable.
+	// Group one: two pages (LSN 1, 2), closed (marker LSN 3), made durable.
 	if _, err := w.AppendPage(0, pageWith(t, "a")); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := w.AppendPage(1, pageWith(t, "b")); err != nil {
 		t.Fatal(err)
 	}
-	w.EndGroup()
+	if _, err := w.EndGroup(); err != nil {
+		t.Fatal(err)
+	}
 	if w.Boundary() != 0 {
 		t.Fatalf("boundary %d before any sync, want 0", w.Boundary())
 	}
 	if err := w.Commit(); err != nil {
 		t.Fatal(err)
 	}
-	if w.Boundary() != 2 {
-		t.Fatalf("boundary %d after group commit, want 2", w.Boundary())
+	if w.Boundary() != 3 {
+		t.Fatalf("boundary %d after group commit, want the marker LSN 3", w.Boundary())
 	}
 
 	// Group two: durable mid-group (an eviction-forced sync) must NOT move
@@ -549,18 +576,32 @@ func TestWALGroupBoundary(t *testing.T) {
 	if err := w.Sync(); err != nil {
 		t.Fatal(err)
 	}
-	if w.Durable() != 3 {
-		t.Fatalf("durable %d after forced sync, want 3", w.Durable())
+	if w.Durable() != 4 {
+		t.Fatalf("durable %d after forced sync, want 4", w.Durable())
 	}
-	if w.Boundary() != 2 {
-		t.Fatalf("boundary %d moved by a mid-group sync, want 2", w.Boundary())
-	}
-	// Closing the already-durable group advances the boundary immediately.
-	w.EndGroup()
 	if w.Boundary() != 3 {
-		t.Fatalf("boundary %d after closing a durable group, want 3", w.Boundary())
+		t.Fatalf("boundary %d moved by a mid-group sync, want 3", w.Boundary())
 	}
-	want := []LSN{2, 3}
+	// Closing the group appends the marker (LSN 5); the boundary holds until
+	// the marker itself is durable — a marker lost in a crash would discard
+	// the group at replay, so replicas must not expose it early.
+	marker, err := w.EndGroup()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if marker != 5 {
+		t.Fatalf("second group marker at LSN %d, want 5", marker)
+	}
+	if w.Boundary() != 3 {
+		t.Fatalf("boundary %d before the marker is durable, want 3", w.Boundary())
+	}
+	if err := w.WaitDurable(marker); err != nil {
+		t.Fatal(err)
+	}
+	if w.Boundary() != 5 {
+		t.Fatalf("boundary %d after the marker synced, want 5", w.Boundary())
+	}
+	want := []LSN{3, 5}
 	if len(boundaries) != len(want) || boundaries[0] != want[0] || boundaries[1] != want[1] {
 		t.Fatalf("boundary notifications %v, want %v", boundaries, want)
 	}
